@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: the three communication-reduction techniques of Section
+ * 3.1 - hash filtering (1 B vs 240 B per electrode window),
+ * hierarchical classifier decomposition (partial outputs vs raw
+ * features), and Kalman centralisation (features to one node vs
+ * distributing the filter's large intermediate matrices).
+ */
+
+#include "bench_util.hpp"
+#include "scalo/net/tdma.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    using namespace scalo::net;
+
+    bench::banner(
+        "Ablation: communication-reduction techniques (Section 3.1)",
+        "hashes 100x smaller than signals; partial outputs 100x "
+        "smaller than raw inputs; centralising the KF avoids "
+        "shipping its big matrices");
+
+    const std::size_t nodes = 11;
+    const TdmaSchedule tdma(defaultRadio(), nodes);
+
+    TextTable table({"what crosses the network", "bytes/node/round",
+                     "exchange (ms)", "fits budget?"});
+
+    struct Case
+    {
+        const char *name;
+        Pattern pattern;
+        std::size_t bytes;
+        double budget_ms;
+    };
+    const std::vector<Case> cases{
+        // Seizure correlation: hashes vs full windows (per 96 elec).
+        {"correlation: 96 window hashes (SCALO)", Pattern::AllToAll,
+         96, 1.7},
+        {"correlation: 96 raw windows (no hash)", Pattern::AllToAll,
+         96 * 240, 1.7},
+        // Movement intent A/C: partials vs raw features vs samples.
+        {"MI SVM: partial output (SCALO)", Pattern::AllToOne, 4,
+         50.0},
+        {"MI NN: partial pre-activations (SCALO)", Pattern::AllToOne,
+         1'024, 50.0},
+        {"MI: raw 50 ms sample windows (no decomp)",
+         Pattern::AllToOne, 96 * 1'500 * 2, 50.0},
+        // Movement intent B: features in vs covariance out.
+        {"MI KF: SBP features to aggregator (SCALO)",
+         Pattern::AllToOne, 96 * 4, 50.0},
+        {"MI KF: distributed filter (P matrix each step)",
+         Pattern::AllToAll, 96 * 96 * 4, 50.0},
+    };
+
+    for (const Case &c : cases) {
+        const double ms = tdma.exchangeMs(c.pattern, c.bytes);
+        table.addRow({c.name, std::to_string(c.bytes),
+                      TextTable::num(ms, 2),
+                      ms <= c.budget_ms ? "yes" : "NO"});
+    }
+    table.print();
+
+    std::printf("\nreduction factors at 11 nodes: hashes %.0fx, "
+                "SVM partials %.0fx, KF centralisation %.0fx\n",
+                240.0, 96.0 * 1'500.0 * 2.0 / 4.0,
+                96.0 * 96.0 / 96.0);
+    return 0;
+}

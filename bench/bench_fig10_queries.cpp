@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 10: interactive query throughput at 11 nodes across data
+ * sizes (7-60 MB ~ the last 110-1000 ms) and matched fractions.
+ *
+ * Paper anchors: Q1/Q2 ~9 QPS at 7 MB / 5% matched; Q3 takes ~1.21 s
+ * at 7 MB (~0.8 QPS); ~1 QPS for Q1/Q2 over 60 MB at 5%; Q2 with
+ * exact DTW drops to 8 QPS but needs 15 mW instead of 3.57 mW.
+ */
+
+#include "bench_util.hpp"
+#include "scalo/app/query.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    using namespace scalo::app;
+
+    bench::banner(
+        "Figure 10: Interactive query throughput (11 nodes)",
+        "9 QPS @ 7 MB / 5%; Q3 ~0.8 QPS @ 7 MB; ~1 QPS @ 60 MB / 5%");
+
+    TextTable table({"data (MB)", "time range (ms)", "matched",
+                     "Q1 QPS", "Q2 QPS", "Q3 QPS"});
+    for (double mb : {7.0, 24.0, 42.0, 60.0}) {
+        const double range = timeRangeMsFor(mb, 11);
+        for (double matched : {0.05, 0.5, 1.0}) {
+            QueryConfig config;
+            config.dataMb = mb;
+            config.matchedFraction = matched;
+            const auto q1 =
+                estimateQuery(QueryKind::Q1SeizureWindows, config);
+            const auto q2 =
+                estimateQuery(QueryKind::Q2TemplateMatch, config);
+            std::string q3 = "-";
+            if (matched == 1.0) {
+                q3 = TextTable::num(
+                    estimateQuery(QueryKind::Q3TimeRange, config)
+                        .queriesPerSecond,
+                    2);
+            }
+            table.addRow({TextTable::num(mb, 0),
+                          TextTable::num(range, 0),
+                          TextTable::num(matched * 100.0, 0) + "%",
+                          TextTable::num(q1.queriesPerSecond, 2),
+                          TextTable::num(q2.queriesPerSecond, 2),
+                          q3});
+        }
+    }
+    table.print();
+
+    QueryConfig exact;
+    exact.exactMatch = true;
+    const auto dtw = estimateQuery(QueryKind::Q2TemplateMatch, exact);
+    const auto hash =
+        estimateQuery(QueryKind::Q2TemplateMatch, QueryConfig{});
+    std::printf("\nQ2 hash: %.1f QPS @ %.2f mW | Q2 exact DTW: %.1f "
+                "QPS @ %.1f mW (paper: 9 vs 8 QPS, 3.57 vs 15 mW)\n",
+                hash.queriesPerSecond, hash.powerMw,
+                dtw.queriesPerSecond, dtw.powerMw);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 13 / Section 7: design-space exploration over the Table 3
+ * radios - Hash All-All and DTW One-All throughput on each design,
+ * normalised to the default (Low Power).
+ *
+ * Paper shape: High Perf ~2x throughput for both applications but 4x
+ * the radio power (~half the 15 mW budget); Low BER matches the
+ * default's performance at 2x the power (not worth it at BER 1e-5);
+ * Low Data Rate halves performance.
+ */
+
+#include "bench_util.hpp"
+#include "scalo/sched/scheduler.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    using namespace scalo::sched;
+
+    bench::banner(
+        "Figure 13: Application throughput by radio design "
+        "(normalised to Low Power)",
+        "High Perf ~2x at 4x power; Low BER ~1x at 2x power; Low "
+        "Data Rate ~0.5x");
+
+    // Evaluate at a communication-bound operating point (the paper's
+    // applications are "communication sensitive" in this experiment).
+    const std::size_t nodes = 16;
+    auto throughput = [&](net::RadioDesign design,
+                          const FlowSpec &flow) {
+        SystemConfig config;
+        config.nodes = nodes;
+        config.radio = &net::radioSpec(design);
+        return Scheduler(config).maxAggregateThroughputMbps(flow);
+    };
+
+    const FlowSpec hash_flow =
+        hashSimilarityFlow(net::Pattern::AllToAll);
+    const FlowSpec dtw_flow = dtwSimilarityFlow(net::Pattern::OneToAll);
+
+    const double hash_base =
+        throughput(net::RadioDesign::LowPower, hash_flow);
+    const double dtw_base =
+        throughput(net::RadioDesign::LowPower, dtw_flow);
+
+    TextTable table({"radio", "power (mW)", "Hash All-All (norm)",
+                     "DTW One-All (norm)"});
+    for (auto design :
+         {net::RadioDesign::HighPerf, net::RadioDesign::LowDataRate,
+          net::RadioDesign::LowBer, net::RadioDesign::LowPower}) {
+        const auto &spec = net::radioSpec(design);
+        table.addRow(
+            {std::string(spec.name), TextTable::num(spec.powerMw, 2),
+             TextTable::num(throughput(design, hash_flow) / hash_base,
+                            2),
+             TextTable::num(throughput(design, dtw_flow) / dtw_base,
+                            2)});
+    }
+    table.print();
+
+    std::printf("\nnote: normalised to the Low Power default at %zu "
+                "nodes; absolute base = %.1f / %.1f Mbps\n",
+                nodes, hash_base, dtw_base);
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 14 / Section 7: LSH parameter flexibility - which (sketch
+ * window size, n-gram size) pairs usefully approximate each measure.
+ * Cells within 90% of the best configuration's agreement are marked
+ * usable; the overlap between measures is what lets one PE family
+ * serve XCOR, DTW and Euclidean.
+ *
+ * Paper shape: each measure has a contiguous usable region; the
+ * regions overlap at moderate window sizes, with XCOR usable at the
+ * largest windows.
+ */
+
+#include "bench_util.hpp"
+#include "scalo/lsh/ssh.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/util/stats.hpp"
+
+namespace {
+
+using namespace scalo;
+
+/**
+ * Balanced agreement between hash-match and exact-threshold over a
+ * pair sample: 0.5 = chance, 1.0 = perfect.
+ */
+double
+agreement(signal::Measure measure, unsigned window, unsigned ngram)
+{
+    const std::size_t n = constants::kWindowSamples;
+    lsh::SshParams params;
+    params.windowSize = window;
+    params.stride = std::max(1u, window / 6);
+    params.ngramSize = ngram;
+    params.seed = 0x14f;
+    const lsh::SshHasher hasher(params);
+
+    Rng rng(0x900d + static_cast<int>(measure) * 131 + window * 7 +
+            ngram);
+
+    // Calibrate a threshold for the measure.
+    std::vector<double> calib;
+    for (int i = 0; i < 120; ++i) {
+        const auto a = bench::baseWindow(n, rng);
+        const auto b = bench::perturb(a, 0.35, rng);
+        calib.push_back(signal::dissimilarity(measure, a, b));
+    }
+    const double threshold = percentile(calib, 50.0);
+
+    int tp = 0, tn = 0, pos = 0, neg = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto a = bench::baseWindow(n, rng);
+        const auto b = bench::perturb(a, rng.uniform(0.0, 0.9), rng);
+        const bool exact_similar =
+            signal::dissimilarity(measure, a, b) <= threshold;
+        const bool hash_similar =
+            hasher.signature(a).matches(hasher.signature(b));
+        if (exact_similar) {
+            ++pos;
+            tp += hash_similar;
+        } else {
+            ++neg;
+            tn += !hash_similar;
+        }
+    }
+    const double tpr = pos ? static_cast<double>(tp) / pos : 0.0;
+    const double tnr = neg ? static_cast<double>(tn) / neg : 0.0;
+    return 0.5 * (tpr + tnr);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 14: Usable LSH (window, n-gram) regions per measure",
+        "'#' best, '+' within 90% of best, '.' unusable; regions "
+        "overlap so one PE family serves all three measures");
+
+    const std::vector<unsigned> windows{8, 16, 24, 32, 48, 60};
+    const std::vector<unsigned> ngrams{1, 2, 3, 4, 5, 6};
+
+    for (auto measure :
+         {signal::Measure::Xcor, signal::Measure::Dtw,
+          signal::Measure::Euclidean}) {
+        std::printf("--- %s ---\n", signal::measureName(measure));
+        std::vector<std::vector<double>> grid(
+            windows.size(), std::vector<double>(ngrams.size()));
+        double best = 0.0;
+        for (std::size_t w = 0; w < windows.size(); ++w) {
+            for (std::size_t g = 0; g < ngrams.size(); ++g) {
+                grid[w][g] =
+                    agreement(measure, windows[w], ngrams[g]);
+                best = std::max(best, grid[w][g]);
+            }
+        }
+        std::printf("window \\ ngram ");
+        for (unsigned g : ngrams)
+            std::printf("%3u ", g);
+        std::printf("\n");
+        for (std::size_t w = 0; w < windows.size(); ++w) {
+            std::printf("%13u  ", windows[w]);
+            for (std::size_t g = 0; g < ngrams.size(); ++g) {
+                char mark = '.';
+                if (grid[w][g] >= best - 1e-12)
+                    mark = '#';
+                else if (grid[w][g] >= 0.9 * best)
+                    mark = '+';
+                std::printf("  %c ", mark);
+            }
+            std::printf("\n");
+        }
+        std::printf("best agreement: %.3f\n\n", best);
+    }
+    return 0;
+}

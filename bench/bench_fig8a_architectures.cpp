@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 8a: maximum aggregate throughput of SCALO and the four
+ * alternative architectures (Table 2) for all six evaluation tasks at
+ * 11 implanted sites.
+ *
+ * Paper shape: SCALO wins everywhere; Central ~10x below SCALO;
+ * Central No-Hash 250x / 24.5x below Central for signal similarity /
+ * spike sorting; HALO+NVM matches Central where HALO's PEs suffice
+ * and is 10-385x below SCALO elsewhere; HALO+NVM spike sorting lands
+ * 40% below Central No-Hash.
+ */
+
+#include "bench_util.hpp"
+#include "scalo/sched/architectures.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    using namespace scalo::sched;
+
+    bench::banner(
+        "Figure 8a: Max aggregate throughput by architecture (Mbps, "
+        "11 sites, 15 mW)",
+        "SCALO highest everywhere; 10x over Central; up to 385x over "
+        "HALO+NVM");
+
+    std::vector<std::string> headers{"architecture"};
+    for (Task task : allTasks())
+        headers.emplace_back(taskName(task));
+    TextTable table(std::move(headers));
+
+    for (Architecture arch : allArchitectures()) {
+        std::vector<std::string> row{
+            std::string(architectureName(arch))};
+        for (Task task : allTasks()) {
+            row.push_back(TextTable::num(
+                maxAggregateThroughputMbps(arch, task, 11), 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    // Headline ratios the paper calls out.
+    auto ratio = [](Task task, Architecture a, Architecture b) {
+        return maxAggregateThroughputMbps(a, task, 11) /
+               maxAggregateThroughputMbps(b, task, 11);
+    };
+    std::printf("\nheadline ratios (paper -> measured):\n");
+    std::printf("  SCALO/Central, seizure detection (~11x): %.1fx\n",
+                ratio(Task::SeizureDetection, Architecture::Scalo,
+                      Architecture::Central));
+    std::printf("  Central/Central No-Hash, similarity (250x): "
+                "%.0fx\n",
+                ratio(Task::SignalSimilarity, Architecture::Central,
+                      Architecture::CentralNoHash));
+    std::printf("  Central/Central No-Hash, spike sorting (24.5x): "
+                "%.1fx\n",
+                ratio(Task::SpikeSorting, Architecture::Central,
+                      Architecture::CentralNoHash));
+    std::printf("  SCALO/HALO+NVM, best case (up to 385x): %.0fx\n",
+                [&] {
+                    double best = 0.0;
+                    for (Task task : allTasks()) {
+                        best = std::max(
+                            best,
+                            ratio(task, Architecture::Scalo,
+                                  Architecture::HaloNvm));
+                    }
+                    return best;
+                }());
+    return 0;
+}

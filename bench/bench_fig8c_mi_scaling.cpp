@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 8c: maximum aggregate throughput of the movement-intent
+ * applications across node counts and power limits.
+ *
+ * Paper shape: MI SVM highest (4 B partials per node) and linear in
+ * nodes; MI NN the same trend below it (1024 B partials); MI KF
+ * linear only to 4 nodes, then pinned at 384 electrodes (~188 Mbps)
+ * by the aggregator's NVM bandwidth; KF power knee at 8.5 mW.
+ */
+
+#include "bench_util.hpp"
+#include "scalo/sched/scheduler.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    using namespace scalo::sched;
+
+    bench::banner(
+        "Figure 8c: Movement-intent throughput scaling (Mbps)",
+        "MI SVM > MI NN, both linear in nodes; MI KF flat at ~188 "
+        "Mbps beyond 4 nodes (NVM-bound), knee at 8.5 mW");
+
+    const std::vector<std::size_t> node_counts{1, 2, 4, 8, 16, 32,
+                                               64};
+    const std::vector<double> power_limits{6.0, 9.0, 12.0, 15.0};
+
+    for (double power : power_limits) {
+        std::printf("--- per-node power %.0f mW ---\n", power);
+        TextTable table({"nodes", "MI SVM", "MI NN", "MI KF"});
+        for (std::size_t nodes : node_counts) {
+            SystemConfig config;
+            config.nodes = nodes;
+            config.powerCapMw = power;
+            const Scheduler scheduler(config);
+            table.addRow(
+                {std::to_string(nodes),
+                 TextTable::num(scheduler.maxAggregateThroughputMbps(
+                                    miSvmFlow()),
+                                1),
+                 TextTable::num(scheduler.maxAggregateThroughputMbps(
+                                    miNnFlow()),
+                                1),
+                 TextTable::num(scheduler.maxAggregateThroughputMbps(
+                                    miKfFlow()),
+                                1)});
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

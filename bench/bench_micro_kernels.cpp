@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels every SCALO
+ * pipeline leans on: FFT, Butterworth, DTW, the SSH/EMD hashes,
+ * HCOMP compression, the Kalman step, Gauss-Jordan inversion, and
+ * the LP solver.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "scalo/compress/hcomp.hpp"
+#include "scalo/compress/range_coder.hpp"
+#include "scalo/util/aes.hpp"
+#include "scalo/ilp/solver.hpp"
+#include "scalo/linalg/matrix.hpp"
+#include "scalo/lsh/emd_hash.hpp"
+#include "scalo/lsh/ssh.hpp"
+#include "scalo/ml/kalman.hpp"
+#include "scalo/signal/butterworth.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/signal/fft.hpp"
+
+namespace {
+
+using namespace scalo;
+
+std::vector<double>
+window120(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return bench::baseWindow(120, rng);
+}
+
+void
+BM_Fft128(benchmark::State &state)
+{
+    std::vector<std::complex<double>> data(128);
+    Rng rng(1);
+    for (auto &x : data)
+        x = {rng.gaussian(), 0.0};
+    for (auto _ : state) {
+        auto copy = data;
+        signal::fft(copy);
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_Fft128);
+
+void
+BM_Butterworth(benchmark::State &state)
+{
+    signal::ButterworthBandpass filter(2, 100.0, 3'000.0, 30'000.0);
+    const auto input = window120(2);
+    for (auto _ : state) {
+        filter.reset();
+        benchmark::DoNotOptimize(filter.apply(input));
+    }
+}
+BENCHMARK(BM_Butterworth);
+
+void
+BM_DtwBanded(benchmark::State &state)
+{
+    const auto a = window120(3);
+    const auto b = window120(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(signal::dtwDistance(a, b, 12));
+}
+BENCHMARK(BM_DtwBanded);
+
+void
+BM_SshSignature(benchmark::State &state)
+{
+    const lsh::SshHasher hasher({});
+    const auto input = window120(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hasher.signature(input));
+}
+BENCHMARK(BM_SshSignature);
+
+void
+BM_EmdHash(benchmark::State &state)
+{
+    const lsh::EmdHasher hasher({}, 120);
+    const auto input = window120(6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hasher.signature(input));
+}
+BENCHMARK(BM_EmdHash);
+
+void
+BM_HcompRoundTrip(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<HashValue> hashes;
+    HashValue current = 3;
+    for (int i = 0; i < 960; ++i) {
+        if (rng.chance(0.1))
+            current = static_cast<HashValue>(rng.below(32));
+        hashes.push_back(current);
+    }
+    for (auto _ : state) {
+        const auto block = compress::compressHashes(hashes);
+        benchmark::DoNotOptimize(compress::decompressHashes(block));
+    }
+}
+BENCHMARK(BM_HcompRoundTrip);
+
+void
+BM_KalmanStep96(benchmark::State &state)
+{
+    auto filter = ml::KalmanFilter::cursorDecoder(96, 0.05, 8);
+    Rng rng(9);
+    std::vector<double> obs(96);
+    for (auto &v : obs)
+        v = rng.gaussian();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter.step(obs));
+}
+BENCHMARK(BM_KalmanStep96);
+
+void
+BM_Inverse16(benchmark::State &state)
+{
+    Rng rng(10);
+    linalg::Matrix m(16, 16);
+    for (std::size_t r = 0; r < 16; ++r) {
+        for (std::size_t c = 0; c < 16; ++c)
+            m.at(r, c) = rng.gaussian();
+        m.at(r, r) += 8.0;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linalg::inverse(m));
+}
+BENCHMARK(BM_Inverse16);
+
+void
+BM_Aes128CtrBlock(benchmark::State &state)
+{
+    const Aes128::Key key{1, 2, 3};
+    const Aes128 aes(key);
+    std::vector<std::uint8_t> window(240, 0x5a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aes.ctrCrypt(window, {7}));
+}
+BENCHMARK(BM_Aes128CtrBlock);
+
+void
+BM_NeuralStreamCodec(benchmark::State &state)
+{
+    Rng rng(11);
+    std::vector<Sample> samples(3'000);
+    double phase = 0.0;
+    for (auto &s : samples) {
+        phase += 0.012;
+        s = static_cast<Sample>(2'000.0 * std::sin(phase) +
+                                rng.gaussian(0.0, 30.0));
+    }
+    for (auto _ : state) {
+        const auto packed = compress::neuralStreamCompress(samples);
+        benchmark::DoNotOptimize(
+            compress::neuralStreamDecompress(packed,
+                                             samples.size()));
+    }
+}
+BENCHMARK(BM_NeuralStreamCodec);
+
+void
+BM_IlpSchedulerShaped(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ilp::Model model;
+        ilp::Expr objective, network;
+        for (int node = 0; node < 8; ++node) {
+            const int e = model.addVariable(
+                "e" + std::to_string(node), 0.0, 200.0);
+            model.addConstraint({{e, 0.08}}, ilp::Relation::LessEq,
+                                12.0);
+            objective.push_back({e, 1.0});
+            network.push_back({e, 0.01});
+        }
+        model.addConstraint(std::move(network),
+                            ilp::Relation::LessEq, 4.0);
+        model.setObjective(std::move(objective));
+        benchmark::DoNotOptimize(ilp::solveLp(model));
+    }
+}
+BENCHMARK(BM_IlpSchedulerShaped);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 1 + Table 4: the PE catalog - latency, leakage, dynamic power
+ * per electrode, and area of every accelerator in a SCALO node, with
+ * derived node-level totals.
+ */
+
+#include "bench_util.hpp"
+#include "scalo/hw/fabric.hpp"
+#include "scalo/hw/pe.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    bench::banner("Table 1: Latency and Power of the PEs",
+                  "31 PEs, 28 nm FD-SOI, worst variation corner");
+
+    TextTable table({"PE", "function", "fmax (MHz)", "leak (uW)",
+                     "SRAM (uW)", "dyn/elec (uW)", "latency (ms)",
+                     "area (KGE)"});
+    for (const auto &pe : hw::peCatalog()) {
+        std::string latency = "-";
+        if (pe.latencyMs) {
+            latency = TextTable::num(*pe.latencyMs, 3);
+            if (pe.latencyMaxMs)
+                latency += "-" + TextTable::num(*pe.latencyMaxMs, 1);
+        }
+        table.addRow({std::string(pe.name), std::string(pe.function),
+                      TextTable::num(pe.maxFreqMhz, 3),
+                      TextTable::num(pe.leakageUw, 2),
+                      TextTable::num(pe.sramLeakageUw, 2),
+                      TextTable::num(pe.dynPerElectrodeUw, 3), latency,
+                      TextTable::num(pe.areaKge, 0)});
+    }
+    table.print();
+
+    const hw::NodeFabric fabric;
+    std::printf("\nnode fabric: %.2f mW idle leakage, %.0f KGE total "
+                "area (10x BMUL in the LIN ALG cluster)\n",
+                fabric.idlePowerUw() / 1'000.0, fabric.areaKge());
+    std::printf("MC: %.0f MHz RISC-V, %.0f KB SRAM\n",
+                hw::mcSpec().freqMhz, hw::mcSpec().sramKb);
+    return 0;
+}

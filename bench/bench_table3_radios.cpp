@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 3: the intra-SCALO radio design points and the path-loss
+ * model used to scale them to the 20 cm implant-to-implant link.
+ */
+
+#include "bench_util.hpp"
+#include "scalo/net/radio.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    bench::banner("Table 3: Alternative radio designs",
+                  "Low Power is the default (BER 1e-5, 7 Mbps, "
+                  "1.71 mW)");
+
+    TextTable table({"name", "BER", "rate (Mbps)", "power (mW)",
+                     "range (cm)", "carrier (GHz)",
+                     "240B window (ms)", "energy/240B (uJ)"});
+    for (const auto &radio : net::radioCatalog()) {
+        char ber[16];
+        std::snprintf(ber, sizeof(ber), "%.0e", radio.ber);
+        table.addRow({std::string(radio.name), ber,
+                      TextTable::num(radio.dataRateMbps, 1),
+                      TextTable::num(radio.powerMw, 3),
+                      TextTable::num(radio.rangeCm, 0),
+                      TextTable::num(radio.carrierGhz, 2),
+                      TextTable::num(radio.transferMs(240.0), 3),
+                      TextTable::num(
+                          radio.transferEnergyMj(240.0) * 1'000.0,
+                          2)});
+    }
+    table.print();
+
+    const auto &ext = net::externalRadio();
+    std::printf("\nexternal radio: %.0f Mbps at %.1f mW up to %.0f m\n",
+                ext.dataRateMbps, ext.powerMw, ext.rangeCm / 100.0);
+
+    std::printf("\npath loss (exponent %.1f) through brain/skull/"
+                "skin, Low Power design:\n",
+                net::kPathLossExponent);
+    for (double cm : {10.0, 20.0, 30.0, 40.0}) {
+        std::printf("  %4.0f cm -> %6.2f mW transmit budget\n", cm,
+                    net::powerAtDistanceMw(net::defaultRadio(), cm));
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: signal-pair generation at
+ * controlled similarity (for the LSH experiments) and banner output.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scalo/signal/distance.hpp"
+#include "scalo/signal/window.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::bench {
+
+/** Print the figure/table banner with the paper's reference claims. */
+inline void
+banner(const std::string &title, const std::string &paper_claim)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("==============================================\n\n");
+}
+
+/** A neural-like base window: mixed sinusoids + pink-ish noise. */
+inline std::vector<double>
+baseWindow(std::size_t n, Rng &rng)
+{
+    std::vector<double> out(n);
+    const double f1 = rng.uniform(2.0, 10.0);
+    const double f2 = rng.uniform(10.0, 30.0);
+    const double p1 = rng.uniform(0.0, 2.0 * M_PI);
+    const double p2 = rng.uniform(0.0, 2.0 * M_PI);
+    double lp = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(i) /
+                         static_cast<double>(n);
+        lp = 0.9 * lp + 0.3 * rng.gaussian();
+        out[i] = std::sin(2.0 * M_PI * f1 * x + p1) +
+                 0.5 * std::sin(2.0 * M_PI * f2 * x + p2) + lp;
+    }
+    signal::removeMean(out);
+    const double scale = signal::rms(out);
+    if (scale > 1e-9)
+        for (double &v : out)
+            v /= scale;
+    return out;
+}
+
+/** Perturb a window: alpha=0 keeps it, alpha=1 replaces it. */
+inline std::vector<double>
+perturb(const std::vector<double> &base, double alpha, Rng &rng)
+{
+    auto other = baseWindow(base.size(), rng);
+    std::vector<double> out(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        out[i] = (1.0 - alpha) * base[i] + alpha * other[i];
+    signal::removeMean(out);
+    const double scale = signal::rms(out);
+    if (scale > 1e-9)
+        for (double &v : out)
+            v /= scale;
+    return out;
+}
+
+} // namespace scalo::bench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Human-in-the-loop scenario (Sections 2.2 and 6.4): a clinician
+ * verifies detections and retrieves data interactively. Shows the
+ * query language (Listing 2 style) and the latency/QPS envelope over
+ * growing time ranges.
+ */
+
+#include <cstdio>
+
+#include "scalo/app/query.hpp"
+#include "scalo/core/system.hpp"
+#include "scalo/util/table.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+    using namespace scalo::app;
+
+    core::ScaloConfig config;
+    config.nodes = 11;
+    core::ScaloSystem system(config);
+    std::printf("%s\n\n", system.describe().c_str());
+
+    // Listing 2 flavour: interactively retrieve seizure data.
+    const auto program = system.program(
+        "var seizure_data = stream.window(wsize=4ms)"
+        ".seizure_detect().select().call_runtime()");
+    std::printf("compiled interactive query: %zu stages over the "
+                "fabric\n\n",
+                program.stages.size());
+
+    TextTable table({"query", "data (MB)", "time range", "matched",
+                     "latency (ms)", "QPS", "power (mW)"});
+    for (double mb : {7.0, 24.0, 42.0, 60.0}) {
+        char range[32];
+        std::snprintf(range, sizeof(range), "%.0f ms",
+                      timeRangeMsFor(mb, config.nodes));
+        for (double matched : {0.05, 0.5, 1.0}) {
+            const auto q1 = system.interactiveQuery(
+                QueryKind::Q1SeizureWindows, mb, matched);
+            table.addRow({"Q1", TextTable::num(mb, 0), range,
+                          TextTable::num(100.0 * matched, 0) + "%",
+                          TextTable::num(q1.latencyMs, 0),
+                          TextTable::num(q1.queriesPerSecond, 2),
+                          TextTable::num(q1.powerMw, 2)});
+        }
+        const auto q3 = system.interactiveQuery(
+            QueryKind::Q3TimeRange, mb, 1.0);
+        table.addRow({"Q3", TextTable::num(mb, 0), range, "100%",
+                      TextTable::num(q3.latencyMs, 0),
+                      TextTable::num(q3.queriesPerSecond, 2),
+                      TextTable::num(q3.powerMw, 2)});
+    }
+    table.print();
+
+    // The Section 6.4 trade-off: exact matching on Q2 costs power.
+    QueryConfig hash_q{config.nodes, 7.0, 0.05, false};
+    QueryConfig dtw_q{config.nodes, 7.0, 0.05, true};
+    const auto hash_cost =
+        estimateQuery(QueryKind::Q2TemplateMatch, hash_q);
+    const auto dtw_cost =
+        estimateQuery(QueryKind::Q2TemplateMatch, dtw_q);
+    std::printf("\nQ2 with hashes: %.1f QPS at %.2f mW; with exact "
+                "DTW: %.1f QPS at %.1f mW\n",
+                hash_cost.queriesPerSecond, hash_cost.powerMw,
+                dtw_cost.queriesPerSecond, dtw_cost.powerMw);
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * End-to-end seizure propagation scenario (Figures 1a/3a/5): generate
+ * an annotated multi-site recording, train the per-node detector, and
+ * run the distributed hash -> collision-check -> DTW-confirm protocol
+ * as seizures spread, printing detections and stimulation targets.
+ */
+
+#include <cstdio>
+
+#include "scalo/app/seizure.hpp"
+#include "scalo/app/stimulation.hpp"
+#include "scalo/data/ieeg_synth.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+
+    // A 4-site recording with seizures that propagate between sites.
+    data::IeegConfig config;
+    config.nodes = 4;
+    config.electrodesPerNode = 4;
+    config.durationSec = 6.0;
+    config.seizuresPerMinute = 30.0;
+    config.seizureDurationSec = 0.8;
+    config.propagationLagSec = 0.0;
+    const auto dataset = data::generateIeeg(config);
+    std::printf("generated %zu sites x %zu electrodes, %zu seizures\n",
+                config.nodes, config.electrodesPerNode,
+                dataset.seizures().size());
+
+    // Train the local detector (100 ms feature windows).
+    const auto detector = app::SeizureDetector::train(dataset, 3'000);
+    const auto quality = detector.evaluate(dataset, 0, 3'000);
+    std::printf("detector: TPR %.2f, FPR %.3f\n",
+                quality.truePositiveRate, quality.falsePositiveRate);
+
+    // Walk the recording with the distributed propagation analyzer:
+    // every 4 ms, each node hashes its current window; when the
+    // detector fires at a node, its hash is broadcast and matching
+    // sites confirm with DTW before stimulation.
+    app::PropagationAnalyzer analyzer(config.nodes, 120, 40.0);
+    const double fs = config.sampleRateHz;
+    std::size_t detections = 0, confirmations = 0;
+
+    for (const auto &event : dataset.seizures()) {
+        // Observe windows inside the seizure and run the correlation
+        // protocol every 4 ms cadence, as the device would; a seizure
+        // is confirmed as soon as any window correlates.
+        const auto base = static_cast<std::size_t>(
+            (event.onsetSec + 0.2) * fs);
+        std::uint64_t t_us =
+            static_cast<std::uint64_t>(event.onsetSec * 1e6);
+        ++detections;
+        app::PropagationResult best;
+        for (int step = 0; step < 24; ++step) {
+            std::vector<std::vector<double>> windows;
+            for (NodeId node = 0; node < config.nodes; ++node) {
+                const auto &trace = dataset.traces()[node][0];
+                const std::size_t start = base + step * 120;
+                windows.emplace_back(
+                    trace.begin() + static_cast<long>(start),
+                    trace.begin() + static_cast<long>(start + 120));
+            }
+            analyzer.observe(windows, t_us);
+            t_us += 4'000;
+            const auto result =
+                analyzer.analyze(event.originNode, t_us);
+            if (result.confirmed.size() > best.confirmed.size())
+                best = result;
+            if (result.hashMatches.size() > best.hashMatches.size())
+                best.hashMatches = result.hashMatches;
+        }
+        if (!best.confirmed.empty())
+            ++confirmations;
+
+        // Command the arrest pattern at every confirmed site through
+        // the validated stimulation path.
+        app::StimulationController stimulator;
+        std::size_t commanded = 0;
+        for (NodeId site : best.confirmed) {
+            (void)site;
+            commanded +=
+                stimulator.issue(app::seizureArrestPattern({0, 1}));
+        }
+        std::printf("seizure @ %.2fs origin=%u: hash matches at %zu "
+                    "sites, stimulation commanded at %zu sites "
+                    "(%.2f mW per site during the train)\n",
+                    event.onsetSec, event.originNode,
+                    best.hashMatches.size(), commanded,
+                    commanded ? stimulator.powerMw(
+                                    app::seizureArrestPattern(
+                                        {0, 1}))
+                              : 0.0);
+    }
+
+    std::printf("\n%zu/%zu propagating seizures confirmed within the "
+                "10 ms budget path\n",
+                confirmations, detections);
+    return confirmations > 0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Online spike sorting scenario (Figures 1c/3c/7): generate a ground-
+ * truth extracellular recording, sort it with hash-directed template
+ * matching and with exact matching, and compare accuracy and work -
+ * the Section 6.3 experiment at example scale.
+ */
+
+#include <cstdio>
+
+#include "scalo/app/spikesort.hpp"
+#include "scalo/data/spike_synth.hpp"
+
+int
+main()
+{
+    using namespace scalo;
+
+    data::SpikeConfig config;
+    config.neurons = 10;
+    config.durationSec = 6.0;
+    config.firingRateHz = 12.0;
+    const auto dataset = data::generateSpikes(config);
+    std::printf("recording: %.0fs, %d neurons, %zu ground-truth "
+                "spikes (%.0f spikes/s)\n",
+                config.durationSec, config.neurons,
+                dataset.events.size(),
+                static_cast<double>(dataset.events.size()) /
+                    config.durationSec);
+
+    const app::SpikeSorter exact(dataset.templates,
+                                 /*use_hashes=*/false);
+    const app::SpikeSorter hashed(dataset.templates,
+                                  /*use_hashes=*/true);
+
+    const auto exact_report = exact.evaluate(dataset);
+    const auto hash_report = hashed.evaluate(dataset);
+
+    std::printf("\nexact template matching: detection %.2f, "
+                "accuracy %.2f\n",
+                exact_report.detectionRate, exact_report.accuracy);
+    std::printf("hash-directed matching:  detection %.2f, "
+                "accuracy %.2f (delta %.1f%%)\n",
+                hash_report.detectionRate, hash_report.accuracy,
+                100.0 * (exact_report.accuracy -
+                         hash_report.accuracy));
+
+    std::printf("\nSection 6.3 context: SCALO sorts 12,250 spikes/s "
+                "per node at 96 electrodes,\nwith hash accuracy "
+                "within 5%% of exact matching.\n");
+
+    const bool ok = hash_report.accuracy >
+                    exact_report.accuracy - 0.05;
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,298 @@
+#include "scalo/app/movement.hpp"
+
+#include <cmath>
+
+#include "scalo/net/tdma.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::app {
+
+MovementDataset
+generateMovement(std::size_t channels, std::size_t steps,
+                 int gesture_classes, std::uint64_t seed)
+{
+    SCALO_ASSERT(channels >= 2 && steps >= 1 && gesture_classes >= 2,
+                 "bad movement dataset shape");
+    Rng rng(seed);
+
+    MovementDataset dataset;
+    dataset.channels = channels;
+    dataset.gestureClasses = gesture_classes;
+
+    // Per-channel tuning to (vx, vy) plus a baseline rate.
+    std::vector<std::array<double, 2>> tuning(channels);
+    std::vector<double> baseline(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+        tuning[c] = {rng.gaussian(), rng.gaussian()};
+        baseline[c] = rng.uniform(0.2, 1.0);
+    }
+
+    double vx = 0.0, vy = 0.0;
+    for (std::size_t t = 0; t < steps; ++t) {
+        // Smooth random-walk kinematics.
+        vx = 0.95 * vx + rng.gaussian(0.0, 0.1);
+        vy = 0.95 * vy + rng.gaussian(0.0, 0.1);
+        dataset.velocity.push_back({vx, vy});
+
+        // Gesture = direction sector (only meaningful when moving).
+        const double angle = std::atan2(vy, vx); // [-pi, pi]
+        const double sector =
+            (angle + M_PI) / (2.0 * M_PI) * gesture_classes;
+        dataset.gesture.push_back(
+            std::min(gesture_classes - 1,
+                     static_cast<int>(sector)));
+
+        std::vector<double> features(channels);
+        for (std::size_t c = 0; c < channels; ++c) {
+            features[c] = baseline[c] + tuning[c][0] * vx +
+                          tuning[c][1] * vy +
+                          rng.gaussian(0.0, 0.15);
+        }
+        dataset.features.push_back(std::move(features));
+    }
+    return dataset;
+}
+
+GestureClassifier
+GestureClassifier::train(const MovementDataset &dataset,
+                         std::size_t train_count)
+{
+    SCALO_ASSERT(train_count <= dataset.features.size(),
+                 "train_count exceeds dataset");
+    GestureClassifier classifier;
+    for (int cls = 0; cls < dataset.gestureClasses; ++cls) {
+        std::vector<std::vector<double>> xs(
+            dataset.features.begin(),
+            dataset.features.begin() +
+                static_cast<long>(train_count));
+        std::vector<int> ys;
+        for (std::size_t t = 0; t < train_count; ++t)
+            ys.push_back(dataset.gesture[t] == cls ? 1 : -1);
+        classifier.models.push_back(
+            ml::LinearSvm::train(xs, ys, 1e-4, 30,
+                                 17 + static_cast<std::uint64_t>(cls)));
+    }
+    return classifier;
+}
+
+int
+GestureClassifier::classify(const std::vector<double> &features) const
+{
+    int best = 0;
+    double best_score = models[0].decision(features);
+    for (std::size_t cls = 1; cls < models.size(); ++cls) {
+        const double score = models[cls].decision(features);
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<int>(cls);
+        }
+    }
+    return best;
+}
+
+int
+GestureClassifier::classifyDistributed(
+    const std::vector<double> &features,
+    const std::vector<std::size_t> &splits) const
+{
+    // Each node computes one partial per class over its channel
+    // slice; the aggregator sums and picks the arg-max, exactly as the
+    // centralized path.
+    int best = 0;
+    double best_score = 0.0;
+    for (std::size_t cls = 0; cls < models.size(); ++cls) {
+        ml::DistributedSvm dist(models[cls], splits);
+        std::vector<double> partials;
+        std::size_t offset = 0;
+        for (std::size_t node = 0; node < splits.size(); ++node) {
+            std::vector<double> slice(
+                features.begin() + static_cast<long>(offset),
+                features.begin() +
+                    static_cast<long>(offset + splits[node]));
+            partials.push_back(dist.partial(node, slice));
+            offset += splits[node];
+        }
+        const double score = dist.aggregate(partials);
+        if (cls == 0 || score > best_score) {
+            best_score = score;
+            best = static_cast<int>(cls);
+        }
+    }
+    return best;
+}
+
+double
+GestureClassifier::accuracy(const MovementDataset &dataset,
+                            std::size_t from) const
+{
+    SCALO_ASSERT(from < dataset.features.size(), "empty test range");
+    std::size_t correct = 0;
+    for (std::size_t t = from; t < dataset.features.size(); ++t)
+        correct += (classify(dataset.features[t]) ==
+                    dataset.gesture[t]);
+    return static_cast<double>(correct) /
+           static_cast<double>(dataset.features.size() - from);
+}
+
+namespace {
+
+DecodeQuality
+correlationOf(const std::vector<std::array<double, 2>> &truth,
+              const std::vector<std::array<double, 2>> &decoded)
+{
+    std::vector<double> tx, ty, dx, dy;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        tx.push_back(truth[i][0]);
+        ty.push_back(truth[i][1]);
+        dx.push_back(decoded[i][0]);
+        dy.push_back(decoded[i][1]);
+    }
+    DecodeQuality quality;
+    quality.vxCorrelation = signal::pearson(tx, dx);
+    quality.vyCorrelation = signal::pearson(ty, dy);
+    return quality;
+}
+
+} // namespace
+
+DecodeQuality
+decodeWithKalman(const MovementDataset &dataset, std::size_t from,
+                 std::uint64_t seed)
+{
+    SCALO_ASSERT(from < dataset.features.size(), "empty test range");
+
+    // Fit the observation model H (features ~ H * [pos; vel]) from
+    // the head of the dataset with per-channel least squares on
+    // velocity (positions are untuned in this dataset).
+    const std::size_t channels = dataset.channels;
+    linalg::Matrix h(channels, 4);
+    {
+        // Solve per channel: f_c = a*vx + b*vy + c (drop c into noise).
+        linalg::Matrix vtv(2, 2);
+        std::vector<std::array<double, 2>> vtf(
+            channels, std::array<double, 2>{0.0, 0.0});
+        for (std::size_t t = 0; t < from; ++t) {
+            const auto &v = dataset.velocity[t];
+            vtv.at(0, 0) += v[0] * v[0];
+            vtv.at(0, 1) += v[0] * v[1];
+            vtv.at(1, 0) += v[1] * v[0];
+            vtv.at(1, 1) += v[1] * v[1];
+            for (std::size_t c = 0; c < channels; ++c) {
+                vtf[c][0] += v[0] * dataset.features[t][c];
+                vtf[c][1] += v[1] * dataset.features[t][c];
+            }
+        }
+        const linalg::Matrix inv = linalg::inverse(vtv);
+        for (std::size_t c = 0; c < channels; ++c) {
+            h.at(c, 2) = inv.at(0, 0) * vtf[c][0] +
+                         inv.at(0, 1) * vtf[c][1];
+            h.at(c, 3) = inv.at(1, 0) * vtf[c][0] +
+                         inv.at(1, 1) * vtf[c][1];
+        }
+    }
+
+    ml::KalmanParams params;
+    params.a = linalg::Matrix::identity(4);
+    params.a.at(0, 2) = 0.05;
+    params.a.at(1, 3) = 0.05;
+    params.w = linalg::Matrix::identity(4);
+    for (std::size_t i = 0; i < 4; ++i)
+        params.w.at(i, i) = (i < 2) ? 1e-4 : 5e-3;
+    params.h = std::move(h);
+    params.q = linalg::Matrix::identity(channels);
+    for (std::size_t i = 0; i < channels; ++i)
+        params.q.at(i, i) = 0.25;
+    (void)seed;
+
+    // De-mean the features (the baseline is not velocity-tuned).
+    std::vector<double> mean(channels, 0.0);
+    for (std::size_t t = 0; t < from; ++t)
+        for (std::size_t c = 0; c < channels; ++c)
+            mean[c] += dataset.features[t][c];
+    for (double &m : mean)
+        m /= static_cast<double>(from);
+
+    ml::KalmanFilter filter(std::move(params));
+    std::vector<std::array<double, 2>> decoded, truth;
+    for (std::size_t t = from; t < dataset.features.size(); ++t) {
+        std::vector<double> obs = dataset.features[t];
+        for (std::size_t c = 0; c < channels; ++c)
+            obs[c] -= mean[c];
+        const auto state = filter.step(obs);
+        decoded.push_back({state[2], state[3]});
+        truth.push_back(dataset.velocity[t]);
+    }
+    return correlationOf(truth, decoded);
+}
+
+DecodeQuality
+decodeWithNn(const MovementDataset &dataset, std::size_t train_count,
+             std::uint64_t seed)
+{
+    SCALO_ASSERT(train_count < dataset.features.size(),
+                 "nothing left to test");
+    auto net = ml::ShallowNet::randomInit(
+        {dataset.channels, 32, 2}, seed);
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        for (std::size_t t = 0; t < train_count; ++t) {
+            net.sgdStep(dataset.features[t],
+                        {dataset.velocity[t][0],
+                         dataset.velocity[t][1]},
+                        1e-3);
+        }
+    }
+
+    std::vector<std::array<double, 2>> decoded, truth;
+    for (std::size_t t = train_count; t < dataset.features.size();
+         ++t) {
+        const auto y = net.forward(dataset.features[t]);
+        decoded.push_back({y[0], y[1]});
+        truth.push_back(dataset.velocity[t]);
+    }
+    return correlationOf(truth, decoded);
+}
+
+double
+intentsPerSecond(const sched::FlowSpec &flow, std::size_t nodes,
+                 double power_cap_mw, double electrodes_per_node)
+{
+    // Power-limited rate: the flow's calibrated dynamic power is for
+    // the conventional 20/s cadence; decoding faster scales it
+    // linearly.
+    const double dyn_at_20 =
+        flow.linMwPerElectrode * electrodes_per_node +
+        flow.quadMwPerElectrode2 * electrodes_per_node *
+            electrodes_per_node;
+    const double budget = power_cap_mw - flow.leakMw;
+    if (budget <= 0.0 || dyn_at_20 <= 0.0)
+        return 0.0;
+    const double rate_power =
+        kConventionalIntentsPerSecond * budget / dyn_at_20;
+
+    // Latency-limited rate: the serial decode path is the PE chain
+    // (worst-case SC) plus the TDMA exchange of partials/features.
+    double chain_ms = 0.0;
+    for (hw::PeKind kind : flow.peChain) {
+        const auto &spec = hw::peSpec(kind);
+        if (spec.latencyMaxMs)
+            chain_ms += *spec.latencyMaxMs;
+        else if (spec.latencyMs)
+            chain_ms += *spec.latencyMs;
+    }
+    double exchange_ms = 0.0;
+    if (flow.network && nodes > 1) {
+        const net::TdmaSchedule tdma(net::defaultRadio(), nodes);
+        const auto payload = static_cast<std::size_t>(
+            flow.network->bytesPerNode +
+            flow.network->bytesPerElectrode * electrodes_per_node);
+        exchange_ms =
+            tdma.exchangeMs(flow.network->pattern, payload);
+    }
+    const double rate_latency = 1'000.0 / (chain_ms + exchange_ms);
+
+    return std::min(rate_power, rate_latency);
+}
+
+} // namespace scalo::app

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Movement-intent decoding (Figures 1b, 3b, 6): the three pipelines of
+ * the paper on a synthetic cursor-control dataset.
+ *
+ *  A: gesture classification with hierarchically decomposed linear
+ *     SVMs (one-vs-rest);
+ *  B: velocity decoding with a centralised Kalman filter over
+ *     spike-band-power features;
+ *  C: velocity decoding with an input-split shallow NN.
+ *
+ * Also hosts the movement-intents-per-second model of Figure 9b.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "scalo/ml/kalman.hpp"
+#include "scalo/ml/nn.hpp"
+#include "scalo/ml/svm.hpp"
+#include "scalo/sched/scheduler.hpp"
+
+namespace scalo::app {
+
+/** Synthetic cursor-control dataset with per-channel tuning curves. */
+struct MovementDataset
+{
+    /** features[t][channel]: per-decode-window SBP features. */
+    std::vector<std::vector<double>> features;
+    /** velocity[t] = {vx, vy}: ground-truth cursor velocity. */
+    std::vector<std::array<double, 2>> velocity;
+    /** gesture[t]: discretised movement direction class. */
+    std::vector<int> gesture;
+    int gestureClasses = 4;
+    std::size_t channels = 96;
+};
+
+/**
+ * Generate a dataset: the latent velocity follows a smooth random
+ * walk; each channel responds linearly to velocity through a random
+ * tuning vector plus noise; gestures discretise the motion direction.
+ */
+MovementDataset generateMovement(std::size_t channels,
+                                 std::size_t steps,
+                                 int gesture_classes,
+                                 std::uint64_t seed);
+
+/** Pipeline A: one-vs-rest SVM gesture classifier, decomposable. */
+class GestureClassifier
+{
+  public:
+    /** Train on the first @p train_count steps of @p dataset. */
+    static GestureClassifier train(const MovementDataset &dataset,
+                                   std::size_t train_count);
+
+    /** Centralized classification. */
+    int classify(const std::vector<double> &features) const;
+
+    /**
+     * Distributed classification: feature channels are split across
+     * @p splits nodes; each node contributes one partial score per
+     * class (4 B each), matching Figure 3b.
+     */
+    int classifyDistributed(const std::vector<double> &features,
+                            const std::vector<std::size_t> &splits)
+        const;
+
+    /** Accuracy over the tail of a dataset. */
+    double accuracy(const MovementDataset &dataset,
+                    std::size_t from) const;
+
+    int classes() const { return static_cast<int>(models.size()); }
+
+  private:
+    std::vector<ml::LinearSvm> models;
+};
+
+/** Pipeline B/C quality: correlation of decoded vs true velocity. */
+struct DecodeQuality
+{
+    double vxCorrelation = 0.0;
+    double vyCorrelation = 0.0;
+};
+
+/** Pipeline B: centralised Kalman decoding over the dataset tail. */
+DecodeQuality decodeWithKalman(const MovementDataset &dataset,
+                               std::size_t from, std::uint64_t seed);
+
+/** Pipeline C: train a shallow NN and decode the dataset tail. */
+DecodeQuality decodeWithNn(const MovementDataset &dataset,
+                           std::size_t train_count,
+                           std::uint64_t seed);
+
+/**
+ * Figure 9b: maximum movement intents per second a flow sustains on
+ * SCALO. Conventional pipelines are pinned to the 50 ms window
+ * (20 intents/s); SCALO decodes as fast as power and the serial
+ * decode path (PE chain + TDMA exchange) allow.
+ */
+double intentsPerSecond(const sched::FlowSpec &flow, std::size_t nodes,
+                        double power_cap_mw = constants::kPowerCapMw,
+                        double electrodes_per_node =
+                            constants::kElectrodesPerNode);
+
+/** The conventional fixed-interval intent rate (20/s at 50 ms). */
+inline constexpr double kConventionalIntentsPerSecond = 20.0;
+
+} // namespace scalo::app

@@ -1,0 +1,90 @@
+#include "scalo/app/query.hpp"
+
+#include <algorithm>
+
+#include "scalo/hw/nvm.hpp"
+#include "scalo/hw/pe.hpp"
+#include "scalo/net/radio.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::app {
+
+const char *
+queryName(QueryKind kind)
+{
+    switch (kind) {
+      case QueryKind::Q1SeizureWindows:
+        return "Q1 (seizure windows)";
+      case QueryKind::Q2TemplateMatch:
+        return "Q2 (template match)";
+      case QueryKind::Q3TimeRange:
+        return "Q3 (time range)";
+    }
+    SCALO_PANIC("unknown query kind");
+}
+
+double
+timeRangeMsFor(double data_mb, std::size_t nodes)
+{
+    // bytes per ms per node at the full electrode rate.
+    const double node_bytes_per_ms =
+        constants::kNodeAdcMbps * 1e6 / 8.0 / 1e3;
+    return data_mb * 1e6 /
+           (static_cast<double>(nodes) * node_bytes_per_ms);
+}
+
+QueryCost
+estimateQuery(QueryKind kind, const QueryConfig &config)
+{
+    SCALO_ASSERT(config.nodes >= 1, "need at least one node");
+    SCALO_ASSERT(config.dataMb > 0.0, "dataMb must be positive");
+    SCALO_ASSERT(config.matchedFraction >= 0.0 &&
+                     config.matchedFraction <= 1.0,
+                 "matchedFraction out of [0,1]");
+
+    const double per_node_bytes =
+        config.dataMb * 1e6 / static_cast<double>(config.nodes);
+
+    // Phase 1 (parallel across nodes): scan the stored data. Q3 skips
+    // the predicate and streams everything; Q1/Q2 read the stored
+    // windows through the SC's reorganised layout and test each one.
+    const double scan_ms =
+        per_node_bytes /
+        (hw::StorageController().streamReadMBps() * 1e6) * 1e3;
+
+    double match_ms = 0.0;
+    const double windows =
+        per_node_bytes / constants::kWindowBytes;
+    if (kind == QueryKind::Q2TemplateMatch && config.exactMatch) {
+        // One DTW comparison per stored window.
+        match_ms = windows * *hw::peSpec(hw::PeKind::DTW).latencyMs;
+    } else if (kind != QueryKind::Q3TimeRange) {
+        // Hash lookups via CCHECK: the 0.5 ms PE pass covers a full
+        // SRAM batch of ~960 sorted hash entries via binary search.
+        match_ms = windows / 960.0 *
+                   *hw::peSpec(hw::PeKind::CCHECK).latencyMs;
+    }
+
+    // Phase 2 (serialized): matched data leaves through the external
+    // radio - the bottleneck (Section 6.4).
+    const double matched_fraction =
+        (kind == QueryKind::Q3TimeRange) ? 1.0
+                                         : config.matchedFraction;
+    const double out_bytes = config.dataMb * 1e6 * matched_fraction;
+    const double radio_ms =
+        net::externalRadio().transferMs(out_bytes);
+
+    QueryCost cost;
+    cost.latencyMs =
+        kQueryDispatchMs + scan_ms + match_ms + radio_ms;
+    cost.queriesPerSecond = 1'000.0 / cost.latencyMs;
+    cost.powerMw = (kind == QueryKind::Q2TemplateMatch &&
+                    config.exactMatch)
+                       ? kDtwQueryPowerMw
+                       : kHashQueryPowerMw;
+    if (kind == QueryKind::Q3TimeRange)
+        cost.powerMw = kHashQueryPowerMw;
+    return cost;
+}
+
+} // namespace scalo::app

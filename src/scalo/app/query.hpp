@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Interactive human-in-the-loop queries (Sections 2.2 and 6.4):
+ * clinicians retrieve recent neural data or verify device behaviour
+ * without disrupting the running pipelines.
+ *
+ *  Q1: return all stored signal windows flagged as seizures;
+ *  Q2: return all stored windows whose hash matches a given template
+ *      (optionally exact DTW instead of hashes);
+ *  Q3: return all data in a time range.
+ *
+ * The cost model combines the SC/NVM read path, on-node matching, and
+ * the external 46 Mbps radio (which Section 6.4 identifies as the
+ * bottleneck), plus a fixed dispatch/aggregation overhead calibrated
+ * to the paper's 9 QPS at 7 MB / 5% matched.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::app {
+
+/** The three evaluated query shapes. */
+enum class QueryKind
+{
+    Q1SeizureWindows,
+    Q2TemplateMatch,
+    Q3TimeRange,
+};
+
+/** Query parameters. */
+struct QueryConfig
+{
+    std::size_t nodes = 11;
+    /** Total data volume covered by the query, across nodes (MB). */
+    double dataMb = 7.0;
+    /** Fraction of the data matching the predicate (Q1/Q2). */
+    double matchedFraction = 0.05;
+    /** Q2 only: exact DTW matching instead of hashes. */
+    bool exactMatch = false;
+};
+
+/** Estimated cost of one query execution. */
+struct QueryCost
+{
+    double latencyMs = 0.0;
+    double queriesPerSecond = 0.0;
+    /** Peak per-node power while serving the query (mW). */
+    double powerMw = 0.0;
+};
+
+/** Evaluate the cost model. */
+QueryCost estimateQuery(QueryKind kind, const QueryConfig &config);
+
+/** Human-readable query name. */
+const char *queryName(QueryKind kind);
+
+/**
+ * Time range (ms of recent recording) covered by @p data_mb across
+ * @p nodes at the full 96-electrode rate, e.g. 7 MB over 11 nodes is
+ * about the last 110 ms (Figure 10's x-axis pairing).
+ */
+double timeRangeMsFor(double data_mb, std::size_t nodes);
+
+/** Fixed dispatch + aggregation overhead (ms), calibrated. */
+inline constexpr double kQueryDispatchMs = 44.0;
+
+/** Per-node query power with hash matching (mW), Section 6.4. */
+inline constexpr double kHashQueryPowerMw = 3.57;
+
+/** Per-node query power with exact DTW matching (mW), Section 6.4. */
+inline constexpr double kDtwQueryPowerMw = 15.0;
+
+} // namespace scalo::app

@@ -1,0 +1,147 @@
+#include "scalo/app/query_engine.hpp"
+
+#include "scalo/hw/pe.hpp"
+#include "scalo/net/radio.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::app {
+
+QueryEngine::QueryEngine(std::size_t nodes,
+                         std::size_t window_samples,
+                         std::uint64_t seed)
+    : windowSamples(window_samples),
+      windowHasher(signal::Measure::Dtw, window_samples, seed)
+{
+    SCALO_ASSERT(nodes >= 1, "need at least one node");
+    stores.resize(nodes);
+}
+
+void
+QueryEngine::ingest(NodeId node, std::uint64_t timestamp_us,
+                    ElectrodeId electrode,
+                    const std::vector<double> &window,
+                    bool seizure_flagged)
+{
+    SCALO_ASSERT(node < stores.size(), "node out of range");
+    SCALO_ASSERT(window.size() == windowSamples,
+                 "window size mismatch");
+    StoredWindow stored;
+    stored.timestampUs = timestamp_us;
+    stored.electrode = electrode;
+    stored.samples = window;
+    stored.hash = windowHasher.hash(window);
+    stored.seizureFlagged = seizure_flagged;
+    stores[node].append(std::move(stored));
+}
+
+const SignalStore &
+QueryEngine::store(NodeId node) const
+{
+    SCALO_ASSERT(node < stores.size(), "node out of range");
+    return stores[node];
+}
+
+double
+QueryEngine::modelLatencyMs(std::size_t scanned,
+                            std::size_t matched_bytes,
+                            bool exact_dtw) const
+{
+    // Scan (parallel across nodes): worst per-node share of the reads.
+    const std::size_t per_node =
+        (scanned + stores.size() - 1) / stores.size();
+    const double scan_ms = stores.front().readCostMs(per_node);
+
+    // Match: CCHECK batches vs per-window DTW.
+    double match_ms;
+    if (exact_dtw) {
+        match_ms = static_cast<double>(per_node) *
+                   *hw::peSpec(hw::PeKind::DTW).latencyMs;
+    } else {
+        match_ms = static_cast<double>(per_node) / 960.0 *
+                   *hw::peSpec(hw::PeKind::CCHECK).latencyMs;
+    }
+
+    // Ship matches out through the external radio (serialized).
+    const double radio_ms = net::externalRadio().transferMs(
+        static_cast<double>(matched_bytes));
+
+    return kQueryDispatchMs + scan_ms + match_ms + radio_ms;
+}
+
+QueryExecution
+QueryEngine::q1SeizureWindows(std::uint64_t t0_us,
+                              std::uint64_t t1_us) const
+{
+    QueryExecution execution;
+    for (const SignalStore &node_store : stores) {
+        for (const StoredWindow *window :
+             node_store.range(t0_us, t1_us)) {
+            ++execution.scanned;
+            if (window->seizureFlagged)
+                execution.matches.push_back(window);
+        }
+    }
+    execution.transferBytes =
+        execution.matches.size() * windowSamples * 2;
+    execution.latencyMs = modelLatencyMs(
+        execution.scanned, execution.transferBytes, false);
+    return execution;
+}
+
+QueryExecution
+QueryEngine::q2TemplateMatch(std::uint64_t t0_us, std::uint64_t t1_us,
+                             const std::vector<double> &probe,
+                             double dtw_threshold) const
+{
+    SCALO_ASSERT(probe.size() == windowSamples,
+                 "probe size mismatch");
+    const lsh::Signature probe_hash = windowHasher.hash(probe);
+    const bool exact = dtw_threshold >= 0.0;
+
+    QueryExecution execution;
+    for (const SignalStore &node_store : stores) {
+        for (const StoredWindow *window :
+             node_store.range(t0_us, t1_us)) {
+            ++execution.scanned;
+            bool matched;
+            if (exact) {
+                matched = signal::dtwDistance(
+                              probe, window->samples,
+                              std::max<std::size_t>(
+                                  1, windowSamples / 10)) <=
+                          dtw_threshold;
+            } else {
+                matched = probe_hash.matches(window->hash);
+            }
+            if (matched)
+                execution.matches.push_back(window);
+        }
+    }
+    execution.transferBytes =
+        execution.matches.size() * windowSamples * 2;
+    execution.latencyMs = modelLatencyMs(
+        execution.scanned, execution.transferBytes, exact);
+    return execution;
+}
+
+QueryExecution
+QueryEngine::q3TimeRange(std::uint64_t t0_us,
+                         std::uint64_t t1_us) const
+{
+    QueryExecution execution;
+    for (const SignalStore &node_store : stores) {
+        for (const StoredWindow *window :
+             node_store.range(t0_us, t1_us)) {
+            ++execution.scanned;
+            execution.matches.push_back(window);
+        }
+    }
+    execution.transferBytes =
+        execution.matches.size() * windowSamples * 2;
+    execution.latencyMs = modelLatencyMs(
+        execution.scanned, execution.transferBytes, false);
+    return execution;
+}
+
+} // namespace scalo::app

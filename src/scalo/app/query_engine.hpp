@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Executable interactive queries (Section 6.4): unlike the cost model
+ * in query.hpp, the QueryEngine actually runs Q1/Q2/Q3 against data
+ * stored on every node's SignalStore, returning the matched windows
+ * alongside the modeled latency (NVM reads, per-window matching, and
+ * the external-radio transfer of whatever actually matched). Queries
+ * run concurrently with the resident pipelines and must not disturb
+ * them — which is why they lean on hashes instead of exact scans.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/app/query.hpp"
+#include "scalo/app/store.hpp"
+#include "scalo/lsh/hasher.hpp"
+
+namespace scalo::app {
+
+/** The result of executing one query over the distributed stores. */
+struct QueryExecution
+{
+    /** Matched windows across all nodes (pointers into the stores). */
+    std::vector<const StoredWindow *> matches;
+    /** Windows scanned across all nodes. */
+    std::size_t scanned = 0;
+    /** Modeled end-to-end latency (ms). */
+    double latencyMs = 0.0;
+    /** Bytes shipped through the external radio. */
+    std::size_t transferBytes = 0;
+
+    double
+    matchedFraction() const
+    {
+        return scanned ? static_cast<double>(matches.size()) /
+                             static_cast<double>(scanned)
+                       : 0.0;
+    }
+};
+
+/** The distributed query processor. */
+class QueryEngine
+{
+  public:
+    /**
+     * @param nodes           implant count
+     * @param window_samples  analysis window length
+     * @param seed            hash-family seed (must match ingest-side)
+     */
+    QueryEngine(std::size_t nodes, std::size_t window_samples,
+                std::uint64_t seed = 7);
+
+    /** Ingest one window on one node (hashes + stores it). */
+    void ingest(NodeId node, std::uint64_t timestamp_us,
+                ElectrodeId electrode,
+                const std::vector<double> &window,
+                bool seizure_flagged);
+
+    /** Q1: all seizure-flagged windows in [t0, t1]. */
+    QueryExecution q1SeizureWindows(std::uint64_t t0_us,
+                                    std::uint64_t t1_us) const;
+
+    /**
+     * Q2: all windows in [t0, t1] whose hash matches @p probe
+     * (optionally confirmed with exact DTW at @p dtw_threshold;
+     * negative threshold skips confirmation).
+     */
+    QueryExecution q2TemplateMatch(std::uint64_t t0_us,
+                                   std::uint64_t t1_us,
+                                   const std::vector<double> &probe,
+                                   double dtw_threshold = -1.0) const;
+
+    /** Q3: everything in [t0, t1]. */
+    QueryExecution q3TimeRange(std::uint64_t t0_us,
+                               std::uint64_t t1_us) const;
+
+    /** Per-node store access. */
+    const SignalStore &store(NodeId node) const;
+
+    const lsh::WindowHasher &hasher() const { return windowHasher; }
+
+  private:
+    /** Latency model shared by the three query shapes. */
+    double modelLatencyMs(std::size_t scanned,
+                          std::size_t matched_bytes,
+                          bool exact_dtw) const;
+
+    std::size_t windowSamples;
+    lsh::WindowHasher windowHasher;
+    std::vector<SignalStore> stores;
+};
+
+} // namespace scalo::app

@@ -1,0 +1,283 @@
+#include "scalo/app/seizure.hpp"
+
+#include <cmath>
+
+#include "scalo/sched/scheduler.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/signal/fft.hpp"
+#include "scalo/signal/window.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::app {
+
+std::vector<double>
+zscore(const std::vector<double> &window)
+{
+    std::vector<double> out = window;
+    signal::removeMean(out);
+    const double scale = signal::rms(out);
+    if (scale > 1e-9)
+        for (double &v : out)
+            v /= scale;
+    return out;
+}
+
+std::vector<double>
+seizureFeatures(const std::vector<Window> &electrode_windows,
+                double sample_rate_hz)
+{
+    SCALO_ASSERT(!electrode_windows.empty(), "no electrodes");
+    // Mean band powers across electrodes (theta-ish seizure band, a
+    // mid band, a high band), log-compressed, plus the RMS amplitude
+    // and the mean adjacent-electrode correlation (the XCOR feature).
+    const std::vector<signal::Band> bands{
+        {2.0, 12.0}, {12.0, 45.0}, {45.0, 150.0}};
+
+    std::vector<double> acc(bands.size(), 0.0);
+    double rms_acc = 0.0;
+    std::vector<std::vector<double>> reals;
+    for (const Window &w : electrode_windows) {
+        auto real = signal::toReal(w);
+        signal::removeMean(real);
+        const auto powers =
+            signal::bandPower(real, sample_rate_hz, bands);
+        for (std::size_t b = 0; b < bands.size(); ++b)
+            acc[b] += powers[b];
+        rms_acc += signal::rms(real);
+        reals.push_back(std::move(real));
+    }
+    const double inv =
+        1.0 / static_cast<double>(electrode_windows.size());
+
+    std::vector<double> features;
+    for (double p : acc)
+        features.push_back(std::log1p(p * inv) / 10.0);
+    features.push_back(std::log1p(rms_acc * inv) / 10.0);
+
+    double xcor = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t e = 0; e + 1 < reals.size(); ++e) {
+        xcor += signal::pearson(reals[e], reals[e + 1]);
+        ++pairs;
+    }
+    features.push_back(pairs ? xcor / static_cast<double>(pairs)
+                             : 0.0);
+    return features;
+}
+
+SeizureDetector
+SeizureDetector::train(const data::IeegDataset &dataset,
+                       std::size_t window_samples)
+{
+    std::vector<std::vector<double>> xs;
+    std::vector<int> ys;
+    const auto &traces = dataset.traces();
+    SCALO_ASSERT(!traces.empty(), "empty dataset");
+    const double fs = dataset.config().sampleRateHz;
+
+    // Every node contributes windows so the detector generalises
+    // across sites.
+    for (NodeId node = 0; node < traces.size(); ++node) {
+        const std::size_t total = traces[node][0].size();
+        for (std::size_t start = 0; start + window_samples <= total;
+             start += window_samples) {
+            std::vector<Window> windows;
+            for (const auto &trace : traces[node]) {
+                windows.emplace_back(
+                    trace.begin() + static_cast<long>(start),
+                    trace.begin() +
+                        static_cast<long>(start + window_samples));
+            }
+            const double mid_t =
+                (static_cast<double>(start) +
+                 static_cast<double>(window_samples) / 2.0) /
+                fs;
+            xs.push_back(seizureFeatures(windows, fs));
+            ys.push_back(dataset.inSeizure(node, mid_t) ? 1 : -1);
+        }
+    }
+
+    SeizureDetector detector;
+    detector.svm = ml::LinearSvm::train(xs, ys, 1e-4, 40, 11);
+    return detector;
+}
+
+double
+SeizureDetector::decision(const std::vector<Window> &electrode_windows,
+                          double sample_rate_hz) const
+{
+    return svm.decision(
+        seizureFeatures(electrode_windows, sample_rate_hz));
+}
+
+bool
+SeizureDetector::detect(const std::vector<Window> &electrode_windows,
+                        double sample_rate_hz) const
+{
+    return decision(electrode_windows, sample_rate_hz) >= 0.0;
+}
+
+SeizureDetector::Quality
+SeizureDetector::evaluate(const data::IeegDataset &dataset, NodeId node,
+                          std::size_t window_samples) const
+{
+    Quality quality;
+    std::size_t tp = 0, fp = 0;
+    const auto &traces = dataset.traces();
+    SCALO_ASSERT(node < traces.size(), "node out of range");
+    const double fs = dataset.config().sampleRateHz;
+    const std::size_t total = traces[node][0].size();
+
+    for (std::size_t start = 0; start + window_samples <= total;
+         start += window_samples) {
+        std::vector<Window> windows;
+        for (const auto &trace : traces[node]) {
+            windows.emplace_back(
+                trace.begin() + static_cast<long>(start),
+                trace.begin() +
+                    static_cast<long>(start + window_samples));
+        }
+        const double mid_t = (static_cast<double>(start) +
+                              static_cast<double>(window_samples) /
+                                  2.0) /
+                             fs;
+        const bool truth = dataset.inSeizure(node, mid_t);
+        const bool predicted = detect(windows, fs);
+        if (truth) {
+            ++quality.positives;
+            tp += predicted;
+        } else {
+            ++quality.negatives;
+            fp += predicted;
+        }
+    }
+    if (quality.positives)
+        quality.truePositiveRate =
+            static_cast<double>(tp) /
+            static_cast<double>(quality.positives);
+    if (quality.negatives)
+        quality.falsePositiveRate =
+            static_cast<double>(fp) /
+            static_cast<double>(quality.negatives);
+    return quality;
+}
+
+PropagationAnalyzer::PropagationAnalyzer(std::size_t nodes,
+                                         std::size_t window_samples,
+                                         double dtw_threshold,
+                                         std::uint64_t seed)
+    : windowSamples(window_samples),
+      dtwThreshold(dtw_threshold),
+      windowHasher(signal::Measure::Dtw, window_samples, seed),
+      checkers(nodes, lsh::CollisionChecker(100'000)),
+      lastWindows(nodes),
+      lastSignatures(nodes)
+{
+    SCALO_ASSERT(nodes >= 2, "propagation needs at least two nodes");
+}
+
+void
+PropagationAnalyzer::observe(
+    const std::vector<std::vector<double>> &windows_per_node,
+    std::uint64_t timestamp_us)
+{
+    SCALO_ASSERT(windows_per_node.size() == checkers.size(),
+                 "one window per node expected");
+    for (NodeId node = 0; node < windows_per_node.size(); ++node) {
+        SCALO_ASSERT(windows_per_node[node].size() == windowSamples,
+                     "window size mismatch");
+        const auto normalised = zscore(windows_per_node[node]);
+        const auto signature = windowHasher.hash(normalised);
+        checkers[node].store({timestamp_us, 0, signature});
+        checkers[node].expire(timestamp_us);
+        lastWindows[node] = normalised;
+        lastSignatures[node] = signature;
+    }
+}
+
+PropagationResult
+PropagationAnalyzer::analyze(NodeId origin,
+                             std::uint64_t timestamp_us) const
+{
+    SCALO_ASSERT(origin < checkers.size(), "origin out of range");
+    PropagationResult result;
+    result.origin = origin;
+
+    // Step 1: broadcast the origin's hash; receivers run CCHECK.
+    const lsh::Signature &broadcast = lastSignatures[origin];
+    for (NodeId node = 0; node < checkers.size(); ++node) {
+        if (node == origin)
+            continue;
+        const auto matches =
+            checkers[node].check({broadcast}, timestamp_us);
+        if (!matches.empty())
+            result.hashMatches.push_back(node);
+    }
+
+    // Step 2: the origin broadcasts the full window; matching nodes
+    // confirm with exact DTW on their own recent window.
+    for (NodeId node : result.hashMatches) {
+        const double distance = signal::dtwDistance(
+            lastWindows[origin], lastWindows[node],
+            std::max<std::size_t>(1, windowSamples / 10));
+        if (distance <= dtwThreshold)
+            result.confirmed.push_back(node);
+    }
+    return result;
+}
+
+} // namespace scalo::app
+
+namespace scalo::app {
+
+WeightedSeizureThroughput
+seizurePropagationWeighted(const std::array<double, 3> &weights,
+                           std::size_t nodes, double power_cap_mw)
+{
+    SCALO_ASSERT(nodes >= 1, "need at least one node");
+    const double weight_sum = weights[0] + weights[1] + weights[2];
+    SCALO_ASSERT(weight_sum > 0.0, "weights must be positive");
+
+    // The tasks interleave on each node's 96 physical electrodes; a
+    // flow sharing a PE with another completes in the same time as if
+    // run alone (Section 3.5), so each task's per-node electrode count
+    // is its stand-alone feasibility clipped to the array size.
+    sched::SystemConfig config;
+    config.nodes = nodes;
+    config.powerCapMw = power_cap_mw;
+    config.maxElectrodesPerNode = constants::kElectrodesPerNode;
+    const sched::Scheduler scheduler(config);
+
+    auto per_node = [&](const sched::FlowSpec &flow) {
+        const double total =
+            mbpsToElectrodes(scheduler.maxAggregateThroughputMbps(flow));
+        return total / static_cast<double>(nodes);
+    };
+
+    WeightedSeizureThroughput result;
+    result.detectionElectrodes =
+        per_node(sched::seizureDetectionFlow());
+    result.hashElectrodes =
+        per_node(sched::hashSimilarityFlow(net::Pattern::AllToAll));
+    // DTW comparison processes the receiver's local electrodes
+    // against the broadcast seizure windows; it is feasible whenever
+    // any window can be exchanged, and covers the monitored array.
+    const double dtw_alone = per_node(
+        sched::dtwSimilarityFlow(net::Pattern::OneToAll));
+    result.dtwElectrodes =
+        (nodes >= 2 && dtw_alone > 0.0)
+            ? std::min<double>(constants::kElectrodesPerNode,
+                               result.detectionElectrodes)
+            : result.detectionElectrodes;
+
+    const double weighted_electrodes =
+        (weights[0] * result.detectionElectrodes +
+         weights[1] * result.hashElectrodes +
+         weights[2] * result.dtwElectrodes) /
+        weight_sum;
+    result.weightedMbps = electrodesToMbps(
+        weighted_electrodes * static_cast<double>(nodes));
+    return result;
+}
+
+} // namespace scalo::app

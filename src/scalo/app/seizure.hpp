@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Seizure detection and propagation analysis (Figures 1a, 3a, 5).
+ *
+ * Detection is local to each node: band-power features (FFT + BBF) and
+ * cross-electrode correlation feed a linear SVM [118]. Propagation is
+ * distributed: on a local detection, the node broadcasts the window
+ * hashes; receivers check them against their recent local hashes
+ * (CCHECK) and confirm candidate matches with exact DTW before
+ * stimulation is commanded.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "scalo/data/ieeg_synth.hpp"
+#include "scalo/lsh/collision.hpp"
+#include "scalo/lsh/hasher.hpp"
+#include "scalo/ml/svm.hpp"
+#include "scalo/util/types.hpp"
+
+namespace scalo::app {
+
+/** Per-window feature extraction for seizure detection. */
+std::vector<double>
+seizureFeatures(const std::vector<Window> &electrode_windows,
+                double sample_rate_hz);
+
+/** Local (per-node) seizure detector: features + linear SVM. */
+class SeizureDetector
+{
+  public:
+    SeizureDetector() = default;
+
+    /**
+     * Train a detector from an annotated dataset, using node 0's
+     * electrodes (detectors are per-node but share structure).
+     *
+     * @param dataset      annotated recording
+     * @param window_samples analysis window length
+     */
+    static SeizureDetector train(const data::IeegDataset &dataset,
+                                 std::size_t window_samples =
+                                     constants::kWindowSamples);
+
+    /** Classify one multi-electrode window. @return true = seizure */
+    bool detect(const std::vector<Window> &electrode_windows,
+                double sample_rate_hz) const;
+
+    /** Raw SVM decision value (margin). */
+    double decision(const std::vector<Window> &electrode_windows,
+                    double sample_rate_hz) const;
+
+    /** Detection quality on a labelled window set. */
+    struct Quality
+    {
+        double truePositiveRate = 0.0;
+        double falsePositiveRate = 0.0;
+        std::size_t positives = 0;
+        std::size_t negatives = 0;
+    };
+
+    /** Evaluate on a dataset node. */
+    Quality evaluate(const data::IeegDataset &dataset, NodeId node,
+                     std::size_t window_samples =
+                         constants::kWindowSamples) const;
+
+    const ml::LinearSvm &model() const { return svm; }
+
+  private:
+    ml::LinearSvm svm;
+};
+
+/** Outcome of one distributed propagation check. */
+struct PropagationResult
+{
+    /** Node where the seizure was detected locally. */
+    NodeId origin = 0;
+    /** Nodes whose hash check matched (candidates). */
+    std::vector<NodeId> hashMatches;
+    /** Nodes confirmed by exact DTW comparison (stimulation targets). */
+    std::vector<NodeId> confirmed;
+};
+
+/**
+ * The distributed propagation analyzer: hash broadcast -> collision
+ * check -> exact comparison. Operates on in-memory windows; timed /
+ * lossy-network behaviour lives in scalo::sim.
+ */
+class PropagationAnalyzer
+{
+  public:
+    /**
+     * @param nodes          number of implants
+     * @param window_samples analysis window length
+     * @param dtw_threshold  exact-comparison confirmation threshold
+     *                       (DTW distance on z-scored windows)
+     * @param seed           hash-family seed
+     */
+    PropagationAnalyzer(std::size_t nodes,
+                        std::size_t window_samples,
+                        double dtw_threshold, std::uint64_t seed = 7);
+
+    /**
+     * Record one timestep of windows on every node (hash + store).
+     *
+     * @param windows_per_node one representative window per node
+     * @param timestamp_us     capture timestamp
+     */
+    void observe(const std::vector<std::vector<double>> &windows_per_node,
+                 std::uint64_t timestamp_us);
+
+    /**
+     * Run the propagation protocol for a local detection at
+     * @p origin using its current window.
+     */
+    PropagationResult analyze(NodeId origin,
+                              std::uint64_t timestamp_us) const;
+
+    const lsh::WindowHasher &hasher() const { return windowHasher; }
+
+  private:
+    std::size_t windowSamples;
+    double dtwThreshold;
+    lsh::WindowHasher windowHasher;
+    std::vector<lsh::CollisionChecker> checkers;
+    /** Last observed window per node (the comparison operand). */
+    std::vector<std::vector<double>> lastWindows;
+    std::vector<lsh::Signature> lastSignatures;
+};
+
+/** z-score a window (propagation comparisons are amplitude-free). */
+std::vector<double> zscore(const std::vector<double> &window);
+
+/**
+ * Figure 9a: application-level weighted throughput of the seizure
+ * propagation pipeline. The three inter-related tasks (local seizure
+ * detection, hash comparison, DTW comparison) interleave on the same
+ * 96-electrode nodes; the ILP's priority weights decide how many
+ * electrode signals each task processes when resources cannot carry
+ * all signals through all tasks. The reported metric is the
+ * priority-weighted mean of per-task electrode throughput.
+ */
+struct WeightedSeizureThroughput
+{
+    /** Electrodes processed per node by detection / hash / DTW. */
+    double detectionElectrodes = 0.0;
+    double hashElectrodes = 0.0;
+    double dtwElectrodes = 0.0;
+    /** Priority-weighted aggregate throughput (Mbps). */
+    double weightedMbps = 0.0;
+};
+
+/**
+ * Evaluate the Figure 9a model.
+ *
+ * @param weights  priorities {detection, hash comparison, DTW}
+ * @param nodes    implant count
+ * @param power_cap_mw per-implant limit
+ */
+WeightedSeizureThroughput
+seizurePropagationWeighted(const std::array<double, 3> &weights,
+                           std::size_t nodes,
+                           double power_cap_mw =
+                               constants::kPowerCapMw);
+
+} // namespace scalo::app

@@ -1,0 +1,184 @@
+#include "scalo/app/spikesort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "scalo/signal/distance.hpp"
+#include "scalo/signal/features.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::app {
+
+SpikeSorter::SpikeSorter(std::vector<std::vector<double>> templates,
+                         bool use_hashes, std::uint64_t seed)
+    : templateBank(std::move(templates)), hashed(use_hashes)
+{
+    SCALO_ASSERT(!templateBank.empty(), "need at least one template");
+    waveformSamples = templateBank.front().size();
+    for (auto &tmpl : templateBank) {
+        SCALO_ASSERT(tmpl.size() == waveformSamples,
+                     "templates must share a length");
+        // Canonical alignment: rotate so the trough sits at the
+        // centre, matching how detected waveforms are extracted.
+        const auto trough = static_cast<std::size_t>(
+            std::min_element(tmpl.begin(), tmpl.end()) -
+            tmpl.begin());
+        const std::size_t centre = waveformSamples / 2;
+        std::vector<double> aligned(waveformSamples, 0.0);
+        for (std::size_t i = 0; i < waveformSamples; ++i) {
+            const long src = static_cast<long>(i) +
+                             static_cast<long>(trough) -
+                             static_cast<long>(centre);
+            if (src >= 0 && src < static_cast<long>(waveformSamples))
+                aligned[i] = tmpl[static_cast<std::size_t>(src)];
+        }
+        tmpl = std::move(aligned);
+    }
+
+    if (hashed) {
+        // Bias toward false positives (resolved by the exact pass):
+        // generous buckets and three OR-bands keep the true template
+        // in the candidate set with high probability.
+        lsh::EmdHashParams params;
+        params.seed = seed;
+        params.bucketWidth = 1.8;
+        params.bands = 3;
+        hasher = std::make_unique<lsh::EmdHasher>(params,
+                                                  waveformSamples);
+        for (const auto &tmpl : templateBank)
+            templateSignatures.push_back(hasher->signature(tmpl));
+    }
+}
+
+int
+SpikeSorter::match(const std::vector<double> &waveform) const
+{
+    // Unit amplitude is itself a discriminative feature: the matcher
+    // compares raw (trough-aligned) waveforms. A silent waveform has
+    // nothing to match.
+    double peak = 0.0;
+    for (double v : waveform)
+        peak = std::max(peak, std::abs(v));
+    if (peak < 1e-9)
+        return -1;
+    const std::vector<double> &shape = waveform;
+
+    // Candidate set: all templates (exact mode) or the hash matches
+    // (CCHECK against the stored template hashes).
+    std::vector<std::size_t> candidates;
+    if (hashed) {
+        const auto signature = hasher->signature(shape);
+        for (std::size_t t = 0; t < templateSignatures.size(); ++t)
+            if (signature.matches(templateSignatures[t]))
+                candidates.push_back(t);
+        if (candidates.empty())
+            return -1;
+    } else {
+        for (std::size_t t = 0; t < templateBank.size(); ++t)
+            candidates.push_back(t);
+    }
+
+    // Exact EMD among the candidates picks the winner.
+    double best = std::numeric_limits<double>::max();
+    int winner = -1;
+    for (std::size_t t : candidates) {
+        const double d =
+            signal::emdSignalDistance(shape, templateBank[t]);
+        if (d < best) {
+            best = d;
+            winner = static_cast<int>(t);
+        }
+    }
+    return winner;
+}
+
+std::vector<SortedSpike>
+SpikeSorter::sort(const std::vector<double> &trace,
+                  double threshold_k) const
+{
+    // NEO emphasises spikes; adaptive threshold + refractory detects.
+    const auto energy = signal::neo(trace);
+    const double threshold =
+        signal::adaptiveThreshold(energy, threshold_k);
+    const auto detections = signal::thresholdDetect(
+        energy, threshold, waveformSamples / 2);
+
+    std::vector<SortedSpike> spikes;
+    const std::size_t half = waveformSamples / 2;
+    for (std::size_t at : detections) {
+        // Align on the waveform trough near the detection.
+        std::size_t centre = at;
+        double best = trace[at];
+        const std::size_t lo = (at > half / 2) ? at - half / 2 : 0;
+        const std::size_t hi =
+            std::min(trace.size() - 1, at + half / 2);
+        for (std::size_t i = lo; i <= hi; ++i) {
+            if (trace[i] < best) {
+                best = trace[i];
+                centre = i;
+            }
+        }
+
+        std::vector<double> waveform(waveformSamples, 0.0);
+        for (std::size_t i = 0; i < waveformSamples; ++i) {
+            const long index = static_cast<long>(centre) -
+                               static_cast<long>(half) +
+                               static_cast<long>(i);
+            if (index >= 0 &&
+                index < static_cast<long>(trace.size()))
+                waveform[i] =
+                    trace[static_cast<std::size_t>(index)];
+        }
+        spikes.push_back({centre, match(waveform)});
+    }
+    return spikes;
+}
+
+SortingReport
+SpikeSorter::evaluate(const data::SpikeDataset &dataset,
+                      double threshold_k) const
+{
+    SortingReport report;
+    report.spikes = sort(dataset.trace, threshold_k);
+
+    // Pair each ground-truth event with the nearest sorted spike
+    // within half a waveform.
+    const std::size_t tolerance = waveformSamples / 2;
+    std::size_t correct = 0;
+    std::vector<bool> used(report.spikes.size(), false);
+    for (const data::SpikeEvent &event : dataset.events) {
+        long best_gap = static_cast<long>(tolerance) + 1;
+        std::size_t best_index = report.spikes.size();
+        for (std::size_t s = 0; s < report.spikes.size(); ++s) {
+            if (used[s])
+                continue;
+            const long gap = std::abs(
+                static_cast<long>(report.spikes[s].sampleIndex) -
+                static_cast<long>(event.sampleIndex));
+            if (gap < best_gap) {
+                best_gap = gap;
+                best_index = s;
+            }
+        }
+        if (best_index == report.spikes.size())
+            continue;
+        used[best_index] = true;
+        ++report.detected;
+        if (report.spikes[best_index].neuron >= 0) {
+            ++report.matched;
+            correct += (report.spikes[best_index].neuron ==
+                        event.neuron);
+        }
+    }
+    if (!dataset.events.empty())
+        report.detectionRate =
+            static_cast<double>(report.detected) /
+            static_cast<double>(dataset.events.size());
+    if (report.matched)
+        report.accuracy = static_cast<double>(correct) /
+                          static_cast<double>(report.matched);
+    return report;
+}
+
+} // namespace scalo::app

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Online spike sorting (Figures 1c, 3c, 7): detect spikes with NEO +
+ * adaptive threshold, hash each waveform with the EMD hash, and
+ * classify by matching against locally stored template hashes, with
+ * an exact-EMD fallback among hash candidates. Section 6.3 reports
+ * 12,250 sorted spikes/s/node at accuracy within 5% of exact template
+ * matching.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scalo/data/spike_synth.hpp"
+#include "scalo/lsh/emd_hash.hpp"
+
+namespace scalo::app {
+
+/** A sorted spike. */
+struct SortedSpike
+{
+    std::size_t sampleIndex;
+    /** Assigned template/neuron id; -1 = no match. */
+    int neuron;
+};
+
+/** Sorting outcome plus quality metrics vs ground truth. */
+struct SortingReport
+{
+    std::vector<SortedSpike> spikes;
+    /** Fraction of ground-truth spikes detected. */
+    double detectionRate = 0.0;
+    /** Fraction of detected+matched spikes assigned correctly. */
+    double accuracy = 0.0;
+    std::size_t detected = 0;
+    std::size_t matched = 0;
+};
+
+/** Online spike sorter with hash-based template matching. */
+class SpikeSorter
+{
+  public:
+    /**
+     * @param templates   per-neuron waveform templates (e.g. obtained
+     *                    offline from prior recordings [111])
+     * @param use_hashes  false = exact matching only (the baseline)
+     * @param seed        hash-family seed
+     */
+    SpikeSorter(std::vector<std::vector<double>> templates,
+                bool use_hashes, std::uint64_t seed = 41);
+
+    /**
+     * Detect and sort every spike in @p trace.
+     *
+     * @param trace          the combined electrode signal
+     * @param threshold_k    adaptive threshold multiplier
+     */
+    std::vector<SortedSpike> sort(const std::vector<double> &trace,
+                                  double threshold_k = 5.0) const;
+
+    /** Sort and score against a dataset's ground truth. */
+    SortingReport evaluate(const data::SpikeDataset &dataset,
+                           double threshold_k = 5.0) const;
+
+    bool usesHashes() const { return hashed; }
+    std::size_t templateCount() const { return templateBank.size(); }
+
+  private:
+    /** Match one waveform; @return neuron id or -1. */
+    int match(const std::vector<double> &waveform) const;
+
+    std::vector<std::vector<double>> templateBank;
+    std::vector<lsh::Signature> templateSignatures;
+    bool hashed;
+    std::unique_ptr<lsh::EmdHasher> hasher;
+    std::size_t waveformSamples;
+};
+
+} // namespace scalo::app

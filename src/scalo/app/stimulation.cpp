@@ -1,0 +1,133 @@
+#include "scalo/app/stimulation.hpp"
+
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::app {
+
+double
+StimPattern::chargePerPhaseNc() const
+{
+    // uA * us = pC; /1000 -> nC.
+    return amplitudeUa * phaseUs / 1'000.0;
+}
+
+double
+StimPattern::dutyCycle() const
+{
+    if (frequencyHz <= 0.0)
+        return 0.0;
+    const double period_us = 1e6 / frequencyHz;
+    return std::min(1.0, 2.0 * phaseUs / period_us);
+}
+
+StimulationController::StimulationController(StimSafetyLimits limits)
+    : safety(limits)
+{
+}
+
+std::string
+StimulationController::validate(const StimPattern &pattern) const
+{
+    if (pattern.amplitudeUa <= 0.0 || pattern.phaseUs <= 0.0 ||
+        pattern.frequencyHz <= 0.0 || pattern.durationMs <= 0.0) {
+        return "pattern parameters must be positive";
+    }
+    if (pattern.electrodes.empty())
+        return "no electrodes selected";
+    if (pattern.electrodes.size() > safety.maxElectrodes)
+        return "too many simultaneous electrodes";
+    if (pattern.amplitudeUa > safety.maxAmplitudeUa)
+        return "amplitude exceeds the safety limit";
+    if (pattern.phaseUs > safety.maxPhaseUs)
+        return "phase duration exceeds the safety limit";
+    if (pattern.frequencyHz > safety.maxFrequencyHz)
+        return "frequency exceeds the safety limit";
+    if (pattern.chargePerPhaseNc() > safety.maxChargePerPhaseNc)
+        return "charge per phase exceeds the safety limit";
+    // Both phases must fit in one period (charge balance needs the
+    // anodic phase to complete).
+    const double period_us = 1e6 / pattern.frequencyHz;
+    if (2.0 * pattern.phaseUs + pattern.gapUs > period_us)
+        return "pulse does not fit in one period";
+    return {};
+}
+
+std::vector<double>
+StimulationController::pulseWaveform(const StimPattern &pattern,
+                                     double sample_rate_hz) const
+{
+    SCALO_ASSERT(sample_rate_hz > 0.0, "bad sample rate");
+    const double period_us = 1e6 / pattern.frequencyHz;
+    const auto samples = static_cast<std::size_t>(
+        period_us * sample_rate_hz / 1e6);
+    std::vector<double> waveform(samples, 0.0);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double t_us =
+            static_cast<double>(i) / sample_rate_hz * 1e6;
+        if (t_us < pattern.phaseUs) {
+            waveform[i] = -pattern.amplitudeUa; // cathodic first
+        } else if (t_us < pattern.phaseUs + pattern.gapUs) {
+            waveform[i] = 0.0;
+        } else if (t_us <
+                   2.0 * pattern.phaseUs + pattern.gapUs) {
+            waveform[i] = pattern.amplitudeUa; // anodic balance
+        }
+    }
+    return waveform;
+}
+
+double
+StimulationController::powerMw(const StimPattern &pattern) const
+{
+    // P = I^2 * Z per electrode while driving, plus DAC static power.
+    const double amps = pattern.amplitudeUa * 1e-6;
+    const double ohms = kElectrodeKohm * 1e3;
+    const double drive_w = amps * amps * ohms *
+                           static_cast<double>(
+                               pattern.electrodes.size()) *
+                           pattern.dutyCycle();
+    return kDacStaticMw + drive_w * 1e3;
+}
+
+bool
+StimulationController::issue(const StimPattern &pattern)
+{
+    if (!validate(pattern).empty())
+        return false;
+    ++issued;
+    return true;
+}
+
+StimPattern
+seizureArrestPattern(std::vector<ElectrodeId> electrodes)
+{
+    StimPattern pattern;
+    pattern.amplitudeUa = 100.0;
+    pattern.phaseUs = 100.0;
+    pattern.gapUs = 50.0;
+    pattern.frequencyHz = 200.0; // high-frequency arrest
+    pattern.durationMs = 100.0;
+    pattern.electrodes = std::move(electrodes);
+    return pattern;
+}
+
+StimPattern
+sensoryFeedbackPattern(std::vector<ElectrodeId> electrodes,
+                       double intensity01)
+{
+    SCALO_ASSERT(intensity01 >= 0.0 && intensity01 <= 1.0,
+                 "intensity out of [0,1]");
+    StimPattern pattern;
+    // Intensity modulates amplitude within the comfortable band.
+    pattern.amplitudeUa = 20.0 + 60.0 * intensity01;
+    pattern.phaseUs = 200.0;
+    pattern.gapUs = 100.0;
+    pattern.frequencyHz = 100.0;
+    pattern.durationMs = 50.0;
+    pattern.electrodes = std::move(electrodes);
+    return pattern;
+}
+
+} // namespace scalo::app

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The electrical-stimulation back end (Sections 2.1-2.2): when
+ * propagation is confirmed or sensory feedback is due, the MC issues
+ * stimulation commands and the electrodes are repurposed through the
+ * DAC. Patterns are charge-balanced biphasic pulse trains; the
+ * controller enforces the standard safety limits (charge per phase,
+ * charge density, frequency) before any pattern reaches tissue, and
+ * models the DAC's power draw (~0.6 mW, Section 5).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::app {
+
+/** One charge-balanced biphasic stimulation pattern. */
+struct StimPattern
+{
+    /** Current amplitude per phase (uA). */
+    double amplitudeUa = 100.0;
+    /** Duration of each phase (us). */
+    double phaseUs = 200.0;
+    /** Inter-phase gap (us). */
+    double gapUs = 50.0;
+    /** Pulse train frequency (Hz). */
+    double frequencyHz = 130.0;
+    /** Train length (ms). */
+    double durationMs = 100.0;
+    /** Electrodes stimulated simultaneously. */
+    std::vector<ElectrodeId> electrodes{0};
+
+    /** Charge injected per phase (nC). */
+    double chargePerPhaseNc() const;
+
+    /** Fraction of each period spent driving current. */
+    double dutyCycle() const;
+};
+
+/** Conservative microstimulation safety limits. */
+struct StimSafetyLimits
+{
+    double maxAmplitudeUa = 1'000.0;
+    double maxChargePerPhaseNc = 30.0;
+    double maxFrequencyHz = 500.0;
+    double maxPhaseUs = 1'000.0;
+    /** Simultaneously driven electrodes (DAC channels). */
+    std::size_t maxElectrodes = 16;
+};
+
+/** The stimulation controller behind the DAC. */
+class StimulationController
+{
+  public:
+    explicit StimulationController(StimSafetyLimits limits = {});
+
+    /**
+     * Validate a pattern against the safety limits and charge
+     * balance. @return empty string, or the first violation
+     */
+    std::string validate(const StimPattern &pattern) const;
+
+    /**
+     * Synthesize the DAC waveform of one pulse period at
+     * @p sample_rate_hz: cathodic phase, gap, anodic phase, rest.
+     * Values are in uA.
+     */
+    std::vector<double> pulseWaveform(const StimPattern &pattern,
+                                      double sample_rate_hz) const;
+
+    /**
+     * Average electrical power (mW) while the train runs: DAC static
+     * power plus I^2 Z through the electrode impedance, per driven
+     * electrode, times the duty cycle.
+     */
+    double powerMw(const StimPattern &pattern) const;
+
+    /**
+     * Issue a validated pattern. @return false (with no effect) when
+     * validation fails. Commands are counted for test observability.
+     */
+    bool issue(const StimPattern &pattern);
+
+    std::size_t issuedCount() const { return issued; }
+    const StimSafetyLimits &limits() const { return safety; }
+
+    /** DAC static power (mW), Section 5. */
+    static constexpr double kDacStaticMw = 0.5;
+    /** Electrode-tissue impedance (kOhm) for power estimation. */
+    static constexpr double kElectrodeKohm = 50.0;
+
+  private:
+    StimSafetyLimits safety;
+    std::size_t issued = 0;
+};
+
+/**
+ * The standard therapy pattern for arresting seizure spread
+ * (high-frequency, low-charge), used by the propagation pipeline.
+ */
+StimPattern seizureArrestPattern(std::vector<ElectrodeId> electrodes);
+
+/** Sensory-feedback pattern for movement pipelines (Section 2.2). */
+StimPattern sensoryFeedbackPattern(std::vector<ElectrodeId> electrodes,
+                                   double intensity01);
+
+} // namespace scalo::app

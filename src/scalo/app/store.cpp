@@ -1,0 +1,64 @@
+#include "scalo/app/store.hpp"
+
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::app {
+
+SignalStore::SignalStore(std::size_t capacity_windows,
+                         bool reorganise_layout)
+    : capacity(capacity_windows), sc(reorganise_layout)
+{
+    SCALO_ASSERT(capacity >= 1, "capacity must be >= 1");
+}
+
+void
+SignalStore::append(StoredWindow window)
+{
+    const std::size_t bytes = window.samples.size() * 2 +
+                              window.hash.sizeBytes() + 16;
+    sc.append(hw::Partition::Signals, window.samples.size() * 2);
+    sc.append(hw::Partition::Hashes, window.hash.sizeBytes());
+    // The SC reorganises one electrode chunk per ~16 windows; amortise
+    // its write cost accordingly.
+    writeCostMs += sc.chunkWriteMs() / 16.0;
+    (void)bytes;
+
+    windows.push_back(std::move(window));
+    while (windows.size() > capacity) {
+        windows.pop_front();
+        ++dropped;
+    }
+}
+
+std::vector<const StoredWindow *>
+SignalStore::range(std::uint64_t t0_us, std::uint64_t t1_us) const
+{
+    std::vector<const StoredWindow *> out;
+    for (const StoredWindow &window : windows)
+        if (window.timestampUs >= t0_us &&
+            window.timestampUs <= t1_us)
+            out.push_back(&window);
+    return out;
+}
+
+std::size_t
+SignalStore::bytesStored() const
+{
+    std::size_t total = 0;
+    for (const StoredWindow &window : windows)
+        total += window.samples.size() * 2 + window.hash.sizeBytes() +
+                 16;
+    return total;
+}
+
+double
+SignalStore::readCostMs(std::size_t window_count) const
+{
+    const double chunks =
+        std::ceil(static_cast<double>(window_count) / 16.0);
+    return chunks * sc.chunkReadMs();
+}
+
+} // namespace scalo::app

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The per-node signal/hash store: the application-visible face of the
+ * NVM partitions (Section 3.3). Windows stream in per electrode with
+ * their hash and detection flag; retrieval runs over the
+ * electrode-major reorganised layout, whose read/write costs come
+ * from the storage controller model. Oldest data is overwritten when
+ * a partition fills, as on the device.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "scalo/hw/nvm.hpp"
+#include "scalo/lsh/signature.hpp"
+#include "scalo/util/types.hpp"
+
+namespace scalo::app {
+
+/** One stored analysis window with its metadata. */
+struct StoredWindow
+{
+    std::uint64_t timestampUs = 0;
+    ElectrodeId electrode = 0;
+    std::vector<double> samples;
+    lsh::Signature hash;
+    /** Flagged by the local seizure detector at capture time. */
+    bool seizureFlagged = false;
+};
+
+/** Ring-buffer signal store over the Signals + Hashes partitions. */
+class SignalStore
+{
+  public:
+    /**
+     * @param capacity_windows ring capacity (oldest overwritten)
+     * @param reorganise_layout electrode-major chunk layout on/off
+     */
+    explicit SignalStore(std::size_t capacity_windows = 8'192,
+                         bool reorganise_layout = true);
+
+    /** Append one window (write-buffered through the SC). */
+    void append(StoredWindow window);
+
+    /** Windows captured in [t0, t1] (us), oldest first. */
+    std::vector<const StoredWindow *>
+    range(std::uint64_t t0_us, std::uint64_t t1_us) const;
+
+    /** Stored windows currently retained. */
+    std::size_t size() const { return windows.size(); }
+
+    /** Total bytes retained (samples at 16 bit + hash + metadata). */
+    std::size_t bytesStored() const;
+
+    /** Windows dropped to the ring so far. */
+    std::uint64_t overwritten() const { return dropped; }
+
+    /**
+     * Modeled time (ms) to retrieve @p window_count windows through
+     * the SC (0.035 ms per contiguous chunk of up to 16 windows when
+     * reorganised; 10x slower raw).
+     */
+    double readCostMs(std::size_t window_count) const;
+
+    /** Modeled time (ms) spent persisting everything appended. */
+    double totalWriteCostMs() const { return writeCostMs; }
+
+    const hw::StorageController &controller() const { return sc; }
+
+  private:
+    std::size_t capacity;
+    std::deque<StoredWindow> windows;
+    hw::StorageController sc;
+    std::uint64_t dropped = 0;
+    double writeCostMs = 0.0;
+};
+
+} // namespace scalo::app

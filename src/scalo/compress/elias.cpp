@@ -1,0 +1,54 @@
+#include "scalo/compress/elias.hpp"
+
+#include <bit>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::compress {
+
+void
+eliasGammaEncode(BitWriter &writer, std::uint64_t value)
+{
+    SCALO_ASSERT(value >= 1, "Elias-gamma encodes positive integers");
+    const int bits = 64 - std::countl_zero(value); // floor(log2)+1
+    for (int i = 0; i < bits - 1; ++i)
+        writer.putBit(0);
+    writer.putBits(value, static_cast<unsigned>(bits));
+}
+
+std::uint64_t
+eliasGammaDecode(BitReader &reader)
+{
+    int zeros = 0;
+    while (reader.getBit() == 0) {
+        ++zeros;
+        SCALO_ASSERT(zeros < 64, "corrupt Elias-gamma stream");
+    }
+    std::uint64_t value = 1;
+    for (int i = 0; i < zeros; ++i)
+        value = (value << 1) | reader.getBit();
+    return value;
+}
+
+std::vector<std::uint8_t>
+eliasGammaEncodeAll(const std::vector<std::uint64_t> &values)
+{
+    BitWriter writer;
+    for (std::uint64_t v : values)
+        eliasGammaEncode(writer, v);
+    return writer.take();
+}
+
+std::vector<std::uint64_t>
+eliasGammaDecodeAll(const std::vector<std::uint8_t> &data,
+                    std::size_t count)
+{
+    BitReader reader(data);
+    std::vector<std::uint64_t> values;
+    values.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        values.push_back(eliasGammaDecode(reader));
+    return values;
+}
+
+} // namespace scalo::compress

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Elias-gamma universal integer coding [31], the final stage of the
+ * HCOMP hash-compression pipeline (Section 3.2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/bitstream.hpp"
+
+namespace scalo::compress {
+
+/** Append the Elias-gamma code of @p value (>= 1) to @p writer. */
+void eliasGammaEncode(BitWriter &writer, std::uint64_t value);
+
+/** Decode one Elias-gamma value from @p reader. */
+std::uint64_t eliasGammaDecode(BitReader &reader);
+
+/** Encode a whole sequence (each value >= 1). */
+std::vector<std::uint8_t>
+eliasGammaEncodeAll(const std::vector<std::uint64_t> &values);
+
+/** Decode exactly @p count values. */
+std::vector<std::uint64_t>
+eliasGammaDecodeAll(const std::vector<std::uint8_t> &data,
+                    std::size_t count);
+
+} // namespace scalo::compress

@@ -1,0 +1,140 @@
+#include "scalo/compress/hcomp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "scalo/compress/elias.hpp"
+#include "scalo/util/bitstream.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::compress {
+
+std::vector<std::uint8_t>
+frequencyDictionary(const std::vector<HashValue> &hashes)
+{
+    std::array<std::uint32_t, 256> counts{};
+    for (HashValue h : hashes)
+        ++counts[h];
+
+    std::vector<std::uint8_t> dict;
+    for (int v = 0; v < 256; ++v)
+        if (counts[v] > 0)
+            dict.push_back(static_cast<std::uint8_t>(v));
+    std::sort(dict.begin(), dict.end(),
+              [&](std::uint8_t a, std::uint8_t b) {
+                  if (counts[a] != counts[b])
+                      return counts[a] > counts[b];
+                  return a < b;
+              });
+    return dict;
+}
+
+std::vector<Run>
+runLengthEncode(const std::vector<std::uint8_t> &data)
+{
+    std::vector<Run> runs;
+    for (std::size_t i = 0; i < data.size();) {
+        std::size_t j = i;
+        while (j < data.size() && data[j] == data[i])
+            ++j;
+        runs.push_back({data[i], j - i});
+        i = j;
+    }
+    return runs;
+}
+
+std::vector<std::uint8_t>
+runLengthDecode(const std::vector<Run> &runs)
+{
+    std::vector<std::uint8_t> out;
+    for (const Run &run : runs)
+        out.insert(out.end(), run.length, run.symbol);
+    return out;
+}
+
+namespace {
+
+/** Minimal fixed bit width to represent values in [0, n). */
+unsigned
+indexBits(std::size_t n)
+{
+    if (n <= 1)
+        return 1;
+    return static_cast<unsigned>(
+        64 - std::countl_zero(static_cast<std::uint64_t>(n - 1)));
+}
+
+} // namespace
+
+CompressedHashes
+compressHashes(const std::vector<HashValue> &hashes)
+{
+    CompressedHashes block;
+    block.originalCount = static_cast<std::uint32_t>(hashes.size());
+    if (hashes.empty())
+        return block;
+
+    // Stage 1 (HFREQ): frequency-ordered dictionary. Frequent hashes get
+    // small indexes, which in turn form longer runs of small symbols.
+    const auto dict = frequencyDictionary(hashes);
+    std::array<std::uint8_t, 256> index_of{};
+    for (std::size_t i = 0; i < dict.size(); ++i)
+        index_of[dict[i]] = static_cast<std::uint8_t>(i);
+
+    // Stage 2: dictionary-code the stream.
+    std::vector<std::uint8_t> indexes;
+    indexes.reserve(hashes.size());
+    for (HashValue h : hashes)
+        indexes.push_back(index_of[h]);
+
+    // Stage 3: run-length encode the index stream.
+    const auto runs = runLengthEncode(indexes);
+
+    // Stage 4: bit-pack. Dictionary entries are raw bytes; run symbols
+    // use the minimal fixed width; run lengths use Elias-gamma [31].
+    BitWriter writer;
+    writer.putBits(dict.size(), 9); // 1..256 distinct values
+    for (std::uint8_t v : dict)
+        writer.putBits(v, 8);
+    eliasGammaEncode(writer, runs.size());
+    const unsigned width = indexBits(dict.size());
+    for (const Run &run : runs) {
+        writer.putBits(run.symbol, width);
+        eliasGammaEncode(writer, run.length);
+    }
+    block.payload = writer.take();
+    return block;
+}
+
+std::vector<HashValue>
+decompressHashes(const CompressedHashes &block)
+{
+    std::vector<HashValue> hashes;
+    if (block.originalCount == 0)
+        return hashes;
+    SCALO_ASSERT(!block.payload.empty(), "empty payload with count ",
+                 block.originalCount);
+
+    BitReader reader(block.payload);
+    const auto dict_size = reader.getBits(9);
+    SCALO_ASSERT(dict_size >= 1 && dict_size <= 256, "bad dictionary");
+    std::vector<std::uint8_t> dict(dict_size);
+    for (auto &v : dict)
+        v = static_cast<std::uint8_t>(reader.getBits(8));
+
+    const auto run_count = eliasGammaDecode(reader);
+    const unsigned width = indexBits(dict_size);
+    hashes.reserve(block.originalCount);
+    for (std::uint64_t r = 0; r < run_count; ++r) {
+        const auto index = reader.getBits(width);
+        SCALO_ASSERT(index < dict_size, "index out of dictionary");
+        const auto length = eliasGammaDecode(reader);
+        hashes.insert(hashes.end(), length, dict[index]);
+    }
+    SCALO_ASSERT(hashes.size() == block.originalCount,
+                 "decoded ", hashes.size(), " of ", block.originalCount);
+    return hashes;
+}
+
+} // namespace scalo::compress

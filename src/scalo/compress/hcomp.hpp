@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The HFREQ and HCOMP PEs (Section 3.2): hash compression customised to
+ * intra-SCALO traffic.
+ *
+ *  - HFREQ collects a node's hash values and sorts them by frequency of
+ *    occurrence, producing the dictionary.
+ *  - HCOMP encodes the hash stream as dictionary indexes, run-length
+ *    encodes the index stream, and finally Elias-gamma codes the
+ *    run-length counts.
+ *
+ * DCOMP (decode) reverses the pipeline. The paper reports a compression
+ * ratio within 10% of LZ4/LZMA at 7x less power.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::compress {
+
+/** A (symbol, run length) pair produced by the run-length stage. */
+struct Run
+{
+    std::uint8_t symbol;
+    std::uint64_t length;
+
+    bool operator==(const Run &) const = default;
+};
+
+/**
+ * HFREQ: dictionary of distinct hash values sorted by descending
+ * frequency (ties broken by value for determinism).
+ */
+std::vector<std::uint8_t>
+frequencyDictionary(const std::vector<HashValue> &hashes);
+
+/** Run-length encode a byte sequence. */
+std::vector<Run> runLengthEncode(const std::vector<std::uint8_t> &data);
+
+/** Invert runLengthEncode(). */
+std::vector<std::uint8_t> runLengthDecode(const std::vector<Run> &runs);
+
+/** A compressed hash block as carried in intra-SCALO packets. */
+struct CompressedHashes
+{
+    /** Serialised block: dictionary + coded indexes/runs. */
+    std::vector<std::uint8_t> payload;
+    /** Original hash count (carried in the packet header). */
+    std::uint32_t originalCount = 0;
+
+    double
+    compressionRatio() const
+    {
+        return payload.empty()
+                   ? 0.0
+                   : static_cast<double>(originalCount) /
+                         static_cast<double>(payload.size());
+    }
+};
+
+/** HCOMP: compress a node's hash batch. */
+CompressedHashes compressHashes(const std::vector<HashValue> &hashes);
+
+/** DCOMP: decompress a hash block. */
+std::vector<HashValue> decompressHashes(const CompressedHashes &block);
+
+} // namespace scalo::compress

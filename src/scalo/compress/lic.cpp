@@ -1,0 +1,72 @@
+#include "scalo/compress/lic.hpp"
+
+#include "scalo/compress/elias.hpp"
+#include "scalo/util/bitstream.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::compress {
+
+std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+std::vector<std::uint8_t>
+licCompress(const std::vector<Sample> &input)
+{
+    BitWriter writer;
+    std::int64_t prev1 = 0, prev2 = 0;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const std::int64_t x = input[i];
+        // Second-order predictor; the first two samples predict from
+        // shorter history (0, then first-order).
+        std::int64_t predicted = 0;
+        if (i == 1)
+            predicted = prev1;
+        else if (i >= 2)
+            predicted = 2 * prev1 - prev2;
+        const std::int64_t residual = x - predicted;
+        // Elias-gamma codes positive integers, so shift by one.
+        eliasGammaEncode(writer, zigzagEncode(residual) + 1);
+        prev2 = prev1;
+        prev1 = x;
+    }
+    return writer.take();
+}
+
+std::vector<Sample>
+licDecompress(const std::vector<std::uint8_t> &compressed,
+              std::size_t count)
+{
+    std::vector<Sample> out;
+    out.reserve(count);
+    BitReader reader(compressed);
+    std::int64_t prev1 = 0, prev2 = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::int64_t residual =
+            zigzagDecode(eliasGammaDecode(reader) - 1);
+        std::int64_t predicted = 0;
+        if (i == 1)
+            predicted = prev1;
+        else if (i >= 2)
+            predicted = 2 * prev1 - prev2;
+        const std::int64_t x = predicted + residual;
+        SCALO_ASSERT(x >= -32'768 && x <= 32'767,
+                     "corrupt LIC stream: sample ", x);
+        out.push_back(static_cast<Sample>(x));
+        prev2 = prev1;
+        prev1 = x;
+    }
+    return out;
+}
+
+} // namespace scalo::compress

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Linear integer coding (the LIC PE): lossless compression of raw
+ * neural sample streams by linear prediction. Neighbouring 30 kHz
+ * samples are highly correlated, so second-order residuals are small;
+ * they are zig-zag mapped and variable-length coded.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::compress {
+
+/**
+ * Compress a sample stream: residual = x[n] - 2 x[n-1] + x[n-2]
+ * (second-order linear predictor), zig-zag mapped, Elias-gamma coded.
+ */
+std::vector<std::uint8_t> licCompress(const std::vector<Sample> &input);
+
+/** Invert licCompress(). @param count original sample count */
+std::vector<Sample>
+licDecompress(const std::vector<std::uint8_t> &compressed,
+              std::size_t count);
+
+/** Zig-zag map: signed to unsigned, small magnitudes to small codes. */
+std::uint64_t zigzagEncode(std::int64_t value);
+
+/** Invert zigzagEncode(). */
+std::int64_t zigzagDecode(std::uint64_t value);
+
+} // namespace scalo::compress

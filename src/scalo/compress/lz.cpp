@@ -1,0 +1,76 @@
+#include "scalo/compress/lz.hpp"
+
+#include <algorithm>
+
+#include "scalo/util/bitstream.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::compress {
+
+namespace {
+
+constexpr std::size_t kWindow = 4'096;   // 12-bit distances
+constexpr std::size_t kMaxMatch = 63;    // 6-bit lengths
+constexpr std::size_t kMinMatch = 4;     // below this, literals win
+
+} // namespace
+
+std::vector<std::uint8_t>
+lzCompress(const std::vector<std::uint8_t> &input)
+{
+    BitWriter writer;
+    std::size_t pos = 0;
+    while (pos < input.size()) {
+        // Greedy longest match within the window.
+        std::size_t best_len = 0, best_dist = 0;
+        const std::size_t window_start =
+            (pos > kWindow) ? pos - kWindow : 0;
+        for (std::size_t cand = window_start; cand < pos; ++cand) {
+            std::size_t len = 0;
+            while (len < kMaxMatch && pos + len < input.size() &&
+                   input[cand + len] == input[pos + len]) {
+                ++len;
+            }
+            if (len > best_len) {
+                best_len = len;
+                best_dist = pos - cand;
+            }
+        }
+        if (best_len >= kMinMatch) {
+            writer.putBit(0);
+            writer.putBits(best_dist, 12);
+            writer.putBits(best_len, 6);
+            pos += best_len;
+        } else {
+            writer.putBit(1);
+            writer.putBits(input[pos], 8);
+            ++pos;
+        }
+    }
+    return writer.take();
+}
+
+std::vector<std::uint8_t>
+lzDecompress(const std::vector<std::uint8_t> &compressed,
+             std::size_t original_size)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(original_size);
+    BitReader reader(compressed);
+    while (out.size() < original_size) {
+        if (reader.getBit()) {
+            out.push_back(static_cast<std::uint8_t>(reader.getBits(8)));
+        } else {
+            const auto dist = reader.getBits(12);
+            const auto len = reader.getBits(6);
+            SCALO_ASSERT(dist >= 1 && dist <= out.size(),
+                         "bad LZ distance ", dist);
+            for (std::uint64_t i = 0; i < len; ++i)
+                out.push_back(out[out.size() - dist]);
+        }
+    }
+    SCALO_ASSERT(out.size() == original_size, "overshot decode");
+    return out;
+}
+
+} // namespace scalo::compress

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * A compact LZ77 byte compressor standing in for HALO's LZ PE (used in
+ * SCALO only as the compression-ratio baseline that HCOMP is compared
+ * against; HALO used LZ/LZMA for bulk offload to external servers).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scalo::compress {
+
+/**
+ * LZ77-compress @p input with a sliding window.
+ *
+ * Token format: a literal flag bit, then either 8 literal bits or a
+ * (distance, length) pair with 12/6 bits.
+ */
+std::vector<std::uint8_t> lzCompress(const std::vector<std::uint8_t> &input);
+
+/** Invert lzCompress(). @param original_size decoded byte count */
+std::vector<std::uint8_t>
+lzDecompress(const std::vector<std::uint8_t> &compressed,
+             std::size_t original_size);
+
+} // namespace scalo::compress

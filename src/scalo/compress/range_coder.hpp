@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Range coding (the RC PE) with an adaptive Markov-chain symbol model
+ * (the MA PE), plus the TOK tokenizer that maps sample residuals onto
+ * a small symbol alphabet. Together with LIC these form HALO's
+ * external-offload compression pipeline, retained in SCALO for bulk
+ * data shipped through the external radio.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/bitstream.hpp"
+#include "scalo/util/types.hpp"
+
+namespace scalo::compress {
+
+/**
+ * Adaptive order-1 (Markov) frequency model over a small alphabet:
+ * each context (the previous symbol) keeps its own adaptive counts.
+ * With contexts disabled it degrades to an order-0 model.
+ */
+class MarkovModel
+{
+  public:
+    /**
+     * @param alphabet  symbol count (<= 64)
+     * @param order1    true = per-previous-symbol contexts (MA PE)
+     */
+    explicit MarkovModel(unsigned alphabet, bool order1 = true);
+
+    unsigned alphabetSize() const { return alphabet; }
+
+    /** Cumulative frequency below @p symbol in the current context. */
+    std::uint32_t cumulative(unsigned symbol) const;
+
+    /** Frequency of @p symbol in the current context. */
+    std::uint32_t frequency(unsigned symbol) const;
+
+    /** Total frequency of the current context. */
+    std::uint32_t total() const;
+
+    /** Find the symbol covering cumulative value @p target. */
+    unsigned find(std::uint32_t target) const;
+
+    /** Update counts and advance the context. */
+    void update(unsigned symbol);
+
+    /** Reset counts and context. */
+    void reset();
+
+  private:
+    unsigned alphabet;
+    bool useContext;
+    unsigned context = 0;
+    /** counts[context][symbol]. */
+    std::vector<std::vector<std::uint32_t>> counts;
+    std::vector<std::uint32_t> totals;
+};
+
+/** Byte-oriented range encoder (Subbotin-style, 32-bit range). */
+class RangeEncoder
+{
+  public:
+    /** Encode @p symbol under @p model (and update the model). */
+    void encode(MarkovModel &model, unsigned symbol);
+
+    /** Flush and take the byte stream. */
+    std::vector<std::uint8_t> finish();
+
+  private:
+    void normalize();
+
+    std::uint64_t low = 0;
+    std::uint32_t range = 0xffffffffu;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** The matching decoder. */
+class RangeDecoder
+{
+  public:
+    explicit RangeDecoder(const std::vector<std::uint8_t> &data);
+
+    /** Decode one symbol under @p model (and update the model). */
+    unsigned decode(MarkovModel &model);
+
+  private:
+    void normalize();
+
+    const std::vector<std::uint8_t> *data;
+    std::size_t position = 0;
+    std::uint64_t low = 0;
+    std::uint32_t range = 0xffffffffu;
+    std::uint32_t code = 0;
+};
+
+/**
+ * The TOK PE: map a zig-zag value onto (bucket token, extra bits).
+ * The token is the bit length (0..17 for 16-bit residuals); the extra
+ * bits are the value below its leading one. Tokens go to the MA+RC
+ * entropy coder; extra bits are stored raw.
+ */
+struct TokenizedValue
+{
+    unsigned token;
+    std::uint32_t extra;
+};
+
+/** Tokenize one zig-zag value. */
+TokenizedValue tokenize(std::uint64_t zigzag);
+
+/** Invert tokenize(). */
+std::uint64_t detokenize(unsigned token, std::uint32_t extra);
+
+/** Token alphabet size for 16-bit samples. */
+inline constexpr unsigned kTokenAlphabet = 20;
+
+/**
+ * The full neural-stream compressor: LIC residuals -> TOK tokens ->
+ * order-1 MA model -> RC entropy coding, extra bits appended raw.
+ */
+std::vector<std::uint8_t>
+neuralStreamCompress(const std::vector<Sample> &samples);
+
+/** Invert neuralStreamCompress(). @param count original samples */
+std::vector<Sample>
+neuralStreamDecompress(const std::vector<std::uint8_t> &data,
+                       std::size_t count);
+
+} // namespace scalo::compress

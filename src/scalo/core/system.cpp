@@ -1,0 +1,95 @@
+#include "scalo/core/system.hpp"
+
+#include <sstream>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::core {
+
+ScaloSystem::ScaloSystem(const ScaloConfig &config) : cfg(config)
+{
+    SCALO_ASSERT(cfg.nodes >= 1, "need at least one node");
+    if (cfg.powerCapMw > constants::kPowerCapMw)
+        SCALO_FATAL("per-implant power above the 15 mW safety cap");
+}
+
+bool
+ScaloSystem::thermallySafe() const
+{
+    return thermal.safe(cfg.nodes, cfg.spacingMm, cfg.powerCapMw);
+}
+
+std::size_t
+ScaloSystem::maxPlaceableImplants() const
+{
+    return hw::ThermalModel::maxImplants(cfg.spacingMm);
+}
+
+sched::Schedule
+ScaloSystem::deploy(const std::vector<sched::FlowSpec> &flows,
+                    const std::vector<double> &priorities) const
+{
+    sched::SystemConfig sys;
+    sys.nodes = cfg.nodes;
+    sys.powerCapMw = cfg.powerCapMw;
+    sys.radio = &net::radioSpec(cfg.radio);
+    sys.maxElectrodesPerNode = constants::kElectrodesPerNode;
+    const sched::Scheduler scheduler(sys);
+    return scheduler.schedule(flows, priorities);
+}
+
+double
+ScaloSystem::maxThroughputMbps(const sched::FlowSpec &flow) const
+{
+    sched::SystemConfig sys;
+    sys.nodes = cfg.nodes;
+    sys.powerCapMw = cfg.powerCapMw;
+    sys.radio = &net::radioSpec(cfg.radio);
+    const sched::Scheduler scheduler(sys);
+    return scheduler.maxAggregateThroughputMbps(flow);
+}
+
+query::CompiledPipeline
+ScaloSystem::program(const std::string &source) const
+{
+    query::CompiledPipeline pipeline = query::compileSource(source);
+    // Fabric validation: every stage's PEs must exist on a node.
+    hw::Pipeline hw_pipeline("program", {});
+    for (hw::PeKind kind : pipeline.peChain())
+        hw_pipeline.addStage({kind, constants::kElectrodesPerNode, 1});
+    const std::string error = nodeFabric.validate({hw_pipeline});
+    if (!error.empty())
+        SCALO_FATAL("program does not fit the fabric: ", error);
+    return pipeline;
+}
+
+app::QueryCost
+ScaloSystem::interactiveQuery(app::QueryKind kind, double data_mb,
+                              double matched_fraction) const
+{
+    app::QueryConfig query_config;
+    query_config.nodes = cfg.nodes;
+    query_config.dataMb = data_mb;
+    query_config.matchedFraction = matched_fraction;
+    return app::estimateQuery(kind, query_config);
+}
+
+const net::RadioSpec &
+ScaloSystem::radio() const
+{
+    return net::radioSpec(cfg.radio);
+}
+
+std::string
+ScaloSystem::describe() const
+{
+    std::ostringstream oss;
+    oss << "SCALO: " << cfg.nodes << " implants @ " << cfg.powerCapMw
+        << " mW, radio " << radio().name << " ("
+        << radio().dataRateMbps << " Mbps), spacing " << cfg.spacingMm
+        << " mm, thermal "
+        << (thermallySafe() ? "safe" : "UNSAFE");
+    return oss.str();
+}
+
+} // namespace scalo::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The top-level public API: a ScaloSystem is a configured distributed
+ * BCI (node count, power limit, radio, placement) onto which
+ * applications are deployed via the ILP scheduler and against which
+ * interactive queries run. This is the facade the examples and most
+ * downstream users program against; the underlying modules remain
+ * available for finer control.
+ */
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "scalo/app/movement.hpp"
+#include "scalo/app/query.hpp"
+#include "scalo/app/seizure.hpp"
+#include "scalo/app/spikesort.hpp"
+#include "scalo/hw/thermal.hpp"
+#include "scalo/query/language.hpp"
+#include "scalo/sched/scheduler.hpp"
+
+namespace scalo::core {
+
+/** System-level configuration of a SCALO deployment. */
+struct ScaloConfig
+{
+    std::size_t nodes = 4;
+    double powerCapMw = constants::kPowerCapMw;
+    net::RadioDesign radio = net::RadioDesign::LowPower;
+    /** Inter-implant spacing on the cortical surface (mm). */
+    double spacingMm = constants::kImplantSpacingMm;
+    std::uint64_t seed = 0x5ca10;
+};
+
+/** A configured SCALO BCI. */
+class ScaloSystem
+{
+  public:
+    explicit ScaloSystem(const ScaloConfig &config);
+
+    const ScaloConfig &config() const { return cfg; }
+
+    /**
+     * Validate the deployment's thermal safety: node count, spacing,
+     * and per-implant power against the 1 C limit (Section 5).
+     */
+    bool thermallySafe() const;
+
+    /** Maximum implants placeable at the configured spacing. */
+    std::size_t maxPlaceableImplants() const;
+
+    /**
+     * Deploy application flows with priorities: runs the ILP
+     * scheduler and returns the electrode allocation + power/network
+     * schedule summary.
+     */
+    sched::Schedule deploy(const std::vector<sched::FlowSpec> &flows,
+                           const std::vector<double> &priorities)
+        const;
+
+    /** Max aggregate throughput of one flow on this system (Mbps). */
+    double maxThroughputMbps(const sched::FlowSpec &flow) const;
+
+    /**
+     * Compile a TrillDSP-style program and validate it against the
+     * node fabric. @return the compiled pipeline
+     */
+    query::CompiledPipeline program(const std::string &source) const;
+
+    /** Estimate an interactive query's cost on this system. */
+    app::QueryCost interactiveQuery(app::QueryKind kind,
+                                    double data_mb,
+                                    double matched_fraction) const;
+
+    /** The per-node fabric (PE inventory). */
+    const hw::NodeFabric &fabric() const { return nodeFabric; }
+
+    /** The intra-SCALO radio in use. */
+    const net::RadioSpec &radio() const;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+
+  private:
+    ScaloConfig cfg;
+    hw::NodeFabric nodeFabric;
+    hw::ThermalModel thermal;
+};
+
+} // namespace scalo::core

@@ -1,0 +1,183 @@
+#include "scalo/data/ieeg_synth.hpp"
+
+#include <cmath>
+
+#include "scalo/signal/window.hpp"
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::data {
+
+namespace {
+
+/**
+ * Pink-ish background: white noise through a one-pole low-pass mixed
+ * with a little raw white noise. Good enough 1/f shape for LSH and
+ * detector experiments.
+ */
+class BackgroundSource
+{
+  public:
+    BackgroundSource(double amplitude, std::uint64_t seed)
+        : rng(seed), amplitude(amplitude)
+    {
+    }
+
+    double
+    next()
+    {
+        // Short correlation time keeps independently-seeded sites
+        // statistically uncorrelated even over ~0.1 s windows.
+        const double white = rng.gaussian();
+        state = 0.98 * state + 0.1 * white;
+        return amplitude * (state * 5.0 + 0.3 * white);
+    }
+
+  private:
+    Rng rng;
+    double state = 0.0;
+    double amplitude;
+};
+
+} // namespace
+
+bool
+IeegDataset::inSeizure(NodeId node, double time_sec) const
+{
+    for (const SeizureEvent &event : events) {
+        const double lag =
+            node < event.onsetLagSec.size()
+                ? event.onsetLagSec[node]
+                : 0.0;
+        const double start = event.onsetSec + lag;
+        if (time_sec >= start && time_sec < start + event.durationSec)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+IeegDataset::sampleCount() const
+{
+    if (electrodeTraces.empty() || electrodeTraces[0].empty())
+        return 0;
+    return electrodeTraces[0][0].size();
+}
+
+IeegDataset
+generateIeeg(const IeegConfig &config)
+{
+    SCALO_ASSERT(config.nodes >= 1, "need at least one node");
+    SCALO_ASSERT(config.electrodesPerNode >= 1,
+                 "need at least one electrode");
+    SCALO_ASSERT(config.durationSec > 0.0, "duration must be > 0");
+
+    IeegDataset dataset;
+    dataset.cfg = config;
+    const auto samples = static_cast<std::size_t>(
+        config.durationSec * config.sampleRateHz);
+
+    Rng rng(config.seed);
+
+    // Schedule seizures: evenly spread with jitter, round-robin
+    // origin nodes, fixed per-hop propagation lag.
+    const double expected =
+        config.seizuresPerMinute * config.durationSec / 60.0;
+    const auto seizure_count = static_cast<std::size_t>(expected);
+    for (std::size_t s = 0; s < seizure_count; ++s) {
+        SeizureEvent event;
+        const double slot =
+            config.durationSec / static_cast<double>(seizure_count);
+        event.onsetSec =
+            slot * (static_cast<double>(s) + rng.uniform(0.2, 0.5));
+        event.durationSec = config.seizureDurationSec;
+        event.originNode = static_cast<NodeId>(s % config.nodes);
+        for (std::size_t n = 0; n < config.nodes; ++n) {
+            const double hops = std::abs(
+                static_cast<double>(n) -
+                static_cast<double>(event.originNode));
+            event.onsetLagSec.push_back(hops *
+                                        config.propagationLagSec);
+        }
+        dataset.events.push_back(std::move(event));
+    }
+
+    // Per-seizure oscillation parameters (shared across sites so that
+    // cross-site windows correlate during propagation).
+    std::vector<double> seizure_freq, seizure_phase;
+    for (std::size_t s = 0; s < dataset.events.size(); ++s) {
+        seizure_freq.push_back(rng.uniform(3.0, 8.0));
+        seizure_phase.push_back(rng.uniform(0.0, 2.0 * M_PI));
+    }
+
+    // Each seizure also carries a shared broadband burst (the fast
+    // ictal activity riding the slow oscillation). It is the same
+    // waveform at every site, shifted by the propagation lag, which
+    // is what makes even 4 ms windows correlate across sites.
+    std::vector<std::vector<double>> seizure_burst;
+    for (std::size_t s = 0; s < dataset.events.size(); ++s) {
+        const auto burst_samples = static_cast<std::size_t>(
+            dataset.events[s].durationSec * config.sampleRateHz);
+        Rng burst_rng(mix64(config.seed ^ 0xb4257, s));
+        std::vector<double> burst(burst_samples);
+        double lp = 0.0;
+        for (auto &v : burst) {
+            lp = 0.7 * lp + burst_rng.gaussian();
+            v = lp;
+        }
+        seizure_burst.push_back(std::move(burst));
+    }
+
+    dataset.electrodeTraces.resize(config.nodes);
+    for (std::size_t n = 0; n < config.nodes; ++n) {
+        dataset.electrodeTraces[n].resize(config.electrodesPerNode);
+        for (std::size_t e = 0; e < config.electrodesPerNode; ++e) {
+            BackgroundSource background(
+                config.backgroundAmplitude,
+                mix64(config.seed, (n << 16) | e));
+            Rng jitter(mix64(config.seed ^ 0xfeed, (n << 16) | e));
+            // Per-electrode coupling to the seizure source varies a
+            // little (electrode placement/attenuation).
+            const double coupling = jitter.uniform(0.7, 1.0);
+
+            std::vector<double> trace(samples);
+            for (std::size_t i = 0; i < samples; ++i) {
+                const double t =
+                    static_cast<double>(i) / config.sampleRateHz;
+                double value = background.next();
+                for (std::size_t s = 0; s < dataset.events.size();
+                     ++s) {
+                    const SeizureEvent &event = dataset.events[s];
+                    const double start =
+                        event.onsetSec + event.onsetLagSec[n];
+                    if (t < start || t >= start + event.durationSec)
+                        continue;
+                    // Amplitude envelope: fast attack, slow release.
+                    const double phase_t = t - start;
+                    const double envelope =
+                        std::min(1.0, phase_t / 0.05) *
+                        (1.0 - 0.3 * phase_t / event.durationSec);
+                    value += coupling * config.seizureAmplitude *
+                             envelope *
+                             std::sin(2.0 * M_PI * seizure_freq[s] *
+                                          (t - event.onsetLagSec[n]) +
+                                      seizure_phase[s]);
+                    const auto burst_index =
+                        static_cast<std::size_t>(
+                            (phase_t)*config.sampleRateHz);
+                    if (burst_index < seizure_burst[s].size()) {
+                        value += coupling * 0.3 *
+                                 config.seizureAmplitude * envelope *
+                                 seizure_burst[s][burst_index];
+                    }
+                }
+                trace[i] = value;
+            }
+            dataset.electrodeTraces[n][e] =
+                signal::toSamples(trace);
+        }
+    }
+    return dataset;
+}
+
+} // namespace scalo::data

@@ -1,0 +1,144 @@
+#include "scalo/data/spike_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::data {
+
+std::vector<double>
+makeTemplate(int neuron, std::size_t samples, std::uint64_t seed)
+{
+    Rng rng(mix64(seed, static_cast<std::uint64_t>(neuron) + 1));
+    // Randomised tri-phasic shape: optional pre-spike positive bump,
+    // sodium trough, repolarisation hump. Wide parameter ranges keep
+    // the units separable, as in curated ground-truth datasets.
+    const double trough_pos = rng.uniform(0.30, 0.42);
+    const double trough_width = rng.uniform(0.025, 0.09);
+    const double pre_pos = trough_pos - rng.uniform(0.10, 0.18);
+    const double pre_width = rng.uniform(0.03, 0.08);
+    const double pre_amp = rng.uniform(0.0, 0.45);
+    const double hump_pos = trough_pos + rng.uniform(0.10, 0.30);
+    const double hump_width = rng.uniform(0.05, 0.20);
+    const double hump_amp = rng.uniform(0.15, 0.65);
+    const double trough_amp = -1.0;
+    // Slow after-wave (either polarity) and an overall unit
+    // amplitude: both vary strongly between real units and carry a
+    // lot of the sorting information.
+    const double late_pos = hump_pos + rng.uniform(0.12, 0.30);
+    const double late_width = rng.uniform(0.06, 0.16);
+    const double late_amp = rng.uniform(-0.35, 0.35);
+    const double unit_amp = rng.uniform(0.7, 1.6);
+
+    std::vector<double> waveform(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double x =
+            static_cast<double>(i) / static_cast<double>(samples);
+        auto bump = [x](double pos, double width, double amp) {
+            return amp *
+                   std::exp(-0.5 * std::pow((x - pos) / width, 2.0));
+        };
+        waveform[i] =
+            unit_amp * (bump(trough_pos, trough_width, trough_amp) +
+                        bump(pre_pos, pre_width, pre_amp) +
+                        bump(hump_pos, hump_width, hump_amp) +
+                        bump(late_pos, late_width, late_amp));
+    }
+    return waveform;
+}
+
+std::vector<double>
+SpikeDataset::waveformAt(const SpikeEvent &event) const
+{
+    const std::size_t half = config.waveformSamples / 2;
+    std::vector<double> out(config.waveformSamples, 0.0);
+    for (std::size_t i = 0; i < config.waveformSamples; ++i) {
+        const long index = static_cast<long>(event.sampleIndex) -
+                           static_cast<long>(half) +
+                           static_cast<long>(i);
+        if (index >= 0 && index < static_cast<long>(trace.size()))
+            out[i] = trace[static_cast<std::size_t>(index)];
+    }
+    return out;
+}
+
+SpikeDataset
+generateSpikes(const SpikeConfig &config)
+{
+    SCALO_ASSERT(config.neurons >= 1, "need at least one neuron");
+    SCALO_ASSERT(config.durationSec > 0.0, "duration must be > 0");
+
+    SpikeDataset dataset;
+    dataset.config = config;
+    const auto samples = static_cast<std::size_t>(
+        config.durationSec * config.sampleRateHz);
+    dataset.trace.assign(samples, 0.0);
+
+    for (int n = 0; n < config.neurons; ++n)
+        dataset.templates.push_back(
+            makeTemplate(n, config.waveformSamples, config.seed));
+
+    Rng rng(config.seed);
+
+    // Poisson firing with refractory period, per neuron.
+    const auto refractory = static_cast<std::size_t>(
+        config.refractorySec * config.sampleRateHz);
+    for (int n = 0; n < config.neurons; ++n) {
+        Rng neuron_rng(mix64(config.seed ^ 0xf1e1d,
+                             static_cast<std::uint64_t>(n)));
+        double t = 0.0;
+        std::size_t last = 0;
+        bool first = true;
+        while (true) {
+            // Exponential inter-spike interval.
+            const double gap =
+                -std::log(1.0 - neuron_rng.uniform()) /
+                config.firingRateHz;
+            t += gap;
+            const auto index = static_cast<std::size_t>(
+                t * config.sampleRateHz);
+            if (index >= samples)
+                break;
+            if (!first && index - last < refractory)
+                continue;
+            dataset.events.push_back({index, n});
+            last = index;
+            first = false;
+        }
+    }
+    std::sort(dataset.events.begin(), dataset.events.end(),
+              [](const SpikeEvent &a, const SpikeEvent &b) {
+                  return a.sampleIndex < b.sampleIndex;
+              });
+
+    // Superimpose waveforms with jitter and slow drift.
+    const std::size_t half = config.waveformSamples / 2;
+    for (const SpikeEvent &event : dataset.events) {
+        const double progress = static_cast<double>(event.sampleIndex) /
+                                static_cast<double>(samples);
+        const double drift_gain = 1.0 - config.drift * progress;
+        const double amp =
+            drift_gain *
+            (1.0 + rng.gaussian(0.0, config.amplitudeJitter));
+        const auto &tmpl =
+            dataset.templates[static_cast<std::size_t>(event.neuron)];
+        for (std::size_t i = 0; i < tmpl.size(); ++i) {
+            const long index = static_cast<long>(event.sampleIndex) -
+                               static_cast<long>(half) +
+                               static_cast<long>(i);
+            if (index >= 0 && index < static_cast<long>(samples))
+                dataset.trace[static_cast<std::size_t>(index)] +=
+                    amp * tmpl[i];
+        }
+    }
+
+    // Background noise.
+    for (double &v : dataset.trace)
+        v += rng.gaussian(0.0, config.noiseStd);
+
+    return dataset;
+}
+
+} // namespace scalo::data

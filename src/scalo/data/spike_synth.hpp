@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MEArec-style synthetic extracellular spike generator. Stands in for
+ * the SpikeForest / Kilosort / MEArec datasets of Section 5 (see
+ * DESIGN.md): ground-truth templates, Poisson firing with a refractory
+ * period, per-spike amplitude jitter, slow electrode drift, additive
+ * noise, and occasional overlapping spikes - the phenomena that make
+ * spike sorting hard.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::data {
+
+/** Ground-truth firing event. */
+struct SpikeEvent
+{
+    /** Sample index of the spike peak. */
+    std::size_t sampleIndex;
+    /** Ground-truth neuron identity. */
+    int neuron;
+};
+
+/** Generator configuration. */
+struct SpikeConfig
+{
+    int neurons = 10;
+    double sampleRateHz = constants::kSampleRateHz;
+    double durationSec = 5.0;
+    /** Mean firing rate per neuron (Hz). */
+    double firingRateHz = 12.0;
+    /** Spike waveform length in samples. */
+    std::size_t waveformSamples = 48;
+    /** Additive background noise RMS (relative to unit spike peak). */
+    double noiseStd = 0.08;
+    /** Per-spike amplitude jitter (fractional std). */
+    double amplitudeJitter = 0.06;
+    /** Total linear amplitude drift over the recording (fraction). */
+    double drift = 0.1;
+    /** Absolute refractory period (seconds). */
+    double refractorySec = 0.002;
+    std::uint64_t seed = 0x59143;
+};
+
+/** A generated recording with its ground truth. */
+struct SpikeDataset
+{
+    SpikeConfig config;
+    /** The combined electrode trace (single channel). */
+    std::vector<double> trace;
+    /** Ground-truth events sorted by time. */
+    std::vector<SpikeEvent> events;
+    /** Noise-free unit-amplitude template per neuron. */
+    std::vector<std::vector<double>> templates;
+
+    /** Extract the waveform window centred on @p event. */
+    std::vector<double> waveformAt(const SpikeEvent &event) const;
+};
+
+/** Generate a dataset (deterministic per seed). */
+SpikeDataset generateSpikes(const SpikeConfig &config);
+
+/**
+ * Build the distinct biphasic template of one neuron: a negative
+ * sodium trough followed by a slower positive repolarisation hump,
+ * with per-neuron width/amplitude/asymmetry.
+ */
+std::vector<double> makeTemplate(int neuron, std::size_t samples,
+                                 std::uint64_t seed);
+
+} // namespace scalo::data

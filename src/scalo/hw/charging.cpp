@@ -1,0 +1,55 @@
+#include "scalo/hw/charging.hpp"
+
+#include <algorithm>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::hw {
+
+double
+requiredCapacityMwh(double load_mw, double hours,
+                    const BatterySpec &battery)
+{
+    SCALO_ASSERT(load_mw >= 0.0 && hours >= 0.0, "negative plan");
+    SCALO_ASSERT(battery.efficiency > 0.0 &&
+                     battery.efficiency <= 1.0,
+                 "bad efficiency");
+    return load_mw * hours / battery.efficiency;
+}
+
+ChargePlan
+planDailyCycle(double load_mw, const BatterySpec &battery)
+{
+    SCALO_ASSERT(load_mw > 0.0, "load must be positive");
+    ChargePlan plan;
+
+    // Hours a full battery sustains the load.
+    const double run_hours =
+        battery.capacityMwh * battery.efficiency / load_mw;
+    // Hours to refill from empty (pipelines paused: the whole
+    // charging power goes into the cell).
+    const double refill_hours =
+        battery.capacityMwh /
+        (battery.chargeRateMw * battery.efficiency);
+
+    // Fit the largest operate+charge cycle into 24 h, preserving the
+    // run:refill ratio.
+    const double cycle = run_hours + refill_hours;
+    if (cycle <= 24.0) {
+        // One full cycle fits with slack: spend the slack operating
+        // (charge only what the day's operation actually used).
+        plan.operatingHours =
+            24.0 * run_hours / cycle;
+        plan.chargingHours = 24.0 - plan.operatingHours;
+    } else {
+        plan.operatingHours = 24.0 * run_hours / cycle;
+        plan.chargingHours = 24.0 * refill_hours / cycle;
+    }
+    plan.availability = plan.operatingHours / 24.0;
+    plan.sustainsFullDay =
+        plan.operatingHours + plan.chargingHours <= 24.0 + 1e-9 &&
+        plan.availability >= 0.5;
+    return plan;
+}
+
+} // namespace scalo::hw

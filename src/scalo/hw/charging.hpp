@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Wireless charging and battery planning (Section 3.6): SCALO nodes
+ * run from implanted rechargeable batteries topped up by inductive
+ * power transfer. All pipelines pause while charging (to avoid
+ * overheating), so the planner balances battery capacity, the
+ * charging rate and the application load into a daily duty cycle -
+ * recent systems demonstrate 24-hour operation with ~2 hours of
+ * charging, which the defaults reproduce.
+ */
+
+#pragma once
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::hw {
+
+/** Implantable battery + inductive link parameters. */
+struct BatterySpec
+{
+    /** Usable capacity (mWh) - small implanted cell. */
+    double capacityMwh = 350.0;
+    /** Inductive charging power delivered to the cell (mW). */
+    double chargeRateMw = 180.0;
+    /** Charge/discharge efficiency. */
+    double efficiency = 0.9;
+};
+
+/** A daily operation/charging plan. */
+struct ChargePlan
+{
+    /** Continuous operating hours per charge. */
+    double operatingHours = 0.0;
+    /** Hours of (paused) charging to refill. */
+    double chargingHours = 0.0;
+    /** Fraction of the day spent operating. */
+    double availability = 0.0;
+    /** Whether a 24 h day closes with these parameters. */
+    bool sustainsFullDay = false;
+};
+
+/** Plan a daily cycle for a node drawing @p load_mw while active. */
+ChargePlan planDailyCycle(double load_mw,
+                          const BatterySpec &battery = {});
+
+/**
+ * Battery needed (mWh) to run @p load_mw for @p hours between
+ * charges.
+ */
+double requiredCapacityMwh(double load_mw, double hours,
+                           const BatterySpec &battery = {});
+
+} // namespace scalo::hw

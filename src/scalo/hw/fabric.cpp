@@ -1,0 +1,119 @@
+#include "scalo/hw/fabric.hpp"
+
+#include <sstream>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::hw {
+
+Pipeline::Pipeline(std::string name, std::vector<PipelineStage> stages)
+    : pipelineName(std::move(name)), chain(std::move(stages))
+{
+    for (const PipelineStage &stage : chain) {
+        SCALO_ASSERT(stage.electrodes >= 0.0, "negative electrodes");
+        SCALO_ASSERT(stage.replicas >= 1, "replicas must be >= 1");
+    }
+}
+
+double
+Pipeline::latencyMs(bool worst_case) const
+{
+    double total = 0.0;
+    for (const PipelineStage &stage : chain) {
+        const PeSpec &spec = peSpec(stage.kind);
+        if (worst_case && spec.latencyMaxMs) {
+            total += *spec.latencyMaxMs;
+        } else if (spec.latencyMs) {
+            total += *spec.latencyMs;
+        }
+    }
+    return total;
+}
+
+double
+Pipeline::powerUw() const
+{
+    double total = 0.0;
+    for (const PipelineStage &stage : chain) {
+        const PeSpec &spec = peSpec(stage.kind);
+        // Work is spread over the replicas; leakage is paid per
+        // replica.
+        const double per_replica =
+            stage.electrodes / static_cast<double>(stage.replicas);
+        total += static_cast<double>(stage.replicas) *
+                 spec.powerUw(per_replica);
+    }
+    return total;
+}
+
+void
+Pipeline::scaleElectrodes(double factor)
+{
+    SCALO_ASSERT(factor >= 0.0, "negative scale factor");
+    for (PipelineStage &stage : chain)
+        stage.electrodes *= factor;
+}
+
+void
+Pipeline::addStage(const PipelineStage &stage)
+{
+    SCALO_ASSERT(stage.replicas >= 1, "replicas must be >= 1");
+    chain.push_back(stage);
+}
+
+NodeFabric::NodeFabric()
+{
+    for (const PeSpec &spec : peCatalog())
+        inventory[spec.kind] = 1;
+    // The LIN ALG cluster replicates the MAD (BMUL) unit 10x; four of
+    // them tile into 4-way blocks for large Kalman matrices
+    // (Section 3.2).
+    inventory[PeKind::BMUL] = 10;
+}
+
+int
+NodeFabric::available(PeKind kind) const
+{
+    const auto it = inventory.find(kind);
+    return it == inventory.end() ? 0 : it->second;
+}
+
+std::string
+NodeFabric::validate(const std::vector<Pipeline> &pipelines) const
+{
+    // Two flows may share a PE by interleaving (Section 3.5), so the
+    // constraint is per-stage replica count, not per-PE exclusivity.
+    for (const Pipeline &pipeline : pipelines) {
+        for (const PipelineStage &stage : pipeline.stages()) {
+            const int have = available(stage.kind);
+            if (stage.replicas > have) {
+                std::ostringstream oss;
+                oss << "pipeline '" << pipeline.name() << "' wants "
+                    << stage.replicas << " x " << peName(stage.kind)
+                    << " but the node has " << have;
+                return oss.str();
+            }
+        }
+    }
+    return {};
+}
+
+double
+NodeFabric::idlePowerUw() const
+{
+    double total = 0.0;
+    for (const auto &[kind, count] : inventory)
+        total += peSpec(kind).idlePowerUw() * count;
+    return total;
+}
+
+double
+NodeFabric::areaKge() const
+{
+    double total = 0.0;
+    for (const auto &[kind, count] : inventory)
+        total += peSpec(kind).areaKge * count;
+    return total;
+}
+
+} // namespace scalo::hw

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The per-node GALS processing fabric: PE instances joined by
+ * programmable switches into pipelines (Figure 2b). Every PE runs in
+ * its own clock domain with a programmable frequency divider, so power
+ * scales with the electrode rate each stage actually processes while
+ * latency stays fixed (Section 3.2).
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scalo/hw/pe.hpp"
+
+namespace scalo::hw {
+
+/** One pipeline stage: a PE processing some number of electrodes. */
+struct PipelineStage
+{
+    PeKind kind;
+    /** Electrode signals flowing through this stage per window. */
+    double electrodes = constants::kElectrodesPerNode;
+    /**
+     * Replicated instances of this PE working in parallel (e.g. the 10
+     * MAD units of the LIN ALG cluster).
+     */
+    int replicas = 1;
+};
+
+/** A configured dataflow pipeline through the fabric. */
+class Pipeline
+{
+  public:
+    Pipeline() = default;
+    Pipeline(std::string name, std::vector<PipelineStage> stages);
+
+    const std::string &name() const { return pipelineName; }
+    const std::vector<PipelineStage> &stages() const { return chain; }
+
+    /**
+     * End-to-end latency (ms): the sum of fixed stage latencies.
+     * Data-dependent PEs contribute zero here and must be accounted
+     * for by the caller. @param worst_case use SC's NVM-busy latency
+     */
+    double latencyMs(bool worst_case = false) const;
+
+    /** Total pipeline power (uW) including replica leakage. */
+    double powerUw() const;
+
+    /** Power in mW. */
+    double powerMw() const { return powerUw() / 1'000.0; }
+
+    /** Scale every stage's electrode count by @p factor. */
+    void scaleElectrodes(double factor);
+
+    /** Append a stage. */
+    void addStage(const PipelineStage &stage);
+
+  private:
+    std::string pipelineName;
+    std::vector<PipelineStage> chain;
+};
+
+/**
+ * The PE inventory of one node. SCALO nodes carry one instance of most
+ * PEs, 10 MAD (BMUL) units for the LIN ALG cluster (4 of which are
+ * tiled into 4-way blocks for the Kalman filter's large matrices), and
+ * the RISC-V MC.
+ */
+class NodeFabric
+{
+  public:
+    /** Default SCALO node inventory. */
+    NodeFabric();
+
+    /** Instances available of @p kind. */
+    int available(PeKind kind) const;
+
+    /**
+     * Validate that the union of @p pipelines fits this node's PE
+     * inventory (two flows may share one PE via interleaving, but a
+     * stage requesting more replicas than exist cannot be mapped).
+     * @return empty string if valid, else a diagnostic
+     */
+    std::string validate(const std::vector<Pipeline> &pipelines) const;
+
+    /** Total idle (leakage) power of the full inventory, in uW. */
+    double idlePowerUw() const;
+
+    /** Total fabric area in KGE. */
+    double areaKge() const;
+
+  private:
+    std::map<PeKind, int> inventory;
+};
+
+} // namespace scalo::hw

@@ -1,0 +1,124 @@
+#include "scalo/hw/pe.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::hw {
+
+namespace {
+
+/** Table 1 of the paper, transcribed verbatim. */
+std::vector<PeSpec>
+makeCatalog()
+{
+    using K = PeKind;
+    const auto none = std::nullopt;
+    std::vector<PeSpec> catalog{
+        // kind, name, function, fmax, leak, sram, dyn/elec, latency,
+        // latency(max), area
+        {K::ADD, "ADD", "Matrix Adder", 3, 0.08, 0.00, 0.983, 2.0,
+         none, 68},
+        {K::AES, "AES", "AES Encryption", 5, 53, 0.00, 0.61, none,
+         none, 55},
+        {K::BBF, "BBF", "Butterworth Bandpass Filter", 6, 66.00, 19.88,
+         0.35, 4.0, none, 23},
+        {K::BMUL, "BMUL", "Block Multiplier", 3, 145, 0.00, 1.544, 2.0,
+         none, 77},
+        {K::CCHECK, "CCHECK", "Collision Check", 16.393, 7.20, 0.88,
+         0.14, 0.5, none, 3},
+        {K::CSEL, "CSEL", "Channel Selection", 0.1, 4.00, 0.00, 6.00,
+         0.04, none, 2},
+        {K::DCOMP, "DCOMP", "Decompression", 16.393, 7.20, 0.00, 0.14,
+         0.5, none, 3},
+        {K::DTW, "DTW", "Dynamic Time Warping", 50, 167.93, 48.50,
+         26.94, 0.003, none, 72},
+        {K::DWT, "DWT", "Discrete Wavelet Transform", 3, 4, 0.00, 0.02,
+         4.0, none, 2},
+        {K::EMDH, "EMDH", "Earth-Mover's Distance Hash", 0.03, 10.47,
+         0.00, 0.00, 0.04, none, 9},
+        {K::FFT, "FFT", "Fast Fourier Transform", 15.7, 141.97, 85.58,
+         9.02, 4.0, none, 22},
+        {K::GATE, "GATE", "Gate Module to buffer data", 5, 67.00, 34.37,
+         0.63, 0.0, none, 17},
+        {K::HCOMP, "HCOMP", "Hash Compression", 2.88, 77.00, 0.00,
+         0.65, 4.0, none, 4},
+        {K::HCONV, "HCONV", "Hash Convolution Operation", 3, 89.89,
+         0.00, 0.80, 1.5, none, 8},
+        {K::HFREQ, "HFREQ", "Hash Frequency", 2.88, 61.98, 0.00, 0.52,
+         4.0, none, 6},
+        {K::INV, "INV", "Matrix Inverter", 41, 0.267, 0.00, 11.875,
+         30.0, none, 167},
+        {K::LIC, "LIC", "Linear Integer Coding", 22.5, 63, 6.00, 3.26,
+         none, none, 55},
+        {K::LZ, "LZ", "Lempel Ziv", 129, 150, 95.00, 30.43, none, none,
+         55},
+        {K::MA, "MA", "Markov Chain", 92, 194, 67.00, 32.76, none,
+         none, 55},
+        {K::NEO, "NEO", "Non-linear Energy Operator", 3, 12.00, 0.00,
+         0.03, 4.0, none, 5},
+        {K::NGRAM, "NGRAM", "Hash Ngram Generation", 0.2, 15.69, 9.07,
+         0.08, 1.5, none, 10},
+        {K::NPACK, "NPACK", "Network Packing", 3, 3.53, 0.00, 5.49,
+         0.008, none, 2},
+        {K::RC, "RC", "Range Coding", 90, 29, 0.00, 7.95, none, none,
+         55},
+        {K::SBP, "SBP", "Spike Band Power", 3, 12.00, 0.00, 0.03, 0.03,
+         none, 6},
+        {K::SC, "SC", "Storage Controller", 3.2, 95.30, 64.49, 1.64,
+         0.03, 4.0, 12},
+        {K::SUB, "SUB", "Matrix Subtractor", 3, 0.08, 0.00, 0.988, 2.0,
+         none, 69},
+        {K::SVM, "SVM", "Support Vector Machine", 3, 99.00, 53.58,
+         0.53, 1.67, none, 8},
+        {K::THR, "THR", "Threshold", 16, 2.00, 0.00, 0.11, 0.06, none,
+         1},
+        {K::TOK, "TOK", "Tokenizer", 6, 5.57, 0.00, 0.14, 0.001, none,
+         3},
+        {K::UNPACK, "UNPACK", "Network Unpacking", 3, 3.53, 0.00, 5.49,
+         0.008, none, 2},
+        {K::XCOR, "XCOR", "Pearson's Cross Correlation", 85, 377.00,
+         306.88, 44.11, 4.0, none, 81},
+    };
+    return catalog;
+}
+
+} // namespace
+
+const std::vector<PeSpec> &
+peCatalog()
+{
+    static const std::vector<PeSpec> catalog = makeCatalog();
+    return catalog;
+}
+
+const PeSpec &
+peSpec(PeKind kind)
+{
+    for (const PeSpec &spec : peCatalog())
+        if (spec.kind == kind)
+            return spec;
+    SCALO_PANIC("PE kind missing from catalog");
+}
+
+const PeSpec *
+findPe(std::string_view name)
+{
+    for (const PeSpec &spec : peCatalog())
+        if (spec.name == name)
+            return &spec;
+    return nullptr;
+}
+
+std::string_view
+peName(PeKind kind)
+{
+    return peSpec(kind).name;
+}
+
+const McSpec &
+mcSpec()
+{
+    static const McSpec spec{};
+    return spec;
+}
+
+} // namespace scalo::hw

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The processing-element (PE) catalog: every accelerator in a SCALO
+ * node, with the post-synthesis latency/power/area characteristics of
+ * Table 1 (28 nm FD-SOI, worst variation corner, 40 C) and the function
+ * descriptions of Table 4.
+ *
+ * Power model (Section 3.2, "Optimal Power Tuning"): each PE sits in
+ * its own clock domain and divides its maximum frequency to the lowest
+ * rate that sustains the required electrode throughput, so
+ *
+ *    P(e) = leakage + sram_leakage + dyn_per_electrode * e
+ *
+ * for e electrode signals processed, while latency stays fixed (the
+ * multiple-frequency-rail design keeps latency constant under a
+ * variable number of inputs).
+ */
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::hw {
+
+/** Every PE type in a SCALO node (Table 4). */
+enum class PeKind
+{
+    ADD,    ///< Matrix adder
+    AES,    ///< AES encryption
+    BBF,    ///< Butterworth bandpass filter
+    BMUL,   ///< Block multiplier (the MAD tile)
+    CCHECK, ///< Hash collision check
+    CSEL,   ///< Channel (signal) selection
+    DCOMP,  ///< Hash decompression
+    DTW,    ///< Dynamic time warping
+    DWT,    ///< Discrete wavelet transform
+    EMDH,   ///< Earth Mover's Distance hash
+    FFT,    ///< Fast Fourier transform
+    GATE,   ///< Data buffering gate
+    HCOMP,  ///< Hash compression
+    HCONV,  ///< Hash convolution (sketch dot products)
+    HFREQ,  ///< Hash frequency sorting
+    INV,    ///< Matrix inverter
+    LIC,    ///< Linear integer coding
+    LZ,     ///< Lempel-Ziv compression
+    MA,     ///< Markov chain
+    NEO,    ///< Non-linear energy operator
+    NGRAM,  ///< Hash n-gram generation + weighted min-hash
+    NPACK,  ///< Network packing
+    RC,     ///< Range coding
+    SBP,    ///< Spike band power
+    SC,     ///< Storage controller
+    SUB,    ///< Matrix subtractor
+    SVM,    ///< Support vector machine
+    THR,    ///< Threshold
+    TOK,    ///< Tokenizer
+    UNPACK, ///< Network unpacking
+    XCOR,   ///< Pearson's cross correlation
+};
+
+/** Number of PE kinds. */
+inline constexpr int kPeKindCount = 31;
+
+/** Static characteristics of one PE type (Table 1). */
+struct PeSpec
+{
+    PeKind kind;
+    std::string_view name;
+    std::string_view function;
+    /** Highest supported clock (MHz). */
+    double maxFreqMhz;
+    /** Logic leakage power (uW). */
+    double leakageUw;
+    /** SRAM leakage power (uW), shown parenthesised in Table 1. */
+    double sramLeakageUw;
+    /** Dynamic power per electrode signal processed (uW). */
+    double dynPerElectrodeUw;
+    /**
+     * Processing latency (ms) at any sustained rate; empty for
+     * data-dependent PEs (AES, LIC, LZ, MA, RC).
+     */
+    std::optional<double> latencyMs;
+    /** Worst-case latency (ms) when it differs (SC: NVM busy). */
+    std::optional<double> latencyMaxMs;
+    /** Area in kilo gate equivalents. */
+    double areaKge;
+
+    /** Power (uW) when processing @p electrodes signals. */
+    double
+    powerUw(double electrodes) const
+    {
+        return leakageUw + sramLeakageUw +
+               dynPerElectrodeUw * electrodes;
+    }
+
+    /** Leakage-only power (uW) when idle but powered. */
+    double idlePowerUw() const { return leakageUw + sramLeakageUw; }
+};
+
+/** The full catalog, ordered as Table 1. */
+const std::vector<PeSpec> &peCatalog();
+
+/** Spec of one PE kind. */
+const PeSpec &peSpec(PeKind kind);
+
+/** Catalog lookup by name ("DTW", "XCOR", ...). */
+const PeSpec *findPe(std::string_view name);
+
+/** Short name of a PE kind. */
+std::string_view peName(PeKind kind);
+
+/**
+ * The per-node RISC-V microcontroller (MC): 20 MHz, 8 KB SRAM. It
+ * configures pipelines, runs stimulation commands and hosts
+ * computations without a PE (e.g. fast EMD), at a large slowdown
+ * relative to dedicated hardware.
+ */
+struct McSpec
+{
+    double freqMhz = 20.0;
+    double sramKb = 8.0;
+    /** Active power (uW) - small in-order core in 28 nm. */
+    double activePowerUw = 400.0;
+    /**
+     * Throughput penalty of running a PE's task in software; Section
+     * 6.1 reports 10-100x for hash generation/matching.
+     */
+    double softwareSlowdown = 40.0;
+};
+
+/** The MC spec used across SCALO. */
+const McSpec &mcSpec();
+
+} // namespace scalo::hw

@@ -1,0 +1,97 @@
+#include "scalo/hw/switches.hpp"
+
+#include <sstream>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::hw {
+
+std::string
+Endpoint::name() const
+{
+    switch (type) {
+      case Type::Adc:
+        return "ADC";
+      case Type::Dac:
+        return "DAC";
+      case Type::Radio:
+        return "RADIO";
+      case Type::Nvm:
+        return "NVM";
+      case Type::Mc:
+        return "MC";
+      case Type::Pe:
+        return std::string(peName(pe)) + "#" +
+               std::to_string(instance);
+    }
+    SCALO_PANIC("unknown endpoint type");
+}
+
+SwitchFabric::SwitchFabric(const NodeFabric &node_fabric)
+    : fabric(&node_fabric)
+{
+}
+
+std::string
+SwitchFabric::connect(const Endpoint &source,
+                      const Endpoint &destination)
+{
+    if (source.type == Endpoint::Type::Dac)
+        return "DAC is a sink and cannot drive a circuit";
+    if (destination.type == Endpoint::Type::Adc)
+        return "ADC is a source and cannot be driven";
+
+    for (const Endpoint *ep : {&source, &destination}) {
+        if (ep->type == Endpoint::Type::Pe &&
+            ep->instance >= fabric->available(ep->pe)) {
+            std::ostringstream oss;
+            oss << "node has no " << ep->name();
+            return oss.str();
+        }
+    }
+    if (driverOf(destination) != nullptr) {
+        std::ostringstream oss;
+        oss << destination.name() << " input is already driven by "
+            << driverOf(destination)->name();
+        return oss.str();
+    }
+    circuits.push_back({source, destination});
+    return {};
+}
+
+void
+SwitchFabric::reset()
+{
+    circuits.clear();
+}
+
+const Endpoint *
+SwitchFabric::driverOf(const Endpoint &destination) const
+{
+    for (const Connection &connection : circuits)
+        if (connection.destination == destination)
+            return &connection.source;
+    return nullptr;
+}
+
+std::vector<Endpoint>
+SwitchFabric::traceFromAdc() const
+{
+    std::vector<Endpoint> chain{Endpoint::adc()};
+    while (chain.size() <= circuits.size() + 1) {
+        const Endpoint &head = chain.back();
+        bool advanced = false;
+        for (const Connection &connection : circuits) {
+            if (connection.source == head) {
+                chain.push_back(connection.destination);
+                advanced = true;
+                break;
+            }
+        }
+        if (!advanced)
+            break;
+    }
+    return chain;
+}
+
+} // namespace scalo::hw

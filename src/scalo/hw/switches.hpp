@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The inter-PE circuit-switched network (Figure 2b): programmable
+ * switches join PEs, the ADC/DAC front end, the radios and the NVM
+ * into pipelines. Circuit switching means each consumer input is
+ * driven by exactly one producer; producers may fan out.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scalo/hw/fabric.hpp"
+
+namespace scalo::hw {
+
+/** An endpoint on the switch network. */
+struct Endpoint
+{
+    enum class Type
+    {
+        Adc,   ///< electrode front end (source)
+        Dac,   ///< stimulation back end (sink)
+        Radio, ///< intra-SCALO or external radio
+        Nvm,   ///< storage, through the SC
+        Mc,    ///< the RISC-V microcontroller
+        Pe,    ///< an accelerator instance
+    };
+
+    Type type = Type::Pe;
+    /** Valid when type == Pe. */
+    PeKind pe = PeKind::GATE;
+    /** Instance index (e.g. which BMUL of the LIN ALG cluster). */
+    int instance = 0;
+
+    static Endpoint adc() { return {Type::Adc, PeKind::GATE, 0}; }
+    static Endpoint dac() { return {Type::Dac, PeKind::GATE, 0}; }
+    static Endpoint radio() { return {Type::Radio, PeKind::GATE, 0}; }
+    static Endpoint nvm() { return {Type::Nvm, PeKind::GATE, 0}; }
+    static Endpoint mc() { return {Type::Mc, PeKind::GATE, 0}; }
+    static Endpoint
+    of(PeKind kind, int instance = 0)
+    {
+        return {Type::Pe, kind, instance};
+    }
+
+    bool operator==(const Endpoint &) const = default;
+
+    /** Render as "FFT#0", "ADC", ... */
+    std::string name() const;
+};
+
+/** A configured circuit connection. */
+struct Connection
+{
+    Endpoint source;
+    Endpoint destination;
+
+    bool operator==(const Connection &) const = default;
+};
+
+/** The per-node switch state. */
+class SwitchFabric
+{
+  public:
+    /** @param fabric the PE inventory connections must respect */
+    explicit SwitchFabric(const NodeFabric &fabric);
+
+    /**
+     * Establish a circuit. Fails (returns a diagnostic) when the
+     * destination input is already driven, when an endpoint names a
+     * PE instance the node does not have, or when a source would be
+     * a pure sink (DAC).
+     * @return empty string on success
+     */
+    std::string connect(const Endpoint &source,
+                        const Endpoint &destination);
+
+    /** Tear down every circuit. */
+    void reset();
+
+    /** Current circuits. */
+    const std::vector<Connection> &connections() const
+    {
+        return circuits;
+    }
+
+    /** The producer currently driving @p destination, if any. */
+    const Endpoint *driverOf(const Endpoint &destination) const;
+
+    /**
+     * Follow circuits from the ADC; @return the endpoint chain, which
+     * for a well-formed pipeline ends at the radio, NVM, DAC or MC.
+     */
+    std::vector<Endpoint> traceFromAdc() const;
+
+  private:
+    const NodeFabric *fabric;
+    std::vector<Connection> circuits;
+};
+
+} // namespace scalo::hw

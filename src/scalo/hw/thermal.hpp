@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Thermal model for multi-implant deployments (Sections 2.3 and 5):
+ * the temperature rise around an implant falls off steeply with
+ * distance thanks to cerebrospinal-fluid and blood flow (~5% of peak
+ * at 10 mm, ~2% at 20 mm), making inter-implant coupling negligible at
+ * the default 20 mm spacing; up to 60 implants fit on an 86 mm-radius
+ * hemispherical cortical surface at 15 mW each.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::hw {
+
+/** Heat-falloff and placement model. */
+class ThermalModel
+{
+  public:
+    /**
+     * @param peak_delta_c peak temperature rise at the implant edge
+     *        for a 15 mW implant (the 1 C safety limit).
+     */
+    explicit ThermalModel(double peak_delta_c = 1.0);
+
+    /**
+     * Fractional temperature rise at @p distance_mm from an implant
+     * edge, relative to the peak (1.0 at the edge, ~0.05 at 10 mm,
+     * ~0.02 at 20 mm). Fitted power law through the published finite-
+     * element anchors.
+     */
+    double falloffFraction(double distance_mm) const;
+
+    /** Absolute rise (C) at @p distance_mm for an implant at @p mw. */
+    double deltaAtC(double distance_mm, double implant_mw) const;
+
+    /**
+     * Worst-case total rise (C) at one implant given neighbours at
+     * @p spacing_mm on a hexagonal grid, all running at @p mw.
+     */
+    double worstCaseRiseC(double spacing_mm, double implant_mw,
+                          std::size_t neighbours = 6) const;
+
+    /**
+     * Whether @p node_count implants at @p spacing_mm and @p mw each
+     * keep every site below the 1 C limit.
+     */
+    bool safe(std::size_t node_count, double spacing_mm,
+              double mw) const;
+
+    /**
+     * Maximum implants placeable with uniform optimal distribution on
+     * a hemispherical surface of kBrainRadiusMm at @p spacing_mm
+     * (calibrated to the paper's 60 implants at 20 mm).
+     */
+    static std::size_t maxImplants(double spacing_mm);
+
+  private:
+    double peakDeltaC;
+};
+
+} // namespace scalo::hw

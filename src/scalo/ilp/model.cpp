@@ -1,0 +1,93 @@
+#include "scalo/ilp/model.hpp"
+
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::ilp {
+
+int
+Model::addVariable(std::string name, double lower, double upper,
+                   bool integer)
+{
+    SCALO_ASSERT(lower <= upper, "variable '", name, "' has lower ",
+                 lower, " > upper ", upper);
+    vars.push_back({std::move(name), lower, upper, integer});
+    return static_cast<int>(vars.size()) - 1;
+}
+
+void
+Model::addConstraint(Expr expr, Relation relation, double rhs,
+                     std::string name)
+{
+    for (const Term &term : expr) {
+        SCALO_ASSERT(term.variable >= 0 &&
+                         term.variable <
+                             static_cast<int>(vars.size()),
+                     "constraint references unknown variable ",
+                     term.variable);
+    }
+    cons.push_back({std::move(expr), relation, rhs, std::move(name)});
+}
+
+void
+Model::setObjective(Expr expr, bool maximize_objective)
+{
+    for (const Term &term : expr) {
+        SCALO_ASSERT(term.variable >= 0 &&
+                         term.variable <
+                             static_cast<int>(vars.size()),
+                     "objective references unknown variable ",
+                     term.variable);
+    }
+    objectiveExpr = std::move(expr);
+    maximize = maximize_objective;
+}
+
+double
+Model::evaluate(const Expr &expr, const std::vector<double> &point)
+{
+    double acc = 0.0;
+    for (const Term &term : expr)
+        acc += term.coefficient *
+               point[static_cast<std::size_t>(term.variable)];
+    return acc;
+}
+
+bool
+Model::feasible(const std::vector<double> &point,
+                double tolerance) const
+{
+    if (point.size() != vars.size())
+        return false;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (point[i] < vars[i].lower - tolerance ||
+            point[i] > vars[i].upper + tolerance) {
+            return false;
+        }
+        if (vars[i].integer &&
+            std::abs(point[i] - std::round(point[i])) > tolerance) {
+            return false;
+        }
+    }
+    for (const Constraint &c : cons) {
+        const double lhs = evaluate(c.expr, point);
+        switch (c.relation) {
+          case Relation::LessEq:
+            if (lhs > c.rhs + tolerance)
+                return false;
+            break;
+          case Relation::GreaterEq:
+            if (lhs < c.rhs - tolerance)
+                return false;
+            break;
+          case Relation::Equal:
+            if (std::abs(lhs - c.rhs) > tolerance)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace scalo::ilp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Linear/integer-programming model builder. SCALO's scheduler
+ * formulates task mapping as an ILP (Section 3.5); the paper's
+ * artifact solves it with GLPK, which this repository replaces with
+ * its own exact solver (see solver.hpp).
+ */
+
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace scalo::ilp {
+
+/** Positive infinity for unbounded variable limits. */
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** One term of a linear expression: coefficient * variable. */
+struct Term
+{
+    int variable;
+    double coefficient;
+};
+
+/** A linear expression as a list of terms (duplicates are summed). */
+using Expr = std::vector<Term>;
+
+/** Constraint sense. */
+enum class Relation
+{
+    LessEq,
+    GreaterEq,
+    Equal,
+};
+
+/** One linear constraint: expr (rel) rhs. */
+struct Constraint
+{
+    Expr expr;
+    Relation relation;
+    double rhs;
+    std::string name;
+};
+
+/** A declared decision variable. */
+struct Variable
+{
+    std::string name;
+    double lower = 0.0;
+    double upper = kInf;
+    bool integer = false;
+};
+
+/** An LP/ILP in natural (bounded-variable) form. */
+class Model
+{
+  public:
+    /** Declare a variable; @return its index. */
+    int addVariable(std::string name, double lower = 0.0,
+                    double upper = kInf, bool integer = false);
+
+    /** Add a constraint. */
+    void addConstraint(Expr expr, Relation relation, double rhs,
+                       std::string name = {});
+
+    /** Set the objective; @p maximize selects the sense. */
+    void setObjective(Expr expr, bool maximize = true);
+
+    const std::vector<Variable> &variables() const { return vars; }
+    const std::vector<Constraint> &constraints() const { return cons; }
+    const Expr &objective() const { return objectiveExpr; }
+    bool maximizing() const { return maximize; }
+
+    /** Evaluate an expression at a point. */
+    static double evaluate(const Expr &expr,
+                           const std::vector<double> &point);
+
+    /** Whether @p point satisfies every constraint and bound. */
+    bool feasible(const std::vector<double> &point,
+                  double tolerance = 1e-6) const;
+
+  private:
+    std::vector<Variable> vars;
+    std::vector<Constraint> cons;
+    Expr objectiveExpr;
+    bool maximize = true;
+};
+
+} // namespace scalo::ilp

@@ -1,0 +1,485 @@
+#include "scalo/ilp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Internal standard-form problem:
+ *   maximize c.x  s.t.  A x = b,  x >= 0,  b >= 0,
+ * with a record of how original variables map onto standard ones.
+ */
+struct StandardForm
+{
+    std::vector<std::vector<double>> a;
+    std::vector<double> b;
+    std::vector<double> c;
+    double objectiveShift = 0.0;
+    bool flipObjective = false;
+    /**
+     * For each original variable: (positive part index, negative part
+     * index or -1, lower-bound shift).
+     */
+    struct VarMap
+    {
+        int positive;
+        int negative;
+        double shift;
+    };
+    std::vector<VarMap> varMap;
+    int columns = 0;
+    /** Per row: a column usable as the initial basis (+1 coefficient,
+     *  identity in that row), or -1 when an artificial is needed. */
+    std::vector<int> basicHint;
+};
+
+/**
+ * Convert a bounded-variable model (with per-node bound overrides for
+ * branch and bound) into standard form.
+ */
+StandardForm
+standardize(const Model &model, const std::vector<double> &lowers,
+            const std::vector<double> &uppers)
+{
+    StandardForm sf;
+    const auto &vars = model.variables();
+
+    // Map variables: shift finite lower bounds to zero; split free
+    // variables into positive/negative parts.
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        StandardForm::VarMap vm{};
+        if (std::isfinite(lowers[i])) {
+            vm.positive = sf.columns++;
+            vm.negative = -1;
+            vm.shift = lowers[i];
+        } else {
+            vm.positive = sf.columns++;
+            vm.negative = sf.columns++;
+            vm.shift = 0.0;
+        }
+        sf.varMap.push_back(vm);
+    }
+
+    // Gather rows: model constraints plus finite upper bounds.
+    struct Row
+    {
+        Expr expr;
+        Relation rel;
+        double rhs;
+    };
+    std::vector<Row> rows;
+    for (const Constraint &con : model.constraints())
+        rows.push_back({con.expr, con.relation, con.rhs});
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (std::isfinite(uppers[i])) {
+            rows.push_back({Expr{{static_cast<int>(i), 1.0}},
+                            Relation::LessEq, uppers[i]});
+        }
+    }
+
+    // Build dense rows over the standard variables, substituting
+    // x = shift + x_pos - x_neg, then append slack columns.
+    const int slack_count = static_cast<int>(std::count_if(
+        rows.begin(), rows.end(), [](const Row &row) {
+            return row.rel != Relation::Equal;
+        }));
+    const int total_cols = sf.columns + slack_count;
+
+    sf.a.assign(rows.size(), std::vector<double>(total_cols, 0.0));
+    sf.b.assign(rows.size(), 0.0);
+
+    int next_slack = sf.columns;
+    sf.basicHint.assign(rows.size(), -1);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        double rhs = rows[r].rhs;
+        for (const Term &term : rows[r].expr) {
+            const auto &vm = sf.varMap[term.variable];
+            sf.a[r][vm.positive] += term.coefficient;
+            if (vm.negative >= 0)
+                sf.a[r][vm.negative] -= term.coefficient;
+            rhs -= term.coefficient * vm.shift;
+        }
+        int slack_col = -1;
+        double slack_sign = 0.0;
+        if (rows[r].rel == Relation::LessEq) {
+            slack_col = next_slack++;
+            slack_sign = 1.0;
+        } else if (rows[r].rel == Relation::GreaterEq) {
+            slack_col = next_slack++;
+            slack_sign = -1.0;
+        }
+        if (slack_col >= 0)
+            sf.a[r][slack_col] = slack_sign;
+        sf.b[r] = rhs;
+        if (sf.b[r] < 0.0) {
+            for (double &coef : sf.a[r])
+                coef = -coef;
+            sf.b[r] = -sf.b[r];
+            slack_sign = -slack_sign;
+        }
+        // A +1 slack with a non-negative rhs is an identity column:
+        // it can start in the basis, so no artificial is needed.
+        if (slack_col >= 0 && slack_sign > 0.0)
+            sf.basicHint[r] = slack_col;
+    }
+    sf.columns = total_cols;
+
+    // Objective in standard variables (always maximize internally).
+    sf.c.assign(total_cols, 0.0);
+    sf.flipObjective = !model.maximizing();
+    const double sense = sf.flipObjective ? -1.0 : 1.0;
+    for (const Term &term : model.objective()) {
+        const auto &vm = sf.varMap[term.variable];
+        sf.c[vm.positive] += sense * term.coefficient;
+        if (vm.negative >= 0)
+            sf.c[vm.negative] -= sense * term.coefficient;
+        sf.objectiveShift += sense * term.coefficient * vm.shift;
+    }
+    return sf;
+}
+
+/** Dense simplex tableau with Bland's rule. */
+class Tableau
+{
+  public:
+    Tableau(const std::vector<std::vector<double>> &a,
+            const std::vector<double> &b, int columns,
+            const std::vector<int> &basic_hints)
+        : rows(a.size()), cols(columns)
+    {
+        // Layout: [A | artificials | b]. Rows whose hint column is an
+        // identity column start with it in the basis; only the
+        // remaining rows (equalities and negated inequalities) need
+        // artificial columns for phase 1.
+        artificials = 0;
+        for (std::size_t r = 0; r < rows; ++r)
+            if (basic_hints[r] < 0)
+                ++artificials;
+
+        table.assign(rows, std::vector<double>(
+                               cols + artificials + 1, 0.0));
+        basis.assign(rows, 0);
+        int next_artificial = cols;
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c)
+                table[r][c] = a[r][c];
+            table[r].back() = b[r];
+            if (basic_hints[r] >= 0) {
+                basis[r] = basic_hints[r];
+            } else {
+                table[r][next_artificial] = 1.0;
+                basis[r] = next_artificial++;
+            }
+        }
+    }
+
+    /** Phase 1: drive artificials to zero. @return feasible? */
+    bool
+    phaseOne()
+    {
+        if (artificials == 0)
+            return true;
+        // Minimize the sum of artificials == maximize -(sum).
+        std::vector<double> objective(totalCols(), 0.0);
+        for (int c = cols; c < totalCols(); ++c)
+            objective[static_cast<std::size_t>(c)] = -1.0;
+        const double value = optimize(objective,
+                                      /*restrict_cols=*/-1);
+        if (value < -1e-7 * (1.0 + static_cast<double>(rows)))
+            return false;
+        pivotOutArtificials();
+        return true;
+    }
+
+    /**
+     * Phase 2 on the original columns. @return true, or false when
+     * unbounded.
+     */
+    bool
+    phaseTwo(const std::vector<double> &c, double &objective_value)
+    {
+        std::vector<double> objective(totalCols(), 0.0);
+        for (int j = 0; j < cols; ++j)
+            objective[static_cast<std::size_t>(j)] = c[j];
+        unboundedFlag = false;
+        objective_value = optimize(objective, cols);
+        return !unboundedFlag;
+    }
+
+    /** Extract the current basic solution over the first n columns. */
+    std::vector<double>
+    solution(int n) const
+    {
+        std::vector<double> x(n, 0.0);
+        for (std::size_t r = 0; r < rows; ++r)
+            if (basis[r] < n)
+                x[basis[r]] = table[r].back();
+        return x;
+    }
+
+  private:
+    /**
+     * Primal simplex with the given objective; columns >= restrict_cols
+     * are barred from entering (used to lock artificials out in phase
+     * 2; pass -1 for no restriction). @return objective value
+     */
+    double
+    optimize(const std::vector<double> &c, int restrict_cols)
+    {
+        const int limit =
+            restrict_cols < 0 ? totalCols() : restrict_cols;
+        // Reduced costs require the objective expressed over the
+        // current basis: price out basic columns first.
+        std::vector<double> z = c;
+        double value = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            const double coef = z[basis[r]];
+            if (coef == 0.0)
+                continue;
+            value += coef * table[r].back();
+            for (int j = 0; j < totalCols(); ++j)
+                z[static_cast<std::size_t>(j)] -= coef * table[r][j];
+        }
+
+        for (int iter = 0; iter < 100'000; ++iter) {
+            // Bland: smallest-index entering column.
+            int enter = -1;
+            for (int j = 0; j < limit; ++j) {
+                if (z[j] > kEps) {
+                    enter = j;
+                    break;
+                }
+            }
+            if (enter < 0)
+                return value;
+
+            // Ratio test with Bland tie-break on basis index.
+            int leave = -1;
+            double best_ratio = 0.0;
+            for (std::size_t r = 0; r < rows; ++r) {
+                if (table[r][enter] > kEps) {
+                    const double ratio =
+                        table[r].back() / table[r][enter];
+                    if (leave < 0 || ratio < best_ratio - kEps ||
+                        (ratio < best_ratio + kEps &&
+                         basis[r] < basis[static_cast<std::size_t>(
+                             leave)])) {
+                        leave = static_cast<int>(r);
+                        best_ratio = ratio;
+                    }
+                }
+            }
+            if (leave < 0) {
+                unboundedFlag = true;
+                return value;
+            }
+            pivot(static_cast<std::size_t>(leave), enter);
+            // Update reduced costs and value incrementally.
+            const double coef = z[enter];
+            value += coef * table[static_cast<std::size_t>(leave)]
+                                .back();
+            for (int j = 0; j < totalCols(); ++j)
+                z[static_cast<std::size_t>(j)] -=
+                    coef * table[static_cast<std::size_t>(leave)][j];
+        }
+        SCALO_PANIC("simplex iteration limit reached");
+    }
+
+    void
+    pivot(std::size_t row, int col)
+    {
+        const double p = table[row][col];
+        SCALO_ASSERT(std::abs(p) > kEps, "pivot on ~zero");
+        for (double &v : table[row])
+            v /= p;
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (r == row)
+                continue;
+            const double factor = table[r][col];
+            if (factor == 0.0)
+                continue;
+            for (std::size_t j = 0; j < table[r].size(); ++j)
+                table[r][j] -= factor * table[row][j];
+        }
+        basis[row] = col;
+    }
+
+    /** After phase 1, swap any remaining artificials out of the basis. */
+    void
+    pivotOutArtificials()
+    {
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (basis[r] < cols)
+                continue;
+            int col = -1;
+            for (int j = 0; j < cols; ++j) {
+                if (std::abs(table[r][j]) > kEps) {
+                    col = j;
+                    break;
+                }
+            }
+            if (col >= 0) {
+                pivot(r, col);
+            }
+            // A fully-zero row is redundant; its artificial stays
+            // basic at value zero, which is harmless.
+        }
+    }
+
+    int totalCols() const { return cols + artificials; }
+
+    std::size_t rows;
+    int cols;
+    int artificials = 0;
+    std::vector<std::vector<double>> table;
+    std::vector<int> basis;
+    bool unboundedFlag = false;
+};
+
+/** Solve the LP with explicit bound vectors (branch-and-bound hook). */
+Solution
+solveWithBounds(const Model &model, const std::vector<double> &lowers,
+                const std::vector<double> &uppers)
+{
+    for (std::size_t i = 0; i < lowers.size(); ++i) {
+        if (lowers[i] > uppers[i] + kEps)
+            return {Status::Infeasible, 0.0, {}};
+    }
+
+    const StandardForm sf = standardize(model, lowers, uppers);
+    Tableau tableau(sf.a, sf.b, sf.columns, sf.basicHint);
+    if (!tableau.phaseOne())
+        return {Status::Infeasible, 0.0, {}};
+
+    double value = 0.0;
+    if (!tableau.phaseTwo(sf.c, value))
+        return {Status::Unbounded, 0.0, {}};
+
+    const auto x = tableau.solution(sf.columns);
+    Solution solution;
+    solution.status = Status::Optimal;
+    solution.values.resize(model.variables().size());
+    for (std::size_t i = 0; i < solution.values.size(); ++i) {
+        const auto &vm = sf.varMap[i];
+        double v = vm.shift + x[static_cast<std::size_t>(vm.positive)];
+        if (vm.negative >= 0)
+            v -= x[static_cast<std::size_t>(vm.negative)];
+        solution.values[i] = v;
+    }
+    const double raw = value + sf.objectiveShift;
+    solution.objective = sf.flipObjective ? -raw : raw;
+    return solution;
+}
+
+} // namespace
+
+Solution
+solveLp(const Model &model)
+{
+    std::vector<double> lowers, uppers;
+    for (const Variable &var : model.variables()) {
+        lowers.push_back(var.lower);
+        uppers.push_back(var.upper);
+    }
+    return solveWithBounds(model, lowers, uppers);
+}
+
+Solution
+solveIlp(const Model &model, int max_nodes)
+{
+    std::vector<double> lowers, uppers;
+    for (const Variable &var : model.variables()) {
+        lowers.push_back(var.lower);
+        uppers.push_back(var.upper);
+    }
+
+    Solution incumbent;
+    incumbent.status = Status::Infeasible;
+    bool have_incumbent = false;
+    const double sense = model.maximizing() ? 1.0 : -1.0;
+    int nodes = 0;
+    bool root_unbounded = false;
+
+    // Depth-first branch and bound with best-bound pruning.
+    struct Frame
+    {
+        std::vector<double> lowers;
+        std::vector<double> uppers;
+    };
+    std::vector<Frame> stack{{lowers, uppers}};
+
+    while (!stack.empty()) {
+        SCALO_ASSERT(++nodes <= max_nodes,
+                     "branch-and-bound node budget exceeded");
+        Frame frame = std::move(stack.back());
+        stack.pop_back();
+
+        const Solution relaxed =
+            solveWithBounds(model, frame.lowers, frame.uppers);
+        if (relaxed.status == Status::Unbounded) {
+            root_unbounded = true;
+            continue;
+        }
+        if (relaxed.status != Status::Optimal)
+            continue;
+        if (have_incumbent &&
+            sense * relaxed.objective <=
+                sense * incumbent.objective + 1e-9) {
+            continue; // bound: cannot beat the incumbent
+        }
+
+        // Find the most fractional integer variable.
+        int branch_var = -1;
+        double worst_frac = 1e-6;
+        for (std::size_t i = 0; i < model.variables().size(); ++i) {
+            if (!model.variables()[i].integer)
+                continue;
+            const double v = relaxed.values[i];
+            const double frac = std::abs(v - std::round(v));
+            if (frac > worst_frac) {
+                worst_frac = frac;
+                branch_var = static_cast<int>(i);
+            }
+        }
+
+        if (branch_var < 0) {
+            // Integral: candidate incumbent.
+            incumbent = relaxed;
+            // Snap near-integers exactly.
+            for (std::size_t i = 0; i < model.variables().size();
+                 ++i) {
+                if (model.variables()[i].integer)
+                    incumbent.values[i] =
+                        std::round(incumbent.values[i]);
+            }
+            have_incumbent = true;
+            continue;
+        }
+
+        const double v =
+            relaxed.values[static_cast<std::size_t>(branch_var)];
+        // Down branch.
+        Frame down = frame;
+        down.uppers[static_cast<std::size_t>(branch_var)] =
+            std::floor(v);
+        // Up branch, explored first (DFS stack order).
+        Frame up = std::move(frame);
+        up.lowers[static_cast<std::size_t>(branch_var)] =
+            std::ceil(v);
+        stack.push_back(std::move(down));
+        stack.push_back(std::move(up));
+    }
+
+    if (!have_incumbent && root_unbounded)
+        return {Status::Unbounded, 0.0, {}};
+    return incumbent;
+}
+
+} // namespace scalo::ilp

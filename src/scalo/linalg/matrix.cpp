@@ -1,0 +1,209 @@
+#include "scalo/linalg/matrix.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : nRows(rows), nCols(cols), data(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init)
+{
+    nRows = init.size();
+    nCols = nRows ? init.begin()->size() : 0;
+    data.reserve(nRows * nCols);
+    for (const auto &row : init) {
+        SCALO_ASSERT(row.size() == nCols, "ragged initializer row");
+        for (double v : row)
+            data.push_back(v);
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::columnVector(const std::vector<double> &values)
+{
+    Matrix m(values.size(), 1);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        m.at(i, 0) = values[i];
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    SCALO_ASSERT(r < nRows && c < nCols, "index (", r, ",", c,
+                 ") out of ", nRows, "x", nCols);
+    return data[r * nCols + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    SCALO_ASSERT(r < nRows && c < nCols, "index (", r, ",", c,
+                 ") out of ", nRows, "x", nCols);
+    return data[r * nCols + c];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(nCols, nRows);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+std::vector<double>
+Matrix::flatten() const
+{
+    return data;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    if (!a.sameShape(b))
+        return std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.data.size(); ++i)
+        worst = std::max(worst, std::abs(a.data[i] - b.data[i]));
+    return worst;
+}
+
+Matrix
+applyStage(Matrix m, const OutputStage &stage)
+{
+    if (!stage.relu && !stage.normalize)
+        return m;
+    SCALO_ASSERT(!stage.normalize || stage.stddev > 0.0,
+                 "normalisation stddev must be positive");
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            double v = m.at(r, c);
+            if (stage.normalize)
+                v = (v - stage.mean) / stage.stddev;
+            if (stage.relu && v < 0.0)
+                v = 0.0;
+            m.at(r, c) = v;
+        }
+    }
+    return m;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b, const OutputStage &stage)
+{
+    SCALO_ASSERT(a.sameShape(b), "add shape mismatch ", a.rows(), "x",
+                 a.cols(), " vs ", b.rows(), "x", b.cols());
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            out.at(r, c) = a.at(r, c) + b.at(r, c);
+    return applyStage(std::move(out), stage);
+}
+
+Matrix
+sub(const Matrix &a, const Matrix &b)
+{
+    SCALO_ASSERT(a.sameShape(b), "sub shape mismatch ", a.rows(), "x",
+                 a.cols(), " vs ", b.rows(), "x", b.cols());
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            out.at(r, c) = a.at(r, c) - b.at(r, c);
+    return out;
+}
+
+Matrix
+mul(const Matrix &a, const Matrix &b)
+{
+    SCALO_ASSERT(a.cols() == b.rows(), "mul shape mismatch ", a.rows(),
+                 "x", a.cols(), " * ", b.rows(), "x", b.cols());
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double av = a.at(r, k);
+            if (av == 0.0)
+                continue;
+            for (std::size_t c = 0; c < b.cols(); ++c)
+                out.at(r, c) += av * b.at(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+mad(const Matrix &a, const Matrix &b, const Matrix &c,
+    const OutputStage &stage)
+{
+    Matrix product = mul(a, b);
+    SCALO_ASSERT(product.sameShape(c), "mad constant shape mismatch");
+    return add(product, c, stage);
+}
+
+Matrix
+inverse(const Matrix &m)
+{
+    SCALO_ASSERT(m.rows() == m.cols(), "inverse of non-square ",
+                 m.rows(), "x", m.cols());
+    const std::size_t n = m.rows();
+
+    // Augmented [M | I], reduced in place by Gauss-Jordan elimination
+    // with partial pivoting, exactly the INV PE's algorithm [105].
+    Matrix aug(n, 2 * n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c)
+            aug.at(r, c) = m.at(r, c);
+        aug.at(r, n + r) = 1.0;
+    }
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot: largest magnitude in this column.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(aug.at(r, col)) > std::abs(aug.at(pivot, col)))
+                pivot = r;
+        if (std::abs(aug.at(pivot, col)) < 1e-12)
+            SCALO_FATAL("singular matrix in inverse()");
+        if (pivot != col)
+            for (std::size_t c = 0; c < 2 * n; ++c)
+                std::swap(aug.at(pivot, c), aug.at(col, c));
+
+        const double inv_pivot = 1.0 / aug.at(col, col);
+        for (std::size_t c = 0; c < 2 * n; ++c)
+            aug.at(col, c) *= inv_pivot;
+
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r == col)
+                continue;
+            const double factor = aug.at(r, col);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = 0; c < 2 * n; ++c)
+                aug.at(r, c) -= factor * aug.at(col, c);
+        }
+    }
+
+    Matrix inv(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            inv.at(r, c) = aug.at(r, n + c);
+    return inv;
+}
+
+} // namespace scalo::linalg

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Dense row-major matrix and the operations provided by SCALO's LIN ALG
+ * PE cluster (Section 3.2): multiply-add with a constant matrix (MAD),
+ * addition (ADD), subtraction (SUB), Gauss-Jordan inversion (INV), and
+ * the fused ReLU / normalisation output stages configurable on the MAD
+ * and ADD units.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace scalo::linalg {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialised rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Matrix from nested initializer lists (rows of equal length). */
+    Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Column vector from values. */
+    static Matrix columnVector(const std::vector<double> &values);
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    double &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return at(r, c);
+    }
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Flatten to a vector (row-major). */
+    std::vector<double> flatten() const;
+
+    /** Max |a - b| over all entries; infinity on shape mismatch. */
+    static double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+    bool sameShape(const Matrix &other) const
+    {
+        return nRows == other.nRows && nCols == other.nCols;
+    }
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    std::vector<double> data;
+};
+
+/** Output stage configurable on the MAD and ADD PEs. */
+struct OutputStage
+{
+    /** Suppress negative outputs (the PE's ReLU parameter). */
+    bool relu = false;
+    /** Normalise outputs: (y - mean) / stddev (stddev > 0 required). */
+    bool normalize = false;
+    double mean = 0.0;
+    double stddev = 1.0;
+};
+
+/** a + b (the ADD PE), with optional output stage. */
+Matrix add(const Matrix &a, const Matrix &b, const OutputStage &stage = {});
+
+/** a - b (the SUB PE). */
+Matrix sub(const Matrix &a, const Matrix &b);
+
+/** a * b (the MAD PE configured as MUL only). */
+Matrix mul(const Matrix &a, const Matrix &b);
+
+/**
+ * a * b + c (the MAD PE: multiply and add with a constant matrix), with
+ * the optional fused ReLU/normalisation output stage.
+ */
+Matrix mad(const Matrix &a, const Matrix &b, const Matrix &c,
+           const OutputStage &stage = {});
+
+/**
+ * Matrix inverse via Gauss-Jordan elimination with partial pivoting
+ * (the INV PE). @throws via SCALO_FATAL if the matrix is singular.
+ */
+Matrix inverse(const Matrix &m);
+
+/** Apply an output stage to every element of a matrix copy. */
+Matrix applyStage(Matrix m, const OutputStage &stage);
+
+} // namespace scalo::linalg

@@ -1,0 +1,72 @@
+#include "scalo/lsh/collision.hpp"
+
+#include <algorithm>
+
+namespace scalo::lsh {
+
+CollisionChecker::CollisionChecker(std::uint64_t lookback_us)
+    : lookback(lookback_us)
+{
+}
+
+void
+CollisionChecker::store(const HashRecord &record)
+{
+    records.push_back(record);
+}
+
+void
+CollisionChecker::expire(std::uint64_t now_us)
+{
+    while (!records.empty() &&
+           records.front().timestampUs + lookback < now_us) {
+        records.pop_front();
+    }
+}
+
+std::vector<CollisionMatch>
+CollisionChecker::check(const std::vector<Signature> &received,
+                        std::uint64_t now_us) const
+{
+    std::vector<CollisionMatch> matches;
+    if (received.empty() || records.empty())
+        return matches;
+
+    // Sort (band value, received index) keys in "SRAM"; every band of
+    // every received signature is an entry.
+    std::vector<std::pair<std::uint64_t, std::size_t>> keys;
+    for (std::size_t i = 0; i < received.size(); ++i)
+        for (unsigned b = 0; b < received[i].bandCount(); ++b)
+            keys.emplace_back(received[i].band(b), i);
+    std::sort(keys.begin(), keys.end());
+
+    const std::uint64_t horizon =
+        (now_us > lookback) ? (now_us - lookback) : 0;
+
+    for (const HashRecord &record : records) {
+        if (record.timestampUs < horizon || record.timestampUs > now_us)
+            continue;
+        // A local record matches a received signature if any band value
+        // is shared (the signatures' OR-construction match rule).
+        std::vector<std::size_t> matched_indices;
+        for (unsigned b = 0; b < record.signature.bandCount(); ++b) {
+            const std::uint64_t key = record.signature.band(b);
+            auto it = std::lower_bound(
+                keys.begin(), keys.end(),
+                std::make_pair(key, std::size_t{0}));
+            for (; it != keys.end() && it->first == key; ++it)
+                matched_indices.push_back(it->second);
+        }
+        std::sort(matched_indices.begin(), matched_indices.end());
+        matched_indices.erase(std::unique(matched_indices.begin(),
+                                          matched_indices.end()),
+                              matched_indices.end());
+        for (std::size_t idx : matched_indices) {
+            if (record.signature.matches(received[idx]))
+                matches.push_back({idx, record});
+        }
+    }
+    return matches;
+}
+
+} // namespace scalo::lsh

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The CCHECK PE: stores received hashes in SRAM, sorts them in place,
+ * reads local hashes up to a configurable past time from storage, and
+ * checks for matches with binary search (Section 3.2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "scalo/lsh/signature.hpp"
+#include "scalo/util/types.hpp"
+
+namespace scalo::lsh {
+
+/** A locally stored hash record. */
+struct HashRecord
+{
+    /** Window timestamp in microseconds since device start. */
+    std::uint64_t timestampUs;
+    ElectrodeId electrode;
+    Signature signature;
+};
+
+/** A match between a received hash and a stored local hash. */
+struct CollisionMatch
+{
+    /** Index into the received batch. */
+    std::size_t receivedIndex;
+    HashRecord local;
+};
+
+/** Hash store + matcher mirroring the CCHECK PE's behaviour. */
+class CollisionChecker
+{
+  public:
+    /**
+     * @param lookback_us how far into the past local hashes are read
+     *        when matching (the PE's configurable window, e.g. 100 ms)
+     */
+    explicit CollisionChecker(std::uint64_t lookback_us = 100'000);
+
+    /** Record a locally generated hash. */
+    void store(const HashRecord &record);
+
+    /** Drop records older than the lookback horizon relative to @p now. */
+    void expire(std::uint64_t now_us);
+
+    /**
+     * Match a batch of received signatures against local hashes within
+     * the lookback horizon of @p now_us. Implements the PE's algorithm:
+     * sort the received band keys in SRAM, then binary-search each
+     * local band key against them.
+     */
+    std::vector<CollisionMatch>
+    check(const std::vector<Signature> &received,
+          std::uint64_t now_us) const;
+
+    /** Number of stored records. */
+    std::size_t size() const { return records.size(); }
+
+    std::uint64_t lookbackUs() const { return lookback; }
+
+  private:
+    std::uint64_t lookback;
+    std::deque<HashRecord> records;
+};
+
+} // namespace scalo::lsh

@@ -1,0 +1,62 @@
+#include "scalo/lsh/emd_hash.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::lsh {
+
+EmdHasher::EmdHasher(const EmdHashParams &params, std::size_t signal_len)
+    : config(params)
+{
+    SCALO_ASSERT(config.bucketWidth > 0.0, "bucketWidth must be > 0");
+    SCALO_ASSERT(config.bands >= 1 &&
+                     config.bands * config.bandBits <= 64,
+                 "bad band configuration");
+    SCALO_ASSERT(signal_len >= 1, "signal_len must be >= 1");
+
+    Rng rng(config.seed);
+    projections.resize(config.bands);
+    offsets.resize(config.bands);
+    for (unsigned b = 0; b < config.bands; ++b) {
+        projections[b].reserve(signal_len);
+        // Non-negative random weights keep the projection of a mass
+        // vector non-negative, so the square root is well defined.
+        for (std::size_t i = 0; i < signal_len; ++i)
+            projections[b].push_back(rng.uniform());
+        offsets[b] = rng.uniform(0.0, config.bucketWidth);
+    }
+}
+
+Signature
+EmdHasher::signature(const std::vector<double> &input) const
+{
+    SCALO_ASSERT(input.size() == projections.front().size(),
+                 "input length ", input.size(), " != configured ",
+                 projections.front().size());
+
+    // Shift to non-negative mass, as EMD operates on mass vectors.
+    double lo = 0.0;
+    for (double v : input)
+        lo = std::min(lo, v);
+
+    std::uint64_t packed = 0;
+    for (unsigned b = 0; b < config.bands; ++b) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < input.size(); ++i)
+            dot += (input[i] - lo) * projections[b][i];
+        const double root = std::sqrt(std::max(0.0, dot));
+        const auto bucket = static_cast<std::int64_t>(
+            std::floor((root + offsets[b]) / config.bucketWidth));
+        const std::uint64_t mask =
+            (config.bandBits >= 64) ? ~0ULL
+                                    : ((1ULL << config.bandBits) - 1);
+        packed |= (static_cast<std::uint64_t>(bucket) & mask)
+                  << (b * config.bandBits);
+    }
+    return {packed, config.bands, config.bandBits};
+}
+
+} // namespace scalo::lsh

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Locality-sensitive hash for Earth Mover's Distance (the EMDH PE),
+ * following the chi^2/EMD LSH of Gorisse et al. [40]: project the whole
+ * signal onto a random vector, then hash a linear function of the square
+ * root of the projection (Section 2.4). The projection step shares the
+ * HCONV dot-product hardware.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/lsh/signature.hpp"
+
+namespace scalo::lsh {
+
+/** Configuration of the EMD hash family. */
+struct EmdHashParams
+{
+    /** Quantisation bucket width in sqrt-projection units. */
+    double bucketWidth = 4.0;
+    /** Number of OR-construction bands. */
+    unsigned bands = 2;
+    /** Bits per band. */
+    unsigned bandBits = 8;
+    /** Seed for projection vectors and per-band offsets. */
+    std::uint64_t seed = 0xe3d4a500ULL;
+};
+
+/** EMD LSH hasher; one projection vector per band. */
+class EmdHasher
+{
+  public:
+    /**
+     * @param params      family configuration
+     * @param signal_len  expected input length (projection vector size)
+     */
+    EmdHasher(const EmdHashParams &params, std::size_t signal_len);
+
+    /** Signature of @p input (shifted to non-negative mass internally). */
+    Signature signature(const std::vector<double> &input) const;
+
+    const EmdHashParams &params() const { return config; }
+
+  private:
+    EmdHashParams config;
+    std::vector<std::vector<double>> projections;
+    std::vector<double> offsets;
+};
+
+} // namespace scalo::lsh

@@ -1,0 +1,89 @@
+#include "scalo/lsh/hasher.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::lsh {
+
+SshParams
+WindowHasher::defaultSshParams(signal::Measure measure,
+                               std::size_t window_samples,
+                               std::uint64_t seed)
+{
+    SshParams params;
+    params.seed = seed;
+    const auto n = static_cast<unsigned>(window_samples);
+    switch (measure) {
+      case signal::Measure::Euclidean:
+        // Euclidean wants the finest-grained sketches of the three
+        // (Figure 14's usable region sits at smaller window sizes).
+        params.windowSize = std::max(8u, n / 6);
+        params.stride = std::max(1u, params.windowSize / 6);
+        params.ngramSize = 5;
+        break;
+      case signal::Measure::Dtw:
+        // DTW tolerates warping: wider windows absorb local time shifts.
+        params.windowSize = std::max(8u, n / 5);
+        params.stride = std::max(1u, params.windowSize / 6);
+        params.ngramSize = 5;
+        break;
+      case signal::Measure::Xcor:
+        // Cross-correlation is shift-tolerant: the widest windows and
+        // slightly shorter shingles.
+        params.windowSize = std::max(8u, n / 4);
+        params.stride = std::max(1u, params.windowSize / 6);
+        params.ngramSize = 4;
+        break;
+      case signal::Measure::Emd:
+        SCALO_PANIC("EMD uses EmdHasher, not SSH");
+    }
+    return params;
+}
+
+WindowHasher::WindowHasher(signal::Measure measure,
+                           std::size_t window_samples, std::uint64_t seed)
+    : hashMeasure(measure)
+{
+    if (measure == signal::Measure::Emd) {
+        EmdHashParams params;
+        params.seed = seed;
+        emd = std::make_unique<EmdHasher>(params, window_samples);
+    } else {
+        ssh = std::make_unique<SshHasher>(
+            defaultSshParams(measure, window_samples, seed));
+    }
+}
+
+WindowHasher::WindowHasher(const SshParams &params,
+                           std::size_t window_samples)
+    : hashMeasure(signal::Measure::Dtw),
+      ssh(std::make_unique<SshHasher>(params))
+{
+    SCALO_ASSERT(window_samples >= params.windowSize,
+                 "window shorter than sketch window");
+}
+
+WindowHasher::WindowHasher(const EmdHashParams &params,
+                           std::size_t window_samples)
+    : hashMeasure(signal::Measure::Emd),
+      emd(std::make_unique<EmdHasher>(params, window_samples))
+{
+}
+
+Signature
+WindowHasher::hash(const std::vector<double> &window) const
+{
+    if (emd)
+        return emd->signature(window);
+    return ssh->signature(window);
+}
+
+unsigned
+WindowHasher::signatureBytes() const
+{
+    if (emd) {
+        return (emd->params().bands * emd->params().bandBits + 7) / 8;
+    }
+    return (ssh->params().bands * ssh->params().bandBits + 7) / 8;
+}
+
+} // namespace scalo::lsh

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Measure-agnostic hashing front end. The paper's key observation is
+ * that one LSH PE family serves Euclidean, DTW, and cross-correlation by
+ * varying its (windowSize, ngramSize) parameters, while EMD uses the
+ * shared dot-product plus a square-root hash. WindowHasher packages that
+ * choice behind one interface.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "scalo/lsh/emd_hash.hpp"
+#include "scalo/lsh/signature.hpp"
+#include "scalo/lsh/ssh.hpp"
+#include "scalo/signal/distance.hpp"
+
+namespace scalo::lsh {
+
+/** Hash generator for fixed-length signal windows under one measure. */
+class WindowHasher
+{
+  public:
+    /**
+     * Build a hasher tuned for @p measure on windows of
+     * @p window_samples samples (default parameters follow the usable
+     * regions of Figure 14).
+     */
+    WindowHasher(signal::Measure measure, std::size_t window_samples,
+                 std::uint64_t seed = 0x5ca10ULL);
+
+    /** Build an SSH hasher with explicit parameters. */
+    WindowHasher(const SshParams &params, std::size_t window_samples);
+
+    /** Build an EMD hasher with explicit parameters. */
+    WindowHasher(const EmdHashParams &params, std::size_t window_samples);
+
+    /** Signature of one window. */
+    Signature hash(const std::vector<double> &window) const;
+
+    /** The measure this hasher approximates. */
+    signal::Measure measure() const { return hashMeasure; }
+
+    /** Signature size on the wire, in bytes. */
+    unsigned signatureBytes() const;
+
+    /**
+     * Default SSH parameters for a measure (Figure 14 usable regions):
+     * the same family serves Euclidean/DTW/XCOR with different
+     * window/n-gram settings.
+     */
+    static SshParams defaultSshParams(signal::Measure measure,
+                                      std::size_t window_samples,
+                                      std::uint64_t seed);
+
+  private:
+    signal::Measure hashMeasure;
+    std::unique_ptr<SshHasher> ssh;
+    std::unique_ptr<EmdHasher> emd;
+};
+
+} // namespace scalo::lsh

@@ -1,0 +1,57 @@
+#include "scalo/lsh/signature.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::lsh {
+
+Signature::Signature(std::uint64_t packed, unsigned bands,
+                     unsigned band_bits)
+    : value(packed), nBands(bands), bitsPerBand(band_bits)
+{
+    SCALO_ASSERT(bands >= 1, "signature needs at least one band");
+    SCALO_ASSERT(band_bits >= 1 && bands * band_bits <= 64,
+                 "signature too wide: ", bands, " x ", band_bits);
+    if (bands * band_bits < 64)
+        value &= (1ULL << (bands * band_bits)) - 1;
+}
+
+std::uint64_t
+Signature::band(unsigned index) const
+{
+    SCALO_ASSERT(index < nBands, "band ", index, " of ", nBands);
+    const std::uint64_t mask = (bitsPerBand >= 64)
+                                   ? ~0ULL
+                                   : ((1ULL << bitsPerBand) - 1);
+    return (value >> (index * bitsPerBand)) & mask;
+}
+
+bool
+Signature::matches(const Signature &other) const
+{
+    if (nBands != other.nBands || bitsPerBand != other.bitsPerBand ||
+        nBands == 0) {
+        return false;
+    }
+    for (unsigned b = 0; b < nBands; ++b)
+        if (band(b) == other.band(b))
+            return true;
+    return false;
+}
+
+std::vector<HashValue>
+Signature::bandBytes() const
+{
+    std::vector<HashValue> bytes;
+    bytes.reserve(nBands);
+    for (unsigned b = 0; b < nBands; ++b)
+        bytes.push_back(static_cast<HashValue>(band(b) & 0xff));
+    return bytes;
+}
+
+unsigned
+Signature::sizeBytes() const
+{
+    return (nBands * bitsPerBand + 7) / 8;
+}
+
+} // namespace scalo::lsh

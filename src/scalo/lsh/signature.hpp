@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LSH signatures. A signature is a small fixed number of "bands", each a
+ * few bits wide; two windows are declared (probably) similar when any
+ * band matches exactly (the classic OR-construction over AND-constructed
+ * minhash rows). The paper's 8-bit per-window hash corresponds to one
+ * 8-bit band; the default configuration here uses two bands of 8 bits
+ * (the "1-2 B" hashes of Section 3.2), biased toward false positives as
+ * the paper prescribes (false positives are resolved by an exact
+ * comparison later; false negatives are lost).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::lsh {
+
+/** Compact multi-band LSH signature (at most 64 bits total). */
+class Signature
+{
+  public:
+    Signature() = default;
+
+    /**
+     * @param packed    band values packed LSB-first, band 0 lowest
+     * @param bands     number of bands (>= 1)
+     * @param band_bits width of each band in bits (bands*band_bits <= 64)
+     */
+    Signature(std::uint64_t packed, unsigned bands, unsigned band_bits);
+
+    /** Any-band-equal match rule. Signatures of unlike shape never match. */
+    bool matches(const Signature &other) const;
+
+    /** Value of band @p index. */
+    std::uint64_t band(unsigned index) const;
+
+    /** Bands, each truncated to a byte (what CCHECK stores in SRAM). */
+    std::vector<HashValue> bandBytes() const;
+
+    unsigned bandCount() const { return nBands; }
+    unsigned bandBits() const { return bitsPerBand; }
+    std::uint64_t packed() const { return value; }
+
+    /** Total signature size in whole bytes (what the network carries). */
+    unsigned sizeBytes() const;
+
+    bool operator==(const Signature &other) const = default;
+
+  private:
+    std::uint64_t value = 0;
+    unsigned nBands = 0;
+    unsigned bitsPerBand = 0;
+};
+
+} // namespace scalo::lsh

@@ -1,0 +1,137 @@
+#include "scalo/lsh/ssh.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::lsh {
+
+SshHasher::SshHasher(const SshParams &params) : config(params)
+{
+    SCALO_ASSERT(config.windowSize >= 1, "windowSize must be >= 1");
+    SCALO_ASSERT(config.stride >= 1, "stride must be >= 1");
+    SCALO_ASSERT(config.ngramSize >= 1 && config.ngramSize <= 16,
+                 "ngramSize out of range: ", config.ngramSize);
+    SCALO_ASSERT(config.bands >= 1 &&
+                     config.bands * config.bandBits <= 64,
+                 "bad band configuration");
+    SCALO_ASSERT(config.rowsPerBand >= 1 &&
+                     config.bandBits % config.rowsPerBand == 0,
+                 "bandBits must divide evenly into rowsPerBand");
+    SCALO_ASSERT(config.maxShingleCount >= 1, "maxShingleCount >= 1");
+
+    // Random +/-1 projection vector shared by all windows (HCONV).
+    Rng rng(config.seed);
+    projection.reserve(config.windowSize);
+    for (unsigned i = 0; i < config.windowSize; ++i)
+        projection.push_back(rng.sign());
+}
+
+std::vector<std::uint8_t>
+SshHasher::sketch(const std::vector<double> &input) const
+{
+    std::vector<std::uint8_t> bits;
+    if (input.size() < config.windowSize)
+        return bits;
+    const std::size_t positions =
+        (input.size() - config.windowSize) / config.stride + 1;
+    bits.reserve(positions);
+    for (std::size_t p = 0; p < positions; ++p) {
+        const std::size_t start = p * config.stride;
+        double dot = 0.0;
+        for (unsigned i = 0; i < config.windowSize; ++i)
+            dot += input[start + i] * projection[i];
+        bits.push_back(dot > 0.0 ? 1 : 0);
+    }
+    return bits;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+SshHasher::shingles(const std::vector<std::uint8_t> &sketch_bits) const
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> counted;
+    if (sketch_bits.size() < config.ngramSize)
+        return counted;
+
+    // Collect n-gram patterns, then sort+count (the NGRAM PE keeps a
+    // small table in SRAM; sorting is its deterministic equivalent).
+    std::vector<std::uint32_t> grams;
+    grams.reserve(sketch_bits.size() - config.ngramSize + 1);
+    for (std::size_t i = 0; i + config.ngramSize <= sketch_bits.size();
+         ++i) {
+        std::uint32_t pattern = 0;
+        for (unsigned j = 0; j < config.ngramSize; ++j)
+            pattern = (pattern << 1) | (sketch_bits[i + j] & 1);
+        grams.push_back(pattern);
+    }
+    std::sort(grams.begin(), grams.end());
+
+    for (std::size_t i = 0; i < grams.size();) {
+        std::size_t j = i;
+        while (j < grams.size() && grams[j] == grams[i])
+            ++j;
+        const auto count = static_cast<std::uint32_t>(
+            std::min<std::size_t>(j - i, config.maxShingleCount));
+        counted.emplace_back(grams[i], count);
+        i = j;
+    }
+    return counted;
+}
+
+std::uint64_t
+SshHasher::minHashBand(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &s,
+    unsigned band) const
+{
+    // Each band concatenates rowsPerBand independent weighted min-hash
+    // buckets (AND-construction). A single weighted min-hash works on
+    // integer weights via replicas: every (shingle, replica) pair hashes
+    // once and the global minimum is shared between two multisets with
+    // probability equal to their weighted Jaccard similarity. Counts
+    // are capped, so latency is fixed (the deterministic alternative to
+    // the variable-latency randomisation of the original SSH work).
+    const unsigned row_bits = config.bandBits / config.rowsPerBand;
+    std::uint64_t band_value = 0;
+    for (unsigned row = 0; row < config.rowsPerBand; ++row) {
+        const std::uint64_t row_seed =
+            mix64(config.seed, 0x9e3779b9ULL + band * 131u + row);
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t best_key = 0;
+        for (const auto &[pattern, count] : s) {
+            for (std::uint32_t replica = 0; replica < count; ++replica) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(pattern) << 32) |
+                    replica;
+                const std::uint64_t h = mix64(key, row_seed);
+                if (h < best) {
+                    best = h;
+                    best_key = key;
+                }
+            }
+        }
+        std::uint64_t bucket = 0;
+        if (best != std::numeric_limits<std::uint64_t>::max()) {
+            // Bucket the winning element (not its rank) into row_bits.
+            bucket = mix64(best_key, row_seed ^ 0xabcdef12345ULL);
+        }
+        if (row_bits < 64)
+            bucket &= (1ULL << row_bits) - 1;
+        band_value |= bucket << (row * row_bits);
+    }
+    return band_value;
+}
+
+Signature
+SshHasher::signature(const std::vector<double> &input) const
+{
+    const auto bits = sketch(input);
+    const auto s = shingles(bits);
+    std::uint64_t packed = 0;
+    for (unsigned b = 0; b < config.bands; ++b)
+        packed |= minHashBand(s, b) << (b * config.bandBits);
+    return {packed, config.bands, config.bandBits};
+}
+
+} // namespace scalo::lsh

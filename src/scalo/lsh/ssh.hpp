@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SSH (Sketch, Shingle & Hash) locality-sensitive hashing for time
+ * series [Luo & Shrivastava 2017], as implemented by SCALO's HCONV and
+ * NGRAM PEs (Sections 2.4 and 3.2).
+ *
+ * Pipeline:
+ *  1. HCONV: slide a window over the signal, dot-product each position
+ *     with a random vector; the sketch bit is the sign of the product.
+ *  2. NGRAM: count occurrences of every n-gram of consecutive sketch
+ *     bits (the "shingles"), then run a randomized weighted min-hash
+ *     over the weighted shingle set.
+ *
+ * The weighted min-hash uses a deterministic-latency replica scheme
+ * (shingle counts are capped) instead of the variable-latency rejection
+ * sampler of the original work, mirroring the paper's substitution of
+ * the consistent-hashing method [54].
+ *
+ * The paper's discovery: varying windowSize/ngramSize makes the same
+ * hash family serve DTW, Euclidean, and cross-correlation (Figure 14).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/lsh/signature.hpp"
+
+namespace scalo::lsh {
+
+/** Configuration of the SSH hash family. */
+struct SshParams
+{
+    /** Sliding dot-product window length in samples (HCONV). */
+    unsigned windowSize = 24;
+    /** Sliding window stride in samples (HCONV). */
+    unsigned stride = 4;
+    /** Shingle length in sketch bits (NGRAM). */
+    unsigned ngramSize = 5;
+    /** Number of OR-construction bands in the output signature. */
+    unsigned bands = 2;
+    /** Bits per band. */
+    unsigned bandBits = 8;
+    /**
+     * AND-construction rows per band: each band concatenates this many
+     * independent weighted min-hashes (bandBits must be divisible by
+     * it). More rows -> steeper match-probability curve.
+     */
+    unsigned rowsPerBand = 2;
+    /** Deterministic-latency cap on per-shingle counts. */
+    unsigned maxShingleCount = 8;
+    /** Seed for the random projection and min-hash mixers. */
+    std::uint64_t seed = 0x55a10c0deULL;
+};
+
+/** SSH hasher for one signal length / parameter set. */
+class SshHasher
+{
+  public:
+    explicit SshHasher(const SshParams &params);
+
+    /**
+     * HCONV stage: the sketch bit string of @p input.
+     * @return one bit (0/1) per window position.
+     */
+    std::vector<std::uint8_t>
+    sketch(const std::vector<double> &input) const;
+
+    /**
+     * NGRAM stage on a precomputed sketch: weighted shingle counts.
+     * @return pairs of (shingle pattern, capped count)
+     */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>
+    shingles(const std::vector<std::uint8_t> &sketch_bits) const;
+
+    /** Full pipeline: signature of @p input. */
+    Signature signature(const std::vector<double> &input) const;
+
+    const SshParams &params() const { return config; }
+
+  private:
+    /** One weighted min-hash band over the shingle multiset. */
+    std::uint64_t minHashBand(
+        const std::vector<std::pair<std::uint32_t, std::uint32_t>> &s,
+        unsigned band) const;
+
+    SshParams config;
+    std::vector<double> projection;
+};
+
+} // namespace scalo::lsh

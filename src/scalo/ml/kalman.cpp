@@ -1,0 +1,95 @@
+#include "scalo/ml/kalman.hpp"
+
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::ml {
+
+using linalg::Matrix;
+
+KalmanFilter::KalmanFilter(KalmanParams p) : params(std::move(p))
+{
+    const std::size_t n = params.a.rows();
+    const std::size_t m = params.h.rows();
+    SCALO_ASSERT(params.a.cols() == n, "A must be square");
+    SCALO_ASSERT(params.w.rows() == n && params.w.cols() == n,
+                 "W must be n x n");
+    SCALO_ASSERT(params.h.cols() == n, "H must be m x n");
+    SCALO_ASSERT(params.q.rows() == m && params.q.cols() == m,
+                 "Q must be m x m");
+    reset();
+}
+
+void
+KalmanFilter::reset()
+{
+    const std::size_t n = params.a.rows();
+    x = Matrix(n, 1);
+    p = Matrix::identity(n);
+}
+
+std::vector<double>
+KalmanFilter::step(const std::vector<double> &observation)
+{
+    SCALO_ASSERT(observation.size() == observationDim(),
+                 "observation size ", observation.size(), " != ",
+                 observationDim());
+    const Matrix y = Matrix::columnVector(observation);
+
+    // Predict (MAD PEs): x' = A x, P' = A P A^T + W.
+    const Matrix x_pred = linalg::mul(params.a, x);
+    const Matrix p_pred = linalg::add(
+        linalg::mul(linalg::mul(params.a, p), params.a.transposed()),
+        params.w);
+
+    // Update: S = H P' H^T + Q, K = P' H^T S^-1 (the INV PE step).
+    const Matrix ht = params.h.transposed();
+    const Matrix s = linalg::add(
+        linalg::mul(linalg::mul(params.h, p_pred), ht), params.q);
+    const Matrix k = linalg::mul(linalg::mul(p_pred, ht),
+                                 linalg::inverse(s));
+
+    // x = x' + K (y - H x'), P = (I - K H) P'.
+    const Matrix innovation =
+        linalg::sub(y, linalg::mul(params.h, x_pred));
+    x = linalg::add(x_pred, linalg::mul(k, innovation));
+    const Matrix ikh = linalg::sub(
+        Matrix::identity(stateDim()), linalg::mul(k, params.h));
+    p = linalg::mul(ikh, p_pred);
+
+    return x.flatten();
+}
+
+KalmanFilter
+KalmanFilter::cursorDecoder(std::size_t observation_dim, double dt,
+                            std::uint64_t seed)
+{
+    SCALO_ASSERT(observation_dim >= 1, "need at least one feature");
+    KalmanParams p;
+
+    // Constant-velocity kinematics: [px, py, vx, vy].
+    p.a = Matrix::identity(4);
+    p.a.at(0, 2) = dt;
+    p.a.at(1, 3) = dt;
+
+    p.w = Matrix::identity(4);
+    for (std::size_t i = 0; i < 4; ++i)
+        p.w.at(i, i) = (i < 2) ? 1e-4 : 1e-3;
+
+    // Random (but fixed) tuning: each electrode feature responds
+    // linearly to the velocity components, as in the classic decoder.
+    Rng rng(seed);
+    p.h = Matrix(observation_dim, 4);
+    for (std::size_t r = 0; r < observation_dim; ++r) {
+        p.h.at(r, 2) = rng.gaussian(0.0, 1.0);
+        p.h.at(r, 3) = rng.gaussian(0.0, 1.0);
+    }
+
+    p.q = Matrix::identity(observation_dim);
+    for (std::size_t i = 0; i < observation_dim; ++i)
+        p.q.at(i, i) = 0.25;
+
+    return KalmanFilter(std::move(p));
+}
+
+} // namespace scalo::ml

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Kalman filter for movement-intent decoding (pipeline B, after Wu et
+ * al. [162]): the latent state is cursor/limb kinematics, observations
+ * are per-electrode spike-band-power features. SCALO centralises this
+ * computation on one node because the filter's intermediate matrices
+ * (notably the innovation covariance it inverts) are too large to
+ * distribute over the serialized wireless network (Section 3.1).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/linalg/matrix.hpp"
+
+namespace scalo::ml {
+
+/** Kalman filter parameters (the paper keeps them fixed online). */
+struct KalmanParams
+{
+    linalg::Matrix a; ///< state transition (n x n)
+    linalg::Matrix w; ///< process noise covariance (n x n)
+    linalg::Matrix h; ///< observation model (m x n)
+    linalg::Matrix q; ///< observation noise covariance (m x m)
+};
+
+/** Standard predict/update Kalman filter built on the LIN ALG PEs. */
+class KalmanFilter
+{
+  public:
+    explicit KalmanFilter(KalmanParams params);
+
+    /**
+     * Construct the classic 4-state (pos-x, pos-y, vel-x, vel-y)
+     * cursor-decoding filter over @p observation_dim features.
+     *
+     * @param observation_dim number of electrode features
+     * @param dt              decode interval in seconds (e.g. 0.05)
+     * @param seed            seed for the synthetic observation model
+     */
+    static KalmanFilter cursorDecoder(std::size_t observation_dim,
+                                      double dt, std::uint64_t seed);
+
+    /** Reset state estimate and covariance. */
+    void reset();
+
+    /**
+     * One predict + update step.
+     *
+     * @param observation m-vector of features
+     * @return posterior state estimate (n-vector)
+     */
+    std::vector<double> step(const std::vector<double> &observation);
+
+    const linalg::Matrix &state() const { return x; }
+    const linalg::Matrix &covariance() const { return p; }
+    std::size_t stateDim() const { return params.a.rows(); }
+    std::size_t observationDim() const { return params.h.rows(); }
+
+    const KalmanParams &parameters() const { return params; }
+
+  private:
+    KalmanParams params;
+    linalg::Matrix x; ///< state estimate (n x 1)
+    linalg::Matrix p; ///< estimate covariance (n x n)
+};
+
+} // namespace scalo::ml

@@ -1,0 +1,200 @@
+#include "scalo/ml/nn.hpp"
+
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::ml {
+
+ShallowNet::ShallowNet(std::vector<DenseLayer> layers)
+    : net(std::move(layers))
+{
+    SCALO_ASSERT(!net.empty(), "network needs at least one layer");
+    for (std::size_t l = 0; l < net.size(); ++l) {
+        const auto &layer = net[l];
+        SCALO_ASSERT(layer.bias.rows() == layer.weights.rows() &&
+                         layer.bias.cols() == 1,
+                     "layer ", l, " bias shape mismatch");
+        if (l + 1 < net.size()) {
+            SCALO_ASSERT(net[l + 1].weights.cols() ==
+                             layer.weights.rows(),
+                         "layer ", l + 1, " input mismatch");
+        }
+    }
+}
+
+ShallowNet
+ShallowNet::randomInit(const std::vector<std::size_t> &dims,
+                       std::uint64_t seed)
+{
+    SCALO_ASSERT(dims.size() >= 2, "need input and output dims");
+    Rng rng(seed);
+    std::vector<DenseLayer> layers;
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+        DenseLayer layer;
+        layer.weights = linalg::Matrix(dims[l + 1], dims[l]);
+        layer.bias = linalg::Matrix(dims[l + 1], 1);
+        const double scale =
+            std::sqrt(2.0 / static_cast<double>(dims[l]));
+        for (std::size_t r = 0; r < dims[l + 1]; ++r)
+            for (std::size_t c = 0; c < dims[l]; ++c)
+                layer.weights.at(r, c) = rng.gaussian(0.0, scale);
+        // Output layer is linear (regression head).
+        layer.relu = (l + 2 < dims.size());
+        layers.push_back(std::move(layer));
+    }
+    return ShallowNet(std::move(layers));
+}
+
+std::size_t
+ShallowNet::inputDim() const
+{
+    SCALO_ASSERT(!net.empty(), "empty network");
+    return net.front().weights.cols();
+}
+
+std::size_t
+ShallowNet::outputDim() const
+{
+    SCALO_ASSERT(!net.empty(), "empty network");
+    return net.back().weights.rows();
+}
+
+std::size_t
+ShallowNet::firstLayerDim() const
+{
+    SCALO_ASSERT(!net.empty(), "empty network");
+    return net.front().weights.rows();
+}
+
+std::vector<double>
+ShallowNet::forward(const std::vector<double> &x) const
+{
+    SCALO_ASSERT(x.size() == inputDim(), "input size ", x.size(),
+                 " != ", inputDim());
+    linalg::Matrix h = linalg::Matrix::columnVector(x);
+    for (const auto &layer : net) {
+        linalg::OutputStage stage;
+        stage.relu = layer.relu;
+        h = linalg::mad(layer.weights, h, layer.bias, stage);
+    }
+    return h.flatten();
+}
+
+void
+ShallowNet::sgdStep(const std::vector<double> &x,
+                    const std::vector<double> &target, double lr)
+{
+    // Forward pass keeping pre- and post-activations.
+    std::vector<std::vector<double>> activations{x};
+    std::vector<std::vector<double>> pre;
+    linalg::Matrix h = linalg::Matrix::columnVector(x);
+    for (const auto &layer : net) {
+        linalg::Matrix z = linalg::mad(layer.weights, h, layer.bias);
+        pre.push_back(z.flatten());
+        linalg::OutputStage stage;
+        stage.relu = layer.relu;
+        h = linalg::applyStage(z, stage);
+        activations.push_back(h.flatten());
+    }
+
+    // Backward pass: squared error dL/dy = 2 (y - t).
+    const auto &y = activations.back();
+    SCALO_ASSERT(y.size() == target.size(), "target size mismatch");
+    std::vector<double> delta(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        delta[i] = 2.0 * (y[i] - target[i]);
+
+    for (std::size_t l = net.size(); l-- > 0;) {
+        DenseLayer &layer = net[l];
+        // Through the activation.
+        if (layer.relu) {
+            for (std::size_t i = 0; i < delta.size(); ++i)
+                if (pre[l][i] <= 0.0)
+                    delta[i] = 0.0;
+        }
+        const auto &a_in = activations[l];
+        // Gradient step on W and b; propagate delta to the layer below.
+        std::vector<double> delta_below(layer.weights.cols(), 0.0);
+        for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+            for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+                delta_below[c] += layer.weights.at(r, c) * delta[r];
+                layer.weights.at(r, c) -= lr * delta[r] * a_in[c];
+            }
+            layer.bias.at(r, 0) -= lr * delta[r];
+        }
+        delta = std::move(delta_below);
+    }
+}
+
+DistributedNn::DistributedNn(ShallowNet net,
+                             std::vector<std::size_t> splits)
+    : model(std::move(net))
+{
+    std::size_t offset = 0;
+    for (std::size_t length : splits) {
+        spans.emplace_back(offset, length);
+        offset += length;
+    }
+    SCALO_ASSERT(offset == model.inputDim(), "splits cover ", offset,
+                 " of ", model.inputDim(), " inputs");
+}
+
+std::size_t
+DistributedNn::sliceSize(std::size_t node) const
+{
+    SCALO_ASSERT(node < spans.size(), "node out of range");
+    return spans[node].second;
+}
+
+std::vector<double>
+DistributedNn::partial(std::size_t node,
+                       const std::vector<double> &local_features) const
+{
+    SCALO_ASSERT(node < spans.size(), "node out of range");
+    const auto [offset, length] = spans[node];
+    SCALO_ASSERT(local_features.size() == length, "node ", node,
+                 " expects ", length, " features");
+    const auto &w = model.layers().front().weights;
+    std::vector<double> out(w.rows(), 0.0);
+    for (std::size_t r = 0; r < w.rows(); ++r)
+        for (std::size_t i = 0; i < length; ++i)
+            out[r] += w.at(r, offset + i) * local_features[i];
+    return out;
+}
+
+std::vector<double>
+DistributedNn::aggregate(
+    const std::vector<std::vector<double>> &partials) const
+{
+    SCALO_ASSERT(partials.size() == spans.size(), "expected ",
+                 spans.size(), " partials");
+    const auto &first = model.layers().front();
+    linalg::Matrix z(first.weights.rows(), 1);
+    for (const auto &partial : partials) {
+        SCALO_ASSERT(partial.size() == z.rows(), "partial size");
+        for (std::size_t r = 0; r < z.rows(); ++r)
+            z.at(r, 0) += partial[r];
+    }
+    linalg::OutputStage stage;
+    stage.relu = first.relu;
+    linalg::Matrix h = linalg::applyStage(
+        linalg::add(z, first.bias), stage);
+
+    for (std::size_t l = 1; l < model.layers().size(); ++l) {
+        const auto &layer = model.layers()[l];
+        linalg::OutputStage s;
+        s.relu = layer.relu;
+        h = linalg::mad(layer.weights, h, layer.bias, s);
+    }
+    return h.flatten();
+}
+
+std::size_t
+DistributedNn::partialBytes() const
+{
+    return model.firstLayerDim() * 4;
+}
+
+} // namespace scalo::ml

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shallow feed-forward neural networks (dense layers with ReLU and
+ * normalisation, executed on the MAD/ADD PEs with their fused output
+ * stages) and their hierarchical decomposition: the first layer's
+ * weight matrix is split by input dimension across nodes, each node
+ * transmits its partial pre-activation vector (the paper's 1024 B
+ * per-node payload), and the aggregator finishes the forward pass.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "scalo/linalg/matrix.hpp"
+
+namespace scalo::ml {
+
+/** One dense layer: y = act(W x + b). */
+struct DenseLayer
+{
+    linalg::Matrix weights; ///< out_dim x in_dim
+    linalg::Matrix bias;    ///< out_dim x 1
+    bool relu = true;
+};
+
+/** A small fully-connected network (e.g. the decoder of [159]). */
+class ShallowNet
+{
+  public:
+    ShallowNet() = default;
+
+    /** Construct from explicit layers (validated for compatibility). */
+    explicit ShallowNet(std::vector<DenseLayer> layers);
+
+    /**
+     * Random initialisation: He-scaled gaussian weights.
+     *
+     * @param dims  layer widths, e.g. {96, 64, 2} = one hidden layer
+     * @param seed  initialisation seed
+     */
+    static ShallowNet randomInit(const std::vector<std::size_t> &dims,
+                                 std::uint64_t seed);
+
+    /** Forward pass. */
+    std::vector<double> forward(const std::vector<double> &x) const;
+
+    /** Input dimensionality. */
+    std::size_t inputDim() const;
+
+    /** Output dimensionality. */
+    std::size_t outputDim() const;
+
+    /** Hidden width of the first layer (partial-output size). */
+    std::size_t firstLayerDim() const;
+
+    const std::vector<DenseLayer> &layers() const { return net; }
+
+    /**
+     * One SGD step on a squared-error loss for a single example
+     * (numerical gradients on this small net are unnecessary; this is
+     * plain backprop). Used by tests/examples to fit toy decoders.
+     */
+    void sgdStep(const std::vector<double> &x,
+                 const std::vector<double> &target, double lr);
+
+  private:
+    std::vector<DenseLayer> net;
+};
+
+/**
+ * Input-split distributed execution of a ShallowNet (Figure 3b,
+ * pipeline C): node k owns a contiguous slice of the input dimensions
+ * and the matching columns of the first layer's weights.
+ */
+class DistributedNn
+{
+  public:
+    /**
+     * @param net    full network
+     * @param splits input dimensions owned by each node (must sum to
+     *               the network's input dimensionality)
+     */
+    DistributedNn(ShallowNet net, std::vector<std::size_t> splits);
+
+    std::size_t nodeCount() const { return spans.size(); }
+
+    /**
+     * Partial first-layer pre-activation computed on @p node: a vector
+     * of firstLayerDim() values (the per-node network payload).
+     */
+    std::vector<double>
+    partial(std::size_t node,
+            const std::vector<double> &local_features) const;
+
+    /**
+     * Aggregate: sum partials, add the first-layer bias, apply the
+     * activation, then run the remaining layers.
+     */
+    std::vector<double>
+    aggregate(const std::vector<std::vector<double>> &partials) const;
+
+    /** Bytes each node transmits (4 B per first-layer unit). */
+    std::size_t partialBytes() const;
+
+    std::size_t sliceSize(std::size_t node) const;
+
+  private:
+    ShallowNet model;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+};
+
+} // namespace scalo::ml

@@ -1,0 +1,125 @@
+#include "scalo/ml/svm.hpp"
+
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::ml {
+
+LinearSvm::LinearSvm(std::vector<double> weights, double bias)
+    : w(std::move(weights)), b(bias)
+{
+}
+
+double
+LinearSvm::decision(const std::vector<double> &x) const
+{
+    SCALO_ASSERT(x.size() == w.size(), "feature size ", x.size(),
+                 " != model size ", w.size());
+    double acc = b;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += w[i] * x[i];
+    return acc;
+}
+
+int
+LinearSvm::predict(const std::vector<double> &x) const
+{
+    return decision(x) >= 0.0 ? 1 : -1;
+}
+
+LinearSvm
+LinearSvm::train(const std::vector<std::vector<double>> &xs,
+                 const std::vector<int> &ys, double lambda, int epochs,
+                 std::uint64_t seed)
+{
+    SCALO_ASSERT(!xs.empty() && xs.size() == ys.size(),
+                 "bad training set: ", xs.size(), " x, ", ys.size(),
+                 " y");
+    const std::size_t dim = xs.front().size();
+    std::vector<double> w(dim, 0.0);
+    double b = 0.0;
+
+    Rng rng(seed);
+    const std::size_t n = xs.size();
+    // Warm offset keeps the first steps bounded (eta <= 1); without it
+    // the unregularised bias takes an unrecoverable jump at t = 1.
+    const double t0 = 1.0 / lambda;
+    std::size_t t = 1;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        for (std::size_t step = 0; step < n; ++step, ++t) {
+            const std::size_t i = rng.below(n);
+            const auto &x = xs[i];
+            const double y = ys[i];
+            const double eta =
+                1.0 / (lambda * (static_cast<double>(t) + t0));
+
+            double margin = b;
+            for (std::size_t d = 0; d < dim; ++d)
+                margin += w[d] * x[d];
+            margin *= y;
+
+            for (std::size_t d = 0; d < dim; ++d)
+                w[d] *= (1.0 - eta * lambda);
+            if (margin < 1.0) {
+                for (std::size_t d = 0; d < dim; ++d)
+                    w[d] += eta * y * x[d];
+                b += eta * y;
+            }
+        }
+    }
+    return {std::move(w), b};
+}
+
+DistributedSvm::DistributedSvm(LinearSvm svm,
+                               std::vector<std::size_t> splits)
+    : model(std::move(svm))
+{
+    std::size_t offset = 0;
+    for (std::size_t length : splits) {
+        spans.emplace_back(offset, length);
+        offset += length;
+    }
+    SCALO_ASSERT(offset == model.weights().size(),
+                 "splits cover ", offset, " of ",
+                 model.weights().size(), " dimensions");
+}
+
+std::size_t
+DistributedSvm::sliceSize(std::size_t node) const
+{
+    SCALO_ASSERT(node < spans.size(), "node ", node, " of ",
+                 spans.size());
+    return spans[node].second;
+}
+
+double
+DistributedSvm::partial(std::size_t node,
+                        const std::vector<double> &local_features) const
+{
+    SCALO_ASSERT(node < spans.size(), "node ", node, " of ",
+                 spans.size());
+    const auto [offset, length] = spans[node];
+    SCALO_ASSERT(local_features.size() == length, "node ", node,
+                 " expects ", length, " features, got ",
+                 local_features.size());
+    double acc = 0.0;
+    const auto &w = model.weights();
+    for (std::size_t i = 0; i < length; ++i)
+        acc += w[offset + i] * local_features[i];
+    return acc;
+}
+
+double
+DistributedSvm::aggregate(const std::vector<double> &partials) const
+{
+    SCALO_ASSERT(partials.size() == spans.size(), "expected ",
+                 spans.size(), " partials, got ", partials.size());
+    double acc = model.bias();
+    for (double p : partials)
+        acc += p;
+    return acc;
+}
+
+} // namespace scalo::ml

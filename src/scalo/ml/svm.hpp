@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Linear support vector machines (the SVM PE) and their hierarchical
+ * decomposition for distributed inference (Section 3.1): each node
+ * computes a partial dot product over its own electrodes' features; a
+ * single aggregator node sums the partials and applies the bias. The
+ * decomposition is exact, so distributed and centralized inference
+ * agree bit-for-bit (up to floating point associativity).
+ *
+ * Training uses the Pegasos stochastic sub-gradient solver; SCALO
+ * devices only run inference, but tests and examples need to fit real
+ * models.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scalo::ml {
+
+/** A binary linear SVM: f(x) = w.x + b, classify by sign. */
+class LinearSvm
+{
+  public:
+    LinearSvm() = default;
+
+    /** Construct from explicit parameters. */
+    LinearSvm(std::vector<double> weights, double bias);
+
+    /** Decision value w.x + b. */
+    double decision(const std::vector<double> &x) const;
+
+    /** Predicted label: +1 or -1. */
+    int predict(const std::vector<double> &x) const;
+
+    /**
+     * Train with Pegasos (Shalev-Shwartz et al.).
+     *
+     * @param xs      feature vectors
+     * @param ys      labels in {-1, +1}
+     * @param lambda  regularisation strength
+     * @param epochs  passes over the data
+     * @param seed    sampling seed
+     */
+    static LinearSvm train(const std::vector<std::vector<double>> &xs,
+                           const std::vector<int> &ys,
+                           double lambda = 1e-3, int epochs = 20,
+                           std::uint64_t seed = 1);
+
+    const std::vector<double> &weights() const { return w; }
+    double bias() const { return b; }
+
+  private:
+    std::vector<double> w;
+    double b = 0.0;
+};
+
+/**
+ * Hierarchically decomposed SVM: the feature dimensions are partitioned
+ * contiguously across nodes. Mirrors Figure 3b / pipeline A.
+ */
+class DistributedSvm
+{
+  public:
+    /**
+     * @param svm    the full model
+     * @param splits number of dimensions owned by each node (must sum
+     *               to the model's dimensionality)
+     */
+    DistributedSvm(LinearSvm svm, std::vector<std::size_t> splits);
+
+    /** Number of participating nodes. */
+    std::size_t nodeCount() const { return spans.size(); }
+
+    /**
+     * Partial decision value computed on @p node from its local feature
+     * slice (the 4-byte scalar each node transmits).
+     */
+    double partial(std::size_t node,
+                   const std::vector<double> &local_features) const;
+
+    /** Aggregate partials on the aggregator node: sum + bias. */
+    double aggregate(const std::vector<double> &partials) const;
+
+    /** Dimensions owned by @p node. */
+    std::size_t sliceSize(std::size_t node) const;
+
+  private:
+    LinearSvm model;
+    /** (offset, length) of each node's slice of the weight vector. */
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+};
+
+} // namespace scalo::ml

@@ -1,0 +1,29 @@
+#include "scalo/net/channel.hpp"
+
+namespace scalo::net {
+
+WirelessChannel::WirelessChannel(const RadioSpec &radio,
+                                 std::uint64_t seed, double ber_override)
+    : spec(&radio),
+      berValue(ber_override >= 0.0 ? ber_override : radio.ber),
+      rng(seed)
+{
+}
+
+ReceiveResult
+WirelessChannel::transmit(const Packet &packet)
+{
+    auto wire = serialize(packet);
+    counters.bitsFlipped += injectBitErrors(wire, berValue, rng);
+    ReceiveResult result = deserialize(wire);
+    ++counters.sent;
+    if (!result.headerOk)
+        ++counters.headerDrops;
+    else if (!result.payloadOk)
+        ++counters.payloadErrors;
+    if (result.accepted())
+        ++counters.accepted;
+    return result;
+}
+
+} // namespace scalo::net

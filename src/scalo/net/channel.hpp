@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A lossy wireless channel: serialises packets, injects uniformly
+ * random bit errors at the radio's BER, and applies the receiver's
+ * accept/drop policy. Drives the network-error experiments of
+ * Sections 6.6 and 6.7.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "scalo/net/packet.hpp"
+#include "scalo/net/radio.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::net {
+
+/** Channel statistics accumulated across transmissions. */
+struct ChannelStats
+{
+    std::uint64_t sent = 0;
+    std::uint64_t bitsFlipped = 0;
+    std::uint64_t headerDrops = 0;
+    std::uint64_t payloadErrors = 0;
+    std::uint64_t accepted = 0;
+
+    /** Fraction of packets that arrived with any error. */
+    double
+    errorFraction() const
+    {
+        return sent ? static_cast<double>(headerDrops + payloadErrors) /
+                          static_cast<double>(sent)
+                    : 0.0;
+    }
+};
+
+/** Point-to-point (or broadcast) lossy link at a fixed BER. */
+class WirelessChannel
+{
+  public:
+    /**
+     * @param radio transmit/receive design (rate, power, BER)
+     * @param seed  error-injection seed
+     * @param ber_override replaces the radio's BER when >= 0 (for the
+     *        BER sweeps of Figure 12)
+     */
+    WirelessChannel(const RadioSpec &radio, std::uint64_t seed,
+                    double ber_override = -1.0);
+
+    /** Send one packet through the channel; returns the receipt. */
+    ReceiveResult transmit(const Packet &packet);
+
+    const ChannelStats &stats() const { return counters; }
+    const RadioSpec &radio() const { return *spec; }
+    double ber() const { return berValue; }
+
+    /** Reset statistics. */
+    void resetStats() { counters = {}; }
+
+  private:
+    const RadioSpec *spec;
+    double berValue;
+    Rng rng;
+    ChannelStats counters;
+};
+
+} // namespace scalo::net

@@ -1,0 +1,151 @@
+#include "scalo/net/packet.hpp"
+
+#include "scalo/util/bitstream.hpp"
+#include "scalo/util/crc32.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::net {
+
+std::size_t
+Packet::wireBytes() const
+{
+    return kPacketOverheadBytes + payload.size();
+}
+
+std::size_t
+wireBytesFor(std::size_t payload_bytes)
+{
+    std::size_t total = 0;
+    std::size_t remaining = payload_bytes;
+    do {
+        const std::size_t chunk =
+            std::min(remaining, kMaxPayloadBytes);
+        total += kPacketOverheadBytes + chunk;
+        remaining -= chunk;
+    } while (remaining > 0);
+    return total;
+}
+
+std::vector<std::uint8_t>
+serialize(const Packet &packet)
+{
+    SCALO_ASSERT(packet.payload.size() <= kMaxPayloadBytes,
+                 "payload ", packet.payload.size(), " exceeds ",
+                 kMaxPayloadBytes);
+
+    // 84-bit header: src(8) dst(8) type(4) seq(16) time(32) len(16).
+    BitWriter writer;
+    writer.putBits(packet.source, 8);
+    writer.putBits(packet.destination, 8);
+    writer.putBits(static_cast<std::uint8_t>(packet.type) & 0xf, 4);
+    writer.putBits(packet.sequence, 16);
+    writer.putBits(packet.timestampUs, 32);
+    writer.putBits(packet.payload.size(), 16);
+    std::vector<std::uint8_t> header = writer.take();
+    SCALO_ASSERT(header.size() == kHeaderBytes, "header is ",
+                 header.size(), " bytes");
+
+    std::vector<std::uint8_t> wire = header;
+    const std::uint32_t header_crc = crc32(header);
+    for (int i = 3; i >= 0; --i)
+        wire.push_back(
+            static_cast<std::uint8_t>((header_crc >> (8 * i)) & 0xff));
+
+    wire.insert(wire.end(), packet.payload.begin(),
+                packet.payload.end());
+    const std::uint32_t data_crc = crc32(packet.payload);
+    for (int i = 3; i >= 0; --i)
+        wire.push_back(
+            static_cast<std::uint8_t>((data_crc >> (8 * i)) & 0xff));
+    return wire;
+}
+
+ReceiveResult
+deserialize(const std::vector<std::uint8_t> &wire)
+{
+    ReceiveResult result;
+    if (wire.size() < kPacketOverheadBytes)
+        return result;
+
+    const std::vector<std::uint8_t> header(wire.begin(),
+                                           wire.begin() + kHeaderBytes);
+    std::uint32_t stored_header_crc = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        stored_header_crc =
+            (stored_header_crc << 8) | wire[kHeaderBytes + i];
+    if (crc32(header) != stored_header_crc)
+        return result; // header corrupt: undecodable, always dropped
+
+    BitReader reader(header);
+    result.packet.source = static_cast<std::uint8_t>(reader.getBits(8));
+    result.packet.destination =
+        static_cast<std::uint8_t>(reader.getBits(8));
+    result.packet.type = static_cast<PacketType>(reader.getBits(4));
+    result.packet.sequence =
+        static_cast<std::uint16_t>(reader.getBits(16));
+    result.packet.timestampUs =
+        static_cast<std::uint32_t>(reader.getBits(32));
+    const auto length = reader.getBits(16);
+    if (wire.size() != kPacketOverheadBytes + length)
+        return result; // truncated or length corrupted past the CRC
+    result.headerOk = true;
+
+    result.packet.payload.assign(
+        wire.begin() + kHeaderBytes + 4,
+        wire.begin() + kHeaderBytes + 4 + length);
+    std::uint32_t stored_data_crc = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        stored_data_crc = (stored_data_crc << 8) |
+                          wire[kHeaderBytes + 4 + length + i];
+    result.payloadOk = crc32(result.packet.payload) == stored_data_crc;
+    return result;
+}
+
+bool
+ReceiveResult::accepted() const
+{
+    if (!headerOk)
+        return false;
+    if (payloadOk)
+        return true;
+    // Erroneous payloads flow through only for signal packets.
+    return packet.type == PacketType::Signal;
+}
+
+std::size_t
+injectBitErrors(std::vector<std::uint8_t> &wire, double ber, Rng &rng)
+{
+    if (ber <= 0.0 || wire.empty())
+        return 0;
+    std::size_t flipped = 0;
+    for (auto &byte : wire) {
+        for (int bit = 0; bit < 8; ++bit) {
+            if (rng.chance(ber)) {
+                byte ^= static_cast<std::uint8_t>(1u << bit);
+                ++flipped;
+            }
+        }
+    }
+    return flipped;
+}
+
+std::vector<Packet>
+fragment(const Packet &packet)
+{
+    std::vector<Packet> fragments;
+    std::size_t offset = 0;
+    std::uint16_t seq = packet.sequence;
+    do {
+        Packet chunk = packet;
+        chunk.sequence = seq++;
+        const std::size_t take =
+            std::min(kMaxPayloadBytes, packet.payload.size() - offset);
+        chunk.payload.assign(packet.payload.begin() + offset,
+                             packet.payload.begin() + offset + take);
+        fragments.push_back(std::move(chunk));
+        offset += take;
+    } while (offset < packet.payload.size());
+    return fragments;
+}
+
+} // namespace scalo::net

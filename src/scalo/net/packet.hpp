@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Intra-SCALO network packets (Section 3.4): an 84-bit header, up to
+ * 256 B of data, and CRC32 checksums on both header and data. On a
+ * checksum error the receiver drops hash packets but keeps signal
+ * packets (signal-similarity measures tolerate a few bit errors;
+ * hashes do not).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/util/rng.hpp"
+
+namespace scalo::net {
+
+/** Payload category; drives the receiver's drop-vs-accept policy. */
+enum class PacketType : std::uint8_t
+{
+    Hash = 0,     ///< compressed hash batch
+    Signal,       ///< raw signal window(s)
+    Feature,      ///< extracted features (e.g. SBP for the KF)
+    Partial,      ///< partial classifier outputs (SVM/NN)
+    Command,      ///< stimulation / configuration command
+    Query,        ///< interactive query request
+    QueryResult,  ///< interactive query response chunk
+    ClockSync,    ///< SNTP message
+};
+
+/** Maximum payload per packet (bytes). */
+inline constexpr std::size_t kMaxPayloadBytes = 256;
+
+/** Header size: 84 bits packed into 11 bytes on the wire. */
+inline constexpr std::size_t kHeaderBytes = 11;
+
+/** Full per-packet overhead: header + two CRC32s. */
+inline constexpr std::size_t kPacketOverheadBytes = kHeaderBytes + 8;
+
+/** An intra-SCALO packet before serialisation. */
+struct Packet
+{
+    std::uint8_t source = 0;
+    std::uint8_t destination = 0; ///< 0xff broadcasts
+    PacketType type = PacketType::Hash;
+    std::uint16_t sequence = 0;
+    std::uint32_t timestampUs = 0;
+    std::vector<std::uint8_t> payload;
+
+    /** Bytes this packet occupies on the wire. */
+    std::size_t wireBytes() const;
+};
+
+/** Broadcast destination address. */
+inline constexpr std::uint8_t kBroadcast = 0xff;
+
+/** Serialise to wire format (header, header CRC, payload, data CRC). */
+std::vector<std::uint8_t> serialize(const Packet &packet);
+
+/** Outcome of parsing a (possibly corrupted) wire buffer. */
+struct ReceiveResult
+{
+    /** Header passed its CRC and parsed cleanly. */
+    bool headerOk = false;
+    /** Payload CRC verified. */
+    bool payloadOk = false;
+    /** Parsed packet (valid only if headerOk). */
+    Packet packet;
+
+    /**
+     * The receiver policy of Section 3.4: drop on any header error;
+     * drop hash packets with payload errors; keep erroneous signal
+     * payloads (similarity measures absorb them).
+     */
+    bool accepted() const;
+};
+
+/** Parse a wire buffer. */
+ReceiveResult deserialize(const std::vector<std::uint8_t> &wire);
+
+/**
+ * Flip each bit of @p wire independently with probability @p ber
+ * (uniformly random bit errors, Section 6.6).
+ * @return number of bits flipped
+ */
+std::size_t injectBitErrors(std::vector<std::uint8_t> &wire, double ber,
+                            Rng &rng);
+
+/**
+ * Split an oversized payload into packet-sized chunks; every chunk
+ * carries the full header+CRC overhead.
+ */
+std::vector<Packet> fragment(const Packet &packet);
+
+/** Wire bytes required to carry @p payload_bytes of one type. */
+std::size_t wireBytesFor(std::size_t payload_bytes);
+
+} // namespace scalo::net

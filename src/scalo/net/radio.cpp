@@ -1,0 +1,64 @@
+#include "scalo/net/radio.hpp"
+
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::net {
+
+namespace {
+
+const std::vector<RadioSpec> kCatalog{
+    {"Low Power", 1e-5, 7.0, 1.71, 20.0, 4.12},
+    {"High Perf", 1e-6, 14.0, 6.85, 20.0, 4.12},
+    {"Low BER", 1e-6, 7.0, 3.4, 20.0, 4.12},
+    {"Low Data Rate", 1e-5, 3.5, 0.855, 20.0, 4.12},
+};
+
+const RadioSpec kExternal{"External", 1e-5, 46.0, 9.2, 1'000.0, 0.25};
+
+} // namespace
+
+const std::vector<RadioSpec> &
+radioCatalog()
+{
+    return kCatalog;
+}
+
+const RadioSpec &
+radioSpec(RadioDesign design)
+{
+    switch (design) {
+      case RadioDesign::LowPower:
+        return kCatalog[0];
+      case RadioDesign::HighPerf:
+        return kCatalog[1];
+      case RadioDesign::LowBer:
+        return kCatalog[2];
+      case RadioDesign::LowDataRate:
+        return kCatalog[3];
+    }
+    SCALO_PANIC("unknown radio design");
+}
+
+const RadioSpec &
+defaultRadio()
+{
+    return radioSpec(RadioDesign::LowPower);
+}
+
+const RadioSpec &
+externalRadio()
+{
+    return kExternal;
+}
+
+double
+powerAtDistanceMw(const RadioSpec &spec, double distance_cm)
+{
+    SCALO_ASSERT(distance_cm > 0.0, "distance must be positive");
+    return spec.powerMw *
+           std::pow(distance_cm / spec.rangeCm, kPathLossExponent);
+}
+
+} // namespace scalo::net

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Radio models (Sections 3.4, 5 and 7). Each SCALO node carries two
+ * radios: an external one for communication with devices up to 10 m
+ * away, and an intra-SCALO radio derived from a safe-implantation FDD
+ * design [107], modified for symmetric transmit/receive over <= 20 cm
+ * (beyond the 90th-percentile head breadth). Path loss through brain,
+ * skull and skin uses the IEEE 802.15.4a model with exponent 3.5.
+ */
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace scalo::net {
+
+/** One radio design point (Table 3 + the external radio). */
+struct RadioSpec
+{
+    std::string_view name;
+    double ber;          ///< bit error rate
+    double dataRateMbps; ///< symmetric TX/RX rate
+    double powerMw;      ///< active power
+    double rangeCm;      ///< design transmission distance
+    double carrierGhz;   ///< carrier frequency
+
+    /** Time (ms) to move @p bytes across this link. */
+    double
+    transferMs(double bytes) const
+    {
+        return bytes * 8.0 / (dataRateMbps * 1e6) * 1e3;
+    }
+
+    /** Energy (mJ) to move @p bytes across this link. */
+    double
+    transferEnergyMj(double bytes) const
+    {
+        return powerMw * transferMs(bytes) * 1e-3;
+    }
+};
+
+/** Named intra-SCALO design points of Table 3. */
+enum class RadioDesign
+{
+    LowPower,    ///< the default: BER 1e-5, 7 Mbps, 1.71 mW
+    HighPerf,    ///< BER 1e-6, 14 Mbps, 6.85 mW
+    LowBer,      ///< BER 1e-6, 7 Mbps, 3.4 mW
+    LowDataRate, ///< BER 1e-5, 3.5 Mbps, 0.855 mW
+};
+
+/** Intra-SCALO radio catalog (Table 3). */
+const std::vector<RadioSpec> &radioCatalog();
+
+/** Spec of a Table 3 design point. */
+const RadioSpec &radioSpec(RadioDesign design);
+
+/** The default intra-SCALO radio (Low Power). */
+const RadioSpec &defaultRadio();
+
+/** The external radio: 46 Mbps at 9.2 mW over up to 10 m (from HALO). */
+const RadioSpec &externalRadio();
+
+/** IEEE 802.15.4a path-loss exponent through brain/skull/skin. */
+inline constexpr double kPathLossExponent = 3.5;
+
+/**
+ * Transmit power (mW) needed to close the same link budget at
+ * @p distance_cm instead of the spec's design range, holding data rate
+ * and BER fixed: P(d) = P0 * (d / d0)^3.5.
+ */
+double powerAtDistanceMw(const RadioSpec &spec, double distance_cm);
+
+} // namespace scalo::net

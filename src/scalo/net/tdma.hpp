@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The intra-SCALO TDMA protocol (Section 3.4): the implant radios share
+ * one frequency to save power, so network access is serial. The ILP
+ * emits a fixed slot schedule; this model computes exchange times for
+ * the communication patterns of the evaluation (one-to-all broadcast,
+ * all-to-all, all-to-one aggregation).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scalo/net/packet.hpp"
+#include "scalo/net/radio.hpp"
+
+namespace scalo::net {
+
+/** Communication patterns of Section 6.2. */
+enum class Pattern
+{
+    OneToAll, ///< one node broadcasts (e.g. local seizure detected)
+    AllToAll, ///< every node broadcasts (brain-wide correlation)
+    AllToOne, ///< every node sends to an aggregator (MI pipelines)
+};
+
+/** Fixed TDMA slot schedule over the shared single-frequency channel. */
+class TdmaSchedule
+{
+  public:
+    /**
+     * @param radio        the shared radio design
+     * @param node_count   implants on the network
+     * @param guard_us     inter-slot guard time (radio turnaround)
+     */
+    TdmaSchedule(const RadioSpec &radio, std::size_t node_count,
+                 double guard_us = 20.0);
+
+    std::size_t nodeCount() const { return nodes; }
+    const RadioSpec &radio() const { return *spec; }
+
+    /**
+     * Time (ms) for one node to put @p payload_bytes on the air,
+     * including per-packet overhead and the slot guard.
+     */
+    double slotMs(std::size_t payload_bytes) const;
+
+    /**
+     * Time (ms) to complete one round of @p pattern in which each
+     * sending node contributes @p payload_bytes_per_node.
+     */
+    double exchangeMs(Pattern pattern,
+                      std::size_t payload_bytes_per_node) const;
+
+    /**
+     * Sustained per-node goodput (Mbps of payload) when all nodes
+     * stream continuously under TDMA.
+     */
+    double perNodeGoodputMbps(std::size_t payload_bytes_per_slot) const;
+
+    /**
+     * Payload bytes one node can send within @p budget_ms when the
+     * round is shared by @p senders nodes.
+     */
+    std::size_t budgetBytes(double budget_ms,
+                            std::size_t senders) const;
+
+  private:
+    const RadioSpec *spec;
+    std::size_t nodes;
+    double guardUs;
+};
+
+} // namespace scalo::net

@@ -1,0 +1,148 @@
+#include "scalo/query/codegen.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::query {
+
+std::string
+McInstruction::render() const
+{
+    std::ostringstream oss;
+    switch (opcode) {
+      case McOpcode::SetDivider:
+        oss << "div    " << a.name() << ", " << value;
+        break;
+      case McOpcode::Configure:
+        oss << "cfg    " << a.name() << ", " << parameter << "="
+            << value;
+        break;
+      case McOpcode::Connect:
+        oss << "conn   " << a.name() << " -> " << b.name();
+        break;
+      case McOpcode::Start:
+        oss << "start";
+        break;
+    }
+    return oss.str();
+}
+
+std::string
+McProgram::render() const
+{
+    std::ostringstream oss;
+    for (const McInstruction &instruction : instructions)
+        oss << instruction.render() << '\n';
+    return oss.str();
+}
+
+McProgram
+generateProgram(const CompiledPipeline &pipeline, double electrodes)
+{
+    McProgram program;
+
+    // Track instance indexes so repeated PEs of one kind in a chain
+    // map to distinct physical units.
+    std::map<hw::PeKind, int> next_instance;
+
+    // The PE chain with instance assignment.
+    std::vector<hw::Endpoint> chain{hw::Endpoint::adc()};
+    for (const Stage &stage : pipeline.stages) {
+        for (hw::PeKind kind : stage.pes) {
+            const int instance = next_instance[kind]++;
+            const hw::Endpoint ep = hw::Endpoint::of(kind, instance);
+
+            // Frequency divider: the smallest k with fmax/k still
+            // covering the required electrode rate.
+            const int divider = std::max(
+                1, static_cast<int>(std::floor(
+                       constants::kElectrodesPerNode /
+                       std::max(1.0, electrodes))));
+            program.instructions.push_back(
+                {McOpcode::SetDivider, ep, {}, {},
+                 static_cast<double>(divider)});
+
+            // Stage parameters become PE configuration registers.
+            for (const auto &[name, value] : stage.params) {
+                program.instructions.push_back(
+                    {McOpcode::Configure, ep, {}, name, value});
+            }
+            chain.push_back(ep);
+        }
+    }
+
+    // Sink: hand off to the external radio when the program calls the
+    // runtime; otherwise persist via the NVM.
+    chain.push_back(pipeline.callsRuntime ? hw::Endpoint::radio()
+                                          : hw::Endpoint::nvm());
+
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        program.instructions.push_back(
+            {McOpcode::Connect, chain[i], chain[i + 1], {}, 0.0});
+    }
+    program.instructions.push_back(
+        {McOpcode::Start, {}, {}, {}, 0.0});
+    return program;
+}
+
+Runtime::Runtime(const hw::NodeFabric &fabric) : switchFabric(fabric)
+{
+}
+
+std::string
+Runtime::load(const McProgram &program)
+{
+    switchFabric.reset();
+    dividers.clear();
+    started = false;
+
+    bool connected = false;
+    for (const McInstruction &instruction : program.instructions) {
+        switch (instruction.opcode) {
+          case McOpcode::SetDivider:
+            if (instruction.value < 1.0)
+                return "divider must be >= 1";
+            dividers.emplace_back(
+                instruction.a.pe,
+                static_cast<int>(instruction.value));
+            break;
+          case McOpcode::Configure:
+            // Parameter registers are sized by the PEs; the loader
+            // only checks the PE exists.
+            if (instruction.a.type == hw::Endpoint::Type::Pe &&
+                instruction.a.instance >= 1 &&
+                instruction.a.pe != hw::PeKind::BMUL) {
+                return "no such PE instance: " +
+                       instruction.a.name();
+            }
+            break;
+          case McOpcode::Connect: {
+            const std::string error = switchFabric.connect(
+                instruction.a, instruction.b);
+            if (!error.empty())
+                return error;
+            connected = true;
+            break;
+          }
+          case McOpcode::Start:
+            if (!connected)
+                return "start before any circuit was programmed";
+            started = true;
+            break;
+        }
+    }
+    return {};
+}
+
+int
+Runtime::dividerOf(hw::PeKind kind) const
+{
+    for (const auto &[pe, divider] : dividers)
+        if (pe == kind)
+            return divider;
+    return 1;
+}
+
+} // namespace scalo::query

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The back half of Section 3.7's toolchain: a compiled pipeline is
+ * translated into the configuration program the per-node RISC-V MC
+ * executes - set each PE's frequency divider, load its parameters,
+ * program the switch circuits, and start the dataflow. The Runtime
+ * models the MC's lightweight loader: it applies a program to a
+ * node's switch fabric and validates it against the PE inventory.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scalo/hw/switches.hpp"
+#include "scalo/query/language.hpp"
+
+namespace scalo::query {
+
+/** MC configuration instruction set. */
+enum class McOpcode
+{
+    SetDivider, ///< PE clock divider (power tuning, Section 3.2)
+    Configure,  ///< load a PE parameter register
+    Connect,    ///< program one switch circuit
+    Start,      ///< open the ADC gate and start the dataflow
+};
+
+/** One MC instruction. */
+struct McInstruction
+{
+    McOpcode opcode;
+    hw::Endpoint a; ///< target PE / circuit source
+    hw::Endpoint b; ///< circuit destination (Connect only)
+    std::string parameter; ///< Configure: register name
+    double value = 0.0;    ///< SetDivider / Configure operand
+
+    /** Render as one assembly-style line. */
+    std::string render() const;
+};
+
+/** A complete configuration program. */
+struct McProgram
+{
+    std::vector<McInstruction> instructions;
+
+    /** Full assembly-style listing. */
+    std::string render() const;
+};
+
+/**
+ * Generate the configuration program for @p pipeline: ADC -> stage
+ * PEs in order -> sink (the external radio when the pipeline calls
+ * the runtime, the NVM otherwise). The divider is chosen for
+ * @p electrodes of the node's 96-electrode design point.
+ */
+McProgram generateProgram(const CompiledPipeline &pipeline,
+                          double electrodes =
+                              constants::kElectrodesPerNode);
+
+/** The MC's loader: applies programs to a node's switch state. */
+class Runtime
+{
+  public:
+    explicit Runtime(const hw::NodeFabric &fabric);
+
+    /**
+     * Execute a configuration program. @return empty string, or the
+     * first diagnostic (bad circuit, missing PE, start before any
+     * connect).
+     */
+    std::string load(const McProgram &program);
+
+    /** Whether a dataflow has been started. */
+    bool running() const { return started; }
+
+    /** The switch state after loading. */
+    const hw::SwitchFabric &switches() const { return switchFabric; }
+
+    /** Divider programmed for a PE (1 when untouched). */
+    int dividerOf(hw::PeKind kind) const;
+
+  private:
+    hw::SwitchFabric switchFabric;
+    std::vector<std::pair<hw::PeKind, int>> dividers;
+    bool started = false;
+};
+
+} // namespace scalo::query

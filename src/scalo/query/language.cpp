@@ -1,0 +1,317 @@
+#include "scalo/query/language.hpp"
+
+#include <cctype>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::query {
+
+namespace {
+
+/** Token kinds for the operator-chain grammar. */
+enum class TokenKind
+{
+    Identifier,
+    Number, ///< value already normalised to ms where suffixed
+    Dot,
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    End,
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    double value = 0.0;
+};
+
+/** Hand-rolled lexer; durations like "50ms" / "5s" become numbers. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source) : src(source) {}
+
+    Token
+    next()
+    {
+        skipSpace();
+        if (pos >= src.size())
+            return {TokenKind::End, ""};
+        const char c = src[pos];
+        if (c == '.') {
+            ++pos;
+            return {TokenKind::Dot, "."};
+        }
+        if (c == '(') {
+            ++pos;
+            return {TokenKind::LParen, "("};
+        }
+        if (c == ')') {
+            ++pos;
+            return {TokenKind::RParen, ")"};
+        }
+        if (c == ',') {
+            ++pos;
+            return {TokenKind::Comma, ","};
+        }
+        if (c == '=') {
+            ++pos;
+            return {TokenKind::Equals, "="};
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-')
+            return lexNumber();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return lexIdentifier();
+        SCALO_FATAL("query syntax error: unexpected '", c, "' at ",
+                    pos);
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos]))) {
+            ++pos;
+        }
+    }
+
+    Token
+    lexNumber()
+    {
+        std::size_t start = pos;
+        if (src[pos] == '-')
+            ++pos;
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '.')) {
+            ++pos;
+        }
+        double value = std::stod(src.substr(start, pos - start));
+        // Unit suffix: ms (native), s, us.
+        if (src.compare(pos, 2, "ms") == 0) {
+            pos += 2;
+        } else if (src.compare(pos, 2, "us") == 0) {
+            value /= 1'000.0;
+            pos += 2;
+        } else if (pos < src.size() && src[pos] == 's' &&
+                   (pos + 1 >= src.size() ||
+                    !std::isalnum(
+                        static_cast<unsigned char>(src[pos + 1])))) {
+            value *= 1'000.0;
+            pos += 1;
+        }
+        return {TokenKind::Number, "", value};
+    }
+
+    Token
+    lexIdentifier()
+    {
+        std::size_t start = pos;
+        while (pos < src.size() &&
+               (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '_')) {
+            ++pos;
+        }
+        return {TokenKind::Identifier,
+                src.substr(start, pos - start)};
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    Lexer lexer(source);
+    Token token = lexer.next();
+
+    // Optional "var name =" prefix as in the paper's listings.
+    if (token.kind == TokenKind::Identifier && token.text == "var") {
+        token = lexer.next(); // variable name
+        SCALO_ASSERT(token.kind == TokenKind::Identifier,
+                     "expected a name after 'var'");
+        token = lexer.next();
+        if (token.kind != TokenKind::Equals)
+            SCALO_FATAL("query syntax error: expected '=' after var");
+        token = lexer.next();
+    }
+
+    if (token.kind != TokenKind::Identifier ||
+        token.text != "stream") {
+        SCALO_FATAL("query must start with 'stream'");
+    }
+
+    Program program;
+    token = lexer.next();
+    while (token.kind == TokenKind::Dot) {
+        token = lexer.next();
+        if (token.kind != TokenKind::Identifier)
+            SCALO_FATAL("expected operator name after '.'");
+        OpCall op;
+        op.name = token.text;
+
+        token = lexer.next();
+        if (token.kind != TokenKind::LParen)
+            SCALO_FATAL("expected '(' after operator '", op.name,
+                        "'");
+        token = lexer.next();
+        while (token.kind != TokenKind::RParen) {
+            if (token.kind != TokenKind::Identifier)
+                SCALO_FATAL("expected argument name in '", op.name,
+                            "'");
+            const std::string arg_name = token.text;
+            token = lexer.next();
+            if (token.kind == TokenKind::Equals) {
+                token = lexer.next();
+                if (token.kind != TokenKind::Number)
+                    SCALO_FATAL("expected numeric value for '",
+                                arg_name, "'");
+                op.args[arg_name] = token.value;
+                token = lexer.next();
+            } else {
+                // Bare identifier argument (e.g. kf_params): recorded
+                // with a sentinel value.
+                op.args[arg_name] = 0.0;
+            }
+            if (token.kind == TokenKind::Comma)
+                token = lexer.next();
+        }
+        program.ops.push_back(std::move(op));
+        token = lexer.next();
+    }
+    if (token.kind != TokenKind::End)
+        SCALO_FATAL("trailing tokens after operator chain");
+    if (program.ops.empty())
+        SCALO_FATAL("program has no operators");
+    return program;
+}
+
+namespace {
+
+using hw::PeKind;
+
+/** Operator -> PE mapping table. */
+const std::map<std::string, std::vector<PeKind>> kOpPes{
+    {"window", {PeKind::GATE}},
+    {"fft", {PeKind::FFT}},
+    {"bbf", {PeKind::BBF}},
+    {"xcor", {PeKind::XCOR}},
+    {"sbp", {PeKind::SBP}},
+    {"neo", {PeKind::NEO}},
+    {"thr", {PeKind::THR}},
+    {"dwt", {PeKind::DWT}},
+    {"svm", {PeKind::SVM}},
+    {"nn", {PeKind::BMUL, PeKind::ADD}},
+    {"kf",
+     {PeKind::BMUL, PeKind::ADD, PeKind::SUB, PeKind::INV,
+      PeKind::SC}},
+    {"hash", {PeKind::HCONV, PeKind::NGRAM}},
+    {"emd_hash", {PeKind::HCONV, PeKind::EMDH}},
+    {"compress", {PeKind::HFREQ, PeKind::HCOMP}},
+    {"ccheck", {PeKind::CCHECK}},
+    {"dtw", {PeKind::DTW}},
+    {"seizure_detect",
+     {PeKind::FFT, PeKind::BBF, PeKind::XCOR, PeKind::SVM,
+      PeKind::THR}},
+    {"propagate",
+     {PeKind::HCONV, PeKind::NGRAM, PeKind::HCOMP, PeKind::NPACK,
+      PeKind::UNPACK, PeKind::DCOMP, PeKind::CCHECK, PeKind::DTW}},
+    {"store", {PeKind::SC}},
+    {"select", {PeKind::CSEL}},
+    {"map", {}},            // routing only
+    {"stimulate", {}},      // DAC command, issued by the MC
+    {"call_runtime", {}},   // hand-off to the external runtime
+};
+
+/** Arguments each operator requires. */
+const std::map<std::string, std::vector<std::string>> kRequiredArgs{
+    {"window", {"wsize"}},
+    {"bbf", {"low", "high"}},
+};
+
+} // namespace
+
+std::vector<std::string>
+supportedOps()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, pes] : kOpPes)
+        names.push_back(name);
+    return names;
+}
+
+CompiledPipeline
+compile(const Program &program)
+{
+    CompiledPipeline pipeline;
+    for (const OpCall &op : program.ops) {
+        const auto it = kOpPes.find(op.name);
+        if (it == kOpPes.end())
+            SCALO_FATAL("unknown operator '", op.name, "'");
+        const auto required = kRequiredArgs.find(op.name);
+        if (required != kRequiredArgs.end()) {
+            for (const std::string &arg : required->second) {
+                if (!op.args.count(arg))
+                    SCALO_FATAL("operator '", op.name,
+                                "' requires argument '", arg, "'");
+            }
+        }
+
+        Stage stage;
+        stage.op = op.name;
+        stage.pes = it->second;
+        stage.params = op.args;
+        if (op.name == "window")
+            pipeline.windowMs = op.args.at("wsize");
+        if (op.name == "call_runtime")
+            pipeline.callsRuntime = true;
+        pipeline.stages.push_back(std::move(stage));
+    }
+    return pipeline;
+}
+
+CompiledPipeline
+compileSource(const std::string &source)
+{
+    return compile(parse(source));
+}
+
+std::vector<hw::PeKind>
+CompiledPipeline::peChain() const
+{
+    std::vector<hw::PeKind> chain;
+    for (const Stage &stage : stages)
+        chain.insert(chain.end(), stage.pes.begin(),
+                     stage.pes.end());
+    return chain;
+}
+
+double
+CompiledPipeline::latencyMs() const
+{
+    double total = 0.0;
+    for (hw::PeKind kind : peChain()) {
+        const auto &spec = hw::peSpec(kind);
+        if (spec.latencyMs)
+            total += *spec.latencyMs;
+    }
+    return total;
+}
+
+double
+CompiledPipeline::powerMw(double electrodes) const
+{
+    double uw = 0.0;
+    for (hw::PeKind kind : peChain())
+        uw += hw::peSpec(kind).powerUw(electrodes);
+    return uw / 1'000.0;
+}
+
+} // namespace scalo::query

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The TrillDSP-flavoured programming interface (Section 3.7 and the
+ * artifact's query grammar): clinicians write chained stream
+ * operators,
+ *
+ *     stream.window(wsize=50ms).sbp().kf().call_runtime()
+ *     stream.window(wsize=4ms).seizure_detect().propagate()
+ *
+ * which parse into a dataflow DAG whose stages map onto PEs. The
+ * compiler validates operators/arguments and emits the pipeline the
+ * ILP scheduler consumes, plus the RISC-V MC configuration stub.
+ */
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scalo/hw/fabric.hpp"
+
+namespace scalo::query {
+
+/** One parsed operator invocation: name plus named arguments. */
+struct OpCall
+{
+    std::string name;
+    /** Named arguments; durations are normalised to milliseconds. */
+    std::map<std::string, double> args;
+};
+
+/** A parsed program: `stream` followed by chained operators. */
+struct Program
+{
+    std::vector<OpCall> ops;
+};
+
+/** Parse a program; throws via SCALO_FATAL on syntax errors. */
+Program parse(const std::string &source);
+
+/** One compiled dataflow stage. */
+struct Stage
+{
+    std::string op;
+    /** PEs realising this stage (empty = runs on the MC). */
+    std::vector<hw::PeKind> pes;
+    /** Stage parameters (e.g. window size in ms). */
+    std::map<std::string, double> params;
+};
+
+/** A compiled pipeline ready for the scheduler. */
+struct CompiledPipeline
+{
+    std::vector<Stage> stages;
+    /** Analysis window (ms) taken from the window() operator. */
+    double windowMs = 4.0;
+    /** Whether the pipeline ends at the external runtime. */
+    bool callsRuntime = false;
+
+    /** All PEs used, in stage order (for fabric validation). */
+    std::vector<hw::PeKind> peChain() const;
+
+    /** Total fixed pipeline latency (ms). */
+    double latencyMs() const;
+
+    /** Pipeline power (mW) at @p electrodes per stage. */
+    double powerMw(double electrodes) const;
+};
+
+/**
+ * Compile a parsed program: resolve each operator to its PE mapping
+ * and validate argument requirements. Throws via SCALO_FATAL on
+ * unknown operators or missing arguments.
+ */
+CompiledPipeline compile(const Program &program);
+
+/** Convenience: parse + compile. */
+CompiledPipeline compileSource(const std::string &source);
+
+/** Names of all supported operators. */
+std::vector<std::string> supportedOps();
+
+} // namespace scalo::query

@@ -1,0 +1,203 @@
+#include "scalo/sched/architectures.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::sched {
+
+std::string_view
+architectureName(Architecture arch)
+{
+    switch (arch) {
+      case Architecture::Scalo:
+        return "SCALO";
+      case Architecture::ScaloNoHash:
+        return "SCALO No-Hash";
+      case Architecture::Central:
+        return "Central";
+      case Architecture::CentralNoHash:
+        return "Central No-Hash";
+      case Architecture::HaloNvm:
+        return "HALO+NVM";
+    }
+    SCALO_PANIC("unknown architecture");
+}
+
+std::string_view
+taskName(Task task)
+{
+    switch (task) {
+      case Task::SeizureDetection:
+        return "Seizure Detection";
+      case Task::SignalSimilarity:
+        return "Signal Similarity";
+      case Task::MiSvm:
+        return "MI SVM";
+      case Task::MiKf:
+        return "MI KF";
+      case Task::MiNn:
+        return "MI NN";
+      case Task::SpikeSorting:
+        return "Spike Sorting";
+    }
+    SCALO_PANIC("unknown task");
+}
+
+std::vector<Architecture>
+allArchitectures()
+{
+    return {Architecture::Scalo, Architecture::ScaloNoHash,
+            Architecture::Central, Architecture::CentralNoHash,
+            Architecture::HaloNvm};
+}
+
+std::vector<Task>
+allTasks()
+{
+    return {Task::SeizureDetection, Task::SignalSimilarity,
+            Task::MiSvm, Task::MiKf, Task::MiNn, Task::SpikeSorting};
+}
+
+namespace {
+
+/** Strip networking from a flow (wired centralized substrate). */
+FlowSpec
+wired(FlowSpec flow)
+{
+    if (flow.network) {
+        flow.leakMw -= net::defaultRadio().powerMw;
+        flow.network.reset();
+    }
+    return flow;
+}
+
+/** Scale a flow's dynamic cost (software fallback / exact compare). */
+FlowSpec
+scaledCost(FlowSpec flow, double factor)
+{
+    flow.linMwPerElectrode *= factor;
+    flow.quadMwPerElectrode2 *= factor;
+    return flow;
+}
+
+/** The base flow for a task under hash-enabled processing. */
+FlowSpec
+taskFlow(Task task, bool distributed)
+{
+    switch (task) {
+      case Task::SeizureDetection:
+        return seizureDetectionFlow();
+      case Task::SignalSimilarity:
+        return hashSimilarityFlow(net::Pattern::AllToAll);
+      case Task::MiSvm:
+        return miSvmFlow();
+      case Task::MiKf:
+        return miKfFlow();
+      case Task::MiNn:
+        return miNnFlow();
+      case Task::SpikeSorting:
+        return spikeSortingFlow();
+    }
+    (void)distributed;
+    SCALO_PANIC("unknown task");
+}
+
+/** The exact (no-hash) counterpart of a task's flow. */
+FlowSpec
+noHashTaskFlow(Task task)
+{
+    switch (task) {
+      case Task::SignalSimilarity:
+        return dtwSimilarityFlow(net::Pattern::AllToAll);
+      case Task::SpikeSorting:
+        return scaledCost(spikeSortingFlow(), kExactSpikeSortFactor);
+      default:
+        // Tasks that never used hashes are unchanged.
+        return taskFlow(task, true);
+    }
+}
+
+/**
+ * HALO+NVM software-fallback penalty for tasks whose SCALO PEs do not
+ * exist in HALO; the hash pipelines and the LIN ALG cluster fall back
+ * to the 20 MHz MC (Section 6.1: 10-100x worse than Central).
+ */
+double
+mcPenalty(Task task)
+{
+    switch (task) {
+      case Task::SeizureDetection:
+      case Task::MiSvm:
+        return 1.0; // HALO's own PEs suffice
+      case Task::SignalSimilarity:
+        return 100.0; // hash generation + collision check on the MC
+      case Task::MiKf:
+        return 4.0; // matrix algebra on the MC
+      case Task::MiNn:
+        return 50.0; // dense layers on the MC
+      case Task::SpikeSorting:
+        // Hashing on the MC is slower than exact matching on a PE:
+        // 40% below Central No-Hash (Section 6.1).
+        return 0.0; // handled specially below
+    }
+    SCALO_PANIC("unknown task");
+}
+
+} // namespace
+
+double
+maxAggregateThroughputMbps(Architecture arch, Task task,
+                           std::size_t sites, double power_cap_mw)
+{
+    SystemConfig config;
+    config.powerCapMw = power_cap_mw;
+
+    switch (arch) {
+      case Architecture::Scalo: {
+        config.nodes = sites;
+        Scheduler scheduler(config);
+        return scheduler.maxAggregateThroughputMbps(
+            taskFlow(task, true));
+      }
+      case Architecture::ScaloNoHash: {
+        config.nodes = sites;
+        Scheduler scheduler(config);
+        return scheduler.maxAggregateThroughputMbps(
+            noHashTaskFlow(task));
+      }
+      case Architecture::Central: {
+        config.nodes = 1;
+        config.wirelessNetwork = false;
+        Scheduler scheduler(config);
+        return scheduler.maxAggregateThroughputMbps(
+            wired(taskFlow(task, false)));
+      }
+      case Architecture::CentralNoHash: {
+        config.nodes = 1;
+        config.wirelessNetwork = false;
+        Scheduler scheduler(config);
+        if (task == Task::SignalSimilarity) {
+            // Exact all-pair comparison of the full stream: 250x the
+            // hash-filtered cost (Section 6.1).
+            return scheduler.maxAggregateThroughputMbps(scaledCost(
+                wired(taskFlow(task, false)),
+                kExactSimilarityFactor));
+        }
+        return scheduler.maxAggregateThroughputMbps(
+            wired(noHashTaskFlow(task)));
+      }
+      case Architecture::HaloNvm: {
+        if (task == Task::SpikeSorting) {
+            // Hash matching on the MC: 40% below Central No-Hash.
+            return 0.6 * maxAggregateThroughputMbps(
+                             Architecture::CentralNoHash, task, sites,
+                             power_cap_mw);
+        }
+        const double central = maxAggregateThroughputMbps(
+            Architecture::Central, task, sites, power_cap_mw);
+        return central / mcPenalty(task);
+      }
+    }
+    SCALO_PANIC("unknown architecture");
+}
+
+} // namespace scalo::sched

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Alternative BCI system architectures (Table 2) and the
+ * maximum-aggregate-throughput comparison of Section 6.1 / Figure 8a.
+ *
+ *  - SCALO:            distributed, wireless, hash + signal compare
+ *  - SCALO No-Hash:    distributed, wireless, exact compare only
+ *  - Central:          one wired processor, hash + signal compare
+ *  - Central No-Hash:  one wired processor, exact compare only
+ *  - HALO+NVM:         one wired HALO processor + NVM; tasks without a
+ *                      dedicated PE run on the RISC-V MC
+ */
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scalo/sched/scheduler.hpp"
+
+namespace scalo::sched {
+
+/** The compared system architectures (Table 2). */
+enum class Architecture
+{
+    Scalo,
+    ScaloNoHash,
+    Central,
+    CentralNoHash,
+    HaloNvm,
+};
+
+/** The evaluation tasks of Figure 8a. */
+enum class Task
+{
+    SeizureDetection,
+    SignalSimilarity,
+    MiSvm,
+    MiKf,
+    MiNn,
+    SpikeSorting,
+};
+
+/** Display name. */
+std::string_view architectureName(Architecture arch);
+
+/** Display name. */
+std::string_view taskName(Task task);
+
+/** All architectures, in Table 2 order. */
+std::vector<Architecture> allArchitectures();
+
+/** All tasks, in Figure 8a order. */
+std::vector<Task> allTasks();
+
+/**
+ * Maximum aggregate throughput (Mbps) of @p task on @p arch with
+ * @p sites implanted sensing sites and the given per-implant power
+ * limit. Centralized designs use one processor wired to all sites;
+ * distributed designs use one node per site.
+ */
+double maxAggregateThroughputMbps(Architecture arch, Task task,
+                                  std::size_t sites,
+                                  double power_cap_mw =
+                                      constants::kPowerCapMw);
+
+/**
+ * Exact spike sorting (template matching with the DTW PE instead of
+ * hash lookup) costs this factor more per electrode than hash-based
+ * sorting; the paper reports hash-based Central outperforming exact
+ * Central No-Hash by 24.5x (Section 6.1).
+ */
+inline constexpr double kExactSpikeSortFactor = 24.5;
+
+/**
+ * Exact all-window signal comparison on a centralized processor costs
+ * this factor over hash-based filtering (250x, Section 6.1).
+ */
+inline constexpr double kExactSimilarityFactor = 250.0;
+
+} // namespace scalo::sched

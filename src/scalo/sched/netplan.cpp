@@ -1,0 +1,97 @@
+#include "scalo/sched/netplan.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::sched {
+
+bool
+NetworkPlan::collisionFree() const
+{
+    for (std::size_t i = 0; i + 1 < slots.size(); ++i)
+        if (slots[i].endMs > slots[i + 1].startMs + 1e-12)
+            return false;
+    return true;
+}
+
+NetworkPlan
+buildNetworkPlan(const std::vector<FlowSpec> &flows,
+                 const Schedule &schedule,
+                 const net::RadioSpec &radio)
+{
+    SCALO_ASSERT(schedule.feasible, "cannot plan an infeasible "
+                                    "schedule");
+    SCALO_ASSERT(flows.size() == schedule.flows.size(),
+                 "flow/allocation mismatch");
+
+    const std::size_t nodes =
+        schedule.flows.empty()
+            ? 0
+            : schedule.flows.front().electrodesPerNode.size();
+    const net::TdmaSchedule tdma(radio, std::max<std::size_t>(1,
+                                                              nodes));
+
+    NetworkPlan plan;
+    double cursor = 0.0;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        const FlowSpec &flow = flows[f];
+        if (!flow.network)
+            continue;
+        const auto &alloc = schedule.flows[f];
+
+        // Which nodes transmit for this flow's pattern.
+        std::vector<NodeId> senders;
+        switch (flow.network->pattern) {
+          case net::Pattern::OneToAll:
+            senders.push_back(0);
+            break;
+          case net::Pattern::AllToAll:
+            for (NodeId n = 0; n < nodes; ++n)
+                senders.push_back(n);
+            break;
+          case net::Pattern::AllToOne:
+            for (NodeId n = 1; n < nodes; ++n)
+                senders.push_back(n);
+            break;
+        }
+
+        for (NodeId sender : senders) {
+            const double electrodes =
+                alloc.electrodesPerNode[sender];
+            const auto payload = static_cast<std::size_t>(
+                std::ceil(flow.network->bytesPerElectrode *
+                              electrodes +
+                          flow.network->bytesPerNode));
+            if (payload == 0)
+                continue;
+            TdmaSlot slot;
+            slot.sender = sender;
+            slot.flow = flow.name;
+            slot.payloadBytes = payload;
+            slot.startMs = cursor;
+            slot.endMs = cursor + tdma.slotMs(payload);
+            cursor = slot.endMs;
+            plan.slots.push_back(std::move(slot));
+        }
+    }
+    plan.roundMs = cursor;
+    return plan;
+}
+
+std::string
+renderPlan(const NetworkPlan &plan)
+{
+    std::ostringstream oss;
+    oss << "TDMA round: " << plan.roundMs << " ms, "
+        << plan.slots.size() << " slots\n";
+    for (const TdmaSlot &slot : plan.slots) {
+        oss << "  [" << slot.startMs << " - " << slot.endMs
+            << " ms] node " << slot.sender << " sends "
+            << slot.payloadBytes << " B of '" << slot.flow << "'\n";
+    }
+    return oss.str();
+}
+
+} // namespace scalo::sched

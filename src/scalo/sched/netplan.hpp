@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The ILP's second output (Section 3.5): besides the task-to-PE
+ * mapping, the scheduler emits a fixed TDMA network schedule - an
+ * ordered list of slots, each assigning the air to one node for one
+ * flow's traffic, that every node follows deterministically.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scalo/net/tdma.hpp"
+#include "scalo/sched/scheduler.hpp"
+
+namespace scalo::sched {
+
+/** One TDMA slot of the fixed round. */
+struct TdmaSlot
+{
+    NodeId sender = 0;
+    std::string flow;
+    std::size_t payloadBytes = 0;
+    double startMs = 0.0;
+    double endMs = 0.0;
+};
+
+/** The fixed network round all nodes follow. */
+struct NetworkPlan
+{
+    std::vector<TdmaSlot> slots;
+    /** Total round length (ms). */
+    double roundMs = 0.0;
+
+    /** Whether no two slots overlap (the TDMA invariant). */
+    bool collisionFree() const;
+};
+
+/**
+ * Derive the fixed slot schedule from a solved allocation: for every
+ * networked flow, its senders (per the flow's pattern) get slots
+ * sized for their allocated electrodes' traffic, packed back to back
+ * with the guard time in between.
+ */
+NetworkPlan buildNetworkPlan(const std::vector<FlowSpec> &flows,
+                             const Schedule &schedule,
+                             const net::RadioSpec &radio =
+                                 net::defaultRadio());
+
+/** Render the plan as a readable table (for operators/debugging). */
+std::string renderPlan(const NetworkPlan &plan);
+
+} // namespace scalo::sched

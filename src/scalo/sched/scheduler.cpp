@@ -1,0 +1,340 @@
+#include "scalo/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scalo/hw/nvm.hpp"
+#include "scalo/ilp/solver.hpp"
+#include "scalo/net/packet.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::sched {
+
+namespace {
+
+/** TDMA slot guard time (radio turnaround), matching net::TdmaSchedule. */
+constexpr double kGuardMs = 0.02;
+
+/**
+ * Linearised wire time (ms) for B payload bytes: per-packet overhead
+ * amortised as a rate factor plus one packet's fixed header cost.
+ */
+double
+wireMsPerByte(const net::RadioSpec &radio)
+{
+    const double overhead_factor =
+        1.0 + static_cast<double>(net::kPacketOverheadBytes) /
+                  static_cast<double>(net::kMaxPayloadBytes);
+    return overhead_factor * 8.0 / (radio.dataRateMbps * 1e6) * 1e3;
+}
+
+double
+wireFixedMs(const net::RadioSpec &radio)
+{
+    return static_cast<double>(net::kPacketOverheadBytes) * 8.0 /
+               (radio.dataRateMbps * 1e6) * 1e3 +
+           kGuardMs;
+}
+
+/** Indices of nodes that transmit for a flow's pattern. */
+std::vector<std::size_t>
+senders(net::Pattern pattern, std::size_t nodes)
+{
+    std::vector<std::size_t> out;
+    switch (pattern) {
+      case net::Pattern::OneToAll:
+        out.push_back(0);
+        break;
+      case net::Pattern::AllToAll:
+        for (std::size_t n = 0; n < nodes; ++n)
+            out.push_back(n);
+        break;
+      case net::Pattern::AllToOne:
+        for (std::size_t n = 1; n < nodes; ++n)
+            out.push_back(n);
+        break;
+    }
+    return out;
+}
+
+/**
+ * Add tangent cuts approximating q >= e^2 from below (exact at the
+ * grid points; the maximizing LP sits on the hull, so the error is
+ * bounded by the grid pitch squared over four).
+ */
+void
+addQuadraticCuts(ilp::Model &model, int e_var, int q_var, double e_max)
+{
+    constexpr int kCuts = 32;
+    for (int i = 0; i <= kCuts; ++i) {
+        const double e0 =
+            e_max * static_cast<double>(i) / static_cast<double>(kCuts);
+        // q >= 2 e0 e - e0^2.
+        model.addConstraint({{q_var, 1.0}, {e_var, -2.0 * e0}},
+                            ilp::Relation::GreaterEq, -e0 * e0);
+    }
+}
+
+} // namespace
+
+Scheduler::Scheduler(SystemConfig config) : systemConfig(config)
+{
+    SCALO_ASSERT(systemConfig.nodes >= 1, "need at least one node");
+    SCALO_ASSERT(systemConfig.powerCapMw > 0.0, "power cap must be > 0");
+}
+
+Schedule
+Scheduler::schedule(const std::vector<FlowSpec> &flows,
+                    const std::vector<double> &priorities) const
+{
+    SCALO_ASSERT(flows.size() == priorities.size(),
+                 "one priority per flow");
+    Schedule result;
+    const std::size_t nodes = systemConfig.nodes;
+
+    // Static response-time feasibility: the PE chains are pipelined
+    // at the window cadence (each PE sits in its own clock domain and
+    // overlaps with its neighbours), so the binding serial component
+    // is the network exchange round, which must fit the response-time
+    // target.
+    for (const FlowSpec &flow : flows) {
+        if (flow.network &&
+            flow.network->roundBudgetMs >
+                flow.responseTimeMs + 1e-9) {
+            result.reason = "flow '" + flow.name +
+                            "' cannot meet its response time";
+            return result;
+        }
+    }
+
+    // Per-node leakage: each flow pays its own leakage, but the
+    // intra-SCALO radio is one physical device, charged once.
+    double radio_leak = 0.0;
+    std::size_t networked = 0;
+    for (const FlowSpec &flow : flows)
+        if (flow.network)
+            ++networked;
+    if (systemConfig.wirelessNetwork && networked > 0)
+        radio_leak = systemConfig.radio->powerMw;
+
+    double leak_total = 0.0;
+    for (const FlowSpec &flow : flows) {
+        double leak = flow.leakMw;
+        if (flow.network) {
+            // FlowSpec folds the default radio into its leakage;
+            // replace it with the configured radio, charged once.
+            leak -= net::defaultRadio().powerMw;
+        } else if (!systemConfig.wirelessNetwork && !flow.network) {
+            // nothing to adjust for local flows
+        }
+        leak_total += leak;
+    }
+    leak_total += radio_leak;
+    const double power_budget = systemConfig.powerCapMw - leak_total;
+    if (power_budget <= 0.0) {
+        result.reason = "leakage alone exceeds the power cap";
+        return result;
+    }
+
+    // Build the ILP.
+    ilp::Model model;
+    const double e_cap = systemConfig.maxElectrodesPerNode > 0.0
+                             ? systemConfig.maxElectrodesPerNode
+                             : 100'000.0;
+
+    std::vector<std::vector<int>> e_vars(flows.size());
+    std::vector<std::vector<int>> q_vars(flows.size());
+    std::vector<std::vector<bool>> counted(flows.size());
+    ilp::Expr objective;
+
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        const FlowSpec &flow = flows[f];
+        // Exact-compare flows only give credit (and allocate
+        // electrodes) to the transmitting nodes.
+        const bool exact = flow.network && flow.network->exactCompare;
+        std::vector<bool> is_sender(nodes, true);
+        if (exact && systemConfig.wirelessNetwork) {
+            std::fill(is_sender.begin(), is_sender.end(), false);
+            for (std::size_t n :
+                 senders(flow.network->pattern, nodes)) {
+                is_sender[n] = true;
+            }
+        }
+        counted[f] = is_sender;
+        // Upper bound from power alone, used to place tangent cuts.
+        const double e_power_max = std::min(
+            e_cap, flow.electrodesAtPowerMw(systemConfig.powerCapMw));
+        for (std::size_t n = 0; n < nodes; ++n) {
+            const int e = model.addVariable(
+                flow.name + ".e" + std::to_string(n), 0.0,
+                is_sender[n] ? e_cap : 0.0,
+                systemConfig.integerElectrodes);
+            e_vars[f].push_back(e);
+            if (is_sender[n])
+                objective.push_back({e, priorities[f]});
+            if (flow.quadMwPerElectrode2 > 0.0) {
+                const int q = model.addVariable(
+                    flow.name + ".q" + std::to_string(n), 0.0,
+                    ilp::kInf, false);
+                q_vars[f].push_back(q);
+                addQuadraticCuts(model, e, q,
+                                 std::max(1.0, e_power_max) * 1.05);
+            } else {
+                q_vars[f].push_back(-1);
+            }
+        }
+        // Centralised caps (e.g. the Kalman aggregator's NVM).
+        if (flow.centralElectrodeCap > 0.0) {
+            ilp::Expr total;
+            for (int e : e_vars[f])
+                total.push_back({e, 1.0});
+            model.addConstraint(std::move(total),
+                                ilp::Relation::LessEq,
+                                flow.centralElectrodeCap,
+                                flow.name + ".central-cap");
+        }
+    }
+
+    // Per-node power and NVM write bandwidth.
+    const double nvm_write_bps =
+        hw::nvmSpec().writeBandwidthMBps() * 1e6;
+    for (std::size_t n = 0; n < nodes; ++n) {
+        ilp::Expr power;
+        ilp::Expr nvm;
+        for (std::size_t f = 0; f < flows.size(); ++f) {
+            const FlowSpec &flow = flows[f];
+            const bool exact = flow.network &&
+                               flow.network->exactCompare &&
+                               systemConfig.wirelessNetwork;
+            if (exact) {
+                // The comparison work lands on the receivers: node n
+                // checks every window it receives against its local
+                // history.
+                for (std::size_t m = 0; m < nodes; ++m) {
+                    if (m != n && counted[f][m] &&
+                        flow.linMwPerElectrode > 0.0) {
+                        power.push_back({e_vars[f][m],
+                                         flow.linMwPerElectrode});
+                    }
+                }
+            } else if (flow.linMwPerElectrode > 0.0) {
+                power.push_back(
+                    {e_vars[f][n], flow.linMwPerElectrode});
+            }
+            if (flow.quadMwPerElectrode2 > 0.0)
+                power.push_back(
+                    {q_vars[f][n], flow.quadMwPerElectrode2});
+            if (flow.nvmWriteBytesPerElecPerSec > 0.0)
+                nvm.push_back({e_vars[f][n],
+                               flow.nvmWriteBytesPerElecPerSec});
+        }
+        if (!power.empty())
+            model.addConstraint(std::move(power),
+                                ilp::Relation::LessEq, power_budget,
+                                "power.node" + std::to_string(n));
+        if (!nvm.empty())
+            model.addConstraint(std::move(nvm),
+                                ilp::Relation::LessEq, nvm_write_bps,
+                                "nvm.node" + std::to_string(n));
+    }
+
+    // Network budgets: for each networked flow, the serialized TDMA
+    // round of its senders must fit its budget. The wireless medium is
+    // shared across flows, so flows running concurrently also share
+    // the window cadence; each flow's budget already reflects its
+    // share of the schedule (Section 3.5 interleaves flows on the
+    // fixed TDMA schedule the ILP emits).
+    if (systemConfig.wirelessNetwork) {
+        const net::RadioSpec &radio = *systemConfig.radio;
+        for (std::size_t f = 0; f < flows.size(); ++f) {
+            const FlowSpec &flow = flows[f];
+            if (!flow.network)
+                continue;
+            const auto tx = senders(flow.network->pattern, nodes);
+            if (tx.empty())
+                continue;
+            ilp::Expr round;
+            double fixed = 0.0;
+            for (std::size_t n : tx) {
+                if (flow.network->bytesPerElectrode > 0.0)
+                    round.push_back(
+                        {e_vars[f][n],
+                         flow.network->bytesPerElectrode *
+                             wireMsPerByte(radio)});
+                fixed += wireFixedMs(radio) +
+                         flow.network->bytesPerNode *
+                             wireMsPerByte(radio);
+            }
+            const double budget = flow.network->roundBudgetMs - fixed;
+            if (budget < 0.0) {
+                // Even empty packets from every sender overrun the
+                // round: this flow cannot run at this node count, so
+                // it is allocated nothing (the rest of the schedule
+                // stands).
+                for (std::size_t n : tx)
+                    model.addConstraint({{e_vars[f][n], 1.0}},
+                                        ilp::Relation::LessEq, 0.0,
+                                        flow.name + ".starved");
+                continue;
+            }
+            if (!round.empty())
+                model.addConstraint(std::move(round),
+                                    ilp::Relation::LessEq, budget,
+                                    flow.name + ".network");
+        }
+    }
+
+    model.setObjective(std::move(objective), /*maximize=*/true);
+    const ilp::Solution solution = systemConfig.integerElectrodes
+                                       ? ilp::solveIlp(model)
+                                       : ilp::solveLp(model);
+    if (!solution.ok()) {
+        result.reason = "ILP infeasible";
+        return result;
+    }
+
+    // Decode the allocation.
+    result.feasible = true;
+    result.nodePowerMw.assign(nodes, leak_total);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        const bool exact = flows[f].network &&
+                           flows[f].network->exactCompare &&
+                           systemConfig.wirelessNetwork;
+        FlowAllocation alloc;
+        alloc.flow = flows[f].name;
+        for (std::size_t n = 0; n < nodes; ++n) {
+            const double e = solution.values[static_cast<std::size_t>(
+                e_vars[f][n])];
+            alloc.electrodesPerNode.push_back(e);
+            alloc.totalElectrodes += e;
+        }
+        for (std::size_t n = 0; n < nodes; ++n) {
+            const double e = alloc.electrodesPerNode[n];
+            if (exact) {
+                // Receive-side comparison power.
+                result.nodePowerMw[n] +=
+                    flows[f].linMwPerElectrode *
+                    (alloc.totalElectrodes - e);
+            } else {
+                result.nodePowerMw[n] +=
+                    flows[f].linMwPerElectrode * e +
+                    flows[f].quadMwPerElectrode2 * e * e;
+            }
+        }
+        alloc.throughputMbps = electrodesToMbps(alloc.totalElectrodes);
+        result.totalThroughputMbps += alloc.throughputMbps;
+        result.weightedThroughputMbps +=
+            priorities[f] * alloc.throughputMbps;
+        result.flows.push_back(std::move(alloc));
+    }
+    return result;
+}
+
+double
+Scheduler::maxAggregateThroughputMbps(const FlowSpec &flow) const
+{
+    const Schedule s = schedule({flow}, {1.0});
+    return s.feasible ? s.totalThroughputMbps : 0.0;
+}
+
+} // namespace scalo::sched

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The ILP-based system scheduler (Section 3.5). Each application task
+ * is a flow; the scheduler maximizes the priority-weighted number of
+ * electrode signals processed across flows and nodes, subject to
+ *
+ *  - a per-node power cap (flow leakage + linear and convex-quadratic
+ *    dynamic terms, the latter handled with exact-enough tangent
+ *    cuts),
+ *  - the serialized TDMA network (per-flow exchange-round budgets,
+ *    with per-packet overhead),
+ *  - per-node NVM write bandwidth,
+ *  - centralised resource caps (e.g. the Kalman aggregator's NVM), and
+ *  - response-time feasibility of the PE chains.
+ *
+ * The deterministic latency/power of every component (Section 3.2) is
+ * what makes this optimal static scheduling valid.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scalo/net/radio.hpp"
+#include "scalo/sched/workloads.hpp"
+
+namespace scalo::sched {
+
+/** System-level configuration the scheduler maps onto. */
+struct SystemConfig
+{
+    std::size_t nodes = 11;
+    double powerCapMw = constants::kPowerCapMw;
+    const net::RadioSpec *radio = &net::defaultRadio();
+    /** False for wired centralized baselines: no radio power/limits. */
+    bool wirelessNetwork = true;
+    /** Enforce integral electrode counts (slower; default relaxed). */
+    bool integerElectrodes = false;
+    /**
+     * Per-node electrode ceiling; 0 lifts it (the paper's "maximum
+     * aggregate throughput" methodology adds electrodes/ADCs until
+     * power or response time binds).
+     */
+    double maxElectrodesPerNode = 0.0;
+};
+
+/** Electrode allocation of one flow across nodes. */
+struct FlowAllocation
+{
+    std::string flow;
+    std::vector<double> electrodesPerNode;
+    double totalElectrodes = 0.0;
+    double throughputMbps = 0.0;
+};
+
+/** A complete schedule for a flow set. */
+struct Schedule
+{
+    bool feasible = false;
+    /** Diagnostic when infeasible. */
+    std::string reason;
+    std::vector<FlowAllocation> flows;
+    std::vector<double> nodePowerMw;
+    double totalThroughputMbps = 0.0;
+    double weightedThroughputMbps = 0.0;
+};
+
+/** The optimal mapper. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SystemConfig config);
+
+    /**
+     * Solve for the optimal electrode allocation of @p flows with the
+     * given priorities (one weight per flow).
+     */
+    Schedule schedule(const std::vector<FlowSpec> &flows,
+                      const std::vector<double> &priorities) const;
+
+    /** Single-flow maximum aggregate throughput (Mbps). */
+    double maxAggregateThroughputMbps(const FlowSpec &flow) const;
+
+    const SystemConfig &config() const { return systemConfig; }
+
+  private:
+    SystemConfig systemConfig;
+};
+
+} // namespace scalo::sched

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Flow descriptors for SCALO's application tasks: the per-node PE
+ * chain, a power model over electrode count, network usage per
+ * window, storage usage, and timing. These are what the ILP scheduler
+ * (Section 3.5) allocates electrodes to.
+ *
+ * Power model per node per flow, in mW over e electrode signals:
+ *
+ *    P(e) = leakMw + linMwPerElectrode * e + quadMwPerElectrode2 * e^2
+ *
+ * The leakage term sums the Table 1 leakage(+SRAM) of the PEs in the
+ * flow's chain plus the NVM (0.26 mW) and, for networked flows, the
+ * intra-SCALO radio. The linear term sums per-electrode dynamic power
+ * (Table 1 "Dyn/Elec") of the chain, the ADC share, and calibrated
+ * data-movement energy (NVM writes, overlapping-window duty). The
+ * quadratic term captures pairwise work (XCOR across electrodes in
+ * seizure detection; the Kalman filter's covariance algebra), which is
+ * what makes those tasks' throughput fall off quadratically with the
+ * power limit (Section 6.2). Calibration notes live in EXPERIMENTS.md.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scalo/hw/pe.hpp"
+#include "scalo/net/tdma.hpp"
+
+namespace scalo::sched {
+
+/** Where a flow's inter-node traffic goes. */
+struct NetworkUse
+{
+    net::Pattern pattern = net::Pattern::OneToAll;
+    /** Payload bytes per electrode per round (e.g. 1 B hashes). */
+    double bytesPerElectrode = 0.0;
+    /** Fixed payload bytes per sending node per round. */
+    double bytesPerNode = 0.0;
+    /**
+     * Time budget (ms) for one full exchange round; calibrated from
+     * the response-time decomposition of each application.
+     */
+    double roundBudgetMs = 4.0;
+    /**
+     * Exact-comparison flows (DTW) count only *transmitted* electrode
+     * signals as throughput, and the comparison power lands on the
+     * receivers (each received window is checked against the local
+     * recent history). Hash flows count every hashed electrode.
+     */
+    bool exactCompare = false;
+};
+
+/** One schedulable flow (a task stage of an application). */
+struct FlowSpec
+{
+    std::string name;
+    /** PE chain running on each participating node. */
+    std::vector<hw::PeKind> peChain;
+    /** Fixed power (mW): PE+NVM(+radio) leakage. */
+    double leakMw = 0.0;
+    /** Linear dynamic power (mW per electrode). */
+    double linMwPerElectrode = 0.0;
+    /** Quadratic dynamic power (mW per electrode^2). */
+    double quadMwPerElectrode2 = 0.0;
+    /** Network usage; nullopt for node-local flows. */
+    std::optional<NetworkUse> network;
+    /** NVM write traffic (bytes per electrode per second). */
+    double nvmWriteBytesPerElecPerSec = 0.0;
+    /**
+     * Hard cap on total electrodes across all nodes imposed by a
+     * centralised resource (MI KF: the aggregator's NVM bandwidth
+     * during inversion caps the system at 384 electrodes). 0 = none.
+     */
+    double centralElectrodeCap = 0.0;
+    /** End-to-end response-time target (ms). */
+    double responseTimeMs = 10.0;
+    /** Flow cadence: one round per window of this many ms. */
+    double windowMs = 4.0;
+    /** Runs on the MC instead of PEs (HALO+NVM fallback). */
+    bool onMicrocontroller = false;
+
+    /** Per-node power (mW) at @p electrodes. */
+    double
+    powerMw(double electrodes) const
+    {
+        return leakMw + linMwPerElectrode * electrodes +
+               quadMwPerElectrode2 * electrodes * electrodes;
+    }
+
+    /**
+     * Electrodes sustainable on one node at @p budget_mw (inverse of
+     * powerMw; 0 if the budget does not cover leakage).
+     */
+    double electrodesAtPowerMw(double budget_mw) const;
+};
+
+/** ADC conversion power (mW per electrode), reported separately from
+ *  the fabric budget as in the paper's Section 5 accounting. */
+inline constexpr double kAdcMwPerElectrode = 2.88 / 96.0;
+
+/** Sum of Table 1 leakage(+SRAM) for a PE chain, in mW. */
+double chainLeakMw(const std::vector<hw::PeKind> &chain);
+
+/** Sum of Table 1 per-electrode dynamic power for a chain, in mW. */
+double chainLinMwPerElectrode(const std::vector<hw::PeKind> &chain);
+
+/** @name Flow library (Sections 4 and 6) */
+///@{
+
+/** Local seizure detection: FFT + BBF + XCOR features into an SVM. */
+FlowSpec seizureDetectionFlow();
+
+/** Hash-based signal similarity (generation + exchange + CCHECK). */
+FlowSpec hashSimilarityFlow(net::Pattern pattern);
+
+/** Exact DTW signal similarity (full windows on the network). */
+FlowSpec dtwSimilarityFlow(net::Pattern pattern);
+
+/** Movement intent A: hierarchically decomposed linear SVM. */
+FlowSpec miSvmFlow();
+
+/** Movement intent B: centralised Kalman filter over SBP features. */
+FlowSpec miKfFlow();
+
+/** Movement intent C: input-split shallow NN. */
+FlowSpec miNnFlow();
+
+/** Local online spike sorting with EMD hashes against templates. */
+FlowSpec spikeSortingFlow();
+
+///@}
+
+} // namespace scalo::sched

@@ -1,0 +1,163 @@
+#include "scalo/signal/butterworth.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::signal {
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : b0(b0), b1(b1), b2(b2), a1(a1), a2(a2)
+{
+}
+
+double
+Biquad::step(double x)
+{
+    // Direct form II transposed: numerically robust for cascades.
+    const double y = b0 * x + z1;
+    z1 = b1 * x - a1 * y + z2;
+    z2 = b2 * x - a2 * y;
+    return y;
+}
+
+void
+Biquad::reset()
+{
+    z1 = z2 = 0.0;
+}
+
+namespace {
+
+using Complexd = std::complex<double>;
+
+/**
+ * Build the band-pass biquad cascade.
+ *
+ * Analog Butterworth low-pass poles are transformed to band-pass poles
+ * (s -> (s^2 + w0^2) / (bw * s)), then each conjugate pole pair is
+ * discretised with the bilinear transform. Band-pass zeros are at s=0
+ * (z=+1) and s=inf (z=-1), one pair per section.
+ */
+std::vector<Biquad>
+designBandpass(int order, double low_hz, double high_hz,
+               double sample_rate)
+{
+    SCALO_ASSERT(order >= 1, "filter order must be >= 1, got ", order);
+    SCALO_ASSERT(low_hz > 0.0 && high_hz > low_hz &&
+                     high_hz < sample_rate / 2.0,
+                 "bad band [", low_hz, ", ", high_hz, "] at fs=",
+                 sample_rate);
+
+    const double fs2 = 2.0 * sample_rate;
+    // Pre-warp the band edges for the bilinear transform.
+    const double w_lo = fs2 * std::tan(M_PI * low_hz / sample_rate);
+    const double w_hi = fs2 * std::tan(M_PI * high_hz / sample_rate);
+    const double bw = w_hi - w_lo;
+    const double w0_sq = w_lo * w_hi;
+
+    std::vector<Biquad> sections;
+    sections.reserve(static_cast<std::size_t>(order));
+
+    auto to_z = [fs2](Complexd s) { return (fs2 + s) / (fs2 - s); };
+
+    // Only the upper-half-plane prototype poles are enumerated; their
+    // conjugates are absorbed into the real biquad coefficients.
+    for (int k = 0; k < (order + 1) / 2; ++k) {
+        // Analog Butterworth prototype pole, left half plane.
+        const double theta =
+            M_PI / 2.0 + M_PI * (2.0 * k + 1.0) / (2.0 * order);
+        const Complexd p_lp(std::cos(theta), std::sin(theta));
+
+        // Low-pass -> band-pass: each prototype pole spawns two poles.
+        const Complexd half = p_lp * bw * 0.5;
+        const Complexd root = std::sqrt(half * half - w0_sq);
+        const Complexd z1 = to_z(half + root);
+        const Complexd z2 = to_z(half - root);
+
+        if (2 * k + 1 == order) {
+            // Odd order: the middle prototype pole is real, so z1 and z2
+            // together form one real pole pair -> one section covering
+            // both: denominator (z - z1)(z - z2).
+            const double a1 = -(z1 + z2).real();
+            const double a2 = (z1 * z2).real();
+            sections.emplace_back(1.0, 0.0, -1.0, a1, a2);
+        } else {
+            // Complex prototype pole: z1 and z2 each pair with their own
+            // conjugate (from the conjugate prototype pole) -> two
+            // sections. Band-pass zeros at z=+1 and z=-1 give the
+            // numerator (z^2 - 1) per section.
+            for (const Complexd &zp : {z1, z2}) {
+                const double a1 = -2.0 * zp.real();
+                const double a2 = std::norm(zp);
+                sections.emplace_back(1.0, 0.0, -1.0, a1, a2);
+            }
+        }
+    }
+
+    return sections;
+}
+
+/** Peak gain probe used to normalise the cascade to unity at midband. */
+double
+cascadeGainAt(std::vector<Biquad> sections, double freq_hz,
+              double sample_rate)
+{
+    // Measure the steady-state response to a sine at freq_hz.
+    const int n = 4096;
+    double peak = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / sample_rate;
+        double x = std::sin(2.0 * M_PI * freq_hz * t);
+        for (auto &s : sections)
+            x = s.step(x);
+        if (i > n / 2)
+            peak = std::max(peak, std::abs(x));
+    }
+    return peak;
+}
+
+} // namespace
+
+ButterworthBandpass::ButterworthBandpass(int order, double low_hz,
+                                         double high_hz,
+                                         double sample_rate)
+    : sections(designBandpass(order, low_hz, high_hz, sample_rate))
+{
+    // Normalise the cascade to unity gain at the geometric midband
+    // frequency by prepending a pure-gain section.
+    const double mid = std::sqrt(low_hz * high_hz);
+    const double gain = cascadeGainAt(sections, mid, sample_rate);
+    if (gain > 1e-12)
+        sections.insert(sections.begin(),
+                        Biquad(1.0 / gain, 0.0, 0.0, 0.0, 0.0));
+    reset();
+}
+
+double
+ButterworthBandpass::step(double x)
+{
+    for (auto &s : sections)
+        x = s.step(x);
+    return x;
+}
+
+std::vector<double>
+ButterworthBandpass::apply(const std::vector<double> &input)
+{
+    std::vector<double> out;
+    out.reserve(input.size());
+    for (double x : input)
+        out.push_back(step(x));
+    return out;
+}
+
+void
+ButterworthBandpass::reset()
+{
+    for (auto &s : sections)
+        s.reset();
+}
+
+} // namespace scalo::signal

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Butterworth band-pass filter (the BBF PE): analog prototype design via
+ * pole placement, bilinear transform to biquad sections, and streaming
+ * evaluation.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalo::signal {
+
+/** One direct-form-II-transposed second-order section. */
+class Biquad
+{
+  public:
+    /** Coefficients normalised so a0 == 1. */
+    Biquad(double b0, double b1, double b2, double a1, double a2);
+
+    /** Filter one sample, updating internal state. */
+    double step(double x);
+
+    /** Clear delay-line state. */
+    void reset();
+
+  private:
+    double b0, b1, b2, a1, a2;
+    double z1 = 0.0;
+    double z2 = 0.0;
+};
+
+/**
+ * Butterworth band-pass filter as a cascade of biquads.
+ *
+ * The design follows the classic analog-prototype + frequency-transform +
+ * bilinear-transform recipe; an order-N band-pass has N second-order
+ * sections.
+ */
+class ButterworthBandpass
+{
+  public:
+    /**
+     * Design a filter.
+     *
+     * @param order       analog low-pass prototype order (>= 1)
+     * @param low_hz      lower passband edge in Hz
+     * @param high_hz     upper passband edge in Hz
+     * @param sample_rate sampling rate in Hz
+     */
+    ButterworthBandpass(int order, double low_hz, double high_hz,
+                        double sample_rate);
+
+    /** Filter one sample. */
+    double step(double x);
+
+    /** Filter a whole signal (stateful; call reset() between signals). */
+    std::vector<double> apply(const std::vector<double> &input);
+
+    /** Clear all section states. */
+    void reset();
+
+    /** Number of cascaded second-order sections. */
+    std::size_t sectionCount() const { return sections.size(); }
+
+  private:
+    std::vector<Biquad> sections;
+};
+
+} // namespace scalo::signal

@@ -1,0 +1,206 @@
+#include "scalo/signal/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::signal {
+
+double
+dtwDistance(const std::vector<double> &a, const std::vector<double> &b,
+            std::size_t band)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    if (n == 0 || m == 0)
+        return (n == m) ? 0.0 : std::numeric_limits<double>::infinity();
+
+    // The band must at least cover the length difference or no monotone
+    // path exists.
+    const std::size_t min_band = (n > m) ? (n - m) : (m - n);
+    band = std::max(band, min_band + 1);
+
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    // Rolling two-row DP over the banded cost matrix.
+    std::vector<double> prev(m + 1, inf);
+    std::vector<double> curr(m + 1, inf);
+    prev[0] = 0.0;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::fill(curr.begin(), curr.end(), inf);
+        const std::size_t j_lo =
+            (i > band) ? (i - band) : 1;
+        const std::size_t j_hi = std::min(m, i + band);
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const double cost = std::abs(a[i - 1] - b[j - 1]);
+            const double best =
+                std::min({prev[j], curr[j - 1], prev[j - 1]});
+            curr[j] = cost + best;
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+double
+euclideanDistance(const std::vector<double> &a,
+                  const std::vector<double> &b)
+{
+    SCALO_ASSERT(a.size() == b.size(), "size mismatch ", a.size(), " vs ",
+                 b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SCALO_ASSERT(a.size() == b.size(), "size mismatch ", a.size(), " vs ",
+                 b.size());
+    const std::size_t n = a.size();
+    if (n == 0)
+        return 0.0;
+
+    double ma = 0.0, mb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ma += a[i];
+        mb += b[i];
+    }
+    ma /= static_cast<double>(n);
+    mb /= static_cast<double>(n);
+
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double da = a[i] - ma;
+        const double db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if (saa <= 0.0 || sbb <= 0.0)
+        return 0.0;
+    return sab / std::sqrt(saa * sbb);
+}
+
+double
+crossCorrelation(const std::vector<double> &a,
+                 const std::vector<double> &b, std::size_t max_lag)
+{
+    SCALO_ASSERT(a.size() == b.size(), "size mismatch ", a.size(), " vs ",
+                 b.size());
+    const std::size_t n = a.size();
+    if (n == 0)
+        return 0.0;
+    max_lag = std::min(max_lag, n - 1);
+
+    double best = -1.0;
+    for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+        const std::size_t overlap = n - lag;
+        if (overlap < 2)
+            break;
+        // b delayed by `lag` relative to a, and vice versa.
+        std::vector<double> a_head(a.begin(),
+                                   a.begin() +
+                                       static_cast<long>(overlap));
+        std::vector<double> b_tail(b.begin() + static_cast<long>(lag),
+                                   b.end());
+        best = std::max(best, pearson(a_head, b_tail));
+        if (lag != 0) {
+            std::vector<double> b_head(b.begin(),
+                                       b.begin() +
+                                           static_cast<long>(overlap));
+            std::vector<double> a_tail(a.begin() + static_cast<long>(lag),
+                                       a.end());
+            best = std::max(best, pearson(a_tail, b_head));
+        }
+    }
+    return best;
+}
+
+double
+emdDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SCALO_ASSERT(a.size() == b.size(), "size mismatch ", a.size(), " vs ",
+                 b.size());
+    double mass_a = 0.0, mass_b = 0.0;
+    for (double v : a) {
+        SCALO_ASSERT(v >= 0.0, "negative mass ", v);
+        mass_a += v;
+    }
+    for (double v : b) {
+        SCALO_ASSERT(v >= 0.0, "negative mass ", v);
+        mass_b += v;
+    }
+    if (mass_a <= 0.0 || mass_b <= 0.0)
+        return 0.0;
+
+    // EMD on the line == L1 distance between CDFs (normalised mass).
+    double cdf_a = 0.0, cdf_b = 0.0, emd = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cdf_a += a[i] / mass_a;
+        cdf_b += b[i] / mass_b;
+        emd += std::abs(cdf_a - cdf_b);
+    }
+    return emd;
+}
+
+double
+emdSignalDistance(const std::vector<double> &a,
+                  const std::vector<double> &b)
+{
+    SCALO_ASSERT(a.size() == b.size(), "size mismatch ", a.size(), " vs ",
+                 b.size());
+    double lo = 0.0;
+    for (double v : a)
+        lo = std::min(lo, v);
+    for (double v : b)
+        lo = std::min(lo, v);
+    std::vector<double> pa(a), pb(b);
+    for (double &v : pa)
+        v -= lo;
+    for (double &v : pb)
+        v -= lo;
+    return emdDistance(pa, pb);
+}
+
+const char *
+measureName(Measure measure)
+{
+    switch (measure) {
+      case Measure::Euclidean:
+        return "Euclidean";
+      case Measure::Dtw:
+        return "DTW";
+      case Measure::Xcor:
+        return "XCOR";
+      case Measure::Emd:
+        return "EMD";
+    }
+    SCALO_PANIC("unknown measure");
+}
+
+double
+dissimilarity(Measure measure, const std::vector<double> &a,
+              const std::vector<double> &b)
+{
+    switch (measure) {
+      case Measure::Euclidean:
+        return euclideanDistance(a, b);
+      case Measure::Dtw:
+        // Sakoe-Chiba band of ~10% of the window, the classic setting.
+        return dtwDistance(a, b, std::max<std::size_t>(1, a.size() / 10));
+      case Measure::Xcor:
+        return 1.0 - crossCorrelation(a, b, a.empty() ? 0 : a.size() / 8);
+      case Measure::Emd:
+        return emdSignalDistance(a, b);
+    }
+    SCALO_PANIC("unknown measure");
+}
+
+} // namespace scalo::signal

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Signal-similarity measures used for seizure-propagation correlation and
+ * spike-template matching (Section 2.2): dynamic time warping with a
+ * Sakoe-Chiba band (the DTW PE; band = 1 degenerates to Euclidean
+ * distance), Pearson cross-correlation (the XCOR PE), and the fast 1-D
+ * Earth Mover's Distance computed on the microcontroller in the paper.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalo::signal {
+
+/**
+ * Dynamic time warping distance with a Sakoe-Chiba band.
+ *
+ * @param a, b  equal- or different-length signals
+ * @param band  half-width of the Sakoe-Chiba band in samples; 1 restricts
+ *              the warping path to the diagonal (Euclidean distance on
+ *              equal-length inputs, up to the sqrt)
+ * @return accumulated L1 cost along the optimal warping path
+ */
+double dtwDistance(const std::vector<double> &a,
+                   const std::vector<double> &b, std::size_t band);
+
+/** Euclidean (L2) distance. @pre a.size() == b.size() */
+double euclideanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+/**
+ * Maximum normalised Pearson cross-correlation over lags in
+ * [-max_lag, +max_lag]. @return value in [-1, 1]; 0 for degenerate input.
+ */
+double crossCorrelation(const std::vector<double> &a,
+                        const std::vector<double> &b,
+                        std::size_t max_lag);
+
+/** Zero-lag Pearson correlation coefficient. */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Fast 1-D Earth Mover's Distance between two non-negative "mass"
+ * sequences: for 1-D histograms EMD reduces to the L1 distance between
+ * cumulative distributions (the linear-time special case that makes the
+ * microcontroller implementation feasible in the paper).
+ *
+ * Inputs are normalised to unit mass internally; all-zero input has zero
+ * mass and compares equal to anything with zero distance.
+ */
+double emdDistance(const std::vector<double> &a,
+                   const std::vector<double> &b);
+
+/**
+ * EMD between raw signals: the signals are shifted to be non-negative
+ * (by the common minimum) and then compared with emdDistance().
+ */
+double emdSignalDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+/** Which similarity measure a pipeline/hash is configured for. */
+enum class Measure
+{
+    Euclidean,
+    Dtw,
+    Xcor,
+    Emd,
+};
+
+/** Human-readable measure name ("DTW", "XCOR", ...). */
+const char *measureName(Measure measure);
+
+/**
+ * Unified dissimilarity evaluation: distance-like for Euclidean/DTW/EMD,
+ * and (1 - max cross-correlation) for XCOR so that smaller always means
+ * more similar.
+ */
+double dissimilarity(Measure measure, const std::vector<double> &a,
+                     const std::vector<double> &b);
+
+} // namespace scalo::signal

@@ -1,0 +1,108 @@
+#include "scalo/signal/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::signal {
+
+double
+spikeBandPower(const std::vector<double> &window)
+{
+    if (window.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : window)
+        acc += std::abs(v);
+    return acc / static_cast<double>(window.size());
+}
+
+double
+windowMean(const std::vector<double> &window)
+{
+    if (window.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : window)
+        acc += v;
+    return acc / static_cast<double>(window.size());
+}
+
+std::vector<double>
+neo(const std::vector<double> &input)
+{
+    std::vector<double> out(input.size(), 0.0);
+    for (std::size_t i = 1; i + 1 < input.size(); ++i)
+        out[i] = input[i] * input[i] - input[i - 1] * input[i + 1];
+    return out;
+}
+
+std::vector<std::size_t>
+thresholdDetect(const std::vector<double> &input, double threshold,
+                std::size_t refractory)
+{
+    std::vector<std::size_t> detections;
+    std::size_t last = 0;
+    bool armed = true;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        if (!armed && i - last >= refractory)
+            armed = true;
+        if (armed && std::abs(input[i]) >= threshold) {
+            detections.push_back(i);
+            last = i;
+            armed = false;
+        }
+    }
+    return detections;
+}
+
+double
+adaptiveThreshold(const std::vector<double> &input, double k)
+{
+    if (input.empty())
+        return 0.0;
+    std::vector<double> mags;
+    mags.reserve(input.size());
+    for (double v : input)
+        mags.push_back(std::abs(v));
+    const std::size_t mid = mags.size() / 2;
+    std::nth_element(mags.begin(), mags.begin() + static_cast<long>(mid),
+                     mags.end());
+    const double median = mags[mid];
+    return k * median / 0.6745;
+}
+
+DwtLevel
+haarDwt(const std::vector<double> &input)
+{
+    DwtLevel level;
+    const std::size_t pairs = input.size() / 2;
+    level.approx.reserve(pairs);
+    level.detail.reserve(pairs);
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const double a = input[2 * i];
+        const double b = input[2 * i + 1];
+        level.approx.push_back((a + b) * inv_sqrt2);
+        level.detail.push_back((a - b) * inv_sqrt2);
+    }
+    return level;
+}
+
+DwtPyramid
+haarDwtLevels(const std::vector<double> &input, int levels)
+{
+    SCALO_ASSERT(levels >= 1, "levels must be >= 1, got ", levels);
+    DwtPyramid pyramid;
+    std::vector<double> current = input;
+    for (int l = 0; l < levels && current.size() >= 2; ++l) {
+        DwtLevel level = haarDwt(current);
+        pyramid.details.push_back(std::move(level.detail));
+        current = std::move(level.approx);
+    }
+    pyramid.approx = std::move(current);
+    return pyramid;
+}
+
+} // namespace scalo::signal

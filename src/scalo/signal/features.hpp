@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Feature-extraction kernels that have dedicated PEs in SCALO:
+ * spike-band power (SBP), the non-linear energy operator (NEO),
+ * threshold-based spike detection (THR), and the Haar discrete wavelet
+ * transform (DWT).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalo::signal {
+
+/**
+ * Spike-band power: mean absolute value of the samples in a window
+ * (pipelines B and C of movement-intent decoding take the mean of all
+ * neural signal values in a 50 ms window).
+ */
+double spikeBandPower(const std::vector<double> &window);
+
+/** Plain mean of a window (the SBP PE configured without rectification). */
+double windowMean(const std::vector<double> &window);
+
+/**
+ * Non-linear energy operator: psi[n] = x[n]^2 - x[n-1] * x[n+1].
+ * The first and last outputs are zero.
+ */
+std::vector<double> neo(const std::vector<double> &input);
+
+/**
+ * Threshold crossing detector with a refractory period.
+ *
+ * @param input       signal (typically NEO output or filtered trace)
+ * @param threshold   detection threshold (absolute value compared)
+ * @param refractory  minimum samples between detections
+ * @return sample indices of detections
+ */
+std::vector<std::size_t> thresholdDetect(const std::vector<double> &input,
+                                         double threshold,
+                                         std::size_t refractory);
+
+/**
+ * Adaptive threshold per Quiroga et al.: k * median(|x|) / 0.6745
+ * (a robust noise-floor estimate).
+ */
+double adaptiveThreshold(const std::vector<double> &input, double k);
+
+/**
+ * One level of the Haar discrete wavelet transform.
+ * @return {approximation coefficients, detail coefficients}; input of odd
+ *         length drops the final sample.
+ */
+struct DwtLevel
+{
+    std::vector<double> approx;
+    std::vector<double> detail;
+};
+
+DwtLevel haarDwt(const std::vector<double> &input);
+
+/** Multi-level Haar DWT: returns detail bands coarsest-last plus approx. */
+struct DwtPyramid
+{
+    std::vector<std::vector<double>> details;
+    std::vector<double> approx;
+};
+
+DwtPyramid haarDwtLevels(const std::vector<double> &input, int levels);
+
+} // namespace scalo::signal

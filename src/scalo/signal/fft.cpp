@@ -1,0 +1,126 @@
+#include "scalo/signal/fft.hpp"
+
+#include <cmath>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::signal {
+
+namespace {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Shared radix-2 butterfly core; @p inverse selects the IFFT twiddles. */
+void
+transform(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    SCALO_ASSERT(isPowerOfTwo(n), "FFT size ", n, " not a power of two");
+    if (n <= 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const auto u = data[i + k];
+                const auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        for (auto &x : data)
+            x /= static_cast<double>(n);
+    }
+}
+
+} // namespace
+
+void
+fft(std::vector<std::complex<double>> &data)
+{
+    transform(data, false);
+}
+
+void
+ifft(std::vector<std::complex<double>> &data)
+{
+    transform(data, true);
+}
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+std::vector<double>
+magnitudeSpectrum(const std::vector<double> &input)
+{
+    const std::size_t n = nextPowerOfTwo(input.size());
+    std::vector<std::complex<double>> buf(n);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        buf[i] = input[i];
+    fft(buf);
+    std::vector<double> mags(n / 2 + 1);
+    for (std::size_t i = 0; i < mags.size(); ++i)
+        mags[i] = std::abs(buf[i]);
+    return mags;
+}
+
+std::vector<double>
+bandPower(const std::vector<double> &input, double sample_rate,
+          const std::vector<Band> &bands)
+{
+    SCALO_ASSERT(sample_rate > 0.0, "bad sample rate ", sample_rate);
+    const std::size_t n = nextPowerOfTwo(input.size());
+    std::vector<std::complex<double>> buf(n);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        buf[i] = input[i];
+    fft(buf);
+
+    const double bin_hz = sample_rate / static_cast<double>(n);
+    std::vector<double> powers;
+    powers.reserve(bands.size());
+    for (const Band &band : bands) {
+        const auto lo = static_cast<std::size_t>(
+            std::max(0.0, std::ceil(band.lowHz / bin_hz)));
+        const auto hi = static_cast<std::size_t>(
+            std::min(static_cast<double>(n / 2),
+                     std::floor(band.highHz / bin_hz)));
+        double acc = 0.0;
+        std::size_t count = 0;
+        for (std::size_t b = lo; b <= hi && b <= n / 2; ++b) {
+            acc += std::norm(buf[b]);
+            ++count;
+        }
+        powers.push_back(count ? acc / static_cast<double>(count) : 0.0);
+    }
+    return powers;
+}
+
+} // namespace scalo::signal

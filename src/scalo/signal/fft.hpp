@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Radix-2 fast Fourier transform (the FFT PE) plus band-power feature
+ * extraction used by the seizure-detection front end.
+ */
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace scalo::signal {
+
+/** In-place iterative radix-2 FFT. @pre data.size() is a power of two. */
+void fft(std::vector<std::complex<double>> &data);
+
+/** In-place inverse FFT. @pre data.size() is a power of two. */
+void ifft(std::vector<std::complex<double>> &data);
+
+/**
+ * Magnitude spectrum of a real signal, zero-padded to the next power of
+ * two. @return n/2+1 magnitudes (DC .. Nyquist).
+ */
+std::vector<double> magnitudeSpectrum(const std::vector<double> &input);
+
+/** A contiguous frequency band in Hz. */
+struct Band
+{
+    double lowHz;
+    double highHz;
+};
+
+/**
+ * Mean spectral power of @p input in each requested band.
+ *
+ * @param input       real signal
+ * @param sample_rate sampling rate in Hz
+ * @param bands       inclusive frequency bands
+ * @return one mean-power value per band
+ */
+std::vector<double> bandPower(const std::vector<double> &input,
+                              double sample_rate,
+                              const std::vector<Band> &bands);
+
+/** Smallest power of two >= n (n == 0 maps to 1). */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+} // namespace scalo::signal

@@ -1,0 +1,70 @@
+#include "scalo/signal/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace scalo::signal {
+
+std::vector<double>
+toReal(const Window &window)
+{
+    return {window.begin(), window.end()};
+}
+
+Window
+toSamples(const std::vector<double> &values)
+{
+    Window out;
+    out.reserve(values.size());
+    constexpr double lo = std::numeric_limits<Sample>::min();
+    constexpr double hi = std::numeric_limits<Sample>::max();
+    for (double v : values) {
+        const double clamped = std::clamp(std::round(v), lo, hi);
+        out.push_back(static_cast<Sample>(clamped));
+    }
+    return out;
+}
+
+std::vector<Window>
+slice(const std::vector<Sample> &trace, std::size_t window_samples,
+      std::size_t stride_samples)
+{
+    std::vector<Window> windows;
+    if (window_samples == 0 || stride_samples == 0 ||
+        trace.size() < window_samples) {
+        return windows;
+    }
+    for (std::size_t start = 0; start + window_samples <= trace.size();
+         start += stride_samples) {
+        windows.emplace_back(trace.begin() + start,
+                             trace.begin() + start + window_samples);
+    }
+    return windows;
+}
+
+void
+removeMean(std::vector<double> &values)
+{
+    if (values.empty())
+        return;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    const double m = total / static_cast<double>(values.size());
+    for (double &v : values)
+        v -= m;
+}
+
+double
+rms(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += v * v;
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+} // namespace scalo::signal

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Windowing utilities: slicing electrode traces into the 4 ms analysis
+ * windows used throughout the SCALO pipelines, plus sample/real
+ * conversions shared by the DSP kernels.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scalo/util/types.hpp"
+
+namespace scalo::signal {
+
+/** Convert 16-bit samples to doubles (no scaling). */
+std::vector<double> toReal(const Window &window);
+
+/** Convert doubles to saturating 16-bit samples. */
+Window toSamples(const std::vector<double> &values);
+
+/**
+ * Slice @p trace into contiguous windows of @p window_samples samples
+ * advancing by @p stride_samples. The final partial window is dropped.
+ */
+std::vector<Window> slice(const std::vector<Sample> &trace,
+                          std::size_t window_samples,
+                          std::size_t stride_samples);
+
+/** Remove the mean of a window in place (DC removal). */
+void removeMean(std::vector<double> &values);
+
+/** Root-mean-square amplitude of a window. */
+double rms(const std::vector<double> &values);
+
+} // namespace scalo::signal

@@ -1,0 +1,213 @@
+#include "scalo/sim/error_experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "scalo/net/channel.hpp"
+#include "scalo/util/types.hpp"
+#include "scalo/sim/event_queue.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+#include "scalo/util/stats.hpp"
+
+namespace scalo::sim {
+
+NetworkErrorPoint
+measureNetworkErrors(double ber, std::size_t packets,
+                     std::uint64_t seed)
+{
+    NetworkErrorPoint point;
+    point.ber = ber;
+
+    Rng rng(seed);
+    net::WirelessChannel hash_channel(net::defaultRadio(), seed + 1,
+                                      ber);
+    net::WirelessChannel signal_channel(net::defaultRadio(), seed + 2,
+                                        ber);
+
+    // Reference signals: a window and a similar/dissimilar partner,
+    // to judge whether corruption flips the DTW decision.
+    const std::size_t n = scalo::constants::kWindowSamples;
+    std::size_t dtw_flips = 0;
+    std::size_t corrupted_signals = 0;
+
+    for (std::size_t p = 0; p < packets; ++p) {
+        // Hash packet: 96 one-byte hashes.
+        net::Packet hash_packet;
+        hash_packet.type = net::PacketType::Hash;
+        hash_packet.payload.resize(96);
+        for (auto &b : hash_packet.payload)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        hash_channel.transmit(hash_packet);
+
+        // Signal packet: one 240 B window (int16 samples).
+        std::vector<double> window(n);
+        for (auto &v : window)
+            v = rng.gaussian(0.0, 1'000.0);
+        std::vector<double> partner = window;
+        const bool similar = (p % 2) == 0;
+        if (similar) {
+            for (auto &v : partner)
+                v += rng.gaussian(0.0, 100.0);
+        } else {
+            for (auto &v : partner)
+                v = rng.gaussian(0.0, 1'000.0);
+        }
+
+        net::Packet signal_packet;
+        signal_packet.type = net::PacketType::Signal;
+        signal_packet.payload.resize(n * 2);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto s = static_cast<std::int16_t>(
+                std::clamp(window[i], -32'768.0, 32'767.0));
+            signal_packet.payload[2 * i] =
+                static_cast<std::uint8_t>(s & 0xff);
+            signal_packet.payload[2 * i + 1] =
+                static_cast<std::uint8_t>((s >> 8) & 0xff);
+        }
+        const auto received = signal_channel.transmit(signal_packet);
+        if (!received.headerOk || received.payloadOk)
+            continue;
+        // A corrupted-but-accepted signal: decode and re-judge.
+        ++corrupted_signals;
+        std::vector<double> decoded(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto lo = received.packet.payload[2 * i];
+            const auto hi = received.packet.payload[2 * i + 1];
+            decoded[i] = static_cast<double>(static_cast<std::int16_t>(
+                lo | (hi << 8)));
+        }
+        const std::size_t band = n / 10;
+        const double threshold = 0.35 * 1'000.0 *
+                                 static_cast<double>(n);
+        const bool clean_decision =
+            signal::dtwDistance(window, partner, band) < threshold;
+        const bool dirty_decision =
+            signal::dtwDistance(decoded, partner, band) < threshold;
+        dtw_flips += (clean_decision != dirty_decision);
+    }
+
+    point.hashPacketErrorFraction =
+        hash_channel.stats().errorFraction();
+    point.signalPacketErrorFraction =
+        signal_channel.stats().errorFraction();
+    point.dtwDecisionFailureFraction =
+        corrupted_signals
+            ? static_cast<double>(dtw_flips) /
+                  static_cast<double>(corrupted_signals)
+            : 0.0;
+    return point;
+}
+
+namespace {
+
+DelayDistribution
+summarize(const std::vector<double> &delays)
+{
+    DelayDistribution dist;
+    dist.meanMs = mean(delays);
+    dist.maxMs = maxOf(delays);
+    dist.minMs = minOf(delays);
+    return dist;
+}
+
+} // namespace
+
+DelayDistribution
+simulateHashEncodingErrors(double hash_error_rate,
+                           const PropagationErrorConfig &config)
+{
+    SCALO_ASSERT(hash_error_rate >= 0.0 && hash_error_rate <= 1.0,
+                 "error rate out of range");
+    Rng rng(config.seed);
+    std::vector<double> delays;
+    delays.reserve(config.repetitions);
+
+    const auto window_us =
+        static_cast<std::uint64_t>(config.windowMs * 1'000.0);
+
+    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+        Simulator simulator;
+        bool confirmed = false;
+        std::uint64_t confirm_time = 0;
+
+        // Each window, all electrodes' hashes are broadcast; the
+        // correlation succeeds when any electrode's encoding survived
+        // (an ongoing correlated seizure is captured by every
+        // electrode; an all-miss postpones to the next window).
+        std::function<void()> attempt = [&]() {
+            if (confirmed)
+                return;
+            bool any_match = false;
+            for (std::size_t e = 0; e < config.electrodesPerNode;
+                 ++e) {
+                if (!rng.chance(hash_error_rate))
+                    any_match = true;
+            }
+            if (any_match) {
+                confirmed = true;
+                confirm_time = simulator.nowUs();
+                return;
+            }
+            simulator.after(window_us, attempt);
+        };
+        simulator.after(0, attempt);
+        // A seizure lasts a bounded time; cap the hunt at 2 seconds.
+        simulator.run(2'000'000);
+        if (!confirmed)
+            confirm_time = simulator.nowUs();
+        delays.push_back(static_cast<double>(confirm_time) / 1'000.0 +
+                         config.checkMs);
+    }
+    return summarize(delays);
+}
+
+DelayDistribution
+simulateNetworkBerDelay(double ber,
+                        const PropagationErrorConfig &config)
+{
+    Rng payload_rng(config.seed);
+    net::WirelessChannel channel(net::defaultRadio(),
+                                 config.seed ^ 0xbe9, ber);
+    std::vector<double> delays;
+    delays.reserve(config.repetitions);
+
+    const auto slot_us =
+        static_cast<std::uint64_t>(config.slotMs * 1'000.0);
+
+    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+        Simulator simulator;
+        bool delivered = false;
+        std::uint64_t deliver_time = 0;
+
+        // One packet carries all of the node's hashes; on a checksum
+        // error the receiver drops it and the sender retransmits in
+        // its next TDMA slot.
+        std::function<void()> attempt = [&]() {
+            if (delivered)
+                return;
+            net::Packet packet;
+            packet.type = net::PacketType::Hash;
+            packet.payload.resize(config.electrodesPerNode);
+            for (auto &b : packet.payload)
+                b = static_cast<std::uint8_t>(payload_rng.below(256));
+            if (channel.transmit(packet).accepted()) {
+                delivered = true;
+                deliver_time = simulator.nowUs();
+                return;
+            }
+            simulator.after(slot_us, attempt);
+        };
+        simulator.after(0, attempt);
+        simulator.run(2'000'000);
+        if (!delivered)
+            deliver_time = simulator.nowUs();
+        delays.push_back(static_cast<double>(deliver_time) / 1'000.0 +
+                         config.checkMs);
+    }
+    return summarize(delays);
+}
+
+} // namespace scalo::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error-injection experiments (Sections 6.6 and 6.7):
+ *
+ *  - Figure 12: fraction of hash/signal packets corrupted at a given
+ *    network BER, and how often corrupted signal payloads actually
+ *    flip a DTW similarity decision (almost never - the measures are
+ *    naturally resilient).
+ *
+ *  - Figure 15a: maximum seizure-propagation delay as a function of
+ *    the hash function's encoding error rate. A seizure is captured
+ *    by several electrodes and lasts several windows, so correlation
+ *    only slips to the next 4 ms window when every electrode's hash
+ *    fails at once.
+ *
+ *  - Figure 15b: the same delay under network bit errors. A corrupted
+ *    hash packet loses a whole node's hashes, but the TDMA round has
+ *    slack, so the retransmission lands one slot (~0.25 ms) later.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "scalo/net/radio.hpp"
+
+namespace scalo::sim {
+
+/** Figure 12 measurement for one BER point. */
+struct NetworkErrorPoint
+{
+    double ber = 0.0;
+    /** Fraction of hash packets arriving with any error. */
+    double hashPacketErrorFraction = 0.0;
+    /** Fraction of signal packets arriving with any error. */
+    double signalPacketErrorFraction = 0.0;
+    /**
+     * Fraction of corrupted signal packets whose DTW similarity
+     * outcome flipped versus the clean signal.
+     */
+    double dtwDecisionFailureFraction = 0.0;
+};
+
+/** Run the Figure 12 sweep point at @p ber over @p packets packets. */
+NetworkErrorPoint measureNetworkErrors(double ber,
+                                       std::size_t packets = 2'000,
+                                       std::uint64_t seed = 12);
+
+/** Delay distribution over repetitions (Figure 15). */
+struct DelayDistribution
+{
+    double meanMs = 0.0;
+    double maxMs = 0.0;
+    double minMs = 0.0;
+};
+
+/** Configuration shared by the two Figure 15 experiments. */
+struct PropagationErrorConfig
+{
+    std::size_t electrodesPerNode = 16;
+    /** Window cadence (ms): a missed correlation retries next window. */
+    double windowMs = 4.0;
+    /** TDMA slot pitch (ms): a lost packet retransmits next slot. */
+    double slotMs = 0.25;
+    /** CCHECK + confirmation processing tail (ms). */
+    double checkMs = 0.0;
+    std::size_t repetitions = 1'000;
+    std::uint64_t seed = 0xde1a7;
+};
+
+/**
+ * Figure 15a: propagation delay when each electrode's hash encoding
+ * independently fails with probability @p hash_error_rate.
+ */
+DelayDistribution
+simulateHashEncodingErrors(double hash_error_rate,
+                           const PropagationErrorConfig &config = {});
+
+/**
+ * Figure 15b: propagation delay at network bit-error rate @p ber
+ * (all of a node's hashes travel in one packet; a checksum error
+ * drops it and the node retransmits in its next TDMA slot).
+ */
+DelayDistribution
+simulateNetworkBerDelay(double ber,
+                        const PropagationErrorConfig &config = {});
+
+} // namespace scalo::sim

@@ -1,0 +1,44 @@
+#include "scalo/sim/event_queue.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::sim {
+
+void
+Simulator::after(std::uint64_t delay_us, Action action)
+{
+    at(now + delay_us, std::move(action));
+}
+
+void
+Simulator::at(std::uint64_t at_us, Action action)
+{
+    SCALO_ASSERT(at_us >= now, "scheduling into the past: ", at_us,
+                 " < ", now);
+    queue.push({at_us, nextSequence++, std::move(action)});
+}
+
+std::size_t
+Simulator::run(std::uint64_t until_us)
+{
+    std::size_t executed = 0;
+    while (!queue.empty() && queue.top().time <= until_us) {
+        Event event = queue.top();
+        queue.pop();
+        now = event.time;
+        event.action();
+        ++executed;
+    }
+    if (queue.empty() && until_us != ~0ULL)
+        now = std::max(now, until_us);
+    return executed;
+}
+
+void
+Simulator::clear()
+{
+    while (!queue.empty())
+        queue.pop();
+}
+
+} // namespace scalo::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A minimal discrete-event simulation engine: a time-ordered queue of
+ * callbacks with deterministic tie-breaking. Drives the timed
+ * network/application experiments (Sections 6.6 and 6.7).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace scalo::sim {
+
+/** Discrete-event scheduler over microsecond timestamps. */
+class Simulator
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Current simulation time (us). */
+    std::uint64_t nowUs() const { return now; }
+
+    /** Schedule @p action at now + @p delay_us. */
+    void after(std::uint64_t delay_us, Action action);
+
+    /** Schedule @p action at absolute time @p at_us (>= now). */
+    void at(std::uint64_t at_us, Action action);
+
+    /**
+     * Run until the queue drains or @p until_us is reached.
+     * @return events executed
+     */
+    std::size_t run(std::uint64_t until_us = ~0ULL);
+
+    /** Drop all pending events. */
+    void clear();
+
+    /** Pending event count. */
+    std::size_t pending() const { return queue.size(); }
+
+  private:
+    struct Event
+    {
+        std::uint64_t time;
+        std::uint64_t sequence;
+        Action action;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::uint64_t now = 0;
+    std::uint64_t nextSequence = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+};
+
+} // namespace scalo::sim

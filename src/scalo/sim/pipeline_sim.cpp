@@ -1,0 +1,85 @@
+#include "scalo/sim/pipeline_sim.hpp"
+
+#include <algorithm>
+
+#include "scalo/sim/event_queue.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::sim {
+
+PipelineSimResult
+simulatePipeline(const hw::Pipeline &pipeline, std::size_t windows,
+                 double window_period_ms)
+{
+    SCALO_ASSERT(window_period_ms > 0.0, "period must be positive");
+    const auto &stages = pipeline.stages();
+    SCALO_ASSERT(!stages.empty(), "empty pipeline");
+
+    // Per-stage service times (ms); data-dependent PEs contribute 0.
+    std::vector<double> service(stages.size(), 0.0);
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const auto &spec = hw::peSpec(stages[s].kind);
+        if (spec.latencyMs)
+            service[s] = *spec.latencyMs;
+    }
+
+    Simulator simulator;
+    // free_at[s]: when stage s can accept the next window (us).
+    std::vector<std::uint64_t> free_at(stages.size(), 0);
+    std::vector<double> busy_us(stages.size(), 0.0);
+
+    PipelineSimResult result;
+    result.windowsIn = windows;
+    double latency_sum = 0.0;
+
+    const auto period_us =
+        static_cast<std::uint64_t>(window_period_ms * 1'000.0);
+
+    for (std::size_t w = 0; w < windows; ++w) {
+        const std::uint64_t arrival = w * period_us;
+        simulator.at(arrival, [] {});
+
+        // Walk the window through the stages: it starts at a stage
+        // when both it has arrived there and the stage is free.
+        std::uint64_t t = arrival;
+        for (std::size_t s = 0; s < stages.size(); ++s) {
+            const std::uint64_t start = std::max(t, free_at[s]);
+            const auto service_us = static_cast<std::uint64_t>(
+                service[s] * 1'000.0);
+            free_at[s] = start + service_us;
+            busy_us[s] += static_cast<double>(service_us);
+            t = start + service_us;
+        }
+        ++result.windowsOut;
+        result.lastLatencyMs =
+            static_cast<double>(t - arrival) / 1'000.0;
+        latency_sum += result.lastLatencyMs;
+    }
+    simulator.run();
+
+    const double total_us =
+        static_cast<double>(windows) *
+        static_cast<double>(period_us);
+    result.meanLatencyMs =
+        windows ? latency_sum / static_cast<double>(windows) : 0.0;
+    result.stageUtilization.resize(stages.size());
+    bool sustainable = true;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        result.stageUtilization[s] =
+            total_us > 0.0 ? busy_us[s] / total_us : 0.0;
+        if (service[s] > window_period_ms + 1e-12)
+            sustainable = false;
+    }
+    result.sustainable = sustainable;
+
+    // Energy: each stage's power while busy (mW x ms = uJ -> mJ).
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const auto &spec = hw::peSpec(stages[s].kind);
+        const double power_mw =
+            spec.powerUw(stages[s].electrodes) / 1'000.0;
+        result.energyMj += power_mw * busy_us[s] / 1'000.0 * 1e-3;
+    }
+    return result;
+}
+
+} // namespace scalo::sim

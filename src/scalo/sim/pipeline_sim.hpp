@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Discrete-event simulation of a GALS pipeline (Figure 2b): windows
+ * arrive every window period and flow through the PE stages, each a
+ * server with its Table 1 latency. Because every PE runs in its own
+ * clock domain, stages overlap; a pipeline is sustainable exactly
+ * when no stage's service time exceeds the arrival period, in which
+ * case the end-to-end latency is the sum of stage latencies. The
+ * simulator also integrates energy from the per-stage power model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/hw/fabric.hpp"
+
+namespace scalo::sim {
+
+/** Result of streaming windows through a pipeline. */
+struct PipelineSimResult
+{
+    std::size_t windowsIn = 0;
+    std::size_t windowsOut = 0;
+    /** Mean end-to-end latency of completed windows (ms). */
+    double meanLatencyMs = 0.0;
+    /** Latency of the last completed window (ms) - grows without
+     *  bound when a stage is oversubscribed. */
+    double lastLatencyMs = 0.0;
+    /** Per-stage busy fraction. */
+    std::vector<double> stageUtilization;
+    /** Whether every stage kept up with the arrival period. */
+    bool sustainable = false;
+    /** Energy consumed over the run (mJ), power model x busy time. */
+    double energyMj = 0.0;
+};
+
+/**
+ * Stream @p windows windows, one every @p window_period_ms, through
+ * @p pipeline's stages.
+ */
+PipelineSimResult simulatePipeline(const hw::Pipeline &pipeline,
+                                   std::size_t windows,
+                                   double window_period_ms);
+
+} // namespace scalo::sim

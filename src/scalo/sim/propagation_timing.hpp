@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Timed end-to-end simulation of the seizure-propagation response
+ * path (Section 2.2's 10 ms target: local detection -> hash broadcast
+ * -> collision check -> signal broadcast -> exact comparison ->
+ * stimulation command). Every stage takes its latency from the Table
+ * 1 PE catalog, the TDMA slot structure and the radio; checksum
+ * losses retransmit in the next slot. Runs on the discrete-event
+ * engine and reports the latency distribution over many episodes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scalo/net/radio.hpp"
+
+namespace scalo::sim {
+
+/** Configuration of the timed response-path experiment. */
+struct PropagationTimingConfig
+{
+    std::size_t nodes = 11;
+    const net::RadioSpec *radio = &net::defaultRadio();
+    /** BER override (< 0 uses the radio's). */
+    double berOverride = -1.0;
+    /** Electrodes whose hashes ride in the broadcast packet. */
+    std::size_t electrodes = 96;
+    /** Signal window bytes broadcast for exact comparison. */
+    std::size_t windowBytes = 240;
+    /** TDMA round period (ms): worst-case wait for the first slot. */
+    double tdmaRoundMs = 1.7;
+    /** MC stimulation-command issue latency (ms). */
+    double stimulateMs = 0.5;
+    std::size_t episodes = 1'000;
+    std::uint64_t seed = 0x71ed;
+};
+
+/** Stage-by-stage latency decomposition (means over episodes). */
+struct PropagationTimingResult
+{
+    double slotWaitMs = 0.0;
+    double hashBroadcastMs = 0.0;
+    double collisionCheckMs = 0.0;
+    double responseMs = 0.0;
+    double signalBroadcastMs = 0.0;
+    double exactCompareMs = 0.0;
+    double stimulateMs = 0.0;
+    /** End-to-end distribution. */
+    double meanTotalMs = 0.0;
+    double maxTotalMs = 0.0;
+    /** Episodes meeting the 10 ms budget. */
+    double withinDeadlineFraction = 0.0;
+};
+
+/** Run the experiment. */
+PropagationTimingResult
+simulatePropagationTiming(const PropagationTimingConfig &config = {});
+
+} // namespace scalo::sim

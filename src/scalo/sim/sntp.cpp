@@ -1,0 +1,67 @@
+#include "scalo/sim/sntp.hpp"
+
+#include <cmath>
+
+#include "scalo/net/packet.hpp"
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::sim {
+
+SntpResult
+synchronizeClocks(std::vector<NodeClock> &clocks,
+                  const SntpConfig &config)
+{
+    SCALO_ASSERT(clocks.size() >= 2, "need a server and a client");
+    Rng rng(config.seed);
+
+    // SNTP packets: 4 x 64-bit timestamps in a hash-sized payload.
+    const double packet_ms = config.radio->transferMs(
+        static_cast<double>(net::kPacketOverheadBytes + 32));
+    const double one_way_us = packet_ms * 1'000.0;
+
+    SntpResult result;
+    double true_time_us = 0.0;
+
+    for (std::size_t round = 0; round < config.maxRounds; ++round) {
+        ++result.rounds;
+        double worst = 0.0;
+        for (std::size_t client = 1; client < clocks.size();
+             ++client) {
+            // Request: client stamps t1, server receives at t2.
+            const double t1 =
+                clocks[client].read(true_time_us);
+            const double jitter_up =
+                one_way_us + rng.uniform(0.0, config.jitterUs);
+            true_time_us += jitter_up;
+            const double t2 = clocks[0].read(true_time_us);
+
+            // Reply: server stamps t3, client receives at t4.
+            const double t3 = clocks[0].read(true_time_us);
+            const double jitter_down =
+                one_way_us + rng.uniform(0.0, config.jitterUs);
+            true_time_us += jitter_down;
+            const double t4 =
+                clocks[client].read(true_time_us);
+
+            // Midpoint offset estimate (server minus client).
+            const double offset =
+                ((t2 - t1) + (t3 - t4)) / 2.0;
+            clocks[client].adjust(offset);
+
+            const double residual = std::abs(
+                clocks[client].read(true_time_us) -
+                clocks[0].read(true_time_us));
+            worst = std::max(worst, residual);
+            result.networkBusyMs += 2.0 * packet_ms;
+        }
+        result.maxResidualUs = worst;
+        if (worst <= config.targetPrecisionUs) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace scalo::sim

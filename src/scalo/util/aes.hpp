@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AES-128 (the AES PE): SCALO encrypts neural data leaving the body
+ * through the external radio. CTR mode needs only the forward cipher,
+ * so that is all the PE (and this model) implements.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace scalo {
+
+/** AES-128 block cipher (forward direction) with CTR-mode helpers. */
+class Aes128
+{
+  public:
+    using Block = std::array<std::uint8_t, 16>;
+    using Key = std::array<std::uint8_t, 16>;
+
+    /** Expand the round keys from @p key. */
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one 16-byte block (FIPS-197 forward cipher). */
+    Block encryptBlock(const Block &plaintext) const;
+
+    /**
+     * CTR-mode encryption/decryption (its own inverse): XOR the
+     * keystream of incrementing counter blocks into @p data.
+     *
+     * @param nonce the 16-byte initial counter block
+     */
+    std::vector<std::uint8_t>
+    ctrCrypt(const std::vector<std::uint8_t> &data,
+             const Block &nonce) const;
+
+  private:
+    /** 11 round keys x 16 bytes. */
+    std::array<std::uint8_t, 176> roundKeys{};
+};
+
+} // namespace scalo

@@ -1,0 +1,54 @@
+#include "scalo/util/bitstream.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo {
+
+void
+BitWriter::putBit(unsigned bit)
+{
+    const std::size_t byte_index = bits / 8;
+    if (byte_index >= buffer.size())
+        buffer.push_back(0);
+    if (bit & 1)
+        buffer[byte_index] |=
+            static_cast<std::uint8_t>(0x80u >> (bits % 8));
+    ++bits;
+}
+
+void
+BitWriter::putBits(std::uint64_t value, unsigned count)
+{
+    SCALO_ASSERT(count <= 64, "putBits count=", count);
+    for (unsigned i = count; i-- > 0;)
+        putBit(static_cast<unsigned>((value >> i) & 1));
+}
+
+std::vector<std::uint8_t>
+BitWriter::take()
+{
+    bits = 0;
+    return std::move(buffer);
+}
+
+unsigned
+BitReader::getBit()
+{
+    SCALO_ASSERT(!exhausted(), "bit stream exhausted at ", position);
+    const std::uint8_t byte = (*buffer)[position / 8];
+    const unsigned bit = (byte >> (7 - position % 8)) & 1;
+    ++position;
+    return bit;
+}
+
+std::uint64_t
+BitReader::getBits(unsigned count)
+{
+    SCALO_ASSERT(count <= 64, "getBits count=", count);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < count; ++i)
+        value = (value << 1) | getBit();
+    return value;
+}
+
+} // namespace scalo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bit-granular writer/reader used by the compression PEs (Elias-gamma
+ * coding operates on individual bits).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scalo {
+
+/** Append-only bit sink backed by a byte vector (MSB-first per byte). */
+class BitWriter
+{
+  public:
+    /** Append a single bit (only the LSB of @p bit is used). */
+    void putBit(unsigned bit);
+
+    /** Append @p count bits of @p value, most-significant bit first. */
+    void putBits(std::uint64_t value, unsigned count);
+
+    /** Number of bits written so far. */
+    std::size_t bitCount() const { return bits; }
+
+    /** Finish and return the byte buffer (final byte zero-padded). */
+    std::vector<std::uint8_t> take();
+
+    /** Read-only view of the bytes written so far. */
+    const std::vector<std::uint8_t> &bytes() const { return buffer; }
+
+  private:
+    std::vector<std::uint8_t> buffer;
+    std::size_t bits = 0;
+};
+
+/** Sequential bit source over a byte buffer (MSB-first per byte). */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &data)
+        : buffer(&data) {}
+
+    /** Read one bit; @return 0 or 1. @pre !exhausted() */
+    unsigned getBit();
+
+    /** Read @p count bits, most-significant bit first. */
+    std::uint64_t getBits(unsigned count);
+
+    /** True when every bit has been consumed. */
+    bool exhausted() const { return position >= buffer->size() * 8; }
+
+    /** Number of bits consumed so far. */
+    std::size_t bitPosition() const { return position; }
+
+  private:
+    const std::vector<std::uint8_t> *buffer;
+    std::size_t position = 0;
+};
+
+} // namespace scalo

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3 polynomial) used for packet header/payload checksums
+ * in the intra-SCALO network (Section 3.4).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scalo {
+
+/** Compute the CRC32 of a byte buffer (IEEE reflected, init 0xFFFFFFFF). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t length);
+
+/** Convenience overload for byte vectors. */
+std::uint32_t crc32(const std::vector<std::uint8_t> &data);
+
+} // namespace scalo

@@ -1,0 +1,39 @@
+#include "scalo/util/logging.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace scalo {
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    // Throw rather than abort so tests can assert on invariant violations.
+    throw std::logic_error("panic: " + message);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", message.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    throw std::runtime_error("fatal: " + message);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::fprintf(stdout, "info: %s\n", message.c_str());
+}
+
+} // namespace scalo

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-handling and status-message helpers in the gem5 spirit:
+ *
+ *  - panic():  an internal invariant was violated (a SCALO bug); aborts.
+ *  - fatal():  the user supplied an impossible configuration; exits.
+ *  - warn():   something is suspicious but execution can continue.
+ *  - inform(): plain status output.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace scalo {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+/** Build a message string from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace scalo
+
+/** Abort: something that should never happen happened (a SCALO bug). */
+#define SCALO_PANIC(...) \
+    ::scalo::panicImpl(__FILE__, __LINE__, \
+                       ::scalo::formatMessage(__VA_ARGS__))
+
+/** Exit: the user's configuration/arguments cannot be honoured. */
+#define SCALO_FATAL(...) \
+    ::scalo::fatalImpl(__FILE__, __LINE__, \
+                       ::scalo::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define SCALO_WARN(...) \
+    ::scalo::warnImpl(::scalo::formatMessage(__VA_ARGS__))
+
+/** Status message to stdout. */
+#define SCALO_INFORM(...) \
+    ::scalo::informImpl(::scalo::formatMessage(__VA_ARGS__))
+
+/** Panic unless a condition holds. */
+#define SCALO_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SCALO_PANIC("assertion failed: " #cond " ", \
+                        ::scalo::formatMessage(__VA_ARGS__)); \
+        } \
+    } while (0)

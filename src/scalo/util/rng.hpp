@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of SCALO (LSH projection vectors, synthetic
+ * data, bit-error injection) draw from these generators so that every
+ * experiment is reproducible from a seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace scalo {
+
+/**
+ * SplitMix64: fast 64-bit mixer, used for seeding and hashing.
+ *
+ * Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+ * Generators", OOPSLA 2014.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Return the next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/** Stateless 64-bit mix of a value (useful as a hash function). */
+std::uint64_t mix64(std::uint64_t x);
+
+/** Mix two 64-bit values into one (order-sensitive). */
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Xoshiro256**: the repository-wide general purpose generator.
+ *
+ * Satisfies UniformRandomBitGenerator so it can be used with <random>
+ * distributions, but the helpers below avoid libstdc++-version-dependent
+ * distribution implementations for portability of results.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5ca10'5ca10ULL);
+
+    static constexpr result_type min() { return 0; }
+
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Standard normal variate (Box-Muller, deterministic). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Random sign: +1.0 or -1.0 with equal probability. */
+    double sign();
+
+  private:
+    std::uint64_t s[4];
+    double cachedGaussian = 0.0;
+    bool hasCachedGaussian = false;
+};
+
+} // namespace scalo

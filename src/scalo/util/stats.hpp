@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by the benchmark harness and
+ * error-injection experiments (means, percentiles, min/max ranges).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalo {
+
+/** Arithmetic mean; 0 for an empty range. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; 0 for fewer than two values. */
+double stddev(const std::vector<double> &values);
+
+/** Minimum; 0 for an empty range. */
+double minOf(const std::vector<double> &values);
+
+/** Maximum; 0 for an empty range. */
+double maxOf(const std::vector<double> &values);
+
+/**
+ * Linear-interpolated percentile in [0, 100].
+ * The input need not be sorted. @return 0 for an empty range.
+ */
+double percentile(std::vector<double> values, double pct);
+
+/** Online accumulator for mean/min/max without storing samples. */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double value);
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0; }
+    double min() const { return n ? lo : 0; }
+    double max() const { return n ? hi : 0; }
+
+  private:
+    std::size_t n = 0;
+    double total = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+} // namespace scalo

@@ -1,0 +1,72 @@
+#include "scalo/util/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headerRow(std::move(headers))
+{
+    SCALO_ASSERT(!headerRow.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    SCALO_ASSERT(row.size() == headerRow.size(),
+                 "row has ", row.size(), " cells, expected ",
+                 headerRow.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headerRow.size());
+    for (std::size_t c = 0; c < headerRow.size(); ++c)
+        widths[c] = headerRow[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                line << "  ";
+            line << std::left << std::setw(static_cast<int>(widths[c]))
+                 << row[c];
+        }
+        return line.str();
+    };
+
+    std::ostringstream out;
+    out << render_row(headerRow) << '\n';
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        out << render_row(row) << '\n';
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace scalo

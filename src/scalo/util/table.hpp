@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to print the rows and
+ * series of the paper's tables/figures in a readable form.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scalo {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; it must match the header column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Helper: format a double with @p precision fraction digits. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render the whole table, including a separator under the header. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace scalo

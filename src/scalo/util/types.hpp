@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Core numeric types and BCI-wide constants shared by every SCALO module.
+ *
+ * The constants mirror the experimental setup of Section 5 of the paper:
+ * 96-electrode arrays sampled at 30 kHz with 16-bit ADCs, 4 ms analysis
+ * windows (120 samples), and a 15 mW per-implant power cap.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scalo {
+
+/** A raw neural sample as produced by the 16-bit ADC. */
+using Sample = std::int16_t;
+
+/** A contiguous window of samples from one electrode. */
+using Window = std::vector<Sample>;
+
+/** A hash value produced by the LSH PEs (8-bit hashes per Section 5). */
+using HashValue = std::uint8_t;
+
+/** Identifier of an implant ("node") in the distributed BCI. */
+using NodeId = std::uint32_t;
+
+/** Identifier of an electrode within a node (0..95 by default). */
+using ElectrodeId = std::uint32_t;
+
+namespace constants {
+
+/** ADC sampling rate per electrode (Hz). */
+inline constexpr double kSampleRateHz = 30'000.0;
+
+/** ADC resolution (bits per sample). */
+inline constexpr int kBitsPerSample = 16;
+
+/** Electrodes per implant (standard Utah array). */
+inline constexpr int kElectrodesPerNode = 96;
+
+/** Samples per 4 ms analysis window. */
+inline constexpr int kWindowSamples = 120;
+
+/** Analysis window length (seconds). */
+inline constexpr double kWindowSeconds = kWindowSamples / kSampleRateHz;
+
+/** Per-electrode raw data rate (bits per second). */
+inline constexpr double kElectrodeBps = kSampleRateHz * kBitsPerSample;
+
+/**
+ * Per-node ADC data rate in Mbps: 96 electrodes x 30 kHz x 16 bit
+ * = 46.08 Mbps ("46 Mbps" in the paper).
+ */
+inline constexpr double kNodeAdcMbps =
+    kElectrodesPerNode * kElectrodeBps / 1e6;
+
+/** Conservative per-implant power cap (mW), Section 2.1. */
+inline constexpr double kPowerCapMw = 15.0;
+
+/** ADC power for one sample from all 96 electrodes (mW), Section 5. */
+inline constexpr double kAdcPowerMw = 2.88;
+
+/** DAC (stimulation) power (mW), Section 5. */
+inline constexpr double kDacPowerMw = 0.6;
+
+/** Seizure propagation deadline: detection -> stimulation (ms). */
+inline constexpr double kSeizureDeadlineMs = 10.0;
+
+/** Movement decoding loop deadline (ms). */
+inline constexpr double kMovementDeadlineMs = 50.0;
+
+/** Bytes in one uncompressed 4 ms signal window (120 x 16 bit). */
+inline constexpr int kWindowBytes = kWindowSamples * kBitsPerSample / 8;
+
+/** Default inter-implant spacing (mm) for negligible thermal coupling. */
+inline constexpr double kImplantSpacingMm = 20.0;
+
+/** Hemispherical brain surface radius used for placement (mm). */
+inline constexpr double kBrainRadiusMm = 86.0;
+
+/** Maximum implants placeable at default spacing (Section 5). */
+inline constexpr int kMaxImplants = 60;
+
+} // namespace constants
+
+/** Convert an electrode count to an aggregate neural data rate in Mbps. */
+constexpr double
+electrodesToMbps(double electrodes)
+{
+    return electrodes * constants::kElectrodeBps / 1e6;
+}
+
+/** Convert a neural data rate in Mbps to an electrode count. */
+constexpr double
+mbpsToElectrodes(double mbps)
+{
+    return mbps * 1e6 / constants::kElectrodeBps;
+}
+
+} // namespace scalo

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the storage substrate and the executable query
+ * engine: ring-buffer semantics, layout-dependent read costs, and
+ * Q1/Q2/Q3 executed over data actually stored on the nodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/app/query_engine.hpp"
+#include "scalo/app/store.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::app {
+namespace {
+
+std::vector<double>
+windowOf(double freq, std::size_t n, double phase, Rng *noise)
+{
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = std::sin(2.0 * M_PI * freq *
+                              static_cast<double>(i) /
+                              static_cast<double>(n) +
+                          phase);
+        if (noise)
+            out[i] += noise->gaussian(0.0, 0.05);
+    }
+    return out;
+}
+
+StoredWindow
+makeWindow(std::uint64_t t, bool seizure)
+{
+    StoredWindow w;
+    w.timestampUs = t;
+    w.samples.assign(120, 0.5);
+    w.seizureFlagged = seizure;
+    return w;
+}
+
+TEST(SignalStore, AppendAndRange)
+{
+    SignalStore store(100);
+    for (std::uint64_t t = 0; t < 10; ++t)
+        store.append(makeWindow(t * 4'000, t == 5));
+    EXPECT_EQ(store.size(), 10u);
+    const auto slice = store.range(8'000, 20'000);
+    ASSERT_EQ(slice.size(), 4u);
+    EXPECT_EQ(slice.front()->timestampUs, 8'000u);
+    EXPECT_EQ(slice.back()->timestampUs, 20'000u);
+}
+
+TEST(SignalStore, RingOverwritesOldest)
+{
+    SignalStore store(4);
+    for (std::uint64_t t = 0; t < 10; ++t)
+        store.append(makeWindow(t * 1'000, false));
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_EQ(store.overwritten(), 6u);
+    EXPECT_TRUE(store.range(0, 5'000).empty());
+    EXPECT_EQ(store.range(6'000, 9'000).size(), 4u);
+}
+
+TEST(SignalStore, LayoutDrivesReadCost)
+{
+    SignalStore reorganised(100, true);
+    SignalStore raw(100, false);
+    // 10x faster reads with the electrode-major layout (Section 3.3).
+    EXPECT_NEAR(raw.readCostMs(160) / reorganised.readCostMs(160),
+                10.0, 1e-9);
+    // Writes cost 5x more with reorganisation.
+    for (int i = 0; i < 32; ++i) {
+        reorganised.append(makeWindow(i, false));
+        raw.append(makeWindow(i, false));
+    }
+    EXPECT_NEAR(reorganised.totalWriteCostMs() /
+                    raw.totalWriteCostMs(),
+                5.0, 1e-9);
+}
+
+TEST(SignalStore, TracksBytes)
+{
+    SignalStore store(100);
+    store.append(makeWindow(0, false));
+    EXPECT_GE(store.bytesStored(), 240u);
+}
+
+class QueryEngineFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        engine = std::make_unique<QueryEngine>(3, 120, 7);
+        Rng noise(3);
+        // 3 nodes x 50 windows at 4 ms cadence; windows 20-24 are a
+        // propagating seizure burst (same 6 Hz shape on every node).
+        for (NodeId node = 0; node < 3; ++node) {
+            for (std::uint64_t w = 0; w < 50; ++w) {
+                const bool seizure = w >= 20 && w < 25;
+                std::vector<double> window;
+                if (seizure) {
+                    window = windowOf(6.0, 120, 0.3, &noise);
+                } else {
+                    window.assign(120, 0.0);
+                    for (auto &v : window)
+                        v = noise.gaussian();
+                }
+                engine->ingest(node, w * 4'000,
+                               static_cast<ElectrodeId>(node),
+                               window, seizure);
+            }
+        }
+    }
+
+    std::unique_ptr<QueryEngine> engine;
+};
+
+TEST_F(QueryEngineFixture, Q1ReturnsExactlyFlaggedWindows)
+{
+    const auto result = engine->q1SeizureWindows(0, 200'000);
+    EXPECT_EQ(result.scanned, 150u);
+    EXPECT_EQ(result.matches.size(), 15u); // 5 windows x 3 nodes
+    for (const StoredWindow *window : result.matches)
+        EXPECT_TRUE(window->seizureFlagged);
+    EXPECT_GT(result.latencyMs, 0.0);
+}
+
+TEST_F(QueryEngineFixture, Q1TimeRangeRestricts)
+{
+    // Only the first half of the burst.
+    const auto result = engine->q1SeizureWindows(80'000, 88'000);
+    EXPECT_EQ(result.matches.size(), 9u); // windows 20,21,22 x 3
+}
+
+TEST_F(QueryEngineFixture, Q2HashFindsSeizureShape)
+{
+    Rng noise(11);
+    const auto probe = windowOf(6.0, 120, 0.3, &noise);
+    const auto result =
+        engine->q2TemplateMatch(0, 200'000, probe);
+    // Most seizure windows collide with the probe's hash; background
+    // windows rarely do.
+    std::size_t seizure_hits = 0, background_hits = 0;
+    for (const StoredWindow *window : result.matches) {
+        if (window->seizureFlagged)
+            ++seizure_hits;
+        else
+            ++background_hits;
+    }
+    EXPECT_GE(seizure_hits, 8u);
+    EXPECT_LT(background_hits, 30u);
+}
+
+TEST_F(QueryEngineFixture, Q2ExactConfirmationTightensMatches)
+{
+    Rng noise(13);
+    const auto probe = windowOf(6.0, 120, 0.3, &noise);
+    const auto hash_only =
+        engine->q2TemplateMatch(0, 200'000, probe);
+    const auto exact =
+        engine->q2TemplateMatch(0, 200'000, probe, 15.0);
+    EXPECT_LE(exact.matches.size(), hash_only.matches.size());
+    for (const StoredWindow *window : exact.matches)
+        EXPECT_TRUE(window->seizureFlagged);
+    // Exact scanning costs more time.
+    EXPECT_GT(exact.latencyMs, 0.0);
+}
+
+TEST_F(QueryEngineFixture, Q3ReturnsEverything)
+{
+    const auto result = engine->q3TimeRange(0, 200'000);
+    EXPECT_EQ(result.matches.size(), 150u);
+    EXPECT_EQ(result.transferBytes, 150u * 240u);
+    // Q3 ships everything: slowest of the three.
+    const auto q1 = engine->q1SeizureWindows(0, 200'000);
+    EXPECT_GT(result.latencyMs, q1.latencyMs);
+}
+
+TEST_F(QueryEngineFixture, MatchedFractionComputed)
+{
+    const auto result = engine->q1SeizureWindows(0, 200'000);
+    EXPECT_NEAR(result.matchedFraction(), 15.0 / 150.0, 1e-12);
+}
+
+} // namespace
+} // namespace scalo::app

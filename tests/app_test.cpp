@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for scalo::app: the seizure detector and propagation
+ * analyzer on synthetic iEEG, spike sorting accuracy (hash vs exact),
+ * movement decoding quality for the three pipelines, interactive
+ * query costs (Figure 10 anchors), intents/second (Figure 9b), and
+ * the weighted seizure throughput model (Figure 9a).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/app/movement.hpp"
+#include "scalo/app/query.hpp"
+#include "scalo/app/seizure.hpp"
+#include "scalo/app/spikesort.hpp"
+
+namespace scalo::app {
+namespace {
+
+data::IeegDataset
+seizureDataset()
+{
+    data::IeegConfig config;
+    config.nodes = 3;
+    config.electrodesPerNode = 4;
+    config.durationSec = 4.0;
+    config.seizuresPerMinute = 30.0;
+    config.seizureDurationSec = 0.8;
+    return data::generateIeeg(config);
+}
+
+TEST(SeizureDetector, LearnsToSeparateSeizures)
+{
+    // Detection features need windows long enough to resolve the
+    // seizure band: 100 ms (3,000 samples).
+    const auto dataset = seizureDataset();
+    const auto detector = SeizureDetector::train(dataset, 3'000);
+    const auto quality = detector.evaluate(dataset, 0, 3'000);
+    EXPECT_GT(quality.truePositiveRate, 0.8);
+    EXPECT_LT(quality.falsePositiveRate, 0.1);
+    EXPECT_GT(quality.positives, 10u);
+    EXPECT_GT(quality.negatives, 10u);
+}
+
+TEST(SeizureFeatures, SeparateSeizureFromBackground)
+{
+    const auto dataset = seizureDataset();
+    const auto &event = dataset.seizures().front();
+    const double fs = dataset.config().sampleRateHz;
+    const NodeId node = event.originNode;
+
+    auto windows_at = [&](double t_sec) {
+        const auto start = static_cast<std::size_t>(t_sec * fs);
+        std::vector<Window> windows;
+        for (const auto &trace : dataset.traces()[node]) {
+            windows.emplace_back(
+                trace.begin() + static_cast<long>(start),
+                trace.begin() + static_cast<long>(start + 3'000));
+        }
+        return windows;
+    };
+
+    const auto seizure =
+        seizureFeatures(windows_at(event.onsetSec + 0.3), fs);
+    const auto background =
+        seizureFeatures(windows_at(event.onsetSec - 0.35), fs);
+    // The low-band power feature dominates during the episode.
+    EXPECT_GT(seizure[0], background[0]);
+}
+
+TEST(PropagationAnalyzer, ConfirmsCorrelatedSeizure)
+{
+    // Build aligned windows: during a propagated seizure the sites
+    // share the oscillation, so hash + DTW confirm.
+    data::IeegConfig config;
+    config.nodes = 3;
+    config.electrodesPerNode = 1;
+    config.durationSec = 2.0;
+    config.seizuresPerMinute = 30.0;
+    config.seizureDurationSec = 0.8;
+    config.propagationLagSec = 0.0;
+    const auto dataset = data::generateIeeg(config);
+    const auto &event = dataset.seizures().front();
+    const double fs = config.sampleRateHz;
+
+    PropagationAnalyzer analyzer(3, 120, 40.0);
+    // Observe several timesteps inside the seizure.
+    std::uint64_t t_us = 1'000;
+    const auto base = static_cast<std::size_t>(
+        (event.onsetSec + 0.2) * fs);
+    for (int step = 0; step < 5; ++step) {
+        std::vector<std::vector<double>> windows;
+        for (NodeId node = 0; node < 3; ++node) {
+            const auto &trace = dataset.traces()[node][0];
+            const std::size_t start = base + step * 120;
+            windows.emplace_back(
+                trace.begin() + static_cast<long>(start),
+                trace.begin() + static_cast<long>(start + 120));
+        }
+        analyzer.observe(windows, t_us);
+        t_us += 4'000;
+    }
+
+    const auto result = analyzer.analyze(event.originNode, t_us);
+    EXPECT_FALSE(result.hashMatches.empty());
+    EXPECT_FALSE(result.confirmed.empty());
+}
+
+TEST(PropagationAnalyzer, BackgroundDoesNotConfirm)
+{
+    // Independent background noise across sites: DTW confirmation of
+    // z-scored random windows should reject (hash may produce rare
+    // false positives; those are exactly what DTW resolves).
+    data::IeegConfig config;
+    config.nodes = 3;
+    config.electrodesPerNode = 1;
+    config.durationSec = 1.0;
+    config.seizuresPerMinute = 0.0;
+    const auto dataset = data::generateIeeg(config);
+
+    PropagationAnalyzer analyzer(3, 120, 8.0);
+    std::uint64_t t_us = 1'000;
+    for (int step = 0; step < 10; ++step) {
+        std::vector<std::vector<double>> windows;
+        for (NodeId node = 0; node < 3; ++node) {
+            const auto &trace = dataset.traces()[node][0];
+            const std::size_t start = 1'000 + step * 120;
+            windows.emplace_back(
+                trace.begin() + static_cast<long>(start),
+                trace.begin() + static_cast<long>(start + 120));
+        }
+        analyzer.observe(windows, t_us);
+        t_us += 4'000;
+    }
+    const auto result = analyzer.analyze(0, t_us);
+    EXPECT_TRUE(result.confirmed.empty());
+}
+
+TEST(SpikeSorter, HashAccuracyWithinFivePercentOfExact)
+{
+    // Section 6.3's claim, on the synthetic stand-in dataset.
+    data::SpikeConfig config;
+    config.durationSec = 4.0;
+    config.neurons = 8;
+    const auto dataset = data::generateSpikes(config);
+
+    const SpikeSorter exact(dataset.templates, /*use_hashes=*/false);
+    const SpikeSorter hashed(dataset.templates, /*use_hashes=*/true);
+    const auto exact_report = exact.evaluate(dataset);
+    const auto hash_report = hashed.evaluate(dataset);
+
+    EXPECT_GT(exact_report.accuracy, 0.7);
+    EXPECT_GT(hash_report.accuracy, exact_report.accuracy - 0.05);
+    EXPECT_GT(hash_report.detectionRate, 0.6);
+}
+
+TEST(SpikeSorter, DetectsMostGroundTruthSpikes)
+{
+    data::SpikeConfig config;
+    config.durationSec = 3.0;
+    config.neurons = 5;
+    config.firingRateHz = 8.0;
+    const auto dataset = data::generateSpikes(config);
+    const SpikeSorter sorter(dataset.templates, true);
+    const auto report = sorter.evaluate(dataset);
+    EXPECT_GT(report.detectionRate, 0.75);
+}
+
+TEST(Movement, GestureClassifierBeatsChance)
+{
+    const auto dataset = generateMovement(32, 1'200, 4, 3);
+    const auto classifier = GestureClassifier::train(dataset, 900);
+    const double accuracy = classifier.accuracy(dataset, 900);
+    EXPECT_GT(accuracy, 0.45) << "4-class chance is 0.25";
+}
+
+TEST(Movement, DistributedGestureMatchesCentralized)
+{
+    const auto dataset = generateMovement(24, 600, 4, 5);
+    const auto classifier = GestureClassifier::train(dataset, 450);
+    for (std::size_t t = 450; t < 470; ++t) {
+        EXPECT_EQ(classifier.classify(dataset.features[t]),
+                  classifier.classifyDistributed(dataset.features[t],
+                                                 {8, 8, 8}));
+    }
+}
+
+TEST(Movement, KalmanDecodesVelocity)
+{
+    const auto dataset = generateMovement(48, 1'500, 4, 7);
+    const auto quality = decodeWithKalman(dataset, 700, 1);
+    EXPECT_GT(quality.vxCorrelation, 0.7);
+    EXPECT_GT(quality.vyCorrelation, 0.7);
+}
+
+TEST(Movement, NnDecodesVelocity)
+{
+    const auto dataset = generateMovement(32, 1'500, 4, 9);
+    const auto quality = decodeWithNn(dataset, 1'000, 2);
+    EXPECT_GT(quality.vxCorrelation, 0.6);
+    EXPECT_GT(quality.vyCorrelation, 0.6);
+}
+
+TEST(Intents, ScaloBeatsConventionalForSvmAndNn)
+{
+    // Figure 9b: SCALO exceeds the 20/s conventional rate for SVM/NN.
+    const double svm =
+        intentsPerSecond(sched::miSvmFlow(), 11);
+    const double nn = intentsPerSecond(sched::miNnFlow(), 11);
+    EXPECT_GT(svm, kConventionalIntentsPerSecond);
+    EXPECT_GT(nn, kConventionalIntentsPerSecond);
+    EXPECT_GT(svm, nn) << "SVM partials are cheaper than NN's";
+}
+
+TEST(Intents, KalmanStaysNearTwentyPerSecond)
+{
+    const double kf = intentsPerSecond(sched::miKfFlow(), 4);
+    EXPECT_NEAR(kf, 20.0, 8.0);
+}
+
+TEST(Query, PaperAnchors)
+{
+    // Figure 10 anchors: Q1 at 7 MB / 5% ~ 9 QPS; Q3 at 7 MB ~ 1.2 s.
+    QueryConfig config;
+    const auto q1 = estimateQuery(QueryKind::Q1SeizureWindows, config);
+    EXPECT_NEAR(q1.queriesPerSecond, 9.0, 1.5);
+
+    const auto q3 = estimateQuery(QueryKind::Q3TimeRange, config);
+    EXPECT_NEAR(q3.latencyMs, 1'210.0, 150.0);
+    EXPECT_NEAR(q3.queriesPerSecond, 0.8, 0.15);
+}
+
+TEST(Query, DtwMatchingCostsPowerNotMuchLatency)
+{
+    QueryConfig hash_config;
+    QueryConfig dtw_config;
+    dtw_config.exactMatch = true;
+    const auto hash_cost =
+        estimateQuery(QueryKind::Q2TemplateMatch, hash_config);
+    const auto dtw_cost =
+        estimateQuery(QueryKind::Q2TemplateMatch, dtw_config);
+    // Section 6.4: 8 QPS vs 9 QPS, but 15 mW vs 3.57 mW.
+    EXPECT_LT(dtw_cost.queriesPerSecond, hash_cost.queriesPerSecond);
+    EXPECT_GT(dtw_cost.queriesPerSecond,
+              0.8 * hash_cost.queriesPerSecond);
+    EXPECT_DOUBLE_EQ(dtw_cost.powerMw, 15.0);
+    EXPECT_DOUBLE_EQ(hash_cost.powerMw, 3.57);
+}
+
+TEST(Query, LatencyScalesWithDataSize)
+{
+    QueryConfig small, large;
+    small.dataMb = 7.0;
+    large.dataMb = 60.0;
+    const auto q_small =
+        estimateQuery(QueryKind::Q1SeizureWindows, small);
+    const auto q_large =
+        estimateQuery(QueryKind::Q1SeizureWindows, large);
+    EXPECT_GT(q_large.latencyMs, 4.0 * q_small.latencyMs);
+    // Still usable in real time at 1 s of data (Section 6.4).
+    EXPECT_GT(q_large.queriesPerSecond, 1.0);
+}
+
+TEST(Query, TimeRangeMapping)
+{
+    // 7 MB over 11 nodes ~ the last 110 ms (Figure 10 pairing).
+    EXPECT_NEAR(timeRangeMsFor(7.0, 11), 110.0, 15.0);
+    EXPECT_NEAR(timeRangeMsFor(60.0, 11), 1'000.0, 120.0);
+}
+
+TEST(WeightedSeizure, EqualWeightsPeakNear506At11Nodes)
+{
+    const auto result =
+        seizurePropagationWeighted({1.0, 1.0, 1.0}, 11);
+    EXPECT_NEAR(result.weightedMbps, 506.0, 40.0);
+}
+
+TEST(WeightedSeizure, LinearThenSublinear)
+{
+    const auto at4 = seizurePropagationWeighted({1.0, 1.0, 1.0}, 4);
+    const auto at11 = seizurePropagationWeighted({1.0, 1.0, 1.0}, 11);
+    const auto at32 = seizurePropagationWeighted({1.0, 1.0, 1.0}, 32);
+    // Linear from 4 to 11...
+    EXPECT_NEAR(at11.weightedMbps / at4.weightedMbps, 11.0 / 4.0,
+                0.15);
+    // ...then sublinear growth.
+    EXPECT_LT(at32.weightedMbps / at11.weightedMbps,
+              0.85 * 32.0 / 11.0);
+    EXPECT_GT(at32.weightedMbps, at11.weightedMbps);
+}
+
+TEST(WeightedSeizure, DetectionHeavyWeightsWinBeyondTheKnee)
+{
+    // Past the network knee, hash-heavy weights suffer most.
+    const auto detection_heavy =
+        seizurePropagationWeighted({11.0, 1.0, 1.0}, 48);
+    const auto hash_heavy =
+        seizurePropagationWeighted({1.0, 3.0, 1.0}, 48);
+    EXPECT_GT(detection_heavy.weightedMbps, hash_heavy.weightedMbps);
+}
+
+} // namespace
+} // namespace scalo::app

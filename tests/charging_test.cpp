@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the battery / wireless-charging planner (Section
+ * 3.6): the 24 h duty-cycle arithmetic, sensitivity to load and
+ * battery parameters, and the paper's "24-hour operation with 2
+ * hours of charging" anchor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/hw/charging.hpp"
+
+namespace scalo::hw {
+namespace {
+
+TEST(Charging, PaperAnchorAtFullLoad)
+{
+    // 15 mW with the default cell: ~22 h operation + ~2 h charging.
+    const auto plan = planDailyCycle(constants::kPowerCapMw);
+    EXPECT_TRUE(plan.sustainsFullDay);
+    EXPECT_NEAR(plan.operatingHours + plan.chargingHours, 24.0,
+                1e-9);
+    EXPECT_NEAR(plan.chargingHours, 2.2, 0.5);
+    EXPECT_GT(plan.availability, 0.88);
+}
+
+TEST(Charging, LighterLoadsRunLonger)
+{
+    const auto heavy = planDailyCycle(15.0);
+    const auto medium = planDailyCycle(9.0);
+    const auto light = planDailyCycle(6.0);
+    EXPECT_GT(medium.availability, heavy.availability);
+    EXPECT_GT(light.availability, medium.availability);
+    EXPECT_LT(light.chargingHours, heavy.chargingHours);
+}
+
+TEST(Charging, BiggerBatteryNeedsSameChargeShare)
+{
+    // Doubling capacity doubles run and refill hours alike, so the
+    // duty cycle (availability) is capacity-invariant.
+    BatterySpec small;
+    BatterySpec big = small;
+    big.capacityMwh *= 2.0;
+    const auto small_plan = planDailyCycle(15.0, small);
+    const auto big_plan = planDailyCycle(15.0, big);
+    EXPECT_NEAR(small_plan.availability, big_plan.availability,
+                1e-9);
+}
+
+TEST(Charging, FasterChargerRaisesAvailability)
+{
+    BatterySpec slow;
+    slow.chargeRateMw = 90.0;
+    BatterySpec fast;
+    fast.chargeRateMw = 360.0;
+    EXPECT_GT(planDailyCycle(15.0, fast).availability,
+              planDailyCycle(15.0, slow).availability);
+}
+
+TEST(Charging, UnsustainableWhenChargingDominates)
+{
+    // A trickle charger against a heavy load: less than half the day
+    // is operational, so the plan flags itself.
+    BatterySpec trickle;
+    trickle.chargeRateMw = 10.0;
+    const auto plan = planDailyCycle(15.0, trickle);
+    EXPECT_FALSE(plan.sustainsFullDay);
+    EXPECT_LT(plan.availability, 0.5);
+    // The day is still fully accounted for.
+    EXPECT_NEAR(plan.operatingHours + plan.chargingHours, 24.0,
+                1e-9);
+}
+
+TEST(Charging, RequiredCapacityScalesLinearly)
+{
+    EXPECT_NEAR(requiredCapacityMwh(10.0, 10.0),
+                2.0 * requiredCapacityMwh(5.0, 10.0), 1e-9);
+    EXPECT_NEAR(requiredCapacityMwh(10.0, 10.0),
+                2.0 * requiredCapacityMwh(10.0, 5.0), 1e-9);
+    // Efficiency inflates the requirement.
+    BatterySpec lossy;
+    lossy.efficiency = 0.5;
+    EXPECT_NEAR(requiredCapacityMwh(10.0, 10.0, lossy),
+                10.0 * 10.0 / 0.5, 1e-9);
+}
+
+TEST(Charging, RejectsNonsense)
+{
+    EXPECT_THROW(planDailyCycle(0.0), std::logic_error);
+    EXPECT_THROW(planDailyCycle(-1.0), std::logic_error);
+    EXPECT_THROW(requiredCapacityMwh(-1.0, 1.0), std::logic_error);
+}
+
+} // namespace
+} // namespace scalo::hw

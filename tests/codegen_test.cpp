@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the switch fabric (circuit-switched inter-PE
+ * network) and the Section 3.7 compiler backend: program generation
+ * from compiled pipelines and the MC runtime's loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/hw/switches.hpp"
+#include "scalo/query/codegen.hpp"
+
+namespace scalo {
+namespace {
+
+using hw::Endpoint;
+using hw::NodeFabric;
+using hw::PeKind;
+using hw::SwitchFabric;
+
+TEST(SwitchFabric, ConnectsAndTraces)
+{
+    NodeFabric fabric;
+    SwitchFabric switches(fabric);
+    EXPECT_TRUE(switches.connect(Endpoint::adc(),
+                                 Endpoint::of(PeKind::FFT))
+                    .empty());
+    EXPECT_TRUE(switches.connect(Endpoint::of(PeKind::FFT),
+                                 Endpoint::of(PeKind::SVM))
+                    .empty());
+    EXPECT_TRUE(switches.connect(Endpoint::of(PeKind::SVM),
+                                 Endpoint::nvm())
+                    .empty());
+
+    const auto chain = switches.traceFromAdc();
+    ASSERT_EQ(chain.size(), 4u);
+    EXPECT_EQ(chain[1], Endpoint::of(PeKind::FFT));
+    EXPECT_EQ(chain[3], Endpoint::nvm());
+}
+
+TEST(SwitchFabric, RejectsDoubleDrivenInput)
+{
+    NodeFabric fabric;
+    SwitchFabric switches(fabric);
+    ASSERT_TRUE(switches.connect(Endpoint::adc(),
+                                 Endpoint::of(PeKind::FFT))
+                    .empty());
+    const auto error = switches.connect(
+        Endpoint::of(PeKind::BBF), Endpoint::of(PeKind::FFT));
+    EXPECT_NE(error.find("already driven"), std::string::npos);
+}
+
+TEST(SwitchFabric, RejectsMissingInstance)
+{
+    NodeFabric fabric;
+    SwitchFabric switches(fabric);
+    // Only one FFT per node; instance 1 does not exist.
+    const auto error = switches.connect(
+        Endpoint::adc(), Endpoint::of(PeKind::FFT, 1));
+    EXPECT_FALSE(error.empty());
+    // The LIN ALG cluster has 10 BMULs; instance 9 exists.
+    EXPECT_TRUE(switches.connect(Endpoint::adc(),
+                                 Endpoint::of(PeKind::BMUL, 9))
+                    .empty());
+}
+
+TEST(SwitchFabric, DirectionalityEnforced)
+{
+    NodeFabric fabric;
+    SwitchFabric switches(fabric);
+    EXPECT_FALSE(switches.connect(Endpoint::dac(),
+                                  Endpoint::of(PeKind::FFT))
+                     .empty());
+    EXPECT_FALSE(switches.connect(Endpoint::of(PeKind::FFT),
+                                  Endpoint::adc())
+                     .empty());
+}
+
+TEST(SwitchFabric, FanOutAllowed)
+{
+    NodeFabric fabric;
+    SwitchFabric switches(fabric);
+    EXPECT_TRUE(switches.connect(Endpoint::adc(),
+                                 Endpoint::of(PeKind::FFT))
+                    .empty());
+    EXPECT_TRUE(switches.connect(Endpoint::adc(),
+                                 Endpoint::of(PeKind::BBF))
+                    .empty());
+}
+
+TEST(Codegen, GeneratesCompletePipelineProgram)
+{
+    const auto pipeline = query::compileSource(
+        "stream.window(wsize=50ms).sbp().kf().call_runtime()");
+    const auto program = query::generateProgram(pipeline);
+
+    // Dividers + configs + connects + start.
+    ASSERT_FALSE(program.instructions.empty());
+    EXPECT_EQ(program.instructions.back().opcode,
+              query::McOpcode::Start);
+
+    // The window parameter must be configured on the GATE.
+    bool configured_window = false;
+    for (const auto &instruction : program.instructions) {
+        if (instruction.opcode == query::McOpcode::Configure &&
+            instruction.parameter == "wsize") {
+            EXPECT_DOUBLE_EQ(instruction.value, 50.0);
+            configured_window = true;
+        }
+    }
+    EXPECT_TRUE(configured_window);
+
+    // call_runtime routes the sink to the external radio.
+    bool radio_sink = false;
+    for (const auto &instruction : program.instructions) {
+        if (instruction.opcode == query::McOpcode::Connect &&
+            instruction.b.type == Endpoint::Type::Radio) {
+            radio_sink = true;
+        }
+    }
+    EXPECT_TRUE(radio_sink);
+
+    // The listing renders one line per instruction.
+    const auto listing = program.render();
+    EXPECT_NE(listing.find("conn   ADC -> GATE#0"),
+              std::string::npos);
+    EXPECT_NE(listing.find("start"), std::string::npos);
+}
+
+TEST(Codegen, StorePipelineSinksToNvm)
+{
+    const auto pipeline = query::compileSource(
+        "stream.window(wsize=4ms).seizure_detect().store()");
+    const auto program = query::generateProgram(pipeline);
+    bool nvm_sink = false;
+    for (const auto &instruction : program.instructions) {
+        if (instruction.opcode == query::McOpcode::Connect &&
+            instruction.b.type == Endpoint::Type::Nvm) {
+            nvm_sink = true;
+        }
+    }
+    EXPECT_TRUE(nvm_sink);
+}
+
+TEST(Codegen, DividerScalesWithElectrodes)
+{
+    const auto pipeline =
+        query::compileSource("stream.window(wsize=4ms).sbp()");
+    // Half the electrodes -> divider 2 (half the clock, Section 3.2).
+    const auto program = query::generateProgram(pipeline, 48.0);
+    for (const auto &instruction : program.instructions) {
+        if (instruction.opcode == query::McOpcode::SetDivider)
+            EXPECT_DOUBLE_EQ(instruction.value, 2.0);
+    }
+}
+
+TEST(Runtime, LoadsGeneratedPrograms)
+{
+    NodeFabric fabric;
+    query::Runtime runtime(fabric);
+    const auto pipeline = query::compileSource(
+        "stream.window(wsize=4ms).seizure_detect().store()");
+    const auto error =
+        runtime.load(query::generateProgram(pipeline));
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(runtime.running());
+
+    // The loaded circuits trace ADC -> ... -> NVM.
+    const auto chain = runtime.switches().traceFromAdc();
+    ASSERT_GE(chain.size(), 3u);
+    EXPECT_EQ(chain.back().type, Endpoint::Type::Nvm);
+}
+
+TEST(Runtime, RejectsConflictingPrograms)
+{
+    NodeFabric fabric;
+    query::Runtime runtime(fabric);
+    query::McProgram bad;
+    bad.instructions.push_back({query::McOpcode::Connect,
+                                Endpoint::adc(),
+                                Endpoint::of(PeKind::FFT),
+                                {},
+                                0.0});
+    bad.instructions.push_back({query::McOpcode::Connect,
+                                Endpoint::of(PeKind::BBF),
+                                Endpoint::of(PeKind::FFT),
+                                {},
+                                0.0});
+    EXPECT_FALSE(runtime.load(bad).empty());
+}
+
+TEST(Runtime, StartRequiresCircuits)
+{
+    NodeFabric fabric;
+    query::Runtime runtime(fabric);
+    query::McProgram program;
+    program.instructions.push_back(
+        {query::McOpcode::Start, {}, {}, {}, 0.0});
+    EXPECT_FALSE(runtime.load(program).empty());
+    EXPECT_FALSE(runtime.running());
+}
+
+TEST(Runtime, TracksDividers)
+{
+    NodeFabric fabric;
+    query::Runtime runtime(fabric);
+    const auto pipeline =
+        query::compileSource("stream.window(wsize=4ms).sbp()");
+    ASSERT_TRUE(
+        runtime.load(query::generateProgram(pipeline, 24.0)).empty());
+    EXPECT_EQ(runtime.dividerOf(PeKind::SBP), 4);
+    EXPECT_EQ(runtime.dividerOf(PeKind::FFT), 1); // untouched
+}
+
+} // namespace
+} // namespace scalo

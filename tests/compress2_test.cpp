@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the external-offload compression suite: LIC linear
+ * integer coding, the MA/RC adaptive range coder, the TOK tokenizer,
+ * the composed neural-stream codec, and the AES PE.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/compress/lic.hpp"
+#include "scalo/compress/range_coder.hpp"
+#include "scalo/util/aes.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::compress {
+namespace {
+
+std::vector<Sample>
+neuralTrace(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Sample> out;
+    out.reserve(n);
+    double phase = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        phase += 0.013;
+        const double v = 2'500.0 * std::sin(phase) +
+                         rng.gaussian(0.0, 40.0);
+        out.push_back(static_cast<Sample>(v));
+    }
+    return out;
+}
+
+TEST(Zigzag, RoundTripAndOrdering)
+{
+    for (std::int64_t v : {0LL, 1LL, -1LL, 2LL, -2LL, 32'767LL,
+                           -32'768LL}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+    // Small magnitudes map to small codes.
+    EXPECT_LT(zigzagEncode(-1), zigzagEncode(100));
+}
+
+TEST(Lic, RoundTripNeuralTrace)
+{
+    const auto samples = neuralTrace(10'000, 1);
+    const auto compressed = licCompress(samples);
+    EXPECT_EQ(licDecompress(compressed, samples.size()), samples);
+}
+
+TEST(Lic, CompressesSmoothSignals)
+{
+    // Slow, nearly-noiseless sine: second-order residuals are tiny.
+    Rng rng(2);
+    std::vector<Sample> samples;
+    double phase = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+        phase += 0.013;
+        samples.push_back(static_cast<Sample>(
+            2'500.0 * std::sin(phase) + rng.gaussian(0.0, 2.0)));
+    }
+    const auto compressed = licCompress(samples);
+    EXPECT_LT(compressed.size(), samples.size() * 2 / 2)
+        << "at least 2x on smooth neural data";
+}
+
+TEST(Lic, HandlesEdgeCases)
+{
+    EXPECT_TRUE(licDecompress(licCompress({}), 0).empty());
+    const std::vector<Sample> extremes{32'767, -32'768, 0, 32'767,
+                                       -32'768};
+    EXPECT_EQ(licDecompress(licCompress(extremes), extremes.size()),
+              extremes);
+}
+
+TEST(Tokenizer, RoundTripAllWidths)
+{
+    for (std::uint64_t v = 0; v < 300; ++v) {
+        const auto t = tokenize(v);
+        EXPECT_EQ(detokenize(t.token, t.extra), v) << v;
+    }
+    const auto wide = tokenize(131'071); // 17 bits
+    EXPECT_EQ(wide.token, 17u);
+    EXPECT_EQ(detokenize(wide.token, wide.extra), 131'071u);
+}
+
+TEST(MarkovModel, FrequenciesAdaptAndRescale)
+{
+    MarkovModel model(4, /*order1=*/false);
+    const auto before = model.frequency(2);
+    for (int i = 0; i < 100; ++i)
+        model.update(2);
+    EXPECT_GT(model.frequency(2), before);
+    // Drive past the rescale threshold.
+    for (int i = 0; i < 5'000; ++i)
+        model.update(2);
+    EXPECT_LT(model.total(), 1u << 16);
+    EXPECT_GE(model.frequency(0), 1u);
+}
+
+TEST(MarkovModel, FindInvertsCumulative)
+{
+    MarkovModel model(8, true);
+    for (int i = 0; i < 200; ++i)
+        model.update(static_cast<unsigned>(i % 3));
+    for (unsigned s = 0; s < 8; ++s) {
+        const auto cum = model.cumulative(s);
+        EXPECT_EQ(model.find(cum), s);
+    }
+}
+
+TEST(RangeCoder, RoundTripSkewedStream)
+{
+    Rng rng(3);
+    std::vector<unsigned> symbols;
+    unsigned current = 2;
+    for (int i = 0; i < 30'000; ++i) {
+        if (rng.chance(0.2))
+            current = static_cast<unsigned>(rng.below(20));
+        symbols.push_back(current);
+    }
+    MarkovModel encode_model(20), decode_model(20);
+    RangeEncoder encoder;
+    for (unsigned s : symbols)
+        encoder.encode(encode_model, s);
+    const auto bytes = encoder.finish();
+
+    RangeDecoder decoder(bytes);
+    for (std::size_t i = 0; i < symbols.size(); ++i)
+        ASSERT_EQ(decoder.decode(decode_model), symbols[i])
+            << "at " << i;
+
+    // Entropy coding: a sticky stream codes well below 8 bits/symbol.
+    EXPECT_LT(bytes.size() * 8, symbols.size() * 3);
+}
+
+TEST(RangeCoder, RoundTripUniformStream)
+{
+    Rng rng(7);
+    std::vector<unsigned> symbols;
+    for (int i = 0; i < 5'000; ++i)
+        symbols.push_back(static_cast<unsigned>(rng.below(20)));
+    MarkovModel em(20), dm(20);
+    RangeEncoder encoder;
+    for (unsigned s : symbols)
+        encoder.encode(em, s);
+    const auto bytes = encoder.finish();
+    RangeDecoder decoder(bytes);
+    for (std::size_t i = 0; i < symbols.size(); ++i)
+        ASSERT_EQ(decoder.decode(dm), symbols[i]);
+}
+
+TEST(NeuralStream, LosslessRoundTrip)
+{
+    const auto samples = neuralTrace(30'000, 11);
+    const auto packed = neuralStreamCompress(samples);
+    EXPECT_EQ(neuralStreamDecompress(packed, samples.size()),
+              samples);
+    // Compression on 16-bit neural data.
+    EXPECT_LT(packed.size(), samples.size() * 2 * 3 / 4);
+}
+
+TEST(NeuralStream, BeatsPlainLicOnStructuredData)
+{
+    const auto samples = neuralTrace(20'000, 13);
+    const auto stream = neuralStreamCompress(samples);
+    const auto lic = licCompress(samples);
+    // The MA+RC entropy stage should not lose to gamma coding.
+    EXPECT_LE(stream.size(), lic.size() + lic.size() / 10);
+}
+
+} // namespace
+} // namespace scalo::compress
+
+namespace scalo {
+namespace {
+
+TEST(Aes, Fips197KnownAnswer)
+{
+    // FIPS-197 Appendix B.
+    const Aes128::Key key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                          0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                          0x4f, 0x3c};
+    const Aes128::Block plaintext{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a,
+                                  0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2,
+                                  0xe0, 0x37, 0x07, 0x34};
+    const Aes128::Block expected{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                 0x19, 0x6a, 0x0b, 0x32};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(plaintext), expected);
+}
+
+TEST(Aes, CtrIsItsOwnInverse)
+{
+    const Aes128::Key key{1, 2, 3, 4, 5, 6, 7, 8,
+                          9, 10, 11, 12, 13, 14, 15, 16};
+    Aes128 aes(key);
+    Rng rng(5);
+    std::vector<std::uint8_t> data(1'000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const Aes128::Block nonce{0xde, 0xad, 0xbe, 0xef};
+    const auto encrypted = aes.ctrCrypt(data, nonce);
+    EXPECT_NE(encrypted, data);
+    EXPECT_EQ(aes.ctrCrypt(encrypted, nonce), data);
+}
+
+TEST(Aes, DistinctNoncesDistinctStreams)
+{
+    const Aes128::Key key{};
+    Aes128 aes(key);
+    const std::vector<std::uint8_t> zeros(64, 0);
+    const auto a = aes.ctrCrypt(zeros, {0});
+    const auto b = aes.ctrCrypt(zeros, {1});
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace scalo

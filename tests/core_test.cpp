@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for scalo::core: the ScaloSystem facade - construction,
+ * thermal checks, deployment, programming interface and query paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/core/system.hpp"
+
+namespace scalo::core {
+namespace {
+
+TEST(ScaloSystem, DefaultConfigurationIsSafe)
+{
+    ScaloSystem system({});
+    EXPECT_TRUE(system.thermallySafe());
+    EXPECT_EQ(system.maxPlaceableImplants(), 60u);
+    EXPECT_NE(system.describe().find("safe"), std::string::npos);
+}
+
+TEST(ScaloSystem, RejectsUnsafePower)
+{
+    ScaloConfig config;
+    config.powerCapMw = 30.0;
+    EXPECT_THROW(ScaloSystem{config}, std::runtime_error);
+}
+
+TEST(ScaloSystem, TightSpacingDetectedAsUnsafe)
+{
+    ScaloConfig config;
+    config.nodes = 11;
+    config.spacingMm = 5.0;
+    ScaloSystem system(config);
+    EXPECT_FALSE(system.thermallySafe());
+}
+
+TEST(ScaloSystem, DeploysSeizurePropagation)
+{
+    ScaloConfig config;
+    config.nodes = 6;
+    ScaloSystem system(config);
+    const auto schedule = system.deploy(
+        {sched::seizureDetectionFlow(),
+         sched::hashSimilarityFlow(net::Pattern::AllToAll)},
+        {3.0, 1.0});
+    ASSERT_TRUE(schedule.feasible) << schedule.reason;
+    EXPECT_EQ(schedule.flows.size(), 2u);
+    for (double mw : schedule.nodePowerMw)
+        EXPECT_LE(mw, config.powerCapMw * 1.005);
+    // Deployment mode caps electrodes at the physical array size.
+    for (const auto &flow : schedule.flows)
+        for (double e : flow.electrodesPerNode)
+            EXPECT_LE(e, 96.0 + 1e-6);
+}
+
+TEST(ScaloSystem, ThroughputGrowsWithNodes)
+{
+    ScaloConfig small_config;
+    small_config.nodes = 2;
+    ScaloConfig large_config;
+    large_config.nodes = 8;
+    const double small = ScaloSystem(small_config)
+                             .maxThroughputMbps(
+                                 sched::spikeSortingFlow());
+    const double large = ScaloSystem(large_config)
+                             .maxThroughputMbps(
+                                 sched::spikeSortingFlow());
+    EXPECT_NEAR(large / small, 4.0, 0.1);
+}
+
+TEST(ScaloSystem, RadioSelectionTakesEffect)
+{
+    ScaloConfig config;
+    config.radio = net::RadioDesign::HighPerf;
+    ScaloSystem system(config);
+    EXPECT_DOUBLE_EQ(system.radio().dataRateMbps, 14.0);
+}
+
+TEST(ScaloSystem, CompilesAndValidatesPrograms)
+{
+    ScaloSystem system({});
+    const auto pipeline = system.program(
+        "stream.window(wsize=50ms).sbp().kf().call_runtime()");
+    EXPECT_TRUE(pipeline.callsRuntime);
+    EXPECT_DOUBLE_EQ(pipeline.windowMs, 50.0);
+    EXPECT_THROW(system.program("stream.nonsense()"),
+                 std::runtime_error);
+}
+
+TEST(ScaloSystem, InteractiveQueryMatchesAppModel)
+{
+    ScaloConfig config;
+    config.nodes = 11;
+    ScaloSystem system(config);
+    const auto cost = system.interactiveQuery(
+        app::QueryKind::Q1SeizureWindows, 7.0, 0.05);
+    EXPECT_NEAR(cost.queriesPerSecond, 9.0, 1.5);
+}
+
+} // namespace
+} // namespace scalo::core

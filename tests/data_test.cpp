@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for scalo::data: the synthetic iEEG generator (statistical
+ * structure the experiments rely on: annotated, propagating,
+ * cross-site-correlated seizures over uncorrelated background) and the
+ * MEArec-style spike generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/data/ieeg_synth.hpp"
+#include "scalo/data/spike_synth.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/signal/window.hpp"
+
+namespace scalo::data {
+namespace {
+
+IeegConfig
+smallIeeg()
+{
+    IeegConfig config;
+    config.nodes = 3;
+    config.electrodesPerNode = 4;
+    config.durationSec = 4.0;
+    config.seizuresPerMinute = 30.0; // two seizures in 4 s
+    config.seizureDurationSec = 0.8;
+    return config;
+}
+
+TEST(IeegSynth, ShapeMatchesConfig)
+{
+    const auto dataset = generateIeeg(smallIeeg());
+    EXPECT_EQ(dataset.traces().size(), 3u);
+    EXPECT_EQ(dataset.traces()[0].size(), 4u);
+    EXPECT_EQ(dataset.sampleCount(),
+              static_cast<std::size_t>(4.0 * 30'000.0));
+    EXPECT_EQ(dataset.seizures().size(), 2u);
+}
+
+TEST(IeegSynth, DeterministicPerSeed)
+{
+    const auto a = generateIeeg(smallIeeg());
+    const auto b = generateIeeg(smallIeeg());
+    EXPECT_EQ(a.traces()[1][2], b.traces()[1][2]);
+}
+
+TEST(IeegSynth, SeizureWindowsHaveHigherAmplitude)
+{
+    const auto dataset = generateIeeg(smallIeeg());
+    const auto &event = dataset.seizures().front();
+    const auto node = event.originNode;
+    const double fs = dataset.config().sampleRateHz;
+
+    auto rms_at = [&](double t_sec) {
+        const auto start = static_cast<std::size_t>(t_sec * fs);
+        const auto &trace = dataset.traces()[node][0];
+        std::vector<double> window(
+            trace.begin() + static_cast<long>(start),
+            trace.begin() + static_cast<long>(start + 1'200));
+        return signal::rms(window);
+    };
+
+    const double during = rms_at(event.onsetSec + 0.3);
+    const double before = rms_at(event.onsetSec - 0.3);
+    EXPECT_GT(during, 3.0 * before);
+}
+
+TEST(IeegSynth, GroundTruthAccountsForLag)
+{
+    const auto dataset = generateIeeg(smallIeeg());
+    const auto &event = dataset.seizures().front();
+    const NodeId origin = event.originNode;
+    const NodeId other = (origin + 1) % 3;
+    const double probe = event.onsetSec + 0.01;
+    EXPECT_TRUE(dataset.inSeizure(origin, probe));
+    // The next site's onset lags by the propagation delay.
+    EXPECT_FALSE(dataset.inSeizure(other, probe));
+    EXPECT_TRUE(dataset.inSeizure(
+        other, probe + dataset.config().propagationLagSec));
+}
+
+TEST(IeegSynth, CrossSiteCorrelationOnlyDuringSeizure)
+{
+    auto config = smallIeeg();
+    config.propagationLagSec = 0.0; // align sites for this check
+    const auto dataset = generateIeeg(config);
+    const auto &event = dataset.seizures().front();
+    const double fs = config.sampleRateHz;
+
+    auto window_of = [&](NodeId node, double t_sec) {
+        const auto start = static_cast<std::size_t>(t_sec * fs);
+        const auto &trace = dataset.traces()[node][0];
+        std::vector<double> window(
+            trace.begin() + static_cast<long>(start),
+            trace.begin() + static_cast<long>(start + 3'000));
+        signal::removeMean(window);
+        return window;
+    };
+
+    const double corr_seizure = signal::pearson(
+        window_of(0, event.onsetSec + 0.3),
+        window_of(1, event.onsetSec + 0.3));
+    const double corr_background = signal::pearson(
+        window_of(0, event.onsetSec - 0.35),
+        window_of(1, event.onsetSec - 0.35));
+    EXPECT_GT(std::abs(corr_seizure), 0.6);
+    EXPECT_LT(std::abs(corr_background), 0.3);
+}
+
+TEST(SpikeSynth, GroundTruthSortedAndInRange)
+{
+    SpikeConfig config;
+    config.durationSec = 2.0;
+    const auto dataset = generateSpikes(config);
+    EXPECT_FALSE(dataset.events.empty());
+    for (std::size_t i = 1; i < dataset.events.size(); ++i)
+        EXPECT_LE(dataset.events[i - 1].sampleIndex,
+                  dataset.events[i].sampleIndex);
+    for (const auto &event : dataset.events) {
+        EXPECT_LT(event.sampleIndex, dataset.trace.size());
+        EXPECT_GE(event.neuron, 0);
+        EXPECT_LT(event.neuron, config.neurons);
+    }
+}
+
+TEST(SpikeSynth, FiringRateApproximatelyPoisson)
+{
+    SpikeConfig config;
+    config.durationSec = 10.0;
+    config.neurons = 5;
+    config.firingRateHz = 15.0;
+    const auto dataset = generateSpikes(config);
+    const double expected =
+        config.neurons * config.firingRateHz * config.durationSec;
+    EXPECT_NEAR(static_cast<double>(dataset.events.size()), expected,
+                0.2 * expected);
+}
+
+TEST(SpikeSynth, TemplatesAreDistinct)
+{
+    SpikeConfig config;
+    const auto dataset = generateSpikes(config);
+    ASSERT_EQ(dataset.templates.size(),
+              static_cast<std::size_t>(config.neurons));
+    // Every pair of templates differs substantially in L2.
+    for (std::size_t a = 0; a < dataset.templates.size(); ++a) {
+        for (std::size_t b = a + 1; b < dataset.templates.size();
+             ++b) {
+            EXPECT_GT(signal::euclideanDistance(dataset.templates[a],
+                                                dataset.templates[b]),
+                      0.15)
+                << a << " vs " << b;
+        }
+    }
+}
+
+TEST(SpikeSynth, TemplateIsBiphasic)
+{
+    const auto tmpl = makeTemplate(0, 48, 1);
+    const double trough = *std::min_element(tmpl.begin(), tmpl.end());
+    const double hump = *std::max_element(tmpl.begin(), tmpl.end());
+    EXPECT_LT(trough, -0.8);
+    EXPECT_GT(hump, 0.1);
+}
+
+TEST(SpikeSynth, WaveformAtRecoversTemplateShape)
+{
+    SpikeConfig config;
+    config.noiseStd = 0.01;
+    config.durationSec = 2.0;
+    config.firingRateHz = 4.0; // sparse: minimal overlap
+    const auto dataset = generateSpikes(config);
+    ASSERT_FALSE(dataset.events.empty());
+
+    // Find an isolated event and compare with its template.
+    for (const auto &event : dataset.events) {
+        bool isolated = true;
+        for (const auto &other : dataset.events) {
+            if (&other == &event)
+                continue;
+            const long gap =
+                std::abs(static_cast<long>(other.sampleIndex) -
+                         static_cast<long>(event.sampleIndex));
+            if (gap < 2 * static_cast<long>(config.waveformSamples))
+                isolated = false;
+        }
+        if (!isolated)
+            continue;
+        const auto waveform = dataset.waveformAt(event);
+        const auto &tmpl =
+            dataset.templates[static_cast<std::size_t>(event.neuron)];
+        EXPECT_GT(signal::pearson(waveform, tmpl), 0.9);
+        return;
+    }
+    GTEST_SKIP() << "no isolated spike found";
+}
+
+TEST(SpikeSynth, DriftReducesLateAmplitudes)
+{
+    SpikeConfig config;
+    config.durationSec = 10.0;
+    config.drift = 0.4;
+    config.noiseStd = 0.01;
+    config.amplitudeJitter = 0.0;
+    const auto dataset = generateSpikes(config);
+
+    auto peak_of = [&](const SpikeEvent &event) {
+        const auto w = dataset.waveformAt(event);
+        double peak = 0.0;
+        for (double v : w)
+            peak = std::max(peak, std::abs(v));
+        return peak;
+    };
+
+    double early = 0.0, late = 0.0;
+    std::size_t early_n = 0, late_n = 0;
+    const std::size_t half = dataset.trace.size() / 2;
+    for (const auto &event : dataset.events) {
+        if (event.sampleIndex < half / 4) {
+            early += peak_of(event);
+            ++early_n;
+        } else if (event.sampleIndex > dataset.trace.size() -
+                                            half / 4) {
+            late += peak_of(event);
+            ++late_n;
+        }
+    }
+    ASSERT_GT(early_n, 0u);
+    ASSERT_GT(late_n, 0u);
+    EXPECT_GT(early / static_cast<double>(early_n),
+              1.15 * late / static_cast<double>(late_n));
+}
+
+} // namespace
+} // namespace scalo::data

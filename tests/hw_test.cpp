@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for scalo::hw: the Table 1 PE catalog, the GALS fabric
+ * power/latency model, the NVM/storage-controller model and the
+ * thermal/placement model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/hw/fabric.hpp"
+#include "scalo/hw/nvm.hpp"
+#include "scalo/hw/pe.hpp"
+#include "scalo/hw/thermal.hpp"
+
+namespace scalo::hw {
+namespace {
+
+TEST(PeCatalog, HasAllThirtyOnePes)
+{
+    EXPECT_EQ(peCatalog().size(),
+              static_cast<std::size_t>(kPeKindCount));
+}
+
+TEST(PeCatalog, Table1SpotChecks)
+{
+    const PeSpec &dtw = peSpec(PeKind::DTW);
+    EXPECT_DOUBLE_EQ(dtw.maxFreqMhz, 50.0);
+    EXPECT_DOUBLE_EQ(dtw.leakageUw, 167.93);
+    EXPECT_DOUBLE_EQ(dtw.sramLeakageUw, 48.50);
+    EXPECT_DOUBLE_EQ(dtw.dynPerElectrodeUw, 26.94);
+    EXPECT_DOUBLE_EQ(*dtw.latencyMs, 0.003);
+    EXPECT_DOUBLE_EQ(dtw.areaKge, 72.0);
+
+    const PeSpec &xcor = peSpec(PeKind::XCOR);
+    EXPECT_DOUBLE_EQ(xcor.dynPerElectrodeUw, 44.11);
+    EXPECT_DOUBLE_EQ(xcor.areaKge, 81.0);
+
+    const PeSpec &sc = peSpec(PeKind::SC);
+    EXPECT_DOUBLE_EQ(*sc.latencyMs, 0.03);
+    ASSERT_TRUE(sc.latencyMaxMs.has_value());
+    EXPECT_DOUBLE_EQ(*sc.latencyMaxMs, 4.0);
+}
+
+TEST(PeCatalog, DataDependentLatenciesAreEmpty)
+{
+    for (auto kind : {PeKind::AES, PeKind::LIC, PeKind::LZ, PeKind::MA,
+                      PeKind::RC}) {
+        EXPECT_FALSE(peSpec(kind).latencyMs.has_value())
+            << peName(kind);
+    }
+}
+
+TEST(PeCatalog, PowerModelIsLinearInElectrodes)
+{
+    const PeSpec &fft = peSpec(PeKind::FFT);
+    const double base = fft.powerUw(0.0);
+    EXPECT_DOUBLE_EQ(base, 141.97 + 85.58);
+    EXPECT_DOUBLE_EQ(fft.powerUw(96.0) - base, 9.02 * 96.0);
+}
+
+TEST(PeCatalog, LookupByName)
+{
+    const PeSpec *svm = findPe("SVM");
+    ASSERT_NE(svm, nullptr);
+    EXPECT_EQ(svm->kind, PeKind::SVM);
+    EXPECT_EQ(findPe("NOPE"), nullptr);
+}
+
+TEST(Fabric, SeizureDetectionPipelinePowerFitsBudget)
+{
+    // FFT + BBF + XCOR + SVM on all 96 electrodes must fit the 15 mW
+    // cap with room for the ADC, NVM and radio (Figure 5's pipeline).
+    Pipeline pipeline("seizure-detect",
+                      {{PeKind::FFT, 96.0, 1},
+                       {PeKind::BBF, 96.0, 1},
+                       {PeKind::XCOR, 96.0, 1},
+                       {PeKind::SVM, 96.0, 1},
+                       {PeKind::THR, 96.0, 1}});
+    EXPECT_LT(pipeline.powerMw(), 8.0);
+    EXPECT_GT(pipeline.powerMw(), 1.0);
+}
+
+TEST(Fabric, LatencySumsStages)
+{
+    Pipeline pipeline("hash",
+                      {{PeKind::HCONV, 96.0, 1},
+                       {PeKind::NGRAM, 96.0, 1}});
+    EXPECT_DOUBLE_EQ(pipeline.latencyMs(), 1.5 + 1.5);
+}
+
+TEST(Fabric, WorstCaseUsesScBusyLatency)
+{
+    Pipeline pipeline("store", {{PeKind::SC, 96.0, 1}});
+    EXPECT_DOUBLE_EQ(pipeline.latencyMs(false), 0.03);
+    EXPECT_DOUBLE_EQ(pipeline.latencyMs(true), 4.0);
+}
+
+TEST(Fabric, ReplicasSplitWorkButPayLeakage)
+{
+    Pipeline one("x1", {{PeKind::BMUL, 96.0, 1}});
+    Pipeline ten("x10", {{PeKind::BMUL, 96.0, 10}});
+    const PeSpec &bmul = peSpec(PeKind::BMUL);
+    // Same dynamic power total, 10x the leakage.
+    EXPECT_NEAR(ten.powerUw() - one.powerUw(),
+                9.0 * bmul.idlePowerUw(), 1e-9);
+}
+
+TEST(Fabric, ScaleElectrodesScalesDynOnly)
+{
+    Pipeline pipeline("p", {{PeKind::DTW, 96.0, 1}});
+    const double full = pipeline.powerUw();
+    pipeline.scaleElectrodes(0.5);
+    const double half = pipeline.powerUw();
+    const PeSpec &dtw = peSpec(PeKind::DTW);
+    EXPECT_NEAR(full - half, dtw.dynPerElectrodeUw * 48.0, 1e-9);
+}
+
+TEST(Fabric, InventoryValidation)
+{
+    NodeFabric fabric;
+    EXPECT_EQ(fabric.available(PeKind::BMUL), 10);
+    EXPECT_EQ(fabric.available(PeKind::FFT), 1);
+
+    Pipeline ok("ok", {{PeKind::BMUL, 96.0, 10}});
+    EXPECT_TRUE(fabric.validate({ok}).empty());
+
+    Pipeline too_many("bad", {{PeKind::FFT, 96.0, 2}});
+    EXPECT_FALSE(fabric.validate({too_many}).empty());
+}
+
+TEST(Fabric, IdlePowerIsSmall)
+{
+    // Total leakage of a full node inventory must leave room under
+    // 15 mW; the GALS design powers unused PEs down to leakage only.
+    NodeFabric fabric;
+    EXPECT_LT(fabric.idlePowerUw() / 1'000.0, 6.0);
+    EXPECT_GT(fabric.areaKge(), 1'000.0);
+}
+
+TEST(Nvm, PaperParameters)
+{
+    const NvmSpec &nvm = nvmSpec();
+    EXPECT_DOUBLE_EQ(nvm.leakageMw, 0.26);
+    EXPECT_DOUBLE_EQ(nvm.readEnergyNjPerPage, 918.809);
+    EXPECT_DOUBLE_EQ(nvm.writeEnergyNjPerPage, 1'374.0);
+    EXPECT_DOUBLE_EQ(nvm.eraseMs, 1.5);
+    EXPECT_DOUBLE_EQ(nvm.programUs, 350.0);
+    EXPECT_EQ(nvm.pageBytes, 4'096u);
+}
+
+TEST(Nvm, WriteBandwidthFromProgramTime)
+{
+    // 4 KB / 350 us = 11.7 MB/s.
+    EXPECT_NEAR(nvmSpec().writeBandwidthMBps(), 11.7, 0.1);
+}
+
+TEST(Nvm, EnergiesScaleWithPages)
+{
+    const NvmSpec &nvm = nvmSpec();
+    EXPECT_NEAR(nvm.readEnergyMj(4'096.0 * 10), 918.809e-6 * 10,
+                1e-9);
+    EXPECT_NEAR(nvm.writeEnergyMj(4'096.0), 1'374e-6, 1e-9);
+}
+
+TEST(StorageController, ReorganisedLayoutTradeoff)
+{
+    StorageController reorganised(true);
+    StorageController raw(false);
+    // Writes 5x slower, reads 10x faster (Section 3.3).
+    EXPECT_DOUBLE_EQ(reorganised.chunkWriteMs(), 1.75);
+    EXPECT_DOUBLE_EQ(raw.chunkWriteMs(), 0.35);
+    EXPECT_DOUBLE_EQ(reorganised.chunkReadMs(), 0.035);
+    EXPECT_DOUBLE_EQ(raw.chunkReadMs(), 0.35);
+}
+
+TEST(StorageController, AppendBuffersUntilPage)
+{
+    StorageController sc;
+    EXPECT_EQ(sc.append(Partition::Signals, 1'000), 0u);
+    EXPECT_EQ(sc.buffered(Partition::Signals), 1'000u);
+    EXPECT_EQ(sc.append(Partition::Signals, 4'000), 1u);
+    EXPECT_EQ(sc.buffered(Partition::Signals), 904u);
+    EXPECT_EQ(sc.persisted(Partition::Signals), 4'096u);
+}
+
+TEST(StorageController, PartitionsAreIndependent)
+{
+    StorageController sc;
+    sc.append(Partition::Signals, 5'000);
+    EXPECT_EQ(sc.buffered(Partition::Hashes), 0u);
+    EXPECT_EQ(sc.persisted(Partition::Hashes), 0u);
+}
+
+TEST(Thermal, FalloffMatchesAnchors)
+{
+    ThermalModel model;
+    EXPECT_NEAR(model.falloffFraction(10.0), 0.05, 0.002);
+    EXPECT_NEAR(model.falloffFraction(20.0), 0.02, 0.002);
+    EXPECT_LE(model.falloffFraction(0.5), 1.0);
+}
+
+TEST(Thermal, CouplingNegligibleAtDefaultSpacing)
+{
+    ThermalModel model;
+    EXPECT_TRUE(model.safe(11, constants::kImplantSpacingMm,
+                           constants::kPowerCapMw));
+    EXPECT_TRUE(model.safe(60, constants::kImplantSpacingMm,
+                           constants::kPowerCapMw));
+}
+
+TEST(Thermal, TightSpacingUnsafe)
+{
+    ThermalModel model;
+    EXPECT_FALSE(model.safe(11, 5.0, constants::kPowerCapMw));
+}
+
+TEST(Thermal, SixtyImplantsAtTwentyMm)
+{
+    EXPECT_EQ(ThermalModel::maxImplants(20.0), 60u);
+    EXPECT_GT(ThermalModel::maxImplants(10.0), 60u);
+    EXPECT_LT(ThermalModel::maxImplants(40.0), 60u);
+}
+
+TEST(Thermal, DeltaScalesWithPower)
+{
+    ThermalModel model;
+    EXPECT_NEAR(model.deltaAtC(10.0, 7.5),
+                0.5 * model.deltaAtC(10.0, 15.0), 1e-12);
+}
+
+TEST(Mc, SpecSanity)
+{
+    const McSpec &mc = mcSpec();
+    EXPECT_DOUBLE_EQ(mc.freqMhz, 20.0);
+    EXPECT_DOUBLE_EQ(mc.sramKb, 8.0);
+    EXPECT_GE(mc.softwareSlowdown, 10.0);
+}
+
+} // namespace
+} // namespace scalo::hw

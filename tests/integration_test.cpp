@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cross-module integration tests: the full stack driven end to end -
+ * synthetic data through detection, deployment, distributed
+ * propagation, storage + interactive queries, the programming
+ * toolchain down to the MC runtime, clock synchronisation and the
+ * daily charging plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/app/query_engine.hpp"
+#include "scalo/signal/window.hpp"
+#include "scalo/core/system.hpp"
+#include "scalo/hw/charging.hpp"
+#include "scalo/query/codegen.hpp"
+#include "scalo/sim/propagation_timing.hpp"
+#include "scalo/sim/sntp.hpp"
+
+namespace scalo {
+namespace {
+
+TEST(Integration, DetectStoreQueryPipeline)
+{
+    // Generate an annotated 3-site recording, run the detector over
+    // it, ingest every window (with the detector's own flags) into
+    // the query engine, and verify a clinician's Q1 retrieves the
+    // seizure segment.
+    data::IeegConfig config;
+    config.nodes = 3;
+    config.electrodesPerNode = 4;
+    config.durationSec = 4.0;
+    config.seizuresPerMinute = 30.0;
+    config.seizureDurationSec = 0.8;
+    const auto dataset = data::generateIeeg(config);
+    const auto detector = app::SeizureDetector::train(dataset, 3'000);
+
+    app::QueryEngine engine(config.nodes, 3'000, 7);
+    const double fs = config.sampleRateHz;
+    const std::size_t window = 3'000;
+    for (NodeId node = 0; node < config.nodes; ++node) {
+        const auto &traces = dataset.traces()[node];
+        for (std::size_t start = 0;
+             start + window <= traces[0].size(); start += window) {
+            std::vector<Window> windows;
+            for (const auto &trace : traces)
+                windows.emplace_back(
+                    trace.begin() + static_cast<long>(start),
+                    trace.begin() +
+                        static_cast<long>(start + window));
+            const bool flagged = detector.detect(windows, fs);
+            engine.ingest(node,
+                          static_cast<std::uint64_t>(
+                              start / fs * 1e6),
+                          0, signal::toReal(windows[0]), flagged);
+        }
+    }
+
+    const auto q1 = engine.q1SeizureWindows(0, 4'000'000);
+    EXPECT_GT(q1.matches.size(), 5u)
+        << "the seizure segments must be retrievable";
+    EXPECT_LT(q1.matchedFraction(), 0.5)
+        << "most windows are background";
+    // Every returned window overlaps a ground-truth episode.
+    std::size_t in_truth = 0;
+    for (const app::StoredWindow *stored : q1.matches) {
+        const double mid_sec =
+            static_cast<double>(stored->timestampUs) / 1e6 +
+            window / fs / 2.0;
+        for (NodeId node = 0; node < config.nodes; ++node)
+            if (dataset.inSeizure(node, mid_sec)) {
+                ++in_truth;
+                break;
+            }
+    }
+    EXPECT_GE(in_truth, q1.matches.size() * 8 / 10);
+}
+
+TEST(Integration, DeployProgramAndLoadRuntime)
+{
+    // A deployment plus the full Section 3.7 toolchain: language ->
+    // DAG -> MC program -> runtime, validated against the fabric.
+    core::ScaloConfig config;
+    config.nodes = 4;
+    core::ScaloSystem system(config);
+    ASSERT_TRUE(system.thermallySafe());
+
+    const auto schedule = system.deploy(
+        {sched::seizureDetectionFlow(),
+         sched::hashSimilarityFlow(net::Pattern::AllToAll)},
+        {3.0, 1.0});
+    ASSERT_TRUE(schedule.feasible) << schedule.reason;
+
+    const auto pipeline = system.program(
+        "stream.window(wsize=4ms).seizure_detect().propagate()"
+        ".store()");
+    const auto electrodes =
+        schedule.flows[0].electrodesPerNode.front();
+    const auto program =
+        query::generateProgram(pipeline, electrodes);
+
+    query::Runtime runtime(system.fabric());
+    const auto error = runtime.load(program);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(runtime.running());
+    const auto chain = runtime.switches().traceFromAdc();
+    EXPECT_GE(chain.size(), 10u)
+        << "detection + propagation spans many PEs";
+}
+
+TEST(Integration, MaintenanceBudgetsHold)
+{
+    // The daily maintenance story: clocks synchronise to a few us
+    // within a fraction of a second of network time, and a full
+    // 15 mW day closes with ~2 h of charging.
+    Rng rng(9);
+    std::vector<sim::NodeClock> clocks;
+    clocks.emplace_back();
+    for (int i = 0; i < 10; ++i)
+        clocks.emplace_back(rng.uniform(-20'000.0, 20'000.0),
+                            rng.uniform(-1.0, 1.0));
+    const auto sync = sim::synchronizeClocks(clocks);
+    EXPECT_TRUE(sync.converged);
+    EXPECT_LT(sync.networkBusyMs, 500.0)
+        << "synchronisation must not monopolise the network";
+
+    const auto plan = hw::planDailyCycle(constants::kPowerCapMw);
+    EXPECT_TRUE(plan.sustainsFullDay);
+    EXPECT_NEAR(plan.chargingHours, 2.0, 0.7)
+        << "the paper's ~2 h charging point";
+    EXPECT_GT(plan.availability, 0.85);
+}
+
+TEST(Integration, ResponsePathHoldsUnderDeployment)
+{
+    // The timed propagation path at the deployed node count and the
+    // default radio stays inside the 10 ms clinical budget.
+    sim::PropagationTimingConfig config;
+    config.nodes = 11;
+    config.episodes = 400;
+    const auto timing = sim::simulatePropagationTiming(config);
+    EXPECT_LE(timing.maxTotalMs, 10.0);
+}
+
+TEST(Integration, ChargingPlansScaleWithLoad)
+{
+    const auto light = hw::planDailyCycle(6.0);
+    const auto heavy = hw::planDailyCycle(15.0);
+    EXPECT_GE(light.availability, heavy.availability);
+    EXPECT_TRUE(light.sustainsFullDay);
+    // Capacity sizing helper is consistent with the plan.
+    EXPECT_NEAR(hw::requiredCapacityMwh(15.0, 21.0),
+                15.0 * 21.0 / 0.9, 1e-9);
+}
+
+} // namespace
+} // namespace scalo

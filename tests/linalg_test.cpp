@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for scalo::linalg: matrix algebra, the LIN ALG PE
+ * operations (MAD/ADD/SUB/MUL/INV) and the fused ReLU/normalisation
+ * output stages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/linalg/matrix.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::linalg {
+namespace {
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m.at(r, c) = rng.uniform(-2.0, 2.0);
+    return m;
+}
+
+TEST(Matrix, InitializerListShape)
+{
+    Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerPanics)
+{
+    auto make = [] { Matrix m{{1.0, 2.0}, {3.0}}; };
+    EXPECT_THROW(make(), std::logic_error);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(2);
+    const Matrix m = randomMatrix(3, 5, rng);
+    EXPECT_EQ(Matrix::maxAbsDiff(m.transposed().transposed(), m), 0.0);
+}
+
+TEST(Matrix, OutOfRangeAccessPanics)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), std::logic_error);
+}
+
+TEST(LinAlgPe, AddSubRoundTrip)
+{
+    Rng rng(4);
+    const Matrix a = randomMatrix(4, 4, rng);
+    const Matrix b = randomMatrix(4, 4, rng);
+    const Matrix sum = add(a, b);
+    EXPECT_LT(Matrix::maxAbsDiff(sub(sum, b), a), 1e-12);
+}
+
+TEST(LinAlgPe, MulAgainstHandComputation)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    Matrix expected{{19.0, 22.0}, {43.0, 50.0}};
+    EXPECT_LT(Matrix::maxAbsDiff(mul(a, b), expected), 1e-12);
+}
+
+TEST(LinAlgPe, MulShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(mul(a, b), std::logic_error);
+}
+
+TEST(LinAlgPe, MadIsMulPlusConstant)
+{
+    Rng rng(6);
+    const Matrix a = randomMatrix(3, 4, rng);
+    const Matrix b = randomMatrix(4, 2, rng);
+    const Matrix c = randomMatrix(3, 2, rng);
+    const Matrix expected = add(mul(a, b), c);
+    EXPECT_LT(Matrix::maxAbsDiff(mad(a, b, c), expected), 1e-12);
+}
+
+TEST(LinAlgPe, ReluStageSuppressesNegatives)
+{
+    Matrix a{{-1.0, 2.0}};
+    Matrix zero(1, 2);
+    OutputStage stage;
+    stage.relu = true;
+    const Matrix out = add(a, zero, stage);
+    EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 2.0);
+}
+
+TEST(LinAlgPe, NormalizeStageStandardises)
+{
+    Matrix a{{10.0, 20.0}};
+    Matrix zero(1, 2);
+    OutputStage stage;
+    stage.normalize = true;
+    stage.mean = 15.0;
+    stage.stddev = 5.0;
+    const Matrix out = add(a, zero, stage);
+    EXPECT_DOUBLE_EQ(out(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 1.0);
+}
+
+TEST(LinAlgPe, NormalizeThenRelu)
+{
+    // The PE applies normalisation before ReLU, so standardised
+    // negatives are clipped.
+    Matrix a{{10.0, 20.0}};
+    Matrix zero(1, 2);
+    OutputStage stage;
+    stage.normalize = true;
+    stage.relu = true;
+    stage.mean = 15.0;
+    stage.stddev = 5.0;
+    const Matrix out = add(a, zero, stage);
+    EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 1.0);
+}
+
+TEST(LinAlgPe, InverseOfIdentityIsIdentity)
+{
+    const Matrix eye = Matrix::identity(5);
+    EXPECT_LT(Matrix::maxAbsDiff(inverse(eye), eye), 1e-12);
+}
+
+TEST(LinAlgPe, InverseTimesOriginalIsIdentity)
+{
+    Rng rng(8);
+    for (int trial = 0; trial < 10; ++trial) {
+        Matrix m = randomMatrix(6, 6, rng);
+        // Diagonal dominance guarantees invertibility.
+        for (std::size_t i = 0; i < 6; ++i)
+            m.at(i, i) += 10.0;
+        const Matrix product = mul(m, inverse(m));
+        EXPECT_LT(Matrix::maxAbsDiff(product, Matrix::identity(6)),
+                  1e-9);
+    }
+}
+
+TEST(LinAlgPe, SingularMatrixIsFatal)
+{
+    Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(inverse(singular), std::runtime_error);
+}
+
+TEST(LinAlgPe, InverseNeedsPivoting)
+{
+    // Zero on the diagonal forces a row swap.
+    Matrix m{{0.0, 1.0}, {1.0, 0.0}};
+    EXPECT_LT(Matrix::maxAbsDiff(inverse(m), m), 1e-12);
+}
+
+TEST(Matrix, ColumnVectorAndFlatten)
+{
+    const Matrix v = Matrix::columnVector({1.0, 2.0, 3.0});
+    EXPECT_EQ(v.rows(), 3u);
+    EXPECT_EQ(v.cols(), 1u);
+    EXPECT_EQ(v.flatten(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+} // namespace
+} // namespace scalo::linalg

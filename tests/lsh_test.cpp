@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for scalo::lsh: signature band matching, SSH pipeline
+ * stages, EMD hashing, the LSH property (similar signals collide far
+ * more often than dissimilar ones), and the CCHECK collision checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/lsh/collision.hpp"
+#include "scalo/lsh/emd_hash.hpp"
+#include "scalo/lsh/hasher.hpp"
+#include "scalo/lsh/signature.hpp"
+#include "scalo/lsh/ssh.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::lsh {
+namespace {
+
+std::vector<double>
+sine(double freq, std::size_t n, double phase = 0.0)
+{
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] =
+            std::sin(2.0 * M_PI * freq * static_cast<double>(i) / 1000.0 +
+                     phase);
+    return out;
+}
+
+std::vector<double>
+noisyCopy(const std::vector<double> &x, double sigma, Rng &rng)
+{
+    auto y = x;
+    for (auto &v : y)
+        v += rng.gaussian(0.0, sigma);
+    return y;
+}
+
+TEST(Signature, ExactEqualityMatches)
+{
+    Signature a(0x1234, 2, 8);
+    Signature b(0x1234, 2, 8);
+    EXPECT_TRUE(a.matches(b));
+}
+
+TEST(Signature, AnyBandMatchSuffices)
+{
+    // Band 0 differs, band 1 (0x12) agrees.
+    Signature a(0x1234, 2, 8);
+    Signature b(0x1299, 2, 8);
+    EXPECT_TRUE(a.matches(b));
+    EXPECT_TRUE(b.matches(a));
+}
+
+TEST(Signature, NoBandMatchFails)
+{
+    Signature a(0x1234, 2, 8);
+    Signature b(0x5678, 2, 8);
+    EXPECT_FALSE(a.matches(b));
+}
+
+TEST(Signature, ShapeMismatchNeverMatches)
+{
+    Signature a(0x12, 1, 8);
+    Signature b(0x12, 2, 4);
+    EXPECT_FALSE(a.matches(b));
+}
+
+TEST(Signature, BandExtraction)
+{
+    Signature s(0xab12, 2, 8);
+    EXPECT_EQ(s.band(0), 0x12u);
+    EXPECT_EQ(s.band(1), 0xabu);
+    const auto bytes = s.bandBytes();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], 0x12);
+    EXPECT_EQ(bytes[1], 0xab);
+    EXPECT_EQ(s.sizeBytes(), 2u);
+}
+
+TEST(Signature, TooWidePanics)
+{
+    EXPECT_THROW(Signature(0, 9, 8), std::logic_error);
+}
+
+TEST(Ssh, SketchIsDeterministic)
+{
+    SshHasher hasher({});
+    const auto x = sine(25.0, 120);
+    EXPECT_EQ(hasher.sketch(x), hasher.sketch(x));
+}
+
+TEST(Ssh, SketchLengthMatchesStride)
+{
+    SshParams params;
+    params.windowSize = 16;
+    params.stride = 4;
+    SshHasher hasher(params);
+    const auto bits = hasher.sketch(sine(25.0, 120));
+    EXPECT_EQ(bits.size(), (120u - 16u) / 4u + 1u);
+}
+
+TEST(Ssh, ShinglesCountPatterns)
+{
+    SshParams params;
+    params.ngramSize = 2;
+    SshHasher hasher(params);
+    // Sketch bits 1,0,1,0 -> 2-grams: 10, 01, 10.
+    const std::vector<std::uint8_t> bits{1, 0, 1, 0};
+    const auto shingles = hasher.shingles(bits);
+    ASSERT_EQ(shingles.size(), 2u);
+    EXPECT_EQ(shingles[0].first, 0b01u);
+    EXPECT_EQ(shingles[0].second, 1u);
+    EXPECT_EQ(shingles[1].first, 0b10u);
+    EXPECT_EQ(shingles[1].second, 2u);
+}
+
+TEST(Ssh, ShingleCountsAreCapped)
+{
+    SshParams params;
+    params.ngramSize = 1;
+    params.maxShingleCount = 3;
+    SshHasher hasher(params);
+    const std::vector<std::uint8_t> bits(32, 1);
+    const auto shingles = hasher.shingles(bits);
+    ASSERT_EQ(shingles.size(), 1u);
+    EXPECT_EQ(shingles[0].second, 3u);
+}
+
+TEST(Ssh, LshPropertyHolds)
+{
+    // Similar signals must collide far more often than dissimilar ones.
+    Rng rng(77);
+    int similar_hits = 0, dissimilar_hits = 0;
+    const int trials = 200;
+    SshParams params;
+    SshHasher hasher(params);
+    for (int t = 0; t < trials; ++t) {
+        const auto base = noisyCopy(sine(25.0, 120), 0.3, rng);
+        const auto similar = noisyCopy(base, 0.05, rng);
+        std::vector<double> random(120);
+        for (auto &v : random)
+            v = rng.gaussian();
+        const auto h = hasher.signature(base);
+        similar_hits += h.matches(hasher.signature(similar));
+        dissimilar_hits += h.matches(hasher.signature(random));
+    }
+    EXPECT_GT(similar_hits, trials * 3 / 4);
+    EXPECT_LT(dissimilar_hits, trials / 4);
+}
+
+TEST(Ssh, InvalidParamsPanic)
+{
+    SshParams params;
+    params.stride = 0;
+    EXPECT_THROW(SshHasher{params}, std::logic_error);
+
+    SshParams bad_rows;
+    bad_rows.bandBits = 8;
+    bad_rows.rowsPerBand = 3;
+    EXPECT_THROW(SshHasher{bad_rows}, std::logic_error);
+}
+
+TEST(EmdHash, DeterministicAndShaped)
+{
+    EmdHashParams params;
+    EmdHasher hasher(params, 120);
+    const auto x = sine(10.0, 120);
+    const auto a = hasher.signature(x);
+    const auto b = hasher.signature(x);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.bandCount(), params.bands);
+}
+
+TEST(EmdHash, SimilarMassCollides)
+{
+    Rng rng(5);
+    EmdHashParams params;
+    params.bucketWidth = 8.0;
+    EmdHasher hasher(params, 120);
+    int similar_hits = 0, dissimilar_hits = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        const auto base = noisyCopy(sine(12.0, 120), 0.2, rng);
+        const auto similar = noisyCopy(base, 0.02, rng);
+        auto scaled = base;
+        for (auto &v : scaled)
+            v = v * 6.0 + 3.0;
+        similar_hits += hasher.signature(base).matches(
+            hasher.signature(similar));
+        dissimilar_hits += hasher.signature(base).matches(
+            hasher.signature(scaled));
+    }
+    EXPECT_GT(similar_hits, trials * 3 / 4);
+    EXPECT_LT(dissimilar_hits, trials / 2);
+}
+
+TEST(WindowHasher, MeasureDefaultsDiffer)
+{
+    const auto euclid = WindowHasher::defaultSshParams(
+        signal::Measure::Euclidean, 120, 1);
+    const auto xcor =
+        WindowHasher::defaultSshParams(signal::Measure::Xcor, 120, 1);
+    EXPECT_LT(euclid.windowSize, xcor.windowSize);
+}
+
+TEST(WindowHasher, AllMeasuresProduceSignatures)
+{
+    const auto x = sine(20.0, 120);
+    for (auto m : {signal::Measure::Euclidean, signal::Measure::Dtw,
+                   signal::Measure::Xcor, signal::Measure::Emd}) {
+        WindowHasher hasher(m, 120);
+        const auto sig = hasher.hash(x);
+        EXPECT_GE(sig.bandCount(), 1u) << signal::measureName(m);
+        EXPECT_LE(hasher.signatureBytes(), 2u) << signal::measureName(m);
+    }
+}
+
+TEST(CollisionChecker, FindsStoredMatch)
+{
+    CollisionChecker checker(100'000);
+    Signature sig(0xbeef, 2, 8);
+    checker.store({50'000, 3, sig});
+    const auto matches = checker.check({sig}, 60'000);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].receivedIndex, 0u);
+    EXPECT_EQ(matches[0].local.electrode, 3u);
+}
+
+TEST(CollisionChecker, RespectsLookbackHorizon)
+{
+    CollisionChecker checker(100'000);
+    Signature sig(0xbeef, 2, 8);
+    checker.store({10'000, 1, sig});
+    // now=200ms: the record at 10ms is older than the 100ms horizon.
+    EXPECT_TRUE(checker.check({sig}, 200'000).empty());
+    // now=100ms: still inside.
+    EXPECT_EQ(checker.check({sig}, 100'000).size(), 1u);
+}
+
+TEST(CollisionChecker, ExpireDropsOldRecords)
+{
+    CollisionChecker checker(1'000);
+    checker.store({0, 0, Signature(0x1, 1, 8)});
+    checker.store({5'000, 0, Signature(0x2, 1, 8)});
+    // Horizon at 5500 - 1000 = 4500: the record at t=0 ages out, the
+    // one at t=5000 survives.
+    checker.expire(5'500);
+    EXPECT_EQ(checker.size(), 1u);
+    checker.expire(10'000);
+    EXPECT_EQ(checker.size(), 0u);
+}
+
+TEST(CollisionChecker, MatchesOnlySharedBands)
+{
+    CollisionChecker checker(100'000);
+    checker.store({1'000, 0, Signature(0x1234, 2, 8)});
+    // Shares band 1 (0x12) only.
+    const auto matches =
+        checker.check({Signature(0x12ff, 2, 8)}, 2'000);
+    EXPECT_EQ(matches.size(), 1u);
+    // Shares nothing.
+    EXPECT_TRUE(checker.check({Signature(0x5678, 2, 8)}, 2'000).empty());
+}
+
+TEST(CollisionChecker, MultipleReceivedBatch)
+{
+    CollisionChecker checker(100'000);
+    checker.store({1'000, 7, Signature(0xaaaa, 2, 8)});
+    checker.store({1'500, 9, Signature(0xbbbb, 2, 8)});
+    const std::vector<Signature> batch{Signature(0xbbbb, 2, 8),
+                                       Signature(0xaaaa, 2, 8),
+                                       Signature(0xcccc, 2, 8)};
+    const auto matches = checker.check(batch, 2'000);
+    ASSERT_EQ(matches.size(), 2u);
+}
+
+} // namespace
+} // namespace scalo::lsh

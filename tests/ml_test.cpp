@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for scalo::ml: SVM training/inference and its exact
+ * hierarchical decomposition, shallow NN forward/backward and its
+ * input-split decomposition, and the Kalman filter (tracking quality
+ * plus the centralised-inversion path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/ml/kalman.hpp"
+#include "scalo/ml/nn.hpp"
+#include "scalo/ml/svm.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::ml {
+namespace {
+
+TEST(Svm, DecisionMatchesHandComputation)
+{
+    LinearSvm svm({1.0, -2.0}, 0.5);
+    EXPECT_DOUBLE_EQ(svm.decision({3.0, 1.0}), 1.5);
+    EXPECT_EQ(svm.predict({3.0, 1.0}), 1);
+    EXPECT_EQ(svm.predict({0.0, 1.0}), -1);
+}
+
+TEST(Svm, TrainsSeparableProblem)
+{
+    // Two gaussian blobs, linearly separable.
+    Rng rng(5);
+    std::vector<std::vector<double>> xs;
+    std::vector<int> ys;
+    for (int i = 0; i < 200; ++i) {
+        const int label = (i % 2) ? 1 : -1;
+        const double cx = label * 2.0;
+        xs.push_back({rng.gaussian(cx, 0.5), rng.gaussian(-cx, 0.5)});
+        ys.push_back(label);
+    }
+    const LinearSvm svm = LinearSvm::train(xs, ys, 1e-4, 60);
+    int correct = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        correct += (svm.predict(xs[i]) == ys[i]);
+    EXPECT_GT(correct, 190);
+}
+
+TEST(DistributedSvm, ExactlyMatchesCentralized)
+{
+    Rng rng(7);
+    std::vector<double> w(12);
+    for (auto &v : w)
+        v = rng.gaussian();
+    LinearSvm svm(w, 0.3);
+    DistributedSvm dist(svm, {4, 4, 4});
+
+    std::vector<double> x(12);
+    for (auto &v : x)
+        v = rng.gaussian();
+
+    std::vector<double> partials;
+    for (std::size_t node = 0; node < 3; ++node) {
+        std::vector<double> slice(x.begin() + 4 * node,
+                                  x.begin() + 4 * (node + 1));
+        partials.push_back(dist.partial(node, slice));
+    }
+    EXPECT_NEAR(dist.aggregate(partials), svm.decision(x), 1e-12);
+}
+
+TEST(DistributedSvm, UnevenSplits)
+{
+    LinearSvm svm({1.0, 2.0, 3.0, 4.0, 5.0}, 0.0);
+    DistributedSvm dist(svm, {2, 3});
+    EXPECT_EQ(dist.nodeCount(), 2u);
+    EXPECT_EQ(dist.sliceSize(0), 2u);
+    EXPECT_EQ(dist.sliceSize(1), 3u);
+    const double p0 = dist.partial(0, {1.0, 1.0});
+    const double p1 = dist.partial(1, {1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(dist.aggregate({p0, p1}), 15.0);
+}
+
+TEST(DistributedSvm, BadSplitsPanic)
+{
+    LinearSvm svm({1.0, 2.0}, 0.0);
+    EXPECT_THROW(DistributedSvm(svm, {1, 2}), std::logic_error);
+}
+
+TEST(ShallowNet, ForwardShape)
+{
+    const auto net = ShallowNet::randomInit({96, 64, 2}, 1);
+    EXPECT_EQ(net.inputDim(), 96u);
+    EXPECT_EQ(net.firstLayerDim(), 64u);
+    EXPECT_EQ(net.outputDim(), 2u);
+    std::vector<double> x(96, 0.1);
+    EXPECT_EQ(net.forward(x).size(), 2u);
+}
+
+TEST(ShallowNet, ReluSuppressesHiddenNegatives)
+{
+    // One layer net: y = relu(Wx + b) with known weights.
+    DenseLayer layer;
+    layer.weights = linalg::Matrix{{1.0}, {-1.0}};
+    layer.bias = linalg::Matrix{{0.0}, {0.0}};
+    layer.relu = true;
+    ShallowNet net({layer});
+    const auto y = net.forward({2.0});
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(ShallowNet, SgdLearnsLinearMap)
+{
+    Rng rng(11);
+    auto net = ShallowNet::randomInit({2, 8, 1}, 3);
+    for (int step = 0; step < 4'000; ++step) {
+        const double a = rng.uniform(-1, 1);
+        const double b = rng.uniform(-1, 1);
+        net.sgdStep({a, b}, {0.5 * a - 0.25 * b}, 0.01);
+    }
+    double worst = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        const double a = rng.uniform(-1, 1);
+        const double b = rng.uniform(-1, 1);
+        const double y = net.forward({a, b})[0];
+        worst = std::max(worst, std::abs(y - (0.5 * a - 0.25 * b)));
+    }
+    EXPECT_LT(worst, 0.1);
+}
+
+TEST(DistributedNn, ExactlyMatchesCentralized)
+{
+    Rng rng(13);
+    const auto net = ShallowNet::randomInit({12, 16, 3}, 17);
+    DistributedNn dist(net, {4, 4, 4});
+
+    std::vector<double> x(12);
+    for (auto &v : x)
+        v = rng.gaussian();
+
+    std::vector<std::vector<double>> partials;
+    for (std::size_t node = 0; node < 3; ++node) {
+        std::vector<double> slice(x.begin() + 4 * node,
+                                  x.begin() + 4 * (node + 1));
+        partials.push_back(dist.partial(node, slice));
+    }
+    const auto distributed = dist.aggregate(partials);
+    const auto centralized = net.forward(x);
+    ASSERT_EQ(distributed.size(), centralized.size());
+    for (std::size_t i = 0; i < distributed.size(); ++i)
+        EXPECT_NEAR(distributed[i], centralized[i], 1e-9);
+}
+
+TEST(DistributedNn, PartialBytesMatchPaper)
+{
+    // 256 hidden units x 4 B = 1024 B per node (Section 6.2, MI NN).
+    const auto net = ShallowNet::randomInit({96, 256, 2}, 5);
+    DistributedNn dist(net, {96});
+    EXPECT_EQ(dist.partialBytes(), 1'024u);
+}
+
+TEST(Kalman, ConvergesOnStaticTarget)
+{
+    // Observing a constant through noise: the estimate approaches it.
+    KalmanParams p;
+    p.a = linalg::Matrix::identity(1);
+    p.w = linalg::Matrix{{1e-6}};
+    p.h = linalg::Matrix{{1.0}};
+    p.q = linalg::Matrix{{0.5}};
+    KalmanFilter filter(p);
+
+    Rng rng(19);
+    double estimate = 0.0;
+    for (int i = 0; i < 500; ++i)
+        estimate = filter.step({3.0 + rng.gaussian(0.0, 0.7)})[0];
+    EXPECT_NEAR(estimate, 3.0, 0.1);
+}
+
+TEST(Kalman, CovarianceContracts)
+{
+    KalmanParams p;
+    p.a = linalg::Matrix::identity(1);
+    p.w = linalg::Matrix{{1e-6}};
+    p.h = linalg::Matrix{{1.0}};
+    p.q = linalg::Matrix{{0.5}};
+    KalmanFilter filter(p);
+    const double before = filter.covariance()(0, 0);
+    for (int i = 0; i < 20; ++i)
+        filter.step({1.0});
+    EXPECT_LT(filter.covariance()(0, 0), before);
+}
+
+TEST(Kalman, CursorDecoderTracksVelocity)
+{
+    // Synthesize observations from the decoder's own model and check
+    // the filter recovers the underlying velocity.
+    const std::size_t features = 32;
+    auto filter = KalmanFilter::cursorDecoder(features, 0.05, 21);
+    const auto &h = filter.parameters().h;
+
+    Rng rng(23);
+    const double vx = 0.8, vy = -0.5;
+    std::vector<double> state_estimate;
+    for (int t = 0; t < 200; ++t) {
+        std::vector<double> obs(features);
+        for (std::size_t r = 0; r < features; ++r) {
+            obs[r] = h.at(r, 2) * vx + h.at(r, 3) * vy +
+                     rng.gaussian(0.0, 0.3);
+        }
+        state_estimate = filter.step(obs);
+    }
+    EXPECT_NEAR(state_estimate[2], vx, 0.1);
+    EXPECT_NEAR(state_estimate[3], vy, 0.1);
+}
+
+TEST(Kalman, RejectsBadShapes)
+{
+    KalmanParams p;
+    p.a = linalg::Matrix::identity(2);
+    p.w = linalg::Matrix::identity(3); // wrong
+    p.h = linalg::Matrix(1, 2);
+    p.q = linalg::Matrix::identity(1);
+    EXPECT_THROW(KalmanFilter{std::move(p)}, std::logic_error);
+}
+
+TEST(Kalman, ObservationSizeChecked)
+{
+    auto filter = KalmanFilter::cursorDecoder(8, 0.05, 1);
+    EXPECT_THROW(filter.step({1.0, 2.0}), std::logic_error);
+}
+
+} // namespace
+} // namespace scalo::ml

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for scalo::net: the Table 3 radio catalog and path-loss
+ * scaling, packet serialisation + CRC policy, bit-error injection, the
+ * TDMA exchange-time model, and the lossy channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/net/channel.hpp"
+#include "scalo/net/packet.hpp"
+#include "scalo/net/radio.hpp"
+#include "scalo/net/tdma.hpp"
+
+namespace scalo::net {
+namespace {
+
+TEST(Radio, Table3Catalog)
+{
+    const RadioSpec &low_power = radioSpec(RadioDesign::LowPower);
+    EXPECT_DOUBLE_EQ(low_power.dataRateMbps, 7.0);
+    EXPECT_DOUBLE_EQ(low_power.powerMw, 1.71);
+    EXPECT_DOUBLE_EQ(low_power.ber, 1e-5);
+
+    const RadioSpec &high_perf = radioSpec(RadioDesign::HighPerf);
+    EXPECT_DOUBLE_EQ(high_perf.dataRateMbps, 14.0);
+    EXPECT_DOUBLE_EQ(high_perf.powerMw, 6.85);
+
+    EXPECT_DOUBLE_EQ(radioSpec(RadioDesign::LowBer).powerMw, 3.4);
+    EXPECT_DOUBLE_EQ(radioSpec(RadioDesign::LowDataRate).dataRateMbps,
+                     3.5);
+    EXPECT_EQ(&defaultRadio(), &radioSpec(RadioDesign::LowPower));
+}
+
+TEST(Radio, ExternalRadioFromHalo)
+{
+    const RadioSpec &ext = externalRadio();
+    EXPECT_DOUBLE_EQ(ext.dataRateMbps, 46.0);
+    EXPECT_DOUBLE_EQ(ext.powerMw, 9.2);
+}
+
+TEST(Radio, TransferTimeAndEnergy)
+{
+    const RadioSpec &radio = defaultRadio();
+    // 256 B at 7 Mbps = 0.2926 ms.
+    EXPECT_NEAR(radio.transferMs(256.0), 256.0 * 8.0 / 7e6 * 1e3,
+                1e-12);
+    EXPECT_NEAR(radio.transferEnergyMj(256.0),
+                1.71 * radio.transferMs(256.0) * 1e-3, 1e-12);
+}
+
+TEST(Radio, PathLossExponent)
+{
+    const RadioSpec &radio = defaultRadio();
+    // Doubling distance costs 2^3.5 = 11.3x power.
+    EXPECT_NEAR(powerAtDistanceMw(radio, 40.0) / radio.powerMw,
+                std::pow(2.0, 3.5), 1e-9);
+    EXPECT_NEAR(powerAtDistanceMw(radio, 20.0), radio.powerMw, 1e-12);
+}
+
+TEST(Packet, RoundTripCleanChannel)
+{
+    Packet packet;
+    packet.source = 3;
+    packet.destination = kBroadcast;
+    packet.type = PacketType::Signal;
+    packet.sequence = 777;
+    packet.timestampUs = 123'456;
+    packet.payload = {1, 2, 3, 4, 5};
+
+    const auto wire = serialize(packet);
+    EXPECT_EQ(wire.size(), packet.wireBytes());
+    const auto result = deserialize(wire);
+    EXPECT_TRUE(result.headerOk);
+    EXPECT_TRUE(result.payloadOk);
+    EXPECT_TRUE(result.accepted());
+    EXPECT_EQ(result.packet.source, 3);
+    EXPECT_EQ(result.packet.destination, kBroadcast);
+    EXPECT_EQ(result.packet.type, PacketType::Signal);
+    EXPECT_EQ(result.packet.sequence, 777);
+    EXPECT_EQ(result.packet.timestampUs, 123'456u);
+    EXPECT_EQ(result.packet.payload, packet.payload);
+}
+
+TEST(Packet, HeaderIs84BitsPlusChecksums)
+{
+    EXPECT_EQ(kHeaderBytes, 11u); // 84 bits rounded to bytes
+    EXPECT_EQ(kPacketOverheadBytes, 19u);
+    Packet p;
+    p.payload.assign(10, 0);
+    EXPECT_EQ(p.wireBytes(), 29u);
+}
+
+TEST(Packet, OversizedPayloadPanics)
+{
+    Packet p;
+    p.payload.assign(kMaxPayloadBytes + 1, 0);
+    EXPECT_THROW(serialize(p), std::logic_error);
+}
+
+TEST(Packet, HeaderCorruptionDropsEverything)
+{
+    Packet p;
+    p.type = PacketType::Signal;
+    p.payload = {9, 9, 9};
+    auto wire = serialize(p);
+    wire[2] ^= 0x10; // flip a header bit
+    const auto result = deserialize(wire);
+    EXPECT_FALSE(result.headerOk);
+    EXPECT_FALSE(result.accepted());
+}
+
+TEST(Packet, PayloadPolicyHashVsSignal)
+{
+    for (auto type : {PacketType::Hash, PacketType::Signal}) {
+        Packet p;
+        p.type = type;
+        p.payload.assign(64, 0xaa);
+        auto wire = serialize(p);
+        wire[kPacketOverheadBytes + 5] ^= 0x01; // flip a payload bit
+        const auto result = deserialize(wire);
+        EXPECT_TRUE(result.headerOk);
+        EXPECT_FALSE(result.payloadOk);
+        // Section 3.4: signal packets flow, hash packets drop.
+        EXPECT_EQ(result.accepted(), type == PacketType::Signal);
+    }
+}
+
+TEST(Packet, FragmentationCoversPayload)
+{
+    Packet big;
+    big.payload.assign(700, 0x42);
+    const auto fragments = fragment(big);
+    ASSERT_EQ(fragments.size(), 3u);
+    EXPECT_EQ(fragments[0].payload.size(), 256u);
+    EXPECT_EQ(fragments[2].payload.size(), 700u - 512u);
+    EXPECT_EQ(wireBytesFor(700), 3u * 19u + 700u);
+}
+
+TEST(Packet, BitErrorInjectionRate)
+{
+    Rng rng(31);
+    std::vector<std::uint8_t> wire(100'000, 0);
+    const double ber = 1e-3;
+    const auto flipped = injectBitErrors(wire, ber, rng);
+    const double expected = 100'000.0 * 8.0 * ber;
+    EXPECT_NEAR(static_cast<double>(flipped), expected,
+                4.0 * std::sqrt(expected));
+}
+
+TEST(Tdma, BroadcastIsNodeCountInvariant)
+{
+    TdmaSchedule small(defaultRadio(), 2);
+    TdmaSchedule large(defaultRadio(), 32);
+    EXPECT_DOUBLE_EQ(small.exchangeMs(Pattern::OneToAll, 240),
+                     large.exchangeMs(Pattern::OneToAll, 240));
+}
+
+TEST(Tdma, AllToAllScalesWithNodes)
+{
+    TdmaSchedule four(defaultRadio(), 4);
+    TdmaSchedule eight(defaultRadio(), 8);
+    EXPECT_NEAR(eight.exchangeMs(Pattern::AllToAll, 240) /
+                    four.exchangeMs(Pattern::AllToAll, 240),
+                2.0, 1e-9);
+}
+
+TEST(Tdma, AllToOneExcludesAggregator)
+{
+    TdmaSchedule schedule(defaultRadio(), 5);
+    EXPECT_NEAR(schedule.exchangeMs(Pattern::AllToOne, 100),
+                4.0 * schedule.slotMs(100), 1e-12);
+}
+
+TEST(Tdma, SlotIncludesOverheadAndGuard)
+{
+    TdmaSchedule schedule(defaultRadio(), 2, 20.0);
+    const double payload_only =
+        defaultRadio().transferMs(240.0);
+    EXPECT_GT(schedule.slotMs(240), payload_only);
+}
+
+TEST(Tdma, BudgetBytesInvertsSlot)
+{
+    TdmaSchedule schedule(defaultRadio(), 4);
+    const auto bytes = schedule.budgetBytes(10.0, 4);
+    EXPECT_GT(bytes, 0u);
+    EXPECT_LE(schedule.slotMs(bytes), 10.0 / 4.0 + 1e-9);
+    EXPECT_GT(schedule.slotMs(bytes + 300), 10.0 / 4.0);
+}
+
+TEST(Tdma, FasterRadioMovesMoreBytes)
+{
+    TdmaSchedule low(defaultRadio(), 4);
+    TdmaSchedule high(radioSpec(RadioDesign::HighPerf), 4);
+    EXPECT_GT(high.budgetBytes(10.0, 4), low.budgetBytes(10.0, 4));
+}
+
+TEST(Channel, CleanAtZeroBer)
+{
+    WirelessChannel channel(defaultRadio(), 1, 0.0);
+    Packet p;
+    p.payload.assign(200, 0x11);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(channel.transmit(p).accepted());
+    EXPECT_EQ(channel.stats().headerDrops, 0u);
+    EXPECT_EQ(channel.stats().payloadErrors, 0u);
+}
+
+TEST(Channel, ErrorsAppearAtHighBer)
+{
+    WirelessChannel channel(defaultRadio(), 2, 1e-3);
+    Packet p;
+    p.type = PacketType::Hash;
+    p.payload.assign(200, 0x11);
+    for (int i = 0; i < 500; ++i)
+        channel.transmit(p);
+    EXPECT_GT(channel.stats().errorFraction(), 0.5)
+        << "200 B packets at BER 1e-3 should mostly err";
+    EXPECT_LT(channel.stats().accepted, 500u);
+}
+
+TEST(Channel, SignalPacketsSurviveBetterThanHash)
+{
+    // Same BER: signal packets accepted despite payload errors.
+    Packet hash_packet;
+    hash_packet.type = PacketType::Hash;
+    hash_packet.payload.assign(240, 0x3c);
+    Packet signal_packet = hash_packet;
+    signal_packet.type = PacketType::Signal;
+
+    WirelessChannel hash_channel(defaultRadio(), 3, 5e-4);
+    WirelessChannel signal_channel(defaultRadio(), 3, 5e-4);
+    for (int i = 0; i < 400; ++i) {
+        hash_channel.transmit(hash_packet);
+        signal_channel.transmit(signal_packet);
+    }
+    EXPECT_GT(signal_channel.stats().accepted,
+              hash_channel.stats().accepted);
+}
+
+} // namespace
+} // namespace scalo::net

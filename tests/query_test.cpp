@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for scalo::query: the TrillDSP-flavoured mini-language
+ * (lexer/parser), compilation to PE pipelines, validation, and the
+ * paper's Listing 1 example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/query/language.hpp"
+
+namespace scalo::query {
+namespace {
+
+TEST(Parser, Listing1MovementIntent)
+{
+    // Listing 1 (simplified): Kalman-filter movement decoding.
+    const auto program = parse(
+        "var movements = stream.window(wsize=50ms).sbp()"
+        ".kf(kf_params).call_runtime()");
+    ASSERT_EQ(program.ops.size(), 4u);
+    EXPECT_EQ(program.ops[0].name, "window");
+    EXPECT_DOUBLE_EQ(program.ops[0].args.at("wsize"), 50.0);
+    EXPECT_EQ(program.ops[1].name, "sbp");
+    EXPECT_EQ(program.ops[2].name, "kf");
+    EXPECT_EQ(program.ops[3].name, "call_runtime");
+}
+
+TEST(Parser, DurationUnits)
+{
+    const auto ms = parse("stream.window(wsize=4ms)");
+    EXPECT_DOUBLE_EQ(ms.ops[0].args.at("wsize"), 4.0);
+    const auto seconds = parse("stream.window(wsize=5s)");
+    EXPECT_DOUBLE_EQ(seconds.ops[0].args.at("wsize"), 5'000.0);
+    const auto micro = parse("stream.window(wsize=500us)");
+    EXPECT_DOUBLE_EQ(micro.ops[0].args.at("wsize"), 0.5);
+}
+
+TEST(Parser, MultipleArguments)
+{
+    const auto program =
+        parse("stream.window(wsize=4ms).bbf(low=3, high=80)");
+    EXPECT_DOUBLE_EQ(program.ops[1].args.at("low"), 3.0);
+    EXPECT_DOUBLE_EQ(program.ops[1].args.at("high"), 80.0);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parse("window(wsize=4ms)"), std::runtime_error);
+    EXPECT_THROW(parse("stream.window(wsize=)"), std::runtime_error);
+    EXPECT_THROW(parse("stream.window wsize"), std::runtime_error);
+    EXPECT_THROW(parse("stream"), std::runtime_error);
+}
+
+TEST(Compiler, MapsOperatorsToPes)
+{
+    const auto pipeline = compileSource(
+        "stream.window(wsize=4ms).seizure_detect()");
+    ASSERT_EQ(pipeline.stages.size(), 2u);
+    EXPECT_DOUBLE_EQ(pipeline.windowMs, 4.0);
+    const auto chain = pipeline.peChain();
+    // seizure_detect expands to FFT/BBF/XCOR/SVM/THR after the GATE.
+    EXPECT_EQ(chain.size(), 6u);
+    EXPECT_EQ(chain[1], hw::PeKind::FFT);
+    EXPECT_EQ(chain[4], hw::PeKind::SVM);
+}
+
+TEST(Compiler, RejectsUnknownOperator)
+{
+    EXPECT_THROW(compileSource("stream.frobnicate()"),
+                 std::runtime_error);
+}
+
+TEST(Compiler, EnforcesRequiredArguments)
+{
+    EXPECT_THROW(compileSource("stream.window()"),
+                 std::runtime_error);
+    EXPECT_THROW(compileSource("stream.window(wsize=4ms).bbf(low=3)"),
+                 std::runtime_error);
+}
+
+TEST(Compiler, RuntimeHandOffDetected)
+{
+    EXPECT_TRUE(compileSource(
+                    "stream.window(wsize=50ms).sbp().call_runtime()")
+                    .callsRuntime);
+    EXPECT_FALSE(compileSource("stream.window(wsize=50ms).sbp()")
+                     .callsRuntime);
+}
+
+TEST(Compiler, PipelineCostsAreConsistent)
+{
+    const auto cheap =
+        compileSource("stream.window(wsize=4ms).sbp()");
+    const auto heavy = compileSource(
+        "stream.window(wsize=4ms).seizure_detect().propagate()");
+    EXPECT_GT(heavy.latencyMs(), cheap.latencyMs());
+    EXPECT_GT(heavy.powerMw(96.0), cheap.powerMw(96.0));
+}
+
+TEST(Compiler, SupportedOpsListedAndCompilable)
+{
+    for (const std::string &op : supportedOps()) {
+        if (op == "window" || op == "bbf")
+            continue; // need arguments
+        const auto pipeline = compileSource(
+            "stream.window(wsize=4ms)." + op + "()");
+        EXPECT_EQ(pipeline.stages.back().op, op);
+    }
+}
+
+} // namespace
+} // namespace scalo::query

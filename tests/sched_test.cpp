@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Unit tests for scalo::sched: flow power models against the paper's
+ * published operating points, the ILP scheduler's resource handling
+ * (power, network, NVM, central caps, priorities), and the
+ * architecture comparison of Section 6.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/sched/architectures.hpp"
+#include "scalo/sched/scheduler.hpp"
+#include "scalo/sched/workloads.hpp"
+
+namespace scalo::sched {
+namespace {
+
+Scheduler
+makeScheduler(std::size_t nodes, double power_mw = 15.0)
+{
+    SystemConfig config;
+    config.nodes = nodes;
+    config.powerCapMw = power_mw;
+    return Scheduler(config);
+}
+
+TEST(Workloads, SeizureDetectionMatchesPaperOperatingPoints)
+{
+    // Section 6.2: 79 Mbps at 15 mW falling quadratically to 46 Mbps
+    // at 6 mW. Allow ~15% modelling slack.
+    const FlowSpec flow = seizureDetectionFlow();
+    const double at15 =
+        electrodesToMbps(flow.electrodesAtPowerMw(15.0));
+    const double at6 = electrodesToMbps(flow.electrodesAtPowerMw(6.0));
+    EXPECT_NEAR(at15, 79.0, 12.0);
+    EXPECT_NEAR(at6, 46.0, 8.0);
+    // Quadratic shape: halving power costs less than half throughput.
+    EXPECT_GT(at6 / at15, 6.0 / 15.0);
+}
+
+TEST(Workloads, SpikeSortingMatchesPaperOperatingPoints)
+{
+    // Section 6.2: 118 Mbps at 15 mW, linear down to 38.4 at 6 mW.
+    const FlowSpec flow = spikeSortingFlow();
+    const double at15 =
+        electrodesToMbps(flow.electrodesAtPowerMw(15.0));
+    const double at6 = electrodesToMbps(flow.electrodesAtPowerMw(6.0));
+    EXPECT_NEAR(at15, 118.0, 15.0);
+    EXPECT_NEAR(at6, 38.4, 10.0);
+}
+
+TEST(Workloads, HashFlowSupportsRoughly190Electrodes)
+{
+    // Section 6.2: Hash All-All peaks with 190 electrode signals per
+    // node at 15 mW.
+    const FlowSpec flow = hashSimilarityFlow(net::Pattern::AllToAll);
+    EXPECT_NEAR(flow.electrodesAtPowerMw(15.0), 190.0, 25.0);
+}
+
+TEST(Workloads, MiSvmBeatsHashByThreePercent)
+{
+    const double hash_lin =
+        hashSimilarityFlow(net::Pattern::AllToOne).linMwPerElectrode;
+    const double svm_lin = miSvmFlow().linMwPerElectrode;
+    EXPECT_NEAR(hash_lin / svm_lin, 1.03, 1e-9);
+}
+
+TEST(Workloads, ElectrodesAtPowerInvertsPowerModel)
+{
+    for (const FlowSpec &flow :
+         {seizureDetectionFlow(), miKfFlow(), spikeSortingFlow()}) {
+        const double e = flow.electrodesAtPowerMw(12.0);
+        EXPECT_NEAR(flow.powerMw(e), 12.0, 1e-6) << flow.name;
+    }
+}
+
+TEST(Scheduler, LocalFlowScalesLinearlyWithNodes)
+{
+    const FlowSpec flow = seizureDetectionFlow();
+    const double one =
+        makeScheduler(1).maxAggregateThroughputMbps(flow);
+    const double eight =
+        makeScheduler(8).maxAggregateThroughputMbps(flow);
+    EXPECT_NEAR(eight / one, 8.0, 1e-6);
+}
+
+TEST(Scheduler, HashAllToAllPeaksNearSixNodes)
+{
+    // Figure 8b: Hash All-All rises to ~547 Mbps around 6 nodes, then
+    // declines as TDMA serialisation dominates.
+    const FlowSpec flow = hashSimilarityFlow(net::Pattern::AllToAll);
+    const double at6 = makeScheduler(6).maxAggregateThroughputMbps(flow);
+    const double at11 =
+        makeScheduler(11).maxAggregateThroughputMbps(flow);
+    const double at32 =
+        makeScheduler(32).maxAggregateThroughputMbps(flow);
+    EXPECT_NEAR(at6, 547.0, 80.0);
+    EXPECT_LT(at11, at6);
+    EXPECT_LT(at32, at11);
+}
+
+TEST(Scheduler, HashOneToAllScalesLinearly)
+{
+    const FlowSpec flow = hashSimilarityFlow(net::Pattern::OneToAll);
+    const double at8 = makeScheduler(8).maxAggregateThroughputMbps(flow);
+    const double at32 =
+        makeScheduler(32).maxAggregateThroughputMbps(flow);
+    EXPECT_NEAR(at32 / at8, 4.0, 0.2);
+}
+
+TEST(Scheduler, DtwAllToAllIsCommunicationLimited)
+{
+    // Only ~16 electrode windows fit the radio per 4 ms (Section 6.2),
+    // and more nodes make it worse.
+    const FlowSpec flow = dtwSimilarityFlow(net::Pattern::AllToAll);
+    const double at2 = makeScheduler(2).maxAggregateThroughputMbps(flow);
+    const double at16 =
+        makeScheduler(16).maxAggregateThroughputMbps(flow);
+    EXPECT_NEAR(mbpsToElectrodes(at2), 16.0, 3.0);
+    EXPECT_LT(at16, at2);
+    // Power-insensitive down to 6 mW.
+    const double low_power =
+        makeScheduler(2, 6.0).maxAggregateThroughputMbps(flow);
+    EXPECT_NEAR(low_power, at2, 0.5);
+}
+
+TEST(Scheduler, MiKfSaturatesAt384Electrodes)
+{
+    // Section 6.2/6.3: the centralised inversion's NVM bandwidth caps
+    // MI KF at 384 electrodes (188 Mbps); more nodes do not help.
+    const FlowSpec flow = miKfFlow();
+    const double at4 = makeScheduler(4).maxAggregateThroughputMbps(flow);
+    const double at11 =
+        makeScheduler(11).maxAggregateThroughputMbps(flow);
+    EXPECT_NEAR(at4, 184.0, 10.0);
+    EXPECT_NEAR(at11, at4, 1.0);
+}
+
+TEST(Scheduler, MiKfPowerKneeAtEightAndAHalfMw)
+{
+    // Above 8.5 mW per node MI KF is NVM-bound (4 nodes x 96
+    // electrodes hits the 384 cap exactly); below, quadratic decline.
+    const FlowSpec flow = miKfFlow();
+    const double at15 =
+        makeScheduler(4, 15.0).maxAggregateThroughputMbps(flow);
+    const double at9 =
+        makeScheduler(4, 9.0).maxAggregateThroughputMbps(flow);
+    const double at6 =
+        makeScheduler(4, 6.0).maxAggregateThroughputMbps(flow);
+    EXPECT_NEAR(at15, at9, 6.0);
+    EXPECT_LT(at6, 0.85 * at15);
+}
+
+TEST(Scheduler, PowerScalingDirection)
+{
+    // Every flow loses throughput when the cap tightens to 6 mW.
+    for (const FlowSpec &flow :
+         {seizureDetectionFlow(),
+          hashSimilarityFlow(net::Pattern::AllToAll), miSvmFlow(),
+          miNnFlow(), spikeSortingFlow()}) {
+        const double high =
+            makeScheduler(4, 15.0).maxAggregateThroughputMbps(flow);
+        const double low =
+            makeScheduler(4, 6.0).maxAggregateThroughputMbps(flow);
+        EXPECT_LT(low, high) << flow.name;
+        EXPECT_GT(low, 0.0) << flow.name;
+    }
+}
+
+TEST(Scheduler, PrioritiesSteerSharedResources)
+{
+    // Two identical local flows competing for the same per-node power
+    // budget: the higher-priority one gets (all of) it.
+    const FlowSpec a = spikeSortingFlow();
+    FlowSpec b = a;
+    b.name = "spike-b";
+    Scheduler scheduler = makeScheduler(16);
+
+    const Schedule favour_a = scheduler.schedule({a, b}, {3.0, 1.0});
+    ASSERT_TRUE(favour_a.feasible);
+    EXPECT_GT(favour_a.flows[0].totalElectrodes,
+              favour_a.flows[1].totalElectrodes);
+
+    const Schedule favour_b = scheduler.schedule({a, b}, {1.0, 3.0});
+    ASSERT_TRUE(favour_b.feasible);
+    EXPECT_LT(favour_b.flows[0].totalElectrodes,
+              favour_b.flows[1].totalElectrodes);
+}
+
+TEST(Scheduler, NodePowerStaysWithinCap)
+{
+    Scheduler scheduler = makeScheduler(6, 12.0);
+    const Schedule schedule = scheduler.schedule(
+        {seizureDetectionFlow(),
+         hashSimilarityFlow(net::Pattern::AllToAll)},
+        {1.0, 1.0});
+    ASSERT_TRUE(schedule.feasible);
+    // The quadratic term is an outer tangent approximation, so allow
+    // its documented sub-percent slack.
+    for (double mw : schedule.nodePowerMw)
+        EXPECT_LE(mw, 12.0 * 1.005);
+}
+
+TEST(Scheduler, ElectrodeCapHonoured)
+{
+    SystemConfig config;
+    config.nodes = 4;
+    config.maxElectrodesPerNode = 96.0;
+    Scheduler scheduler(config);
+    const Schedule schedule =
+        scheduler.schedule({spikeSortingFlow()}, {1.0});
+    ASSERT_TRUE(schedule.feasible);
+    for (double e : schedule.flows[0].electrodesPerNode)
+        EXPECT_LE(e, 96.0 + 1e-6);
+}
+
+TEST(Scheduler, InfeasibleWhenLeakageExceedsCap)
+{
+    Scheduler scheduler = makeScheduler(2, 0.5);
+    const Schedule schedule =
+        scheduler.schedule({seizureDetectionFlow()}, {1.0});
+    EXPECT_FALSE(schedule.feasible);
+    EXPECT_FALSE(schedule.reason.empty());
+}
+
+TEST(Scheduler, IntegerModeGivesIntegralElectrodes)
+{
+    SystemConfig config;
+    config.nodes = 2;
+    config.integerElectrodes = true;
+    config.maxElectrodesPerNode = 96.0;
+    Scheduler scheduler(config);
+    const Schedule schedule =
+        scheduler.schedule({spikeSortingFlow()}, {1.0});
+    ASSERT_TRUE(schedule.feasible);
+    for (double e : schedule.flows[0].electrodesPerNode)
+        EXPECT_NEAR(e, std::round(e), 1e-6);
+}
+
+TEST(Architectures, ScaloDominatesFigure8a)
+{
+    // SCALO has the highest throughput for every task at 11 sites.
+    for (Task task : allTasks()) {
+        const double scalo = maxAggregateThroughputMbps(
+            Architecture::Scalo, task, 11);
+        for (Architecture arch :
+             {Architecture::ScaloNoHash, Architecture::Central,
+              Architecture::CentralNoHash, Architecture::HaloNvm}) {
+            EXPECT_GE(scalo + 1e-9,
+                      maxAggregateThroughputMbps(arch, task, 11))
+                << taskName(task) << " on " << architectureName(arch);
+        }
+    }
+}
+
+TEST(Architectures, CentralRoughlyTenTimesBelowScalo)
+{
+    // Section 6.1: the single processor costs ~10x at 11 sites.
+    for (Task task : {Task::SeizureDetection, Task::MiSvm,
+                      Task::SpikeSorting}) {
+        const double ratio =
+            maxAggregateThroughputMbps(Architecture::Scalo, task, 11) /
+            maxAggregateThroughputMbps(Architecture::Central, task,
+                                       11);
+        EXPECT_NEAR(ratio, 11.0, 2.0) << taskName(task);
+    }
+}
+
+TEST(Architectures, NoHashPenaltiesMatchSection61)
+{
+    // Central No-Hash: 250x below Central for signal similarity,
+    // 24.5x for spike sorting.
+    const double sim_ratio =
+        maxAggregateThroughputMbps(Architecture::Central,
+                                   Task::SignalSimilarity, 11) /
+        maxAggregateThroughputMbps(Architecture::CentralNoHash,
+                                   Task::SignalSimilarity, 11);
+    EXPECT_NEAR(sim_ratio, 250.0, 60.0);
+
+    const double spike_ratio =
+        maxAggregateThroughputMbps(Architecture::Central,
+                                   Task::SpikeSorting, 11) /
+        maxAggregateThroughputMbps(Architecture::CentralNoHash,
+                                   Task::SpikeSorting, 11);
+    EXPECT_NEAR(spike_ratio, 24.5, 1.0);
+}
+
+TEST(Architectures, HaloNvmMatchesCentralWhereItsPesSuffice)
+{
+    for (Task task : {Task::SeizureDetection, Task::MiSvm}) {
+        EXPECT_DOUBLE_EQ(
+            maxAggregateThroughputMbps(Architecture::HaloNvm, task,
+                                       11),
+            maxAggregateThroughputMbps(Architecture::Central, task,
+                                       11))
+            << taskName(task);
+    }
+}
+
+TEST(Architectures, HaloNvmSpikeSortingBelowCentralNoHash)
+{
+    // Hash matching on the MC is 40% below exact matching on a PE.
+    const double halo = maxAggregateThroughputMbps(
+        Architecture::HaloNvm, Task::SpikeSorting, 11);
+    const double central_nohash = maxAggregateThroughputMbps(
+        Architecture::CentralNoHash, Task::SpikeSorting, 11);
+    EXPECT_NEAR(halo / central_nohash, 0.6, 1e-9);
+}
+
+TEST(Architectures, ScaloUpTo385xOverHaloNvm)
+{
+    // Headline: up to 385x higher processing rates vs HALO+NVM.
+    double best = 0.0;
+    for (Task task : allTasks()) {
+        const double halo = maxAggregateThroughputMbps(
+            Architecture::HaloNvm, task, 11);
+        if (halo <= 0.0)
+            continue;
+        best = std::max(
+            best, maxAggregateThroughputMbps(Architecture::Scalo,
+                                             task, 11) /
+                      halo);
+    }
+    EXPECT_GT(best, 100.0);
+    EXPECT_LT(best, 1'000.0);
+}
+
+} // namespace
+} // namespace scalo::sched

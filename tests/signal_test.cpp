@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit tests for scalo::signal: FFT correctness, Butterworth passband
+ * behaviour, DTW/Euclidean/XCOR/EMD distance properties, and feature
+ * kernels (SBP/NEO/THR/DWT).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalo/signal/butterworth.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/signal/features.hpp"
+#include "scalo/signal/fft.hpp"
+#include "scalo/signal/window.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::signal {
+namespace {
+
+std::vector<double>
+sine(double freq_hz, double sample_rate, std::size_t n,
+     double amplitude = 1.0, double phase = 0.0)
+{
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = amplitude * std::sin(2.0 * M_PI * freq_hz *
+                                          static_cast<double>(i) /
+                                          sample_rate +
+                                      phase);
+    return out;
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum)
+{
+    std::vector<std::complex<double>> data(8, 0.0);
+    data[0] = 1.0;
+    fft(data);
+    for (const auto &bin : data)
+        EXPECT_NEAR(std::abs(bin), 1.0, 1e-12);
+}
+
+TEST(Fft, InverseRecoversInput)
+{
+    Rng rng(9);
+    std::vector<std::complex<double>> data(64);
+    for (auto &x : data)
+        x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const auto original = data;
+    fft(data);
+    ifft(data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+        EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, SinePeaksAtItsBin)
+{
+    const double fs = 1024.0;
+    const std::size_t n = 1024;
+    // Bin-aligned frequency: 64 cycles in n samples.
+    const auto x = sine(64.0, fs, n);
+    const auto mags = magnitudeSpectrum(x);
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < mags.size(); ++i)
+        if (mags[i] > mags[peak])
+            peak = i;
+    EXPECT_EQ(peak, 64u);
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    Rng rng(5);
+    std::vector<std::complex<double>> data(128);
+    double time_energy = 0.0;
+    for (auto &x : data) {
+        x = {rng.gaussian(), 0.0};
+        time_energy += std::norm(x);
+    }
+    fft(data);
+    double freq_energy = 0.0;
+    for (const auto &bin : data)
+        freq_energy += std::norm(bin);
+    EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-8);
+}
+
+TEST(Fft, BandPowerSeparatesBands)
+{
+    const double fs = 30'000.0;
+    auto x = sine(100.0, fs, 4096, 1.0);
+    const auto y = sine(5'000.0, fs, 4096, 0.1);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] += y[i];
+    const auto powers =
+        bandPower(x, fs, {{50.0, 200.0}, {4'000.0, 6'000.0}});
+    EXPECT_GT(powers[0], powers[1] * 10.0);
+}
+
+TEST(Fft, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(120), 128u);
+    EXPECT_EQ(nextPowerOfTwo(128), 128u);
+}
+
+TEST(Butterworth, PassbandPassesStopbandBlocks)
+{
+    const double fs = 1'000.0;
+    ButterworthBandpass filter(2, 10.0, 50.0, fs);
+
+    auto gain_at = [&](double f) {
+        filter.reset();
+        const auto out = filter.apply(sine(f, fs, 4'000));
+        double peak = 0.0;
+        for (std::size_t i = 2'000; i < out.size(); ++i)
+            peak = std::max(peak, std::abs(out[i]));
+        return peak;
+    };
+
+    const double mid = gain_at(22.0);
+    const double below = gain_at(1.0);
+    const double above = gain_at(300.0);
+    EXPECT_GT(mid, 0.7);
+    EXPECT_LT(below, 0.2 * mid);
+    EXPECT_LT(above, 0.2 * mid);
+}
+
+TEST(Butterworth, OddOrderIsStable)
+{
+    const double fs = 1'000.0;
+    ButterworthBandpass filter(3, 10.0, 40.0, fs);
+    Rng rng(1);
+    double peak = 0.0;
+    for (int i = 0; i < 20'000; ++i)
+        peak = std::max(peak, std::abs(filter.step(rng.gaussian())));
+    EXPECT_LT(peak, 100.0) << "filter must not blow up on noise";
+}
+
+TEST(Butterworth, SectionCountMatchesOrder)
+{
+    ButterworthBandpass f2(2, 5.0, 20.0, 1'000.0);
+    // order sections + 1 gain section
+    EXPECT_EQ(f2.sectionCount(), 3u);
+    ButterworthBandpass f4(4, 5.0, 20.0, 1'000.0);
+    EXPECT_EQ(f4.sectionCount(), 5u);
+}
+
+TEST(Dtw, IdenticalSignalsHaveZeroDistance)
+{
+    const auto x = sine(10.0, 1'000.0, 100);
+    EXPECT_DOUBLE_EQ(dtwDistance(x, x, 5), 0.0);
+}
+
+TEST(Dtw, WarpingBeatsEuclideanOnShift)
+{
+    // A shifted copy: DTW with a band should absorb the shift almost
+    // completely, while the diagonal path (band=1) cannot.
+    const auto x = sine(10.0, 1'000.0, 200);
+    const auto y = sine(10.0, 1'000.0, 200, 1.0, 0.3);
+    const double banded = dtwDistance(x, y, 20);
+    const double diagonal = dtwDistance(x, y, 1);
+    EXPECT_LT(banded, 0.5 * diagonal);
+}
+
+TEST(Dtw, SymmetricInItsArguments)
+{
+    Rng rng(3);
+    std::vector<double> a(64), b(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        a[i] = rng.gaussian();
+        b[i] = rng.gaussian();
+    }
+    EXPECT_NEAR(dtwDistance(a, b, 8), dtwDistance(b, a, 8), 1e-9);
+}
+
+TEST(Dtw, HandlesUnequalLengths)
+{
+    const auto x = sine(10.0, 1'000.0, 100);
+    const auto y = sine(10.0, 1'000.0, 80);
+    const double d = dtwDistance(x, y, 4);
+    EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(Euclidean, MatchesHandComputation)
+{
+    std::vector<double> a{0.0, 3.0};
+    std::vector<double> b{4.0, 0.0};
+    EXPECT_DOUBLE_EQ(euclideanDistance(a, b), 5.0);
+}
+
+TEST(Xcor, PerfectCorrelationIsOne)
+{
+    const auto x = sine(10.0, 1'000.0, 100);
+    EXPECT_NEAR(crossCorrelation(x, x, 10), 1.0, 1e-9);
+}
+
+TEST(Xcor, FindsLaggedCorrelation)
+{
+    const std::size_t n = 200;
+    const auto base = sine(10.0, 1'000.0, n + 20);
+    std::vector<double> a(base.begin(), base.begin() + n);
+    std::vector<double> b(base.begin() + 15, base.begin() + 15 + n);
+    // At lag 0 correlation is imperfect; searching lags recovers it.
+    EXPECT_GT(crossCorrelation(a, b, 20), 0.999);
+}
+
+TEST(Xcor, UncorrelatedNoiseIsSmall)
+{
+    Rng rng(17);
+    std::vector<double> a(500), b(500);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.gaussian();
+        b[i] = rng.gaussian();
+    }
+    EXPECT_LT(crossCorrelation(a, b, 0), 0.2);
+}
+
+TEST(Emd, IdenticalHistogramsZero)
+{
+    std::vector<double> h{1.0, 2.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(emdDistance(h, h), 0.0);
+}
+
+TEST(Emd, ShiftedMassCostsDistance)
+{
+    // Unit mass moved by k bins costs k (CDF L1).
+    std::vector<double> a{1.0, 0.0, 0.0, 0.0};
+    std::vector<double> b{0.0, 0.0, 0.0, 1.0};
+    EXPECT_DOUBLE_EQ(emdDistance(a, b), 3.0);
+}
+
+TEST(Emd, ScaleInvariantAfterNormalisation)
+{
+    std::vector<double> a{1.0, 2.0, 1.0};
+    std::vector<double> b{2.0, 4.0, 2.0};
+    EXPECT_DOUBLE_EQ(emdDistance(a, b), 0.0);
+}
+
+TEST(Emd, TriangleLikeMonotonicity)
+{
+    std::vector<double> a{1.0, 0.0, 0.0};
+    std::vector<double> near{0.0, 1.0, 0.0};
+    std::vector<double> far{0.0, 0.0, 1.0};
+    EXPECT_LT(emdDistance(a, near), emdDistance(a, far));
+}
+
+TEST(Dissimilarity, SmallerMeansMoreSimilarAcrossMeasures)
+{
+    Rng rng(23);
+    const auto x = sine(25.0, 1'000.0, 120);
+    auto noisy = x;
+    for (auto &v : noisy)
+        v += rng.gaussian(0.0, 0.05);
+    std::vector<double> random(120);
+    for (auto &v : random)
+        v = rng.gaussian();
+
+    for (auto m : {Measure::Euclidean, Measure::Dtw, Measure::Xcor,
+                   Measure::Emd}) {
+        EXPECT_LT(dissimilarity(m, x, noisy), dissimilarity(m, x, random))
+            << measureName(m);
+    }
+}
+
+TEST(Features, SpikeBandPowerIsMeanAbs)
+{
+    std::vector<double> w{1.0, -1.0, 3.0, -3.0};
+    EXPECT_DOUBLE_EQ(spikeBandPower(w), 2.0);
+    EXPECT_DOUBLE_EQ(windowMean(w), 0.0);
+}
+
+TEST(Features, NeoSpikesOnTransients)
+{
+    // NEO amplifies instantaneous frequency/amplitude changes.
+    std::vector<double> flat(64, 1.0);
+    const auto quiet = neo(flat);
+    for (double v : quiet)
+        EXPECT_NEAR(v, 0.0, 1e-12);
+
+    auto spiky = flat;
+    spiky[32] = 10.0;
+    const auto loud = neo(spiky);
+    EXPECT_GT(loud[32], 50.0);
+}
+
+TEST(Features, ThresholdDetectRespectsRefractory)
+{
+    std::vector<double> x(100, 0.0);
+    x[10] = x[12] = x[50] = 5.0;
+    const auto hits = thresholdDetect(x, 4.0, 20);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0], 10u);
+    EXPECT_EQ(hits[1], 50u);
+}
+
+TEST(Features, AdaptiveThresholdScalesWithNoise)
+{
+    Rng rng(31);
+    std::vector<double> quiet(1'000), loud(1'000);
+    for (std::size_t i = 0; i < quiet.size(); ++i) {
+        quiet[i] = rng.gaussian(0.0, 1.0);
+        loud[i] = rng.gaussian(0.0, 10.0);
+    }
+    const double t_quiet = adaptiveThreshold(quiet, 4.0);
+    const double t_loud = adaptiveThreshold(loud, 4.0);
+    EXPECT_NEAR(t_loud / t_quiet, 10.0, 2.0);
+}
+
+TEST(Features, HaarDwtPreservesEnergy)
+{
+    Rng rng(13);
+    std::vector<double> x(128);
+    double energy = 0.0;
+    for (auto &v : x) {
+        v = rng.gaussian();
+        energy += v * v;
+    }
+    const auto level = haarDwt(x);
+    double transformed = 0.0;
+    for (double v : level.approx)
+        transformed += v * v;
+    for (double v : level.detail)
+        transformed += v * v;
+    EXPECT_NEAR(transformed, energy, 1e-9);
+}
+
+TEST(Features, DwtPyramidDepth)
+{
+    std::vector<double> x(64, 1.0);
+    const auto pyramid = haarDwtLevels(x, 3);
+    EXPECT_EQ(pyramid.details.size(), 3u);
+    EXPECT_EQ(pyramid.details[0].size(), 32u);
+    EXPECT_EQ(pyramid.details[2].size(), 8u);
+    EXPECT_EQ(pyramid.approx.size(), 8u);
+}
+
+TEST(Window, SliceProducesExpectedCount)
+{
+    std::vector<Sample> trace(1'000);
+    const auto windows = slice(trace, 120, 120);
+    EXPECT_EQ(windows.size(), 8u);
+    const auto overlapping = slice(trace, 120, 60);
+    EXPECT_EQ(overlapping.size(), 15u);
+}
+
+TEST(Window, ToSamplesSaturates)
+{
+    const auto samples = toSamples({1e9, -1e9, 12.4});
+    EXPECT_EQ(samples[0], 32767);
+    EXPECT_EQ(samples[1], -32768);
+    EXPECT_EQ(samples[2], 12);
+}
+
+TEST(Window, RemoveMeanCentres)
+{
+    std::vector<double> v{1.0, 2.0, 3.0};
+    removeMean(v);
+    EXPECT_NEAR(v[0] + v[1] + v[2], 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace scalo::signal

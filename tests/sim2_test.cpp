@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the timed propagation pipeline (the 10 ms budget of
+ * Section 2.2) and SNTP clock synchronisation (Section 3.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/sim/propagation_timing.hpp"
+#include "scalo/sim/sntp.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::sim {
+namespace {
+
+TEST(PropagationTiming, MeetsTenMillisecondBudget)
+{
+    PropagationTimingConfig config;
+    config.episodes = 500;
+    const auto result = simulatePropagationTiming(config);
+    EXPECT_LE(result.maxTotalMs, 10.0)
+        << "every episode must finish within the clinical budget";
+    EXPECT_DOUBLE_EQ(result.withinDeadlineFraction, 1.0);
+    EXPECT_GT(result.meanTotalMs, 1.0) << "physically plausible";
+}
+
+TEST(PropagationTiming, StageDecompositionSums)
+{
+    PropagationTimingConfig config;
+    config.episodes = 300;
+    const auto result = simulatePropagationTiming(config);
+    const double stage_sum =
+        result.slotWaitMs + result.hashBroadcastMs +
+        result.collisionCheckMs + result.responseMs +
+        result.signalBroadcastMs + result.exactCompareMs +
+        result.stimulateMs;
+    EXPECT_NEAR(stage_sum, result.meanTotalMs,
+                0.05 * result.meanTotalMs);
+}
+
+TEST(PropagationTiming, HighBerAddsRetransmissions)
+{
+    PropagationTimingConfig clean;
+    clean.berOverride = 0.0;
+    clean.episodes = 300;
+    PropagationTimingConfig noisy;
+    noisy.berOverride = 1e-4;
+    noisy.episodes = 300;
+    const auto clean_result = simulatePropagationTiming(clean);
+    const auto noisy_result = simulatePropagationTiming(noisy);
+    EXPECT_GE(noisy_result.meanTotalMs, clean_result.meanTotalMs);
+    // Even then the budget holds at the design point.
+    EXPECT_LE(noisy_result.maxTotalMs, 10.0);
+}
+
+TEST(PropagationTiming, SlowRadioStretchesThePath)
+{
+    PropagationTimingConfig slow;
+    slow.radio = &net::radioSpec(net::RadioDesign::LowDataRate);
+    slow.episodes = 300;
+    PropagationTimingConfig fast;
+    fast.radio = &net::radioSpec(net::RadioDesign::HighPerf);
+    fast.episodes = 300;
+    EXPECT_GT(simulatePropagationTiming(slow).meanTotalMs,
+              simulatePropagationTiming(fast).meanTotalMs);
+}
+
+TEST(Sntp, ClockModelBasics)
+{
+    NodeClock clock(100.0, 50.0); // 100 us ahead, 50 ppm fast
+    EXPECT_NEAR(clock.read(0.0), 100.0, 1e-9);
+    EXPECT_NEAR(clock.read(1e6), 1e6 + 50.0 + 100.0, 1e-6);
+    clock.adjust(-100.0);
+    EXPECT_NEAR(clock.read(0.0), 0.0, 1e-9);
+}
+
+TEST(Sntp, ConvergesScatteredClocks)
+{
+    Rng rng(5);
+    std::vector<NodeClock> clocks;
+    clocks.emplace_back(0.0, 0.0); // server
+    for (int i = 0; i < 10; ++i)
+        clocks.emplace_back(rng.uniform(-50'000.0, 50'000.0),
+                            rng.uniform(-2.0, 2.0));
+    const auto result = synchronizeClocks(clocks);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.maxResidualUs, 5.0);
+    EXPECT_GE(result.rounds, 1u);
+    EXPECT_GT(result.networkBusyMs, 0.0);
+}
+
+TEST(Sntp, JitterBoundsThePrecision)
+{
+    std::vector<NodeClock> clocks{NodeClock(),
+                                  NodeClock(10'000.0, 0.0)};
+    SntpConfig config;
+    config.jitterUs = 40.0;
+    config.targetPrecisionUs = 0.01; // unreachable under this jitter
+    config.maxRounds = 3;
+    const auto result = synchronizeClocks(clocks, config);
+    EXPECT_FALSE(result.converged);
+    // Still vastly better than the initial 10 ms offset.
+    EXPECT_LT(result.maxResidualUs, 100.0);
+}
+
+TEST(Sntp, ZeroJitterIsNearExact)
+{
+    std::vector<NodeClock> clocks{NodeClock(),
+                                  NodeClock(-123'456.0, 0.0)};
+    SntpConfig config;
+    config.jitterUs = 0.0;
+    const auto result = synchronizeClocks(clocks, config);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.maxResidualUs, 0.5);
+}
+
+} // namespace
+} // namespace scalo::sim

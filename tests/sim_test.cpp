@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for scalo::sim: the discrete-event engine and the
+ * error-injection experiments of Figures 12 and 15.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalo/sim/error_experiments.hpp"
+#include "scalo/sim/event_queue.hpp"
+
+namespace scalo::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator simulator;
+    std::vector<int> order;
+    simulator.after(30, [&] { order.push_back(3); });
+    simulator.after(10, [&] { order.push_back(1); });
+    simulator.after(20, [&] { order.push_back(2); });
+    EXPECT_EQ(simulator.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(simulator.nowUs(), 30u);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder)
+{
+    Simulator simulator;
+    std::vector<int> order;
+    simulator.after(5, [&] { order.push_back(1); });
+    simulator.after(5, [&] { order.push_back(2); });
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime)
+{
+    Simulator simulator;
+    std::uint64_t inner_time = 0;
+    simulator.after(10, [&] {
+        simulator.after(15, [&] { inner_time = simulator.nowUs(); });
+    });
+    simulator.run();
+    EXPECT_EQ(inner_time, 25u);
+}
+
+TEST(Simulator, RunUntilStopsEarly)
+{
+    Simulator simulator;
+    int fired = 0;
+    simulator.after(10, [&] { ++fired; });
+    simulator.after(100, [&] { ++fired; });
+    EXPECT_EQ(simulator.run(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simulator.pending(), 1u);
+}
+
+TEST(Simulator, SchedulingIntoThePastPanics)
+{
+    Simulator simulator;
+    simulator.after(10, [&] {
+        EXPECT_THROW(simulator.at(5, [] {}), std::logic_error);
+    });
+    simulator.run();
+}
+
+TEST(NetworkErrors, CleanChannelHasNoErrors)
+{
+    const auto point = measureNetworkErrors(0.0, 200);
+    EXPECT_EQ(point.hashPacketErrorFraction, 0.0);
+    EXPECT_EQ(point.signalPacketErrorFraction, 0.0);
+    EXPECT_EQ(point.dtwDecisionFailureFraction, 0.0);
+}
+
+TEST(NetworkErrors, Figure12Shape)
+{
+    // At BER 1e-4 most 240 B signal packets err while ~2-3% of 96 B
+    // hash packets do; the DTW outcome almost never flips.
+    const auto high = measureNetworkErrors(1e-4, 2'000, 3);
+    EXPECT_GT(high.signalPacketErrorFraction,
+              high.hashPacketErrorFraction);
+    EXPECT_GT(high.signalPacketErrorFraction, 0.10);
+    EXPECT_LT(high.dtwDecisionFailureFraction, 0.05);
+
+    const auto low = measureNetworkErrors(1e-6, 2'000, 3);
+    EXPECT_LT(low.hashPacketErrorFraction,
+              high.hashPacketErrorFraction);
+    // The paper's design point: at BER 1e-5 under 1% of hash packets
+    // err and DTW never fails.
+    const auto design = measureNetworkErrors(1e-5, 2'000, 3);
+    EXPECT_LT(design.hashPacketErrorFraction, 0.03);
+    EXPECT_EQ(design.dtwDecisionFailureFraction, 0.0);
+}
+
+TEST(HashEncodingDelay, NoErrorsNoDelay)
+{
+    const auto dist = simulateHashEncodingErrors(0.0);
+    EXPECT_EQ(dist.maxMs, 0.0);
+}
+
+TEST(HashEncodingDelay, Figure15aShape)
+{
+    // Negligible delay until ~50% error rate, then a steep rise
+    // (Section 6.7: multiple electrodes capture the seizure, so all
+    // hashes must fail at once to slip a window).
+    PropagationErrorConfig config;
+    config.repetitions = 500;
+    const auto at_half = simulateHashEncodingErrors(0.5, config);
+    EXPECT_LT(at_half.maxMs, 4.5);
+
+    const auto at_90 = simulateHashEncodingErrors(0.9, config);
+    EXPECT_GT(at_90.maxMs, at_half.maxMs);
+    EXPECT_GT(at_90.maxMs, 3.9);
+    EXPECT_LT(at_90.maxMs, 40.0);
+}
+
+TEST(HashEncodingDelay, MeanBelowMax)
+{
+    PropagationErrorConfig config;
+    config.repetitions = 300;
+    const auto dist = simulateHashEncodingErrors(0.85, config);
+    EXPECT_LE(dist.minMs, dist.meanMs);
+    EXPECT_LE(dist.meanMs, dist.maxMs);
+}
+
+TEST(NetworkBerDelay, Figure15bShape)
+{
+    // Worst delay ~0.5 ms at BER 1e-4 (one-two slot retransmissions);
+    // essentially zero at 1e-6.
+    PropagationErrorConfig config;
+    config.repetitions = 1'000;
+    const auto high = simulateNetworkBerDelay(1e-4, config);
+    EXPECT_GT(high.maxMs, 0.2);
+    EXPECT_LE(high.maxMs, 1.0);
+
+    const auto low = simulateNetworkBerDelay(1e-6, config);
+    EXPECT_LE(low.maxMs, 0.3);
+    EXPECT_LE(low.meanMs, high.meanMs);
+}
+
+TEST(NetworkBerDelay, NetworkErrorsHurtMoreButRarer)
+{
+    // Section 6.7: a network loss drops a whole node's hashes (worse
+    // per event) but the per-event probability is far lower than the
+    // high encoding-error regimes - reflected in the max delays.
+    PropagationErrorConfig config;
+    config.repetitions = 400;
+    const auto network = simulateNetworkBerDelay(1e-4, config);
+    const auto encoding = simulateHashEncodingErrors(0.9, config);
+    EXPECT_LT(network.maxMs, encoding.maxMs);
+}
+
+} // namespace
+} // namespace scalo::sim

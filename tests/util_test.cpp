@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for scalo::util: RNG determinism and distribution sanity,
+ * CRC32 known-answer vectors, bit streams, statistics, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "scalo/util/bitstream.hpp"
+#include "scalo/util/crc32.hpp"
+#include "scalo/util/logging.hpp"
+#include "scalo/util/rng.hpp"
+#include "scalo/util/stats.hpp"
+#include "scalo/util/table.hpp"
+#include "scalo/util/types.hpp"
+
+namespace scalo {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a.next() == b.next());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(7);
+    double total = 0.0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        total += rng.uniform();
+    EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1'000; ++i) {
+        const auto v = rng.below(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u) << "all residues should appear";
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    const int n = 200'000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(5);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10'000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10'000.0, 0.25, 0.02);
+}
+
+TEST(Mix64, InjectiveOnSmallRange)
+{
+    std::set<std::uint64_t> outputs;
+    for (std::uint64_t i = 0; i < 10'000; ++i)
+        outputs.insert(mix64(i));
+    EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(Crc32, KnownAnswer)
+{
+    // CRC32("123456789") == 0xCBF43926 (IEEE reflected).
+    const char *msg = "123456789";
+    const auto crc = crc32(reinterpret_cast<const std::uint8_t *>(msg),
+                           std::strlen(msg));
+    EXPECT_EQ(crc, 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    std::vector<std::uint8_t> data(64, 0xa5);
+    const auto original = crc32(data);
+    for (std::size_t bit = 0; bit < data.size() * 8; bit += 37) {
+        auto corrupted = data;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_NE(crc32(corrupted), original) << "bit " << bit;
+    }
+}
+
+TEST(BitStream, RoundTripBits)
+{
+    BitWriter writer;
+    writer.putBits(0b1011, 4);
+    writer.putBit(1);
+    writer.putBits(0xdeadbeef, 32);
+    const auto bytes = writer.bytes();
+
+    BitReader reader(bytes);
+    EXPECT_EQ(reader.getBits(4), 0b1011u);
+    EXPECT_EQ(reader.getBit(), 1u);
+    EXPECT_EQ(reader.getBits(32), 0xdeadbeefu);
+}
+
+TEST(BitStream, BitCountTracksWrites)
+{
+    BitWriter writer;
+    writer.putBits(0, 7);
+    EXPECT_EQ(writer.bitCount(), 7u);
+    writer.putBit(1);
+    EXPECT_EQ(writer.bitCount(), 8u);
+    EXPECT_EQ(writer.bytes().size(), 1u);
+}
+
+TEST(BitStream, ExhaustionPanics)
+{
+    std::vector<std::uint8_t> one_byte{0xff};
+    BitReader reader(one_byte);
+    reader.getBits(8);
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_THROW(reader.getBit(), std::logic_error);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(Stats, EmptyInputsAreZero)
+{
+    std::vector<double> empty;
+    EXPECT_EQ(mean(empty), 0.0);
+    EXPECT_EQ(stddev(empty), 0.0);
+    EXPECT_EQ(percentile(empty, 50), 0.0);
+}
+
+TEST(Stats, RunningStatsTracksRange)
+{
+    RunningStats rs;
+    for (double v : {3.0, -1.0, 7.0, 2.0})
+        rs.add(v);
+    EXPECT_EQ(rs.count(), 4u);
+    EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.75);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Types, AdcRateMatchesPaper)
+{
+    // 96 electrodes x 30 kHz x 16 bit = 46.08 Mbps ("46 Mbps").
+    EXPECT_NEAR(constants::kNodeAdcMbps, 46.08, 1e-9);
+    EXPECT_NEAR(electrodesToMbps(96), 46.08, 1e-9);
+    EXPECT_NEAR(mbpsToElectrodes(46.08), 96.0, 1e-9);
+}
+
+} // namespace
+} // namespace scalo
