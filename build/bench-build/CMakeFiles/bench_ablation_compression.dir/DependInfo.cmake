@@ -15,13 +15,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/scalo_core.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_query.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_app.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_lsh.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_data.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_signal.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/scalo_query.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_net.dir/DependInfo.cmake"

@@ -16,10 +16,16 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_ilp.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_net.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/scalo_compress.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/scalo_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalo_signal.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

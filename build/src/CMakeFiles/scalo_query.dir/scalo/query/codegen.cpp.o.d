@@ -137,7 +137,8 @@ src/CMakeFiles/scalo_query.dir/scalo/query/codegen.cpp.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/scalo/util/types.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/scalo/query/language.hpp /usr/include/c++/12/cmath \
+ /root/repo/src/scalo/query/language.hpp \
+ /root/repo/src/scalo/app/query.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

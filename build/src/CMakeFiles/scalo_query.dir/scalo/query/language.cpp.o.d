@@ -134,12 +134,12 @@ src/CMakeFiles/scalo_query.dir/scalo/query/language.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/scalo/hw/fabric.hpp \
- /root/repo/src/scalo/hw/pe.hpp /root/repo/src/scalo/util/types.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/scalo/util/logging.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/scalo/app/query.hpp \
+ /root/repo/src/scalo/util/types.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/scalo/hw/fabric.hpp /root/repo/src/scalo/hw/pe.hpp \
+ /root/repo/src/scalo/util/logging.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \

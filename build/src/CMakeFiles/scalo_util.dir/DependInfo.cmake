@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/scalo/util/rng.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/rng.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/rng.cpp.o.d"
   "/root/repo/src/scalo/util/stats.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/stats.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/stats.cpp.o.d"
   "/root/repo/src/scalo/util/table.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o.d"
+  "/root/repo/src/scalo/util/thread_pool.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/scalo_util.dir/scalo/util/stats.cpp.o.d"
   "CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o"
   "CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o.d"
   "libscalo_util.a"
   "libscalo_util.pdb"
 )

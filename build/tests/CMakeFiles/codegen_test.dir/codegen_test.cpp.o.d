@@ -296,4 +296,5 @@ tests/CMakeFiles/codegen_test.dir/codegen_test.cpp.o: \
  /root/repo/src/scalo/hw/switches.hpp /root/repo/src/scalo/hw/fabric.hpp \
  /root/repo/src/scalo/hw/pe.hpp /root/repo/src/scalo/util/types.hpp \
  /root/repo/src/scalo/query/codegen.hpp \
- /root/repo/src/scalo/query/language.hpp
+ /root/repo/src/scalo/query/language.hpp \
+ /root/repo/src/scalo/app/query.hpp

@@ -301,7 +301,16 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/scalo/lsh/hasher.hpp \
  /root/repo/src/scalo/lsh/emd_hash.hpp /root/repo/src/scalo/lsh/ssh.hpp \
  /root/repo/src/scalo/signal/distance.hpp \
- /root/repo/src/scalo/signal/window.hpp \
+ /root/repo/src/scalo/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/scalo/signal/window.hpp \
  /root/repo/src/scalo/core/system.hpp \
  /root/repo/src/scalo/app/movement.hpp /root/repo/src/scalo/ml/kalman.hpp \
  /root/repo/src/scalo/linalg/matrix.hpp /root/repo/src/scalo/ml/nn.hpp \

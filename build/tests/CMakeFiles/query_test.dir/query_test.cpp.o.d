@@ -294,5 +294,5 @@ tests/CMakeFiles/query_test.dir/query_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/scalo/query/language.hpp \
- /root/repo/src/scalo/hw/fabric.hpp /root/repo/src/scalo/hw/pe.hpp \
- /root/repo/src/scalo/util/types.hpp
+ /root/repo/src/scalo/app/query.hpp /root/repo/src/scalo/util/types.hpp \
+ /root/repo/src/scalo/hw/fabric.hpp /root/repo/src/scalo/hw/pe.hpp

@@ -20,6 +20,7 @@ include("/root/repo/build/tests/lsh_test[1]_include.cmake")
 include("/root/repo/build/tests/ml_test[1]_include.cmake")
 include("/root/repo/build/tests/net_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/query_concurrency_test[1]_include.cmake")
 include("/root/repo/build/tests/query_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_test[1]_include.cmake")
 include("/root/repo/build/tests/signal_test[1]_include.cmake")

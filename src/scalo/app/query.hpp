@@ -32,6 +32,92 @@ enum class QueryKind
     Q3TimeRange,
 };
 
+/**
+ * One interactive query, as a declarative descriptor: every shape
+ * the engine can execute is a combination of a time range, an
+ * optional seizure-flag filter, and an optional probe template with
+ * hash and/or exact-DTW matching. The paper's Q1/Q2/Q3 are the three
+ * corners of this space (Q1 = seizure filter, Q2 = probe, Q3 =
+ * neither); filters compose, so e.g. "seizure windows shaped like
+ * this template" is a single descriptor rather than a new engine
+ * method. Built by hand, by the q1()/q2()/q3() shorthands, or
+ * lowered from a stream.query(...) program.
+ */
+struct Query
+{
+    /** Inclusive capture-time range (us). */
+    std::uint64_t t0Us = 0;
+    std::uint64_t t1Us = UINT64_MAX;
+
+    /** Keep only windows the resident detector flagged. */
+    bool seizureOnly = false;
+
+    /** Probe template; empty means no template matching. */
+    std::vector<double> probe;
+
+    /**
+     * Exact-DTW confirmation threshold for probe matches; negative
+     * skips DTW and matches on hashes alone.
+     */
+    double dtwThreshold = -1.0;
+
+    /**
+     * Probe path only: prefilter through the LSH hashes. With the
+     * bucket index this touches candidate buckets instead of the
+     * whole range; switching it off forces the pre-index full scan
+     * (pure DTW when dtwThreshold >= 0, the legacy exact mode).
+     */
+    bool hashPrefilter = true;
+
+    /**
+     * Probe path only: probe the store's bucket index instead of
+     * hash-matching a linear scan. Never changes the match set
+     * (candidates are confirmed against the full signature); only
+     * the windows touched — and therefore the modeled read cost —
+     * differ.
+     */
+    bool useIndex = true;
+
+    /** Q1: all seizure-flagged windows in [t0, t1]. */
+    static Query
+    q1(std::uint64_t t0_us, std::uint64_t t1_us)
+    {
+        Query query;
+        query.t0Us = t0_us;
+        query.t1Us = t1_us;
+        query.seizureOnly = true;
+        return query;
+    }
+
+    /**
+     * Q2: windows in [t0, t1] matching @p probe_window (hashes, or
+     * legacy full-scan DTW when @p dtw_threshold >= 0).
+     */
+    static Query
+    q2(std::uint64_t t0_us, std::uint64_t t1_us,
+       std::vector<double> probe_window, double dtw_threshold = -1.0)
+    {
+        Query query;
+        query.t0Us = t0_us;
+        query.t1Us = t1_us;
+        query.probe = std::move(probe_window);
+        query.dtwThreshold = dtw_threshold;
+        // Legacy exact mode: DTW over the full range, no hashes.
+        query.hashPrefilter = dtw_threshold < 0.0;
+        return query;
+    }
+
+    /** Q3: everything in [t0, t1]. */
+    static Query
+    q3(std::uint64_t t0_us, std::uint64_t t1_us)
+    {
+        Query query;
+        query.t0Us = t0_us;
+        query.t1Us = t1_us;
+        return query;
+    }
+};
+
 /** Query parameters. */
 struct QueryConfig
 {

@@ -1,5 +1,8 @@
 #include "scalo/app/query_engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "scalo/hw/pe.hpp"
 #include "scalo/net/radio.hpp"
 #include "scalo/signal/distance.hpp"
@@ -7,14 +10,50 @@
 
 namespace scalo::app {
 
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/** CCHECK compares hashes in batches of 960 per PE invocation. */
+double
+hashMatchMs(std::size_t compared)
+{
+    return static_cast<double>(compared) / 960.0 *
+           *hw::peSpec(hw::PeKind::CCHECK).latencyMs;
+}
+
+double
+dtwMatchMs(std::size_t compared)
+{
+    return static_cast<double>(compared) *
+           *hw::peSpec(hw::PeKind::DTW).latencyMs;
+}
+
+} // namespace
+
 QueryEngine::QueryEngine(std::size_t nodes,
                          std::size_t window_samples,
                          std::uint64_t seed)
     : windowSamples(window_samples),
-      windowHasher(signal::Measure::Dtw, window_samples, seed)
+      windowHasher(signal::Measure::Dtw, window_samples, seed),
+      threads(util::ThreadPool::defaultThreads()),
+      pool(std::make_unique<util::ThreadPool>(threads))
 {
     SCALO_ASSERT(nodes >= 1, "need at least one node");
     stores.resize(nodes);
+}
+
+void
+QueryEngine::setParallelism(std::size_t new_threads)
+{
+    threads = std::max<std::size_t>(1, new_threads);
+    pool = std::make_unique<util::ThreadPool>(threads);
 }
 
 void
@@ -42,51 +81,126 @@ QueryEngine::store(NodeId node) const
     return stores[node];
 }
 
-double
-QueryEngine::modelLatencyMs(std::size_t scanned,
-                            std::size_t matched_bytes,
-                            bool exact_dtw) const
+QueryEngine::NodePartial
+QueryEngine::executeNode(NodeId node, const Query &query,
+                         const lsh::Signature &probe_hash) const
 {
-    // Scan (parallel across nodes): worst per-node share of the reads.
-    const std::size_t per_node =
-        (scanned + stores.size() - 1) / stores.size();
-    const double scan_ms = stores.front().readCostMs(per_node);
+    const auto started = std::chrono::steady_clock::now();
+    const SignalStore &node_store = stores[node];
+    NodePartial partial;
+    partial.stats.node = node;
 
-    // Match: CCHECK batches vs per-window DTW.
-    double match_ms;
-    if (exact_dtw) {
-        match_ms = static_cast<double>(per_node) *
-                   *hw::peSpec(hw::PeKind::DTW).latencyMs;
-    } else {
-        match_ms = static_cast<double>(per_node) / 960.0 *
-                   *hw::peSpec(hw::PeKind::CCHECK).latencyMs;
+    const bool templated = !query.probe.empty();
+    const bool exact = templated && query.dtwThreshold >= 0.0;
+    const std::size_t sakoe_band =
+        std::max<std::size_t>(1, windowSamples / 10);
+
+    // Candidate set: bucket probe when the index applies, else the
+    // full range read. Either way, these are the windows actually
+    // pulled through the SC, and what the read model charges.
+    const bool via_index =
+        templated && query.hashPrefilter && query.useIndex;
+    std::vector<const StoredWindow *> touched =
+        via_index
+            ? node_store.candidates(probe_hash, query.t0Us,
+                                    query.t1Us)
+            : node_store.range(query.t0Us, query.t1Us);
+    partial.stats.scanned = touched.size();
+    if (via_index)
+        partial.stats.bucketHits = touched.size();
+
+    for (const StoredWindow *window : touched) {
+        if (query.seizureOnly && !window->seizureFlagged)
+            continue;
+        if (templated) {
+            if (query.hashPrefilter &&
+                !probe_hash.matches(window->hash))
+                continue;
+            if (exact) {
+                ++partial.stats.dtwComparisons;
+                if (signal::dtwDistance(query.probe, window->samples,
+                                        sakoe_band) >
+                    query.dtwThreshold)
+                    continue;
+            }
+        }
+        partial.matches.push_back(window);
     }
+    partial.stats.matched = partial.matches.size();
 
-    // Ship matches out through the external radio (serialized).
-    const double radio_ms = net::externalRadio().transferMs(
-        static_cast<double>(matched_bytes));
+    // Modeled on-node time: SC reads of the touched windows, plus
+    // CCHECK hash batches and/or per-window DTW.
+    double match_ms = 0.0;
+    if (!templated || query.hashPrefilter)
+        match_ms += hashMatchMs(partial.stats.scanned);
+    if (exact)
+        match_ms += dtwMatchMs(partial.stats.dtwComparisons);
+    partial.stats.modeledMs =
+        node_store.readCostMs(partial.stats.scanned) + match_ms;
 
-    return kQueryDispatchMs + scan_ms + match_ms + radio_ms;
+    partial.stats.wallMs = elapsedMs(started);
+    return partial;
+}
+
+QueryExecution
+QueryEngine::execute(const Query &query) const
+{
+    SCALO_ASSERT(query.t0Us <= query.t1Us, "empty time range");
+    const bool templated = !query.probe.empty();
+    if (templated)
+        SCALO_ASSERT(query.probe.size() == windowSamples,
+                     "probe size mismatch");
+    const lsh::Signature probe_hash =
+        templated ? windowHasher.hash(query.probe)
+                  : lsh::Signature();
+
+    const auto started = std::chrono::steady_clock::now();
+
+    // Fan the shards out; each node writes its own slot, so the
+    // gather below is deterministic whatever the pool width.
+    std::vector<NodePartial> partials(stores.size());
+    pool->parallelFor(stores.size(), [&](std::size_t node) {
+        partials[node] = executeNode(static_cast<NodeId>(node),
+                                     query, probe_hash);
+    });
+
+    QueryExecution execution;
+    execution.perNode.reserve(partials.size());
+    double slowest_node_ms = 0.0;
+    for (NodePartial &partial : partials) {
+        execution.scanned += partial.stats.scanned;
+        slowest_node_ms =
+            std::max(slowest_node_ms, partial.stats.modeledMs);
+        execution.matches.insert(execution.matches.end(),
+                                 partial.matches.begin(),
+                                 partial.matches.end());
+        execution.perNode.push_back(partial.stats);
+    }
+    // Merge: per-node lists are timestamp-sorted and concatenated in
+    // node order, so a stable sort on timestamp yields the canonical
+    // (timestamp, node) order.
+    std::stable_sort(execution.matches.begin(),
+                     execution.matches.end(),
+                     [](const StoredWindow *a, const StoredWindow *b) {
+                         return a->timestampUs < b->timestampUs;
+                     });
+
+    execution.transferBytes =
+        execution.matches.size() * windowSamples * 2;
+    // Nodes scan in parallel; the external radio serialises results.
+    execution.latencyMs =
+        kQueryDispatchMs + slowest_node_ms +
+        net::externalRadio().transferMs(
+            static_cast<double>(execution.transferBytes));
+    execution.wallMs = elapsedMs(started);
+    return execution;
 }
 
 QueryExecution
 QueryEngine::q1SeizureWindows(std::uint64_t t0_us,
                               std::uint64_t t1_us) const
 {
-    QueryExecution execution;
-    for (const SignalStore &node_store : stores) {
-        for (const StoredWindow *window :
-             node_store.range(t0_us, t1_us)) {
-            ++execution.scanned;
-            if (window->seizureFlagged)
-                execution.matches.push_back(window);
-        }
-    }
-    execution.transferBytes =
-        execution.matches.size() * windowSamples * 2;
-    execution.latencyMs = modelLatencyMs(
-        execution.scanned, execution.transferBytes, false);
-    return execution;
+    return execute(Query::q1(t0_us, t1_us));
 }
 
 QueryExecution
@@ -94,54 +208,14 @@ QueryEngine::q2TemplateMatch(std::uint64_t t0_us, std::uint64_t t1_us,
                              const std::vector<double> &probe,
                              double dtw_threshold) const
 {
-    SCALO_ASSERT(probe.size() == windowSamples,
-                 "probe size mismatch");
-    const lsh::Signature probe_hash = windowHasher.hash(probe);
-    const bool exact = dtw_threshold >= 0.0;
-
-    QueryExecution execution;
-    for (const SignalStore &node_store : stores) {
-        for (const StoredWindow *window :
-             node_store.range(t0_us, t1_us)) {
-            ++execution.scanned;
-            bool matched;
-            if (exact) {
-                matched = signal::dtwDistance(
-                              probe, window->samples,
-                              std::max<std::size_t>(
-                                  1, windowSamples / 10)) <=
-                          dtw_threshold;
-            } else {
-                matched = probe_hash.matches(window->hash);
-            }
-            if (matched)
-                execution.matches.push_back(window);
-        }
-    }
-    execution.transferBytes =
-        execution.matches.size() * windowSamples * 2;
-    execution.latencyMs = modelLatencyMs(
-        execution.scanned, execution.transferBytes, exact);
-    return execution;
+    return execute(Query::q2(t0_us, t1_us, probe, dtw_threshold));
 }
 
 QueryExecution
 QueryEngine::q3TimeRange(std::uint64_t t0_us,
                          std::uint64_t t1_us) const
 {
-    QueryExecution execution;
-    for (const SignalStore &node_store : stores) {
-        for (const StoredWindow *window :
-             node_store.range(t0_us, t1_us)) {
-            ++execution.scanned;
-            execution.matches.push_back(window);
-        }
-    }
-    execution.transferBytes =
-        execution.matches.size() * windowSamples * 2;
-    execution.latencyMs = modelLatencyMs(
-        execution.scanned, execution.transferBytes, false);
-    return execution;
+    return execute(Query::q3(t0_us, t1_us));
 }
 
 } // namespace scalo::app

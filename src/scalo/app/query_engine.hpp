@@ -1,36 +1,70 @@
 /**
  * @file
  * Executable interactive queries (Section 6.4): unlike the cost model
- * in query.hpp, the QueryEngine actually runs Q1/Q2/Q3 against data
+ * in query.hpp, the QueryEngine actually runs queries against data
  * stored on every node's SignalStore, returning the matched windows
  * alongside the modeled latency (NVM reads, per-window matching, and
  * the external-radio transfer of whatever actually matched). Queries
  * run concurrently with the resident pipelines and must not disturb
  * them — which is why they lean on hashes instead of exact scans.
+ *
+ * Every query is one declarative Query descriptor handed to
+ * execute(). Execution is sharded: each node's store is scanned (or
+ * bucket-probed) by a worker from a shared pool, per-node partials
+ * carry their own QueryStats, and the merge is deterministic —
+ * sorted by timestamp, ties broken by node — so the result is
+ * bit-identical whichever parallelism the pool runs at.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "scalo/app/query.hpp"
 #include "scalo/app/store.hpp"
 #include "scalo/lsh/hasher.hpp"
+#include "scalo/util/thread_pool.hpp"
 
 namespace scalo::app {
+
+/** Per-node execution metrics for one query. */
+struct QueryStats
+{
+    NodeId node = 0;
+    /** Windows actually touched (read through the SC). */
+    std::size_t scanned = 0;
+    /** Windows surfaced by the bucket index (0 on scan paths). */
+    std::size_t bucketHits = 0;
+    /** Exact DTW comparisons run on this node. */
+    std::size_t dtwComparisons = 0;
+    /** Windows this node contributed to the result. */
+    std::size_t matched = 0;
+    /** Host wall-clock spent in this node's shard (ms). */
+    double wallMs = 0.0;
+    /** Modeled on-node latency: SC reads + matching (ms). */
+    double modeledMs = 0.0;
+};
 
 /** The result of executing one query over the distributed stores. */
 struct QueryExecution
 {
-    /** Matched windows across all nodes (pointers into the stores). */
+    /**
+     * Matched windows across all nodes (pointers into the stores),
+     * sorted by timestamp, ties in node order.
+     */
     std::vector<const StoredWindow *> matches;
-    /** Windows scanned across all nodes. */
+    /** Windows touched across all nodes. */
     std::size_t scanned = 0;
     /** Modeled end-to-end latency (ms). */
     double latencyMs = 0.0;
     /** Bytes shipped through the external radio. */
     std::size_t transferBytes = 0;
+    /** Host wall-clock for the whole execution (ms). */
+    double wallMs = 0.0;
+    /** One entry per node, in node order. */
+    std::vector<QueryStats> perNode;
 
     double
     matchedFraction() const
@@ -59,7 +93,18 @@ class QueryEngine
                 const std::vector<double> &window,
                 bool seizure_flagged);
 
+    /** Execute one query descriptor across all nodes. */
+    QueryExecution execute(const Query &query) const;
+
+    /**
+     * Worker threads fanning node shards out (1 = sequential). The
+     * merge is deterministic, so this only changes wall-clock.
+     */
+    void setParallelism(std::size_t threads);
+    std::size_t parallelism() const { return threads; }
+
     /** Q1: all seizure-flagged windows in [t0, t1]. */
+    [[deprecated("build a Query with Query::q1 and call execute")]]
     QueryExecution q1SeizureWindows(std::uint64_t t0_us,
                                     std::uint64_t t1_us) const;
 
@@ -68,29 +113,41 @@ class QueryEngine
      * (optionally confirmed with exact DTW at @p dtw_threshold;
      * negative threshold skips confirmation).
      */
+    [[deprecated("build a Query with Query::q2 and call execute")]]
     QueryExecution q2TemplateMatch(std::uint64_t t0_us,
                                    std::uint64_t t1_us,
                                    const std::vector<double> &probe,
                                    double dtw_threshold = -1.0) const;
 
     /** Q3: everything in [t0, t1]. */
+    [[deprecated("build a Query with Query::q3 and call execute")]]
     QueryExecution q3TimeRange(std::uint64_t t0_us,
                                std::uint64_t t1_us) const;
 
     /** Per-node store access. */
     const SignalStore &store(NodeId node) const;
 
+    std::size_t nodeCount() const { return stores.size(); }
+
     const lsh::WindowHasher &hasher() const { return windowHasher; }
 
   private:
-    /** Latency model shared by the three query shapes. */
-    double modelLatencyMs(std::size_t scanned,
-                          std::size_t matched_bytes,
-                          bool exact_dtw) const;
+    /** One node's shard: matches (timestamp-sorted) plus stats. */
+    struct NodePartial
+    {
+        std::vector<const StoredWindow *> matches;
+        QueryStats stats;
+    };
+
+    NodePartial executeNode(NodeId node, const Query &query,
+                            const lsh::Signature &probe_hash) const;
 
     std::size_t windowSamples;
     lsh::WindowHasher windowHasher;
     std::vector<SignalStore> stores;
+    std::size_t threads;
+    /** Execution machinery, not logical state; rebuilt on resize. */
+    mutable std::unique_ptr<util::ThreadPool> pool;
 };
 
 } // namespace scalo::app

@@ -1,5 +1,6 @@
 #include "scalo/app/store.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "scalo/util/logging.hpp"
@@ -11,6 +12,44 @@ SignalStore::SignalStore(std::size_t capacity_windows,
     : capacity(capacity_windows), sc(reorganise_layout)
 {
     SCALO_ASSERT(capacity >= 1, "capacity must be >= 1");
+}
+
+std::uint32_t
+SignalStore::bucketKey(const lsh::Signature &signature, unsigned band)
+{
+    const std::uint32_t prefix = static_cast<std::uint32_t>(
+        signature.band(band) & ((1ULL << kBucketBits) - 1));
+    return (band << kBucketBits) | prefix;
+}
+
+void
+SignalStore::indexWindow(const StoredWindow &window,
+                         std::uint64_t slot)
+{
+    if (window.hash.bandCount() == 0)
+        return;
+    for (unsigned b = 0; b < window.hash.bandCount(); ++b)
+        buckets[bucketKey(window.hash, b)].push_back(slot);
+    ++indexed;
+}
+
+void
+SignalStore::unindexWindow(const StoredWindow &window,
+                           std::uint64_t slot)
+{
+    if (window.hash.bandCount() == 0)
+        return;
+    for (unsigned b = 0; b < window.hash.bandCount(); ++b) {
+        const auto it = buckets.find(bucketKey(window.hash, b));
+        SCALO_ASSERT(it != buckets.end() &&
+                         !it->second.empty() &&
+                         it->second.front() == slot,
+                     "bucket index out of step with the ring");
+        it->second.pop_front();
+        if (it->second.empty())
+            buckets.erase(it);
+    }
+    --indexed;
 }
 
 void
@@ -26,11 +65,28 @@ SignalStore::append(StoredWindow window)
     (void)bytes;
 
     windows.push_back(std::move(window));
+    indexWindow(windows.back(), baseSlot + windows.size() - 1);
     while (windows.size() > capacity) {
+        unindexWindow(windows.front(), baseSlot);
         windows.pop_front();
+        ++baseSlot;
         ++dropped;
     }
 }
+
+namespace {
+
+/** Stable timestamp order: by timestamp, ingest order on ties. */
+void
+sortByTimestamp(std::vector<const StoredWindow *> &out)
+{
+    std::stable_sort(out.begin(), out.end(),
+                     [](const StoredWindow *a, const StoredWindow *b) {
+                         return a->timestampUs < b->timestampUs;
+                     });
+}
+
+} // namespace
 
 std::vector<const StoredWindow *>
 SignalStore::range(std::uint64_t t0_us, std::uint64_t t1_us) const
@@ -40,6 +96,38 @@ SignalStore::range(std::uint64_t t0_us, std::uint64_t t1_us) const
         if (window.timestampUs >= t0_us &&
             window.timestampUs <= t1_us)
             out.push_back(&window);
+    sortByTimestamp(out);
+    return out;
+}
+
+std::vector<const StoredWindow *>
+SignalStore::candidates(const lsh::Signature &probe,
+                        std::uint64_t t0_us,
+                        std::uint64_t t1_us) const
+{
+    // Union of the probe's buckets, deduplicated across bands (a
+    // window can share more than one band prefix with the probe).
+    std::vector<std::uint64_t> slots;
+    for (unsigned b = 0; b < probe.bandCount(); ++b) {
+        const auto it = buckets.find(bucketKey(probe, b));
+        if (it == buckets.end())
+            continue;
+        slots.insert(slots.end(), it->second.begin(),
+                     it->second.end());
+    }
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()),
+                slots.end());
+
+    std::vector<const StoredWindow *> out;
+    out.reserve(slots.size());
+    for (const std::uint64_t slot : slots) {
+        const StoredWindow &window = windows[slot - baseSlot];
+        if (window.timestampUs >= t0_us &&
+            window.timestampUs <= t1_us)
+            out.push_back(&window);
+    }
+    sortByTimestamp(out);
     return out;
 }
 

@@ -6,12 +6,22 @@
  * electrode-major reorganised layout, whose read/write costs come
  * from the storage controller model. Oldest data is overwritten when
  * a partition fills, as on the device.
+ *
+ * Alongside the raw ring, the store keeps an LSH bucket index over
+ * the Hashes partition: each signature band's low bits select a
+ * bucket holding the slots of every retained window with that band
+ * prefix. Template queries probe the union of the probe's buckets
+ * instead of scanning the whole range, and the read-cost model then
+ * charges only the windows actually touched. The index follows
+ * ring-buffer overwrites: a window's slots are unlinked the moment
+ * the ring drops it.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "scalo/hw/nvm.hpp"
@@ -45,9 +55,27 @@ class SignalStore
     /** Append one window (write-buffered through the SC). */
     void append(StoredWindow window);
 
-    /** Windows captured in [t0, t1] (us), oldest first. */
+    /**
+     * Windows captured in [t0, t1] (us) in stable timestamp order:
+     * sorted by timestamp, ties broken by ingest order. (The raw
+     * deque is insertion-ordered, which diverges from timestamp
+     * order once ring overwrites interleave electrodes.)
+     */
     std::vector<const StoredWindow *>
     range(std::uint64_t t0_us, std::uint64_t t1_us) const;
+
+    /**
+     * Bucket-index probe: every retained window in [t0, t1] whose
+     * signature shares at least one band prefix with @p probe — a
+     * superset of the windows an exact any-band hash-match scan
+     * would return (a strict superset only when bands are wider
+     * than the bucket prefix). Same stable timestamp order as
+     * range(). Windows ingested without a signature are never
+     * indexed and never returned here.
+     */
+    std::vector<const StoredWindow *>
+    candidates(const lsh::Signature &probe, std::uint64_t t0_us,
+               std::uint64_t t1_us) const;
 
     /** Stored windows currently retained. */
     std::size_t size() const { return windows.size(); }
@@ -57,6 +85,12 @@ class SignalStore
 
     /** Windows dropped to the ring so far. */
     std::uint64_t overwritten() const { return dropped; }
+
+    /** Retained windows currently linked into the bucket index. */
+    std::size_t indexedWindows() const { return indexed; }
+
+    /** Bits of each band used as the bucket key. */
+    static constexpr unsigned kBucketBits = 8;
 
     /**
      * Modeled time (ms) to retrieve @p window_count windows through
@@ -71,11 +105,30 @@ class SignalStore
     const hw::StorageController &controller() const { return sc; }
 
   private:
+    /** Bucket key for band @p band of @p signature. */
+    static std::uint32_t bucketKey(const lsh::Signature &signature,
+                                   unsigned band);
+
+    void indexWindow(const StoredWindow &window, std::uint64_t slot);
+    void unindexWindow(const StoredWindow &window,
+                       std::uint64_t slot);
+
     std::size_t capacity;
     std::deque<StoredWindow> windows;
     hw::StorageController sc;
     std::uint64_t dropped = 0;
     double writeCostMs = 0.0;
+
+    /**
+     * band/prefix key -> ascending slots of retained windows whose
+     * signature lands in that bucket. Slots are monotonically
+     * increasing ingest sequence numbers; windows[slot - baseSlot]
+     * is the owning window.
+     */
+    std::unordered_map<std::uint32_t, std::deque<std::uint64_t>>
+        buckets;
+    std::uint64_t baseSlot = 0;
+    std::size_t indexed = 0;
 };
 
 } // namespace scalo::app

@@ -225,6 +225,7 @@ const std::map<std::string, std::vector<PeKind>> kOpPes{
       PeKind::UNPACK, PeKind::DCOMP, PeKind::CCHECK, PeKind::DTW}},
     {"store", {PeKind::SC}},
     {"select", {PeKind::CSEL}},
+    {"query", {PeKind::SC, PeKind::CCHECK}}, ///< interactive retrieval
     {"map", {}},            // routing only
     {"stimulate", {}},      // DAC command, issued by the MC
     {"call_runtime", {}},   // hand-off to the external runtime
@@ -281,6 +282,43 @@ CompiledPipeline
 compileSource(const std::string &source)
 {
     return compile(parse(source));
+}
+
+std::optional<app::Query>
+CompiledPipeline::interactiveQuery() const
+{
+    for (const Stage &stage : stages) {
+        if (stage.op != "query")
+            continue;
+        app::Query query;
+        // Durations arrive from the lexer normalised to ms.
+        if (const auto t0 = stage.params.find("t0");
+            t0 != stage.params.end()) {
+            if (t0->second < 0.0)
+                SCALO_FATAL("query(): t0 < 0");
+            query.t0Us =
+                static_cast<std::uint64_t>(t0->second * 1'000.0);
+        }
+        if (const auto t1 = stage.params.find("t1");
+            t1 != stage.params.end()) {
+            if (t1->second < 0.0)
+                SCALO_FATAL("query(): t1 < 0");
+            query.t1Us =
+                static_cast<std::uint64_t>(t1->second * 1'000.0);
+        }
+        if (query.t0Us > query.t1Us)
+            SCALO_FATAL("query(): t0 after t1");
+        query.seizureOnly = stage.params.count("seizure") > 0;
+        if (const auto dtw = stage.params.find("dtw");
+            dtw != stage.params.end())
+            query.dtwThreshold = dtw->second;
+        if (stage.params.count("exact"))
+            query.hashPrefilter = false;
+        if (stage.params.count("noindex"))
+            query.useIndex = false;
+        return query;
+    }
+    return std::nullopt;
 }
 
 std::vector<hw::PeKind>

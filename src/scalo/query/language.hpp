@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "scalo/app/query.hpp"
 #include "scalo/hw/fabric.hpp"
 
 namespace scalo::query {
@@ -61,6 +62,19 @@ struct CompiledPipeline
 
     /** All PEs used, in stage order (for fabric validation). */
     std::vector<hw::PeKind> peChain() const;
+
+    /**
+     * The interactive retrieval this program lowers to, when it
+     * contains a query() stage: the stage's arguments become one
+     * app::Query descriptor for QueryEngine::execute, so the
+     * mini-language and the C++ API share a single query surface.
+     * Supported arguments: t0/t1 (durations, e.g. t1=200ms),
+     * `seizure` (flag filter), dtw=<threshold> (exact confirmation),
+     * `exact` (full-scan DTW, no hash prefilter), `noindex` (linear
+     * hash scan instead of the bucket index). A probe template is
+     * data, not syntax — attach it to the returned descriptor.
+     */
+    std::optional<app::Query> interactiveQuery() const;
 
     /** Total fixed pipeline latency (ms). */
     double latencyMs() const;

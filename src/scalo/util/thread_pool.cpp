@@ -1,0 +1,145 @@
+#include "scalo/util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace scalo::util {
+
+/**
+ * One parallelFor call in flight. Workers (and the caller) claim
+ * indices with a fetch-add and the last finisher signals completion.
+ */
+struct ThreadPool::Loop
+{
+    std::size_t count = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex errorMtx;
+    std::mutex doneMtx;
+    std::condition_variable doneCv;
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads <= 1)
+        return;
+    workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+ThreadPool::runOne(const std::shared_ptr<Loop> &loop)
+{
+    for (;;) {
+        const std::size_t i =
+            loop->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= loop->count)
+            break;
+        try {
+            (*loop->fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(loop->errorMtx);
+            if (!loop->error)
+                loop->error = std::current_exception();
+        }
+        if (loop->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            loop->count) {
+            std::lock_guard<std::mutex> lock(loop->doneMtx);
+            loop->doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerMain()
+{
+    for (;;) {
+        std::shared_ptr<Loop> loop;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock,
+                    [this] { return stopping || !pending.empty(); });
+            if (pending.empty()) {
+                if (stopping)
+                    return;
+                continue;
+            }
+            loop = pending.front();
+            // Leave the loop queued until its indices are exhausted
+            // so that every idle worker can join in; the front is
+            // dropped once fully claimed.
+            if (loop->next.load(std::memory_order_relaxed) >=
+                loop->count) {
+                pending.pop_front();
+                continue;
+            }
+        }
+        runOne(loop);
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!pending.empty() && pending.front() == loop &&
+                loop->next.load(std::memory_order_relaxed) >=
+                    loop->count) {
+                pending.pop_front();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    auto loop = std::make_shared<Loop>();
+    loop->count = count;
+    loop->fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        pending.push_back(loop);
+    }
+    cv.notify_all();
+
+    // The caller helps drain its own loop, then waits for stragglers.
+    runOne(loop);
+    {
+        std::unique_lock<std::mutex> lock(loop->doneMtx);
+        loop->doneCv.wait(lock, [&] {
+            return loop->done.load(std::memory_order_acquire) >=
+                   loop->count;
+        });
+    }
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+} // namespace scalo::util

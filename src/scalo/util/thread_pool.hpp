@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A small reusable worker pool for the query runtime (and any other
+ * host-side fan-out). Work is modeled as index-parallel loops: the
+ * caller hands parallelFor a count and a function of the index, and
+ * the pool partitions the indices across its workers. A pool of size
+ * <= 1 degenerates to an inline sequential loop, which keeps the
+ * single-threaded path trivially deterministic and sanitizer-quiet.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scalo::util {
+
+/** Fixed-size worker pool with index-parallel loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 or 1 means "run inline on the
+     *                caller" (no workers are spawned)
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Joins all workers; pending loops must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers available (0 when running inline). */
+    std::size_t size() const { return workers.size(); }
+
+    /**
+     * Run fn(0) .. fn(count-1), each exactly once, and block until
+     * all have finished. Iterations may run on any worker (or the
+     * caller, which also drains the queue); no two iterations of one
+     * call run the same index. The first exception thrown by any
+     * iteration is rethrown on the caller after the loop drains.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** A sensible default width: hardware concurrency, at least 1. */
+    static std::size_t defaultThreads();
+
+  private:
+    struct Loop;
+
+    void workerMain();
+    static void runOne(const std::shared_ptr<Loop> &loop);
+
+    std::vector<std::thread> workers;
+    std::deque<std::shared_ptr<Loop>> pending;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace scalo::util

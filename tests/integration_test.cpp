@@ -56,7 +56,7 @@ TEST(Integration, DetectStoreQueryPipeline)
         }
     }
 
-    const auto q1 = engine.q1SeizureWindows(0, 4'000'000);
+    const auto q1 = engine.execute(app::Query::q1(0, 4'000'000));
     EXPECT_GT(q1.matches.size(), 5u)
         << "the seizure segments must be retrievable";
     EXPECT_LT(q1.matchedFraction(), 0.5)

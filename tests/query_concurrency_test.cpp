@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Concurrency and index-correctness tests for the sharded query
+ * runtime: the thread pool itself, the invariant that execute() is
+ * bit-identical at every parallelism (the merge is deterministic),
+ * and the property that the bucket index never loses a hash match
+ * under random ingest with ring-buffer overwrite churn. This binary
+ * is the one to run under -DSCALO_SANITIZE=thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "scalo/app/query_engine.hpp"
+#include "scalo/lsh/hasher.hpp"
+#include "scalo/util/rng.hpp"
+#include "scalo/util/thread_pool.hpp"
+
+namespace scalo {
+namespace {
+
+// ---------------------------------------------------------------
+// ThreadPool unit tests.
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    util::ThreadPool pool(8);
+    constexpr std::size_t kCount = 10'000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, InlineWhenSmall)
+{
+    util::ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 0u); // degenerates to the caller thread
+    std::size_t sum = 0;
+    pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum, 4'950u);
+}
+
+TEST(ThreadPool, ReusableAcrossLoops)
+{
+    util::ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> count{0};
+        pool.parallelFor(64, [&](std::size_t) {
+            count.fetch_add(1, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(count.load(), 64u);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    util::ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(32,
+                                  [&](std::size_t i) {
+                                      if (i == 7)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The pool survives a throwing loop.
+    std::atomic<std::size_t> count{0};
+    pool.parallelFor(8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8u);
+}
+
+// ---------------------------------------------------------------
+// Parallel execution is bit-identical to the sequential path.
+
+std::vector<double>
+shapedWindow(double freq, std::size_t n, double phase, Rng &noise,
+             double noise_sd)
+{
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::sin(2.0 * M_PI * freq *
+                              static_cast<double>(i) /
+                              static_cast<double>(n) +
+                          phase) +
+                 noise.gaussian(0.0, noise_sd);
+    return out;
+}
+
+class ShardedQueryFixture : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kNodes = 8;
+    static constexpr std::size_t kSamples = 96;
+
+    void
+    SetUp() override
+    {
+        engine =
+            std::make_unique<app::QueryEngine>(kNodes, kSamples, 7);
+        Rng noise(41);
+        // Electrode-major ingest per node so insertion order and
+        // timestamp order diverge; every 7th window is a noisy copy
+        // of the probe shape, every 11th is seizure-flagged.
+        for (NodeId node = 0; node < kNodes; ++node) {
+            for (ElectrodeId e = 0; e < 2; ++e) {
+                for (std::uint64_t w = 0; w < 60; ++w) {
+                    const std::uint64_t t = w * 4'000 + e * 1'700;
+                    const bool probe_like = (w + e) % 7 == 0;
+                    const bool seizure = (w + e) % 11 == 0;
+                    auto window =
+                        probe_like
+                            ? shapedWindow(6.0, kSamples, 0.3,
+                                           noise, 0.05)
+                            : shapedWindow(noise.uniform(2.0, 20.0),
+                                           kSamples,
+                                           noise.uniform(0.0, 6.0),
+                                           noise, 0.5);
+                    engine->ingest(node, t, e, window, seizure);
+                }
+            }
+        }
+        Rng probe_noise(43);
+        probe = shapedWindow(6.0, kSamples, 0.3, probe_noise, 0.05);
+    }
+
+    /** The query shapes the identity must hold for. */
+    std::vector<app::Query>
+    testQueries() const
+    {
+        std::vector<app::Query> queries;
+        queries.push_back(app::Query::q1(0, 300'000));
+        queries.push_back(app::Query::q2(0, 300'000, probe));
+        queries.push_back(app::Query::q3(10'000, 150'000));
+        auto no_index = app::Query::q2(0, 300'000, probe);
+        no_index.useIndex = false;
+        queries.push_back(no_index);
+        auto legacy_dtw = app::Query::q2(0, 300'000, probe, 12.0);
+        queries.push_back(legacy_dtw);
+        auto confirmed = app::Query::q2(0, 300'000, probe);
+        confirmed.dtwThreshold = 12.0;
+        confirmed.seizureOnly = true;
+        queries.push_back(confirmed);
+        return queries;
+    }
+
+    static void
+    expectIdentical(const app::QueryExecution &a,
+                    const app::QueryExecution &b)
+    {
+        EXPECT_EQ(a.matches, b.matches); // same pointers, same order
+        EXPECT_EQ(a.scanned, b.scanned);
+        EXPECT_EQ(a.transferBytes, b.transferBytes);
+        EXPECT_EQ(a.latencyMs, b.latencyMs); // modeled, exact
+        ASSERT_EQ(a.perNode.size(), b.perNode.size());
+        for (std::size_t n = 0; n < a.perNode.size(); ++n) {
+            EXPECT_EQ(a.perNode[n].scanned, b.perNode[n].scanned);
+            EXPECT_EQ(a.perNode[n].bucketHits,
+                      b.perNode[n].bucketHits);
+            EXPECT_EQ(a.perNode[n].dtwComparisons,
+                      b.perNode[n].dtwComparisons);
+            EXPECT_EQ(a.perNode[n].matched, b.perNode[n].matched);
+            EXPECT_EQ(a.perNode[n].modeledMs,
+                      b.perNode[n].modeledMs);
+        }
+    }
+
+    std::unique_ptr<app::QueryEngine> engine;
+    std::vector<double> probe;
+};
+
+TEST_F(ShardedQueryFixture, ParallelResultsMatchSequential)
+{
+    for (const app::Query &query : testQueries()) {
+        engine->setParallelism(1);
+        const auto sequential = engine->execute(query);
+        EXPECT_FALSE(sequential.matches.empty());
+        for (std::size_t threads : {2u, 8u}) {
+            engine->setParallelism(threads);
+            expectIdentical(sequential, engine->execute(query));
+        }
+    }
+}
+
+TEST_F(ShardedQueryFixture, RepeatedParallelRunsAreStable)
+{
+    engine->setParallelism(8);
+    const auto query = app::Query::q2(0, 300'000, probe);
+    const auto first = engine->execute(query);
+    for (int run = 0; run < 10; ++run)
+        expectIdentical(first, engine->execute(query));
+}
+
+// ---------------------------------------------------------------
+// Property: the bucket index never loses an exact hash match,
+// under random ingest + overwrite churn.
+
+TEST(BucketIndexProperty, CandidatesCoverHashMatches)
+{
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed);
+        const std::size_t samples = 64;
+        lsh::WindowHasher hasher(signal::Measure::Dtw, samples,
+                                 seed);
+        app::SignalStore store(96); // small ring: heavy churn
+        for (std::uint64_t i = 0; i < 500; ++i) {
+            app::StoredWindow window;
+            // Timestamps jitter out of insertion order.
+            window.timestampUs =
+                i * 1'000 +
+                static_cast<std::uint64_t>(rng.below(2'000));
+            window.electrode =
+                static_cast<ElectrodeId>(rng.below(4));
+            window.samples.resize(samples);
+            for (double &v : window.samples)
+                v = rng.gaussian();
+            window.hash = hasher.hash(window.samples);
+            store.append(std::move(window));
+        }
+        ASSERT_GT(store.overwritten(), 0u);
+        ASSERT_EQ(store.indexedWindows(), store.size());
+
+        for (int p = 0; p < 20; ++p) {
+            std::vector<double> probe(samples);
+            for (double &v : probe)
+                v = rng.gaussian();
+            const lsh::Signature probe_hash = hasher.hash(probe);
+            const std::uint64_t t0 = rng.below(300'000);
+            const std::uint64_t t1 = t0 + rng.below(300'000);
+
+            const auto candidates =
+                store.candidates(probe_hash, t0, t1);
+            // Exhaustive scan: every exact hash match in range must
+            // be among the candidates.
+            for (const app::StoredWindow *window :
+                 store.range(t0, t1)) {
+                if (!probe_hash.matches(window->hash))
+                    continue;
+                EXPECT_NE(std::find(candidates.begin(),
+                                    candidates.end(), window),
+                          candidates.end())
+                    << "seed " << seed << " probe " << p
+                    << " lost a hash match";
+            }
+            // And candidates never stray outside the time range.
+            for (const app::StoredWindow *window : candidates) {
+                EXPECT_GE(window->timestampUs, t0);
+                EXPECT_LE(window->timestampUs, t1);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace scalo

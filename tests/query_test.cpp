@@ -98,6 +98,56 @@ TEST(Compiler, PipelineCostsAreConsistent)
     EXPECT_GT(heavy.powerMw(96.0), cheap.powerMw(96.0));
 }
 
+TEST(Compiler, QueryOpLowersToDescriptor)
+{
+    const auto pipeline = compileSource(
+        "stream.query(t0=400ms, t1=600ms, seizure, dtw=15)");
+    const auto lowered = pipeline.interactiveQuery();
+    ASSERT_TRUE(lowered.has_value());
+    EXPECT_EQ(lowered->t0Us, 400'000u);
+    EXPECT_EQ(lowered->t1Us, 600'000u);
+    EXPECT_TRUE(lowered->seizureOnly);
+    EXPECT_DOUBLE_EQ(lowered->dtwThreshold, 15.0);
+    EXPECT_TRUE(lowered->hashPrefilter);
+    EXPECT_TRUE(lowered->useIndex);
+    EXPECT_TRUE(lowered->probe.empty()) << "probes are data";
+}
+
+TEST(Compiler, QueryOpDefaultsAndModes)
+{
+    // Defaults: whole retained history, no filters, indexed.
+    const auto all = compileSource("stream.query()")
+                         .interactiveQuery();
+    ASSERT_TRUE(all.has_value());
+    EXPECT_EQ(all->t0Us, 0u);
+    EXPECT_EQ(all->t1Us, UINT64_MAX);
+    EXPECT_FALSE(all->seizureOnly);
+    EXPECT_LT(all->dtwThreshold, 0.0);
+
+    const auto exact = compileSource(
+                           "stream.query(t1=100ms, exact, dtw=9)")
+                           .interactiveQuery();
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_FALSE(exact->hashPrefilter);
+
+    const auto linear = compileSource("stream.query(noindex)")
+                            .interactiveQuery();
+    ASSERT_TRUE(linear.has_value());
+    EXPECT_FALSE(linear->useIndex);
+
+    // Non-retrieval programs lower to nothing.
+    EXPECT_FALSE(compileSource("stream.window(wsize=4ms).sbp()")
+                     .interactiveQuery()
+                     .has_value());
+}
+
+TEST(Compiler, QueryOpRejectsInvertedRange)
+{
+    const auto pipeline =
+        compileSource("stream.query(t0=600ms, t1=400ms)");
+    EXPECT_THROW(pipeline.interactiveQuery(), std::runtime_error);
+}
+
 TEST(Compiler, SupportedOpsListedAndCompilable)
 {
     for (const std::string &op : supportedOps()) {
