@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_queries"
+  "../bench/bench_fig10_queries.pdb"
+  "CMakeFiles/bench_fig10_queries.dir/bench_fig10_queries.cpp.o"
+  "CMakeFiles/bench_fig10_queries.dir/bench_fig10_queries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

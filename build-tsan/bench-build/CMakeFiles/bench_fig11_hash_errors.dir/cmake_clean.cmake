@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_hash_errors"
+  "../bench/bench_fig11_hash_errors.pdb"
+  "CMakeFiles/bench_fig11_hash_errors.dir/bench_fig11_hash_errors.cpp.o"
+  "CMakeFiles/bench_fig11_hash_errors.dir/bench_fig11_hash_errors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hash_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_network_errors"
+  "../bench/bench_fig12_network_errors.pdb"
+  "CMakeFiles/bench_fig12_network_errors.dir/bench_fig12_network_errors.cpp.o"
+  "CMakeFiles/bench_fig12_network_errors.dir/bench_fig12_network_errors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_network_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_radio_dse"
+  "../bench/bench_fig13_radio_dse.pdb"
+  "CMakeFiles/bench_fig13_radio_dse.dir/bench_fig13_radio_dse.cpp.o"
+  "CMakeFiles/bench_fig13_radio_dse.dir/bench_fig13_radio_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_radio_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_hash_params"
+  "../bench/bench_fig14_hash_params.pdb"
+  "CMakeFiles/bench_fig14_hash_params.dir/bench_fig14_hash_params.cpp.o"
+  "CMakeFiles/bench_fig14_hash_params.dir/bench_fig14_hash_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hash_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_error_delay"
+  "../bench/bench_fig15_error_delay.pdb"
+  "CMakeFiles/bench_fig15_error_delay.dir/bench_fig15_error_delay.cpp.o"
+  "CMakeFiles/bench_fig15_error_delay.dir/bench_fig15_error_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_error_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

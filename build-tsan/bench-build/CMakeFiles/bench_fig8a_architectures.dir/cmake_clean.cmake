@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a_architectures"
+  "../bench/bench_fig8a_architectures.pdb"
+  "CMakeFiles/bench_fig8a_architectures.dir/bench_fig8a_architectures.cpp.o"
+  "CMakeFiles/bench_fig8a_architectures.dir/bench_fig8a_architectures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

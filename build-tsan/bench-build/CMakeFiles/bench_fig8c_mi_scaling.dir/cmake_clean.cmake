@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8c_mi_scaling"
+  "../bench/bench_fig8c_mi_scaling.pdb"
+  "CMakeFiles/bench_fig8c_mi_scaling.dir/bench_fig8c_mi_scaling.cpp.o"
+  "CMakeFiles/bench_fig8c_mi_scaling.dir/bench_fig8c_mi_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_mi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

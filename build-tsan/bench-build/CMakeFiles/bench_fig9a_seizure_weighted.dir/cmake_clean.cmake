@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9a_seizure_weighted"
+  "../bench/bench_fig9a_seizure_weighted.pdb"
+  "CMakeFiles/bench_fig9a_seizure_weighted.dir/bench_fig9a_seizure_weighted.cpp.o"
+  "CMakeFiles/bench_fig9a_seizure_weighted.dir/bench_fig9a_seizure_weighted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_seizure_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

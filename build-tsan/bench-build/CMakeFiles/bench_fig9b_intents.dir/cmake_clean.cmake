@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9b_intents"
+  "../bench/bench_fig9b_intents.pdb"
+  "CMakeFiles/bench_fig9b_intents.dir/bench_fig9b_intents.cpp.o"
+  "CMakeFiles/bench_fig9b_intents.dir/bench_fig9b_intents.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_intents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_propagation_timing"
+  "../bench/bench_propagation_timing.pdb"
+  "CMakeFiles/bench_propagation_timing.dir/bench_propagation_timing.cpp.o"
+  "CMakeFiles/bench_propagation_timing.dir/bench_propagation_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_propagation_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

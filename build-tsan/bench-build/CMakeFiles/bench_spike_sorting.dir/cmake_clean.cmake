@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spike_sorting"
+  "../bench/bench_spike_sorting.pdb"
+  "CMakeFiles/bench_spike_sorting.dir/bench_spike_sorting.cpp.o"
+  "CMakeFiles/bench_spike_sorting.dir/bench_spike_sorting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spike_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_pe_catalog"
+  "../bench/bench_table1_pe_catalog.pdb"
+  "CMakeFiles/bench_table1_pe_catalog.dir/bench_table1_pe_catalog.cpp.o"
+  "CMakeFiles/bench_table1_pe_catalog.dir/bench_table1_pe_catalog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pe_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_radios"
+  "../bench/bench_table3_radios.pdb"
+  "CMakeFiles/bench_table3_radios.dir/bench_table3_radios.cpp.o"
+  "CMakeFiles/bench_table3_radios.dir/bench_table3_radios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_radios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

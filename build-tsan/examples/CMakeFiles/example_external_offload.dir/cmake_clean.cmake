@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_external_offload.dir/external_offload.cpp.o"
+  "CMakeFiles/example_external_offload.dir/external_offload.cpp.o.d"
+  "example_external_offload"
+  "example_external_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_external_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interactive_queries.dir/interactive_queries.cpp.o"
+  "CMakeFiles/example_interactive_queries.dir/interactive_queries.cpp.o.d"
+  "example_interactive_queries"
+  "example_interactive_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interactive_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

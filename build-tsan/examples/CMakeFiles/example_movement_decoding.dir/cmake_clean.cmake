@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_movement_decoding.dir/movement_decoding.cpp.o"
+  "CMakeFiles/example_movement_decoding.dir/movement_decoding.cpp.o.d"
+  "example_movement_decoding"
+  "example_movement_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_movement_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

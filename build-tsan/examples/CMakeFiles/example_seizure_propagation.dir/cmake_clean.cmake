@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_seizure_propagation.dir/seizure_propagation.cpp.o"
+  "CMakeFiles/example_seizure_propagation.dir/seizure_propagation.cpp.o.d"
+  "example_seizure_propagation"
+  "example_seizure_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_seizure_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spike_sorting.dir/spike_sorting.cpp.o"
+  "CMakeFiles/example_spike_sorting.dir/spike_sorting.cpp.o.d"
+  "example_spike_sorting"
+  "example_spike_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spike_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_spike_sorting.
+# This may be replaced when dependencies are built.

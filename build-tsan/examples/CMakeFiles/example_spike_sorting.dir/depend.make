@@ -1,0 +1,2 @@
+# Empty dependencies file for example_spike_sorting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/app/movement.cpp" "src/CMakeFiles/scalo_app.dir/scalo/app/movement.cpp.o" "gcc" "src/CMakeFiles/scalo_app.dir/scalo/app/movement.cpp.o.d"
+  "/root/repo/src/scalo/app/query.cpp" "src/CMakeFiles/scalo_app.dir/scalo/app/query.cpp.o" "gcc" "src/CMakeFiles/scalo_app.dir/scalo/app/query.cpp.o.d"
+  "/root/repo/src/scalo/app/query_engine.cpp" "src/CMakeFiles/scalo_app.dir/scalo/app/query_engine.cpp.o" "gcc" "src/CMakeFiles/scalo_app.dir/scalo/app/query_engine.cpp.o.d"
+  "/root/repo/src/scalo/app/seizure.cpp" "src/CMakeFiles/scalo_app.dir/scalo/app/seizure.cpp.o" "gcc" "src/CMakeFiles/scalo_app.dir/scalo/app/seizure.cpp.o.d"
+  "/root/repo/src/scalo/app/spikesort.cpp" "src/CMakeFiles/scalo_app.dir/scalo/app/spikesort.cpp.o" "gcc" "src/CMakeFiles/scalo_app.dir/scalo/app/spikesort.cpp.o.d"
+  "/root/repo/src/scalo/app/stimulation.cpp" "src/CMakeFiles/scalo_app.dir/scalo/app/stimulation.cpp.o" "gcc" "src/CMakeFiles/scalo_app.dir/scalo/app/stimulation.cpp.o.d"
+  "/root/repo/src/scalo/app/store.cpp" "src/CMakeFiles/scalo_app.dir/scalo/app/store.cpp.o" "gcc" "src/CMakeFiles/scalo_app.dir/scalo/app/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_signal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_lsh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_sched.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

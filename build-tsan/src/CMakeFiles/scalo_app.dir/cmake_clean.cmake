@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_app.dir/scalo/app/movement.cpp.o"
+  "CMakeFiles/scalo_app.dir/scalo/app/movement.cpp.o.d"
+  "CMakeFiles/scalo_app.dir/scalo/app/query.cpp.o"
+  "CMakeFiles/scalo_app.dir/scalo/app/query.cpp.o.d"
+  "CMakeFiles/scalo_app.dir/scalo/app/query_engine.cpp.o"
+  "CMakeFiles/scalo_app.dir/scalo/app/query_engine.cpp.o.d"
+  "CMakeFiles/scalo_app.dir/scalo/app/seizure.cpp.o"
+  "CMakeFiles/scalo_app.dir/scalo/app/seizure.cpp.o.d"
+  "CMakeFiles/scalo_app.dir/scalo/app/spikesort.cpp.o"
+  "CMakeFiles/scalo_app.dir/scalo/app/spikesort.cpp.o.d"
+  "CMakeFiles/scalo_app.dir/scalo/app/stimulation.cpp.o"
+  "CMakeFiles/scalo_app.dir/scalo/app/stimulation.cpp.o.d"
+  "CMakeFiles/scalo_app.dir/scalo/app/store.cpp.o"
+  "CMakeFiles/scalo_app.dir/scalo/app/store.cpp.o.d"
+  "libscalo_app.a"
+  "libscalo_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

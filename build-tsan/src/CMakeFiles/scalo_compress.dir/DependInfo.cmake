@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/compress/elias.cpp" "src/CMakeFiles/scalo_compress.dir/scalo/compress/elias.cpp.o" "gcc" "src/CMakeFiles/scalo_compress.dir/scalo/compress/elias.cpp.o.d"
+  "/root/repo/src/scalo/compress/hcomp.cpp" "src/CMakeFiles/scalo_compress.dir/scalo/compress/hcomp.cpp.o" "gcc" "src/CMakeFiles/scalo_compress.dir/scalo/compress/hcomp.cpp.o.d"
+  "/root/repo/src/scalo/compress/lic.cpp" "src/CMakeFiles/scalo_compress.dir/scalo/compress/lic.cpp.o" "gcc" "src/CMakeFiles/scalo_compress.dir/scalo/compress/lic.cpp.o.d"
+  "/root/repo/src/scalo/compress/lz.cpp" "src/CMakeFiles/scalo_compress.dir/scalo/compress/lz.cpp.o" "gcc" "src/CMakeFiles/scalo_compress.dir/scalo/compress/lz.cpp.o.d"
+  "/root/repo/src/scalo/compress/range_coder.cpp" "src/CMakeFiles/scalo_compress.dir/scalo/compress/range_coder.cpp.o" "gcc" "src/CMakeFiles/scalo_compress.dir/scalo/compress/range_coder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

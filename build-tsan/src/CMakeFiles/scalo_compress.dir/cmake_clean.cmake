@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_compress.dir/scalo/compress/elias.cpp.o"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/elias.cpp.o.d"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/hcomp.cpp.o"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/hcomp.cpp.o.d"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/lic.cpp.o"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/lic.cpp.o.d"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/lz.cpp.o"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/lz.cpp.o.d"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/range_coder.cpp.o"
+  "CMakeFiles/scalo_compress.dir/scalo/compress/range_coder.cpp.o.d"
+  "libscalo_compress.a"
+  "libscalo_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_core.dir/scalo/core/system.cpp.o"
+  "CMakeFiles/scalo_core.dir/scalo/core/system.cpp.o.d"
+  "libscalo_core.a"
+  "libscalo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

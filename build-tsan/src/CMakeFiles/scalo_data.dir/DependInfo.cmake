@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/data/ieeg_synth.cpp" "src/CMakeFiles/scalo_data.dir/scalo/data/ieeg_synth.cpp.o" "gcc" "src/CMakeFiles/scalo_data.dir/scalo/data/ieeg_synth.cpp.o.d"
+  "/root/repo/src/scalo/data/spike_synth.cpp" "src/CMakeFiles/scalo_data.dir/scalo/data/spike_synth.cpp.o" "gcc" "src/CMakeFiles/scalo_data.dir/scalo/data/spike_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_data.dir/scalo/data/ieeg_synth.cpp.o"
+  "CMakeFiles/scalo_data.dir/scalo/data/ieeg_synth.cpp.o.d"
+  "CMakeFiles/scalo_data.dir/scalo/data/spike_synth.cpp.o"
+  "CMakeFiles/scalo_data.dir/scalo/data/spike_synth.cpp.o.d"
+  "libscalo_data.a"
+  "libscalo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

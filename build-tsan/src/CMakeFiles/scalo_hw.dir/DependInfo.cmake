@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/hw/charging.cpp" "src/CMakeFiles/scalo_hw.dir/scalo/hw/charging.cpp.o" "gcc" "src/CMakeFiles/scalo_hw.dir/scalo/hw/charging.cpp.o.d"
+  "/root/repo/src/scalo/hw/fabric.cpp" "src/CMakeFiles/scalo_hw.dir/scalo/hw/fabric.cpp.o" "gcc" "src/CMakeFiles/scalo_hw.dir/scalo/hw/fabric.cpp.o.d"
+  "/root/repo/src/scalo/hw/nvm.cpp" "src/CMakeFiles/scalo_hw.dir/scalo/hw/nvm.cpp.o" "gcc" "src/CMakeFiles/scalo_hw.dir/scalo/hw/nvm.cpp.o.d"
+  "/root/repo/src/scalo/hw/pe.cpp" "src/CMakeFiles/scalo_hw.dir/scalo/hw/pe.cpp.o" "gcc" "src/CMakeFiles/scalo_hw.dir/scalo/hw/pe.cpp.o.d"
+  "/root/repo/src/scalo/hw/switches.cpp" "src/CMakeFiles/scalo_hw.dir/scalo/hw/switches.cpp.o" "gcc" "src/CMakeFiles/scalo_hw.dir/scalo/hw/switches.cpp.o.d"
+  "/root/repo/src/scalo/hw/thermal.cpp" "src/CMakeFiles/scalo_hw.dir/scalo/hw/thermal.cpp.o" "gcc" "src/CMakeFiles/scalo_hw.dir/scalo/hw/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_hw.dir/scalo/hw/charging.cpp.o"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/charging.cpp.o.d"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/fabric.cpp.o"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/fabric.cpp.o.d"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/nvm.cpp.o"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/nvm.cpp.o.d"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/pe.cpp.o"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/pe.cpp.o.d"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/switches.cpp.o"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/switches.cpp.o.d"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/thermal.cpp.o"
+  "CMakeFiles/scalo_hw.dir/scalo/hw/thermal.cpp.o.d"
+  "libscalo_hw.a"
+  "libscalo_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

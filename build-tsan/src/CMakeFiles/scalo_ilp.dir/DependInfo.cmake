@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/ilp/model.cpp" "src/CMakeFiles/scalo_ilp.dir/scalo/ilp/model.cpp.o" "gcc" "src/CMakeFiles/scalo_ilp.dir/scalo/ilp/model.cpp.o.d"
+  "/root/repo/src/scalo/ilp/solver.cpp" "src/CMakeFiles/scalo_ilp.dir/scalo/ilp/solver.cpp.o" "gcc" "src/CMakeFiles/scalo_ilp.dir/scalo/ilp/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_ilp.dir/scalo/ilp/model.cpp.o"
+  "CMakeFiles/scalo_ilp.dir/scalo/ilp/model.cpp.o.d"
+  "CMakeFiles/scalo_ilp.dir/scalo/ilp/solver.cpp.o"
+  "CMakeFiles/scalo_ilp.dir/scalo/ilp/solver.cpp.o.d"
+  "libscalo_ilp.a"
+  "libscalo_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_linalg.dir/scalo/linalg/matrix.cpp.o"
+  "CMakeFiles/scalo_linalg.dir/scalo/linalg/matrix.cpp.o.d"
+  "libscalo_linalg.a"
+  "libscalo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

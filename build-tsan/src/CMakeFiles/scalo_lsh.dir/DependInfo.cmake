@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/lsh/collision.cpp" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/collision.cpp.o" "gcc" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/collision.cpp.o.d"
+  "/root/repo/src/scalo/lsh/emd_hash.cpp" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/emd_hash.cpp.o" "gcc" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/emd_hash.cpp.o.d"
+  "/root/repo/src/scalo/lsh/hasher.cpp" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/hasher.cpp.o" "gcc" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/hasher.cpp.o.d"
+  "/root/repo/src/scalo/lsh/signature.cpp" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/signature.cpp.o" "gcc" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/signature.cpp.o.d"
+  "/root/repo/src/scalo/lsh/ssh.cpp" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/ssh.cpp.o" "gcc" "src/CMakeFiles/scalo_lsh.dir/scalo/lsh/ssh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

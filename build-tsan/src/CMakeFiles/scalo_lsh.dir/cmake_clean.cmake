@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/collision.cpp.o"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/collision.cpp.o.d"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/emd_hash.cpp.o"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/emd_hash.cpp.o.d"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/hasher.cpp.o"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/hasher.cpp.o.d"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/signature.cpp.o"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/signature.cpp.o.d"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/ssh.cpp.o"
+  "CMakeFiles/scalo_lsh.dir/scalo/lsh/ssh.cpp.o.d"
+  "libscalo_lsh.a"
+  "libscalo_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

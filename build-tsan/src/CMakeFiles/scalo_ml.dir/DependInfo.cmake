@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/ml/kalman.cpp" "src/CMakeFiles/scalo_ml.dir/scalo/ml/kalman.cpp.o" "gcc" "src/CMakeFiles/scalo_ml.dir/scalo/ml/kalman.cpp.o.d"
+  "/root/repo/src/scalo/ml/nn.cpp" "src/CMakeFiles/scalo_ml.dir/scalo/ml/nn.cpp.o" "gcc" "src/CMakeFiles/scalo_ml.dir/scalo/ml/nn.cpp.o.d"
+  "/root/repo/src/scalo/ml/svm.cpp" "src/CMakeFiles/scalo_ml.dir/scalo/ml/svm.cpp.o" "gcc" "src/CMakeFiles/scalo_ml.dir/scalo/ml/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

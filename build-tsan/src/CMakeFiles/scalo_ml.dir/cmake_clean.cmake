@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_ml.dir/scalo/ml/kalman.cpp.o"
+  "CMakeFiles/scalo_ml.dir/scalo/ml/kalman.cpp.o.d"
+  "CMakeFiles/scalo_ml.dir/scalo/ml/nn.cpp.o"
+  "CMakeFiles/scalo_ml.dir/scalo/ml/nn.cpp.o.d"
+  "CMakeFiles/scalo_ml.dir/scalo/ml/svm.cpp.o"
+  "CMakeFiles/scalo_ml.dir/scalo/ml/svm.cpp.o.d"
+  "libscalo_ml.a"
+  "libscalo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

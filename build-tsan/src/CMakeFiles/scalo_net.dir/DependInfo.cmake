@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/net/channel.cpp" "src/CMakeFiles/scalo_net.dir/scalo/net/channel.cpp.o" "gcc" "src/CMakeFiles/scalo_net.dir/scalo/net/channel.cpp.o.d"
+  "/root/repo/src/scalo/net/packet.cpp" "src/CMakeFiles/scalo_net.dir/scalo/net/packet.cpp.o" "gcc" "src/CMakeFiles/scalo_net.dir/scalo/net/packet.cpp.o.d"
+  "/root/repo/src/scalo/net/radio.cpp" "src/CMakeFiles/scalo_net.dir/scalo/net/radio.cpp.o" "gcc" "src/CMakeFiles/scalo_net.dir/scalo/net/radio.cpp.o.d"
+  "/root/repo/src/scalo/net/tdma.cpp" "src/CMakeFiles/scalo_net.dir/scalo/net/tdma.cpp.o" "gcc" "src/CMakeFiles/scalo_net.dir/scalo/net/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

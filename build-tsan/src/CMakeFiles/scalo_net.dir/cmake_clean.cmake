@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_net.dir/scalo/net/channel.cpp.o"
+  "CMakeFiles/scalo_net.dir/scalo/net/channel.cpp.o.d"
+  "CMakeFiles/scalo_net.dir/scalo/net/packet.cpp.o"
+  "CMakeFiles/scalo_net.dir/scalo/net/packet.cpp.o.d"
+  "CMakeFiles/scalo_net.dir/scalo/net/radio.cpp.o"
+  "CMakeFiles/scalo_net.dir/scalo/net/radio.cpp.o.d"
+  "CMakeFiles/scalo_net.dir/scalo/net/tdma.cpp.o"
+  "CMakeFiles/scalo_net.dir/scalo/net/tdma.cpp.o.d"
+  "libscalo_net.a"
+  "libscalo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

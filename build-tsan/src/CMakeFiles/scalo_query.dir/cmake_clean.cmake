@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_query.dir/scalo/query/codegen.cpp.o"
+  "CMakeFiles/scalo_query.dir/scalo/query/codegen.cpp.o.d"
+  "CMakeFiles/scalo_query.dir/scalo/query/language.cpp.o"
+  "CMakeFiles/scalo_query.dir/scalo/query/language.cpp.o.d"
+  "libscalo_query.a"
+  "libscalo_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscalo_query.a"
+)

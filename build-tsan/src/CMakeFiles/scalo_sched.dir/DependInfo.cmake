@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/sched/architectures.cpp" "src/CMakeFiles/scalo_sched.dir/scalo/sched/architectures.cpp.o" "gcc" "src/CMakeFiles/scalo_sched.dir/scalo/sched/architectures.cpp.o.d"
+  "/root/repo/src/scalo/sched/netplan.cpp" "src/CMakeFiles/scalo_sched.dir/scalo/sched/netplan.cpp.o" "gcc" "src/CMakeFiles/scalo_sched.dir/scalo/sched/netplan.cpp.o.d"
+  "/root/repo/src/scalo/sched/scheduler.cpp" "src/CMakeFiles/scalo_sched.dir/scalo/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/scalo_sched.dir/scalo/sched/scheduler.cpp.o.d"
+  "/root/repo/src/scalo/sched/workloads.cpp" "src/CMakeFiles/scalo_sched.dir/scalo/sched/workloads.cpp.o" "gcc" "src/CMakeFiles/scalo_sched.dir/scalo/sched/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

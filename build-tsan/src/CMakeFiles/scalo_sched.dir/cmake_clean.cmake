@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_sched.dir/scalo/sched/architectures.cpp.o"
+  "CMakeFiles/scalo_sched.dir/scalo/sched/architectures.cpp.o.d"
+  "CMakeFiles/scalo_sched.dir/scalo/sched/netplan.cpp.o"
+  "CMakeFiles/scalo_sched.dir/scalo/sched/netplan.cpp.o.d"
+  "CMakeFiles/scalo_sched.dir/scalo/sched/scheduler.cpp.o"
+  "CMakeFiles/scalo_sched.dir/scalo/sched/scheduler.cpp.o.d"
+  "CMakeFiles/scalo_sched.dir/scalo/sched/workloads.cpp.o"
+  "CMakeFiles/scalo_sched.dir/scalo/sched/workloads.cpp.o.d"
+  "libscalo_sched.a"
+  "libscalo_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

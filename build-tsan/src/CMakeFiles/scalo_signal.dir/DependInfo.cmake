@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/signal/butterworth.cpp" "src/CMakeFiles/scalo_signal.dir/scalo/signal/butterworth.cpp.o" "gcc" "src/CMakeFiles/scalo_signal.dir/scalo/signal/butterworth.cpp.o.d"
+  "/root/repo/src/scalo/signal/distance.cpp" "src/CMakeFiles/scalo_signal.dir/scalo/signal/distance.cpp.o" "gcc" "src/CMakeFiles/scalo_signal.dir/scalo/signal/distance.cpp.o.d"
+  "/root/repo/src/scalo/signal/features.cpp" "src/CMakeFiles/scalo_signal.dir/scalo/signal/features.cpp.o" "gcc" "src/CMakeFiles/scalo_signal.dir/scalo/signal/features.cpp.o.d"
+  "/root/repo/src/scalo/signal/fft.cpp" "src/CMakeFiles/scalo_signal.dir/scalo/signal/fft.cpp.o" "gcc" "src/CMakeFiles/scalo_signal.dir/scalo/signal/fft.cpp.o.d"
+  "/root/repo/src/scalo/signal/window.cpp" "src/CMakeFiles/scalo_signal.dir/scalo/signal/window.cpp.o" "gcc" "src/CMakeFiles/scalo_signal.dir/scalo/signal/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_signal.dir/scalo/signal/butterworth.cpp.o"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/butterworth.cpp.o.d"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/distance.cpp.o"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/distance.cpp.o.d"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/features.cpp.o"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/features.cpp.o.d"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/fft.cpp.o"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/fft.cpp.o.d"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/window.cpp.o"
+  "CMakeFiles/scalo_signal.dir/scalo/signal/window.cpp.o.d"
+  "libscalo_signal.a"
+  "libscalo_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

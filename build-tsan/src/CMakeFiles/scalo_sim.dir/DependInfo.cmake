@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/sim/error_experiments.cpp" "src/CMakeFiles/scalo_sim.dir/scalo/sim/error_experiments.cpp.o" "gcc" "src/CMakeFiles/scalo_sim.dir/scalo/sim/error_experiments.cpp.o.d"
+  "/root/repo/src/scalo/sim/event_queue.cpp" "src/CMakeFiles/scalo_sim.dir/scalo/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/scalo_sim.dir/scalo/sim/event_queue.cpp.o.d"
+  "/root/repo/src/scalo/sim/pipeline_sim.cpp" "src/CMakeFiles/scalo_sim.dir/scalo/sim/pipeline_sim.cpp.o" "gcc" "src/CMakeFiles/scalo_sim.dir/scalo/sim/pipeline_sim.cpp.o.d"
+  "/root/repo/src/scalo/sim/propagation_timing.cpp" "src/CMakeFiles/scalo_sim.dir/scalo/sim/propagation_timing.cpp.o" "gcc" "src/CMakeFiles/scalo_sim.dir/scalo/sim/propagation_timing.cpp.o.d"
+  "/root/repo/src/scalo/sim/sntp.cpp" "src/CMakeFiles/scalo_sim.dir/scalo/sim/sntp.cpp.o" "gcc" "src/CMakeFiles/scalo_sim.dir/scalo/sim/sntp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_app.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_lsh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_signal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_sched.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_sim.dir/scalo/sim/error_experiments.cpp.o"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/error_experiments.cpp.o.d"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/event_queue.cpp.o"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/event_queue.cpp.o.d"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/pipeline_sim.cpp.o"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/pipeline_sim.cpp.o.d"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/propagation_timing.cpp.o"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/propagation_timing.cpp.o.d"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/sntp.cpp.o"
+  "CMakeFiles/scalo_sim.dir/scalo/sim/sntp.cpp.o.d"
+  "libscalo_sim.a"
+  "libscalo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

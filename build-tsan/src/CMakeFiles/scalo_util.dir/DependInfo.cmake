@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalo/util/aes.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/aes.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/aes.cpp.o.d"
+  "/root/repo/src/scalo/util/bitstream.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/bitstream.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/bitstream.cpp.o.d"
+  "/root/repo/src/scalo/util/crc32.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/crc32.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/crc32.cpp.o.d"
+  "/root/repo/src/scalo/util/logging.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/logging.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/logging.cpp.o.d"
+  "/root/repo/src/scalo/util/rng.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/rng.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/rng.cpp.o.d"
+  "/root/repo/src/scalo/util/stats.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/stats.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/stats.cpp.o.d"
+  "/root/repo/src/scalo/util/table.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o.d"
+  "/root/repo/src/scalo/util/thread_pool.cpp" "src/CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

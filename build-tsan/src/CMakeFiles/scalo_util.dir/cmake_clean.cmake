@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalo_util.dir/scalo/util/aes.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/aes.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/bitstream.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/bitstream.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/crc32.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/crc32.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/logging.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/logging.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/rng.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/rng.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/stats.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/stats.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/table.cpp.o.d"
+  "CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o"
+  "CMakeFiles/scalo_util.dir/scalo/util/thread_pool.cpp.o.d"
+  "libscalo_util.a"
+  "libscalo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_storage_test.dir/app_storage_test.cpp.o"
+  "CMakeFiles/app_storage_test.dir/app_storage_test.cpp.o.d"
+  "app_storage_test"
+  "app_storage_test.pdb"
+  "app_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charging_test.dir/charging_test.cpp.o"
+  "CMakeFiles/charging_test.dir/charging_test.cpp.o.d"
+  "charging_test"
+  "charging_test.pdb"
+  "charging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

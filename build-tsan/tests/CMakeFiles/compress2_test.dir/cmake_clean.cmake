@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress2_test.dir/compress2_test.cpp.o"
+  "CMakeFiles/compress2_test.dir/compress2_test.cpp.o.d"
+  "compress2_test"
+  "compress2_test.pdb"
+  "compress2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

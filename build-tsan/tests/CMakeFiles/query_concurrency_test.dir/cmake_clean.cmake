@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_concurrency_test.dir/query_concurrency_test.cpp.o"
+  "CMakeFiles/query_concurrency_test.dir/query_concurrency_test.cpp.o.d"
+  "query_concurrency_test"
+  "query_concurrency_test.pdb"
+  "query_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2_test.dir/sim2_test.cpp.o"
+  "CMakeFiles/sim2_test.dir/sim2_test.cpp.o.d"
+  "sim2_test"
+  "sim2_test.pdb"
+  "sim2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stimulation_test.dir/stimulation_test.cpp.o"
+  "CMakeFiles/stimulation_test.dir/stimulation_test.cpp.o.d"
+  "stimulation_test"
+  "stimulation_test.pdb"
+  "stimulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stimulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

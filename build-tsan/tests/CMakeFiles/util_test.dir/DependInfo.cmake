@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/util_test.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_query.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_app.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_lsh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_signal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_sched.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

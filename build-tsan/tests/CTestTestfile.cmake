@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/app_storage_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/app_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/charging_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/compress2_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/compress_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/data_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/hw_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/lsh_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ml_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/query_concurrency_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/query_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sched_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/signal_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim2_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/stimulation_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
