@@ -46,9 +46,9 @@ main()
     const auto &hcomp_pe = hw::peSpec(hw::PeKind::HCOMP);
     const auto &hfreq_pe = hw::peSpec(hw::PeKind::HFREQ);
     const auto &lz_pe = hw::peSpec(hw::PeKind::LZ);
-    const double hcomp_power =
-        hcomp_pe.powerUw(96) + hfreq_pe.powerUw(96);
-    const double lz_power = lz_pe.powerUw(96);
+    const units::Microwatts hcomp_power =
+        hcomp_pe.power(96) + hfreq_pe.power(96);
+    const units::Microwatts lz_power = lz_pe.power(96);
 
     std::printf("hash traffic (9,600 hashes):\n");
     TextTable hash_table({"codec", "bytes", "ratio", "PE power (uW, "
@@ -59,13 +59,13 @@ main()
         {"HCOMP (HFREQ+dict+RLE+Elias-g)",
          std::to_string(hcomp_block.payload.size()),
          TextTable::num(hcomp_block.compressionRatio(), 2),
-         TextTable::num(hcomp_power, 0)});
+         TextTable::num(hcomp_power.count(), 0)});
     hash_table.addRow(
         {"LZ", std::to_string(lz_hashes.size()),
          TextTable::num(static_cast<double>(raw_hashes.size()) /
                             static_cast<double>(lz_hashes.size()),
                         2),
-         TextTable::num(lz_power, 0)});
+         TextTable::num(lz_power.count(), 0)});
     hash_table.print();
     std::printf("HCOMP/LZ compression ratio: %.2fx; LZ/HCOMP power: "
                 "%.1fx (paper: HCOMP within ~10%% of LZ at ~7x less "

@@ -57,7 +57,8 @@ main()
     };
 
     for (const Case &c : cases) {
-        const double ms = tdma.exchangeMs(c.pattern, c.bytes);
+        const double ms =
+            tdma.exchangeTime(c.pattern, c.bytes).count();
         table.addRow({c.name, std::to_string(c.bytes),
                       TextTable::num(ms, 2),
                       ms <= c.budget_ms ? "yes" : "NO"});

@@ -14,6 +14,7 @@ main()
 {
     using namespace scalo;
     using namespace scalo::hw;
+    using namespace scalo::units::literals;
 
     bench::banner(
         "Ablation: implant spacing vs thermal coupling",
@@ -24,25 +25,31 @@ main()
     TextTable table({"spacing (mm)", "falloff at spacing",
                      "6-neighbour rise (C, 15 mW)", "max implants",
                      "11 implants safe?"});
-    for (double spacing : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+    for (double mm : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+        const units::Millimetres spacing{mm};
         table.addRow(
-            {TextTable::num(spacing, 0),
+            {TextTable::num(mm, 0),
              TextTable::num(model.falloffFraction(spacing), 3),
-             TextTable::num(
-                 model.worstCaseRiseC(spacing, 15.0) - 1.0, 3),
+             TextTable::num(model
+                                    .worstCaseRise(
+                                        spacing, 15.0_mW)
+                                    .count() -
+                                1.0,
+                            3),
              std::to_string(ThermalModel::maxImplants(spacing)),
-             model.safe(11, spacing, 15.0) ? "yes" : "NO"});
+             model.safe(11, spacing, 15.0_mW) ? "yes" : "NO"});
     }
     table.print();
 
     std::printf("\nde-rated power keeps tighter spacings usable:\n");
     for (double mw : {15.0, 9.0, 6.0}) {
-        double spacing = 5.0;
-        while (spacing < 40.0 && !model.safe(11, spacing, mw))
-            spacing += 1.0;
+        units::Millimetres spacing{5.0};
+        while (spacing < 40.0_mm &&
+               !model.safe(11, spacing, units::Milliwatts{mw}))
+            spacing = spacing + 1.0_mm;
         std::printf("  %4.0f mW per implant -> minimum safe spacing "
                     "~%.0f mm\n",
-                    mw, spacing);
+                    mw, spacing.count());
     }
     return 0;
 }

@@ -17,6 +17,7 @@ main()
 {
     using namespace scalo;
     using namespace scalo::app;
+    using namespace scalo::units::literals;
 
     bench::banner(
         "Ablation: electrode-major NVM layout (Section 3.3)",
@@ -30,18 +31,21 @@ main()
         SignalStore store(16, reorganise);
         // A 7 MB / 11-node query scans ~0.64 MB/node = ~2,650 windows.
         const std::size_t windows = 2'650;
-        const double scan_ms = store.readCostMs(windows);
+        const units::Millis scan = store.readCost(windows);
         // Latency model: dispatch + scan + match + 5%-matched radio.
-        const double q1_ms =
-            kQueryDispatchMs + scan_ms + windows / 960.0 * 0.5 +
-            net::externalRadio().transferMs(0.05 * 7e6);
-        table.addRow({reorganise ? "reorganised (SCALO)" : "raw",
-                      TextTable::num(store.controller().chunkWriteMs(),
-                                     3),
-                      TextTable::num(store.controller().chunkReadMs(),
-                                     3),
-                      TextTable::num(scan_ms, 2),
-                      TextTable::num(q1_ms, 1)});
+        const units::Millis q1 =
+            kQueryDispatch + scan +
+            units::Millis{windows / 960.0 * 0.5} +
+            net::externalRadio().transferTime(
+                units::Bytes{0.05 * 7e6});
+        table.addRow(
+            {reorganise ? "reorganised (SCALO)" : "raw",
+             TextTable::num(store.controller().chunkWrite().count(),
+                            3),
+             TextTable::num(store.controller().chunkRead().count(),
+                            3),
+             TextTable::num(scan.count(), 2),
+             TextTable::num(q1.count(), 1)});
     }
     table.print();
 

@@ -20,6 +20,7 @@ main()
 {
     using namespace scalo;
     using namespace scalo::app;
+    using namespace scalo::units::literals;
 
     bench::banner(
         "Figure 10: Interactive query throughput (11 nodes)",
@@ -28,10 +29,11 @@ main()
     TextTable table({"data (MB)", "time range (ms)", "matched",
                      "Q1 QPS", "Q2 QPS", "Q3 QPS"});
     for (double mb : {7.0, 24.0, 42.0, 60.0}) {
-        const double range = timeRangeMsFor(mb, 11);
+        const units::Millis range =
+            timeRangeFor(units::Megabytes{mb}, 11);
         for (double matched : {0.05, 0.5, 1.0}) {
             QueryConfig config;
-            config.dataMb = mb;
+            config.data = units::Megabytes{mb};
             config.matchedFraction = matched;
             const auto q1 =
                 estimateQuery(QueryKind::Q1SeizureWindows, config);
@@ -41,15 +43,16 @@ main()
             if (matched == 1.0) {
                 q3 = TextTable::num(
                     estimateQuery(QueryKind::Q3TimeRange, config)
-                        .queriesPerSecond,
+                        .queriesPerSecond.count(),
                     2);
             }
-            table.addRow({TextTable::num(mb, 0),
-                          TextTable::num(range, 0),
-                          TextTable::num(matched * 100.0, 0) + "%",
-                          TextTable::num(q1.queriesPerSecond, 2),
-                          TextTable::num(q2.queriesPerSecond, 2),
-                          q3});
+            table.addRow(
+                {TextTable::num(mb, 0),
+                 TextTable::num(range.count(), 0),
+                 TextTable::num(matched * 100.0, 0) + "%",
+                 TextTable::num(q1.queriesPerSecond.count(), 2),
+                 TextTable::num(q2.queriesPerSecond.count(), 2),
+                 q3});
         }
     }
     table.print();
@@ -61,8 +64,8 @@ main()
         estimateQuery(QueryKind::Q2TemplateMatch, QueryConfig{});
     std::printf("\nQ2 hash: %.1f QPS @ %.2f mW | Q2 exact DTW: %.1f "
                 "QPS @ %.1f mW (paper: 9 vs 8 QPS, 3.57 vs 15 mW)\n",
-                hash.queriesPerSecond, hash.powerMw,
-                dtw.queriesPerSecond, dtw.powerMw);
+                hash.queriesPerSecond.count(), hash.power.count(),
+                dtw.queriesPerSecond.count(), dtw.power.count());
 
     // ------------------------------------------------------------
     // The executable runtime: Q2 over real stored windows, linear
@@ -121,7 +124,7 @@ main()
                 best = std::move(result);
             }
         }
-        best.wallMs = best_ms;
+        best.wall = units::Millis{best_ms};
         return best;
     };
 
@@ -144,9 +147,9 @@ main()
         "threads %.2f ms (touched %zu, modeled %.0f ms) | wall "
         "speedup %.1fx | match sets %s (%zu windows)\n",
         kNodes, static_cast<unsigned long long>(kPerNode),
-        scan.wallMs, scan.scanned, scan.latencyMs, workers,
-        indexed.wallMs, indexed.scanned, indexed.latencyMs,
-        scan.wallMs / indexed.wallMs,
+        scan.wall.count(), scan.scanned, scan.latency.count(),
+        workers, indexed.wall.count(), indexed.scanned,
+        indexed.latency.count(), scan.wall / indexed.wall,
         identical ? "identical" : "DIVERGED", scan.matches.size());
     return 0;
 }

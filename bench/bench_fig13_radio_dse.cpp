@@ -34,7 +34,7 @@ main()
         SystemConfig config;
         config.nodes = nodes;
         config.radio = &net::radioSpec(design);
-        return Scheduler(config).maxAggregateThroughputMbps(flow);
+        return Scheduler(config).maxAggregateThroughput(flow).count();
     };
 
     const FlowSpec hash_flow =
@@ -53,7 +53,7 @@ main()
           net::RadioDesign::LowBer, net::RadioDesign::LowPower}) {
         const auto &spec = net::radioSpec(design);
         table.addRow(
-            {std::string(spec.name), TextTable::num(spec.powerMw, 2),
+            {std::string(spec.name), TextTable::num(spec.power.count(), 2),
              TextTable::num(throughput(design, hash_flow) / hash_base,
                             2),
              TextTable::num(throughput(design, dtw_flow) / dtw_base,

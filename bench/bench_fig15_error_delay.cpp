@@ -33,9 +33,9 @@ main()
          {0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
         const auto dist = sim::simulateHashEncodingErrors(rate);
         encoding.addRow({TextTable::num(rate, 2),
-                         TextTable::num(dist.meanMs, 3),
-                         TextTable::num(dist.maxMs, 1),
-                         TextTable::num(dist.minMs, 1)});
+                         TextTable::num(dist.mean.count(), 3),
+                         TextTable::num(dist.max.count(), 1),
+                         TextTable::num(dist.min.count(), 1)});
     }
     encoding.print();
 
@@ -46,9 +46,9 @@ main()
         const auto dist = sim::simulateNetworkBerDelay(ber);
         char label[16];
         std::snprintf(label, sizeof(label), "%.0e", ber);
-        network.addRow({label, TextTable::num(dist.meanMs, 4),
-                        TextTable::num(dist.maxMs, 2),
-                        TextTable::num(dist.minMs, 2)});
+        network.addRow({label, TextTable::num(dist.mean.count(), 4),
+                        TextTable::num(dist.max.count(), 2),
+                        TextTable::num(dist.min.count(), 2)});
     }
     network.print();
 

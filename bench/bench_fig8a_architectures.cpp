@@ -37,7 +37,7 @@ main()
             std::string(architectureName(arch))};
         for (Task task : allTasks()) {
             row.push_back(TextTable::num(
-                maxAggregateThroughputMbps(arch, task, 11), 2));
+                maxAggregateThroughput(arch, task, 11).count(), 2));
         }
         table.addRow(std::move(row));
     }
@@ -45,8 +45,8 @@ main()
 
     // Headline ratios the paper calls out.
     auto ratio = [](Task task, Architecture a, Architecture b) {
-        return maxAggregateThroughputMbps(a, task, 11) /
-               maxAggregateThroughputMbps(b, task, 11);
+        return maxAggregateThroughput(a, task, 11) /
+               maxAggregateThroughput(b, task, 11);
     };
     std::printf("\nheadline ratios (paper -> measured):\n");
     std::printf("  SCALO/Central, seizure detection (~11x): %.1fx\n",

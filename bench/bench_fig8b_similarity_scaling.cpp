@@ -37,25 +37,33 @@ main()
         for (std::size_t nodes : node_counts) {
             SystemConfig config;
             config.nodes = nodes;
-            config.powerCapMw = power;
+            config.powerCap = units::Milliwatts{power};
             const Scheduler scheduler(config);
             table.addRow(
                 {std::to_string(nodes),
-                 TextTable::num(scheduler.maxAggregateThroughputMbps(
-                                    hashSimilarityFlow(
-                                        net::Pattern::AllToAll)),
+                 TextTable::num(scheduler
+                                    .maxAggregateThroughput(
+                                        hashSimilarityFlow(
+                                            net::Pattern::AllToAll))
+                                    .count(),
                                 1),
-                 TextTable::num(scheduler.maxAggregateThroughputMbps(
-                                    hashSimilarityFlow(
-                                        net::Pattern::OneToAll)),
+                 TextTable::num(scheduler
+                                    .maxAggregateThroughput(
+                                        hashSimilarityFlow(
+                                            net::Pattern::OneToAll))
+                                    .count(),
                                 1),
-                 TextTable::num(scheduler.maxAggregateThroughputMbps(
-                                    dtwSimilarityFlow(
-                                        net::Pattern::AllToAll)),
+                 TextTable::num(scheduler
+                                    .maxAggregateThroughput(
+                                        dtwSimilarityFlow(
+                                            net::Pattern::AllToAll))
+                                    .count(),
                                 2),
-                 TextTable::num(scheduler.maxAggregateThroughputMbps(
-                                    dtwSimilarityFlow(
-                                        net::Pattern::OneToAll)),
+                 TextTable::num(scheduler
+                                    .maxAggregateThroughput(
+                                        dtwSimilarityFlow(
+                                            net::Pattern::OneToAll))
+                                    .count(),
                                 2)});
         }
         table.print();

@@ -34,18 +34,24 @@ main()
         for (std::size_t nodes : node_counts) {
             SystemConfig config;
             config.nodes = nodes;
-            config.powerCapMw = power;
+            config.powerCap = units::Milliwatts{power};
             const Scheduler scheduler(config);
             table.addRow(
                 {std::to_string(nodes),
-                 TextTable::num(scheduler.maxAggregateThroughputMbps(
-                                    miSvmFlow()),
+                 TextTable::num(scheduler
+                                    .maxAggregateThroughput(
+                                        miSvmFlow())
+                                    .count(),
                                 1),
-                 TextTable::num(scheduler.maxAggregateThroughputMbps(
-                                    miNnFlow()),
+                 TextTable::num(scheduler
+                                    .maxAggregateThroughput(
+                                        miNnFlow())
+                                    .count(),
                                 1),
-                 TextTable::num(scheduler.maxAggregateThroughputMbps(
-                                    miKfFlow()),
+                 TextTable::num(scheduler
+                                    .maxAggregateThroughput(
+                                        miKfFlow())
+                                    .count(),
                                 1)});
         }
         table.print();

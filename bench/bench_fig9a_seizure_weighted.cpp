@@ -40,7 +40,7 @@ main()
         for (const auto &weights : weight_sets) {
             row.push_back(TextTable::num(
                 app::seizurePropagationWeighted(weights, nodes)
-                    .weightedMbps,
+                    .weighted.count(),
                 1));
         }
         table.addRow(std::move(row));
@@ -52,7 +52,7 @@ main()
     std::printf("\nequal weights at 11 nodes: %.1f Mbps "
                 "(paper: 506); per-task electrodes/node: detect %.1f,"
                 " hash %.1f, dtw %.1f\n",
-                at11.weightedMbps, at11.detectionElectrodes,
+                at11.weighted.count(), at11.detectionElectrodes,
                 at11.hashElectrodes, at11.dtwElectrodes);
     return 0;
 }

@@ -30,15 +30,15 @@ main()
     for (std::size_t nodes : node_counts) {
         table.addRow(
             {std::to_string(nodes),
-             TextTable::num(intentsPerSecond(sched::miSvmFlow(),
-                                             nodes),
-                            1),
-             TextTable::num(intentsPerSecond(sched::miNnFlow(),
-                                             nodes),
-                            1),
-             TextTable::num(intentsPerSecond(sched::miKfFlow(),
-                                             nodes),
-                            1),
+             TextTable::num(
+                 intentsPerSecond(sched::miSvmFlow(), nodes).count(),
+                 1),
+             TextTable::num(
+                 intentsPerSecond(sched::miNnFlow(), nodes).count(),
+                 1),
+             TextTable::num(
+                 intentsPerSecond(sched::miKfFlow(), nodes).count(),
+                 1),
              TextTable::num(kConventionalIntentsPerSecond, 1)});
     }
     table.print();

@@ -39,7 +39,7 @@ main()
     for (const auto &[power, paper_detect, paper_spike] : anchors) {
         SystemConfig config;
         config.nodes = 1;
-        config.powerCapMw = power;
+        config.powerCap = units::Milliwatts{power};
         const Scheduler scheduler(config);
         auto ref = [](double v) {
             return v < 0 ? std::string("-") : TextTable::num(v, 1);
@@ -47,10 +47,10 @@ main()
         table.addRow(
             {TextTable::num(power, 0),
              TextTable::num(
-                 scheduler.maxAggregateThroughputMbps(detect), 1),
+                 scheduler.maxAggregateThroughput(detect).count(), 1),
              ref(paper_detect),
              TextTable::num(
-                 scheduler.maxAggregateThroughputMbps(spikes), 1),
+                 scheduler.maxAggregateThroughput(spikes).count(), 1),
              ref(paper_spike)});
     }
     table.print();
@@ -59,8 +59,8 @@ main()
     auto at = [&](const FlowSpec &flow, double power) {
         SystemConfig config;
         config.nodes = 1;
-        config.powerCapMw = power;
-        return Scheduler(config).maxAggregateThroughputMbps(flow);
+        config.powerCap = units::Milliwatts{power};
+        return Scheduler(config).maxAggregateThroughput(flow).count();
     };
     const double detect_ratio = at(detect, 6.0) / at(detect, 15.0);
     const double spike_ratio = at(spikes, 6.0) / at(spikes, 15.0);

@@ -29,8 +29,8 @@ main()
         const auto result = sim::simulatePropagationTiming(config);
         table.addRow(
             {std::to_string(nodes),
-             TextTable::num(result.meanTotalMs, 2),
-             TextTable::num(result.maxTotalMs, 2),
+             TextTable::num(result.meanTotal.count(), 2),
+             TextTable::num(result.maxTotal.count(), 2),
              TextTable::num(100.0 * result.withinDeadlineFraction,
                             1) +
                  "%"});
@@ -40,19 +40,19 @@ main()
     sim::PropagationTimingConfig config;
     const auto stages = sim::simulatePropagationTiming(config);
     std::printf("\nstage decomposition at 11 nodes (means, ms):\n");
-    std::printf("  TDMA slot wait     %.2f\n", stages.slotWaitMs);
+    std::printf("  TDMA slot wait     %.2f\n", stages.slotWait.count());
     std::printf("  hash broadcast     %.2f\n",
-                stages.hashBroadcastMs);
+                stages.hashBroadcast.count());
     std::printf("  collision check    %.2f\n",
-                stages.collisionCheckMs);
-    std::printf("  match responses    %.2f\n", stages.responseMs);
+                stages.collisionCheck.count());
+    std::printf("  match responses    %.2f\n", stages.response.count());
     std::printf("  signal broadcast   %.2f\n",
-                stages.signalBroadcastMs);
+                stages.signalBroadcast.count());
     std::printf("  exact DTW compare  %.2f\n",
-                stages.exactCompareMs);
-    std::printf("  stimulation issue  %.2f\n", stages.stimulateMs);
+                stages.exactCompare.count());
+    std::printf("  stimulation issue  %.2f\n", stages.stimulate.count());
     std::printf("  --------------------------\n");
     std::printf("  total (mean/max)   %.2f / %.2f\n",
-                stages.meanTotalMs, stages.maxTotalMs);
+                stages.meanTotal.count(), stages.maxTotal.count());
     return 0;
 }

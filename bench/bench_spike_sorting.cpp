@@ -81,9 +81,9 @@ main()
     // 96-electrode array at ~128 spikes/s/electrode.
     const auto flow = sched::spikeSortingFlow();
     const double electrodes = std::min(
-        96.0, flow.electrodesAtPowerMw(constants::kPowerCapMw));
+        96.0, flow.electrodesAtPower(constants::kPowerCap));
     std::printf("\nsorting rate at 15 mW: %.0f spikes/s per node "
                 "(paper: 12,250); response %.1f ms\n",
-                electrodes * (12'250.0 / 96.0), flow.responseTimeMs);
+                electrodes * (12'250.0 / 96.0), flow.responseTime.count());
     return 0;
 }

@@ -22,25 +22,27 @@ main()
                      "area (KGE)"});
     for (const auto &pe : hw::peCatalog()) {
         std::string latency = "-";
-        if (pe.latencyMs) {
-            latency = TextTable::num(*pe.latencyMs, 3);
-            if (pe.latencyMaxMs)
-                latency += "-" + TextTable::num(*pe.latencyMaxMs, 1);
+        if (pe.latency) {
+            latency = TextTable::num(pe.latency->count(), 3);
+            if (pe.latencyMax)
+                latency +=
+                    "-" + TextTable::num(pe.latencyMax->count(), 1);
         }
         table.addRow({std::string(pe.name), std::string(pe.function),
-                      TextTable::num(pe.maxFreqMhz, 3),
-                      TextTable::num(pe.leakageUw, 2),
-                      TextTable::num(pe.sramLeakageUw, 2),
-                      TextTable::num(pe.dynPerElectrodeUw, 3), latency,
-                      TextTable::num(pe.areaKge, 0)});
+                      TextTable::num(pe.maxFreq.count(), 3),
+                      TextTable::num(pe.leakage.count(), 2),
+                      TextTable::num(pe.sramLeakage.count(), 2),
+                      TextTable::num(pe.dynPerElectrode.count(), 3),
+                      latency, TextTable::num(pe.areaKge, 0)});
     }
     table.print();
 
     const hw::NodeFabric fabric;
     std::printf("\nnode fabric: %.2f mW idle leakage, %.0f KGE total "
                 "area (10x BMUL in the LIN ALG cluster)\n",
-                fabric.idlePowerUw() / 1'000.0, fabric.areaKge());
+                fabric.idlePower().in<units::Milliwatts>(),
+                fabric.areaKge());
     std::printf("MC: %.0f MHz RISC-V, %.0f KB SRAM\n",
-                hw::mcSpec().freqMhz, hw::mcSpec().sramKb);
+                hw::mcSpec().freq.count(), hw::mcSpec().sram.count());
     return 0;
 }

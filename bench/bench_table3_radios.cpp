@@ -23,27 +23,34 @@ main()
         char ber[16];
         std::snprintf(ber, sizeof(ber), "%.0e", radio.ber);
         table.addRow({std::string(radio.name), ber,
-                      TextTable::num(radio.dataRateMbps, 1),
-                      TextTable::num(radio.powerMw, 3),
-                      TextTable::num(radio.rangeCm, 0),
-                      TextTable::num(radio.carrierGhz, 2),
-                      TextTable::num(radio.transferMs(240.0), 3),
+                      TextTable::num(radio.dataRate.count(), 1),
+                      TextTable::num(radio.power.count(), 3),
+                      TextTable::num(radio.range.count(), 0),
+                      TextTable::num(radio.carrier.count(), 2),
                       TextTable::num(
-                          radio.transferEnergyMj(240.0) * 1'000.0,
+                          radio.transferTime(units::Bytes{240.0})
+                              .in<units::Millis>(),
+                          3),
+                      TextTable::num(
+                          radio.transferEnergy(units::Bytes{240.0})
+                                  .in<units::Microjoules>(),
                           2)});
     }
     table.print();
 
     const auto &ext = net::externalRadio();
     std::printf("\nexternal radio: %.0f Mbps at %.1f mW up to %.0f m\n",
-                ext.dataRateMbps, ext.powerMw, ext.rangeCm / 100.0);
+                ext.dataRate.count(), ext.power.count(),
+                ext.range.count() / 100.0);
 
     std::printf("\npath loss (exponent %.1f) through brain/skull/"
                 "skin, Low Power design:\n",
                 net::kPathLossExponent);
     for (double cm : {10.0, 20.0, 30.0, 40.0}) {
         std::printf("  %4.0f cm -> %6.2f mW transmit budget\n", cm,
-                    net::powerAtDistanceMw(net::defaultRadio(), cm));
+                    net::powerAtDistance(net::defaultRadio(),
+                                         units::Centimetres{cm})
+                        .count());
     }
     return 0;
 }

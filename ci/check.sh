@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# The CI gauntlet: every gate the repo holds itself to, in one script.
+#
+#   ci/check.sh            run everything
+#   ci/check.sh tier1      just the tier-1 build + tests
+#   ci/check.sh sanitize   ASan+UBSan build + tests (contracts on)
+#   ci/check.sh strict     -Werror -Wconversion build of the library
+#   ci/check.sh negative   units misuse must FAIL to compile
+#   ci/check.sh tidy       clang-tidy over the library (skips if absent)
+#
+# Gates are independent build trees (build-ci-*) so the developer's
+# ./build is never touched.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILURES=()
+
+note() { printf '\n=== %s ===\n' "$*"; }
+
+run_gate() { # name, function
+    local name="$1"
+    shift
+    note "gate: $name"
+    if "$@"; then
+        printf -- '--- %s: OK\n' "$name"
+    else
+        printf -- '--- %s: FAILED\n' "$name"
+        FAILURES+=("$name")
+    fi
+}
+
+configure_build_test() { # builddir, cmake args...
+    local dir="$ROOT/$1"
+    shift
+    cmake -S "$ROOT" -B "$dir" "$@" >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" &&
+        ctest --test-dir "$dir" -j "$JOBS" --output-on-failure
+}
+
+gate_tier1() {
+    configure_build_test build-ci-tier1 \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+}
+
+gate_sanitize() {
+    # Contracts are forced on by CMake whenever SCALO_SANITIZE is set;
+    # halt_on_error makes UBSan findings fail the ctest run instead of
+    # scrolling past.
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ASAN_OPTIONS="detect_leaks=1" \
+        configure_build_test build-ci-asan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_SANITIZE=address,undefined \
+        -DSCALO_WERROR=ON
+}
+
+gate_strict() {
+    local dir="$ROOT/build-ci-strict"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_WERROR=ON -DSCALO_WCONVERSION=ON >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" --target scalo_core
+}
+
+gate_negative() {
+    # The dimensional-analysis layer's whole point: unit misuse is a
+    # compile error. Each marked line in units_test.cpp must fail.
+    local out
+    if out=$(cd "$ROOT" && g++ -std=c++20 -fsyntax-only \
+        -DSCALO_NEGATIVE_COMPILE_TEST \
+        -I src -I tests -I "$(pkg-config --variable=includedir gtest \
+            2>/dev/null || echo /usr/include)" \
+        tests/units_test.cpp 2>&1); then
+        echo "negative-compile test COMPILED: units no longer reject misuse"
+        return 1
+    fi
+    local errors
+    errors=$(printf '%s' "$out" | grep -c 'error:')
+    if [ "$errors" -lt 4 ]; then
+        echo "expected >=4 unit-misuse errors, got $errors:"
+        printf '%s\n' "$out" | head -20
+        return 1
+    fi
+    echo "unit misuse rejected with $errors compile errors (>=4 expected)"
+}
+
+gate_tidy() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping (gate passes vacuously)"
+        return 0
+    fi
+    local dir="$ROOT/build-ci-tidy"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || return 1
+    find "$ROOT/src/scalo" -name '*.cpp' -print0 |
+        xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$dir" --quiet
+}
+
+main() {
+    local what="${1:-all}"
+    case "$what" in
+    tier1) run_gate tier1 gate_tier1 ;;
+    sanitize) run_gate sanitize gate_sanitize ;;
+    strict) run_gate strict gate_strict ;;
+    negative) run_gate negative gate_negative ;;
+    tidy) run_gate tidy gate_tidy ;;
+    all)
+        run_gate tier1 gate_tier1
+        run_gate sanitize gate_sanitize
+        run_gate strict gate_strict
+        run_gate negative gate_negative
+        run_gate tidy gate_tidy
+        ;;
+    *)
+        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|all]"
+        exit 2
+        ;;
+    esac
+
+    if [ "${#FAILURES[@]}" -gt 0 ]; then
+        note "FAILED gates: ${FAILURES[*]}"
+        exit 1
+    fi
+    note "all gates passed"
+}
+
+main "$@"

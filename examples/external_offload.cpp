@@ -21,6 +21,7 @@ int
 main()
 {
     using namespace scalo;
+    using namespace scalo::units::literals;
 
     std::printf("External offload: 10 s of one node's 96-electrode "
                 "recording\n\n");
@@ -50,10 +51,13 @@ main()
     TextTable table({"stage", "bytes (1 elec)", "96-elec airtime (s)",
                      "radio energy (mJ)"});
     auto row = [&](const char *name, std::size_t bytes) {
-        const double all = static_cast<double>(bytes) * electrodes;
+        const units::Bytes all{static_cast<double>(bytes) *
+                               electrodes};
         table.addRow({name, std::to_string(bytes),
-                      TextTable::num(radio.transferMs(all) / 1e3, 2),
-                      TextTable::num(radio.transferEnergyMj(all),
+                      TextTable::num(
+                          radio.transferTime(all).in<units::Seconds>(),
+                          2),
+                      TextTable::num(radio.transferEnergy(all).count(),
                                      1)});
     };
     row("raw", raw_bytes);
@@ -76,14 +80,15 @@ main()
                 restored == trace ? "ok" : "FAILED");
 
     // What the offload duty does to the daily battery plan.
-    const double offload_duty_mw =
-        radio.powerMw * 0.1; // 10% airtime duty
-    for (double load :
-         {constants::kPowerCapMw, 12.0 + offload_duty_mw}) {
+    const units::Milliwatts offload_duty =
+        radio.power * 0.1; // 10% airtime duty
+    for (units::Milliwatts load :
+         {constants::kPowerCap, 12.0_mW + offload_duty}) {
         const auto plan = hw::planDailyCycle(load);
         std::printf("load %.2f mW -> %.1f h operation + %.1f h "
                     "charging per day (%s)\n",
-                    load, plan.operatingHours, plan.chargingHours,
+                    load.count(), plan.operatingHours.count(),
+                    plan.chargingHours.count(),
                     plan.sustainsFullDay ? "sustainable"
                                          : "NOT sustainable");
     }

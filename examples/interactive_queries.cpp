@@ -55,38 +55,44 @@ main()
     TextTable table({"query", "data (MB)", "time range", "matched",
                      "latency (ms)", "QPS", "power (mW)"});
     for (double mb : {7.0, 24.0, 42.0, 60.0}) {
+        const units::Megabytes data{mb};
         char range[32];
         std::snprintf(range, sizeof(range), "%.0f ms",
-                      timeRangeMsFor(mb, config.nodes));
+                      timeRangeFor(data, config.nodes).count());
         for (double matched : {0.05, 0.5, 1.0}) {
             const auto q1 = system.interactiveQuery(
-                QueryKind::Q1SeizureWindows, mb, matched);
+                QueryKind::Q1SeizureWindows, data, matched);
             table.addRow({"Q1", TextTable::num(mb, 0), range,
                           TextTable::num(100.0 * matched, 0) + "%",
-                          TextTable::num(q1.latencyMs, 0),
-                          TextTable::num(q1.queriesPerSecond, 2),
-                          TextTable::num(q1.powerMw, 2)});
+                          TextTable::num(q1.latency.count(), 0),
+                          TextTable::num(
+                              q1.queriesPerSecond.count(), 2),
+                          TextTable::num(q1.power.count(), 2)});
         }
         const auto q3 = system.interactiveQuery(
-            QueryKind::Q3TimeRange, mb, 1.0);
+            QueryKind::Q3TimeRange, data, 1.0);
         table.addRow({"Q3", TextTable::num(mb, 0), range, "100%",
-                      TextTable::num(q3.latencyMs, 0),
-                      TextTable::num(q3.queriesPerSecond, 2),
-                      TextTable::num(q3.powerMw, 2)});
+                      TextTable::num(q3.latency.count(), 0),
+                      TextTable::num(q3.queriesPerSecond.count(), 2),
+                      TextTable::num(q3.power.count(), 2)});
     }
     table.print();
 
     // The Section 6.4 trade-off: exact matching on Q2 costs power.
-    QueryConfig hash_q{config.nodes, 7.0, 0.05, false};
-    QueryConfig dtw_q{config.nodes, 7.0, 0.05, true};
+    QueryConfig hash_q{config.nodes, units::Megabytes{7.0}, 0.05,
+                       false};
+    QueryConfig dtw_q{config.nodes, units::Megabytes{7.0}, 0.05,
+                      true};
     const auto hash_cost =
         estimateQuery(QueryKind::Q2TemplateMatch, hash_q);
     const auto dtw_cost =
         estimateQuery(QueryKind::Q2TemplateMatch, dtw_q);
     std::printf("\nQ2 with hashes: %.1f QPS at %.2f mW; with exact "
                 "DTW: %.1f QPS at %.1f mW\n",
-                hash_cost.queriesPerSecond, hash_cost.powerMw,
-                dtw_cost.queriesPerSecond, dtw_cost.powerMw);
+                hash_cost.queriesPerSecond.count(),
+                hash_cost.power.count(),
+                dtw_cost.queriesPerSecond.count(),
+                dtw_cost.power.count());
 
     // ------------------------------------------------------------
     // The executable runtime: one descriptor, sharded across nodes.
@@ -122,19 +128,19 @@ main()
                 "nodes: %zu matches of %zu windows touched, "
                 "modeled %.0f ms, host %.2f ms\n\n",
                 engine.nodeCount(), execution.matches.size(),
-                execution.scanned, execution.latencyMs,
-                execution.wallMs);
+                execution.scanned, execution.latency.count(),
+                execution.wall.count());
 
     TextTable stats({"node", "touched", "bucket hits", "DTW", "matched",
                      "wall (ms)", "modeled (ms)"});
     for (const QueryStats &node : execution.perNode)
-        stats.addRow({TextTable::num(node.node, 0),
-                      TextTable::num(node.scanned, 0),
-                      TextTable::num(node.bucketHits, 0),
-                      TextTable::num(node.dtwComparisons, 0),
-                      TextTable::num(node.matched, 0),
-                      TextTable::num(node.wallMs, 3),
-                      TextTable::num(node.modeledMs, 2)});
+        stats.addRow({std::to_string(node.node),
+                      std::to_string(node.scanned),
+                      std::to_string(node.bucketHits),
+                      std::to_string(node.dtwComparisons),
+                      std::to_string(node.matched),
+                      TextTable::num(node.wall.count(), 3),
+                      TextTable::num(node.modeled.count(), 2)});
     stats.print();
     return 0;
 }

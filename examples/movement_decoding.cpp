@@ -55,26 +55,32 @@ main()
                      "conventional"});
     table.addRow({"MI SVM",
                   TextTable::num(intentsPerSecond(sched::miSvmFlow(),
-                                                  4),
+                                                  4)
+                                     .count(),
                                  1),
                   TextTable::num(intentsPerSecond(sched::miSvmFlow(),
-                                                  11),
+                                                  11)
+                                     .count(),
                                  1),
                   "20.0"});
     table.addRow({"MI NN",
                   TextTable::num(intentsPerSecond(sched::miNnFlow(),
-                                                  4),
+                                                  4)
+                                     .count(),
                                  1),
                   TextTable::num(intentsPerSecond(sched::miNnFlow(),
-                                                  11),
+                                                  11)
+                                     .count(),
                                  1),
                   "20.0"});
     table.addRow({"MI KF",
                   TextTable::num(intentsPerSecond(sched::miKfFlow(),
-                                                  4),
+                                                  4)
+                                     .count(),
                                  1),
                   TextTable::num(intentsPerSecond(sched::miKfFlow(),
-                                                  11),
+                                                  11)
+                                     .count(),
                                  1),
                   "20.0"});
     table.print();

@@ -40,11 +40,12 @@ main()
         table.addRow({flow.flow,
                       TextTable::num(flow.electrodesPerNode.front(),
                                      1),
-                      TextTable::num(flow.throughputMbps, 1)});
+                      TextTable::num(flow.throughput.count(), 1)});
     }
     table.print();
     std::printf("per-node power: %.2f mW (cap %.0f mW)\n\n",
-                schedule.nodePowerMw.front(), config.powerCapMw);
+                schedule.nodePower.front().count(),
+                config.powerCap.count());
 
     // The ILP's second output: the fixed TDMA round every node runs.
     const auto plan = sched::buildNetworkPlan(flows, schedule);
@@ -57,14 +58,17 @@ main()
     std::printf("compiled Listing 1: %zu stages, window %.0f ms, "
                 "latency %.2f ms, %.2f mW at 96 electrodes\n\n",
                 pipeline.stages.size(), pipeline.windowMs,
-                pipeline.latencyMs(), pipeline.powerMw(96.0));
+                pipeline.latency().count(),
+                pipeline.power(96.0).count());
 
     // 4. Ask the clinician's question: "show me the seizure windows
     //    of the last 110 ms" (Q1 over ~7 MB at 6 nodes).
     const auto cost = system.interactiveQuery(
-        app::QueryKind::Q1SeizureWindows, 7.0, 0.05);
+        app::QueryKind::Q1SeizureWindows, units::Megabytes{7.0},
+        0.05);
     std::printf("Q1 over 7 MB: %.1f ms -> %.1f queries/second at "
                 "%.2f mW\n",
-                cost.latencyMs, cost.queriesPerSecond, cost.powerMw);
+                cost.latency.count(), cost.queriesPerSecond.count(),
+                cost.power.count());
     return 0;
 }

@@ -89,9 +89,10 @@ main()
                     "(%.2f mW per site during the train)\n",
                     event.onsetSec, event.originNode,
                     best.hashMatches.size(), commanded,
-                    commanded ? stimulator.powerMw(
-                                    app::seizureArrestPattern(
+                    commanded ? stimulator
+                                    .power(app::seizureArrestPattern(
                                         {0, 1}))
+                                    .count()
                               : 0.0);
     }
 

@@ -254,45 +254,46 @@ decodeWithNn(const MovementDataset &dataset, std::size_t train_count,
     return correlationOf(truth, decoded);
 }
 
-double
+units::Hertz
 intentsPerSecond(const sched::FlowSpec &flow, std::size_t nodes,
-                 double power_cap_mw, double electrodes_per_node)
+                 units::Milliwatts power_cap,
+                 double electrodes_per_node)
 {
     // Power-limited rate: the flow's calibrated dynamic power is for
     // the conventional 20/s cadence; decoding faster scales it
     // linearly.
-    const double dyn_at_20 =
-        flow.linMwPerElectrode * electrodes_per_node +
-        flow.quadMwPerElectrode2 * electrodes_per_node *
+    const units::Milliwatts dyn_at_20 =
+        flow.linPerElectrode * electrodes_per_node +
+        flow.quadPerElectrode2 * electrodes_per_node *
             electrodes_per_node;
-    const double budget = power_cap_mw - flow.leakMw;
-    if (budget <= 0.0 || dyn_at_20 <= 0.0)
-        return 0.0;
-    const double rate_power =
-        kConventionalIntentsPerSecond * budget / dyn_at_20;
+    const units::Milliwatts budget = power_cap - flow.leak;
+    if (budget.count() <= 0.0 || dyn_at_20.count() <= 0.0)
+        return units::Hertz{0.0};
+    const units::Hertz rate_power{kConventionalIntentsPerSecond *
+                                  (budget / dyn_at_20)};
 
     // Latency-limited rate: the serial decode path is the PE chain
     // (worst-case SC) plus the TDMA exchange of partials/features.
-    double chain_ms = 0.0;
+    units::Millis chain{0.0};
     for (hw::PeKind kind : flow.peChain) {
         const auto &spec = hw::peSpec(kind);
-        if (spec.latencyMaxMs)
-            chain_ms += *spec.latencyMaxMs;
-        else if (spec.latencyMs)
-            chain_ms += *spec.latencyMs;
+        if (spec.latencyMax)
+            chain += *spec.latencyMax;
+        else if (spec.latency)
+            chain += *spec.latency;
     }
-    double exchange_ms = 0.0;
+    units::Millis exchange{0.0};
     if (flow.network && nodes > 1) {
         const net::TdmaSchedule tdma(net::defaultRadio(), nodes);
         const auto payload = static_cast<std::size_t>(
             flow.network->bytesPerNode +
             flow.network->bytesPerElectrode * electrodes_per_node);
-        exchange_ms =
-            tdma.exchangeMs(flow.network->pattern, payload);
+        exchange = tdma.exchangeTime(flow.network->pattern, payload);
     }
-    const double rate_latency = 1'000.0 / (chain_ms + exchange_ms);
+    // One decode per trip through the serial path.
+    const units::Hertz rate_latency{1.0 / (chain + exchange)};
 
-    return std::min(rate_power, rate_latency);
+    return units::min(rate_power, rate_latency);
 }
 
 } // namespace scalo::app

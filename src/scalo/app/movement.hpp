@@ -100,10 +100,12 @@ DecodeQuality decodeWithNn(const MovementDataset &dataset,
  * (20 intents/s); SCALO decodes as fast as power and the serial
  * decode path (PE chain + TDMA exchange) allow.
  */
-double intentsPerSecond(const sched::FlowSpec &flow, std::size_t nodes,
-                        double power_cap_mw = constants::kPowerCapMw,
-                        double electrodes_per_node =
-                            constants::kElectrodesPerNode);
+units::Hertz intentsPerSecond(const sched::FlowSpec &flow,
+                              std::size_t nodes,
+                              units::Milliwatts power_cap =
+                                  constants::kPowerCap,
+                              double electrodes_per_node =
+                                  constants::kElectrodesPerNode);
 
 /** The conventional fixed-interval intent rate (20/s at 50 ms). */
 inline constexpr double kConventionalIntentsPerSecond = 20.0;

@@ -5,9 +5,12 @@
 #include "scalo/hw/nvm.hpp"
 #include "scalo/hw/pe.hpp"
 #include "scalo/net/radio.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::app {
+
+using namespace units::literals;
 
 const char *
 queryName(QueryKind kind)
@@ -23,46 +26,44 @@ queryName(QueryKind kind)
     SCALO_PANIC("unknown query kind");
 }
 
-double
-timeRangeMsFor(double data_mb, std::size_t nodes)
+units::Millis
+timeRangeFor(units::Megabytes data, std::size_t nodes)
 {
-    // bytes per ms per node at the full electrode rate.
-    const double node_bytes_per_ms =
-        constants::kNodeAdcMbps * 1e6 / 8.0 / 1e3;
-    return data_mb * 1e6 /
-           (static_cast<double>(nodes) * node_bytes_per_ms);
+    SCALO_EXPECTS(nodes >= 1);
+    // Each node records at the full per-node ADC rate.
+    return data / (static_cast<double>(nodes) *
+                   constants::kNodeAdcRate);
 }
 
 QueryCost
 estimateQuery(QueryKind kind, const QueryConfig &config)
 {
     SCALO_ASSERT(config.nodes >= 1, "need at least one node");
-    SCALO_ASSERT(config.dataMb > 0.0, "dataMb must be positive");
+    SCALO_ASSERT(config.data > 0.0_MB, "data must be positive");
     SCALO_ASSERT(config.matchedFraction >= 0.0 &&
                      config.matchedFraction <= 1.0,
                  "matchedFraction out of [0,1]");
 
-    const double per_node_bytes =
-        config.dataMb * 1e6 / static_cast<double>(config.nodes);
+    const units::Megabytes per_node =
+        config.data / static_cast<double>(config.nodes);
 
     // Phase 1 (parallel across nodes): scan the stored data. Q3 skips
     // the predicate and streams everything; Q1/Q2 read the stored
     // windows through the SC's reorganised layout and test each one.
-    const double scan_ms =
-        per_node_bytes /
-        (hw::StorageController().streamReadMBps() * 1e6) * 1e3;
+    const units::Millis scan =
+        per_node / hw::StorageController().streamRead();
 
-    double match_ms = 0.0;
+    units::Millis match{0.0};
     const double windows =
-        per_node_bytes / constants::kWindowBytes;
+        per_node.in<units::Bytes>() / constants::kWindowBytes;
     if (kind == QueryKind::Q2TemplateMatch && config.exactMatch) {
         // One DTW comparison per stored window.
-        match_ms = windows * *hw::peSpec(hw::PeKind::DTW).latencyMs;
+        match = windows * *hw::peSpec(hw::PeKind::DTW).latency;
     } else if (kind != QueryKind::Q3TimeRange) {
         // Hash lookups via CCHECK: the 0.5 ms PE pass covers a full
         // SRAM batch of ~960 sorted hash entries via binary search.
-        match_ms = windows / 960.0 *
-                   *hw::peSpec(hw::PeKind::CCHECK).latencyMs;
+        match = windows / 960.0 *
+                *hw::peSpec(hw::PeKind::CCHECK).latency;
     }
 
     // Phase 2 (serialized): matched data leaves through the external
@@ -70,20 +71,20 @@ estimateQuery(QueryKind kind, const QueryConfig &config)
     const double matched_fraction =
         (kind == QueryKind::Q3TimeRange) ? 1.0
                                          : config.matchedFraction;
-    const double out_bytes = config.dataMb * 1e6 * matched_fraction;
-    const double radio_ms =
-        net::externalRadio().transferMs(out_bytes);
+    const units::Megabytes out = config.data * matched_fraction;
+    const units::Millis radio =
+        net::externalRadio().transferTime(out);
 
     QueryCost cost;
-    cost.latencyMs =
-        kQueryDispatchMs + scan_ms + match_ms + radio_ms;
-    cost.queriesPerSecond = 1'000.0 / cost.latencyMs;
-    cost.powerMw = (kind == QueryKind::Q2TemplateMatch &&
-                    config.exactMatch)
-                       ? kDtwQueryPowerMw
-                       : kHashQueryPowerMw;
+    cost.latency = kQueryDispatch + scan + match + radio;
+    cost.queriesPerSecond = units::Hertz{1.0 / cost.latency};
+    cost.power = (kind == QueryKind::Q2TemplateMatch &&
+                  config.exactMatch)
+                     ? kDtwQueryPower
+                     : kHashQueryPower;
     if (kind == QueryKind::Q3TimeRange)
-        cost.powerMw = kHashQueryPowerMw;
+        cost.power = kHashQueryPower;
+    SCALO_ENSURES(cost.latency > 0.0_ms);
     return cost;
 }
 

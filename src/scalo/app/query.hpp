@@ -122,8 +122,8 @@ struct Query
 struct QueryConfig
 {
     std::size_t nodes = 11;
-    /** Total data volume covered by the query, across nodes (MB). */
-    double dataMb = 7.0;
+    /** Total data volume covered by the query, across nodes. */
+    units::Megabytes data{7.0};
     /** Fraction of the data matching the predicate (Q1/Q2). */
     double matchedFraction = 0.05;
     /** Q2 only: exact DTW matching instead of hashes. */
@@ -133,10 +133,10 @@ struct QueryConfig
 /** Estimated cost of one query execution. */
 struct QueryCost
 {
-    double latencyMs = 0.0;
-    double queriesPerSecond = 0.0;
-    /** Peak per-node power while serving the query (mW). */
-    double powerMw = 0.0;
+    units::Millis latency{0.0};
+    units::Hertz queriesPerSecond{0.0};
+    /** Peak per-node power while serving the query. */
+    units::Milliwatts power{0.0};
 };
 
 /** Evaluate the cost model. */
@@ -146,19 +146,29 @@ QueryCost estimateQuery(QueryKind kind, const QueryConfig &config);
 const char *queryName(QueryKind kind);
 
 /**
- * Time range (ms of recent recording) covered by @p data_mb across
+ * Time range of recent recording covered by @p data across
  * @p nodes at the full 96-electrode rate, e.g. 7 MB over 11 nodes is
  * about the last 110 ms (Figure 10's x-axis pairing).
  */
-double timeRangeMsFor(double data_mb, std::size_t nodes);
+units::Millis timeRangeFor(units::Megabytes data, std::size_t nodes);
 
-/** Fixed dispatch + aggregation overhead (ms), calibrated. */
-inline constexpr double kQueryDispatchMs = 44.0;
+/** @name Deprecated raw-double accessors (pre-units API) */
+///@{
+[[deprecated("use timeRangeFor()")]]
+inline double
+timeRangeMsFor(double data_mb, std::size_t nodes)
+{
+    return timeRangeFor(units::Megabytes{data_mb}, nodes).count();
+}
+///@}
 
-/** Per-node query power with hash matching (mW), Section 6.4. */
-inline constexpr double kHashQueryPowerMw = 3.57;
+/** Fixed dispatch + aggregation overhead, calibrated. */
+inline constexpr units::Millis kQueryDispatch{44.0};
 
-/** Per-node query power with exact DTW matching (mW), Section 6.4. */
-inline constexpr double kDtwQueryPowerMw = 15.0;
+/** Per-node query power with hash matching, Section 6.4. */
+inline constexpr units::Milliwatts kHashQueryPower{3.57};
+
+/** Per-node query power with exact DTW matching, Section 6.4. */
+inline constexpr units::Milliwatts kDtwQueryPower{15.0};
 
 } // namespace scalo::app

@@ -12,27 +12,28 @@ namespace scalo::app {
 
 namespace {
 
-double
-elapsedMs(std::chrono::steady_clock::time_point since)
+units::Millis
+elapsed(std::chrono::steady_clock::time_point since)
 {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - since)
-        .count();
+    return units::Millis{
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - since)
+            .count()};
 }
 
 /** CCHECK compares hashes in batches of 960 per PE invocation. */
-double
-hashMatchMs(std::size_t compared)
+units::Millis
+hashMatchTime(std::size_t compared)
 {
     return static_cast<double>(compared) / 960.0 *
-           *hw::peSpec(hw::PeKind::CCHECK).latencyMs;
+           *hw::peSpec(hw::PeKind::CCHECK).latency;
 }
 
-double
-dtwMatchMs(std::size_t compared)
+units::Millis
+dtwMatchTime(std::size_t compared)
 {
     return static_cast<double>(compared) *
-           *hw::peSpec(hw::PeKind::DTW).latencyMs;
+           *hw::peSpec(hw::PeKind::DTW).latency;
 }
 
 } // namespace
@@ -130,15 +131,15 @@ QueryEngine::executeNode(NodeId node, const Query &query,
 
     // Modeled on-node time: SC reads of the touched windows, plus
     // CCHECK hash batches and/or per-window DTW.
-    double match_ms = 0.0;
+    units::Millis match{0.0};
     if (!templated || query.hashPrefilter)
-        match_ms += hashMatchMs(partial.stats.scanned);
+        match += hashMatchTime(partial.stats.scanned);
     if (exact)
-        match_ms += dtwMatchMs(partial.stats.dtwComparisons);
-    partial.stats.modeledMs =
-        node_store.readCostMs(partial.stats.scanned) + match_ms;
+        match += dtwMatchTime(partial.stats.dtwComparisons);
+    partial.stats.modeled =
+        node_store.readCost(partial.stats.scanned) + match;
 
-    partial.stats.wallMs = elapsedMs(started);
+    partial.stats.wall = elapsed(started);
     return partial;
 }
 
@@ -166,11 +167,11 @@ QueryEngine::execute(const Query &query) const
 
     QueryExecution execution;
     execution.perNode.reserve(partials.size());
-    double slowest_node_ms = 0.0;
+    units::Millis slowest_node{0.0};
     for (NodePartial &partial : partials) {
         execution.scanned += partial.stats.scanned;
-        slowest_node_ms =
-            std::max(slowest_node_ms, partial.stats.modeledMs);
+        slowest_node =
+            units::max(slowest_node, partial.stats.modeled);
         execution.matches.insert(execution.matches.end(),
                                  partial.matches.begin(),
                                  partial.matches.end());
@@ -188,11 +189,11 @@ QueryEngine::execute(const Query &query) const
     execution.transferBytes =
         execution.matches.size() * windowSamples * 2;
     // Nodes scan in parallel; the external radio serialises results.
-    execution.latencyMs =
-        kQueryDispatchMs + slowest_node_ms +
-        net::externalRadio().transferMs(
-            static_cast<double>(execution.transferBytes));
-    execution.wallMs = elapsedMs(started);
+    execution.latency =
+        kQueryDispatch + slowest_node +
+        net::externalRadio().transferTime(units::Bytes{
+            static_cast<double>(execution.transferBytes)});
+    execution.wall = elapsed(started);
     return execution;
 }
 

@@ -41,10 +41,10 @@ struct QueryStats
     std::size_t dtwComparisons = 0;
     /** Windows this node contributed to the result. */
     std::size_t matched = 0;
-    /** Host wall-clock spent in this node's shard (ms). */
-    double wallMs = 0.0;
-    /** Modeled on-node latency: SC reads + matching (ms). */
-    double modeledMs = 0.0;
+    /** Host wall-clock spent in this node's shard. */
+    units::Millis wall{0.0};
+    /** Modeled on-node latency: SC reads + matching. */
+    units::Millis modeled{0.0};
 };
 
 /** The result of executing one query over the distributed stores. */
@@ -57,12 +57,12 @@ struct QueryExecution
     std::vector<const StoredWindow *> matches;
     /** Windows touched across all nodes. */
     std::size_t scanned = 0;
-    /** Modeled end-to-end latency (ms). */
-    double latencyMs = 0.0;
+    /** Modeled end-to-end latency. */
+    units::Millis latency{0.0};
     /** Bytes shipped through the external radio. */
     std::size_t transferBytes = 0;
-    /** Host wall-clock for the whole execution (ms). */
-    double wallMs = 0.0;
+    /** Host wall-clock for the whole execution. */
+    units::Millis wall{0.0};
     /** One entry per node, in node order. */
     std::vector<QueryStats> perNode;
 

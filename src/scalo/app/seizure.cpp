@@ -232,7 +232,8 @@ namespace scalo::app {
 
 WeightedSeizureThroughput
 seizurePropagationWeighted(const std::array<double, 3> &weights,
-                           std::size_t nodes, double power_cap_mw)
+                           std::size_t nodes,
+                           units::Milliwatts power_cap)
 {
     SCALO_ASSERT(nodes >= 1, "need at least one node");
     const double weight_sum = weights[0] + weights[1] + weights[2];
@@ -244,13 +245,13 @@ seizurePropagationWeighted(const std::array<double, 3> &weights,
     // is its stand-alone feasibility clipped to the array size.
     sched::SystemConfig config;
     config.nodes = nodes;
-    config.powerCapMw = power_cap_mw;
+    config.powerCap = power_cap;
     config.maxElectrodesPerNode = constants::kElectrodesPerNode;
     const sched::Scheduler scheduler(config);
 
     auto per_node = [&](const sched::FlowSpec &flow) {
         const double total =
-            mbpsToElectrodes(scheduler.maxAggregateThroughputMbps(flow));
+            rateToElectrodes(scheduler.maxAggregateThroughput(flow));
         return total / static_cast<double>(nodes);
     };
 
@@ -275,7 +276,7 @@ seizurePropagationWeighted(const std::array<double, 3> &weights,
          weights[1] * result.hashElectrodes +
          weights[2] * result.dtwElectrodes) /
         weight_sum;
-    result.weightedMbps = electrodesToMbps(
+    result.weighted = electrodesToRate(
         weighted_electrodes * static_cast<double>(nodes));
     return result;
 }

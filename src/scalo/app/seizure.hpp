@@ -150,21 +150,21 @@ struct WeightedSeizureThroughput
     double detectionElectrodes = 0.0;
     double hashElectrodes = 0.0;
     double dtwElectrodes = 0.0;
-    /** Priority-weighted aggregate throughput (Mbps). */
-    double weightedMbps = 0.0;
+    /** Priority-weighted aggregate throughput. */
+    units::MegabitsPerSecond weighted{0.0};
 };
 
 /**
  * Evaluate the Figure 9a model.
  *
- * @param weights  priorities {detection, hash comparison, DTW}
- * @param nodes    implant count
- * @param power_cap_mw per-implant limit
+ * @param weights   priorities {detection, hash comparison, DTW}
+ * @param nodes     implant count
+ * @param power_cap per-implant limit
  */
 WeightedSeizureThroughput
 seizurePropagationWeighted(const std::array<double, 3> &weights,
                            std::size_t nodes,
-                           double power_cap_mw =
-                               constants::kPowerCapMw);
+                           units::Milliwatts power_cap =
+                               constants::kPowerCap);
 
 } // namespace scalo::app

@@ -78,8 +78,8 @@ StimulationController::pulseWaveform(const StimPattern &pattern,
     return waveform;
 }
 
-double
-StimulationController::powerMw(const StimPattern &pattern) const
+units::Milliwatts
+StimulationController::power(const StimPattern &pattern) const
 {
     // P = I^2 * Z per electrode while driving, plus DAC static power.
     const double amps = pattern.amplitudeUa * 1e-6;
@@ -88,7 +88,7 @@ StimulationController::powerMw(const StimPattern &pattern) const
                            static_cast<double>(
                                pattern.electrodes.size()) *
                            pattern.dutyCycle();
-    return kDacStaticMw + drive_w * 1e3;
+    return kDacStatic + units::Milliwatts{drive_w * 1e3};
 }
 
 bool

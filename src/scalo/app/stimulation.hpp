@@ -73,11 +73,20 @@ class StimulationController
                                       double sample_rate_hz) const;
 
     /**
-     * Average electrical power (mW) while the train runs: DAC static
+     * Average electrical power while the train runs: DAC static
      * power plus I^2 Z through the electrode impedance, per driven
      * electrode, times the duty cycle.
      */
-    double powerMw(const StimPattern &pattern) const;
+    units::Milliwatts power(const StimPattern &pattern) const;
+
+    /** @name Deprecated raw-double accessor (pre-units API) */
+    ///@{
+    [[deprecated("use power() -> units::Milliwatts")]] double
+    powerMw(const StimPattern &pattern) const
+    {
+        return power(pattern).count();
+    }
+    ///@}
 
     /**
      * Issue a validated pattern. @return false (with no effect) when
@@ -88,8 +97,8 @@ class StimulationController
     std::size_t issuedCount() const { return issued; }
     const StimSafetyLimits &limits() const { return safety; }
 
-    /** DAC static power (mW), Section 5. */
-    static constexpr double kDacStaticMw = 0.5;
+    /** DAC static power, Section 5. */
+    static constexpr units::Milliwatts kDacStatic{0.5};
     /** Electrode-tissue impedance (kOhm) for power estimation. */
     static constexpr double kElectrodeKohm = 50.0;
 

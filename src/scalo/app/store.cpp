@@ -61,7 +61,7 @@ SignalStore::append(StoredWindow window)
     sc.append(hw::Partition::Hashes, window.hash.sizeBytes());
     // The SC reorganises one electrode chunk per ~16 windows; amortise
     // its write cost accordingly.
-    writeCostMs += sc.chunkWriteMs() / 16.0;
+    writeCost += sc.chunkWrite() / 16.0;
     (void)bytes;
 
     windows.push_back(std::move(window));
@@ -141,12 +141,12 @@ SignalStore::bytesStored() const
     return total;
 }
 
-double
-SignalStore::readCostMs(std::size_t window_count) const
+units::Millis
+SignalStore::readCost(std::size_t window_count) const
 {
     const double chunks =
         std::ceil(static_cast<double>(window_count) / 16.0);
-    return chunks * sc.chunkReadMs();
+    return chunks * sc.chunkRead();
 }
 
 } // namespace scalo::app

@@ -93,14 +93,28 @@ class SignalStore
     static constexpr unsigned kBucketBits = 8;
 
     /**
-     * Modeled time (ms) to retrieve @p window_count windows through
+     * Modeled time to retrieve @p window_count windows through
      * the SC (0.035 ms per contiguous chunk of up to 16 windows when
      * reorganised; 10x slower raw).
      */
-    double readCostMs(std::size_t window_count) const;
+    units::Millis readCost(std::size_t window_count) const;
 
-    /** Modeled time (ms) spent persisting everything appended. */
-    double totalWriteCostMs() const { return writeCostMs; }
+    /** Modeled time spent persisting everything appended. */
+    units::Millis totalWriteCost() const { return writeCost; }
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use readCost()")]] double
+    readCostMs(std::size_t window_count) const
+    {
+        return readCost(window_count).count();
+    }
+    [[deprecated("use totalWriteCost()")]] double
+    totalWriteCostMs() const
+    {
+        return totalWriteCost().count();
+    }
+    ///@}
 
     const hw::StorageController &controller() const { return sc; }
 
@@ -117,7 +131,7 @@ class SignalStore
     std::deque<StoredWindow> windows;
     hw::StorageController sc;
     std::uint64_t dropped = 0;
-    double writeCostMs = 0.0;
+    units::Millis writeCost{0.0};
 
     /**
      * band/prefix key -> ascending slots of retained windows whose

@@ -9,20 +9,20 @@ namespace scalo::core {
 ScaloSystem::ScaloSystem(const ScaloConfig &config) : cfg(config)
 {
     SCALO_ASSERT(cfg.nodes >= 1, "need at least one node");
-    if (cfg.powerCapMw > constants::kPowerCapMw)
+    if (cfg.powerCap > constants::kPowerCap)
         SCALO_FATAL("per-implant power above the 15 mW safety cap");
 }
 
 bool
 ScaloSystem::thermallySafe() const
 {
-    return thermal.safe(cfg.nodes, cfg.spacingMm, cfg.powerCapMw);
+    return thermal.safe(cfg.nodes, cfg.spacing, cfg.powerCap);
 }
 
 std::size_t
 ScaloSystem::maxPlaceableImplants() const
 {
-    return hw::ThermalModel::maxImplants(cfg.spacingMm);
+    return hw::ThermalModel::maxImplants(cfg.spacing);
 }
 
 sched::Schedule
@@ -31,22 +31,22 @@ ScaloSystem::deploy(const std::vector<sched::FlowSpec> &flows,
 {
     sched::SystemConfig sys;
     sys.nodes = cfg.nodes;
-    sys.powerCapMw = cfg.powerCapMw;
+    sys.powerCap = cfg.powerCap;
     sys.radio = &net::radioSpec(cfg.radio);
     sys.maxElectrodesPerNode = constants::kElectrodesPerNode;
     const sched::Scheduler scheduler(sys);
     return scheduler.schedule(flows, priorities);
 }
 
-double
-ScaloSystem::maxThroughputMbps(const sched::FlowSpec &flow) const
+units::MegabitsPerSecond
+ScaloSystem::maxThroughput(const sched::FlowSpec &flow) const
 {
     sched::SystemConfig sys;
     sys.nodes = cfg.nodes;
-    sys.powerCapMw = cfg.powerCapMw;
+    sys.powerCap = cfg.powerCap;
     sys.radio = &net::radioSpec(cfg.radio);
     const sched::Scheduler scheduler(sys);
-    return scheduler.maxAggregateThroughputMbps(flow);
+    return scheduler.maxAggregateThroughput(flow);
 }
 
 query::CompiledPipeline
@@ -64,12 +64,13 @@ ScaloSystem::program(const std::string &source) const
 }
 
 app::QueryCost
-ScaloSystem::interactiveQuery(app::QueryKind kind, double data_mb,
+ScaloSystem::interactiveQuery(app::QueryKind kind,
+                              units::Megabytes data,
                               double matched_fraction) const
 {
     app::QueryConfig query_config;
     query_config.nodes = cfg.nodes;
-    query_config.dataMb = data_mb;
+    query_config.data = data;
     query_config.matchedFraction = matched_fraction;
     return app::estimateQuery(kind, query_config);
 }
@@ -84,10 +85,10 @@ std::string
 ScaloSystem::describe() const
 {
     std::ostringstream oss;
-    oss << "SCALO: " << cfg.nodes << " implants @ " << cfg.powerCapMw
-        << " mW, radio " << radio().name << " ("
-        << radio().dataRateMbps << " Mbps), spacing " << cfg.spacingMm
-        << " mm, thermal "
+    oss << "SCALO: " << cfg.nodes << " implants @ "
+        << cfg.powerCap.count() << " mW, radio " << radio().name
+        << " (" << radio().dataRate.count() << " Mbps), spacing "
+        << cfg.spacing.count() << " mm, thermal "
         << (thermallySafe() ? "safe" : "UNSAFE");
     return oss.str();
 }

@@ -28,10 +28,10 @@ namespace scalo::core {
 struct ScaloConfig
 {
     std::size_t nodes = 4;
-    double powerCapMw = constants::kPowerCapMw;
+    units::Milliwatts powerCap = constants::kPowerCap;
     net::RadioDesign radio = net::RadioDesign::LowPower;
-    /** Inter-implant spacing on the cortical surface (mm). */
-    double spacingMm = constants::kImplantSpacingMm;
+    /** Inter-implant spacing on the cortical surface. */
+    units::Millimetres spacing = constants::kImplantSpacing;
     std::uint64_t seed = 0x5ca10;
 };
 
@@ -61,8 +61,9 @@ class ScaloSystem
                            const std::vector<double> &priorities)
         const;
 
-    /** Max aggregate throughput of one flow on this system (Mbps). */
-    double maxThroughputMbps(const sched::FlowSpec &flow) const;
+    /** Max aggregate throughput of one flow on this system. */
+    units::MegabitsPerSecond
+    maxThroughput(const sched::FlowSpec &flow) const;
 
     /**
      * Compile a TrillDSP-style program and validate it against the
@@ -72,8 +73,25 @@ class ScaloSystem
 
     /** Estimate an interactive query's cost on this system. */
     app::QueryCost interactiveQuery(app::QueryKind kind,
-                                    double data_mb,
+                                    units::Megabytes data,
                                     double matched_fraction) const;
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use maxThroughput()")]] double
+    maxThroughputMbps(const sched::FlowSpec &flow) const
+    {
+        return maxThroughput(flow).count();
+    }
+    [[deprecated("use interactiveQuery(kind, units::Megabytes, "
+                 "fraction)")]] app::QueryCost
+    interactiveQuery(app::QueryKind kind, double data_mb,
+                     double matched_fraction) const
+    {
+        return interactiveQuery(kind, units::Megabytes{data_mb},
+                                matched_fraction);
+    }
+    ///@}
 
     /** The per-node fabric (PE inventory). */
     const hw::NodeFabric &fabric() const { return nodeFabric; }

@@ -2,53 +2,58 @@
 
 #include <algorithm>
 
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::hw {
 
-double
-requiredCapacityMwh(double load_mw, double hours,
-                    const BatterySpec &battery)
+using namespace units::literals;
+
+units::MilliwattHours
+requiredCapacity(units::Milliwatts load, units::Hours duration,
+                 const BatterySpec &battery)
 {
-    SCALO_ASSERT(load_mw >= 0.0 && hours >= 0.0, "negative plan");
+    SCALO_ASSERT(load.count() >= 0.0 && duration.count() >= 0.0,
+                 "negative plan");
     SCALO_ASSERT(battery.efficiency > 0.0 &&
                      battery.efficiency <= 1.0,
                  "bad efficiency");
-    return load_mw * hours / battery.efficiency;
+    return load * duration / battery.efficiency;
 }
 
 ChargePlan
-planDailyCycle(double load_mw, const BatterySpec &battery)
+planDailyCycle(units::Milliwatts load, const BatterySpec &battery)
 {
-    SCALO_ASSERT(load_mw > 0.0, "load must be positive");
+    SCALO_ASSERT(load.count() > 0.0, "load must be positive");
     ChargePlan plan;
 
-    // Hours a full battery sustains the load.
-    const double run_hours =
-        battery.capacityMwh * battery.efficiency / load_mw;
-    // Hours to refill from empty (pipelines paused: the whole
-    // charging power goes into the cell).
-    const double refill_hours =
-        battery.capacityMwh /
-        (battery.chargeRateMw * battery.efficiency);
+    // Time a full battery sustains the load.
+    const units::Hours run =
+        battery.capacity * battery.efficiency / load;
+    // Time to refill from empty (pipelines paused: the whole charging
+    // power goes into the cell).
+    const units::Hours refill =
+        battery.capacity / (battery.chargeRate * battery.efficiency);
 
     // Fit the largest operate+charge cycle into 24 h, preserving the
     // run:refill ratio.
-    const double cycle = run_hours + refill_hours;
-    if (cycle <= 24.0) {
+    const units::Hours day = 24.0_h;
+    const units::Hours cycle = run + refill;
+    if (cycle <= day) {
         // One full cycle fits with slack: spend the slack operating
         // (charge only what the day's operation actually used).
-        plan.operatingHours =
-            24.0 * run_hours / cycle;
-        plan.chargingHours = 24.0 - plan.operatingHours;
+        plan.operatingHours = day * (run / cycle);
+        plan.chargingHours = day - plan.operatingHours;
     } else {
-        plan.operatingHours = 24.0 * run_hours / cycle;
-        plan.chargingHours = 24.0 * refill_hours / cycle;
+        plan.operatingHours = day * (run / cycle);
+        plan.chargingHours = day * (refill / cycle);
     }
-    plan.availability = plan.operatingHours / 24.0;
+    plan.availability = plan.operatingHours / day;
     plan.sustainsFullDay =
-        plan.operatingHours + plan.chargingHours <= 24.0 + 1e-9 &&
+        plan.operatingHours + plan.chargingHours <= day + 1e-9_h &&
         plan.availability >= 0.5;
+    SCALO_ENSURES(plan.operatingHours.count() >= 0.0 &&
+                  plan.chargingHours.count() >= 0.0);
     return plan;
 }
 

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include "scalo/units/units.hpp"
 #include "scalo/util/types.hpp"
 
 namespace scalo::hw {
@@ -18,10 +19,10 @@ namespace scalo::hw {
 /** Implantable battery + inductive link parameters. */
 struct BatterySpec
 {
-    /** Usable capacity (mWh) - small implanted cell. */
-    double capacityMwh = 350.0;
-    /** Inductive charging power delivered to the cell (mW). */
-    double chargeRateMw = 180.0;
+    /** Usable capacity - small implanted cell. */
+    units::MilliwattHours capacity{350.0};
+    /** Inductive charging power delivered to the cell. */
+    units::Milliwatts chargeRate{180.0};
     /** Charge/discharge efficiency. */
     double efficiency = 0.9;
 };
@@ -29,25 +30,44 @@ struct BatterySpec
 /** A daily operation/charging plan. */
 struct ChargePlan
 {
-    /** Continuous operating hours per charge. */
-    double operatingHours = 0.0;
-    /** Hours of (paused) charging to refill. */
-    double chargingHours = 0.0;
+    /** Continuous operating time per charge. */
+    units::Hours operatingHours{0.0};
+    /** Time of (paused) charging to refill. */
+    units::Hours chargingHours{0.0};
     /** Fraction of the day spent operating. */
     double availability = 0.0;
     /** Whether a 24 h day closes with these parameters. */
     bool sustainsFullDay = false;
 };
 
-/** Plan a daily cycle for a node drawing @p load_mw while active. */
-ChargePlan planDailyCycle(double load_mw,
+/** Plan a daily cycle for a node drawing @p load while active. */
+ChargePlan planDailyCycle(units::Milliwatts load,
                           const BatterySpec &battery = {});
 
-/**
- * Battery needed (mWh) to run @p load_mw for @p hours between
- * charges.
- */
-double requiredCapacityMwh(double load_mw, double hours,
-                           const BatterySpec &battery = {});
+/** Battery needed to run @p load for @p duration between charges. */
+units::MilliwattHours requiredCapacity(units::Milliwatts load,
+                                       units::Hours duration,
+                                       const BatterySpec &battery = {});
+
+/** @name Deprecated raw-double accessors (pre-units API) */
+///@{
+
+[[deprecated("use planDailyCycle(units::Milliwatts)")]] inline ChargePlan
+planDailyCycle(double load_mw, const BatterySpec &battery = {})
+{
+    return planDailyCycle(units::Milliwatts{load_mw}, battery);
+}
+
+[[deprecated("use requiredCapacity(units::Milliwatts, "
+             "units::Hours)")]] inline double
+requiredCapacityMwh(double load_mw, double hours,
+                    const BatterySpec &battery = {})
+{
+    return requiredCapacity(units::Milliwatts{load_mw},
+                            units::Hours{hours}, battery)
+        .count();
+}
+
+///@}
 
 } // namespace scalo::hw

@@ -15,25 +15,25 @@ Pipeline::Pipeline(std::string name, std::vector<PipelineStage> stages)
     }
 }
 
-double
-Pipeline::latencyMs(bool worst_case) const
+units::Millis
+Pipeline::latency(bool worst_case) const
 {
-    double total = 0.0;
+    units::Millis total{0.0};
     for (const PipelineStage &stage : chain) {
         const PeSpec &spec = peSpec(stage.kind);
-        if (worst_case && spec.latencyMaxMs) {
-            total += *spec.latencyMaxMs;
-        } else if (spec.latencyMs) {
-            total += *spec.latencyMs;
+        if (worst_case && spec.latencyMax) {
+            total += *spec.latencyMax;
+        } else if (spec.latency) {
+            total += *spec.latency;
         }
     }
     return total;
 }
 
-double
-Pipeline::powerUw() const
+units::Microwatts
+Pipeline::power() const
 {
-    double total = 0.0;
+    units::Microwatts total{0.0};
     for (const PipelineStage &stage : chain) {
         const PeSpec &spec = peSpec(stage.kind);
         // Work is spread over the replicas; leakage is paid per
@@ -41,7 +41,7 @@ Pipeline::powerUw() const
         const double per_replica =
             stage.electrodes / static_cast<double>(stage.replicas);
         total += static_cast<double>(stage.replicas) *
-                 spec.powerUw(per_replica);
+                 spec.power(per_replica);
     }
     return total;
 }
@@ -98,12 +98,12 @@ NodeFabric::validate(const std::vector<Pipeline> &pipelines) const
     return {};
 }
 
-double
-NodeFabric::idlePowerUw() const
+units::Microwatts
+NodeFabric::idlePower() const
 {
-    double total = 0.0;
+    units::Microwatts total{0.0};
     for (const auto &[kind, count] : inventory)
-        total += peSpec(kind).idlePowerUw() * count;
+        total += peSpec(kind).idlePower() * count;
     return total;
 }
 

@@ -41,17 +41,33 @@ class Pipeline
     const std::vector<PipelineStage> &stages() const { return chain; }
 
     /**
-     * End-to-end latency (ms): the sum of fixed stage latencies.
+     * End-to-end latency: the sum of fixed stage latencies.
      * Data-dependent PEs contribute zero here and must be accounted
      * for by the caller. @param worst_case use SC's NVM-busy latency
      */
-    double latencyMs(bool worst_case = false) const;
+    units::Millis latency(bool worst_case = false) const;
 
-    /** Total pipeline power (uW) including replica leakage. */
-    double powerUw() const;
+    /** Total pipeline power including replica leakage. */
+    units::Microwatts power() const;
 
-    /** Power in mW. */
-    double powerMw() const { return powerUw() / 1'000.0; }
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use latency()")]] double
+    latencyMs(bool worst_case = false) const
+    {
+        return latency(worst_case).count();
+    }
+    [[deprecated("use power()")]] double
+    powerUw() const
+    {
+        return power().count();
+    }
+    [[deprecated("use power()")]] double
+    powerMw() const
+    {
+        return power().in<units::Milliwatts>();
+    }
+    ///@}
 
     /** Scale every stage's electrode count by @p factor. */
     void scaleElectrodes(double factor);
@@ -87,8 +103,14 @@ class NodeFabric
      */
     std::string validate(const std::vector<Pipeline> &pipelines) const;
 
-    /** Total idle (leakage) power of the full inventory, in uW. */
-    double idlePowerUw() const;
+    /** Total idle (leakage) power of the full inventory. */
+    units::Microwatts idlePower() const;
+
+    [[deprecated("use idlePower()")]] double
+    idlePowerUw() const
+    {
+        return idlePower().count();
+    }
 
     /** Total fabric area in KGE. */
     double areaKge() const;

@@ -1,54 +1,64 @@
 #include "scalo/hw/nvm.hpp"
 
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::hw {
 
-double
-NvmSpec::readBandwidthMBps() const
+using namespace units::literals;
+
+units::MegabytesPerSecond
+NvmSpec::readBandwidth() const
 {
     // A page can stream out over the 8-byte read interface while the
     // next is sensed; effective rate is bounded by the per-page read
     // service time, which NVSim folds into the energy/latency pair.
     // SLC NAND page reads take ~25 us -> 4 KB / 25 us = 160 MB/s ideal;
     // we derate to the interface-limited 100 MB/s.
-    return 100.0;
+    return 100.0_MBps;
 }
 
-double
-NvmSpec::writeBandwidthMBps() const
+units::MegabytesPerSecond
+NvmSpec::writeBandwidth() const
 {
     // One 4 KB page per 350 us program.
-    return (static_cast<double>(pageBytes) / 1e6) /
-           (programUs / 1e6);
+    return units::Bytes{static_cast<double>(pageBytes)} / program;
 }
 
-double
-NvmSpec::readTimeMs(double bytes) const
+units::Millis
+NvmSpec::readTime(units::Bytes bytes) const
 {
-    SCALO_ASSERT(bytes >= 0.0, "negative bytes");
-    return bytes / (readBandwidthMBps() * 1e6) * 1e3;
+    SCALO_EXPECTS(bytes.count() >= 0.0);
+    return bytes / readBandwidth();
 }
 
-double
-NvmSpec::writeTimeMs(double bytes) const
+units::Millis
+NvmSpec::writeTime(units::Bytes bytes) const
 {
-    SCALO_ASSERT(bytes >= 0.0, "negative bytes");
-    return bytes / (writeBandwidthMBps() * 1e6) * 1e3;
+    SCALO_EXPECTS(bytes.count() >= 0.0);
+    return bytes / writeBandwidth();
 }
 
-double
-NvmSpec::readEnergyMj(double bytes) const
+units::Millijoules
+NvmSpec::readEnergy(units::Bytes bytes) const
 {
-    const double pages = bytes / static_cast<double>(pageBytes);
-    return pages * readEnergyNjPerPage * 1e-6;
+    SCALO_EXPECTS(bytes.count() >= 0.0);
+    const double pages =
+        bytes / units::Bytes{static_cast<double>(pageBytes)};
+    const units::Millijoules energy = pages * readEnergyPerPage;
+    SCALO_ENSURES(energy.count() >= 0.0);
+    return energy;
 }
 
-double
-NvmSpec::writeEnergyMj(double bytes) const
+units::Millijoules
+NvmSpec::writeEnergy(units::Bytes bytes) const
 {
-    const double pages = bytes / static_cast<double>(pageBytes);
-    return pages * writeEnergyNjPerPage * 1e-6;
+    SCALO_EXPECTS(bytes.count() >= 0.0);
+    const double pages =
+        bytes / units::Bytes{static_cast<double>(pageBytes)};
+    const units::Millijoules energy = pages * writeEnergyPerPage;
+    SCALO_ENSURES(energy.count() >= 0.0);
+    return energy;
 }
 
 const NvmSpec &
@@ -63,16 +73,16 @@ StorageController::StorageController(bool reorganise_layout)
 {
 }
 
-double
-StorageController::chunkWriteMs() const
+units::Millis
+StorageController::chunkWrite() const
 {
-    return reorganise ? kReorganisedWriteMs : kRawWriteMs;
+    return reorganise ? kReorganisedWrite : kRawWrite;
 }
 
-double
-StorageController::chunkReadMs() const
+units::Millis
+StorageController::chunkRead() const
 {
-    return reorganise ? kReorganisedReadMs : kRawReadMs;
+    return reorganise ? kReorganisedRead : kRawRead;
 }
 
 std::size_t
@@ -106,13 +116,13 @@ StorageController::persisted(Partition partition) const
     return it == partitions.end() ? 0 : it->second.persisted;
 }
 
-double
-StorageController::streamReadMBps() const
+units::MegabytesPerSecond
+StorageController::streamRead() const
 {
     // A reorganised chunk (one electrode's window run) reads in
     // 0.035 ms; the raw layout needs 10 scattered reads.
-    const double chunk_bytes = 4'096.0;
-    return chunk_bytes / (chunkReadMs() * 1e-3) / 1e6;
+    const units::Bytes chunk = 4'096.0_B;
+    return chunk / chunkRead();
 }
 
 } // namespace scalo::hw

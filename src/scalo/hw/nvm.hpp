@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "scalo/units/units.hpp"
 #include "scalo/util/types.hpp"
 
 namespace scalo::hw {
@@ -22,34 +23,68 @@ namespace scalo::hw {
 /** SLC NAND parameters modeled with NVSim (Section 5). */
 struct NvmSpec
 {
-    double capacityGb = 128.0;      ///< GB per node
-    std::size_t pageBytes = 4'096;  ///< program granularity
+    units::Gigabytes capacity{128.0};  ///< per node
+    std::size_t pageBytes = 4'096;     ///< program granularity
     std::size_t blockBytes = 1u << 20; ///< erase granularity (1 MB)
     std::size_t readGranuleBytes = 8;  ///< read unit
-    double eraseMs = 1.5;           ///< SLC NAND block erase
-    double programUs = 350.0;       ///< page program time
+    units::Millis erase{1.5};          ///< SLC NAND block erase
+    units::Micros program{350.0};      ///< page program time
     double voltage = 2.7;
-    double leakageMw = 0.26;        ///< NVSim leakage estimate
-    double readEnergyNjPerPage = 918.809;
-    double writeEnergyNjPerPage = 1'374.0;
+    units::Milliwatts leakage{0.26};   ///< NVSim leakage estimate
+    units::Nanojoules readEnergyPerPage{918.809};
+    units::Nanojoules writeEnergyPerPage{1'374.0};
 
-    /** Sequential read bandwidth (MB/s), page-pipelined. */
-    double readBandwidthMBps() const;
+    /** Sequential read bandwidth, page-pipelined. */
+    units::MegabytesPerSecond readBandwidth() const;
 
-    /** Program (write) bandwidth (MB/s). */
-    double writeBandwidthMBps() const;
+    /** Program (write) bandwidth. */
+    units::MegabytesPerSecond writeBandwidth() const;
 
-    /** Time (ms) to read @p bytes sequentially. */
-    double readTimeMs(double bytes) const;
+    /** Time to read @p bytes sequentially. */
+    units::Millis readTime(units::Bytes bytes) const;
 
-    /** Time (ms) to program @p bytes. */
-    double writeTimeMs(double bytes) const;
+    /** Time to program @p bytes. */
+    units::Millis writeTime(units::Bytes bytes) const;
 
-    /** Energy (mJ) to read @p bytes. */
-    double readEnergyMj(double bytes) const;
+    /** Energy to read @p bytes. */
+    units::Millijoules readEnergy(units::Bytes bytes) const;
 
-    /** Energy (mJ) to write @p bytes. */
-    double writeEnergyMj(double bytes) const;
+    /** Energy to write @p bytes. */
+    units::Millijoules writeEnergy(units::Bytes bytes) const;
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use readBandwidth()")]] double
+    readBandwidthMBps() const
+    {
+        return readBandwidth().count();
+    }
+    [[deprecated("use writeBandwidth()")]] double
+    writeBandwidthMBps() const
+    {
+        return writeBandwidth().count();
+    }
+    [[deprecated("use readTime(units::Bytes)")]] double
+    readTimeMs(double bytes) const
+    {
+        return readTime(units::Bytes{bytes}).count();
+    }
+    [[deprecated("use writeTime(units::Bytes)")]] double
+    writeTimeMs(double bytes) const
+    {
+        return writeTime(units::Bytes{bytes}).count();
+    }
+    [[deprecated("use readEnergy(units::Bytes)")]] double
+    readEnergyMj(double bytes) const
+    {
+        return readEnergy(units::Bytes{bytes}).count();
+    }
+    [[deprecated("use writeEnergy(units::Bytes)")]] double
+    writeEnergyMj(double bytes) const
+    {
+        return writeEnergy(units::Bytes{bytes}).count();
+    }
+    ///@}
 };
 
 /** The default NVM used in every node. */
@@ -72,11 +107,11 @@ class StorageController
 {
   public:
     /** Chunk-reorganised write/read costs measured in the paper. */
-    static constexpr double kReorganisedWriteMs = 1.75;
-    static constexpr double kReorganisedReadMs = 0.035;
+    static constexpr units::Millis kReorganisedWrite{1.75};
+    static constexpr units::Millis kReorganisedRead{0.035};
     /** Without reorganisation: writes 5x faster, reads 10x slower. */
-    static constexpr double kRawWriteMs = kReorganisedWriteMs / 5.0;
-    static constexpr double kRawReadMs = kReorganisedReadMs * 10.0;
+    static constexpr units::Millis kRawWrite = kReorganisedWrite / 5.0;
+    static constexpr units::Millis kRawRead = kReorganisedRead * 10.0;
 
     /** SRAM write buffer size (sized from NVSim parameters). */
     static constexpr std::size_t kBufferBytes = 24 * 1'024;
@@ -87,14 +122,28 @@ class StorageController
     bool reorganises() const { return reorganise; }
 
     /**
-     * Cost (ms) to persist one electrode-chunk of neural data.
+     * Cost to persist one electrode-chunk of neural data.
      * Reorganisation costs more here but writes are off the critical
      * path.
      */
-    double chunkWriteMs() const;
+    units::Millis chunkWrite() const;
 
-    /** Cost (ms) to retrieve one contiguous electrode-chunk. */
-    double chunkReadMs() const;
+    /** Cost to retrieve one contiguous electrode-chunk. */
+    units::Millis chunkRead() const;
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use chunkWrite()")]] double
+    chunkWriteMs() const
+    {
+        return chunkWrite().count();
+    }
+    [[deprecated("use chunkRead()")]] double
+    chunkReadMs() const
+    {
+        return chunkRead().count();
+    }
+    ///@}
 
     /**
      * Append bytes for one partition; models buffer-then-page-program
@@ -109,10 +158,16 @@ class StorageController
     std::uint64_t persisted(Partition partition) const;
 
     /**
-     * Sustainable streaming-read bandwidth (MB/s) for retrieval
-     * queries, derated by the layout choice.
+     * Sustainable streaming-read bandwidth for retrieval queries,
+     * derated by the layout choice.
      */
-    double streamReadMBps() const;
+    units::MegabytesPerSecond streamRead() const;
+
+    [[deprecated("use streamRead()")]] double
+    streamReadMBps() const
+    {
+        return streamRead().count();
+    }
 
   private:
     struct PartitionState

@@ -6,6 +6,8 @@ namespace scalo::hw {
 
 namespace {
 
+using namespace units::literals;
+
 /** Table 1 of the paper, transcribed verbatim. */
 std::vector<PeSpec>
 makeCatalog()
@@ -15,68 +17,68 @@ makeCatalog()
     std::vector<PeSpec> catalog{
         // kind, name, function, fmax, leak, sram, dyn/elec, latency,
         // latency(max), area
-        {K::ADD, "ADD", "Matrix Adder", 3, 0.08, 0.00, 0.983, 2.0,
-         none, 68},
-        {K::AES, "AES", "AES Encryption", 5, 53, 0.00, 0.61, none,
-         none, 55},
-        {K::BBF, "BBF", "Butterworth Bandpass Filter", 6, 66.00, 19.88,
-         0.35, 4.0, none, 23},
-        {K::BMUL, "BMUL", "Block Multiplier", 3, 145, 0.00, 1.544, 2.0,
-         none, 77},
-        {K::CCHECK, "CCHECK", "Collision Check", 16.393, 7.20, 0.88,
-         0.14, 0.5, none, 3},
-        {K::CSEL, "CSEL", "Channel Selection", 0.1, 4.00, 0.00, 6.00,
-         0.04, none, 2},
-        {K::DCOMP, "DCOMP", "Decompression", 16.393, 7.20, 0.00, 0.14,
-         0.5, none, 3},
-        {K::DTW, "DTW", "Dynamic Time Warping", 50, 167.93, 48.50,
-         26.94, 0.003, none, 72},
-        {K::DWT, "DWT", "Discrete Wavelet Transform", 3, 4, 0.00, 0.02,
-         4.0, none, 2},
-        {K::EMDH, "EMDH", "Earth-Mover's Distance Hash", 0.03, 10.47,
-         0.00, 0.00, 0.04, none, 9},
-        {K::FFT, "FFT", "Fast Fourier Transform", 15.7, 141.97, 85.58,
-         9.02, 4.0, none, 22},
-        {K::GATE, "GATE", "Gate Module to buffer data", 5, 67.00, 34.37,
-         0.63, 0.0, none, 17},
-        {K::HCOMP, "HCOMP", "Hash Compression", 2.88, 77.00, 0.00,
-         0.65, 4.0, none, 4},
-        {K::HCONV, "HCONV", "Hash Convolution Operation", 3, 89.89,
-         0.00, 0.80, 1.5, none, 8},
-        {K::HFREQ, "HFREQ", "Hash Frequency", 2.88, 61.98, 0.00, 0.52,
-         4.0, none, 6},
-        {K::INV, "INV", "Matrix Inverter", 41, 0.267, 0.00, 11.875,
-         30.0, none, 167},
-        {K::LIC, "LIC", "Linear Integer Coding", 22.5, 63, 6.00, 3.26,
-         none, none, 55},
-        {K::LZ, "LZ", "Lempel Ziv", 129, 150, 95.00, 30.43, none, none,
-         55},
-        {K::MA, "MA", "Markov Chain", 92, 194, 67.00, 32.76, none,
-         none, 55},
-        {K::NEO, "NEO", "Non-linear Energy Operator", 3, 12.00, 0.00,
-         0.03, 4.0, none, 5},
-        {K::NGRAM, "NGRAM", "Hash Ngram Generation", 0.2, 15.69, 9.07,
-         0.08, 1.5, none, 10},
-        {K::NPACK, "NPACK", "Network Packing", 3, 3.53, 0.00, 5.49,
-         0.008, none, 2},
-        {K::RC, "RC", "Range Coding", 90, 29, 0.00, 7.95, none, none,
-         55},
-        {K::SBP, "SBP", "Spike Band Power", 3, 12.00, 0.00, 0.03, 0.03,
-         none, 6},
-        {K::SC, "SC", "Storage Controller", 3.2, 95.30, 64.49, 1.64,
-         0.03, 4.0, 12},
-        {K::SUB, "SUB", "Matrix Subtractor", 3, 0.08, 0.00, 0.988, 2.0,
-         none, 69},
-        {K::SVM, "SVM", "Support Vector Machine", 3, 99.00, 53.58,
-         0.53, 1.67, none, 8},
-        {K::THR, "THR", "Threshold", 16, 2.00, 0.00, 0.11, 0.06, none,
-         1},
-        {K::TOK, "TOK", "Tokenizer", 6, 5.57, 0.00, 0.14, 0.001, none,
-         3},
-        {K::UNPACK, "UNPACK", "Network Unpacking", 3, 3.53, 0.00, 5.49,
-         0.008, none, 2},
-        {K::XCOR, "XCOR", "Pearson's Cross Correlation", 85, 377.00,
-         306.88, 44.11, 4.0, none, 81},
+        {K::ADD, "ADD", "Matrix Adder", 3.0_MHz, 0.08_uW, 0.00_uW,
+         0.983_uW, 2.0_ms, none, 68},
+        {K::AES, "AES", "AES Encryption", 5.0_MHz, 53.0_uW, 0.00_uW,
+         0.61_uW, none, none, 55},
+        {K::BBF, "BBF", "Butterworth Bandpass Filter", 6.0_MHz,
+         66.00_uW, 19.88_uW, 0.35_uW, 4.0_ms, none, 23},
+        {K::BMUL, "BMUL", "Block Multiplier", 3.0_MHz, 145.0_uW,
+         0.00_uW, 1.544_uW, 2.0_ms, none, 77},
+        {K::CCHECK, "CCHECK", "Collision Check", 16.393_MHz, 7.20_uW,
+         0.88_uW, 0.14_uW, 0.5_ms, none, 3},
+        {K::CSEL, "CSEL", "Channel Selection", 0.1_MHz, 4.00_uW,
+         0.00_uW, 6.00_uW, 0.04_ms, none, 2},
+        {K::DCOMP, "DCOMP", "Decompression", 16.393_MHz, 7.20_uW,
+         0.00_uW, 0.14_uW, 0.5_ms, none, 3},
+        {K::DTW, "DTW", "Dynamic Time Warping", 50.0_MHz, 167.93_uW,
+         48.50_uW, 26.94_uW, 0.003_ms, none, 72},
+        {K::DWT, "DWT", "Discrete Wavelet Transform", 3.0_MHz, 4.0_uW,
+         0.00_uW, 0.02_uW, 4.0_ms, none, 2},
+        {K::EMDH, "EMDH", "Earth-Mover's Distance Hash", 0.03_MHz,
+         10.47_uW, 0.00_uW, 0.00_uW, 0.04_ms, none, 9},
+        {K::FFT, "FFT", "Fast Fourier Transform", 15.7_MHz, 141.97_uW,
+         85.58_uW, 9.02_uW, 4.0_ms, none, 22},
+        {K::GATE, "GATE", "Gate Module to buffer data", 5.0_MHz,
+         67.00_uW, 34.37_uW, 0.63_uW, 0.0_ms, none, 17},
+        {K::HCOMP, "HCOMP", "Hash Compression", 2.88_MHz, 77.00_uW,
+         0.00_uW, 0.65_uW, 4.0_ms, none, 4},
+        {K::HCONV, "HCONV", "Hash Convolution Operation", 3.0_MHz,
+         89.89_uW, 0.00_uW, 0.80_uW, 1.5_ms, none, 8},
+        {K::HFREQ, "HFREQ", "Hash Frequency", 2.88_MHz, 61.98_uW,
+         0.00_uW, 0.52_uW, 4.0_ms, none, 6},
+        {K::INV, "INV", "Matrix Inverter", 41.0_MHz, 0.267_uW, 0.00_uW,
+         11.875_uW, 30.0_ms, none, 167},
+        {K::LIC, "LIC", "Linear Integer Coding", 22.5_MHz, 63.0_uW,
+         6.00_uW, 3.26_uW, none, none, 55},
+        {K::LZ, "LZ", "Lempel Ziv", 129.0_MHz, 150.0_uW, 95.00_uW,
+         30.43_uW, none, none, 55},
+        {K::MA, "MA", "Markov Chain", 92.0_MHz, 194.0_uW, 67.00_uW,
+         32.76_uW, none, none, 55},
+        {K::NEO, "NEO", "Non-linear Energy Operator", 3.0_MHz,
+         12.00_uW, 0.00_uW, 0.03_uW, 4.0_ms, none, 5},
+        {K::NGRAM, "NGRAM", "Hash Ngram Generation", 0.2_MHz, 15.69_uW,
+         9.07_uW, 0.08_uW, 1.5_ms, none, 10},
+        {K::NPACK, "NPACK", "Network Packing", 3.0_MHz, 3.53_uW,
+         0.00_uW, 5.49_uW, 0.008_ms, none, 2},
+        {K::RC, "RC", "Range Coding", 90.0_MHz, 29.0_uW, 0.00_uW,
+         7.95_uW, none, none, 55},
+        {K::SBP, "SBP", "Spike Band Power", 3.0_MHz, 12.00_uW, 0.00_uW,
+         0.03_uW, 0.03_ms, none, 6},
+        {K::SC, "SC", "Storage Controller", 3.2_MHz, 95.30_uW,
+         64.49_uW, 1.64_uW, 0.03_ms, 4.0_ms, 12},
+        {K::SUB, "SUB", "Matrix Subtractor", 3.0_MHz, 0.08_uW, 0.00_uW,
+         0.988_uW, 2.0_ms, none, 69},
+        {K::SVM, "SVM", "Support Vector Machine", 3.0_MHz, 99.00_uW,
+         53.58_uW, 0.53_uW, 1.67_ms, none, 8},
+        {K::THR, "THR", "Threshold", 16.0_MHz, 2.00_uW, 0.00_uW,
+         0.11_uW, 0.06_ms, none, 1},
+        {K::TOK, "TOK", "Tokenizer", 6.0_MHz, 5.57_uW, 0.00_uW,
+         0.14_uW, 0.001_ms, none, 3},
+        {K::UNPACK, "UNPACK", "Network Unpacking", 3.0_MHz, 3.53_uW,
+         0.00_uW, 5.49_uW, 0.008_ms, none, 2},
+        {K::XCOR, "XCOR", "Pearson's Cross Correlation", 85.0_MHz,
+         377.00_uW, 306.88_uW, 44.11_uW, 4.0_ms, none, 81},
     };
     return catalog;
 }

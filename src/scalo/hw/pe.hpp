@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "scalo/units/units.hpp"
 #include "scalo/util/types.hpp"
 
 namespace scalo::hw {
@@ -71,34 +72,47 @@ struct PeSpec
     PeKind kind;
     std::string_view name;
     std::string_view function;
-    /** Highest supported clock (MHz). */
-    double maxFreqMhz;
-    /** Logic leakage power (uW). */
-    double leakageUw;
-    /** SRAM leakage power (uW), shown parenthesised in Table 1. */
-    double sramLeakageUw;
-    /** Dynamic power per electrode signal processed (uW). */
-    double dynPerElectrodeUw;
+    /** Highest supported clock. */
+    units::Megahertz maxFreq;
+    /** Logic leakage power. */
+    units::Microwatts leakage;
+    /** SRAM leakage power, shown parenthesised in Table 1. */
+    units::Microwatts sramLeakage;
+    /** Dynamic power per electrode signal processed. */
+    units::Microwatts dynPerElectrode;
     /**
-     * Processing latency (ms) at any sustained rate; empty for
+     * Processing latency at any sustained rate; empty for
      * data-dependent PEs (AES, LIC, LZ, MA, RC).
      */
-    std::optional<double> latencyMs;
-    /** Worst-case latency (ms) when it differs (SC: NVM busy). */
-    std::optional<double> latencyMaxMs;
+    std::optional<units::Millis> latency;
+    /** Worst-case latency when it differs (SC: NVM busy). */
+    std::optional<units::Millis> latencyMax;
     /** Area in kilo gate equivalents. */
     double areaKge;
 
-    /** Power (uW) when processing @p electrodes signals. */
-    double
-    powerUw(double electrodes) const
+    /** Power draw when processing @p electrodes signals. */
+    units::Microwatts
+    power(double electrodes) const
     {
-        return leakageUw + sramLeakageUw +
-               dynPerElectrodeUw * electrodes;
+        return leakage + sramLeakage + dynPerElectrode * electrodes;
     }
 
-    /** Leakage-only power (uW) when idle but powered. */
-    double idlePowerUw() const { return leakageUw + sramLeakageUw; }
+    /** Leakage-only power when idle but powered. */
+    units::Microwatts idlePower() const { return leakage + sramLeakage; }
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use power() -> units::Microwatts")]] double
+    powerUw(double electrodes) const
+    {
+        return power(electrodes).count();
+    }
+    [[deprecated("use idlePower() -> units::Microwatts")]] double
+    idlePowerUw() const
+    {
+        return idlePower().count();
+    }
+    ///@}
 };
 
 /** The full catalog, ordered as Table 1. */
@@ -121,10 +135,10 @@ std::string_view peName(PeKind kind);
  */
 struct McSpec
 {
-    double freqMhz = 20.0;
-    double sramKb = 8.0;
-    /** Active power (uW) - small in-order core in 28 nm. */
-    double activePowerUw = 400.0;
+    units::Megahertz freq{20.0};
+    units::Kibibytes sram{8.0};
+    /** Active power - small in-order core in 28 nm. */
+    units::Microwatts activePower{400.0};
     /**
      * Throughput penalty of running a PE's task in software; Section
      * 6.1 reports 10-100x for hash generation/matching.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::hw {
@@ -16,50 +17,54 @@ const double kCoefficient = 0.05 * std::pow(10.0, -kExponent);
 
 } // namespace
 
-ThermalModel::ThermalModel(double peak_delta_c)
-    : peakDeltaC(peak_delta_c)
+ThermalModel::ThermalModel(units::Celsius peak_delta)
+    : peakDelta(peak_delta)
 {
-    SCALO_ASSERT(peak_delta_c > 0.0, "peak rise must be positive");
+    SCALO_ASSERT(peak_delta.count() > 0.0,
+                 "peak rise must be positive");
 }
 
 double
-ThermalModel::falloffFraction(double distance_mm) const
+ThermalModel::falloffFraction(units::Millimetres distance) const
 {
-    SCALO_ASSERT(distance_mm >= 0.0, "negative distance");
-    const double f = kCoefficient * std::pow(distance_mm, kExponent);
+    SCALO_EXPECTS(distance.count() >= 0.0);
+    const double f =
+        kCoefficient * std::pow(distance.count(), kExponent);
     return std::min(1.0, f);
 }
 
-double
-ThermalModel::deltaAtC(double distance_mm, double implant_mw) const
+units::Celsius
+ThermalModel::deltaAt(units::Millimetres distance,
+                      units::Milliwatts power) const
 {
     // Peak rise scales linearly with dissipated power relative to the
     // 15 mW reference.
-    const double peak =
-        peakDeltaC * implant_mw / constants::kPowerCapMw;
-    return peak * falloffFraction(distance_mm);
+    const units::Celsius peak =
+        peakDelta * (power / constants::kPowerCap);
+    return peak * falloffFraction(distance);
 }
 
-double
-ThermalModel::worstCaseRiseC(double spacing_mm, double implant_mw,
-                             std::size_t neighbours) const
+units::Celsius
+ThermalModel::worstCaseRise(units::Millimetres spacing,
+                            units::Milliwatts power,
+                            std::size_t neighbours) const
 {
     // Own rise plus the coupling of the nearest ring of neighbours.
-    double total = peakDeltaC * implant_mw / constants::kPowerCapMw;
-    total += static_cast<double>(neighbours) *
-             deltaAtC(spacing_mm, implant_mw);
+    units::Celsius total = peakDelta * (power / constants::kPowerCap);
+    total += static_cast<double>(neighbours) * deltaAt(spacing, power);
+    SCALO_ENSURES(total.count() >= 0.0);
     return total;
 }
 
 bool
-ThermalModel::safe(std::size_t node_count, double spacing_mm,
-                   double mw) const
+ThermalModel::safe(std::size_t node_count, units::Millimetres spacing,
+                   units::Milliwatts power) const
 {
     if (node_count == 0)
         return true;
-    if (node_count > maxImplants(spacing_mm))
+    if (node_count > maxImplants(spacing))
         return false;
-    if (mw > constants::kPowerCapMw + 1e-9)
+    if (power > constants::kPowerCap + units::Milliwatts{1e-9})
         return false;
     // The 15 mW budget already carries the safety margin for the 1 C
     // limit; coupling is "negligible" (and the full budget usable)
@@ -68,21 +73,22 @@ ThermalModel::safe(std::size_t node_count, double spacing_mm,
     // point (6 x 2% of the limit). De-rated implants couple less, so
     // they tolerate tighter spacing.
     const std::size_t ring = std::min<std::size_t>(6, node_count - 1);
-    const double coupling =
-        static_cast<double>(ring) * deltaAtC(spacing_mm, mw);
-    const double budget = 6.0 * 0.02 * peakDeltaC;
-    return coupling <= budget + 1e-9;
+    const units::Celsius coupling =
+        static_cast<double>(ring) * deltaAt(spacing, power);
+    const units::Celsius budget = 6.0 * 0.02 * peakDelta;
+    return coupling <= budget + units::Celsius{1e-9};
 }
 
 std::size_t
-ThermalModel::maxImplants(double spacing_mm)
+ThermalModel::maxImplants(units::Millimetres spacing)
 {
-    SCALO_ASSERT(spacing_mm > 0.0, "spacing must be positive");
+    SCALO_ASSERT(spacing.count() > 0.0, "spacing must be positive");
     // Hemisphere area divided by the per-implant exclusion area; the
     // packing constant is calibrated so 20 mm spacing admits the
     // paper's 60 implants on an 86 mm-radius surface.
-    const double area = 2.0 * M_PI * constants::kBrainRadiusMm *
-                        constants::kBrainRadiusMm;
+    const double radius_mm = constants::kBrainRadius.count();
+    const double spacing_mm = spacing.count();
+    const double area = 2.0 * M_PI * radius_mm * radius_mm;
     const double packing = area / (60.0 * 20.0 * 20.0);
     return static_cast<std::size_t>(
         area / (packing * spacing_mm * spacing_mm));

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "scalo/units/units.hpp"
 #include "scalo/util/types.hpp"
 
 namespace scalo::hw {
@@ -22,45 +23,85 @@ class ThermalModel
 {
   public:
     /**
-     * @param peak_delta_c peak temperature rise at the implant edge
+     * @param peak_delta peak temperature rise at the implant edge
      *        for a 15 mW implant (the 1 C safety limit).
      */
-    explicit ThermalModel(double peak_delta_c = 1.0);
+    explicit ThermalModel(units::Celsius peak_delta = units::Celsius{
+                              1.0});
 
     /**
-     * Fractional temperature rise at @p distance_mm from an implant
+     * Fractional temperature rise at @p distance from an implant
      * edge, relative to the peak (1.0 at the edge, ~0.05 at 10 mm,
      * ~0.02 at 20 mm). Fitted power law through the published finite-
      * element anchors.
      */
-    double falloffFraction(double distance_mm) const;
+    double falloffFraction(units::Millimetres distance) const;
 
-    /** Absolute rise (C) at @p distance_mm for an implant at @p mw. */
-    double deltaAtC(double distance_mm, double implant_mw) const;
+    /** Absolute rise at @p distance for an implant at @p power. */
+    units::Celsius deltaAt(units::Millimetres distance,
+                           units::Milliwatts power) const;
 
     /**
-     * Worst-case total rise (C) at one implant given neighbours at
-     * @p spacing_mm on a hexagonal grid, all running at @p mw.
+     * Worst-case total rise at one implant given neighbours at
+     * @p spacing on a hexagonal grid, all running at @p power.
      */
-    double worstCaseRiseC(double spacing_mm, double implant_mw,
-                          std::size_t neighbours = 6) const;
+    units::Celsius worstCaseRise(units::Millimetres spacing,
+                                 units::Milliwatts power,
+                                 std::size_t neighbours = 6) const;
 
     /**
-     * Whether @p node_count implants at @p spacing_mm and @p mw each
+     * Whether @p node_count implants at @p spacing and @p power each
      * keep every site below the 1 C limit.
      */
-    bool safe(std::size_t node_count, double spacing_mm,
-              double mw) const;
+    bool safe(std::size_t node_count, units::Millimetres spacing,
+              units::Milliwatts power) const;
 
     /**
      * Maximum implants placeable with uniform optimal distribution on
-     * a hemispherical surface of kBrainRadiusMm at @p spacing_mm
+     * a hemispherical surface of kBrainRadius at @p spacing
      * (calibrated to the paper's 60 implants at 20 mm).
      */
-    static std::size_t maxImplants(double spacing_mm);
+    static std::size_t maxImplants(units::Millimetres spacing);
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use falloffFraction(units::Millimetres)")]] double
+    falloffFraction(double distance_mm) const
+    {
+        return falloffFraction(units::Millimetres{distance_mm});
+    }
+    [[deprecated("use deltaAt()")]] double
+    deltaAtC(double distance_mm, double implant_mw) const
+    {
+        return deltaAt(units::Millimetres{distance_mm},
+                       units::Milliwatts{implant_mw})
+            .count();
+    }
+    [[deprecated("use worstCaseRise()")]] double
+    worstCaseRiseC(double spacing_mm, double implant_mw,
+                   std::size_t neighbours = 6) const
+    {
+        return worstCaseRise(units::Millimetres{spacing_mm},
+                             units::Milliwatts{implant_mw}, neighbours)
+            .count();
+    }
+    [[deprecated("use safe(count, units::Millimetres, "
+                 "units::Milliwatts)")]] bool
+    safe(std::size_t node_count, double spacing_mm, double mw) const
+    {
+        return safe(node_count, units::Millimetres{spacing_mm},
+                    units::Milliwatts{mw});
+    }
+    [[deprecated(
+        "use maxImplants(units::Millimetres)")]] static std::size_t
+    maxImplants(double spacing_mm)
+    {
+        return maxImplants(units::Millimetres{spacing_mm});
+    }
+    ///@}
 
   private:
-    double peakDeltaC;
+    units::Celsius peakDelta;
 };
 
 } // namespace scalo::hw

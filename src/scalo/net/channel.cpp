@@ -1,5 +1,7 @@
 #include "scalo/net/channel.hpp"
 
+#include "scalo/util/contracts.hpp"
+
 namespace scalo::net {
 
 WirelessChannel::WirelessChannel(const RadioSpec &radio,
@@ -8,6 +10,7 @@ WirelessChannel::WirelessChannel(const RadioSpec &radio,
       berValue(ber_override >= 0.0 ? ber_override : radio.ber),
       rng(seed)
 {
+    SCALO_EXPECTS(berValue >= 0.0 && berValue <= 1.0);
 }
 
 ReceiveResult

@@ -2,20 +2,24 @@
 
 #include <cmath>
 
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::net {
 
 namespace {
 
+using namespace units::literals;
+
 const std::vector<RadioSpec> kCatalog{
-    {"Low Power", 1e-5, 7.0, 1.71, 20.0, 4.12},
-    {"High Perf", 1e-6, 14.0, 6.85, 20.0, 4.12},
-    {"Low BER", 1e-6, 7.0, 3.4, 20.0, 4.12},
-    {"Low Data Rate", 1e-5, 3.5, 0.855, 20.0, 4.12},
+    {"Low Power", 1e-5, 7.0_Mbps, 1.71_mW, 20.0_cm, 4.12_GHz},
+    {"High Perf", 1e-6, 14.0_Mbps, 6.85_mW, 20.0_cm, 4.12_GHz},
+    {"Low BER", 1e-6, 7.0_Mbps, 3.4_mW, 20.0_cm, 4.12_GHz},
+    {"Low Data Rate", 1e-5, 3.5_Mbps, 0.855_mW, 20.0_cm, 4.12_GHz},
 };
 
-const RadioSpec kExternal{"External", 1e-5, 46.0, 9.2, 1'000.0, 0.25};
+const RadioSpec kExternal{"External", 1e-5,      46.0_Mbps,
+                          9.2_mW,     1'000.0_cm, 0.25_GHz};
 
 } // namespace
 
@@ -53,12 +57,13 @@ externalRadio()
     return kExternal;
 }
 
-double
-powerAtDistanceMw(const RadioSpec &spec, double distance_cm)
+units::Milliwatts
+powerAtDistance(const RadioSpec &spec, units::Centimetres distance)
 {
-    SCALO_ASSERT(distance_cm > 0.0, "distance must be positive");
-    return spec.powerMw *
-           std::pow(distance_cm / spec.rangeCm, kPathLossExponent);
+    SCALO_ASSERT(distance.count() > 0.0, "distance must be positive");
+    SCALO_EXPECTS(spec.ber >= 0.0 && spec.ber <= 1.0);
+    return spec.power *
+           std::pow(distance / spec.range, kPathLossExponent);
 }
 
 } // namespace scalo::net

@@ -13,31 +13,47 @@
 #include <string_view>
 #include <vector>
 
+#include "scalo/units/units.hpp"
+
 namespace scalo::net {
 
 /** One radio design point (Table 3 + the external radio). */
 struct RadioSpec
 {
     std::string_view name;
-    double ber;          ///< bit error rate
-    double dataRateMbps; ///< symmetric TX/RX rate
-    double powerMw;      ///< active power
-    double rangeCm;      ///< design transmission distance
-    double carrierGhz;   ///< carrier frequency
+    double ber;                       ///< bit error rate, in [0, 1]
+    units::MegabitsPerSecond dataRate; ///< symmetric TX/RX rate
+    units::Milliwatts power;          ///< active power
+    units::Centimetres range;         ///< design transmission distance
+    units::Gigahertz carrier;         ///< carrier frequency
 
-    /** Time (ms) to move @p bytes across this link. */
-    double
+    /** Time to move @p bytes across this link. */
+    units::Millis
+    transferTime(units::Bytes bytes) const
+    {
+        return bytes / dataRate;
+    }
+
+    /** Energy to move @p bytes across this link. */
+    units::Millijoules
+    transferEnergy(units::Bytes bytes) const
+    {
+        return power * transferTime(bytes);
+    }
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use transferTime(units::Bytes)")]] double
     transferMs(double bytes) const
     {
-        return bytes * 8.0 / (dataRateMbps * 1e6) * 1e3;
+        return transferTime(units::Bytes{bytes}).count();
     }
-
-    /** Energy (mJ) to move @p bytes across this link. */
-    double
+    [[deprecated("use transferEnergy(units::Bytes)")]] double
     transferEnergyMj(double bytes) const
     {
-        return powerMw * transferMs(bytes) * 1e-3;
+        return transferEnergy(units::Bytes{bytes}).count();
     }
+    ///@}
 };
 
 /** Named intra-SCALO design points of Table 3. */
@@ -65,10 +81,18 @@ const RadioSpec &externalRadio();
 inline constexpr double kPathLossExponent = 3.5;
 
 /**
- * Transmit power (mW) needed to close the same link budget at
- * @p distance_cm instead of the spec's design range, holding data rate
+ * Transmit power needed to close the same link budget at
+ * @p distance instead of the spec's design range, holding data rate
  * and BER fixed: P(d) = P0 * (d / d0)^3.5.
  */
-double powerAtDistanceMw(const RadioSpec &spec, double distance_cm);
+units::Milliwatts powerAtDistance(const RadioSpec &spec,
+                                  units::Centimetres distance);
+
+[[deprecated("use powerAtDistance(spec, units::Centimetres)")]] inline double
+powerAtDistanceMw(const RadioSpec &spec, double distance_cm)
+{
+    return powerAtDistance(spec, units::Centimetres{distance_cm})
+        .count();
+}
 
 } // namespace scalo::net

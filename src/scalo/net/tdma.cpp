@@ -2,68 +2,73 @@
 
 #include <algorithm>
 
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::net {
 
+using namespace units::literals;
+
 TdmaSchedule::TdmaSchedule(const RadioSpec &radio,
-                           std::size_t node_count, double guard_us)
-    : spec(&radio), nodes(node_count), guardUs(guard_us)
+                           std::size_t node_count, units::Micros guard)
+    : spec(&radio), nodes(node_count), guard(guard)
 {
     SCALO_ASSERT(node_count >= 1, "need at least one node");
-    SCALO_ASSERT(guard_us >= 0.0, "negative guard time");
+    SCALO_ASSERT(guard.count() >= 0.0, "negative guard time");
 }
 
-double
-TdmaSchedule::slotMs(std::size_t payload_bytes) const
+units::Millis
+TdmaSchedule::slotTime(std::size_t payload_bytes) const
 {
     const std::size_t wire = wireBytesFor(payload_bytes);
-    return spec->transferMs(static_cast<double>(wire)) +
-           guardUs / 1'000.0;
+    return spec->transferTime(
+               units::Bytes{static_cast<double>(wire)}) +
+           guard;
 }
 
-double
-TdmaSchedule::exchangeMs(Pattern pattern,
-                         std::size_t payload_bytes_per_node) const
+units::Millis
+TdmaSchedule::exchangeTime(Pattern pattern,
+                           std::size_t payload_bytes_per_node) const
 {
     switch (pattern) {
       case Pattern::OneToAll:
         // A broadcast occupies one slot regardless of node count.
-        return slotMs(payload_bytes_per_node);
+        return slotTime(payload_bytes_per_node);
       case Pattern::AllToAll:
         // Single-frequency TDMA: each node's broadcast is serial.
         return static_cast<double>(nodes) *
-               slotMs(payload_bytes_per_node);
+               slotTime(payload_bytes_per_node);
       case Pattern::AllToOne:
         // All nodes except the aggregator transmit serially.
         return static_cast<double>(nodes > 0 ? nodes - 1 : 0) *
-               slotMs(payload_bytes_per_node);
+               slotTime(payload_bytes_per_node);
     }
     SCALO_PANIC("unknown pattern");
 }
 
-double
-TdmaSchedule::perNodeGoodputMbps(
-    std::size_t payload_bytes_per_slot) const
+units::MegabitsPerSecond
+TdmaSchedule::perNodeGoodput(std::size_t payload_bytes_per_slot) const
 {
-    const double round_ms =
-        static_cast<double>(nodes) * slotMs(payload_bytes_per_slot);
-    const double bits =
-        static_cast<double>(payload_bytes_per_slot) * 8.0;
-    return bits / (round_ms * 1e-3) / 1e6;
+    const units::Millis round =
+        static_cast<double>(nodes) * slotTime(payload_bytes_per_slot);
+    const units::Bytes payload{
+        static_cast<double>(payload_bytes_per_slot)};
+    return payload / round;
 }
 
 std::size_t
-TdmaSchedule::budgetBytes(double budget_ms, std::size_t senders) const
+TdmaSchedule::budgetBytes(units::Millis budget,
+                          std::size_t senders) const
 {
     SCALO_ASSERT(senders >= 1, "need at least one sender");
-    const double per_sender_ms =
-        budget_ms / static_cast<double>(senders);
+    SCALO_EXPECTS(budget.count() >= 0.0);
+    const units::Millis per_sender =
+        budget / static_cast<double>(senders);
     // Binary search the largest payload whose slot fits.
     std::size_t lo = 0, hi = 1u << 24;
     while (lo < hi) {
         const std::size_t mid = lo + (hi - lo + 1) / 2;
-        if (slotMs(mid) <= per_sender_ms)
+        if (slotTime(mid) <= per_sender)
             lo = mid;
         else
             hi = mid - 1;

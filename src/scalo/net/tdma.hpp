@@ -32,44 +32,70 @@ class TdmaSchedule
     /**
      * @param radio        the shared radio design
      * @param node_count   implants on the network
-     * @param guard_us     inter-slot guard time (radio turnaround)
+     * @param guard        inter-slot guard time (radio turnaround)
      */
     TdmaSchedule(const RadioSpec &radio, std::size_t node_count,
-                 double guard_us = 20.0);
+                 units::Micros guard = units::Micros{20.0});
 
     std::size_t nodeCount() const { return nodes; }
     const RadioSpec &radio() const { return *spec; }
 
     /**
-     * Time (ms) for one node to put @p payload_bytes on the air,
+     * Time for one node to put @p payload_bytes on the air,
      * including per-packet overhead and the slot guard.
      */
-    double slotMs(std::size_t payload_bytes) const;
+    units::Millis slotTime(std::size_t payload_bytes) const;
 
     /**
-     * Time (ms) to complete one round of @p pattern in which each
+     * Time to complete one round of @p pattern in which each
      * sending node contributes @p payload_bytes_per_node.
      */
-    double exchangeMs(Pattern pattern,
-                      std::size_t payload_bytes_per_node) const;
+    units::Millis exchangeTime(Pattern pattern,
+                               std::size_t payload_bytes_per_node) const;
 
     /**
-     * Sustained per-node goodput (Mbps of payload) when all nodes
+     * Sustained per-node goodput (payload only) when all nodes
      * stream continuously under TDMA.
      */
-    double perNodeGoodputMbps(std::size_t payload_bytes_per_slot) const;
+    units::MegabitsPerSecond
+    perNodeGoodput(std::size_t payload_bytes_per_slot) const;
 
     /**
-     * Payload bytes one node can send within @p budget_ms when the
+     * Payload bytes one node can send within @p budget when the
      * round is shared by @p senders nodes.
      */
-    std::size_t budgetBytes(double budget_ms,
+    std::size_t budgetBytes(units::Millis budget,
                             std::size_t senders) const;
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use slotTime()")]] double
+    slotMs(std::size_t payload_bytes) const
+    {
+        return slotTime(payload_bytes).count();
+    }
+    [[deprecated("use exchangeTime()")]] double
+    exchangeMs(Pattern pattern,
+               std::size_t payload_bytes_per_node) const
+    {
+        return exchangeTime(pattern, payload_bytes_per_node).count();
+    }
+    [[deprecated("use perNodeGoodput()")]] double
+    perNodeGoodputMbps(std::size_t payload_bytes_per_slot) const
+    {
+        return perNodeGoodput(payload_bytes_per_slot).count();
+    }
+    [[deprecated("use budgetBytes(units::Millis, senders)")]] std::size_t
+    budgetBytes(double budget_ms, std::size_t senders) const
+    {
+        return budgetBytes(units::Millis{budget_ms}, senders);
+    }
+    ///@}
 
   private:
     const RadioSpec *spec;
     std::size_t nodes;
-    double guardUs;
+    units::Micros guard;
 };
 
 } // namespace scalo::net

@@ -331,25 +331,25 @@ CompiledPipeline::peChain() const
     return chain;
 }
 
-double
-CompiledPipeline::latencyMs() const
+units::Millis
+CompiledPipeline::latency() const
 {
-    double total = 0.0;
+    units::Millis total{0.0};
     for (hw::PeKind kind : peChain()) {
         const auto &spec = hw::peSpec(kind);
-        if (spec.latencyMs)
-            total += *spec.latencyMs;
+        if (spec.latency)
+            total += *spec.latency;
     }
     return total;
 }
 
-double
-CompiledPipeline::powerMw(double electrodes) const
+units::Milliwatts
+CompiledPipeline::power(double electrodes) const
 {
-    double uw = 0.0;
+    units::Microwatts total{0.0};
     for (hw::PeKind kind : peChain())
-        uw += hw::peSpec(kind).powerUw(electrodes);
-    return uw / 1'000.0;
+        total += hw::peSpec(kind).power(electrodes);
+    return total;
 }
 
 } // namespace scalo::query

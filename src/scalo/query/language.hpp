@@ -76,11 +76,25 @@ struct CompiledPipeline
      */
     std::optional<app::Query> interactiveQuery() const;
 
-    /** Total fixed pipeline latency (ms). */
-    double latencyMs() const;
+    /** Total fixed pipeline latency. */
+    units::Millis latency() const;
 
-    /** Pipeline power (mW) at @p electrodes per stage. */
-    double powerMw(double electrodes) const;
+    /** Pipeline power at @p electrodes per stage. */
+    units::Milliwatts power(double electrodes) const;
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use latency()")]] double
+    latencyMs() const
+    {
+        return latency().count();
+    }
+    [[deprecated("use power()")]] double
+    powerMw(double electrodes) const
+    {
+        return power(electrodes).count();
+    }
+    ///@}
 };
 
 /**

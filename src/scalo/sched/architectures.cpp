@@ -64,7 +64,7 @@ FlowSpec
 wired(FlowSpec flow)
 {
     if (flow.network) {
-        flow.leakMw -= net::defaultRadio().powerMw;
+        flow.leak -= net::defaultRadio().power;
         flow.network.reset();
     }
     return flow;
@@ -74,8 +74,8 @@ wired(FlowSpec flow)
 FlowSpec
 scaledCost(FlowSpec flow, double factor)
 {
-    flow.linMwPerElectrode *= factor;
-    flow.quadMwPerElectrode2 *= factor;
+    flow.linPerElectrode *= factor;
+    flow.quadPerElectrode2 *= factor;
     return flow;
 }
 
@@ -144,31 +144,29 @@ mcPenalty(Task task)
 
 } // namespace
 
-double
-maxAggregateThroughputMbps(Architecture arch, Task task,
-                           std::size_t sites, double power_cap_mw)
+units::MegabitsPerSecond
+maxAggregateThroughput(Architecture arch, Task task,
+                       std::size_t sites, units::Milliwatts power_cap)
 {
     SystemConfig config;
-    config.powerCapMw = power_cap_mw;
+    config.powerCap = power_cap;
 
     switch (arch) {
       case Architecture::Scalo: {
         config.nodes = sites;
         Scheduler scheduler(config);
-        return scheduler.maxAggregateThroughputMbps(
-            taskFlow(task, true));
+        return scheduler.maxAggregateThroughput(taskFlow(task, true));
       }
       case Architecture::ScaloNoHash: {
         config.nodes = sites;
         Scheduler scheduler(config);
-        return scheduler.maxAggregateThroughputMbps(
-            noHashTaskFlow(task));
+        return scheduler.maxAggregateThroughput(noHashTaskFlow(task));
       }
       case Architecture::Central: {
         config.nodes = 1;
         config.wirelessNetwork = false;
         Scheduler scheduler(config);
-        return scheduler.maxAggregateThroughputMbps(
+        return scheduler.maxAggregateThroughput(
             wired(taskFlow(task, false)));
       }
       case Architecture::CentralNoHash: {
@@ -178,22 +176,23 @@ maxAggregateThroughputMbps(Architecture arch, Task task,
         if (task == Task::SignalSimilarity) {
             // Exact all-pair comparison of the full stream: 250x the
             // hash-filtered cost (Section 6.1).
-            return scheduler.maxAggregateThroughputMbps(scaledCost(
+            return scheduler.maxAggregateThroughput(scaledCost(
                 wired(taskFlow(task, false)),
                 kExactSimilarityFactor));
         }
-        return scheduler.maxAggregateThroughputMbps(
+        return scheduler.maxAggregateThroughput(
             wired(noHashTaskFlow(task)));
       }
       case Architecture::HaloNvm: {
         if (task == Task::SpikeSorting) {
             // Hash matching on the MC: 40% below Central No-Hash.
-            return 0.6 * maxAggregateThroughputMbps(
+            return 0.6 * maxAggregateThroughput(
                              Architecture::CentralNoHash, task, sites,
-                             power_cap_mw);
+                             power_cap);
         }
-        const double central = maxAggregateThroughputMbps(
-            Architecture::Central, task, sites, power_cap_mw);
+        const units::MegabitsPerSecond central =
+            maxAggregateThroughput(Architecture::Central, task, sites,
+                                   power_cap);
         return central / mcPenalty(task);
       }
     }

@@ -54,15 +54,31 @@ std::vector<Architecture> allArchitectures();
 std::vector<Task> allTasks();
 
 /**
- * Maximum aggregate throughput (Mbps) of @p task on @p arch with
+ * Maximum aggregate throughput of @p task on @p arch with
  * @p sites implanted sensing sites and the given per-implant power
  * limit. Centralized designs use one processor wired to all sites;
  * distributed designs use one node per site.
  */
-double maxAggregateThroughputMbps(Architecture arch, Task task,
-                                  std::size_t sites,
-                                  double power_cap_mw =
-                                      constants::kPowerCapMw);
+units::MegabitsPerSecond
+maxAggregateThroughput(Architecture arch, Task task,
+                       std::size_t sites,
+                       units::Milliwatts power_cap =
+                           constants::kPowerCap);
+
+/** @name Deprecated raw-double entry point (pre-units API) */
+///@{
+[[deprecated("use maxAggregateThroughput()")]]
+inline double
+maxAggregateThroughputMbps(Architecture arch, Task task,
+                           std::size_t sites,
+                           double power_cap_mw =
+                               constants::kPowerCapMw)
+{
+    return maxAggregateThroughput(arch, task, sites,
+                                  units::Milliwatts{power_cap_mw})
+        .count();
+}
+///@}
 
 /**
  * Exact spike sorting (template matching with the DTW PE instead of

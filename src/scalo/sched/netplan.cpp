@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::sched {
@@ -11,7 +12,8 @@ bool
 NetworkPlan::collisionFree() const
 {
     for (std::size_t i = 0; i + 1 < slots.size(); ++i)
-        if (slots[i].endMs > slots[i + 1].startMs + 1e-12)
+        if (slots[i].end >
+            slots[i + 1].start + units::Millis{1e-12})
             return false;
     return true;
 }
@@ -34,7 +36,7 @@ buildNetworkPlan(const std::vector<FlowSpec> &flows,
                                                               nodes));
 
     NetworkPlan plan;
-    double cursor = 0.0;
+    units::Millis cursor{0.0};
     for (std::size_t f = 0; f < flows.size(); ++f) {
         const FlowSpec &flow = flows[f];
         if (!flow.network)
@@ -70,13 +72,14 @@ buildNetworkPlan(const std::vector<FlowSpec> &flows,
             slot.sender = sender;
             slot.flow = flow.name;
             slot.payloadBytes = payload;
-            slot.startMs = cursor;
-            slot.endMs = cursor + tdma.slotMs(payload);
-            cursor = slot.endMs;
+            slot.start = cursor;
+            slot.end = cursor + tdma.slotTime(payload);
+            cursor = slot.end;
             plan.slots.push_back(std::move(slot));
         }
     }
-    plan.roundMs = cursor;
+    plan.round = cursor;
+    SCALO_ENSURES(plan.collisionFree());
     return plan;
 }
 
@@ -84,12 +87,13 @@ std::string
 renderPlan(const NetworkPlan &plan)
 {
     std::ostringstream oss;
-    oss << "TDMA round: " << plan.roundMs << " ms, "
+    oss << "TDMA round: " << plan.round.count() << " ms, "
         << plan.slots.size() << " slots\n";
     for (const TdmaSlot &slot : plan.slots) {
-        oss << "  [" << slot.startMs << " - " << slot.endMs
-            << " ms] node " << slot.sender << " sends "
-            << slot.payloadBytes << " B of '" << slot.flow << "'\n";
+        oss << "  [" << slot.start.count() << " - "
+            << slot.end.count() << " ms] node " << slot.sender
+            << " sends " << slot.payloadBytes << " B of '"
+            << slot.flow << "'\n";
     }
     return oss.str();
 }

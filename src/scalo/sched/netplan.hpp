@@ -22,16 +22,16 @@ struct TdmaSlot
     NodeId sender = 0;
     std::string flow;
     std::size_t payloadBytes = 0;
-    double startMs = 0.0;
-    double endMs = 0.0;
+    units::Millis start{0.0};
+    units::Millis end{0.0};
 };
 
 /** The fixed network round all nodes follow. */
 struct NetworkPlan
 {
     std::vector<TdmaSlot> slots;
-    /** Total round length (ms). */
-    double roundMs = 0.0;
+    /** Total round length. */
+    units::Millis round{0.0};
 
     /** Whether no two slots overlap (the TDMA invariant). */
     bool collisionFree() const;

@@ -6,34 +6,39 @@
 #include "scalo/hw/nvm.hpp"
 #include "scalo/ilp/solver.hpp"
 #include "scalo/net/packet.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::sched {
 
+using namespace units::literals;
+
 namespace {
 
 /** TDMA slot guard time (radio turnaround), matching net::TdmaSchedule. */
-constexpr double kGuardMs = 0.02;
+constexpr units::Millis kGuard = units::Micros{20.0};
 
 /**
- * Linearised wire time (ms) for B payload bytes: per-packet overhead
- * amortised as a rate factor plus one packet's fixed header cost.
+ * Linearised wire time for one payload byte: per-packet overhead
+ * amortised as a rate factor. (The ILP needs per-byte coefficients,
+ * so this is where a time deliberately leaves the unit system as ms.)
  */
-double
-wireMsPerByte(const net::RadioSpec &radio)
+units::Millis
+wireTimePerByte(const net::RadioSpec &radio)
 {
     const double overhead_factor =
         1.0 + static_cast<double>(net::kPacketOverheadBytes) /
                   static_cast<double>(net::kMaxPayloadBytes);
-    return overhead_factor * 8.0 / (radio.dataRateMbps * 1e6) * 1e3;
+    return overhead_factor * (1.0_B / radio.dataRate);
 }
 
-double
-wireFixedMs(const net::RadioSpec &radio)
+units::Millis
+wireFixed(const net::RadioSpec &radio)
 {
-    return static_cast<double>(net::kPacketOverheadBytes) * 8.0 /
-               (radio.dataRateMbps * 1e6) * 1e3 +
-           kGuardMs;
+    return units::Bytes{static_cast<double>(
+               net::kPacketOverheadBytes)} /
+               radio.dataRate +
+           kGuard;
 }
 
 /** Indices of nodes that transmit for a flow's pattern. */
@@ -80,7 +85,8 @@ addQuadraticCuts(ilp::Model &model, int e_var, int q_var, double e_max)
 Scheduler::Scheduler(SystemConfig config) : systemConfig(config)
 {
     SCALO_ASSERT(systemConfig.nodes >= 1, "need at least one node");
-    SCALO_ASSERT(systemConfig.powerCapMw > 0.0, "power cap must be > 0");
+    SCALO_ASSERT(systemConfig.powerCap > 0.0_mW,
+                 "power cap must be > 0");
 }
 
 Schedule
@@ -99,8 +105,8 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
     // target.
     for (const FlowSpec &flow : flows) {
         if (flow.network &&
-            flow.network->roundBudgetMs >
-                flow.responseTimeMs + 1e-9) {
+            flow.network->roundBudget >
+                flow.responseTime + units::Millis{1e-9}) {
             result.reason = "flow '" + flow.name +
                             "' cannot meet its response time";
             return result;
@@ -109,29 +115,30 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
 
     // Per-node leakage: each flow pays its own leakage, but the
     // intra-SCALO radio is one physical device, charged once.
-    double radio_leak = 0.0;
+    units::Milliwatts radio_leak{0.0};
     std::size_t networked = 0;
     for (const FlowSpec &flow : flows)
         if (flow.network)
             ++networked;
     if (systemConfig.wirelessNetwork && networked > 0)
-        radio_leak = systemConfig.radio->powerMw;
+        radio_leak = systemConfig.radio->power;
 
-    double leak_total = 0.0;
+    units::Milliwatts leak_total{0.0};
     for (const FlowSpec &flow : flows) {
-        double leak = flow.leakMw;
+        units::Milliwatts leak = flow.leak;
         if (flow.network) {
             // FlowSpec folds the default radio into its leakage;
             // replace it with the configured radio, charged once.
-            leak -= net::defaultRadio().powerMw;
+            leak -= net::defaultRadio().power;
         } else if (!systemConfig.wirelessNetwork && !flow.network) {
             // nothing to adjust for local flows
         }
         leak_total += leak;
     }
     leak_total += radio_leak;
-    const double power_budget = systemConfig.powerCapMw - leak_total;
-    if (power_budget <= 0.0) {
+    const units::Milliwatts power_budget =
+        systemConfig.powerCap - leak_total;
+    if (power_budget <= 0.0_mW) {
         result.reason = "leakage alone exceeds the power cap";
         return result;
     }
@@ -163,7 +170,7 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
         counted[f] = is_sender;
         // Upper bound from power alone, used to place tangent cuts.
         const double e_power_max = std::min(
-            e_cap, flow.electrodesAtPowerMw(systemConfig.powerCapMw));
+            e_cap, flow.electrodesAtPower(systemConfig.powerCap));
         for (std::size_t n = 0; n < nodes; ++n) {
             const int e = model.addVariable(
                 flow.name + ".e" + std::to_string(n), 0.0,
@@ -172,7 +179,7 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
             e_vars[f].push_back(e);
             if (is_sender[n])
                 objective.push_back({e, priorities[f]});
-            if (flow.quadMwPerElectrode2 > 0.0) {
+            if (flow.quadPerElectrode2.count() > 0.0) {
                 const int q = model.addVariable(
                     flow.name + ".q" + std::to_string(n), 0.0,
                     ilp::kInf, false);
@@ -195,9 +202,11 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
         }
     }
 
-    // Per-node power and NVM write bandwidth.
+    // Per-node power and NVM write bandwidth. The ILP's coefficient
+    // matrix is unitless, so rates and powers enter as their counts
+    // (bytes/s and mW) - the one sanctioned escape hatch.
     const double nvm_write_bps =
-        hw::nvmSpec().writeBandwidthMBps() * 1e6;
+        hw::nvmSpec().writeBandwidth().count() * 1e6;
     for (std::size_t n = 0; n < nodes; ++n) {
         ilp::Expr power;
         ilp::Expr nvm;
@@ -212,25 +221,27 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
                 // history.
                 for (std::size_t m = 0; m < nodes; ++m) {
                     if (m != n && counted[f][m] &&
-                        flow.linMwPerElectrode > 0.0) {
-                        power.push_back({e_vars[f][m],
-                                         flow.linMwPerElectrode});
+                        flow.linPerElectrode.count() > 0.0) {
+                        power.push_back(
+                            {e_vars[f][m],
+                             flow.linPerElectrode.count()});
                     }
                 }
-            } else if (flow.linMwPerElectrode > 0.0) {
+            } else if (flow.linPerElectrode.count() > 0.0) {
                 power.push_back(
-                    {e_vars[f][n], flow.linMwPerElectrode});
+                    {e_vars[f][n], flow.linPerElectrode.count()});
             }
-            if (flow.quadMwPerElectrode2 > 0.0)
+            if (flow.quadPerElectrode2.count() > 0.0)
                 power.push_back(
-                    {q_vars[f][n], flow.quadMwPerElectrode2});
+                    {q_vars[f][n], flow.quadPerElectrode2.count()});
             if (flow.nvmWriteBytesPerElecPerSec > 0.0)
                 nvm.push_back({e_vars[f][n],
                                flow.nvmWriteBytesPerElecPerSec});
         }
         if (!power.empty())
             model.addConstraint(std::move(power),
-                                ilp::Relation::LessEq, power_budget,
+                                ilp::Relation::LessEq,
+                                power_budget.count(),
                                 "power.node" + std::to_string(n));
         if (!nvm.empty())
             model.addConstraint(std::move(nvm),
@@ -254,19 +265,20 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
             if (tx.empty())
                 continue;
             ilp::Expr round;
-            double fixed = 0.0;
+            units::Millis fixed{0.0};
             for (std::size_t n : tx) {
                 if (flow.network->bytesPerElectrode > 0.0)
                     round.push_back(
                         {e_vars[f][n],
                          flow.network->bytesPerElectrode *
-                             wireMsPerByte(radio)});
-                fixed += wireFixedMs(radio) +
+                             wireTimePerByte(radio).count()});
+                fixed += wireFixed(radio) +
                          flow.network->bytesPerNode *
-                             wireMsPerByte(radio);
+                             wireTimePerByte(radio);
             }
-            const double budget = flow.network->roundBudgetMs - fixed;
-            if (budget < 0.0) {
+            const units::Millis budget =
+                flow.network->roundBudget - fixed;
+            if (budget < 0.0_ms) {
                 // Even empty packets from every sender overrun the
                 // round: this flow cannot run at this node count, so
                 // it is allocated nothing (the rest of the schedule
@@ -279,7 +291,8 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
             }
             if (!round.empty())
                 model.addConstraint(std::move(round),
-                                    ilp::Relation::LessEq, budget,
+                                    ilp::Relation::LessEq,
+                                    budget.count(),
                                     flow.name + ".network");
         }
     }
@@ -295,7 +308,7 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
 
     // Decode the allocation.
     result.feasible = true;
-    result.nodePowerMw.assign(nodes, leak_total);
+    result.nodePower.assign(nodes, leak_total);
     for (std::size_t f = 0; f < flows.size(); ++f) {
         const bool exact = flows[f].network &&
                            flows[f].network->exactCompare &&
@@ -312,29 +325,32 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
             const double e = alloc.electrodesPerNode[n];
             if (exact) {
                 // Receive-side comparison power.
-                result.nodePowerMw[n] +=
-                    flows[f].linMwPerElectrode *
+                result.nodePower[n] +=
+                    flows[f].linPerElectrode *
                     (alloc.totalElectrodes - e);
             } else {
-                result.nodePowerMw[n] +=
-                    flows[f].linMwPerElectrode * e +
-                    flows[f].quadMwPerElectrode2 * e * e;
+                result.nodePower[n] +=
+                    flows[f].linPerElectrode * e +
+                    flows[f].quadPerElectrode2 * e * e;
             }
         }
-        alloc.throughputMbps = electrodesToMbps(alloc.totalElectrodes);
-        result.totalThroughputMbps += alloc.throughputMbps;
-        result.weightedThroughputMbps +=
-            priorities[f] * alloc.throughputMbps;
+        alloc.throughput = electrodesToRate(alloc.totalElectrodes);
+        result.totalThroughput += alloc.throughput;
+        result.weightedThroughput += priorities[f] * alloc.throughput;
         result.flows.push_back(std::move(alloc));
     }
+    for ([[maybe_unused]] const units::Milliwatts p :
+         result.nodePower)
+        SCALO_ENSURES(p.count() >= 0.0);
     return result;
 }
 
-double
-Scheduler::maxAggregateThroughputMbps(const FlowSpec &flow) const
+units::MegabitsPerSecond
+Scheduler::maxAggregateThroughput(const FlowSpec &flow) const
 {
     const Schedule s = schedule({flow}, {1.0});
-    return s.feasible ? s.totalThroughputMbps : 0.0;
+    return s.feasible ? s.totalThroughput
+                      : units::MegabitsPerSecond{0.0};
 }
 
 } // namespace scalo::sched

@@ -31,7 +31,7 @@ namespace scalo::sched {
 struct SystemConfig
 {
     std::size_t nodes = 11;
-    double powerCapMw = constants::kPowerCapMw;
+    units::Milliwatts powerCap = constants::kPowerCap;
     const net::RadioSpec *radio = &net::defaultRadio();
     /** False for wired centralized baselines: no radio power/limits. */
     bool wirelessNetwork = true;
@@ -51,7 +51,7 @@ struct FlowAllocation
     std::string flow;
     std::vector<double> electrodesPerNode;
     double totalElectrodes = 0.0;
-    double throughputMbps = 0.0;
+    units::MegabitsPerSecond throughput{0.0};
 };
 
 /** A complete schedule for a flow set. */
@@ -61,9 +61,9 @@ struct Schedule
     /** Diagnostic when infeasible. */
     std::string reason;
     std::vector<FlowAllocation> flows;
-    std::vector<double> nodePowerMw;
-    double totalThroughputMbps = 0.0;
-    double weightedThroughputMbps = 0.0;
+    std::vector<units::Milliwatts> nodePower;
+    units::MegabitsPerSecond totalThroughput{0.0};
+    units::MegabitsPerSecond weightedThroughput{0.0};
 };
 
 /** The optimal mapper. */
@@ -79,8 +79,18 @@ class Scheduler
     Schedule schedule(const std::vector<FlowSpec> &flows,
                       const std::vector<double> &priorities) const;
 
-    /** Single-flow maximum aggregate throughput (Mbps). */
-    double maxAggregateThroughputMbps(const FlowSpec &flow) const;
+    /** Single-flow maximum aggregate throughput. */
+    units::MegabitsPerSecond
+    maxAggregateThroughput(const FlowSpec &flow) const;
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use maxAggregateThroughput()")]] double
+    maxAggregateThroughputMbps(const FlowSpec &flow) const
+    {
+        return maxAggregateThroughput(flow).count();
+    }
+    ///@}
 
     const SystemConfig &config() const { return systemConfig; }
 

@@ -3,57 +3,60 @@
 #include <cmath>
 
 #include "scalo/net/radio.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::sched {
 
 using hw::PeKind;
+using namespace units::literals;
 
 double
-FlowSpec::electrodesAtPowerMw(double budget_mw) const
+FlowSpec::electrodesAtPower(units::Milliwatts budget) const
 {
-    const double available = budget_mw - leakMw;
-    if (available <= 0.0)
+    const units::Milliwatts available = budget - leak;
+    if (available.count() <= 0.0)
         return 0.0;
-    if (quadMwPerElectrode2 <= 0.0) {
-        if (linMwPerElectrode <= 0.0)
+    if (quadPerElectrode2.count() <= 0.0) {
+        if (linPerElectrode.count() <= 0.0)
             return 1e9; // effectively unlimited by power
-        return available / linMwPerElectrode;
+        return available / linPerElectrode;
     }
     // Solve quad*e^2 + lin*e - available = 0 for the positive root.
-    const double a = quadMwPerElectrode2;
-    const double b = linMwPerElectrode;
-    return (-b + std::sqrt(b * b + 4.0 * a * available)) / (2.0 * a);
+    const double a = quadPerElectrode2.count();
+    const double b = linPerElectrode.count();
+    return (-b + std::sqrt(b * b + 4.0 * a * available.count())) /
+           (2.0 * a);
 }
 
-double
-chainLeakMw(const std::vector<PeKind> &chain)
+units::Milliwatts
+chainLeak(const std::vector<PeKind> &chain)
 {
-    double uw = 0.0;
+    units::Microwatts total{0.0};
     for (PeKind kind : chain)
-        uw += hw::peSpec(kind).idlePowerUw();
-    return uw / 1'000.0;
+        total += hw::peSpec(kind).idlePower();
+    return total;
 }
 
-double
-chainLinMwPerElectrode(const std::vector<PeKind> &chain)
+units::Milliwatts
+chainLinPerElectrode(const std::vector<PeKind> &chain)
 {
-    double uw = 0.0;
+    units::Microwatts total{0.0};
     for (PeKind kind : chain)
-        uw += hw::peSpec(kind).dynPerElectrodeUw;
-    return uw / 1'000.0;
+        total += hw::peSpec(kind).dynPerElectrode;
+    return total;
 }
 
 namespace {
 
 /** NVM leakage charged to any flow that touches storage. */
-constexpr double kNvmLeakMw = 0.26;
+constexpr units::Milliwatts kNvmLeak{0.26};
 
 /** Intra-SCALO radio power charged to networked flows (Low Power). */
-double
-radioLeakMw()
+units::Milliwatts
+radioLeak()
 {
-    return net::defaultRadio().powerMw;
+    return net::defaultRadio().power;
 }
 
 } // namespace
@@ -65,20 +68,21 @@ seizureDetectionFlow()
     flow.name = "seizure-detection";
     flow.peChain = {PeKind::FFT, PeKind::BBF, PeKind::XCOR,
                     PeKind::SVM, PeKind::THR, PeKind::SC};
-    flow.leakMw = chainLeakMw(flow.peChain) + kNvmLeakMw;
+    flow.leak = chainLeak(flow.peChain) + kNvmLeak;
     // Linear term: every chain PE except XCOR, whose work is pairwise
     // across electrodes (the quadratic term below). The quadratic
     // coefficient normalises XCOR's Table 1 per-electrode power to the
     // 96-electrode design point: 44.11 uW * e^2 / 96.
-    flow.linMwPerElectrode =
-        chainLinMwPerElectrode({PeKind::FFT, PeKind::BBF, PeKind::SVM,
-                                PeKind::THR, PeKind::SC});
-    flow.quadMwPerElectrode2 =
-        hw::peSpec(PeKind::XCOR).dynPerElectrodeUw / 1'000.0 / 96.0;
+    flow.linPerElectrode =
+        chainLinPerElectrode({PeKind::FFT, PeKind::BBF, PeKind::SVM,
+                              PeKind::THR, PeKind::SC});
+    flow.quadPerElectrode2 =
+        hw::peSpec(PeKind::XCOR).dynPerElectrode / 96.0;
     flow.nvmWriteBytesPerElecPerSec =
         constants::kElectrodeBps / 8.0; // raw signal ring buffer
-    flow.responseTimeMs = 4.0;
-    flow.windowMs = 4.0;
+    flow.responseTime = 4.0_ms;
+    flow.window = 4.0_ms;
+    SCALO_ENSURES(flow.leak.count() > 0.0);
     return flow;
 }
 
@@ -90,23 +94,24 @@ hashSimilarityFlow(net::Pattern pattern)
     flow.peChain = {PeKind::HCONV,  PeKind::NGRAM, PeKind::HFREQ,
                     PeKind::HCOMP,  PeKind::NPACK, PeKind::UNPACK,
                     PeKind::DCOMP,  PeKind::CCHECK, PeKind::SC};
-    flow.leakMw = chainLeakMw(flow.peChain) + kNvmLeakMw +
-                  radioLeakMw();
+    flow.leak = chainLeak(flow.peChain) + kNvmLeak + radioLeak();
     // Hashing runs on overlapping 4 ms windows (3 phases in flight,
     // Section 5's overlapping-window protocol), and every window's
     // hash and source signal are persisted; the NVM write energy
     // appears per electrode: 3 x chain dynamic + write energy of
-    // 60 KB/s/electrode.
-    const double chain_lin = chainLinMwPerElectrode(flow.peChain);
-    const double nvm_write_mw_per_elec =
-        (constants::kElectrodeBps / 8.0) / 4'096.0 * 1'374e-9 * 1e3;
-    flow.linMwPerElectrode = 3.0 * chain_lin + nvm_write_mw_per_elec;
+    // 60 KB/s/electrode (page writes at 1374 nJ each).
+    const units::Milliwatts chain_lin =
+        chainLinPerElectrode(flow.peChain);
+    const units::Milliwatts nvm_write_per_elec =
+        units::Nanojoules{1'374.0} *
+        units::Hertz{(constants::kElectrodeBps / 8.0) / 4'096.0};
+    flow.linPerElectrode = 3.0 * chain_lin + nvm_write_per_elec;
     flow.network = NetworkUse{pattern, /*bytesPerElectrode=*/1.0,
                               /*bytesPerNode=*/0.0,
-                              /*roundBudgetMs=*/1.7};
+                              /*roundBudget=*/1.7_ms};
     flow.nvmWriteBytesPerElecPerSec = constants::kElectrodeBps / 8.0;
-    flow.responseTimeMs = 10.0;
-    flow.windowMs = 4.0;
+    flow.responseTime = 10.0_ms;
+    flow.window = 4.0_ms;
     return flow;
 }
 
@@ -117,25 +122,24 @@ dtwSimilarityFlow(net::Pattern pattern)
     flow.name = "dtw-similarity";
     flow.peChain = {PeKind::CSEL, PeKind::DTW, PeKind::NPACK,
                     PeKind::UNPACK, PeKind::SC};
-    flow.leakMw = chainLeakMw(flow.peChain) + kNvmLeakMw +
-                  radioLeakMw();
+    flow.leak = chainLeak(flow.peChain) + kNvmLeak + radioLeak();
     // Every transmitted window is compared against the receiver's
     // recent history (100 ms = 25 windows per local electrode), so the
     // DTW PE's effective per-transmitted-electrode power is much
     // larger than its single-comparison Table 1 number. Section 6.2
     // pins it: "the DTW PE only needs 4 mW to process data at the
     // available radio transmission rate" (16 electrode windows / 4 ms).
-    flow.linMwPerElectrode = 4.0 / 16.0;
+    flow.linPerElectrode = 4.0_mW / 16.0;
     flow.network = NetworkUse{pattern,
                               /*bytesPerElectrode=*/
                               static_cast<double>(
                                   constants::kWindowBytes),
                               /*bytesPerNode=*/0.0,
-                              /*roundBudgetMs=*/4.0,
+                              /*roundBudget=*/4.0_ms,
                               /*exactCompare=*/true};
     flow.nvmWriteBytesPerElecPerSec = constants::kElectrodeBps / 8.0;
-    flow.responseTimeMs = 10.0;
-    flow.windowMs = 4.0;
+    flow.responseTime = 10.0_ms;
+    flow.window = 4.0_ms;
     return flow;
 }
 
@@ -146,20 +150,19 @@ miSvmFlow()
     flow.name = "mi-svm";
     flow.peChain = {PeKind::FFT, PeKind::BBF, PeKind::SVM,
                     PeKind::NPACK, PeKind::UNPACK, PeKind::SC};
-    flow.leakMw = chainLeakMw(flow.peChain) + kNvmLeakMw +
-                  radioLeakMw();
+    flow.leak = chainLeak(flow.peChain) + kNvmLeak + radioLeak();
     // Section 6.2: "MI SVM can process 3% more electrodes than hash
     // generation because the SVM PE consumes 3% lower power than the
     // hash PEs" - its linear term is the hash flow's divided by 1.03.
-    flow.linMwPerElectrode =
-        hashSimilarityFlow(net::Pattern::AllToOne).linMwPerElectrode /
+    flow.linPerElectrode =
+        hashSimilarityFlow(net::Pattern::AllToOne).linPerElectrode /
         1.03;
     flow.network = NetworkUse{net::Pattern::AllToOne,
                               /*bytesPerElectrode=*/0.0,
                               /*bytesPerNode=*/4.0,
-                              /*roundBudgetMs=*/50.0};
-    flow.responseTimeMs = 50.0;
-    flow.windowMs = 50.0;
+                              /*roundBudget=*/50.0_ms};
+    flow.responseTime = 50.0_ms;
+    flow.window = 50.0_ms;
     return flow;
 }
 
@@ -171,23 +174,22 @@ miKfFlow()
     flow.peChain = {PeKind::SBP,  PeKind::NPACK, PeKind::UNPACK,
                     PeKind::BMUL, PeKind::ADD,   PeKind::SUB,
                     PeKind::INV,  PeKind::SC};
-    flow.leakMw = chainLeakMw(flow.peChain) + kNvmLeakMw +
-                  radioLeakMw();
+    flow.leak = chainLeak(flow.peChain) + kNvmLeak + radioLeak();
     // The filter's covariance algebra is quadratic in the feature
     // count; calibrated so one node saturates its 96-electrode design
     // point at 8.5 mW, the knee Section 6.2 reports (below it,
     // throughput falls off quadratically).
-    flow.quadMwPerElectrode2 = (8.5 - flow.leakMw) / (96.0 * 96.0);
+    flow.quadPerElectrode2 = (8.5_mW - flow.leak) / (96.0 * 96.0);
     flow.network = NetworkUse{net::Pattern::AllToOne,
                               /*bytesPerElectrode=*/4.0,
                               /*bytesPerNode=*/0.0,
-                              /*roundBudgetMs=*/50.0};
+                              /*roundBudget=*/50.0_ms};
     // The inversion reads its operands from NVM on the aggregator
     // (the matrix exceeds PE memory); its bandwidth saturates at 384
     // electrodes system-wide (Section 6.2).
     flow.centralElectrodeCap = 384.0;
-    flow.responseTimeMs = 50.0;
-    flow.windowMs = 50.0;
+    flow.responseTime = 50.0_ms;
+    flow.window = 50.0_ms;
     return flow;
 }
 
@@ -198,18 +200,17 @@ miNnFlow()
     flow.name = "mi-nn";
     flow.peChain = {PeKind::SBP,   PeKind::BMUL, PeKind::ADD,
                     PeKind::NPACK, PeKind::UNPACK, PeKind::SC};
-    flow.leakMw = chainLeakMw(flow.peChain) + kNvmLeakMw +
-                  radioLeakMw();
+    flow.leak = chainLeak(flow.peChain) + kNvmLeak + radioLeak();
     // The input-split first layer does hidden-width (256) MACs per
     // electrode on the BMUL tiles; calibrated 20% above the SVM
     // flow's linear term.
-    flow.linMwPerElectrode = miSvmFlow().linMwPerElectrode * 1.2;
+    flow.linPerElectrode = miSvmFlow().linPerElectrode * 1.2;
     flow.network = NetworkUse{net::Pattern::AllToOne,
                               /*bytesPerElectrode=*/0.0,
                               /*bytesPerNode=*/1'024.0,
-                              /*roundBudgetMs=*/50.0};
-    flow.responseTimeMs = 50.0;
-    flow.windowMs = 50.0;
+                              /*roundBudget=*/50.0_ms};
+    flow.responseTime = 50.0_ms;
+    flow.window = 50.0_ms;
     return flow;
 }
 
@@ -220,21 +221,21 @@ spikeSortingFlow()
     flow.name = "spike-sorting";
     flow.peChain = {PeKind::NEO,  PeKind::THR,   PeKind::HCONV,
                     PeKind::EMDH, PeKind::CCHECK, PeKind::SC};
-    flow.leakMw = chainLeakMw(flow.peChain) + kNvmLeakMw;
+    flow.leak = chainLeak(flow.peChain) + kNvmLeak;
     // Dominant cost: per-spike template fetches from NVM. At ~128
     // spikes/s/electrode (12,250/s over a 96-electrode node, Section
-    // 6.3) and ~0.4 uJ per hash-directed template read, the linear
+    // 6.3) and ~0.45 uJ per hash-directed template read, the linear
     // term is 0.052 mW/electrode on top of the small chain dynamic.
     constexpr double spikes_per_sec_per_elec = 12'250.0 / 96.0;
-    constexpr double template_read_uj = 0.45;
-    flow.linMwPerElectrode =
-        chainLinMwPerElectrode(flow.peChain) +
-        spikes_per_sec_per_elec * template_read_uj * 1e-3;
+    constexpr units::Microjoules template_read{0.45};
+    flow.linPerElectrode =
+        chainLinPerElectrode(flow.peChain) +
+        template_read * units::Hertz{spikes_per_sec_per_elec};
     // Only sorted spike waveforms are persisted (~128 spikes/s x 48
     // samples x 2 B), not the raw stream.
     flow.nvmWriteBytesPerElecPerSec = 12'000.0;
-    flow.responseTimeMs = 2.5;
-    flow.windowMs = 4.0;
+    flow.responseTime = 2.5_ms;
+    flow.window = 4.0_ms;
     return flow;
 }
 

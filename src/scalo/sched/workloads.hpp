@@ -5,9 +5,9 @@
  * window, storage usage, and timing. These are what the ILP scheduler
  * (Section 3.5) allocates electrodes to.
  *
- * Power model per node per flow, in mW over e electrode signals:
+ * Power model per node per flow over e electrode signals:
  *
- *    P(e) = leakMw + linMwPerElectrode * e + quadMwPerElectrode2 * e^2
+ *    P(e) = leak + linPerElectrode * e + quadPerElectrode2 * e^2
  *
  * The leakage term sums the Table 1 leakage(+SRAM) of the PEs in the
  * flow's chain plus the NVM (0.26 mW) and, for networked flows, the
@@ -40,10 +40,10 @@ struct NetworkUse
     /** Fixed payload bytes per sending node per round. */
     double bytesPerNode = 0.0;
     /**
-     * Time budget (ms) for one full exchange round; calibrated from
+     * Time budget for one full exchange round; calibrated from
      * the response-time decomposition of each application.
      */
-    double roundBudgetMs = 4.0;
+    units::Millis roundBudget{4.0};
     /**
      * Exact-comparison flows (DTW) count only *transmitted* electrode
      * signals as throughput, and the comparison power lands on the
@@ -59,12 +59,12 @@ struct FlowSpec
     std::string name;
     /** PE chain running on each participating node. */
     std::vector<hw::PeKind> peChain;
-    /** Fixed power (mW): PE+NVM(+radio) leakage. */
-    double leakMw = 0.0;
-    /** Linear dynamic power (mW per electrode). */
-    double linMwPerElectrode = 0.0;
-    /** Quadratic dynamic power (mW per electrode^2). */
-    double quadMwPerElectrode2 = 0.0;
+    /** Fixed power: PE+NVM(+radio) leakage. */
+    units::Milliwatts leak{0.0};
+    /** Linear dynamic power (per electrode). */
+    units::Milliwatts linPerElectrode{0.0};
+    /** Quadratic dynamic power (per electrode^2). */
+    units::Milliwatts quadPerElectrode2{0.0};
     /** Network usage; nullopt for node-local flows. */
     std::optional<NetworkUse> network;
     /** NVM write traffic (bytes per electrode per second). */
@@ -75,37 +75,72 @@ struct FlowSpec
      * during inversion caps the system at 384 electrodes). 0 = none.
      */
     double centralElectrodeCap = 0.0;
-    /** End-to-end response-time target (ms). */
-    double responseTimeMs = 10.0;
-    /** Flow cadence: one round per window of this many ms. */
-    double windowMs = 4.0;
+    /** End-to-end response-time target. */
+    units::Millis responseTime{10.0};
+    /** Flow cadence: one round per window of this length. */
+    units::Millis window{4.0};
     /** Runs on the MC instead of PEs (HALO+NVM fallback). */
     bool onMicrocontroller = false;
 
-    /** Per-node power (mW) at @p electrodes. */
-    double
-    powerMw(double electrodes) const
+    /** Per-node power at @p electrodes. */
+    units::Milliwatts
+    power(double electrodes) const
     {
-        return leakMw + linMwPerElectrode * electrodes +
-               quadMwPerElectrode2 * electrodes * electrodes;
+        return leak + linPerElectrode * electrodes +
+               quadPerElectrode2 * electrodes * electrodes;
     }
 
     /**
-     * Electrodes sustainable on one node at @p budget_mw (inverse of
-     * powerMw; 0 if the budget does not cover leakage).
+     * Electrodes sustainable on one node at @p budget (inverse of
+     * power; 0 if the budget does not cover leakage).
      */
-    double electrodesAtPowerMw(double budget_mw) const;
+    double electrodesAtPower(units::Milliwatts budget) const;
+
+    /** @name Deprecated raw-double accessors (pre-units API) */
+    ///@{
+    [[deprecated("use power()")]] double
+    powerMw(double electrodes) const
+    {
+        return power(electrodes).count();
+    }
+    [[deprecated("use electrodesAtPower()")]] double
+    electrodesAtPowerMw(double budget_mw) const
+    {
+        return electrodesAtPower(units::Milliwatts{budget_mw});
+    }
+    ///@}
 };
 
-/** ADC conversion power (mW per electrode), reported separately from
+/** ADC conversion power per electrode, reported separately from
  *  the fabric budget as in the paper's Section 5 accounting. */
+inline constexpr units::Milliwatts kAdcPerElectrode{2.88 / 96.0};
+
+/** Sum of Table 1 leakage(+SRAM) for a PE chain. */
+units::Milliwatts chainLeak(const std::vector<hw::PeKind> &chain);
+
+/** Sum of Table 1 per-electrode dynamic power for a chain. */
+units::Milliwatts
+chainLinPerElectrode(const std::vector<hw::PeKind> &chain);
+
+/** @name Deprecated raw-double chain helpers (pre-units API) */
+///@{
+[[deprecated("use kAdcPerElectrode")]]
 inline constexpr double kAdcMwPerElectrode = 2.88 / 96.0;
 
-/** Sum of Table 1 leakage(+SRAM) for a PE chain, in mW. */
-double chainLeakMw(const std::vector<hw::PeKind> &chain);
+[[deprecated("use chainLeak()")]]
+inline double
+chainLeakMw(const std::vector<hw::PeKind> &chain)
+{
+    return chainLeak(chain).count();
+}
 
-/** Sum of Table 1 per-electrode dynamic power for a chain, in mW. */
-double chainLinMwPerElectrode(const std::vector<hw::PeKind> &chain);
+[[deprecated("use chainLinPerElectrode()")]]
+inline double
+chainLinMwPerElectrode(const std::vector<hw::PeKind> &chain)
+{
+    return chainLinPerElectrode(chain).count();
+}
+///@}
 
 /** @name Flow library (Sections 4 and 6) */
 ///@{

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "scalo/net/channel.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/types.hpp"
 #include "scalo/sim/event_queue.hpp"
 #include "scalo/signal/distance.hpp"
@@ -13,6 +14,8 @@
 #include "scalo/util/stats.hpp"
 
 namespace scalo::sim {
+
+using namespace units::literals;
 
 NetworkErrorPoint
 measureNetworkErrors(double ber, std::size_t packets,
@@ -104,12 +107,12 @@ measureNetworkErrors(double ber, std::size_t packets,
 namespace {
 
 DelayDistribution
-summarize(const std::vector<double> &delays)
+summarize(const std::vector<double> &delays_ms)
 {
     DelayDistribution dist;
-    dist.meanMs = mean(delays);
-    dist.maxMs = maxOf(delays);
-    dist.minMs = minOf(delays);
+    dist.mean = units::Millis{mean(delays_ms)};
+    dist.max = units::Millis{maxOf(delays_ms)};
+    dist.min = units::Millis{minOf(delays_ms)};
     return dist;
 }
 
@@ -121,17 +124,15 @@ simulateHashEncodingErrors(double hash_error_rate,
 {
     SCALO_ASSERT(hash_error_rate >= 0.0 && hash_error_rate <= 1.0,
                  "error rate out of range");
+    SCALO_EXPECTS(config.window.count() > 0.0);
     Rng rng(config.seed);
-    std::vector<double> delays;
+    std::vector<double> delays; // ms
     delays.reserve(config.repetitions);
-
-    const auto window_us =
-        static_cast<std::uint64_t>(config.windowMs * 1'000.0);
 
     for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
         Simulator simulator;
         bool confirmed = false;
-        std::uint64_t confirm_time = 0;
+        units::Micros confirm_time{0.0};
 
         // Each window, all electrodes' hashes are broadcast; the
         // correlation succeeds when any electrode's encoding survived
@@ -148,18 +149,18 @@ simulateHashEncodingErrors(double hash_error_rate,
             }
             if (any_match) {
                 confirmed = true;
-                confirm_time = simulator.nowUs();
+                confirm_time = simulator.now();
                 return;
             }
-            simulator.after(window_us, attempt);
+            simulator.after(config.window, attempt);
         };
-        simulator.after(0, attempt);
+        simulator.after(0.0_us, attempt);
         // A seizure lasts a bounded time; cap the hunt at 2 seconds.
-        simulator.run(2'000'000);
+        simulator.run(2.0_s);
         if (!confirmed)
-            confirm_time = simulator.nowUs();
-        delays.push_back(static_cast<double>(confirm_time) / 1'000.0 +
-                         config.checkMs);
+            confirm_time = simulator.now();
+        delays.push_back(
+            (units::Millis(confirm_time) + config.check).count());
     }
     return summarize(delays);
 }
@@ -171,16 +172,14 @@ simulateNetworkBerDelay(double ber,
     Rng payload_rng(config.seed);
     net::WirelessChannel channel(net::defaultRadio(),
                                  config.seed ^ 0xbe9, ber);
-    std::vector<double> delays;
+    SCALO_EXPECTS(config.slot.count() > 0.0);
+    std::vector<double> delays; // ms
     delays.reserve(config.repetitions);
-
-    const auto slot_us =
-        static_cast<std::uint64_t>(config.slotMs * 1'000.0);
 
     for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
         Simulator simulator;
         bool delivered = false;
-        std::uint64_t deliver_time = 0;
+        units::Micros deliver_time{0.0};
 
         // One packet carries all of the node's hashes; on a checksum
         // error the receiver drops it and the sender retransmits in
@@ -195,17 +194,17 @@ simulateNetworkBerDelay(double ber,
                 b = static_cast<std::uint8_t>(payload_rng.below(256));
             if (channel.transmit(packet).accepted()) {
                 delivered = true;
-                deliver_time = simulator.nowUs();
+                deliver_time = simulator.now();
                 return;
             }
-            simulator.after(slot_us, attempt);
+            simulator.after(config.slot, attempt);
         };
-        simulator.after(0, attempt);
-        simulator.run(2'000'000);
+        simulator.after(0.0_us, attempt);
+        simulator.run(2.0_s);
         if (!delivered)
-            deliver_time = simulator.nowUs();
-        delays.push_back(static_cast<double>(deliver_time) / 1'000.0 +
-                         config.checkMs);
+            deliver_time = simulator.now();
+        delays.push_back(
+            (units::Millis(deliver_time) + config.check).count());
     }
     return summarize(delays);
 }

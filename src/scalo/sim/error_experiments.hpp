@@ -49,21 +49,21 @@ NetworkErrorPoint measureNetworkErrors(double ber,
 /** Delay distribution over repetitions (Figure 15). */
 struct DelayDistribution
 {
-    double meanMs = 0.0;
-    double maxMs = 0.0;
-    double minMs = 0.0;
+    units::Millis mean{0.0};
+    units::Millis max{0.0};
+    units::Millis min{0.0};
 };
 
 /** Configuration shared by the two Figure 15 experiments. */
 struct PropagationErrorConfig
 {
     std::size_t electrodesPerNode = 16;
-    /** Window cadence (ms): a missed correlation retries next window. */
-    double windowMs = 4.0;
-    /** TDMA slot pitch (ms): a lost packet retransmits next slot. */
-    double slotMs = 0.25;
-    /** CCHECK + confirmation processing tail (ms). */
-    double checkMs = 0.0;
+    /** Window cadence: a missed correlation retries next window. */
+    units::Millis window{4.0};
+    /** TDMA slot pitch: a lost packet retransmits next slot. */
+    units::Millis slot{0.25};
+    /** CCHECK + confirmation processing tail. */
+    units::Millis check{0.0};
     std::size_t repetitions = 1'000;
     std::uint64_t seed = 0xde1a7;
 };

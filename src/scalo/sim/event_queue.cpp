@@ -1,36 +1,58 @@
 #include "scalo/sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::sim {
 
-void
-Simulator::after(std::uint64_t delay_us, Action action)
+namespace {
+
+std::uint64_t
+toTicks(units::Micros t)
 {
-    at(now + delay_us, std::move(action));
+    // Saturate huge horizons (e.g. Simulator::kForever) before they
+    // overflow llround.
+    if (t.count() >= static_cast<double>(~0ULL >> 1))
+        return ~0ULL;
+    return static_cast<std::uint64_t>(std::llround(t.count()));
+}
+
+} // namespace
+
+void
+Simulator::after(units::Micros delay, Action action)
+{
+    SCALO_EXPECTS(delay.count() >= 0.0);
+    at(units::Micros{static_cast<double>(nowTicks)} + delay,
+       std::move(action));
 }
 
 void
-Simulator::at(std::uint64_t at_us, Action action)
+Simulator::at(units::Micros at, Action action)
 {
-    SCALO_ASSERT(at_us >= now, "scheduling into the past: ", at_us,
-                 " < ", now);
-    queue.push({at_us, nextSequence++, std::move(action)});
+    const std::uint64_t ticks = toTicks(at);
+    SCALO_ASSERT(ticks >= nowTicks, "scheduling into the past: ",
+                 ticks, " < ", nowTicks);
+    queue.push({ticks, nextSequence++, std::move(action)});
 }
 
 std::size_t
-Simulator::run(std::uint64_t until_us)
+Simulator::run(units::Micros until)
 {
+    const std::uint64_t until_ticks = toTicks(until);
     std::size_t executed = 0;
-    while (!queue.empty() && queue.top().time <= until_us) {
+    while (!queue.empty() && queue.top().time <= until_ticks) {
         Event event = queue.top();
         queue.pop();
-        now = event.time;
+        nowTicks = event.time;
         event.action();
         ++executed;
     }
-    if (queue.empty() && until_us != ~0ULL)
-        now = std::max(now, until_us);
+    if (queue.empty() && until_ticks != ~0ULL)
+        nowTicks = std::max(nowTicks, until_ticks);
     return executed;
 }
 

@@ -3,6 +3,10 @@
  * A minimal discrete-event simulation engine: a time-ordered queue of
  * callbacks with deterministic tie-breaking. Drives the timed
  * network/application experiments (Sections 6.6 and 6.7).
+ *
+ * Timestamps are `units::Micros` at the API; internally events sit on
+ * an integer microsecond grid (rounded) so FIFO tie-breaking stays
+ * exact and platform-independent.
  */
 
 #pragma once
@@ -12,6 +16,8 @@
 #include <queue>
 #include <vector>
 
+#include "scalo/units/units.hpp"
+
 namespace scalo::sim {
 
 /** Discrete-event scheduler over microsecond timestamps. */
@@ -20,26 +26,58 @@ class Simulator
   public:
     using Action = std::function<void()>;
 
-    /** Current simulation time (us). */
-    std::uint64_t nowUs() const { return now; }
+    /** Current simulation time. */
+    units::Micros now() const
+    {
+        return units::Micros{static_cast<double>(nowTicks)};
+    }
 
-    /** Schedule @p action at now + @p delay_us. */
-    void after(std::uint64_t delay_us, Action action);
+    /** Schedule @p action at now + @p delay. */
+    void after(units::Micros delay, Action action);
 
-    /** Schedule @p action at absolute time @p at_us (>= now). */
-    void at(std::uint64_t at_us, Action action);
+    /** Schedule @p action at absolute time @p at (>= now). */
+    void at(units::Micros at, Action action);
+
+    /** Horizon meaning "run until the queue drains". */
+    static constexpr units::Micros kForever{1.0e19};
 
     /**
-     * Run until the queue drains or @p until_us is reached.
+     * Run until the queue drains or @p until is reached.
      * @return events executed
      */
-    std::size_t run(std::uint64_t until_us = ~0ULL);
+    std::size_t run(units::Micros until = kForever);
 
     /** Drop all pending events. */
     void clear();
 
     /** Pending event count. */
     std::size_t pending() const { return queue.size(); }
+
+    /** @name Deprecated integer-microsecond API (pre-units) */
+    ///@{
+    [[deprecated("use now()")]] std::uint64_t
+    nowUs() const
+    {
+        return nowTicks;
+    }
+    [[deprecated("use after(units::Micros, ...)")]] void
+    after(std::uint64_t delay_us, Action action)
+    {
+        after(units::Micros{static_cast<double>(delay_us)},
+              std::move(action));
+    }
+    [[deprecated("use at(units::Micros, ...)")]] void
+    at(std::uint64_t at_us, Action action)
+    {
+        at(units::Micros{static_cast<double>(at_us)},
+           std::move(action));
+    }
+    [[deprecated("use run(units::Micros)")]] std::size_t
+    run(std::uint64_t until_us)
+    {
+        return run(units::Micros{static_cast<double>(until_us)});
+    }
+    ///@}
 
   private:
     struct Event
@@ -59,7 +97,7 @@ class Simulator
         }
     };
 
-    std::uint64_t now = 0;
+    std::uint64_t nowTicks = 0;
     std::uint64_t nextSequence = 0;
     std::priority_queue<Event, std::vector<Event>, Later> queue;
 };

@@ -23,25 +23,37 @@ struct PipelineSimResult
 {
     std::size_t windowsIn = 0;
     std::size_t windowsOut = 0;
-    /** Mean end-to-end latency of completed windows (ms). */
-    double meanLatencyMs = 0.0;
-    /** Latency of the last completed window (ms) - grows without
+    /** Mean end-to-end latency of completed windows. */
+    units::Millis meanLatency{0.0};
+    /** Latency of the last completed window - grows without
      *  bound when a stage is oversubscribed. */
-    double lastLatencyMs = 0.0;
+    units::Millis lastLatency{0.0};
     /** Per-stage busy fraction. */
     std::vector<double> stageUtilization;
     /** Whether every stage kept up with the arrival period. */
     bool sustainable = false;
-    /** Energy consumed over the run (mJ), power model x busy time. */
-    double energyMj = 0.0;
+    /** Energy consumed over the run, power model x busy time. */
+    units::Millijoules energy{0.0};
 };
 
 /**
- * Stream @p windows windows, one every @p window_period_ms, through
+ * Stream @p windows windows, one every @p period, through
  * @p pipeline's stages.
  */
 PipelineSimResult simulatePipeline(const hw::Pipeline &pipeline,
                                    std::size_t windows,
-                                   double window_period_ms);
+                                   units::Millis period);
+
+/** @name Deprecated raw-double entry point (pre-units API) */
+///@{
+[[deprecated("use simulatePipeline(pipeline, windows, units::Millis)")]]
+inline PipelineSimResult
+simulatePipeline(const hw::Pipeline &pipeline, std::size_t windows,
+                 double window_period_ms)
+{
+    return simulatePipeline(pipeline, windows,
+                            units::Millis{window_period_ms});
+}
+///@}
 
 } // namespace scalo::sim

@@ -5,27 +5,32 @@
 #include "scalo/net/channel.hpp"
 #include "scalo/net/tdma.hpp"
 #include "scalo/sim/event_queue.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 #include "scalo/util/stats.hpp"
 
 namespace scalo::sim {
 
+using namespace units::literals;
+
 PropagationTimingResult
 simulatePropagationTiming(const PropagationTimingConfig &config)
 {
     SCALO_ASSERT(config.nodes >= 2, "need at least two nodes");
+    SCALO_EXPECTS(config.tdmaRound.count() > 0.0);
+    SCALO_EXPECTS(config.stimulate.count() >= 0.0);
 
     const net::TdmaSchedule tdma(*config.radio, config.nodes);
     net::WirelessChannel channel(*config.radio, config.seed,
                                  config.berOverride);
     Rng rng(config.seed ^ 0x7e11);
 
-    const double ccheck_ms =
-        *hw::peSpec(hw::PeKind::CCHECK).latencyMs;
-    const double dtw_ms = *hw::peSpec(hw::PeKind::DTW).latencyMs;
-    const double npack_ms =
-        *hw::peSpec(hw::PeKind::NPACK).latencyMs;
+    const units::Millis ccheck =
+        *hw::peSpec(hw::PeKind::CCHECK).latency;
+    const units::Millis dtw = *hw::peSpec(hw::PeKind::DTW).latency;
+    const units::Millis npack =
+        *hw::peSpec(hw::PeKind::NPACK).latency;
 
     // Hash payload: the node's electrode hashes, HCOMP-compressed.
     std::vector<HashValue> hashes(config.electrodes);
@@ -35,90 +40,91 @@ simulatePropagationTiming(const PropagationTimingConfig &config)
         compress::compressHashes(hashes).payload.size();
 
     PropagationTimingResult result;
-    std::vector<double> totals;
+    std::vector<double> totals; // ms
     RunningStats slot_wait, hash_bcast, response, signal_bcast;
     std::size_t within = 0;
 
     for (std::size_t episode = 0; episode < config.episodes;
          ++episode) {
         Simulator simulator;
-        double t = 0.0; // ms within the episode
+        units::Millis t{0.0}; // elapsed within the episode
 
         // 1. Wait for the origin's next TDMA slot (uniform phase).
-        const double wait = rng.uniform(0.0, config.tdmaRoundMs);
-        slot_wait.add(wait);
+        const units::Millis wait{
+            rng.uniform(0.0, config.tdmaRound.count())};
+        slot_wait.add(wait.count());
         t += wait;
 
         // 2. Broadcast the hash packet; checksum losses retransmit
         //    one slot later.
-        double bcast = npack_ms;
+        units::Millis bcast = npack;
         while (true) {
             net::Packet packet;
             packet.type = net::PacketType::Hash;
             packet.payload.assign(hash_payload, 0x5a);
-            bcast += tdma.slotMs(hash_payload);
+            bcast += tdma.slotTime(hash_payload);
             if (channel.transmit(packet).accepted())
                 break;
-            bcast += config.tdmaRoundMs; // next owned slot
+            bcast += config.tdmaRound; // next owned slot
         }
-        hash_bcast.add(bcast);
+        hash_bcast.add(bcast.count());
         t += bcast;
 
         // 3. Receivers run CCHECK in parallel.
-        t += ccheck_ms;
+        t += ccheck;
 
         // 4. Matching receivers respond in their own slots; the
         //    farthest responder bounds the wait (up to one round).
-        const double resp = rng.uniform(0.2, 1.0) *
-                            config.tdmaRoundMs;
-        response.add(resp);
+        const units::Millis resp =
+            rng.uniform(0.2, 1.0) * config.tdmaRound;
+        response.add(resp.count());
         t += resp;
 
         // 5. The origin broadcasts the full signal window; corrupted
         //    signal payloads still flow (Section 3.4).
-        double sig = npack_ms;
+        units::Millis sig = npack;
         while (true) {
             net::Packet packet;
             packet.type = net::PacketType::Signal;
             packet.payload.assign(config.windowBytes, 0x3c);
-            sig += tdma.slotMs(config.windowBytes);
+            sig += tdma.slotTime(config.windowBytes);
             if (channel.transmit(packet).accepted())
                 break;
-            sig += config.tdmaRoundMs;
+            sig += config.tdmaRound;
         }
-        signal_bcast.add(sig);
+        signal_bcast.add(sig.count());
         t += sig;
 
         // 6. Exact comparison against the local recent windows (25
         //    windows of history, pipelined on the DTW PE).
-        const double compare = 25.0 * dtw_ms;
+        const units::Millis compare = 25.0 * dtw;
         t += compare;
 
         // 7. Stimulation command through the MC.
-        t += config.stimulateMs;
+        t += config.stimulate;
 
         // Run the (bookkeeping) simulator to anchor everything on the
         // event engine's clock.
-        simulator.after(static_cast<std::uint64_t>(t * 1'000.0),
-                        [] {});
+        simulator.after(t, [] {});
         simulator.run();
 
-        totals.push_back(t);
-        within += (t <= 10.0);
+        totals.push_back(t.count());
+        within += (t <= 10.0_ms);
     }
 
-    result.slotWaitMs = slot_wait.mean();
-    result.hashBroadcastMs = hash_bcast.mean();
-    result.collisionCheckMs = ccheck_ms;
-    result.responseMs = response.mean();
-    result.signalBroadcastMs = signal_bcast.mean();
-    result.exactCompareMs = 25.0 * dtw_ms;
-    result.stimulateMs = config.stimulateMs;
-    result.meanTotalMs = mean(totals);
-    result.maxTotalMs = maxOf(totals);
+    result.slotWait = units::Millis{slot_wait.mean()};
+    result.hashBroadcast = units::Millis{hash_bcast.mean()};
+    result.collisionCheck = ccheck;
+    result.response = units::Millis{response.mean()};
+    result.signalBroadcast = units::Millis{signal_bcast.mean()};
+    result.exactCompare = 25.0 * dtw;
+    result.stimulate = config.stimulate;
+    result.meanTotal = units::Millis{mean(totals)};
+    result.maxTotal = units::Millis{maxOf(totals)};
     result.withinDeadlineFraction =
         static_cast<double>(within) /
         static_cast<double>(config.episodes);
+    SCALO_ENSURES(result.meanTotal <= result.maxTotal);
     return result;
 }
 

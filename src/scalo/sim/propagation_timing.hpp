@@ -29,10 +29,10 @@ struct PropagationTimingConfig
     std::size_t electrodes = 96;
     /** Signal window bytes broadcast for exact comparison. */
     std::size_t windowBytes = 240;
-    /** TDMA round period (ms): worst-case wait for the first slot. */
-    double tdmaRoundMs = 1.7;
-    /** MC stimulation-command issue latency (ms). */
-    double stimulateMs = 0.5;
+    /** TDMA round period: worst-case wait for the first slot. */
+    units::Millis tdmaRound{1.7};
+    /** MC stimulation-command issue latency. */
+    units::Millis stimulate{0.5};
     std::size_t episodes = 1'000;
     std::uint64_t seed = 0x71ed;
 };
@@ -40,16 +40,16 @@ struct PropagationTimingConfig
 /** Stage-by-stage latency decomposition (means over episodes). */
 struct PropagationTimingResult
 {
-    double slotWaitMs = 0.0;
-    double hashBroadcastMs = 0.0;
-    double collisionCheckMs = 0.0;
-    double responseMs = 0.0;
-    double signalBroadcastMs = 0.0;
-    double exactCompareMs = 0.0;
-    double stimulateMs = 0.0;
+    units::Millis slotWait{0.0};
+    units::Millis hashBroadcast{0.0};
+    units::Millis collisionCheck{0.0};
+    units::Millis response{0.0};
+    units::Millis signalBroadcast{0.0};
+    units::Millis exactCompare{0.0};
+    units::Millis stimulate{0.0};
     /** End-to-end distribution. */
-    double meanTotalMs = 0.0;
-    double maxTotalMs = 0.0;
+    units::Millis meanTotal{0.0};
+    units::Millis maxTotal{0.0};
     /** Episodes meeting the 10 ms budget. */
     double withinDeadlineFraction = 0.0;
 };

@@ -1,8 +1,10 @@
 #include "scalo/sim/sntp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "scalo/net/packet.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 
@@ -13,54 +15,58 @@ synchronizeClocks(std::vector<NodeClock> &clocks,
                   const SntpConfig &config)
 {
     SCALO_ASSERT(clocks.size() >= 2, "need a server and a client");
+    SCALO_EXPECTS(config.targetPrecision.count() > 0.0);
+    SCALO_EXPECTS(config.jitter.count() >= 0.0);
     Rng rng(config.seed);
 
     // SNTP packets: 4 x 64-bit timestamps in a hash-sized payload.
-    const double packet_ms = config.radio->transferMs(
-        static_cast<double>(net::kPacketOverheadBytes + 32));
-    const double one_way_us = packet_ms * 1'000.0;
+    const units::Millis packet_time = config.radio->transferTime(
+        units::Bytes{static_cast<double>(net::kPacketOverheadBytes + 32)});
+    const units::Micros one_way = packet_time;
 
     SntpResult result;
-    double true_time_us = 0.0;
+    units::Micros true_time{0.0};
 
     for (std::size_t round = 0; round < config.maxRounds; ++round) {
         ++result.rounds;
-        double worst = 0.0;
+        units::Micros worst{0.0};
         for (std::size_t client = 1; client < clocks.size();
              ++client) {
             // Request: client stamps t1, server receives at t2.
-            const double t1 =
-                clocks[client].read(true_time_us);
-            const double jitter_up =
-                one_way_us + rng.uniform(0.0, config.jitterUs);
-            true_time_us += jitter_up;
-            const double t2 = clocks[0].read(true_time_us);
+            const units::Micros t1 = clocks[client].read(true_time);
+            const units::Micros jitter_up =
+                one_way +
+                units::Micros{rng.uniform(0.0, config.jitter.count())};
+            true_time += jitter_up;
+            const units::Micros t2 = clocks[0].read(true_time);
 
             // Reply: server stamps t3, client receives at t4.
-            const double t3 = clocks[0].read(true_time_us);
-            const double jitter_down =
-                one_way_us + rng.uniform(0.0, config.jitterUs);
-            true_time_us += jitter_down;
-            const double t4 =
-                clocks[client].read(true_time_us);
+            const units::Micros t3 = clocks[0].read(true_time);
+            const units::Micros jitter_down =
+                one_way +
+                units::Micros{rng.uniform(0.0, config.jitter.count())};
+            true_time += jitter_down;
+            const units::Micros t4 = clocks[client].read(true_time);
 
             // Midpoint offset estimate (server minus client).
-            const double offset =
+            const units::Micros offset =
                 ((t2 - t1) + (t3 - t4)) / 2.0;
             clocks[client].adjust(offset);
 
-            const double residual = std::abs(
-                clocks[client].read(true_time_us) -
-                clocks[0].read(true_time_us));
+            const units::Micros residual{std::abs(
+                (clocks[client].read(true_time) -
+                 clocks[0].read(true_time))
+                    .count())};
             worst = std::max(worst, residual);
-            result.networkBusyMs += 2.0 * packet_ms;
+            result.networkBusy += 2.0 * packet_time;
         }
-        result.maxResidualUs = worst;
-        if (worst <= config.targetPrecisionUs) {
+        result.maxResidual = worst;
+        if (worst <= config.targetPrecision) {
             result.converged = true;
             break;
         }
     }
+    SCALO_ENSURES(result.networkBusy.count() >= 0.0);
     return result;
 }
 

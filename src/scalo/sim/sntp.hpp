@@ -23,29 +23,30 @@ class NodeClock
 {
   public:
     /**
-     * @param offset_us initial offset from true time
+     * @param offset    initial offset from true time
      * @param skew_ppm  frequency error in parts per million
      */
-    NodeClock(double offset_us = 0.0, double skew_ppm = 0.0)
-        : offsetUs(offset_us), skewPpm(skew_ppm)
+    NodeClock(units::Micros offset = units::Micros{0.0},
+              double skew_ppm = 0.0)
+        : offsetValue(offset), skewPpm(skew_ppm)
     {
     }
 
-    /** Local reading at true time @p true_us. */
-    double
-    read(double true_us) const
+    /** Local reading at true time @p true_time. */
+    units::Micros
+    read(units::Micros true_time) const
     {
-        return true_us * (1.0 + skewPpm * 1e-6) + offsetUs;
+        return true_time * (1.0 + skewPpm * 1e-6) + offsetValue;
     }
 
     /** Apply a correction to the offset. */
-    void adjust(double delta_us) { offsetUs += delta_us; }
+    void adjust(units::Micros delta) { offsetValue += delta; }
 
-    double offset() const { return offsetUs; }
+    units::Micros offset() const { return offsetValue; }
     double skew() const { return skewPpm; }
 
   private:
-    double offsetUs;
+    units::Micros offsetValue;
     double skewPpm;
 };
 
@@ -54,23 +55,23 @@ struct SntpResult
 {
     /** Rounds executed until convergence (or the round limit). */
     std::size_t rounds = 0;
-    /** Worst client offset from the server clock afterwards (us). */
-    double maxResidualUs = 0.0;
+    /** Worst client offset from the server clock afterwards. */
+    units::Micros maxResidual{0.0};
     /** Whether the target precision was reached. */
     bool converged = false;
-    /** Network time consumed (ms) - the network is unavailable to
+    /** Network time consumed - the network is unavailable to
      *  other traffic during synchronisation. */
-    double networkBusyMs = 0.0;
+    units::Millis networkBusy{0.0};
 };
 
 /** Synchronisation parameters. */
 struct SntpConfig
 {
     const net::RadioSpec *radio = &net::defaultRadio();
-    /** Target precision (us), "a few microseconds" in the paper. */
-    double targetPrecisionUs = 5.0;
-    /** One-way network jitter (us) on top of the transfer time. */
-    double jitterUs = 2.0;
+    /** Target precision, "a few microseconds" in the paper. */
+    units::Micros targetPrecision{5.0};
+    /** One-way network jitter on top of the transfer time. */
+    units::Micros jitter{2.0};
     std::size_t maxRounds = 16;
     std::uint64_t seed = 0x5e77;
 };

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Compile-time dimensional analysis for SCALO's analytic models.
+ *
+ * Every latency, power, energy, data-volume, rate, frequency,
+ * temperature and distance the models exchange is a `Quantity`: a
+ * single `double` tagged at compile time with a dimension (an exponent
+ * vector over time/energy/data/temperature/length) and a scale (a
+ * `std::ratio` against the base unit: seconds, joules, bits, degrees
+ * Celsius, metres). The tag vanishes at runtime - a `Quantity` is one
+ * trivially-copyable double - but at compile time it makes the classic
+ * modeling bugs unrepresentable:
+ *
+ *  - ms-for-s (or us-for-ms): conversion between scales of the same
+ *    dimension is implicit and *correct by construction*; a `Millis`
+ *    parameter fed `4.0_s` receives 4000 ms, never 4.
+ *  - bits-for-bytes: same mechanism (`Bytes` is data at scale 8).
+ *  - wrong dimension entirely (a frequency where a latency belongs, a
+ *    power where an energy belongs): a type error.
+ *  - raw doubles into model APIs: `Quantity`'s double constructor is
+ *    explicit, so a bare `4.0` no longer converts silently; write
+ *    `4.0_ms` (or `Millis{4.0}`) and say what you mean.
+ *
+ * Dimensional arithmetic follows the physics: `Milliwatts * Millis`
+ * is an energy (in microjoules, convertible to any energy unit),
+ * `Bytes / MegabitsPerSecond` is a time, `1.0 / Megahertz` is a time,
+ * and a quotient of same-dimension quantities is a plain `double`.
+ * `.count()` is the explicit escape hatch back to `double` (printing,
+ * ILP coefficients); `.in<Q>()` reads the value in another unit.
+ *
+ * Adding a new dimension: extend the `Dimension` exponent vector (one
+ * new template parameter, defaulted nowhere - update the aliases
+ * below), add a `Dim...` alias with the new axis set, and declare the
+ * named units and literals. See DESIGN.md, "Units and contracts".
+ */
+
+#pragma once
+
+#include <ratio>
+#include <type_traits>
+
+namespace scalo::units {
+
+/** Exponent vector over the base dimensions. */
+template <int TimeE, int EnergyE, int DataE, int TempE, int LengthE>
+struct Dimension
+{
+    static constexpr int time = TimeE;
+    static constexpr int energy = EnergyE;
+    static constexpr int data = DataE;
+    static constexpr int temperature = TempE;
+    static constexpr int length = LengthE;
+};
+
+using DimLess = Dimension<0, 0, 0, 0, 0>;
+using DimTime = Dimension<1, 0, 0, 0, 0>;
+using DimEnergy = Dimension<0, 1, 0, 0, 0>;
+/** Power = energy / time. */
+using DimPower = Dimension<-1, 1, 0, 0, 0>;
+using DimData = Dimension<0, 0, 1, 0, 0>;
+/** Data rate = data / time. */
+using DimRate = Dimension<-1, 0, 1, 0, 0>;
+/** Frequency = 1 / time (kept distinct from data rates). */
+using DimFrequency = Dimension<-1, 0, 0, 0, 0>;
+using DimTemperature = Dimension<0, 0, 0, 1, 0>;
+using DimLength = Dimension<0, 0, 0, 0, 1>;
+
+template <class A, class B>
+using DimProduct =
+    Dimension<A::time + B::time, A::energy + B::energy,
+              A::data + B::data, A::temperature + B::temperature,
+              A::length + B::length>;
+
+template <class A, class B>
+using DimQuotient =
+    Dimension<A::time - B::time, A::energy - B::energy,
+              A::data - B::data, A::temperature - B::temperature,
+              A::length - B::length>;
+
+/** A std::ratio evaluated as a double. */
+template <class R>
+inline constexpr double kRatioValue =
+    static_cast<double>(R::num) / static_cast<double>(R::den);
+
+template <class Dim, class Scale> class Quantity;
+
+namespace detail {
+
+template <class T> struct IsQuantity : std::false_type
+{
+};
+template <class D, class S>
+struct IsQuantity<Quantity<D, S>> : std::true_type
+{
+};
+
+/**
+ * Wrap an arithmetic result: a dimensionless outcome collapses to a
+ * plain double (applying the residual scale, so Mbps/bps == 1e6).
+ */
+template <class Dim, class Scale>
+constexpr auto
+make(double value)
+{
+    if constexpr (std::is_same_v<Dim, DimLess>)
+        return value * kRatioValue<Scale>;
+    else
+        return Quantity<Dim, Scale>(value);
+}
+
+} // namespace detail
+
+/**
+ * One value of dimension @p Dim held at scale @p Scale (a std::ratio
+ * against the dimension's base unit).
+ */
+template <class Dim, class Scale>
+class Quantity
+{
+  public:
+    using dimension = Dim;
+    using scale = Scale;
+
+    constexpr Quantity() = default;
+
+    /** Explicit: a bare double carries no unit; say which one. */
+    constexpr explicit Quantity(double count) : value(count) {}
+
+    /** Implicit same-dimension rescale: `Millis t = 4.0_s;` is 4000. */
+    template <class S2>
+    constexpr Quantity(Quantity<Dim, S2> other)
+        : value(other.count() * (kRatioValue<S2> / kRatioValue<Scale>))
+    {
+    }
+
+    /** The raw number in this unit (the escape hatch). */
+    constexpr double count() const { return value; }
+
+    /** This value read in @p Q's unit: `t.in<Seconds>()`. */
+    template <class Q>
+    constexpr double
+    in() const
+    {
+        static_assert(std::is_same_v<typename Q::dimension, Dim>,
+                      "unit_cast across dimensions");
+        return Q(*this).count();
+    }
+
+    constexpr Quantity operator-() const { return Quantity(-value); }
+    constexpr Quantity operator+() const { return *this; }
+
+    template <class S2>
+    constexpr Quantity &
+    operator+=(Quantity<Dim, S2> other)
+    {
+        value += Quantity(other).count();
+        return *this;
+    }
+
+    template <class S2>
+    constexpr Quantity &
+    operator-=(Quantity<Dim, S2> other)
+    {
+        value -= Quantity(other).count();
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator*=(double s)
+    {
+        value *= s;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator/=(double s)
+    {
+        value /= s;
+        return *this;
+    }
+
+  private:
+    double value = 0.0;
+};
+
+/** Same-dimension addition; the left operand's scale wins. */
+template <class D, class S1, class S2>
+constexpr Quantity<D, S1>
+operator+(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return Quantity<D, S1>(a.count() + Quantity<D, S1>(b).count());
+}
+
+template <class D, class S1, class S2>
+constexpr Quantity<D, S1>
+operator-(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return Quantity<D, S1>(a.count() - Quantity<D, S1>(b).count());
+}
+
+template <class D, class S1, class S2>
+constexpr bool
+operator==(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return a.count() == Quantity<D, S1>(b).count();
+}
+
+template <class D, class S1, class S2>
+constexpr bool
+operator!=(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return !(a == b);
+}
+
+template <class D, class S1, class S2>
+constexpr bool
+operator<(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return a.count() < Quantity<D, S1>(b).count();
+}
+
+template <class D, class S1, class S2>
+constexpr bool
+operator<=(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return a.count() <= Quantity<D, S1>(b).count();
+}
+
+template <class D, class S1, class S2>
+constexpr bool
+operator>(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return b < a;
+}
+
+template <class D, class S1, class S2>
+constexpr bool
+operator>=(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return b <= a;
+}
+
+/** Scalar scaling keeps the unit. */
+template <class D, class S>
+constexpr Quantity<D, S>
+operator*(Quantity<D, S> q, double s)
+{
+    return Quantity<D, S>(q.count() * s);
+}
+
+template <class D, class S>
+constexpr Quantity<D, S>
+operator*(double s, Quantity<D, S> q)
+{
+    return Quantity<D, S>(s * q.count());
+}
+
+template <class D, class S>
+constexpr Quantity<D, S>
+operator/(Quantity<D, S> q, double s)
+{
+    return Quantity<D, S>(q.count() / s);
+}
+
+/** Dimensional product: time x power -> energy, etc. */
+template <class D1, class S1, class D2, class S2>
+constexpr auto
+operator*(Quantity<D1, S1> a, Quantity<D2, S2> b)
+{
+    return detail::make<DimProduct<D1, D2>, std::ratio_multiply<S1, S2>>(
+        a.count() * b.count());
+}
+
+/** Dimensional quotient: bits / rate -> time; same-dim -> double. */
+template <class D1, class S1, class D2, class S2>
+constexpr auto
+operator/(Quantity<D1, S1> a, Quantity<D2, S2> b)
+{
+    return detail::make<DimQuotient<D1, D2>, std::ratio_divide<S1, S2>>(
+        a.count() / b.count());
+}
+
+/** Scalar over quantity inverts the dimension: 1.0 / MHz -> time. */
+template <class D, class S>
+constexpr auto
+operator/(double s, Quantity<D, S> q)
+{
+    return detail::make<DimQuotient<DimLess, D>,
+                        std::ratio_divide<std::ratio<1>, S>>(s /
+                                                             q.count());
+}
+
+template <class D, class S>
+constexpr Quantity<D, S>
+abs(Quantity<D, S> q)
+{
+    return q.count() < 0.0 ? -q : q;
+}
+
+template <class D, class S1, class S2>
+constexpr Quantity<D, S1>
+min(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return b < a ? Quantity<D, S1>(b) : a;
+}
+
+template <class D, class S1, class S2>
+constexpr Quantity<D, S1>
+max(Quantity<D, S1> a, Quantity<D, S2> b)
+{
+    return a < b ? Quantity<D, S1>(b) : a;
+}
+
+/** @name Named units
+ * Base units: second, joule, bit, degree Celsius, metre. */
+///@{
+
+using Seconds = Quantity<DimTime, std::ratio<1>>;
+using Millis = Quantity<DimTime, std::milli>;
+using Micros = Quantity<DimTime, std::micro>;
+using Nanos = Quantity<DimTime, std::nano>;
+using Hours = Quantity<DimTime, std::ratio<3'600>>;
+
+using Joules = Quantity<DimEnergy, std::ratio<1>>;
+using Millijoules = Quantity<DimEnergy, std::milli>;
+using Microjoules = Quantity<DimEnergy, std::micro>;
+using Nanojoules = Quantity<DimEnergy, std::nano>;
+/** 1 mWh = 3.6 J; implant battery capacities. */
+using MilliwattHours = Quantity<DimEnergy, std::ratio<18, 5>>;
+
+using Watts = Quantity<DimPower, std::ratio<1>>;
+using Milliwatts = Quantity<DimPower, std::milli>;
+using Microwatts = Quantity<DimPower, std::micro>;
+
+using Bits = Quantity<DimData, std::ratio<1>>;
+using Bytes = Quantity<DimData, std::ratio<8>>;
+using Kibibytes = Quantity<DimData, std::ratio<8LL * 1'024>>;
+using Mebibytes = Quantity<DimData, std::ratio<8LL * 1'024 * 1'024>>;
+/** Decimal SI multiples (the NVM vendor convention). */
+using Kilobytes = Quantity<DimData, std::ratio<8'000>>;
+using Megabytes = Quantity<DimData, std::ratio<8'000'000>>;
+using Gigabytes = Quantity<DimData, std::ratio<8'000'000'000LL>>;
+
+using Hertz = Quantity<DimFrequency, std::ratio<1>>;
+using Kilohertz = Quantity<DimFrequency, std::kilo>;
+using Megahertz = Quantity<DimFrequency, std::mega>;
+using Gigahertz = Quantity<DimFrequency, std::giga>;
+
+using BitsPerSecond = Quantity<DimRate, std::ratio<1>>;
+using KilobitsPerSecond = Quantity<DimRate, std::kilo>;
+using MegabitsPerSecond = Quantity<DimRate, std::mega>;
+/** MB/s, decimal (storage bandwidth convention). */
+using MegabytesPerSecond = Quantity<DimRate, std::ratio<8'000'000>>;
+
+/** Temperature differences (the thermal model works in deltas). */
+using Celsius = Quantity<DimTemperature, std::ratio<1>>;
+
+using Metres = Quantity<DimLength, std::ratio<1>>;
+using Centimetres = Quantity<DimLength, std::centi>;
+using Millimetres = Quantity<DimLength, std::milli>;
+
+///@}
+
+/** Convert explicitly between units of one dimension. */
+template <class To, class D, class S>
+constexpr To
+unit_cast(Quantity<D, S> q)
+{
+    static_assert(std::is_same_v<typename To::dimension, D>,
+                  "unit_cast across dimensions");
+    return To(q);
+}
+
+inline namespace literals {
+
+// clang-format off
+constexpr Seconds        operator""_s(long double v)    { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds        operator""_s(unsigned long long v)    { return Seconds{static_cast<double>(v)}; }
+constexpr Millis         operator""_ms(long double v)   { return Millis{static_cast<double>(v)}; }
+constexpr Millis         operator""_ms(unsigned long long v)   { return Millis{static_cast<double>(v)}; }
+constexpr Micros         operator""_us(long double v)   { return Micros{static_cast<double>(v)}; }
+constexpr Micros         operator""_us(unsigned long long v)   { return Micros{static_cast<double>(v)}; }
+constexpr Nanos          operator""_ns(long double v)   { return Nanos{static_cast<double>(v)}; }
+constexpr Nanos          operator""_ns(unsigned long long v)   { return Nanos{static_cast<double>(v)}; }
+constexpr Hours          operator""_h(long double v)    { return Hours{static_cast<double>(v)}; }
+constexpr Hours          operator""_h(unsigned long long v)    { return Hours{static_cast<double>(v)}; }
+
+constexpr Joules         operator""_J(long double v)    { return Joules{static_cast<double>(v)}; }
+constexpr Joules         operator""_J(unsigned long long v)    { return Joules{static_cast<double>(v)}; }
+constexpr Millijoules    operator""_mJ(long double v)   { return Millijoules{static_cast<double>(v)}; }
+constexpr Millijoules    operator""_mJ(unsigned long long v)   { return Millijoules{static_cast<double>(v)}; }
+constexpr Microjoules    operator""_uJ(long double v)   { return Microjoules{static_cast<double>(v)}; }
+constexpr Microjoules    operator""_uJ(unsigned long long v)   { return Microjoules{static_cast<double>(v)}; }
+constexpr Nanojoules     operator""_nJ(long double v)   { return Nanojoules{static_cast<double>(v)}; }
+constexpr Nanojoules     operator""_nJ(unsigned long long v)   { return Nanojoules{static_cast<double>(v)}; }
+constexpr MilliwattHours operator""_mWh(long double v)  { return MilliwattHours{static_cast<double>(v)}; }
+constexpr MilliwattHours operator""_mWh(unsigned long long v)  { return MilliwattHours{static_cast<double>(v)}; }
+
+constexpr Watts          operator""_W(long double v)    { return Watts{static_cast<double>(v)}; }
+constexpr Watts          operator""_W(unsigned long long v)    { return Watts{static_cast<double>(v)}; }
+constexpr Milliwatts     operator""_mW(long double v)   { return Milliwatts{static_cast<double>(v)}; }
+constexpr Milliwatts     operator""_mW(unsigned long long v)   { return Milliwatts{static_cast<double>(v)}; }
+constexpr Microwatts     operator""_uW(long double v)   { return Microwatts{static_cast<double>(v)}; }
+constexpr Microwatts     operator""_uW(unsigned long long v)   { return Microwatts{static_cast<double>(v)}; }
+
+constexpr Bits           operator""_bits(long double v) { return Bits{static_cast<double>(v)}; }
+constexpr Bits           operator""_bits(unsigned long long v) { return Bits{static_cast<double>(v)}; }
+constexpr Bytes          operator""_B(long double v)    { return Bytes{static_cast<double>(v)}; }
+constexpr Bytes          operator""_B(unsigned long long v)    { return Bytes{static_cast<double>(v)}; }
+constexpr Kibibytes      operator""_KiB(long double v)  { return Kibibytes{static_cast<double>(v)}; }
+constexpr Kibibytes      operator""_KiB(unsigned long long v)  { return Kibibytes{static_cast<double>(v)}; }
+constexpr Mebibytes      operator""_MiB(long double v)  { return Mebibytes{static_cast<double>(v)}; }
+constexpr Mebibytes      operator""_MiB(unsigned long long v)  { return Mebibytes{static_cast<double>(v)}; }
+constexpr Megabytes      operator""_MB(long double v)   { return Megabytes{static_cast<double>(v)}; }
+constexpr Megabytes      operator""_MB(unsigned long long v)   { return Megabytes{static_cast<double>(v)}; }
+constexpr Gigabytes      operator""_GB(long double v)   { return Gigabytes{static_cast<double>(v)}; }
+constexpr Gigabytes      operator""_GB(unsigned long long v)   { return Gigabytes{static_cast<double>(v)}; }
+
+constexpr Hertz          operator""_Hz(long double v)   { return Hertz{static_cast<double>(v)}; }
+constexpr Hertz          operator""_Hz(unsigned long long v)   { return Hertz{static_cast<double>(v)}; }
+constexpr Kilohertz      operator""_kHz(long double v)  { return Kilohertz{static_cast<double>(v)}; }
+constexpr Kilohertz      operator""_kHz(unsigned long long v)  { return Kilohertz{static_cast<double>(v)}; }
+constexpr Megahertz      operator""_MHz(long double v)  { return Megahertz{static_cast<double>(v)}; }
+constexpr Megahertz      operator""_MHz(unsigned long long v)  { return Megahertz{static_cast<double>(v)}; }
+constexpr Gigahertz      operator""_GHz(long double v)  { return Gigahertz{static_cast<double>(v)}; }
+constexpr Gigahertz      operator""_GHz(unsigned long long v)  { return Gigahertz{static_cast<double>(v)}; }
+
+constexpr BitsPerSecond      operator""_bps(long double v)  { return BitsPerSecond{static_cast<double>(v)}; }
+constexpr BitsPerSecond      operator""_bps(unsigned long long v)  { return BitsPerSecond{static_cast<double>(v)}; }
+constexpr MegabitsPerSecond  operator""_Mbps(long double v) { return MegabitsPerSecond{static_cast<double>(v)}; }
+constexpr MegabitsPerSecond  operator""_Mbps(unsigned long long v) { return MegabitsPerSecond{static_cast<double>(v)}; }
+constexpr MegabytesPerSecond operator""_MBps(long double v) { return MegabytesPerSecond{static_cast<double>(v)}; }
+constexpr MegabytesPerSecond operator""_MBps(unsigned long long v) { return MegabytesPerSecond{static_cast<double>(v)}; }
+
+constexpr Celsius        operator""_degC(long double v) { return Celsius{static_cast<double>(v)}; }
+constexpr Celsius        operator""_degC(unsigned long long v) { return Celsius{static_cast<double>(v)}; }
+
+constexpr Metres         operator""_m(long double v)    { return Metres{static_cast<double>(v)}; }
+constexpr Metres         operator""_m(unsigned long long v)    { return Metres{static_cast<double>(v)}; }
+constexpr Centimetres    operator""_cm(long double v)   { return Centimetres{static_cast<double>(v)}; }
+constexpr Centimetres    operator""_cm(unsigned long long v)   { return Centimetres{static_cast<double>(v)}; }
+constexpr Millimetres    operator""_mm(long double v)   { return Millimetres{static_cast<double>(v)}; }
+constexpr Millimetres    operator""_mm(unsigned long long v)   { return Millimetres{static_cast<double>(v)}; }
+// clang-format on
+
+} // namespace literals
+
+// Zero overhead: a Quantity is exactly one double.
+static_assert(sizeof(Millis) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Millis>);
+static_assert(std::is_trivially_copyable_v<MegabitsPerSecond>);
+
+// The headline guarantees, checked where the library is defined:
+// no implicit double -> quantity, no cross-dimension conversion.
+static_assert(!std::is_convertible_v<double, Millis>,
+              "a bare double must not become a time silently");
+static_assert(std::is_convertible_v<Seconds, Millis>,
+              "same-dimension rescale is implicit (and correct)");
+static_assert(!std::is_convertible_v<Megahertz, Millis>,
+              "a frequency is not a time");
+static_assert(!std::is_convertible_v<Millijoules, Milliwatts>,
+              "an energy is not a power");
+static_assert(!std::is_convertible_v<MegabitsPerSecond, Megahertz>,
+              "a data rate is not a frequency");
+
+} // namespace scalo::units

@@ -1,0 +1,38 @@
+#include "scalo/util/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace scalo::util {
+
+namespace {
+
+void
+defaultHandler(const char *kind, const char *condition,
+               const char *file, int line)
+{
+    std::fprintf(stderr, "scalo: %s violated at %s:%d: %s\n", kind,
+                 file, line, condition);
+    std::abort();
+}
+
+std::atomic<ContractHandler> currentHandler{&defaultHandler};
+
+} // namespace
+
+ContractHandler
+setContractHandler(ContractHandler handler)
+{
+    return currentHandler.exchange(handler ? handler
+                                           : &defaultHandler);
+}
+
+void
+contractViolated(const char *kind, const char *condition,
+                 const char *file, int line)
+{
+    currentHandler.load()(kind, condition, file, line);
+}
+
+} // namespace scalo::util

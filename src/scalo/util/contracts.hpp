@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Lightweight design-by-contract macros for model boundaries.
+ *
+ * `SCALO_EXPECTS(cond)` states a precondition, `SCALO_ENSURES(cond)` a
+ * postcondition. Unlike `SCALO_ASSERT` (an always-on internal
+ * invariant that panics), contracts are a *debugging* layer: they are
+ * compiled in for Debug and sanitizer builds and compile out entirely
+ * (condition unevaluated) in Release, so hot analytic-model paths pay
+ * nothing in production.
+ *
+ * Compile-time control, per translation unit:
+ *  - `SCALO_CONTRACTS=1` forces contracts on, `=0` forces them off;
+ *  - unset, they follow the build type: on when `NDEBUG` is not
+ *    defined (Debug), off otherwise.
+ * The CMake cache variable `-DSCALO_CONTRACTS=ON|OFF|AUTO` sets the
+ * macro globally; sanitizer CI builds force it on.
+ *
+ * A violation calls the installed handler (default: print and abort).
+ * Tests install a throwing handler via `setContractHandler` to observe
+ * violations without dying.
+ */
+
+#pragma once
+
+namespace scalo::util {
+
+/** Called on contract violation; may throw (tests) or not return. */
+using ContractHandler = void (*)(const char *kind,
+                                 const char *condition,
+                                 const char *file, int line);
+
+/**
+ * Install @p handler (nullptr restores the default print-and-abort
+ * handler). @return the previously installed handler
+ */
+ContractHandler setContractHandler(ContractHandler handler);
+
+/** Dispatch a violation to the current handler. */
+void contractViolated(const char *kind, const char *condition,
+                      const char *file, int line);
+
+} // namespace scalo::util
+
+#include "scalo/util/contracts_macros.hpp"

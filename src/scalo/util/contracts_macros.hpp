@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Macro half of the contracts layer. Deliberately NOT include-guarded,
+ * in the spirit of <assert.h>: re-including after changing
+ * `SCALO_CONTRACTS` re-derives `SCALO_EXPECTS`/`SCALO_ENSURES` for
+ * the new setting (the contracts test exercises both states in one
+ * translation unit). Normal code includes "scalo/util/contracts.hpp".
+ */
+
+// NOLINT(llvm-header-guard)
+
+#undef SCALO_EXPECTS
+#undef SCALO_ENSURES
+
+#ifndef SCALO_CONTRACTS
+#  ifdef NDEBUG
+#    define SCALO_CONTRACTS 0
+#  else
+#    define SCALO_CONTRACTS 1
+#  endif
+#endif
+
+#if SCALO_CONTRACTS
+
+/** Precondition: argument/state validity at a model boundary. */
+#  define SCALO_EXPECTS(cond) \
+      do { \
+          if (!(cond)) { \
+              ::scalo::util::contractViolated( \
+                  "precondition", #cond, __FILE__, __LINE__); \
+          } \
+      } while (0)
+
+/** Postcondition: result sanity at a model boundary. */
+#  define SCALO_ENSURES(cond) \
+      do { \
+          if (!(cond)) { \
+              ::scalo::util::contractViolated( \
+                  "postcondition", #cond, __FILE__, __LINE__); \
+          } \
+      } while (0)
+
+#else
+
+#  define SCALO_EXPECTS(cond) ((void)0)
+#  define SCALO_ENSURES(cond) ((void)0)
+
+#endif

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "scalo/units/units.hpp"
+
 namespace scalo {
 
 /** A raw neural sample as produced by the 16-bit ADC. */
@@ -84,6 +86,46 @@ inline constexpr double kBrainRadiusMm = 86.0;
 /** Maximum implants placeable at default spacing (Section 5). */
 inline constexpr int kMaxImplants = 60;
 
+/** @name Typed constants (scalo::units)
+ * The model layers take these; the raw doubles above remain for
+ * dimensionless arithmetic (sample counts, loop bounds). */
+///@{
+
+/** ADC sampling rate per electrode. */
+inline constexpr units::Hertz kSampleRate{kSampleRateHz};
+
+/** Analysis window length (4 ms). */
+inline constexpr units::Seconds kWindowLength{kWindowSeconds};
+
+/** Per-electrode raw data rate. */
+inline constexpr units::BitsPerSecond kElectrodeRate{kElectrodeBps};
+
+/** Per-node ADC data rate (46.08 Mbps). */
+inline constexpr units::MegabitsPerSecond kNodeAdcRate{kNodeAdcMbps};
+
+/** Conservative per-implant power cap, Section 2.1. */
+inline constexpr units::Milliwatts kPowerCap{kPowerCapMw};
+
+/** ADC power for one sample from all 96 electrodes, Section 5. */
+inline constexpr units::Milliwatts kAdcPower{kAdcPowerMw};
+
+/** DAC (stimulation) power, Section 5. */
+inline constexpr units::Milliwatts kDacPower{kDacPowerMw};
+
+/** Seizure propagation deadline: detection -> stimulation. */
+inline constexpr units::Millis kSeizureDeadline{kSeizureDeadlineMs};
+
+/** Movement decoding loop deadline. */
+inline constexpr units::Millis kMovementDeadline{kMovementDeadlineMs};
+
+/** Default inter-implant spacing for negligible thermal coupling. */
+inline constexpr units::Millimetres kImplantSpacing{kImplantSpacingMm};
+
+/** Hemispherical brain surface radius used for placement. */
+inline constexpr units::Millimetres kBrainRadius{kBrainRadiusMm};
+
+///@}
+
 } // namespace constants
 
 /** Convert an electrode count to an aggregate neural data rate in Mbps. */
@@ -98,6 +140,20 @@ constexpr double
 mbpsToElectrodes(double mbps)
 {
     return mbps * 1e6 / constants::kElectrodeBps;
+}
+
+/** Aggregate neural data rate produced by @p electrodes. */
+constexpr units::MegabitsPerSecond
+electrodesToRate(double electrodes)
+{
+    return units::MegabitsPerSecond{electrodesToMbps(electrodes)};
+}
+
+/** Electrode count whose aggregate output is @p rate. */
+constexpr double
+rateToElectrodes(units::MegabitsPerSecond rate)
+{
+    return mbpsToElectrodes(rate.count());
 }
 
 } // namespace scalo

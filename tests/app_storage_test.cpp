@@ -92,15 +92,15 @@ TEST(SignalStore, LayoutDrivesReadCost)
     SignalStore reorganised(100, true);
     SignalStore raw(100, false);
     // 10x faster reads with the electrode-major layout (Section 3.3).
-    EXPECT_NEAR(raw.readCostMs(160) / reorganised.readCostMs(160),
+    EXPECT_NEAR(raw.readCost(160) / reorganised.readCost(160),
                 10.0, 1e-9);
     // Writes cost 5x more with reorganisation.
     for (int i = 0; i < 32; ++i) {
         reorganised.append(makeWindow(i, false));
         raw.append(makeWindow(i, false));
     }
-    EXPECT_NEAR(reorganised.totalWriteCostMs() /
-                    raw.totalWriteCostMs(),
+    EXPECT_NEAR(reorganised.totalWriteCost() /
+                    raw.totalWriteCost(),
                 5.0, 1e-9);
 }
 
@@ -183,7 +183,7 @@ TEST_F(QueryEngineFixture, Q1ReturnsExactlyFlaggedWindows)
     EXPECT_EQ(result.matches.size(), 15u); // 5 windows x 3 nodes
     for (const StoredWindow *window : result.matches)
         EXPECT_TRUE(window->seizureFlagged);
-    EXPECT_GT(result.latencyMs, 0.0);
+    EXPECT_GT(result.latency.count(), 0.0);
 }
 
 TEST_F(QueryEngineFixture, Q1TimeRangeRestricts)
@@ -227,7 +227,7 @@ TEST_F(QueryEngineFixture, Q2IndexTouchesFewerWindowsSameMatches)
     for (std::size_t i = 0; i < via_index.matches.size(); ++i)
         EXPECT_EQ(via_index.matches[i], via_scan.matches[i]);
     EXPECT_LT(via_index.scanned, via_scan.scanned);
-    EXPECT_LE(via_index.latencyMs, via_scan.latencyMs);
+    EXPECT_LE(via_index.latency.count(), via_scan.latency.count());
     for (const QueryStats &stats : via_index.perNode)
         EXPECT_EQ(stats.bucketHits, stats.scanned);
 }
@@ -244,7 +244,7 @@ TEST_F(QueryEngineFixture, Q2ExactConfirmationTightensMatches)
     for (const StoredWindow *window : exact.matches)
         EXPECT_TRUE(window->seizureFlagged);
     // Exact scanning costs more time.
-    EXPECT_GT(exact.latencyMs, 0.0);
+    EXPECT_GT(exact.latency.count(), 0.0);
 }
 
 TEST_F(QueryEngineFixture, HashPrefilteredDtwComposesFilters)
@@ -282,7 +282,7 @@ TEST_F(QueryEngineFixture, Q3ReturnsEverything)
     EXPECT_EQ(result.transferBytes, 150u * 240u);
     // Q3 ships everything: slowest of the three.
     const auto q1 = engine->execute(Query::q1(0, 200'000));
-    EXPECT_GT(result.latencyMs, q1.latencyMs);
+    EXPECT_GT(result.latency.count(), q1.latency.count());
 }
 
 TEST_F(QueryEngineFixture, MatchedFractionComputed)
@@ -299,8 +299,8 @@ TEST_F(QueryEngineFixture, PerNodeStatsAddUp)
     for (const QueryStats &stats : result.perNode) {
         scanned += stats.scanned;
         matched += stats.matched;
-        EXPECT_GE(stats.modeledMs, 0.0);
-        EXPECT_GE(stats.wallMs, 0.0);
+        EXPECT_GE(stats.modeled.count(), 0.0);
+        EXPECT_GE(stats.wall.count(), 0.0);
     }
     EXPECT_EQ(scanned, result.scanned);
     EXPECT_EQ(matched, result.matches.size());

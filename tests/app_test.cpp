@@ -204,18 +204,18 @@ TEST(Movement, NnDecodesVelocity)
 TEST(Intents, ScaloBeatsConventionalForSvmAndNn)
 {
     // Figure 9b: SCALO exceeds the 20/s conventional rate for SVM/NN.
-    const double svm =
+    const units::Hertz svm =
         intentsPerSecond(sched::miSvmFlow(), 11);
-    const double nn = intentsPerSecond(sched::miNnFlow(), 11);
-    EXPECT_GT(svm, kConventionalIntentsPerSecond);
-    EXPECT_GT(nn, kConventionalIntentsPerSecond);
-    EXPECT_GT(svm, nn) << "SVM partials are cheaper than NN's";
+    const units::Hertz nn = intentsPerSecond(sched::miNnFlow(), 11);
+    EXPECT_GT(svm.count(), kConventionalIntentsPerSecond);
+    EXPECT_GT(nn.count(), kConventionalIntentsPerSecond);
+    EXPECT_GT(svm.count(), nn.count()) << "SVM partials are cheaper than NN's";
 }
 
 TEST(Intents, KalmanStaysNearTwentyPerSecond)
 {
-    const double kf = intentsPerSecond(sched::miKfFlow(), 4);
-    EXPECT_NEAR(kf, 20.0, 8.0);
+    const units::Hertz kf = intentsPerSecond(sched::miKfFlow(), 4);
+    EXPECT_NEAR(kf.count(), 20.0, 8.0);
 }
 
 TEST(Query, PaperAnchors)
@@ -223,11 +223,11 @@ TEST(Query, PaperAnchors)
     // Figure 10 anchors: Q1 at 7 MB / 5% ~ 9 QPS; Q3 at 7 MB ~ 1.2 s.
     QueryConfig config;
     const auto q1 = estimateQuery(QueryKind::Q1SeizureWindows, config);
-    EXPECT_NEAR(q1.queriesPerSecond, 9.0, 1.5);
+    EXPECT_NEAR(q1.queriesPerSecond.count(), 9.0, 1.5);
 
     const auto q3 = estimateQuery(QueryKind::Q3TimeRange, config);
-    EXPECT_NEAR(q3.latencyMs, 1'210.0, 150.0);
-    EXPECT_NEAR(q3.queriesPerSecond, 0.8, 0.15);
+    EXPECT_NEAR(q3.latency.count(), 1'210.0, 150.0);
+    EXPECT_NEAR(q3.queriesPerSecond.count(), 0.8, 0.15);
 }
 
 TEST(Query, DtwMatchingCostsPowerNotMuchLatency)
@@ -240,39 +240,41 @@ TEST(Query, DtwMatchingCostsPowerNotMuchLatency)
     const auto dtw_cost =
         estimateQuery(QueryKind::Q2TemplateMatch, dtw_config);
     // Section 6.4: 8 QPS vs 9 QPS, but 15 mW vs 3.57 mW.
-    EXPECT_LT(dtw_cost.queriesPerSecond, hash_cost.queriesPerSecond);
-    EXPECT_GT(dtw_cost.queriesPerSecond,
-              0.8 * hash_cost.queriesPerSecond);
-    EXPECT_DOUBLE_EQ(dtw_cost.powerMw, 15.0);
-    EXPECT_DOUBLE_EQ(hash_cost.powerMw, 3.57);
+    EXPECT_LT(dtw_cost.queriesPerSecond.count(), hash_cost.queriesPerSecond.count());
+    EXPECT_GT(dtw_cost.queriesPerSecond.count(),
+              0.8 * hash_cost.queriesPerSecond.count());
+    EXPECT_DOUBLE_EQ(dtw_cost.power.count(), 15.0);
+    EXPECT_DOUBLE_EQ(hash_cost.power.count(), 3.57);
 }
 
 TEST(Query, LatencyScalesWithDataSize)
 {
     QueryConfig small, large;
-    small.dataMb = 7.0;
-    large.dataMb = 60.0;
+    small.data = units::Megabytes{7.0};
+    large.data = units::Megabytes{60.0};
     const auto q_small =
         estimateQuery(QueryKind::Q1SeizureWindows, small);
     const auto q_large =
         estimateQuery(QueryKind::Q1SeizureWindows, large);
-    EXPECT_GT(q_large.latencyMs, 4.0 * q_small.latencyMs);
+    EXPECT_GT(q_large.latency.count(), 4.0 * q_small.latency.count());
     // Still usable in real time at 1 s of data (Section 6.4).
-    EXPECT_GT(q_large.queriesPerSecond, 1.0);
+    EXPECT_GT(q_large.queriesPerSecond.count(), 1.0);
 }
 
 TEST(Query, TimeRangeMapping)
 {
     // 7 MB over 11 nodes ~ the last 110 ms (Figure 10 pairing).
-    EXPECT_NEAR(timeRangeMsFor(7.0, 11), 110.0, 15.0);
-    EXPECT_NEAR(timeRangeMsFor(60.0, 11), 1'000.0, 120.0);
+    EXPECT_NEAR(timeRangeFor(units::Megabytes{7.0}, 11).count(),
+                110.0, 15.0);
+    EXPECT_NEAR(timeRangeFor(units::Megabytes{60.0}, 11).count(),
+                1'000.0, 120.0);
 }
 
 TEST(WeightedSeizure, EqualWeightsPeakNear506At11Nodes)
 {
     const auto result =
         seizurePropagationWeighted({1.0, 1.0, 1.0}, 11);
-    EXPECT_NEAR(result.weightedMbps, 506.0, 40.0);
+    EXPECT_NEAR(result.weighted.count(), 506.0, 40.0);
 }
 
 TEST(WeightedSeizure, LinearThenSublinear)
@@ -281,12 +283,12 @@ TEST(WeightedSeizure, LinearThenSublinear)
     const auto at11 = seizurePropagationWeighted({1.0, 1.0, 1.0}, 11);
     const auto at32 = seizurePropagationWeighted({1.0, 1.0, 1.0}, 32);
     // Linear from 4 to 11...
-    EXPECT_NEAR(at11.weightedMbps / at4.weightedMbps, 11.0 / 4.0,
+    EXPECT_NEAR(at11.weighted.count() / at4.weighted.count(), 11.0 / 4.0,
                 0.15);
     // ...then sublinear growth.
-    EXPECT_LT(at32.weightedMbps / at11.weightedMbps,
+    EXPECT_LT(at32.weighted.count() / at11.weighted.count(),
               0.85 * 32.0 / 11.0);
-    EXPECT_GT(at32.weightedMbps, at11.weightedMbps);
+    EXPECT_GT(at32.weighted.count(), at11.weighted.count());
 }
 
 TEST(WeightedSeizure, DetectionHeavyWeightsWinBeyondTheKnee)
@@ -296,7 +298,7 @@ TEST(WeightedSeizure, DetectionHeavyWeightsWinBeyondTheKnee)
         seizurePropagationWeighted({11.0, 1.0, 1.0}, 48);
     const auto hash_heavy =
         seizurePropagationWeighted({1.0, 3.0, 1.0}, 48);
-    EXPECT_GT(detection_heavy.weightedMbps, hash_heavy.weightedMbps);
+    EXPECT_GT(detection_heavy.weighted.count(), hash_heavy.weighted.count());
 }
 
 } // namespace

@@ -13,22 +13,24 @@
 namespace scalo::hw {
 namespace {
 
+using namespace units::literals;
+
 TEST(Charging, PaperAnchorAtFullLoad)
 {
     // 15 mW with the default cell: ~22 h operation + ~2 h charging.
-    const auto plan = planDailyCycle(constants::kPowerCapMw);
+    const auto plan = planDailyCycle(constants::kPowerCap);
     EXPECT_TRUE(plan.sustainsFullDay);
-    EXPECT_NEAR(plan.operatingHours + plan.chargingHours, 24.0,
-                1e-9);
-    EXPECT_NEAR(plan.chargingHours, 2.2, 0.5);
+    EXPECT_NEAR((plan.operatingHours + plan.chargingHours).count(),
+                24.0, 1e-9);
+    EXPECT_NEAR(plan.chargingHours.count(), 2.2, 0.5);
     EXPECT_GT(plan.availability, 0.88);
 }
 
 TEST(Charging, LighterLoadsRunLonger)
 {
-    const auto heavy = planDailyCycle(15.0);
-    const auto medium = planDailyCycle(9.0);
-    const auto light = planDailyCycle(6.0);
+    const auto heavy = planDailyCycle(15.0_mW);
+    const auto medium = planDailyCycle(9.0_mW);
+    const auto light = planDailyCycle(6.0_mW);
     EXPECT_GT(medium.availability, heavy.availability);
     EXPECT_GT(light.availability, medium.availability);
     EXPECT_LT(light.chargingHours, heavy.chargingHours);
@@ -40,9 +42,9 @@ TEST(Charging, BiggerBatteryNeedsSameChargeShare)
     // duty cycle (availability) is capacity-invariant.
     BatterySpec small;
     BatterySpec big = small;
-    big.capacityMwh *= 2.0;
-    const auto small_plan = planDailyCycle(15.0, small);
-    const auto big_plan = planDailyCycle(15.0, big);
+    big.capacity *= 2.0;
+    const auto small_plan = planDailyCycle(15.0_mW, small);
+    const auto big_plan = planDailyCycle(15.0_mW, big);
     EXPECT_NEAR(small_plan.availability, big_plan.availability,
                 1e-9);
 }
@@ -50,11 +52,11 @@ TEST(Charging, BiggerBatteryNeedsSameChargeShare)
 TEST(Charging, FasterChargerRaisesAvailability)
 {
     BatterySpec slow;
-    slow.chargeRateMw = 90.0;
+    slow.chargeRate = 90.0_mW;
     BatterySpec fast;
-    fast.chargeRateMw = 360.0;
-    EXPECT_GT(planDailyCycle(15.0, fast).availability,
-              planDailyCycle(15.0, slow).availability);
+    fast.chargeRate = 360.0_mW;
+    EXPECT_GT(planDailyCycle(15.0_mW, fast).availability,
+              planDailyCycle(15.0_mW, slow).availability);
 }
 
 TEST(Charging, UnsustainableWhenChargingDominates)
@@ -62,33 +64,36 @@ TEST(Charging, UnsustainableWhenChargingDominates)
     // A trickle charger against a heavy load: less than half the day
     // is operational, so the plan flags itself.
     BatterySpec trickle;
-    trickle.chargeRateMw = 10.0;
-    const auto plan = planDailyCycle(15.0, trickle);
+    trickle.chargeRate = 10.0_mW;
+    const auto plan = planDailyCycle(15.0_mW, trickle);
     EXPECT_FALSE(plan.sustainsFullDay);
     EXPECT_LT(plan.availability, 0.5);
     // The day is still fully accounted for.
-    EXPECT_NEAR(plan.operatingHours + plan.chargingHours, 24.0,
-                1e-9);
+    EXPECT_NEAR((plan.operatingHours + plan.chargingHours).count(),
+                24.0, 1e-9);
 }
 
 TEST(Charging, RequiredCapacityScalesLinearly)
 {
-    EXPECT_NEAR(requiredCapacityMwh(10.0, 10.0),
-                2.0 * requiredCapacityMwh(5.0, 10.0), 1e-9);
-    EXPECT_NEAR(requiredCapacityMwh(10.0, 10.0),
-                2.0 * requiredCapacityMwh(10.0, 5.0), 1e-9);
+    EXPECT_NEAR(requiredCapacity(10.0_mW, 10.0_h).count(),
+                2.0 * requiredCapacity(5.0_mW, 10.0_h).count(),
+                1e-9);
+    EXPECT_NEAR(requiredCapacity(10.0_mW, 10.0_h).count(),
+                2.0 * requiredCapacity(10.0_mW, 5.0_h).count(),
+                1e-9);
     // Efficiency inflates the requirement.
     BatterySpec lossy;
     lossy.efficiency = 0.5;
-    EXPECT_NEAR(requiredCapacityMwh(10.0, 10.0, lossy),
+    EXPECT_NEAR(requiredCapacity(10.0_mW, 10.0_h, lossy).count(),
                 10.0 * 10.0 / 0.5, 1e-9);
 }
 
 TEST(Charging, RejectsNonsense)
 {
-    EXPECT_THROW(planDailyCycle(0.0), std::logic_error);
-    EXPECT_THROW(planDailyCycle(-1.0), std::logic_error);
-    EXPECT_THROW(requiredCapacityMwh(-1.0, 1.0), std::logic_error);
+    EXPECT_THROW(planDailyCycle(0.0_mW), std::logic_error);
+    EXPECT_THROW(planDailyCycle(-1.0_mW), std::logic_error);
+    EXPECT_THROW(requiredCapacity(-1.0_mW, 1.0_h),
+                 std::logic_error);
 }
 
 } // namespace

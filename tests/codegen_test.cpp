@@ -149,8 +149,9 @@ TEST(Codegen, DividerScalesWithElectrodes)
     // Half the electrodes -> divider 2 (half the clock, Section 3.2).
     const auto program = query::generateProgram(pipeline, 48.0);
     for (const auto &instruction : program.instructions) {
-        if (instruction.opcode == query::McOpcode::SetDivider)
+        if (instruction.opcode == query::McOpcode::SetDivider) {
             EXPECT_DOUBLE_EQ(instruction.value, 2.0);
+        }
     }
 }
 

@@ -1,0 +1,85 @@
+// Contracts must fire when compiled in and vanish (condition
+// unevaluated) when compiled out. Both behaviours are observable from
+// one binary by forcing the macro both ways across two inclusion
+// contexts: SCALO_EXPECTS/SCALO_ENSURES are macros, so each state is
+// fixed per preprocessing context, not per build.
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+// Force-enable first.
+#define SCALO_CONTRACTS 1
+#include "scalo/util/contracts.hpp"
+
+namespace {
+
+struct Violation
+{
+    std::string kind;
+    std::string condition;
+};
+
+void
+throwingHandler(const char *kind, const char *condition, const char *,
+                int)
+{
+    throw Violation{kind, condition};
+}
+
+int
+enabledProbe(int &evaluations)
+{
+    SCALO_EXPECTS(++evaluations > 0);
+    return evaluations;
+}
+
+TEST(Contracts, ExpectsFiresWhenEnabled)
+{
+    auto *previous = scalo::util::setContractHandler(&throwingHandler);
+    try {
+        SCALO_EXPECTS(1 + 1 == 3);
+        FAIL() << "violation did not reach the handler";
+    } catch (const Violation &v) {
+        EXPECT_EQ(v.kind, "precondition");
+        EXPECT_EQ(v.condition, "1 + 1 == 3");
+    }
+    try {
+        SCALO_ENSURES(false);
+        FAIL() << "violation did not reach the handler";
+    } catch (const Violation &v) {
+        EXPECT_EQ(v.kind, "postcondition");
+    }
+    scalo::util::setContractHandler(previous);
+}
+
+TEST(Contracts, PassingContractIsSilentAndEvaluatedOnce)
+{
+    auto *previous = scalo::util::setContractHandler(&throwingHandler);
+    int evaluations = 0;
+    EXPECT_NO_THROW({ (void)enabledProbe(evaluations); });
+    EXPECT_EQ(evaluations, 1);
+    scalo::util::setContractHandler(previous);
+}
+
+} // namespace
+
+// Now force-disable and verify the condition is not even evaluated
+// (the Release-mode guarantee: contracts cost nothing when off).
+#undef SCALO_CONTRACTS
+#define SCALO_CONTRACTS 0
+#include "scalo/util/contracts_macros.hpp"
+
+namespace {
+
+TEST(Contracts, DisabledContractsVanish)
+{
+    auto *previous = scalo::util::setContractHandler(&throwingHandler);
+    int evaluations = 0;
+    SCALO_EXPECTS(++evaluations > 0); // must not evaluate
+    SCALO_ENSURES(false);             // must not fire
+    EXPECT_EQ(evaluations, 0);
+    scalo::util::setContractHandler(previous);
+}
+
+} // namespace

@@ -11,6 +11,8 @@
 namespace scalo::core {
 namespace {
 
+using namespace units::literals;
+
 TEST(ScaloSystem, DefaultConfigurationIsSafe)
 {
     ScaloSystem system({});
@@ -22,7 +24,7 @@ TEST(ScaloSystem, DefaultConfigurationIsSafe)
 TEST(ScaloSystem, RejectsUnsafePower)
 {
     ScaloConfig config;
-    config.powerCapMw = 30.0;
+    config.powerCap = 30.0_mW;
     EXPECT_THROW(ScaloSystem{config}, std::runtime_error);
 }
 
@@ -30,7 +32,7 @@ TEST(ScaloSystem, TightSpacingDetectedAsUnsafe)
 {
     ScaloConfig config;
     config.nodes = 11;
-    config.spacingMm = 5.0;
+    config.spacing = 5.0_mm;
     ScaloSystem system(config);
     EXPECT_FALSE(system.thermallySafe());
 }
@@ -46,8 +48,8 @@ TEST(ScaloSystem, DeploysSeizurePropagation)
         {3.0, 1.0});
     ASSERT_TRUE(schedule.feasible) << schedule.reason;
     EXPECT_EQ(schedule.flows.size(), 2u);
-    for (double mw : schedule.nodePowerMw)
-        EXPECT_LE(mw, config.powerCapMw * 1.005);
+    for (units::Milliwatts mw : schedule.nodePower)
+        EXPECT_LE(mw, config.powerCap * 1.005);
     // Deployment mode caps electrodes at the physical array size.
     for (const auto &flow : schedule.flows)
         for (double e : flow.electrodesPerNode)
@@ -60,12 +62,12 @@ TEST(ScaloSystem, ThroughputGrowsWithNodes)
     small_config.nodes = 2;
     ScaloConfig large_config;
     large_config.nodes = 8;
-    const double small = ScaloSystem(small_config)
-                             .maxThroughputMbps(
-                                 sched::spikeSortingFlow());
-    const double large = ScaloSystem(large_config)
-                             .maxThroughputMbps(
-                                 sched::spikeSortingFlow());
+    const units::MegabitsPerSecond small =
+        ScaloSystem(small_config)
+            .maxThroughput(sched::spikeSortingFlow());
+    const units::MegabitsPerSecond large =
+        ScaloSystem(large_config)
+            .maxThroughput(sched::spikeSortingFlow());
     EXPECT_NEAR(large / small, 4.0, 0.1);
 }
 
@@ -74,7 +76,7 @@ TEST(ScaloSystem, RadioSelectionTakesEffect)
     ScaloConfig config;
     config.radio = net::RadioDesign::HighPerf;
     ScaloSystem system(config);
-    EXPECT_DOUBLE_EQ(system.radio().dataRateMbps, 14.0);
+    EXPECT_DOUBLE_EQ(system.radio().dataRate.count(), 14.0);
 }
 
 TEST(ScaloSystem, CompilesAndValidatesPrograms)
@@ -94,8 +96,9 @@ TEST(ScaloSystem, InteractiveQueryMatchesAppModel)
     config.nodes = 11;
     ScaloSystem system(config);
     const auto cost = system.interactiveQuery(
-        app::QueryKind::Q1SeizureWindows, 7.0, 0.05);
-    EXPECT_NEAR(cost.queriesPerSecond, 9.0, 1.5);
+        app::QueryKind::Q1SeizureWindows, units::Megabytes{7.0},
+        0.05);
+    EXPECT_NEAR(cost.queriesPerSecond.count(), 9.0, 1.5);
 }
 
 } // namespace

@@ -15,6 +15,8 @@
 namespace scalo::hw {
 namespace {
 
+using namespace units::literals;
+
 TEST(PeCatalog, HasAllThirtyOnePes)
 {
     EXPECT_EQ(peCatalog().size(),
@@ -24,28 +26,28 @@ TEST(PeCatalog, HasAllThirtyOnePes)
 TEST(PeCatalog, Table1SpotChecks)
 {
     const PeSpec &dtw = peSpec(PeKind::DTW);
-    EXPECT_DOUBLE_EQ(dtw.maxFreqMhz, 50.0);
-    EXPECT_DOUBLE_EQ(dtw.leakageUw, 167.93);
-    EXPECT_DOUBLE_EQ(dtw.sramLeakageUw, 48.50);
-    EXPECT_DOUBLE_EQ(dtw.dynPerElectrodeUw, 26.94);
-    EXPECT_DOUBLE_EQ(*dtw.latencyMs, 0.003);
+    EXPECT_DOUBLE_EQ(dtw.maxFreq.count(), 50.0);
+    EXPECT_DOUBLE_EQ(dtw.leakage.count(), 167.93);
+    EXPECT_DOUBLE_EQ(dtw.sramLeakage.count(), 48.50);
+    EXPECT_DOUBLE_EQ(dtw.dynPerElectrode.count(), 26.94);
+    EXPECT_DOUBLE_EQ(dtw.latency->count(), 0.003);
     EXPECT_DOUBLE_EQ(dtw.areaKge, 72.0);
 
     const PeSpec &xcor = peSpec(PeKind::XCOR);
-    EXPECT_DOUBLE_EQ(xcor.dynPerElectrodeUw, 44.11);
+    EXPECT_DOUBLE_EQ(xcor.dynPerElectrode.count(), 44.11);
     EXPECT_DOUBLE_EQ(xcor.areaKge, 81.0);
 
     const PeSpec &sc = peSpec(PeKind::SC);
-    EXPECT_DOUBLE_EQ(*sc.latencyMs, 0.03);
-    ASSERT_TRUE(sc.latencyMaxMs.has_value());
-    EXPECT_DOUBLE_EQ(*sc.latencyMaxMs, 4.0);
+    EXPECT_DOUBLE_EQ(sc.latency->count(), 0.03);
+    ASSERT_TRUE(sc.latencyMax.has_value());
+    EXPECT_DOUBLE_EQ(sc.latencyMax->count(), 4.0);
 }
 
 TEST(PeCatalog, DataDependentLatenciesAreEmpty)
 {
     for (auto kind : {PeKind::AES, PeKind::LIC, PeKind::LZ, PeKind::MA,
                       PeKind::RC}) {
-        EXPECT_FALSE(peSpec(kind).latencyMs.has_value())
+        EXPECT_FALSE(peSpec(kind).latency.has_value())
             << peName(kind);
     }
 }
@@ -53,9 +55,9 @@ TEST(PeCatalog, DataDependentLatenciesAreEmpty)
 TEST(PeCatalog, PowerModelIsLinearInElectrodes)
 {
     const PeSpec &fft = peSpec(PeKind::FFT);
-    const double base = fft.powerUw(0.0);
-    EXPECT_DOUBLE_EQ(base, 141.97 + 85.58);
-    EXPECT_DOUBLE_EQ(fft.powerUw(96.0) - base, 9.02 * 96.0);
+    const units::Microwatts base = fft.power(0.0);
+    EXPECT_DOUBLE_EQ(base.count(), 141.97 + 85.58);
+    EXPECT_DOUBLE_EQ((fft.power(96.0) - base).count(), 9.02 * 96.0);
 }
 
 TEST(PeCatalog, LookupByName)
@@ -76,8 +78,8 @@ TEST(Fabric, SeizureDetectionPipelinePowerFitsBudget)
                        {PeKind::XCOR, 96.0, 1},
                        {PeKind::SVM, 96.0, 1},
                        {PeKind::THR, 96.0, 1}});
-    EXPECT_LT(pipeline.powerMw(), 8.0);
-    EXPECT_GT(pipeline.powerMw(), 1.0);
+    EXPECT_LT(pipeline.power(), 8.0_mW);
+    EXPECT_GT(pipeline.power(), 1.0_mW);
 }
 
 TEST(Fabric, LatencySumsStages)
@@ -85,14 +87,14 @@ TEST(Fabric, LatencySumsStages)
     Pipeline pipeline("hash",
                       {{PeKind::HCONV, 96.0, 1},
                        {PeKind::NGRAM, 96.0, 1}});
-    EXPECT_DOUBLE_EQ(pipeline.latencyMs(), 1.5 + 1.5);
+    EXPECT_DOUBLE_EQ(pipeline.latency().count(), 1.5 + 1.5);
 }
 
 TEST(Fabric, WorstCaseUsesScBusyLatency)
 {
     Pipeline pipeline("store", {{PeKind::SC, 96.0, 1}});
-    EXPECT_DOUBLE_EQ(pipeline.latencyMs(false), 0.03);
-    EXPECT_DOUBLE_EQ(pipeline.latencyMs(true), 4.0);
+    EXPECT_DOUBLE_EQ(pipeline.latency(false).count(), 0.03);
+    EXPECT_DOUBLE_EQ(pipeline.latency(true).count(), 4.0);
 }
 
 TEST(Fabric, ReplicasSplitWorkButPayLeakage)
@@ -101,18 +103,19 @@ TEST(Fabric, ReplicasSplitWorkButPayLeakage)
     Pipeline ten("x10", {{PeKind::BMUL, 96.0, 10}});
     const PeSpec &bmul = peSpec(PeKind::BMUL);
     // Same dynamic power total, 10x the leakage.
-    EXPECT_NEAR(ten.powerUw() - one.powerUw(),
-                9.0 * bmul.idlePowerUw(), 1e-9);
+    EXPECT_NEAR((ten.power() - one.power()).count(),
+                9.0 * bmul.idlePower().count(), 1e-9);
 }
 
 TEST(Fabric, ScaleElectrodesScalesDynOnly)
 {
     Pipeline pipeline("p", {{PeKind::DTW, 96.0, 1}});
-    const double full = pipeline.powerUw();
+    const units::Microwatts full = pipeline.power();
     pipeline.scaleElectrodes(0.5);
-    const double half = pipeline.powerUw();
+    const units::Microwatts half = pipeline.power();
     const PeSpec &dtw = peSpec(PeKind::DTW);
-    EXPECT_NEAR(full - half, dtw.dynPerElectrodeUw * 48.0, 1e-9);
+    EXPECT_NEAR((full - half).count(),
+                dtw.dynPerElectrode.count() * 48.0, 1e-9);
 }
 
 TEST(Fabric, InventoryValidation)
@@ -133,33 +136,34 @@ TEST(Fabric, IdlePowerIsSmall)
     // Total leakage of a full node inventory must leave room under
     // 15 mW; the GALS design powers unused PEs down to leakage only.
     NodeFabric fabric;
-    EXPECT_LT(fabric.idlePowerUw() / 1'000.0, 6.0);
+    EXPECT_LT(fabric.idlePower(), 6.0_mW);
     EXPECT_GT(fabric.areaKge(), 1'000.0);
 }
 
 TEST(Nvm, PaperParameters)
 {
     const NvmSpec &nvm = nvmSpec();
-    EXPECT_DOUBLE_EQ(nvm.leakageMw, 0.26);
-    EXPECT_DOUBLE_EQ(nvm.readEnergyNjPerPage, 918.809);
-    EXPECT_DOUBLE_EQ(nvm.writeEnergyNjPerPage, 1'374.0);
-    EXPECT_DOUBLE_EQ(nvm.eraseMs, 1.5);
-    EXPECT_DOUBLE_EQ(nvm.programUs, 350.0);
+    EXPECT_DOUBLE_EQ(nvm.leakage.count(), 0.26);
+    EXPECT_DOUBLE_EQ(nvm.readEnergyPerPage.count(), 918.809);
+    EXPECT_DOUBLE_EQ(nvm.writeEnergyPerPage.count(), 1'374.0);
+    EXPECT_DOUBLE_EQ(nvm.erase.count(), 1.5);
+    EXPECT_DOUBLE_EQ(nvm.program.count(), 350.0);
     EXPECT_EQ(nvm.pageBytes, 4'096u);
 }
 
 TEST(Nvm, WriteBandwidthFromProgramTime)
 {
     // 4 KB / 350 us = 11.7 MB/s.
-    EXPECT_NEAR(nvmSpec().writeBandwidthMBps(), 11.7, 0.1);
+    EXPECT_NEAR(nvmSpec().writeBandwidth().count(), 11.7, 0.1);
 }
 
 TEST(Nvm, EnergiesScaleWithPages)
 {
     const NvmSpec &nvm = nvmSpec();
-    EXPECT_NEAR(nvm.readEnergyMj(4'096.0 * 10), 918.809e-6 * 10,
-                1e-9);
-    EXPECT_NEAR(nvm.writeEnergyMj(4'096.0), 1'374e-6, 1e-9);
+    EXPECT_NEAR(nvm.readEnergy(units::Bytes{4'096.0 * 10}).count(),
+                918.809e-6 * 10, 1e-9);
+    EXPECT_NEAR(nvm.writeEnergy(units::Bytes{4'096.0}).count(),
+                1'374e-6, 1e-9);
 }
 
 TEST(StorageController, ReorganisedLayoutTradeoff)
@@ -167,10 +171,10 @@ TEST(StorageController, ReorganisedLayoutTradeoff)
     StorageController reorganised(true);
     StorageController raw(false);
     // Writes 5x slower, reads 10x faster (Section 3.3).
-    EXPECT_DOUBLE_EQ(reorganised.chunkWriteMs(), 1.75);
-    EXPECT_DOUBLE_EQ(raw.chunkWriteMs(), 0.35);
-    EXPECT_DOUBLE_EQ(reorganised.chunkReadMs(), 0.035);
-    EXPECT_DOUBLE_EQ(raw.chunkReadMs(), 0.35);
+    EXPECT_DOUBLE_EQ(reorganised.chunkWrite().count(), 1.75);
+    EXPECT_DOUBLE_EQ(raw.chunkWrite().count(), 0.35);
+    EXPECT_DOUBLE_EQ(reorganised.chunkRead().count(), 0.035);
+    EXPECT_DOUBLE_EQ(raw.chunkRead().count(), 0.35);
 }
 
 TEST(StorageController, AppendBuffersUntilPage)
@@ -194,45 +198,46 @@ TEST(StorageController, PartitionsAreIndependent)
 TEST(Thermal, FalloffMatchesAnchors)
 {
     ThermalModel model;
-    EXPECT_NEAR(model.falloffFraction(10.0), 0.05, 0.002);
-    EXPECT_NEAR(model.falloffFraction(20.0), 0.02, 0.002);
-    EXPECT_LE(model.falloffFraction(0.5), 1.0);
+    EXPECT_NEAR(model.falloffFraction(10.0_mm), 0.05, 0.002);
+    EXPECT_NEAR(model.falloffFraction(20.0_mm), 0.02, 0.002);
+    EXPECT_LE(model.falloffFraction(0.5_mm), 1.0);
 }
 
 TEST(Thermal, CouplingNegligibleAtDefaultSpacing)
 {
     ThermalModel model;
-    EXPECT_TRUE(model.safe(11, constants::kImplantSpacingMm,
-                           constants::kPowerCapMw));
-    EXPECT_TRUE(model.safe(60, constants::kImplantSpacingMm,
-                           constants::kPowerCapMw));
+    EXPECT_TRUE(model.safe(11, constants::kImplantSpacing,
+                           constants::kPowerCap));
+    EXPECT_TRUE(model.safe(60, constants::kImplantSpacing,
+                           constants::kPowerCap));
 }
 
 TEST(Thermal, TightSpacingUnsafe)
 {
     ThermalModel model;
-    EXPECT_FALSE(model.safe(11, 5.0, constants::kPowerCapMw));
+    EXPECT_FALSE(model.safe(11, 5.0_mm, constants::kPowerCap));
 }
 
 TEST(Thermal, SixtyImplantsAtTwentyMm)
 {
-    EXPECT_EQ(ThermalModel::maxImplants(20.0), 60u);
-    EXPECT_GT(ThermalModel::maxImplants(10.0), 60u);
-    EXPECT_LT(ThermalModel::maxImplants(40.0), 60u);
+    EXPECT_EQ(ThermalModel::maxImplants(20.0_mm), 60u);
+    EXPECT_GT(ThermalModel::maxImplants(10.0_mm), 60u);
+    EXPECT_LT(ThermalModel::maxImplants(40.0_mm), 60u);
 }
 
 TEST(Thermal, DeltaScalesWithPower)
 {
     ThermalModel model;
-    EXPECT_NEAR(model.deltaAtC(10.0, 7.5),
-                0.5 * model.deltaAtC(10.0, 15.0), 1e-12);
+    EXPECT_NEAR(model.deltaAt(10.0_mm, 7.5_mW).count(),
+                0.5 * model.deltaAt(10.0_mm, 15.0_mW).count(),
+                1e-12);
 }
 
 TEST(Mc, SpecSanity)
 {
     const McSpec &mc = mcSpec();
-    EXPECT_DOUBLE_EQ(mc.freqMhz, 20.0);
-    EXPECT_DOUBLE_EQ(mc.sramKb, 8.0);
+    EXPECT_DOUBLE_EQ(mc.freq.count(), 20.0);
+    EXPECT_DOUBLE_EQ(mc.sram.count(), 8.0);
     EXPECT_GE(mc.softwareSlowdown, 10.0);
 }
 

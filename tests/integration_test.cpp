@@ -20,6 +20,8 @@
 namespace scalo {
 namespace {
 
+using namespace units::literals;
+
 TEST(Integration, DetectStoreQueryPipeline)
 {
     // Generate an annotated 3-site recording, run the detector over
@@ -51,7 +53,7 @@ TEST(Integration, DetectStoreQueryPipeline)
             const bool flagged = detector.detect(windows, fs);
             engine.ingest(node,
                           static_cast<std::uint64_t>(
-                              start / fs * 1e6),
+                              static_cast<double>(start) / fs * 1e6),
                           0, signal::toReal(windows[0]), flagged);
         }
     }
@@ -117,16 +119,17 @@ TEST(Integration, MaintenanceBudgetsHold)
     std::vector<sim::NodeClock> clocks;
     clocks.emplace_back();
     for (int i = 0; i < 10; ++i)
-        clocks.emplace_back(rng.uniform(-20'000.0, 20'000.0),
-                            rng.uniform(-1.0, 1.0));
+        clocks.emplace_back(
+            units::Micros{rng.uniform(-20'000.0, 20'000.0)},
+            rng.uniform(-1.0, 1.0));
     const auto sync = sim::synchronizeClocks(clocks);
     EXPECT_TRUE(sync.converged);
-    EXPECT_LT(sync.networkBusyMs, 500.0)
+    EXPECT_LT(sync.networkBusy, 500.0_ms)
         << "synchronisation must not monopolise the network";
 
-    const auto plan = hw::planDailyCycle(constants::kPowerCapMw);
+    const auto plan = hw::planDailyCycle(constants::kPowerCap);
     EXPECT_TRUE(plan.sustainsFullDay);
-    EXPECT_NEAR(plan.chargingHours, 2.0, 0.7)
+    EXPECT_NEAR(plan.chargingHours.count(), 2.0, 0.7)
         << "the paper's ~2 h charging point";
     EXPECT_GT(plan.availability, 0.85);
 }
@@ -139,17 +142,17 @@ TEST(Integration, ResponsePathHoldsUnderDeployment)
     config.nodes = 11;
     config.episodes = 400;
     const auto timing = sim::simulatePropagationTiming(config);
-    EXPECT_LE(timing.maxTotalMs, 10.0);
+    EXPECT_LE(timing.maxTotal, 10.0_ms);
 }
 
 TEST(Integration, ChargingPlansScaleWithLoad)
 {
-    const auto light = hw::planDailyCycle(6.0);
-    const auto heavy = hw::planDailyCycle(15.0);
+    const auto light = hw::planDailyCycle(6.0_mW);
+    const auto heavy = hw::planDailyCycle(15.0_mW);
     EXPECT_GE(light.availability, heavy.availability);
     EXPECT_TRUE(light.sustainsFullDay);
     // Capacity sizing helper is consistent with the plan.
-    EXPECT_NEAR(hw::requiredCapacityMwh(15.0, 21.0),
+    EXPECT_NEAR(hw::requiredCapacity(15.0_mW, 21.0_h).count(),
                 15.0 * 21.0 / 0.9, 1e-9);
 }
 

@@ -17,47 +17,51 @@
 namespace scalo::net {
 namespace {
 
+using namespace units::literals;
+
 TEST(Radio, Table3Catalog)
 {
     const RadioSpec &low_power = radioSpec(RadioDesign::LowPower);
-    EXPECT_DOUBLE_EQ(low_power.dataRateMbps, 7.0);
-    EXPECT_DOUBLE_EQ(low_power.powerMw, 1.71);
+    EXPECT_DOUBLE_EQ(low_power.dataRate.count(), 7.0);
+    EXPECT_DOUBLE_EQ(low_power.power.count(), 1.71);
     EXPECT_DOUBLE_EQ(low_power.ber, 1e-5);
 
     const RadioSpec &high_perf = radioSpec(RadioDesign::HighPerf);
-    EXPECT_DOUBLE_EQ(high_perf.dataRateMbps, 14.0);
-    EXPECT_DOUBLE_EQ(high_perf.powerMw, 6.85);
+    EXPECT_DOUBLE_EQ(high_perf.dataRate.count(), 14.0);
+    EXPECT_DOUBLE_EQ(high_perf.power.count(), 6.85);
 
-    EXPECT_DOUBLE_EQ(radioSpec(RadioDesign::LowBer).powerMw, 3.4);
-    EXPECT_DOUBLE_EQ(radioSpec(RadioDesign::LowDataRate).dataRateMbps,
-                     3.5);
+    EXPECT_DOUBLE_EQ(radioSpec(RadioDesign::LowBer).power.count(),
+                     3.4);
+    EXPECT_DOUBLE_EQ(
+        radioSpec(RadioDesign::LowDataRate).dataRate.count(), 3.5);
     EXPECT_EQ(&defaultRadio(), &radioSpec(RadioDesign::LowPower));
 }
 
 TEST(Radio, ExternalRadioFromHalo)
 {
     const RadioSpec &ext = externalRadio();
-    EXPECT_DOUBLE_EQ(ext.dataRateMbps, 46.0);
-    EXPECT_DOUBLE_EQ(ext.powerMw, 9.2);
+    EXPECT_DOUBLE_EQ(ext.dataRate.count(), 46.0);
+    EXPECT_DOUBLE_EQ(ext.power.count(), 9.2);
 }
 
 TEST(Radio, TransferTimeAndEnergy)
 {
     const RadioSpec &radio = defaultRadio();
     // 256 B at 7 Mbps = 0.2926 ms.
-    EXPECT_NEAR(radio.transferMs(256.0), 256.0 * 8.0 / 7e6 * 1e3,
-                1e-12);
-    EXPECT_NEAR(radio.transferEnergyMj(256.0),
-                1.71 * radio.transferMs(256.0) * 1e-3, 1e-12);
+    const units::Millis wire = radio.transferTime(256.0_B);
+    EXPECT_NEAR(wire.count(), 256.0 * 8.0 / 7e6 * 1e3, 1e-12);
+    EXPECT_NEAR(radio.transferEnergy(256.0_B).count(),
+                1.71 * wire.count() * 1e-3, 1e-12);
 }
 
 TEST(Radio, PathLossExponent)
 {
     const RadioSpec &radio = defaultRadio();
     // Doubling distance costs 2^3.5 = 11.3x power.
-    EXPECT_NEAR(powerAtDistanceMw(radio, 40.0) / radio.powerMw,
+    EXPECT_NEAR(powerAtDistance(radio, 40.0_cm) / radio.power,
                 std::pow(2.0, 3.5), 1e-9);
-    EXPECT_NEAR(powerAtDistanceMw(radio, 20.0), radio.powerMw, 1e-12);
+    EXPECT_NEAR(powerAtDistance(radio, 20.0_cm).count(),
+                radio.power.count(), 1e-12);
 }
 
 TEST(Packet, RoundTripCleanChannel)
@@ -154,48 +158,52 @@ TEST(Tdma, BroadcastIsNodeCountInvariant)
 {
     TdmaSchedule small(defaultRadio(), 2);
     TdmaSchedule large(defaultRadio(), 32);
-    EXPECT_DOUBLE_EQ(small.exchangeMs(Pattern::OneToAll, 240),
-                     large.exchangeMs(Pattern::OneToAll, 240));
+    EXPECT_DOUBLE_EQ(small.exchangeTime(Pattern::OneToAll, 240)
+                         .count(),
+                     large.exchangeTime(Pattern::OneToAll, 240)
+                         .count());
 }
 
 TEST(Tdma, AllToAllScalesWithNodes)
 {
     TdmaSchedule four(defaultRadio(), 4);
     TdmaSchedule eight(defaultRadio(), 8);
-    EXPECT_NEAR(eight.exchangeMs(Pattern::AllToAll, 240) /
-                    four.exchangeMs(Pattern::AllToAll, 240),
+    EXPECT_NEAR(eight.exchangeTime(Pattern::AllToAll, 240) /
+                    four.exchangeTime(Pattern::AllToAll, 240),
                 2.0, 1e-9);
 }
 
 TEST(Tdma, AllToOneExcludesAggregator)
 {
     TdmaSchedule schedule(defaultRadio(), 5);
-    EXPECT_NEAR(schedule.exchangeMs(Pattern::AllToOne, 100),
-                4.0 * schedule.slotMs(100), 1e-12);
+    EXPECT_NEAR(schedule.exchangeTime(Pattern::AllToOne, 100)
+                    .count(),
+                4.0 * schedule.slotTime(100).count(), 1e-12);
 }
 
 TEST(Tdma, SlotIncludesOverheadAndGuard)
 {
-    TdmaSchedule schedule(defaultRadio(), 2, 20.0);
-    const double payload_only =
-        defaultRadio().transferMs(240.0);
-    EXPECT_GT(schedule.slotMs(240), payload_only);
+    TdmaSchedule schedule(defaultRadio(), 2, 20.0_us);
+    const units::Millis payload_only =
+        defaultRadio().transferTime(240.0_B);
+    EXPECT_GT(schedule.slotTime(240), payload_only);
 }
 
 TEST(Tdma, BudgetBytesInvertsSlot)
 {
     TdmaSchedule schedule(defaultRadio(), 4);
-    const auto bytes = schedule.budgetBytes(10.0, 4);
+    const auto bytes = schedule.budgetBytes(10.0_ms, 4);
     EXPECT_GT(bytes, 0u);
-    EXPECT_LE(schedule.slotMs(bytes), 10.0 / 4.0 + 1e-9);
-    EXPECT_GT(schedule.slotMs(bytes + 300), 10.0 / 4.0);
+    EXPECT_LE(schedule.slotTime(bytes).count(), 10.0 / 4.0 + 1e-9);
+    EXPECT_GT(schedule.slotTime(bytes + 300).count(), 10.0 / 4.0);
 }
 
 TEST(Tdma, FasterRadioMovesMoreBytes)
 {
     TdmaSchedule low(defaultRadio(), 4);
     TdmaSchedule high(radioSpec(RadioDesign::HighPerf), 4);
-    EXPECT_GT(high.budgetBytes(10.0, 4), low.budgetBytes(10.0, 4));
+    EXPECT_GT(high.budgetBytes(10.0_ms, 4),
+              low.budgetBytes(10.0_ms, 4));
 }
 
 TEST(Channel, CleanAtZeroBer)

@@ -157,7 +157,7 @@ class ShardedQueryFixture : public ::testing::Test
         EXPECT_EQ(a.matches, b.matches); // same pointers, same order
         EXPECT_EQ(a.scanned, b.scanned);
         EXPECT_EQ(a.transferBytes, b.transferBytes);
-        EXPECT_EQ(a.latencyMs, b.latencyMs); // modeled, exact
+        EXPECT_EQ(a.latency.count(), b.latency.count()); // modeled, exact
         ASSERT_EQ(a.perNode.size(), b.perNode.size());
         for (std::size_t n = 0; n < a.perNode.size(); ++n) {
             EXPECT_EQ(a.perNode[n].scanned, b.perNode[n].scanned);
@@ -166,8 +166,8 @@ class ShardedQueryFixture : public ::testing::Test
             EXPECT_EQ(a.perNode[n].dtwComparisons,
                       b.perNode[n].dtwComparisons);
             EXPECT_EQ(a.perNode[n].matched, b.perNode[n].matched);
-            EXPECT_EQ(a.perNode[n].modeledMs,
-                      b.perNode[n].modeledMs);
+            EXPECT_EQ(a.perNode[n].modeled.count(),
+                      b.perNode[n].modeled.count());
         }
     }
 

@@ -94,8 +94,8 @@ TEST(Compiler, PipelineCostsAreConsistent)
         compileSource("stream.window(wsize=4ms).sbp()");
     const auto heavy = compileSource(
         "stream.window(wsize=4ms).seizure_detect().propagate()");
-    EXPECT_GT(heavy.latencyMs(), cheap.latencyMs());
-    EXPECT_GT(heavy.powerMw(96.0), cheap.powerMw(96.0));
+    EXPECT_GT(heavy.latency(), cheap.latency());
+    EXPECT_GT(heavy.power(96.0), cheap.power(96.0));
 }
 
 TEST(Compiler, QueryOpLowersToDescriptor)

@@ -17,12 +17,15 @@
 namespace scalo::sched {
 namespace {
 
+using namespace units::literals;
+
 Scheduler
-makeScheduler(std::size_t nodes, double power_mw = 15.0)
+makeScheduler(std::size_t nodes,
+              units::Milliwatts power_cap = 15.0_mW)
 {
     SystemConfig config;
     config.nodes = nodes;
-    config.powerCapMw = power_mw;
+    config.powerCap = power_cap;
     return Scheduler(config);
 }
 
@@ -32,8 +35,9 @@ TEST(Workloads, SeizureDetectionMatchesPaperOperatingPoints)
     // at 6 mW. Allow ~15% modelling slack.
     const FlowSpec flow = seizureDetectionFlow();
     const double at15 =
-        electrodesToMbps(flow.electrodesAtPowerMw(15.0));
-    const double at6 = electrodesToMbps(flow.electrodesAtPowerMw(6.0));
+        electrodesToRate(flow.electrodesAtPower(15.0_mW)).count();
+    const double at6 =
+        electrodesToRate(flow.electrodesAtPower(6.0_mW)).count();
     EXPECT_NEAR(at15, 79.0, 12.0);
     EXPECT_NEAR(at6, 46.0, 8.0);
     // Quadratic shape: halving power costs less than half throughput.
@@ -45,8 +49,9 @@ TEST(Workloads, SpikeSortingMatchesPaperOperatingPoints)
     // Section 6.2: 118 Mbps at 15 mW, linear down to 38.4 at 6 mW.
     const FlowSpec flow = spikeSortingFlow();
     const double at15 =
-        electrodesToMbps(flow.electrodesAtPowerMw(15.0));
-    const double at6 = electrodesToMbps(flow.electrodesAtPowerMw(6.0));
+        electrodesToRate(flow.electrodesAtPower(15.0_mW)).count();
+    const double at6 =
+        electrodesToRate(flow.electrodesAtPower(6.0_mW)).count();
     EXPECT_NEAR(at15, 118.0, 15.0);
     EXPECT_NEAR(at6, 38.4, 10.0);
 }
@@ -56,14 +61,14 @@ TEST(Workloads, HashFlowSupportsRoughly190Electrodes)
     // Section 6.2: Hash All-All peaks with 190 electrode signals per
     // node at 15 mW.
     const FlowSpec flow = hashSimilarityFlow(net::Pattern::AllToAll);
-    EXPECT_NEAR(flow.electrodesAtPowerMw(15.0), 190.0, 25.0);
+    EXPECT_NEAR(flow.electrodesAtPower(15.0_mW), 190.0, 25.0);
 }
 
 TEST(Workloads, MiSvmBeatsHashByThreePercent)
 {
-    const double hash_lin =
-        hashSimilarityFlow(net::Pattern::AllToOne).linMwPerElectrode;
-    const double svm_lin = miSvmFlow().linMwPerElectrode;
+    const units::Milliwatts hash_lin =
+        hashSimilarityFlow(net::Pattern::AllToOne).linPerElectrode;
+    const units::Milliwatts svm_lin = miSvmFlow().linPerElectrode;
     EXPECT_NEAR(hash_lin / svm_lin, 1.03, 1e-9);
 }
 
@@ -71,8 +76,8 @@ TEST(Workloads, ElectrodesAtPowerInvertsPowerModel)
 {
     for (const FlowSpec &flow :
          {seizureDetectionFlow(), miKfFlow(), spikeSortingFlow()}) {
-        const double e = flow.electrodesAtPowerMw(12.0);
-        EXPECT_NEAR(flow.powerMw(e), 12.0, 1e-6) << flow.name;
+        const double e = flow.electrodesAtPower(12.0_mW);
+        EXPECT_NEAR(flow.power(e).count(), 12.0, 1e-6) << flow.name;
     }
 }
 
@@ -80,9 +85,9 @@ TEST(Scheduler, LocalFlowScalesLinearlyWithNodes)
 {
     const FlowSpec flow = seizureDetectionFlow();
     const double one =
-        makeScheduler(1).maxAggregateThroughputMbps(flow);
+        makeScheduler(1).maxAggregateThroughput(flow).count();
     const double eight =
-        makeScheduler(8).maxAggregateThroughputMbps(flow);
+        makeScheduler(8).maxAggregateThroughput(flow).count();
     EXPECT_NEAR(eight / one, 8.0, 1e-6);
 }
 
@@ -91,11 +96,11 @@ TEST(Scheduler, HashAllToAllPeaksNearSixNodes)
     // Figure 8b: Hash All-All rises to ~547 Mbps around 6 nodes, then
     // declines as TDMA serialisation dominates.
     const FlowSpec flow = hashSimilarityFlow(net::Pattern::AllToAll);
-    const double at6 = makeScheduler(6).maxAggregateThroughputMbps(flow);
+    const double at6 = makeScheduler(6).maxAggregateThroughput(flow).count();
     const double at11 =
-        makeScheduler(11).maxAggregateThroughputMbps(flow);
+        makeScheduler(11).maxAggregateThroughput(flow).count();
     const double at32 =
-        makeScheduler(32).maxAggregateThroughputMbps(flow);
+        makeScheduler(32).maxAggregateThroughput(flow).count();
     EXPECT_NEAR(at6, 547.0, 80.0);
     EXPECT_LT(at11, at6);
     EXPECT_LT(at32, at11);
@@ -104,9 +109,9 @@ TEST(Scheduler, HashAllToAllPeaksNearSixNodes)
 TEST(Scheduler, HashOneToAllScalesLinearly)
 {
     const FlowSpec flow = hashSimilarityFlow(net::Pattern::OneToAll);
-    const double at8 = makeScheduler(8).maxAggregateThroughputMbps(flow);
+    const double at8 = makeScheduler(8).maxAggregateThroughput(flow).count();
     const double at32 =
-        makeScheduler(32).maxAggregateThroughputMbps(flow);
+        makeScheduler(32).maxAggregateThroughput(flow).count();
     EXPECT_NEAR(at32 / at8, 4.0, 0.2);
 }
 
@@ -115,14 +120,15 @@ TEST(Scheduler, DtwAllToAllIsCommunicationLimited)
     // Only ~16 electrode windows fit the radio per 4 ms (Section 6.2),
     // and more nodes make it worse.
     const FlowSpec flow = dtwSimilarityFlow(net::Pattern::AllToAll);
-    const double at2 = makeScheduler(2).maxAggregateThroughputMbps(flow);
+    const double at2 = makeScheduler(2).maxAggregateThroughput(flow).count();
     const double at16 =
-        makeScheduler(16).maxAggregateThroughputMbps(flow);
-    EXPECT_NEAR(mbpsToElectrodes(at2), 16.0, 3.0);
+        makeScheduler(16).maxAggregateThroughput(flow).count();
+    EXPECT_NEAR(rateToElectrodes(units::MegabitsPerSecond{at2}),
+                16.0, 3.0);
     EXPECT_LT(at16, at2);
     // Power-insensitive down to 6 mW.
     const double low_power =
-        makeScheduler(2, 6.0).maxAggregateThroughputMbps(flow);
+        makeScheduler(2, 6.0_mW).maxAggregateThroughput(flow).count();
     EXPECT_NEAR(low_power, at2, 0.5);
 }
 
@@ -131,9 +137,9 @@ TEST(Scheduler, MiKfSaturatesAt384Electrodes)
     // Section 6.2/6.3: the centralised inversion's NVM bandwidth caps
     // MI KF at 384 electrodes (188 Mbps); more nodes do not help.
     const FlowSpec flow = miKfFlow();
-    const double at4 = makeScheduler(4).maxAggregateThroughputMbps(flow);
+    const double at4 = makeScheduler(4).maxAggregateThroughput(flow).count();
     const double at11 =
-        makeScheduler(11).maxAggregateThroughputMbps(flow);
+        makeScheduler(11).maxAggregateThroughput(flow).count();
     EXPECT_NEAR(at4, 184.0, 10.0);
     EXPECT_NEAR(at11, at4, 1.0);
 }
@@ -144,11 +150,11 @@ TEST(Scheduler, MiKfPowerKneeAtEightAndAHalfMw)
     // electrodes hits the 384 cap exactly); below, quadratic decline.
     const FlowSpec flow = miKfFlow();
     const double at15 =
-        makeScheduler(4, 15.0).maxAggregateThroughputMbps(flow);
+        makeScheduler(4, 15.0_mW).maxAggregateThroughput(flow).count();
     const double at9 =
-        makeScheduler(4, 9.0).maxAggregateThroughputMbps(flow);
+        makeScheduler(4, 9.0_mW).maxAggregateThroughput(flow).count();
     const double at6 =
-        makeScheduler(4, 6.0).maxAggregateThroughputMbps(flow);
+        makeScheduler(4, 6.0_mW).maxAggregateThroughput(flow).count();
     EXPECT_NEAR(at15, at9, 6.0);
     EXPECT_LT(at6, 0.85 * at15);
 }
@@ -161,9 +167,9 @@ TEST(Scheduler, PowerScalingDirection)
           hashSimilarityFlow(net::Pattern::AllToAll), miSvmFlow(),
           miNnFlow(), spikeSortingFlow()}) {
         const double high =
-            makeScheduler(4, 15.0).maxAggregateThroughputMbps(flow);
+            makeScheduler(4, 15.0_mW).maxAggregateThroughput(flow).count();
         const double low =
-            makeScheduler(4, 6.0).maxAggregateThroughputMbps(flow);
+            makeScheduler(4, 6.0_mW).maxAggregateThroughput(flow).count();
         EXPECT_LT(low, high) << flow.name;
         EXPECT_GT(low, 0.0) << flow.name;
     }
@@ -191,7 +197,7 @@ TEST(Scheduler, PrioritiesSteerSharedResources)
 
 TEST(Scheduler, NodePowerStaysWithinCap)
 {
-    Scheduler scheduler = makeScheduler(6, 12.0);
+    Scheduler scheduler = makeScheduler(6, 12.0_mW);
     const Schedule schedule = scheduler.schedule(
         {seizureDetectionFlow(),
          hashSimilarityFlow(net::Pattern::AllToAll)},
@@ -199,8 +205,8 @@ TEST(Scheduler, NodePowerStaysWithinCap)
     ASSERT_TRUE(schedule.feasible);
     // The quadratic term is an outer tangent approximation, so allow
     // its documented sub-percent slack.
-    for (double mw : schedule.nodePowerMw)
-        EXPECT_LE(mw, 12.0 * 1.005);
+    for (units::Milliwatts mw : schedule.nodePower)
+        EXPECT_LE(mw, 12.0_mW * 1.005);
 }
 
 TEST(Scheduler, ElectrodeCapHonoured)
@@ -218,7 +224,7 @@ TEST(Scheduler, ElectrodeCapHonoured)
 
 TEST(Scheduler, InfeasibleWhenLeakageExceedsCap)
 {
-    Scheduler scheduler = makeScheduler(2, 0.5);
+    Scheduler scheduler = makeScheduler(2, 0.5_mW);
     const Schedule schedule =
         scheduler.schedule({seizureDetectionFlow()}, {1.0});
     EXPECT_FALSE(schedule.feasible);
@@ -243,13 +249,13 @@ TEST(Architectures, ScaloDominatesFigure8a)
 {
     // SCALO has the highest throughput for every task at 11 sites.
     for (Task task : allTasks()) {
-        const double scalo = maxAggregateThroughputMbps(
-            Architecture::Scalo, task, 11);
+        const double scalo = maxAggregateThroughput(Architecture::Scalo, task, 11).count();
         for (Architecture arch :
              {Architecture::ScaloNoHash, Architecture::Central,
               Architecture::CentralNoHash, Architecture::HaloNvm}) {
             EXPECT_GE(scalo + 1e-9,
-                      maxAggregateThroughputMbps(arch, task, 11))
+                      maxAggregateThroughput(arch, task, 11)
+                          .count())
                 << taskName(task) << " on " << architectureName(arch);
         }
     }
@@ -261,9 +267,8 @@ TEST(Architectures, CentralRoughlyTenTimesBelowScalo)
     for (Task task : {Task::SeizureDetection, Task::MiSvm,
                       Task::SpikeSorting}) {
         const double ratio =
-            maxAggregateThroughputMbps(Architecture::Scalo, task, 11) /
-            maxAggregateThroughputMbps(Architecture::Central, task,
-                                       11);
+            maxAggregateThroughput(Architecture::Scalo, task, 11).count() /
+            maxAggregateThroughput(Architecture::Central, task, 11).count();
         EXPECT_NEAR(ratio, 11.0, 2.0) << taskName(task);
     }
 }
@@ -273,17 +278,13 @@ TEST(Architectures, NoHashPenaltiesMatchSection61)
     // Central No-Hash: 250x below Central for signal similarity,
     // 24.5x for spike sorting.
     const double sim_ratio =
-        maxAggregateThroughputMbps(Architecture::Central,
-                                   Task::SignalSimilarity, 11) /
-        maxAggregateThroughputMbps(Architecture::CentralNoHash,
-                                   Task::SignalSimilarity, 11);
+        maxAggregateThroughput(Architecture::Central, Task::SignalSimilarity, 11).count() /
+        maxAggregateThroughput(Architecture::CentralNoHash, Task::SignalSimilarity, 11).count();
     EXPECT_NEAR(sim_ratio, 250.0, 60.0);
 
     const double spike_ratio =
-        maxAggregateThroughputMbps(Architecture::Central,
-                                   Task::SpikeSorting, 11) /
-        maxAggregateThroughputMbps(Architecture::CentralNoHash,
-                                   Task::SpikeSorting, 11);
+        maxAggregateThroughput(Architecture::Central, Task::SpikeSorting, 11).count() /
+        maxAggregateThroughput(Architecture::CentralNoHash, Task::SpikeSorting, 11).count();
     EXPECT_NEAR(spike_ratio, 24.5, 1.0);
 }
 
@@ -291,10 +292,8 @@ TEST(Architectures, HaloNvmMatchesCentralWhereItsPesSuffice)
 {
     for (Task task : {Task::SeizureDetection, Task::MiSvm}) {
         EXPECT_DOUBLE_EQ(
-            maxAggregateThroughputMbps(Architecture::HaloNvm, task,
-                                       11),
-            maxAggregateThroughputMbps(Architecture::Central, task,
-                                       11))
+            maxAggregateThroughput(Architecture::HaloNvm, task, 11).count(),
+            maxAggregateThroughput(Architecture::Central, task, 11).count())
             << taskName(task);
     }
 }
@@ -302,10 +301,14 @@ TEST(Architectures, HaloNvmMatchesCentralWhereItsPesSuffice)
 TEST(Architectures, HaloNvmSpikeSortingBelowCentralNoHash)
 {
     // Hash matching on the MC is 40% below exact matching on a PE.
-    const double halo = maxAggregateThroughputMbps(
-        Architecture::HaloNvm, Task::SpikeSorting, 11);
-    const double central_nohash = maxAggregateThroughputMbps(
-        Architecture::CentralNoHash, Task::SpikeSorting, 11);
+    const double halo =
+        maxAggregateThroughput(Architecture::HaloNvm,
+                               Task::SpikeSorting, 11)
+            .count();
+    const double central_nohash =
+        maxAggregateThroughput(Architecture::CentralNoHash,
+                               Task::SpikeSorting, 11)
+            .count();
     EXPECT_NEAR(halo / central_nohash, 0.6, 1e-9);
 }
 
@@ -314,13 +317,13 @@ TEST(Architectures, ScaloUpTo385xOverHaloNvm)
     // Headline: up to 385x higher processing rates vs HALO+NVM.
     double best = 0.0;
     for (Task task : allTasks()) {
-        const double halo = maxAggregateThroughputMbps(
-            Architecture::HaloNvm, task, 11);
+        const double halo = maxAggregateThroughput(Architecture::HaloNvm, task, 11).count();
         if (halo <= 0.0)
             continue;
         best = std::max(
-            best, maxAggregateThroughputMbps(Architecture::Scalo,
-                                             task, 11) /
+            best, maxAggregateThroughput(Architecture::Scalo, task,
+                                         11)
+                          .count() /
                       halo);
     }
     EXPECT_GT(best, 100.0);

@@ -13,15 +13,17 @@
 namespace scalo::sim {
 namespace {
 
+using namespace units::literals;
+
 TEST(PropagationTiming, MeetsTenMillisecondBudget)
 {
     PropagationTimingConfig config;
     config.episodes = 500;
     const auto result = simulatePropagationTiming(config);
-    EXPECT_LE(result.maxTotalMs, 10.0)
+    EXPECT_LE(result.maxTotal, 10.0_ms)
         << "every episode must finish within the clinical budget";
     EXPECT_DOUBLE_EQ(result.withinDeadlineFraction, 1.0);
-    EXPECT_GT(result.meanTotalMs, 1.0) << "physically plausible";
+    EXPECT_GT(result.meanTotal, 1.0_ms) << "physically plausible";
 }
 
 TEST(PropagationTiming, StageDecompositionSums)
@@ -29,13 +31,13 @@ TEST(PropagationTiming, StageDecompositionSums)
     PropagationTimingConfig config;
     config.episodes = 300;
     const auto result = simulatePropagationTiming(config);
-    const double stage_sum =
-        result.slotWaitMs + result.hashBroadcastMs +
-        result.collisionCheckMs + result.responseMs +
-        result.signalBroadcastMs + result.exactCompareMs +
-        result.stimulateMs;
-    EXPECT_NEAR(stage_sum, result.meanTotalMs,
-                0.05 * result.meanTotalMs);
+    const units::Millis stage_sum =
+        result.slotWait + result.hashBroadcast +
+        result.collisionCheck + result.response +
+        result.signalBroadcast + result.exactCompare +
+        result.stimulate;
+    EXPECT_NEAR(stage_sum.count(), result.meanTotal.count(),
+                0.05 * result.meanTotal.count());
 }
 
 TEST(PropagationTiming, HighBerAddsRetransmissions)
@@ -48,9 +50,9 @@ TEST(PropagationTiming, HighBerAddsRetransmissions)
     noisy.episodes = 300;
     const auto clean_result = simulatePropagationTiming(clean);
     const auto noisy_result = simulatePropagationTiming(noisy);
-    EXPECT_GE(noisy_result.meanTotalMs, clean_result.meanTotalMs);
+    EXPECT_GE(noisy_result.meanTotal, clean_result.meanTotal);
     // Even then the budget holds at the design point.
-    EXPECT_LE(noisy_result.maxTotalMs, 10.0);
+    EXPECT_LE(noisy_result.maxTotal, 10.0_ms);
 }
 
 TEST(PropagationTiming, SlowRadioStretchesThePath)
@@ -61,57 +63,61 @@ TEST(PropagationTiming, SlowRadioStretchesThePath)
     PropagationTimingConfig fast;
     fast.radio = &net::radioSpec(net::RadioDesign::HighPerf);
     fast.episodes = 300;
-    EXPECT_GT(simulatePropagationTiming(slow).meanTotalMs,
-              simulatePropagationTiming(fast).meanTotalMs);
+    EXPECT_GT(simulatePropagationTiming(slow).meanTotal,
+              simulatePropagationTiming(fast).meanTotal);
 }
 
 TEST(Sntp, ClockModelBasics)
 {
-    NodeClock clock(100.0, 50.0); // 100 us ahead, 50 ppm fast
-    EXPECT_NEAR(clock.read(0.0), 100.0, 1e-9);
-    EXPECT_NEAR(clock.read(1e6), 1e6 + 50.0 + 100.0, 1e-6);
-    clock.adjust(-100.0);
-    EXPECT_NEAR(clock.read(0.0), 0.0, 1e-9);
+    // 100 us ahead, 50 ppm fast.
+    NodeClock clock(100.0_us, 50.0);
+    EXPECT_NEAR(clock.read(0.0_us).count(), 100.0, 1e-9);
+    EXPECT_NEAR(clock.read(units::Micros{1e6}).count(),
+                1e6 + 50.0 + 100.0, 1e-6);
+    clock.adjust(-100.0_us);
+    EXPECT_NEAR(clock.read(0.0_us).count(), 0.0, 1e-9);
 }
 
 TEST(Sntp, ConvergesScatteredClocks)
 {
     Rng rng(5);
     std::vector<NodeClock> clocks;
-    clocks.emplace_back(0.0, 0.0); // server
+    clocks.emplace_back(0.0_us, 0.0); // server
     for (int i = 0; i < 10; ++i)
-        clocks.emplace_back(rng.uniform(-50'000.0, 50'000.0),
-                            rng.uniform(-2.0, 2.0));
+        clocks.emplace_back(
+            units::Micros{rng.uniform(-50'000.0, 50'000.0)},
+            rng.uniform(-2.0, 2.0));
     const auto result = synchronizeClocks(clocks);
     EXPECT_TRUE(result.converged);
-    EXPECT_LE(result.maxResidualUs, 5.0);
+    EXPECT_LE(result.maxResidual, 5.0_us);
     EXPECT_GE(result.rounds, 1u);
-    EXPECT_GT(result.networkBusyMs, 0.0);
+    EXPECT_GT(result.networkBusy, 0.0_ms);
 }
 
 TEST(Sntp, JitterBoundsThePrecision)
 {
     std::vector<NodeClock> clocks{NodeClock(),
-                                  NodeClock(10'000.0, 0.0)};
+                                  NodeClock(10'000.0_us, 0.0)};
     SntpConfig config;
-    config.jitterUs = 40.0;
-    config.targetPrecisionUs = 0.01; // unreachable under this jitter
+    config.jitter = 40.0_us;
+    // Unreachable under this jitter.
+    config.targetPrecision = 0.01_us;
     config.maxRounds = 3;
     const auto result = synchronizeClocks(clocks, config);
     EXPECT_FALSE(result.converged);
     // Still vastly better than the initial 10 ms offset.
-    EXPECT_LT(result.maxResidualUs, 100.0);
+    EXPECT_LT(result.maxResidual, 100.0_us);
 }
 
 TEST(Sntp, ZeroJitterIsNearExact)
 {
     std::vector<NodeClock> clocks{NodeClock(),
-                                  NodeClock(-123'456.0, 0.0)};
+                                  NodeClock(-123'456.0_us, 0.0)};
     SntpConfig config;
-    config.jitterUs = 0.0;
+    config.jitter = 0.0_us;
     const auto result = synchronizeClocks(clocks, config);
     EXPECT_TRUE(result.converged);
-    EXPECT_LT(result.maxResidualUs, 0.5);
+    EXPECT_LT(result.maxResidual, 0.5_us);
 }
 
 } // namespace

@@ -12,24 +12,26 @@
 namespace scalo::sim {
 namespace {
 
+using namespace units::literals;
+
 TEST(Simulator, ExecutesInTimeOrder)
 {
     Simulator simulator;
     std::vector<int> order;
-    simulator.after(30, [&] { order.push_back(3); });
-    simulator.after(10, [&] { order.push_back(1); });
-    simulator.after(20, [&] { order.push_back(2); });
+    simulator.after(30.0_us, [&] { order.push_back(3); });
+    simulator.after(10.0_us, [&] { order.push_back(1); });
+    simulator.after(20.0_us, [&] { order.push_back(2); });
     EXPECT_EQ(simulator.run(), 3u);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(simulator.nowUs(), 30u);
+    EXPECT_DOUBLE_EQ(simulator.now().count(), 30.0);
 }
 
 TEST(Simulator, TiesBreakInSchedulingOrder)
 {
     Simulator simulator;
     std::vector<int> order;
-    simulator.after(5, [&] { order.push_back(1); });
-    simulator.after(5, [&] { order.push_back(2); });
+    simulator.after(5.0_us, [&] { order.push_back(1); });
+    simulator.after(5.0_us, [&] { order.push_back(2); });
     simulator.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
@@ -37,21 +39,22 @@ TEST(Simulator, TiesBreakInSchedulingOrder)
 TEST(Simulator, NestedSchedulingAdvancesTime)
 {
     Simulator simulator;
-    std::uint64_t inner_time = 0;
-    simulator.after(10, [&] {
-        simulator.after(15, [&] { inner_time = simulator.nowUs(); });
+    units::Micros inner_time{0.0};
+    simulator.after(10.0_us, [&] {
+        simulator.after(15.0_us,
+                        [&] { inner_time = simulator.now(); });
     });
     simulator.run();
-    EXPECT_EQ(inner_time, 25u);
+    EXPECT_DOUBLE_EQ(inner_time.count(), 25.0);
 }
 
 TEST(Simulator, RunUntilStopsEarly)
 {
     Simulator simulator;
     int fired = 0;
-    simulator.after(10, [&] { ++fired; });
-    simulator.after(100, [&] { ++fired; });
-    EXPECT_EQ(simulator.run(50), 1u);
+    simulator.after(10.0_us, [&] { ++fired; });
+    simulator.after(100.0_us, [&] { ++fired; });
+    EXPECT_EQ(simulator.run(50.0_us), 1u);
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(simulator.pending(), 1u);
 }
@@ -59,8 +62,9 @@ TEST(Simulator, RunUntilStopsEarly)
 TEST(Simulator, SchedulingIntoThePastPanics)
 {
     Simulator simulator;
-    simulator.after(10, [&] {
-        EXPECT_THROW(simulator.at(5, [] {}), std::logic_error);
+    simulator.after(10.0_us, [&] {
+        EXPECT_THROW(simulator.at(5.0_us, [] {}),
+                     std::logic_error);
     });
     simulator.run();
 }
@@ -96,7 +100,7 @@ TEST(NetworkErrors, Figure12Shape)
 TEST(HashEncodingDelay, NoErrorsNoDelay)
 {
     const auto dist = simulateHashEncodingErrors(0.0);
-    EXPECT_EQ(dist.maxMs, 0.0);
+    EXPECT_DOUBLE_EQ(dist.max.count(), 0.0);
 }
 
 TEST(HashEncodingDelay, Figure15aShape)
@@ -107,12 +111,12 @@ TEST(HashEncodingDelay, Figure15aShape)
     PropagationErrorConfig config;
     config.repetitions = 500;
     const auto at_half = simulateHashEncodingErrors(0.5, config);
-    EXPECT_LT(at_half.maxMs, 4.5);
+    EXPECT_LT(at_half.max, 4.5_ms);
 
     const auto at_90 = simulateHashEncodingErrors(0.9, config);
-    EXPECT_GT(at_90.maxMs, at_half.maxMs);
-    EXPECT_GT(at_90.maxMs, 3.9);
-    EXPECT_LT(at_90.maxMs, 40.0);
+    EXPECT_GT(at_90.max, at_half.max);
+    EXPECT_GT(at_90.max, 3.9_ms);
+    EXPECT_LT(at_90.max, 40.0_ms);
 }
 
 TEST(HashEncodingDelay, MeanBelowMax)
@@ -120,8 +124,8 @@ TEST(HashEncodingDelay, MeanBelowMax)
     PropagationErrorConfig config;
     config.repetitions = 300;
     const auto dist = simulateHashEncodingErrors(0.85, config);
-    EXPECT_LE(dist.minMs, dist.meanMs);
-    EXPECT_LE(dist.meanMs, dist.maxMs);
+    EXPECT_LE(dist.min, dist.mean);
+    EXPECT_LE(dist.mean, dist.max);
 }
 
 TEST(NetworkBerDelay, Figure15bShape)
@@ -131,12 +135,12 @@ TEST(NetworkBerDelay, Figure15bShape)
     PropagationErrorConfig config;
     config.repetitions = 1'000;
     const auto high = simulateNetworkBerDelay(1e-4, config);
-    EXPECT_GT(high.maxMs, 0.2);
-    EXPECT_LE(high.maxMs, 1.0);
+    EXPECT_GT(high.max, 0.2_ms);
+    EXPECT_LE(high.max, 1.0_ms);
 
     const auto low = simulateNetworkBerDelay(1e-6, config);
-    EXPECT_LE(low.maxMs, 0.3);
-    EXPECT_LE(low.meanMs, high.meanMs);
+    EXPECT_LE(low.max, 0.3_ms);
+    EXPECT_LE(low.mean, high.mean);
 }
 
 TEST(NetworkBerDelay, NetworkErrorsHurtMoreButRarer)
@@ -148,7 +152,7 @@ TEST(NetworkBerDelay, NetworkErrorsHurtMoreButRarer)
     config.repetitions = 400;
     const auto network = simulateNetworkBerDelay(1e-4, config);
     const auto encoding = simulateHashEncodingErrors(0.9, config);
-    EXPECT_LT(network.maxMs, encoding.maxMs);
+    EXPECT_LT(network.max, encoding.max);
 }
 
 } // namespace

@@ -86,9 +86,9 @@ TEST(Stimulation, PowerNearPaperDacFigure)
     StimulationController controller;
     const auto pattern = seizureArrestPattern({0, 1, 2, 3});
     EXPECT_TRUE(controller.validate(pattern).empty());
-    const double mw = controller.powerMw(pattern);
-    EXPECT_GT(mw, 0.5);
-    EXPECT_LT(mw, 1.2);
+    const units::Milliwatts power = controller.power(pattern);
+    EXPECT_GT(power.count(), 0.5);
+    EXPECT_LT(power.count(), 1.2);
 }
 
 TEST(Stimulation, IssueCountsOnlyValidPatterns)
@@ -123,6 +123,8 @@ TEST(Stimulation, PresetPatternsAreSafe)
 namespace scalo::sim {
 namespace {
 
+using namespace units::literals;
+
 TEST(PipelineSim, SustainablePipelineHasFixedLatency)
 {
     // FFT(4) + SVM(1.67) + THR(0.06) at a 4 ms cadence: every stage
@@ -131,14 +133,15 @@ TEST(PipelineSim, SustainablePipelineHasFixedLatency)
                           {{hw::PeKind::FFT, 96.0, 1},
                            {hw::PeKind::SVM, 96.0, 1},
                            {hw::PeKind::THR, 96.0, 1}});
-    const auto result = simulatePipeline(pipeline, 200, 4.0);
+    const auto result = simulatePipeline(pipeline, 200, 4.0_ms);
     EXPECT_TRUE(result.sustainable);
     EXPECT_EQ(result.windowsOut, 200u);
-    EXPECT_NEAR(result.lastLatencyMs, 4.0 + 1.67 + 0.06, 1e-9);
+    EXPECT_NEAR(result.lastLatency.count(), 4.0 + 1.67 + 0.06,
+                1e-9);
     // The FFT stage is fully busy at this cadence.
     EXPECT_NEAR(result.stageUtilization[0], 1.0, 0.02);
     EXPECT_LT(result.stageUtilization[2], 0.05);
-    EXPECT_GT(result.energyMj, 0.0);
+    EXPECT_GT(result.energy.count(), 0.0);
 }
 
 TEST(PipelineSim, OversubscribedStageBacklogsForever)
@@ -147,20 +150,20 @@ TEST(PipelineSim, OversubscribedStageBacklogsForever)
     // keep up and the latency of later windows grows without bound.
     hw::Pipeline pipeline("detect", {{hw::PeKind::FFT, 96.0, 1},
                                      {hw::PeKind::SVM, 96.0, 1}});
-    const auto result = simulatePipeline(pipeline, 300, 2.0);
+    const auto result = simulatePipeline(pipeline, 300, 2.0_ms);
     EXPECT_FALSE(result.sustainable);
-    EXPECT_GT(result.lastLatencyMs, 100.0);
-    EXPECT_GT(result.lastLatencyMs, result.meanLatencyMs);
+    EXPECT_GT(result.lastLatency, 100.0_ms);
+    EXPECT_GT(result.lastLatency, result.meanLatency);
 }
 
 TEST(PipelineSim, FasterCadenceRaisesUtilizationAndEnergyRate)
 {
     hw::Pipeline pipeline("hash", {{hw::PeKind::HCONV, 96.0, 1}});
-    const auto slow = simulatePipeline(pipeline, 100, 8.0);
-    const auto fast = simulatePipeline(pipeline, 100, 2.0);
+    const auto slow = simulatePipeline(pipeline, 100, 8.0_ms);
+    const auto fast = simulatePipeline(pipeline, 100, 2.0_ms);
     EXPECT_GT(fast.stageUtilization[0], slow.stageUtilization[0]);
     // Same work -> same busy energy, independent of cadence.
-    EXPECT_NEAR(fast.energyMj, slow.energyMj, 1e-9);
+    EXPECT_NEAR(fast.energy.count(), slow.energy.count(), 1e-9);
 }
 
 } // namespace
@@ -187,11 +190,11 @@ TEST(NetworkPlan, SlotsAreOrderedAndSized)
     for (const auto &slot : plan.slots) {
         EXPECT_EQ(slot.flow, "hash-similarity");
         EXPECT_GT(slot.payloadBytes, 0u);
-        EXPECT_GT(slot.endMs, slot.startMs);
+        EXPECT_GT(slot.end, slot.start);
     }
     // The round respects the flow's exchange budget.
-    EXPECT_LE(plan.roundMs,
-              flows[1].network->roundBudgetMs + 1e-6);
+    EXPECT_LE(plan.round, flows[1].network->roundBudget +
+                              units::Millis{1e-6});
     // The rendering mentions every sender.
     const auto text = renderPlan(plan);
     EXPECT_NE(text.find("node 0"), std::string::npos);

@@ -1,0 +1,161 @@
+#include "scalo/units/units.hpp"
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace scalo::units;
+using namespace scalo::units::literals;
+
+// ---------------------------------------------------------------------
+// Compile-time suite: the misuse classes the library must reject, and
+// the conversions it must allow, checked with static_assert so a
+// regression fails the *build*, not a test at runtime.
+// ---------------------------------------------------------------------
+
+// A bare double is not a quantity: f(4.0) where f takes Millis must
+// not compile (the deliberate "ms-for-s" raw-number misuse).
+static_assert(!std::is_convertible_v<double, Millis>);
+static_assert(!std::is_convertible_v<double, Seconds>);
+static_assert(!std::is_convertible_v<double, Milliwatts>);
+static_assert(!std::is_convertible_v<double, Bytes>);
+static_assert(!std::is_convertible_v<int, Millis>);
+
+// Cross-dimension conversions never compile.
+static_assert(!std::is_convertible_v<Megahertz, Millis>);
+static_assert(!std::is_convertible_v<Milliwatts, Millijoules>);
+static_assert(!std::is_convertible_v<Bytes, Millis>);
+static_assert(!std::is_convertible_v<MegabitsPerSecond, Megahertz>);
+static_assert(!std::is_convertible_v<Celsius, Milliwatts>);
+static_assert(!std::is_constructible_v<Seconds, Megahertz>);
+
+// Same-dimension rescale is implicit (the fix for ms-vs-s: passing
+// seconds where milliseconds are expected converts, never truncates).
+static_assert(std::is_convertible_v<Seconds, Millis>);
+static_assert(std::is_convertible_v<Millis, Seconds>);
+static_assert(std::is_convertible_v<Bytes, Bits>);
+static_assert(std::is_convertible_v<Gigabytes, Mebibytes>);
+
+// Dimensional arithmetic has the right result types.
+static_assert(
+    std::is_same_v<decltype(1.0_mW * 1.0_ms)::dimension, DimEnergy>);
+static_assert(
+    std::is_same_v<decltype(1.0_B / 1.0_Mbps)::dimension, DimTime>);
+static_assert(
+    std::is_same_v<decltype(1.0_mJ / 1.0_ms)::dimension, DimPower>);
+static_assert(
+    std::is_same_v<decltype(1.0 / 1.0_MHz)::dimension, DimTime>);
+static_assert(
+    std::is_same_v<decltype(1.0_Hz * 1.0_s), double>);
+static_assert(std::is_same_v<decltype(4.0_ms / 2.0_ms), double>);
+
+// Exact compile-time values.
+static_assert((4.0_ms).count() == 4.0);
+static_assert(Millis(4.0_s).count() == 4000.0);
+static_assert(Seconds(250.0_ms).count() == 0.25);
+static_assert(Bits(2.0_B).count() == 16.0);
+static_assert((1.0_MiB).in<Bytes>() == 1024.0 * 1024.0);
+static_assert((1.0_mWh).in<Joules>() == 3.6);
+static_assert((15.0_mW) == (0.015_W));
+static_assert((2.0_ms) < (1.0_s));
+static_assert((1.0_s) + (500.0_ms) == (1.5_s));
+
+TEST(Units, LiteralsAndConversions)
+{
+    const Millis window = 4.0_ms;
+    EXPECT_DOUBLE_EQ(window.count(), 4.0);
+    EXPECT_DOUBLE_EQ(window.in<Seconds>(), 0.004);
+    EXPECT_DOUBLE_EQ(window.in<Micros>(), 4'000.0);
+
+    const Seconds s = window; // implicit rescale
+    EXPECT_DOUBLE_EQ(s.count(), 0.004);
+
+    EXPECT_DOUBLE_EQ(Bytes(46.08_Mbps * 1.0_s).count(), 5'760'000.0);
+    EXPECT_DOUBLE_EQ((1.0_GB).in<Megabytes>(), 1'000.0);
+    EXPECT_DOUBLE_EQ((1.0_KiB).in<Bytes>(), 1'024.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy)
+{
+    // 15 mW for 2 hours = 30 mWh = 108 J.
+    const auto energy = 15.0_mW * 2.0_h;
+    EXPECT_DOUBLE_EQ(Joules(energy).count(), 108.0);
+    EXPECT_DOUBLE_EQ(energy.in<MilliwattHours>(), 30.0);
+
+    // 1.71 mW over 0.25 ms = 427.5 nJ.
+    EXPECT_NEAR(Nanojoules(1.71_mW * 0.25_ms).count(), 427.5, 1e-9);
+}
+
+TEST(Units, DataOverRateIsTime)
+{
+    // 256 B over 7 Mbps: 2048 bits / 7e6 bps = 292.57 us.
+    const Millis t = 256.0_B / 7.0_Mbps;
+    EXPECT_NEAR(t.in<Micros>(), 2'048.0 / 7.0, 1e-9);
+
+    // Inverse: bits / time -> rate.
+    const MegabitsPerSecond rate = 5'760'000.0_B / 1.0_s;
+    EXPECT_DOUBLE_EQ(rate.count(), 46.08);
+}
+
+TEST(Units, FrequencyPeriod)
+{
+    const Micros period = 1.0 / 20.0_MHz;
+    EXPECT_DOUBLE_EQ(period.count(), 0.05);
+    EXPECT_DOUBLE_EQ(30.0_kHz * 1.0_s, 30'000.0);
+}
+
+TEST(Units, SameDimensionQuotientIsPlainDouble)
+{
+    EXPECT_DOUBLE_EQ(8.0_ms / 2.0_ms, 4.0);
+    // Residual scale is applied: 1 Mbps / 1 bps = 1e6.
+    EXPECT_DOUBLE_EQ(1.0_Mbps / 1.0_bps, 1e6);
+    EXPECT_DOUBLE_EQ(1.0_s / 250.0_ms, 4.0);
+}
+
+TEST(Units, ArithmeticAndComparisons)
+{
+    Millis t = 1.0_ms;
+    t += 500.0_us;
+    EXPECT_DOUBLE_EQ(t.count(), 1.5);
+    t -= 0.5_ms;
+    EXPECT_DOUBLE_EQ(t.count(), 1.0);
+    t *= 3.0;
+    EXPECT_DOUBLE_EQ(t.count(), 3.0);
+    t /= 2.0;
+    EXPECT_DOUBLE_EQ(t.count(), 1.5);
+
+    EXPECT_TRUE(999.0_us < 1.0_ms);
+    EXPECT_TRUE(1.0_s > 999.0_ms);
+    EXPECT_TRUE(1.0_ms <= 1'000.0_us);
+    EXPECT_TRUE(1.0_ms >= 1'000.0_us);
+    EXPECT_TRUE(1.0_ms != 1.0_s);
+
+    EXPECT_DOUBLE_EQ(scalo::units::abs(-3.0_ms).count(), 3.0);
+    EXPECT_DOUBLE_EQ(scalo::units::min(2.0_ms, 1.0_s).count(), 2.0);
+    EXPECT_DOUBLE_EQ(scalo::units::max(2.0_ms, 1.0_s).count(),
+                     1'000.0);
+}
+
+TEST(Units, UnitCast)
+{
+    EXPECT_DOUBLE_EQ(unit_cast<Micros>(4.0_ms).count(), 4'000.0);
+    EXPECT_DOUBLE_EQ(unit_cast<Milliwatts>(500.0_uW).count(), 0.5);
+}
+
+#ifdef SCALO_NEGATIVE_COMPILE_TEST
+// Each of these is a deliberate unit bug; enabling the macro must
+// break the build. (Exercised by ci/check.sh as a negative test.)
+void
+negativeCompile()
+{
+    Millis bad_raw = 4.0;             // raw double into a time
+    Seconds bad_dim = 4.0_MHz;        // frequency into a time
+    Milliwatts bad_energy = 1.0_mJ;   // energy into a power
+    double bad_out = 4.0_ms;          // quantity into a raw double
+    (void)bad_raw, (void)bad_dim, (void)bad_energy, (void)bad_out;
+}
+#endif
+
+} // namespace
