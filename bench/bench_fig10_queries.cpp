@@ -8,7 +8,7 @@
  * exact DTW drops to 8 QPS but needs 15 mW instead of 3.57 mW.
  */
 
-#include <chrono>
+#include <numbers>
 
 #include "bench_util.hpp"
 #include "scalo/app/query.hpp"
@@ -72,7 +72,6 @@ main()
     // sequential scan vs bucket index + thread pool. Match sets are
     // identical by construction (candidates are confirmed against
     // full signatures); only windows touched and wall-clock change.
-    using clock = std::chrono::steady_clock;
     constexpr std::size_t kNodes = 8;
     constexpr std::size_t kSamples = 120;
     constexpr std::uint64_t kPerNode = 4'000;
@@ -82,7 +81,7 @@ main()
     // A 6 Hz seizure-shaped template, as in the Q2 clinical story.
     std::vector<double> probe_shape(kSamples);
     for (std::size_t i = 0; i < kSamples; ++i)
-        probe_shape[i] = std::sin(2.0 * M_PI * 6.0 *
+        probe_shape[i] = std::sin(2.0 * std::numbers::pi * 6.0 *
                                   static_cast<double>(i) /
                                   static_cast<double>(kSamples));
     for (NodeId node = 0; node < kNodes; ++node) {
@@ -110,22 +109,11 @@ main()
         app::Query::q2(0, kPerNode * 4'000, probe_shape);
 
     const auto timed = [&](const app::Query &query) {
-        app::QueryExecution best;
-        double best_ms = 1e300;
-        for (int rep = 0; rep < 5; ++rep) {
-            const auto start = clock::now();
-            auto result = engine.execute(query);
-            const double ms =
-                std::chrono::duration<double, std::milli>(
-                    clock::now() - start)
-                    .count();
-            if (ms < best_ms) {
-                best_ms = ms;
-                best = std::move(result);
-            }
-        }
-        best.wall = units::Millis{best_ms};
-        return best;
+        app::QueryExecution result;
+        const double best_ms = bench::bestOfN(
+            5, [&] { result = engine.execute(query); });
+        result.wall = units::Millis{best_ms};
+        return result;
     };
 
     // At least 4 workers even on narrow hosts: shards overlap their

@@ -113,5 +113,22 @@ main()
         }
         std::printf("best agreement: %.3f\n\n", best);
     }
+
+    // Hashing throughput at the default parameters: the figure's
+    // usable regions are only practical because a signature is cheap.
+    const std::size_t n = constants::kWindowSamples;
+    const lsh::SshHasher hasher(lsh::SshParams{});
+    Rng rng(0x7157);
+    std::vector<std::vector<double>> windows_in;
+    for (int i = 0; i < 256; ++i)
+        windows_in.push_back(bench::baseWindow(n, rng));
+    const double ms = bench::medianOfN(7, [&] {
+        for (const auto &w : windows_in)
+            (void)hasher.signature(w);
+    });
+    std::printf("SSH signature throughput: %.0f windows/s "
+                "(median of 7 x %zu windows)\n",
+                static_cast<double>(windows_in.size()) * 1e3 / ms,
+                windows_in.size());
     return 0;
 }

@@ -13,13 +13,17 @@
 #include "scalo/compress/range_coder.hpp"
 #include "scalo/util/aes.hpp"
 #include "scalo/ilp/solver.hpp"
+#include "scalo/linalg/kernels.hpp"
 #include "scalo/linalg/matrix.hpp"
+#include "scalo/linalg/reference.hpp"
 #include "scalo/lsh/emd_hash.hpp"
 #include "scalo/lsh/ssh.hpp"
 #include "scalo/ml/kalman.hpp"
 #include "scalo/signal/butterworth.hpp"
 #include "scalo/signal/distance.hpp"
 #include "scalo/signal/fft.hpp"
+#include "scalo/signal/fft_plan.hpp"
+#include "scalo/signal/reference.hpp"
 
 namespace {
 
@@ -39,13 +43,48 @@ BM_Fft128(benchmark::State &state)
     Rng rng(1);
     for (auto &x : data)
         x = {rng.gaussian(), 0.0};
+    const auto plan = signal::FftPlan::forSize(128);
+    std::vector<std::complex<double>> copy(128);
     for (auto _ : state) {
-        auto copy = data;
-        signal::fft(copy);
+        copy = data;
+        plan->forward(copy);
         benchmark::DoNotOptimize(copy);
     }
 }
 BENCHMARK(BM_Fft128);
+
+void
+BM_Rfft128(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<double> data(128);
+    for (auto &x : data)
+        x = rng.gaussian();
+    const auto plan = signal::FftPlan::forSize(128);
+    std::vector<std::complex<double>> spectrum(65);
+    std::vector<std::complex<double>> scratch;
+    for (auto _ : state) {
+        plan->rfft(data.data(), spectrum.data(), scratch);
+        benchmark::DoNotOptimize(spectrum);
+    }
+}
+BENCHMARK(BM_Rfft128);
+
+void
+BM_BandPowerScratch(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto input = bench::baseWindow(96, rng);
+    const std::vector<signal::Band> bands{
+        {1.0, 4.0}, {4.0, 8.0}, {8.0, 13.0}, {13.0, 30.0}};
+    signal::SpectrumScratch scratch;
+    std::vector<double> powers;
+    for (auto _ : state) {
+        signal::bandPower(input, 250.0, bands, scratch, powers);
+        benchmark::DoNotOptimize(powers);
+    }
+}
+BENCHMARK(BM_BandPowerScratch);
 
 void
 BM_Butterworth(benchmark::State &state)
@@ -64,10 +103,108 @@ BM_DtwBanded(benchmark::State &state)
 {
     const auto a = window120(3);
     const auto b = window120(4);
+    signal::DtwScratch scratch;
     for (auto _ : state)
-        benchmark::DoNotOptimize(signal::dtwDistance(a, b, 12));
+        benchmark::DoNotOptimize(
+            signal::dtwDistance(a, b, 12, scratch));
 }
 BENCHMARK(BM_DtwBanded);
+
+void
+BM_DtwBandedNaive(benchmark::State &state)
+{
+    const auto a = window120(3);
+    const auto b = window120(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            signal::reference::naiveDtw(a, b, 12));
+}
+BENCHMARK(BM_DtwBandedNaive);
+
+void
+BM_DtwEarlyAbandon(benchmark::State &state)
+{
+    // Dissimilar windows with a tight cutoff: the common case on the
+    // candidate-verification path, where most candidates abandon in
+    // the first few rows.
+    const auto a = window120(3);
+    const auto b = window120(4);
+    signal::DtwScratch scratch;
+    const double cutoff =
+        0.25 * signal::dtwDistance(a, b, 12, scratch);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(signal::dtwDistanceEarlyAbandon(
+            a, b, 12, cutoff, scratch));
+}
+BENCHMARK(BM_DtwEarlyAbandon);
+
+void
+BM_EuclideanBatch64(benchmark::State &state)
+{
+    const auto query = window120(3);
+    std::vector<std::vector<double>> windows;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        windows.push_back(window120(100 + i));
+    std::vector<const std::vector<double> *> candidates;
+    for (const auto &w : windows)
+        candidates.push_back(&w);
+    std::vector<double> out;
+    for (auto _ : state) {
+        signal::euclideanDistanceMany(query, candidates, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_EuclideanBatch64);
+
+void
+BM_EuclideanPerPair64(benchmark::State &state)
+{
+    const auto query = window120(3);
+    std::vector<std::vector<double>> windows;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        windows.push_back(window120(100 + i));
+    std::vector<double> out(windows.size());
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < windows.size(); ++i)
+            out[i] = signal::reference::naiveEuclidean(query,
+                                                       windows[i]);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_EuclideanPerPair64);
+
+void
+BM_MatMul64(benchmark::State &state)
+{
+    Rng rng(12);
+    linalg::Matrix a(64, 64), b(64, 64), out;
+    for (std::size_t r = 0; r < 64; ++r)
+        for (std::size_t c = 0; c < 64; ++c) {
+            a.at(r, c) = rng.gaussian();
+            b.at(r, c) = rng.gaussian();
+        }
+    for (auto _ : state) {
+        linalg::mulInto(a, b, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_MatMul64);
+
+void
+BM_MatMul64Naive(benchmark::State &state)
+{
+    Rng rng(12);
+    linalg::Matrix a(64, 64), b(64, 64);
+    for (std::size_t r = 0; r < 64; ++r)
+        for (std::size_t c = 0; c < 64; ++c) {
+            a.at(r, c) = rng.gaussian();
+            b.at(r, c) = rng.gaussian();
+        }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            linalg::reference::naiveMul(a, b));
+}
+BENCHMARK(BM_MatMul64Naive);
 
 void
 BM_SshSignature(benchmark::State &state)

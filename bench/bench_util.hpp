@@ -1,13 +1,18 @@
 /**
  * @file
  * Shared helpers for the benchmark harness: signal-pair generation at
- * controlled similarity (for the LSH experiments) and banner output.
+ * controlled similarity (for the LSH experiments), banner output, and
+ * the steady-clock Timer / repeated-measurement reducers used by the
+ * figure benches that report wall-clock numbers.
  */
 
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <numbers>
 #include <string>
 #include <vector>
 
@@ -16,6 +21,64 @@
 #include "scalo/util/rng.hpp"
 
 namespace scalo::bench {
+
+/** Steady-clock stopwatch: starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds since construction (or the last reset()). */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    void reset() { start = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Run @p fn @p reps times and return the median wall-clock
+ * milliseconds — robust to scheduler noise in both directions, which
+ * best-of misses (it systematically reports the luckiest run).
+ */
+template <typename Fn>
+double
+medianOfN(int reps, Fn &&fn)
+{
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int rep = 0; rep < reps; ++rep) {
+        Timer timer;
+        fn();
+        samples.push_back(timer.elapsedMs());
+    }
+    std::sort(samples.begin(), samples.end());
+    const std::size_t mid = samples.size() / 2;
+    if (samples.size() % 2 == 1)
+        return samples[mid];
+    return 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/** Run @p fn @p reps times and return the fastest milliseconds. */
+template <typename Fn>
+double
+bestOfN(int reps, Fn &&fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        Timer timer;
+        fn();
+        best = std::min(best, timer.elapsedMs());
+    }
+    return best;
+}
 
 /** Print the figure/table banner with the paper's reference claims. */
 inline void
@@ -34,15 +97,15 @@ baseWindow(std::size_t n, Rng &rng)
     std::vector<double> out(n);
     const double f1 = rng.uniform(2.0, 10.0);
     const double f2 = rng.uniform(10.0, 30.0);
-    const double p1 = rng.uniform(0.0, 2.0 * M_PI);
-    const double p2 = rng.uniform(0.0, 2.0 * M_PI);
+    const double p1 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double p2 = rng.uniform(0.0, 2.0 * std::numbers::pi);
     double lp = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         const double x = static_cast<double>(i) /
                          static_cast<double>(n);
         lp = 0.9 * lp + 0.3 * rng.gaussian();
-        out[i] = std::sin(2.0 * M_PI * f1 * x + p1) +
-                 0.5 * std::sin(2.0 * M_PI * f2 * x + p2) + lp;
+        out[i] = std::sin(2.0 * std::numbers::pi * f1 * x + p1) +
+                 0.5 * std::sin(2.0 * std::numbers::pi * f2 * x + p2) + lp;
     }
     signal::removeMean(out);
     const double scale = signal::rms(out);

@@ -7,6 +7,11 @@
 #   ci/check.sh strict     -Werror -Wconversion build of the library
 #   ci/check.sh negative   units misuse must FAIL to compile
 #   ci/check.sh tidy       clang-tidy over the library (skips if absent)
+#   ci/check.sh bench      run bench_micro_kernels, refresh the
+#                          BENCH_kernels.json baseline, and report
+#                          regressions vs the committed one
+#                          (SCALO_BENCH_TOLERANCE, default 0.25;
+#                          report-only, never fails the build)
 #
 # Gates are independent build trees (build-ci-*) so the developer's
 # ./build is never touched.
@@ -86,6 +91,37 @@ gate_negative() {
     echo "unit misuse rejected with $errors compile errors (>=4 expected)"
 }
 
+gate_bench() {
+    # Perf trajectory, not a pass/fail gate: build the microbenches at
+    # the tier-1 optimization level, dump JSON, diff against the
+    # committed baseline, then refresh the working-tree baseline so a
+    # deliberate perf change is committed alongside the code.
+    local dir="$ROOT/build-ci-bench"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" --target bench_micro_kernels ||
+        return 1
+
+    local fresh="$dir/BENCH_kernels.json"
+    "$dir/bench/bench_micro_kernels" \
+        --benchmark_format=console \
+        --benchmark_out="$fresh" \
+        --benchmark_out_format=json || return 1
+
+    # Compare against the baseline as committed, not the working tree,
+    # so re-running the gate never compares a file with itself.
+    local committed="$dir/BENCH_kernels.committed.json"
+    if git -C "$ROOT" show HEAD:BENCH_kernels.json \
+        >"$committed" 2>/dev/null; then
+        python3 "$ROOT/ci/compare_bench.py" "$committed" "$fresh" \
+            --tolerance "${SCALO_BENCH_TOLERANCE:-0.25}" || return 1
+    else
+        echo "no committed BENCH_kernels.json baseline; creating one"
+    fi
+    cp "$fresh" "$ROOT/BENCH_kernels.json"
+    echo "refreshed BENCH_kernels.json (commit it to move the baseline)"
+}
+
 gate_tidy() {
     if ! command -v clang-tidy >/dev/null 2>&1; then
         echo "clang-tidy not installed; skipping (gate passes vacuously)"
@@ -106,15 +142,17 @@ main() {
     strict) run_gate strict gate_strict ;;
     negative) run_gate negative gate_negative ;;
     tidy) run_gate tidy gate_tidy ;;
+    bench) run_gate bench gate_bench ;;
     all)
         run_gate tier1 gate_tier1
         run_gate sanitize gate_sanitize
         run_gate strict gate_strict
         run_gate negative gate_negative
         run_gate tidy gate_tidy
+        run_gate bench gate_bench
         ;;
     *)
-        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|all]"
+        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|all]"
         exit 2
         ;;
     esac

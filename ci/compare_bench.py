@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON dumps (baseline vs current).
+
+Report-only by default: regressions beyond the tolerance are printed
+loudly but the exit code stays 0, so a noisy CI machine can never turn
+the perf trajectory into a flaky gate. Pass --strict to make
+regressions exit non-zero (for local use on a quiet machine).
+
+    ci/compare_bench.py BENCH_kernels.json fresh.json --tolerance 0.25
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """Map benchmark name -> real time in ns.
+
+    With --benchmark_repetitions the dump holds both per-repetition
+    entries and aggregates; prefer the median aggregate when present.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    plain, medians = {}, {}
+    for entry in data.get("benchmarks", []):
+        scale = _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        time_ns = entry["real_time"] * scale
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[entry["run_name"]] = time_ns
+        else:
+            plain.setdefault(entry["name"], time_ns)
+    plain.update(medians)
+    return plain
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative slowdown tolerated before a benchmark is "
+        "flagged as regressed (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 when any benchmark regressed (default: report only)",
+    )
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    curr = load_times(args.current)
+
+    regressed, improved = [], []
+    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name in sorted(base):
+        if name not in curr:
+            print(f"{name:<28} {base[name]:>10.0f}ns {'MISSING':>12}")
+            regressed.append(name)
+            continue
+        ratio = curr[name] / base[name] if base[name] > 0 else float("inf")
+        mark = ""
+        if ratio > 1.0 + args.tolerance:
+            mark = "  REGRESSED"
+            regressed.append(name)
+        elif ratio < 1.0 - args.tolerance:
+            mark = "  improved"
+            improved.append(name)
+        print(
+            f"{name:<28} {base[name]:>10.0f}ns {curr[name]:>10.0f}ns "
+            f"{ratio:>6.2f}x{mark}"
+        )
+    for name in sorted(set(curr) - set(base)):
+        print(f"{name:<28} {'NEW':>12} {curr[name]:>10.0f}ns")
+
+    print(
+        f"\n{len(regressed)} regressed / {len(improved)} improved "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    if regressed:
+        print("regressed:", ", ".join(regressed))
+        if args.strict:
+            return 2
+        print("(report-only mode: not failing the build)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

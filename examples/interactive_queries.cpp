@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <numbers>
 
 #include "scalo/app/query.hpp"
 #include "scalo/app/query_engine.hpp"
@@ -25,7 +26,8 @@ seizureShape(std::size_t n, scalo::Rng &noise)
 {
     std::vector<double> out(n);
     for (std::size_t i = 0; i < n; ++i)
-        out[i] = std::sin(2.0 * M_PI * 6.0 * static_cast<double>(i) /
+        out[i] = std::sin(2.0 * std::numbers::pi * 6.0 *
+                          static_cast<double>(i) /
                           static_cast<double>(n)) +
                  noise.gaussian(0.0, 0.05);
     return out;

@@ -1,6 +1,7 @@
 #include "scalo/app/movement.hpp"
 
 #include <cmath>
+#include <numbers>
 
 #include "scalo/net/tdma.hpp"
 #include "scalo/signal/distance.hpp"
@@ -38,8 +39,9 @@ generateMovement(std::size_t channels, std::size_t steps,
 
         // Gesture = direction sector (only meaningful when moving).
         const double angle = std::atan2(vy, vx); // [-pi, pi]
-        const double sector =
-            (angle + M_PI) / (2.0 * M_PI) * gesture_classes;
+        const double sector = (angle + std::numbers::pi) /
+                              (2.0 * std::numbers::pi) *
+                              gesture_classes;
         dataset.gesture.push_back(
             std::min(gesture_classes - 1,
                      static_cast<int>(sector)));

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "scalo/signal/distance.hpp"
 #include "scalo/util/types.hpp"
 
 namespace scalo::app {
@@ -56,10 +57,21 @@ struct Query
     std::vector<double> probe;
 
     /**
-     * Exact-DTW confirmation threshold for probe matches; negative
-     * skips DTW and matches on hashes alone.
+     * Exact confirmation threshold for probe matches (in units of
+     * the configured @ref confirmMeasure); negative skips exact
+     * confirmation and matches on hashes alone.
      */
     double dtwThreshold = -1.0;
+
+    /**
+     * Distance used for exact probe confirmation. DTW runs the
+     * banded early-abandon kernel per candidate; Euclidean batches
+     * all surviving candidates through one
+     * signal::euclideanDistanceMany() call (the DTW PE with band = 1
+     * degenerates to Euclidean, so the modeled cost is unchanged).
+     * Only Dtw and Euclidean are valid here.
+     */
+    signal::Measure confirmMeasure = signal::Measure::Dtw;
 
     /**
      * Probe path only: prefilter through the LSH hashes. With the
@@ -95,13 +107,15 @@ struct Query
      */
     static Query
     q2(std::uint64_t t0_us, std::uint64_t t1_us,
-       std::vector<double> probe_window, double dtw_threshold = -1.0)
+       std::vector<double> probe_window, double dtw_threshold = -1.0,
+       signal::Measure measure = signal::Measure::Dtw)
     {
         Query query;
         query.t0Us = t0_us;
         query.t1Us = t1_us;
         query.probe = std::move(probe_window);
         query.dtwThreshold = dtw_threshold;
+        query.confirmMeasure = measure;
         // Legacy exact mode: DTW over the full range, no hashes.
         query.hashPrefilter = dtw_threshold < 0.0;
         return query;

@@ -93,6 +93,8 @@ QueryEngine::executeNode(NodeId node, const Query &query,
 
     const bool templated = !query.probe.empty();
     const bool exact = templated && query.dtwThreshold >= 0.0;
+    const bool euclidean_confirm =
+        exact && query.confirmMeasure == signal::Measure::Euclidean;
     const std::size_t sakoe_band =
         std::max<std::size_t>(1, windowSamples / 10);
 
@@ -110,6 +112,11 @@ QueryEngine::executeNode(NodeId node, const Query &query,
     if (via_index)
         partial.stats.bucketHits = touched.size();
 
+    // This shard's scratch: one rolling-row workspace reused across
+    // every DTW confirmation below, and a deferred candidate list for
+    // the batched Euclidean confirmation.
+    signal::DtwScratch dtw_scratch;
+    std::vector<const StoredWindow *> confirm;
     for (const StoredWindow *window : touched) {
         if (query.seizureOnly && !window->seizureFlagged)
             continue;
@@ -117,15 +124,39 @@ QueryEngine::executeNode(NodeId node, const Query &query,
             if (query.hashPrefilter &&
                 !probe_hash.matches(window->hash))
                 continue;
+            if (euclidean_confirm) {
+                confirm.push_back(window);
+                continue;
+            }
             if (exact) {
                 ++partial.stats.dtwComparisons;
-                if (signal::dtwDistance(query.probe, window->samples,
-                                        sakoe_band) >
+                // Abandoned rows return a lower bound that is already
+                // above the cutoff, so the threshold decision — the
+                // only thing consulted — is exact.
+                if (signal::dtwDistanceEarlyAbandon(
+                        query.probe, window->samples, sakoe_band,
+                        query.dtwThreshold, dtw_scratch) >
                     query.dtwThreshold)
                     continue;
             }
         }
         partial.matches.push_back(window);
+    }
+    if (!confirm.empty()) {
+        // Batched Euclidean confirmation: one fused squared-distance
+        // sweep over every surviving candidate, sqrt deferred to a
+        // single pass. Candidates stay in timestamp order, so the
+        // matches list stays sorted for the deterministic merge.
+        std::vector<const std::vector<double> *> samples;
+        samples.reserve(confirm.size());
+        for (const StoredWindow *window : confirm)
+            samples.push_back(&window->samples);
+        std::vector<double> dists;
+        signal::euclideanDistanceMany(query.probe, samples, dists);
+        partial.stats.dtwComparisons += confirm.size();
+        for (std::size_t i = 0; i < confirm.size(); ++i)
+            if (dists[i] <= query.dtwThreshold)
+                partial.matches.push_back(confirm[i]);
     }
     partial.stats.matched = partial.matches.size();
 
@@ -148,9 +179,14 @@ QueryEngine::execute(const Query &query) const
 {
     SCALO_ASSERT(query.t0Us <= query.t1Us, "empty time range");
     const bool templated = !query.probe.empty();
-    if (templated)
+    if (templated) {
         SCALO_ASSERT(query.probe.size() == windowSamples,
                      "probe size mismatch");
+        SCALO_ASSERT(query.confirmMeasure == signal::Measure::Dtw ||
+                         query.confirmMeasure ==
+                             signal::Measure::Euclidean,
+                     "confirm measure must be DTW or Euclidean");
+    }
     const lsh::Signature probe_hash =
         templated ? windowHasher.hash(query.probe)
                   : lsh::Signature();

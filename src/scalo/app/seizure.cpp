@@ -36,11 +36,15 @@ seizureFeatures(const std::vector<Window> &electrode_windows,
     std::vector<double> acc(bands.size(), 0.0);
     double rms_acc = 0.0;
     std::vector<std::vector<double>> reals;
+    // One spectral workspace for every electrode window: the FFT plan,
+    // padding and spectrum buffers are reused across the loop.
+    signal::SpectrumScratch scratch;
+    std::vector<double> powers;
     for (const Window &w : electrode_windows) {
         auto real = signal::toReal(w);
         signal::removeMean(real);
-        const auto powers =
-            signal::bandPower(real, sample_rate_hz, bands);
+        signal::bandPower(real, sample_rate_hz, bands, scratch,
+                          powers);
         for (std::size_t b = 0; b < bands.size(); ++b)
             acc[b] += powers[b];
         rms_acc += signal::rms(real);

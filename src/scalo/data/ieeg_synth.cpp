@@ -1,6 +1,7 @@
 #include "scalo/data/ieeg_synth.hpp"
 
 #include <cmath>
+#include <numbers>
 
 #include "scalo/signal/window.hpp"
 #include "scalo/util/logging.hpp"
@@ -107,7 +108,7 @@ generateIeeg(const IeegConfig &config)
     std::vector<double> seizure_freq, seizure_phase;
     for (std::size_t s = 0; s < dataset.events.size(); ++s) {
         seizure_freq.push_back(rng.uniform(3.0, 8.0));
-        seizure_phase.push_back(rng.uniform(0.0, 2.0 * M_PI));
+        seizure_phase.push_back(rng.uniform(0.0, 2.0 * std::numbers::pi));
     }
 
     // Each seizure also carries a shared broadband burst (the fast
@@ -159,7 +160,8 @@ generateIeeg(const IeegConfig &config)
                         (1.0 - 0.3 * phase_t / event.durationSec);
                     value += coupling * config.seizureAmplitude *
                              envelope *
-                             std::sin(2.0 * M_PI * seizure_freq[s] *
+                             std::sin(2.0 * std::numbers::pi *
+                                          seizure_freq[s] *
                                           (t - event.onsetLagSec[n]) +
                                       seizure_phase[s]);
                     const auto burst_index =

@@ -1,6 +1,7 @@
 #include "scalo/hw/thermal.hpp"
 
 #include <cmath>
+#include <numbers>
 
 #include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
@@ -88,7 +89,7 @@ ThermalModel::maxImplants(units::Millimetres spacing)
     // paper's 60 implants on an 86 mm-radius surface.
     const double radius_mm = constants::kBrainRadius.count();
     const double spacing_mm = spacing.count();
-    const double area = 2.0 * M_PI * radius_mm * radius_mm;
+    const double area = 2.0 * std::numbers::pi * radius_mm * radius_mm;
     const double packing = area / (60.0 * 20.0 * 20.0);
     return static_cast<std::size_t>(
         area / (packing * spacing_mm * spacing_mm));

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Allocation-free, autovectorization-friendly linear-algebra kernels:
+ * the optimized substrate under the LIN ALG PE operations and the ML
+ * forward paths (Kalman, NN, SVM).
+ *
+ * Two layers:
+ *  - fused scalar kernels over raw spans (`dot`, `axpy`, `sumAbs`):
+ *    plain contiguous loops the compiler vectorizes, with no
+ *    per-element checking;
+ *  - `*Into` matrix operations that write a caller-provided output
+ *    matrix, so steady-state pipelines (e.g. one Kalman step per
+ *    decode tick) perform no allocation.
+ *
+ * Contract convention: shapes are validated once at the API boundary
+ * with `SCALO_EXPECTS` (on in Debug/sanitizer builds, compiled out in
+ * Release), never per element inside the loops. The allocating
+ * wrappers in matrix.hpp (`add`, `mul`, ...) keep their always-on
+ * `SCALO_ASSERT` shape checks and forward here.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "scalo/linalg/matrix.hpp"
+
+namespace scalo::linalg {
+
+/** Dot product over @p n contiguous elements. */
+double dot(const double *a, const double *b, std::size_t n);
+
+/** y += alpha * x over @p n contiguous elements. */
+void axpy(double alpha, const double *x, double *y, std::size_t n);
+
+/** Sum of |x[i]| over @p n contiguous elements. */
+double sumAbs(const double *x, std::size_t n);
+
+/** Sum of x[i] over @p n contiguous elements. */
+double sum(const double *x, std::size_t n);
+
+/**
+ * y = A x: dense matrix-vector product.
+ * @pre x has a.cols() elements, y has a.rows() (y must not alias x).
+ */
+void matVec(const Matrix &a, const double *x, double *y);
+
+/**
+ * out = a * b. @p out is resized to a.rows() x b.cols(); its previous
+ * contents are discarded. @p out must not alias @p a or @p b.
+ */
+void mulInto(const Matrix &a, const Matrix &b, Matrix &out);
+
+/**
+ * out = a * b^T without materialising the transpose (row-dot-row, the
+ * pattern behind A P A^T / H P H^T in the Kalman step). @p out is
+ * resized to a.rows() x b.rows() and must not alias the inputs.
+ */
+void mulTransposedInto(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** out = a + b (out may alias a or b). */
+void addInto(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** out = a - b (out may alias a or b). */
+void subInto(const Matrix &a, const Matrix &b, Matrix &out);
+
+/**
+ * out = m^-1 via Gauss-Jordan with partial pivoting, using
+ * @p aug_scratch as the augmented [M | I] workspace (resized to
+ * n x 2n). @throws via SCALO_FATAL if the matrix is singular.
+ */
+void inverseInto(const Matrix &m, Matrix &aug_scratch, Matrix &out);
+
+} // namespace scalo::linalg

@@ -1,14 +1,17 @@
 #include "scalo/linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "scalo/linalg/kernels.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
-    : nRows(rows), nCols(cols), data(rows * cols, 0.0)
+    : nRows(rows), nCols(cols), storage(rows * cols, 0.0)
 {
 }
 
@@ -16,11 +19,11 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init)
 {
     nRows = init.size();
     nCols = nRows ? init.begin()->size() : 0;
-    data.reserve(nRows * nCols);
+    storage.reserve(nRows * nCols);
     for (const auto &row : init) {
         SCALO_ASSERT(row.size() == nCols, "ragged initializer row");
         for (double v : row)
-            data.push_back(v);
+            storage.push_back(v);
     }
 }
 
@@ -29,7 +32,7 @@ Matrix::identity(std::size_t n)
 {
     Matrix m(n, n);
     for (std::size_t i = 0; i < n; ++i)
-        m.at(i, i) = 1.0;
+        m.storage[i * n + i] = 1.0;
     return m;
 }
 
@@ -38,7 +41,7 @@ Matrix::columnVector(const std::vector<double> &values)
 {
     Matrix m(values.size(), 1);
     for (std::size_t i = 0; i < values.size(); ++i)
-        m.at(i, 0) = values[i];
+        m.storage[i] = values[i];
     return m;
 }
 
@@ -47,7 +50,7 @@ Matrix::at(std::size_t r, std::size_t c)
 {
     SCALO_ASSERT(r < nRows && c < nCols, "index (", r, ",", c,
                  ") out of ", nRows, "x", nCols);
-    return data[r * nCols + c];
+    return storage[r * nCols + c];
 }
 
 double
@@ -55,23 +58,60 @@ Matrix::at(std::size_t r, std::size_t c) const
 {
     SCALO_ASSERT(r < nRows && c < nCols, "index (", r, ",", c,
                  ") out of ", nRows, "x", nCols);
-    return data[r * nCols + c];
+    return storage[r * nCols + c];
+}
+
+double *
+Matrix::rowPtr(std::size_t r)
+{
+    SCALO_EXPECTS(r < nRows);
+    return storage.data() + r * nCols;
+}
+
+const double *
+Matrix::rowPtr(std::size_t r) const
+{
+    SCALO_EXPECTS(r < nRows);
+    return storage.data() + r * nCols;
+}
+
+std::span<double>
+Matrix::row(std::size_t r)
+{
+    return {rowPtr(r), nCols};
+}
+
+std::span<const double>
+Matrix::row(std::size_t r) const
+{
+    return {rowPtr(r), nCols};
+}
+
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    nRows = rows;
+    nCols = cols;
+    storage.resize(rows * cols);
 }
 
 Matrix
 Matrix::transposed() const
 {
     Matrix t(nCols, nRows);
-    for (std::size_t r = 0; r < nRows; ++r)
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *src = rowPtr(r);
+        double *dst = t.storage.data() + r;
         for (std::size_t c = 0; c < nCols; ++c)
-            t.at(c, r) = at(r, c);
+            dst[c * nRows] = src[c];
+    }
     return t;
 }
 
 std::vector<double>
 Matrix::flatten() const
 {
-    return data;
+    return storage;
 }
 
 double
@@ -80,8 +120,8 @@ Matrix::maxAbsDiff(const Matrix &a, const Matrix &b)
     if (!a.sameShape(b))
         return std::numeric_limits<double>::infinity();
     double worst = 0.0;
-    for (std::size_t i = 0; i < a.data.size(); ++i)
-        worst = std::max(worst, std::abs(a.data[i] - b.data[i]));
+    for (std::size_t i = 0; i < a.storage.size(); ++i)
+        worst = std::max(worst, std::abs(a.storage[i] - b.storage[i]));
     return worst;
 }
 
@@ -92,15 +132,17 @@ applyStage(Matrix m, const OutputStage &stage)
         return m;
     SCALO_ASSERT(!stage.normalize || stage.stddev > 0.0,
                  "normalisation stddev must be positive");
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        for (std::size_t c = 0; c < m.cols(); ++c) {
-            double v = m.at(r, c);
-            if (stage.normalize)
-                v = (v - stage.mean) / stage.stddev;
-            if (stage.relu && v < 0.0)
-                v = 0.0;
-            m.at(r, c) = v;
-        }
+    double *v = m.data();
+    const std::size_t count = m.rows() * m.cols();
+    if (stage.normalize) {
+        const double inv_sd = 1.0 / stage.stddev;
+        for (std::size_t i = 0; i < count; ++i)
+            v[i] = (v[i] - stage.mean) * inv_sd;
+    }
+    if (stage.relu) {
+        for (std::size_t i = 0; i < count; ++i)
+            if (v[i] < 0.0)
+                v[i] = 0.0;
     }
     return m;
 }
@@ -111,9 +153,7 @@ add(const Matrix &a, const Matrix &b, const OutputStage &stage)
     SCALO_ASSERT(a.sameShape(b), "add shape mismatch ", a.rows(), "x",
                  a.cols(), " vs ", b.rows(), "x", b.cols());
     Matrix out(a.rows(), a.cols());
-    for (std::size_t r = 0; r < a.rows(); ++r)
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            out.at(r, c) = a.at(r, c) + b.at(r, c);
+    addInto(a, b, out);
     return applyStage(std::move(out), stage);
 }
 
@@ -123,9 +163,7 @@ sub(const Matrix &a, const Matrix &b)
     SCALO_ASSERT(a.sameShape(b), "sub shape mismatch ", a.rows(), "x",
                  a.cols(), " vs ", b.rows(), "x", b.cols());
     Matrix out(a.rows(), a.cols());
-    for (std::size_t r = 0; r < a.rows(); ++r)
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            out.at(r, c) = a.at(r, c) - b.at(r, c);
+    subInto(a, b, out);
     return out;
 }
 
@@ -134,16 +172,8 @@ mul(const Matrix &a, const Matrix &b)
 {
     SCALO_ASSERT(a.cols() == b.rows(), "mul shape mismatch ", a.rows(),
                  "x", a.cols(), " * ", b.rows(), "x", b.cols());
-    Matrix out(a.rows(), b.cols());
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double av = a.at(r, k);
-            if (av == 0.0)
-                continue;
-            for (std::size_t c = 0; c < b.cols(); ++c)
-                out.at(r, c) += av * b.at(k, c);
-        }
-    }
+    Matrix out;
+    mulInto(a, b, out);
     return out;
 }
 
@@ -153,7 +183,8 @@ mad(const Matrix &a, const Matrix &b, const Matrix &c,
 {
     Matrix product = mul(a, b);
     SCALO_ASSERT(product.sameShape(c), "mad constant shape mismatch");
-    return add(product, c, stage);
+    addInto(product, c, product);
+    return applyStage(std::move(product), stage);
 }
 
 Matrix
@@ -161,48 +192,8 @@ inverse(const Matrix &m)
 {
     SCALO_ASSERT(m.rows() == m.cols(), "inverse of non-square ",
                  m.rows(), "x", m.cols());
-    const std::size_t n = m.rows();
-
-    // Augmented [M | I], reduced in place by Gauss-Jordan elimination
-    // with partial pivoting, exactly the INV PE's algorithm [105].
-    Matrix aug(n, 2 * n);
-    for (std::size_t r = 0; r < n; ++r) {
-        for (std::size_t c = 0; c < n; ++c)
-            aug.at(r, c) = m.at(r, c);
-        aug.at(r, n + r) = 1.0;
-    }
-
-    for (std::size_t col = 0; col < n; ++col) {
-        // Partial pivot: largest magnitude in this column.
-        std::size_t pivot = col;
-        for (std::size_t r = col + 1; r < n; ++r)
-            if (std::abs(aug.at(r, col)) > std::abs(aug.at(pivot, col)))
-                pivot = r;
-        if (std::abs(aug.at(pivot, col)) < 1e-12)
-            SCALO_FATAL("singular matrix in inverse()");
-        if (pivot != col)
-            for (std::size_t c = 0; c < 2 * n; ++c)
-                std::swap(aug.at(pivot, c), aug.at(col, c));
-
-        const double inv_pivot = 1.0 / aug.at(col, col);
-        for (std::size_t c = 0; c < 2 * n; ++c)
-            aug.at(col, c) *= inv_pivot;
-
-        for (std::size_t r = 0; r < n; ++r) {
-            if (r == col)
-                continue;
-            const double factor = aug.at(r, col);
-            if (factor == 0.0)
-                continue;
-            for (std::size_t c = 0; c < 2 * n; ++c)
-                aug.at(r, c) -= factor * aug.at(col, c);
-        }
-    }
-
-    Matrix inv(n, n);
-    for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c)
-            inv.at(r, c) = aug.at(r, n + c);
+    Matrix aug, inv;
+    inverseInto(m, aug, inv);
     return inv;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 namespace scalo::linalg {
@@ -46,6 +47,28 @@ class Matrix
         return at(r, c);
     }
 
+    /**
+     * Raw pointer to row @p r (kernel-layer access: bounds are the
+     * caller's contract, checked only in Debug/sanitizer builds).
+     */
+    double *rowPtr(std::size_t r);
+    const double *rowPtr(std::size_t r) const;
+
+    /** Row @p r as a span of cols() elements. */
+    std::span<double> row(std::size_t r);
+    std::span<const double> row(std::size_t r) const;
+
+    /** Contiguous row-major storage (rows() * cols() elements). */
+    double *data() { return storage.data(); }
+    const double *data() const { return storage.data(); }
+
+    /**
+     * Reshape to rows x cols, reusing storage when the element count
+     * is unchanged. Element values are unspecified afterwards; every
+     * kernel-layer `*Into` consumer overwrites them.
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
     /** Transposed copy. */
     Matrix transposed() const;
 
@@ -63,7 +86,7 @@ class Matrix
   private:
     std::size_t nRows = 0;
     std::size_t nCols = 0;
-    std::vector<double> data;
+    std::vector<double> storage;
 };
 
 /** Output stage configurable on the MAD and ADD PEs. */

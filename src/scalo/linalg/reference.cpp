@@ -1,0 +1,30 @@
+#include "scalo/linalg/reference.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::linalg::reference {
+
+Matrix
+naiveMul(const Matrix &a, const Matrix &b)
+{
+    SCALO_ASSERT(a.cols() == b.rows(), "mul shape mismatch ", a.rows(),
+                 "x", a.cols(), " * ", b.rows(), "x", b.cols());
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double av = a.at(r, k);
+            if (av == 0.0)
+                continue;
+            for (std::size_t c = 0; c < b.cols(); ++c)
+                out.at(r, c) += av * b.at(k, c);
+        }
+    return out;
+}
+
+Matrix
+naiveMulTransposed(const Matrix &a, const Matrix &b)
+{
+    return naiveMul(a, b.transposed());
+}
+
+} // namespace scalo::linalg::reference

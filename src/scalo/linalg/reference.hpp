@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Naive reference implementations of the linalg kernels, retained for
+ * parity testing of the optimised kernel layer (mulInto and friends).
+ * These use the bounds-checked at() accessor in the classic i-j-k
+ * order — slow on purpose. Test-only: nothing on a hot path may call
+ * into this header.
+ */
+
+#pragma once
+
+#include "scalo/linalg/matrix.hpp"
+
+namespace scalo::linalg::reference {
+
+/** at()-based i-k-j matrix product, the pre-kernel-layer mul(). */
+Matrix naiveMul(const Matrix &a, const Matrix &b);
+
+/** at()-based a * b^T via an explicit transposed copy. */
+Matrix naiveMulTransposed(const Matrix &a, const Matrix &b);
+
+} // namespace scalo::linalg::reference

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "scalo/linalg/kernels.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 
@@ -37,16 +38,20 @@ EmdHasher::signature(const std::vector<double> &input) const
                  "input length ", input.size(), " != configured ",
                  projections.front().size());
 
-    // Shift to non-negative mass, as EMD operates on mass vectors.
+    // Shift to non-negative mass once, as EMD operates on mass
+    // vectors; every band then projects the shifted signal with one
+    // contiguous dot instead of re-shifting per band.
     double lo = 0.0;
     for (double v : input)
         lo = std::min(lo, v);
+    std::vector<double> shifted(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        shifted[i] = input[i] - lo;
 
     std::uint64_t packed = 0;
     for (unsigned b = 0; b < config.bands; ++b) {
-        double dot = 0.0;
-        for (std::size_t i = 0; i < input.size(); ++i)
-            dot += (input[i] - lo) * projections[b][i];
+        const double dot = linalg::dot(
+            shifted.data(), projections[b].data(), shifted.size());
         const double root = std::sqrt(std::max(0.0, dot));
         const auto bucket = static_cast<std::int64_t>(
             std::floor((root + offsets[b]) / config.bucketWidth));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "scalo/linalg/kernels.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 
@@ -39,11 +40,12 @@ SshHasher::sketch(const std::vector<double> &input) const
         (input.size() - config.windowSize) / config.stride + 1;
     bits.reserve(positions);
     for (std::size_t p = 0; p < positions; ++p) {
-        const std::size_t start = p * config.stride;
-        double dot = 0.0;
-        for (unsigned i = 0; i < config.windowSize; ++i)
-            dot += input[start + i] * projection[i];
-        bits.push_back(dot > 0.0 ? 1 : 0);
+        // HCONV: the +/-1 projection of each sliding window is one
+        // contiguous dot against the shared projection vector.
+        const double proj = linalg::dot(input.data() + p * config.stride,
+                                        projection.data(),
+                                        config.windowSize);
+        bits.push_back(proj > 0.0 ? 1 : 0);
     }
     return bits;
 }
@@ -55,27 +57,32 @@ SshHasher::shingles(const std::vector<std::uint8_t> &sketch_bits) const
     if (sketch_bits.size() < config.ngramSize)
         return counted;
 
-    // Collect n-gram patterns, then sort+count (the NGRAM PE keeps a
-    // small table in SRAM; sorting is its deterministic equivalent).
-    std::vector<std::uint32_t> grams;
-    grams.reserve(sketch_bits.size() - config.ngramSize + 1);
-    for (std::size_t i = 0; i + config.ngramSize <= sketch_bits.size();
-         ++i) {
-        std::uint32_t pattern = 0;
-        for (unsigned j = 0; j < config.ngramSize; ++j)
-            pattern = (pattern << 1) | (sketch_bits[i + j] & 1);
-        grams.push_back(pattern);
-    }
-    std::sort(grams.begin(), grams.end());
+    // Counting table over all 2^n patterns (the NGRAM PE's SRAM table
+    // directly; ngramSize <= 16 bounds it at 64K counters). The
+    // pattern itself rolls through a shift-and-mask, and emitting the
+    // table in index order reproduces the old sort+count output — a
+    // sorted pattern list — exactly.
+    const std::uint32_t mask =
+        (config.ngramSize >= 32)
+            ? ~0u
+            : ((1u << config.ngramSize) - 1u);
+    std::vector<std::uint32_t> table(
+        static_cast<std::size_t>(mask) + 1, 0u);
 
-    for (std::size_t i = 0; i < grams.size();) {
-        std::size_t j = i;
-        while (j < grams.size() && grams[j] == grams[i])
-            ++j;
-        const auto count = static_cast<std::uint32_t>(
-            std::min<std::size_t>(j - i, config.maxShingleCount));
-        counted.emplace_back(grams[i], count);
-        i = j;
+    std::uint32_t pattern = 0;
+    for (std::size_t i = 0; i < sketch_bits.size(); ++i) {
+        pattern = ((pattern << 1) | (sketch_bits[i] & 1)) & mask;
+        if (i + 1 >= config.ngramSize)
+            ++table[pattern];
+    }
+
+    for (std::size_t p = 0; p < table.size(); ++p) {
+        if (table[p] == 0)
+            continue;
+        const auto count = std::min<std::uint32_t>(
+            table[p],
+            static_cast<std::uint32_t>(config.maxShingleCount));
+        counted.emplace_back(static_cast<std::uint32_t>(p), count);
     }
     return counted;
 }

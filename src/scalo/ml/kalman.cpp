@@ -1,5 +1,8 @@
 #include "scalo/ml/kalman.hpp"
 
+#include <algorithm>
+
+#include "scalo/linalg/kernels.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 
@@ -26,6 +29,7 @@ KalmanFilter::reset()
     const std::size_t n = params.a.rows();
     x = Matrix(n, 1);
     p = Matrix::identity(n);
+    ws.eye = Matrix::identity(n);
 }
 
 std::vector<double>
@@ -34,28 +38,34 @@ KalmanFilter::step(const std::vector<double> &observation)
     SCALO_ASSERT(observation.size() == observationDim(),
                  "observation size ", observation.size(), " != ",
                  observationDim());
-    const Matrix y = Matrix::columnVector(observation);
+    const std::size_t m = observationDim();
+    ws.y.resize(m, 1);
+    std::copy(observation.begin(), observation.end(), ws.y.data());
 
-    // Predict (MAD PEs): x' = A x, P' = A P A^T + W.
-    const Matrix x_pred = linalg::mul(params.a, x);
-    const Matrix p_pred = linalg::add(
-        linalg::mul(linalg::mul(params.a, p), params.a.transposed()),
-        params.w);
+    // Predict (MAD PEs): x' = A x, P' = A P A^T + W. The A^T and H^T
+    // products below use mulTransposedInto, so no transposed copy is
+    // ever materialised.
+    linalg::mulInto(params.a, x, ws.xPred);
+    linalg::mulInto(params.a, p, ws.ap);
+    linalg::mulTransposedInto(ws.ap, params.a, ws.pPred);
+    linalg::addInto(ws.pPred, params.w, ws.pPred);
 
     // Update: S = H P' H^T + Q, K = P' H^T S^-1 (the INV PE step).
-    const Matrix ht = params.h.transposed();
-    const Matrix s = linalg::add(
-        linalg::mul(linalg::mul(params.h, p_pred), ht), params.q);
-    const Matrix k = linalg::mul(linalg::mul(p_pred, ht),
-                                 linalg::inverse(s));
+    linalg::mulInto(params.h, ws.pPred, ws.hp);
+    linalg::mulTransposedInto(ws.hp, params.h, ws.s);
+    linalg::addInto(ws.s, params.q, ws.s);
+    linalg::inverseInto(ws.s, ws.aug, ws.sInv);
+    linalg::mulTransposedInto(ws.pPred, params.h, ws.pht);
+    linalg::mulInto(ws.pht, ws.sInv, ws.k);
 
     // x = x' + K (y - H x'), P = (I - K H) P'.
-    const Matrix innovation =
-        linalg::sub(y, linalg::mul(params.h, x_pred));
-    x = linalg::add(x_pred, linalg::mul(k, innovation));
-    const Matrix ikh = linalg::sub(
-        Matrix::identity(stateDim()), linalg::mul(k, params.h));
-    p = linalg::mul(ikh, p_pred);
+    linalg::mulInto(params.h, ws.xPred, ws.hx);
+    linalg::subInto(ws.y, ws.hx, ws.innovation);
+    linalg::mulInto(ws.k, ws.innovation, ws.kinn);
+    linalg::addInto(ws.xPred, ws.kinn, x);
+    linalg::mulInto(ws.k, params.h, ws.kh);
+    linalg::subInto(ws.eye, ws.kh, ws.ikh);
+    linalg::mulInto(ws.ikh, ws.pPred, p);
 
     return x.flatten();
 }

@@ -62,9 +62,37 @@ class KalmanFilter
     const KalmanParams &parameters() const { return params; }
 
   private:
+    /**
+     * Reused intermediate matrices: after the first step() every
+     * matrix here has its final shape, so subsequent steps run
+     * without a single heap allocation (Section 3.1 sizes the filter
+     * for one node; the old per-step temporaries dominated its
+     * latency).
+     */
+    struct Workspace
+    {
+        linalg::Matrix y;          ///< observation (m x 1)
+        linalg::Matrix xPred;      ///< A x (n x 1)
+        linalg::Matrix ap;         ///< A P (n x n)
+        linalg::Matrix pPred;      ///< A P A^T + W (n x n)
+        linalg::Matrix hp;         ///< H P' (m x n)
+        linalg::Matrix s;          ///< innovation covariance (m x m)
+        linalg::Matrix aug;        ///< Gauss-Jordan scratch (m x 2m)
+        linalg::Matrix sInv;       ///< S^-1 (m x m)
+        linalg::Matrix pht;        ///< P' H^T (n x m)
+        linalg::Matrix k;          ///< Kalman gain (n x m)
+        linalg::Matrix hx;         ///< H x' (m x 1)
+        linalg::Matrix innovation; ///< y - H x' (m x 1)
+        linalg::Matrix kinn;       ///< K innovation (n x 1)
+        linalg::Matrix kh;         ///< K H (n x n)
+        linalg::Matrix ikh;        ///< I - K H (n x n)
+        linalg::Matrix eye;        ///< identity (n x n)
+    };
+
     KalmanParams params;
     linalg::Matrix x; ///< state estimate (n x 1)
     linalg::Matrix p; ///< estimate covariance (n x n)
+    Workspace ws;
 };
 
 } // namespace scalo::ml

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "scalo/linalg/kernels.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 
@@ -68,18 +69,37 @@ ShallowNet::firstLayerDim() const
     return net.front().weights.rows();
 }
 
-std::vector<double>
-ShallowNet::forward(const std::vector<double> &x) const
+const std::vector<double> &
+ShallowNet::forward(const std::vector<double> &x,
+                    ForwardScratch &scratch) const
 {
     SCALO_ASSERT(x.size() == inputDim(), "input size ", x.size(),
                  " != ", inputDim());
-    linalg::Matrix h = linalg::Matrix::columnVector(x);
+    scratch.cur.assign(x.begin(), x.end());
     for (const auto &layer : net) {
-        linalg::OutputStage stage;
-        stage.relu = layer.relu;
-        h = linalg::mad(layer.weights, h, layer.bias, stage);
+        const std::size_t rows = layer.weights.rows();
+        const std::size_t cols = layer.weights.cols();
+        scratch.next.resize(rows);
+        // Fused W x + b with the optional ReLU output stage: one dot
+        // per output unit, no intermediate matrices.
+        for (std::size_t r = 0; r < rows; ++r) {
+            double v = linalg::dot(layer.weights.rowPtr(r),
+                                   scratch.cur.data(), cols) +
+                       layer.bias.at(r, 0);
+            if (layer.relu && v < 0.0)
+                v = 0.0;
+            scratch.next[r] = v;
+        }
+        std::swap(scratch.cur, scratch.next);
     }
-    return h.flatten();
+    return scratch.cur;
+}
+
+std::vector<double>
+ShallowNet::forward(const std::vector<double> &x) const
+{
+    ForwardScratch scratch;
+    return forward(x, scratch);
 }
 
 void
@@ -116,13 +136,15 @@ ShallowNet::sgdStep(const std::vector<double> &x,
         }
         const auto &a_in = activations[l];
         // Gradient step on W and b; propagate delta to the layer below.
-        std::vector<double> delta_below(layer.weights.cols(), 0.0);
+        const std::size_t cols = layer.weights.cols();
+        std::vector<double> delta_below(cols, 0.0);
         for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
-            for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
-                delta_below[c] += layer.weights.at(r, c) * delta[r];
-                layer.weights.at(r, c) -= lr * delta[r] * a_in[c];
-            }
-            layer.bias.at(r, 0) -= lr * delta[r];
+            double *wrow = layer.weights.rowPtr(r);
+            const double dr = delta[r];
+            linalg::axpy(dr, wrow, delta_below.data(), cols);
+            for (std::size_t c = 0; c < cols; ++c)
+                wrow[c] -= lr * dr * a_in[c];
+            layer.bias.at(r, 0) -= lr * dr;
         }
         delta = std::move(delta_below);
     }
@@ -157,10 +179,12 @@ DistributedNn::partial(std::size_t node,
     SCALO_ASSERT(local_features.size() == length, "node ", node,
                  " expects ", length, " features");
     const auto &w = model.layers().front().weights;
-    std::vector<double> out(w.rows(), 0.0);
+    std::vector<double> out(w.rows());
+    // Each node's slice is a contiguous run of columns, so the
+    // partial pre-activation is one dot per first-layer unit.
     for (std::size_t r = 0; r < w.rows(); ++r)
-        for (std::size_t i = 0; i < length; ++i)
-            out[r] += w.at(r, offset + i) * local_features[i];
+        out[r] = linalg::dot(w.rowPtr(r) + offset,
+                             local_features.data(), length);
     return out;
 }
 

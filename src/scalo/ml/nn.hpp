@@ -26,6 +26,17 @@ struct DenseLayer
     bool relu = true;
 };
 
+/**
+ * Reusable double-buffered activation workspace for ShallowNet
+ * forward passes: grown to the widest layer on first use, then
+ * steady-state allocation-free.
+ */
+struct ForwardScratch
+{
+    std::vector<double> cur;
+    std::vector<double> next;
+};
+
 /** A small fully-connected network (e.g. the decoder of [159]). */
 class ShallowNet
 {
@@ -46,6 +57,14 @@ class ShallowNet
 
     /** Forward pass. */
     std::vector<double> forward(const std::vector<double> &x) const;
+
+    /**
+     * Forward pass into caller-provided scratch; the result is left
+     * in (and referenced from) @p scratch, so hot decode loops run
+     * without heap allocation.
+     */
+    const std::vector<double> &
+    forward(const std::vector<double> &x, ForwardScratch &scratch) const;
 
     /** Input dimensionality. */
     std::size_t inputDim() const;

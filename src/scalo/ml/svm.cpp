@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "scalo/linalg/kernels.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 
@@ -17,10 +18,7 @@ LinearSvm::decision(const std::vector<double> &x) const
 {
     SCALO_ASSERT(x.size() == w.size(), "feature size ", x.size(),
                  " != model size ", w.size());
-    double acc = b;
-    for (std::size_t i = 0; i < x.size(); ++i)
-        acc += w[i] * x[i];
-    return acc;
+    return b + linalg::dot(w.data(), x.data(), x.size());
 }
 
 int
@@ -55,16 +53,14 @@ LinearSvm::train(const std::vector<std::vector<double>> &xs,
             const double eta =
                 1.0 / (lambda * (static_cast<double>(t) + t0));
 
-            double margin = b;
-            for (std::size_t d = 0; d < dim; ++d)
-                margin += w[d] * x[d];
-            margin *= y;
+            const double margin =
+                (b + linalg::dot(w.data(), x.data(), dim)) * y;
 
+            const double shrink = 1.0 - eta * lambda;
             for (std::size_t d = 0; d < dim; ++d)
-                w[d] *= (1.0 - eta * lambda);
+                w[d] *= shrink;
             if (margin < 1.0) {
-                for (std::size_t d = 0; d < dim; ++d)
-                    w[d] += eta * y * x[d];
+                linalg::axpy(eta * y, x.data(), w.data(), dim);
                 b += eta * y;
             }
         }
@@ -104,11 +100,9 @@ DistributedSvm::partial(std::size_t node,
     SCALO_ASSERT(local_features.size() == length, "node ", node,
                  " expects ", length, " features, got ",
                  local_features.size());
-    double acc = 0.0;
     const auto &w = model.weights();
-    for (std::size_t i = 0; i < length; ++i)
-        acc += w[offset + i] * local_features[i];
-    return acc;
+    return linalg::dot(w.data() + offset, local_features.data(),
+                       length);
 }
 
 double

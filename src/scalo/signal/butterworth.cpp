@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <complex>
+#include <numbers>
 
 #include "scalo/util/logging.hpp"
 
@@ -28,6 +29,14 @@ Biquad::reset()
     z1 = z2 = 0.0;
 }
 
+std::complex<double>
+Biquad::response(std::complex<double> z_inv) const
+{
+    const std::complex<double> z_inv2 = z_inv * z_inv;
+    return (b0 + b1 * z_inv + b2 * z_inv2) /
+           (1.0 + a1 * z_inv + a2 * z_inv2);
+}
+
 namespace {
 
 using Complexd = std::complex<double>;
@@ -52,8 +61,10 @@ designBandpass(int order, double low_hz, double high_hz,
 
     const double fs2 = 2.0 * sample_rate;
     // Pre-warp the band edges for the bilinear transform.
-    const double w_lo = fs2 * std::tan(M_PI * low_hz / sample_rate);
-    const double w_hi = fs2 * std::tan(M_PI * high_hz / sample_rate);
+    const double w_lo =
+        fs2 * std::tan(std::numbers::pi * low_hz / sample_rate);
+    const double w_hi =
+        fs2 * std::tan(std::numbers::pi * high_hz / sample_rate);
     const double bw = w_hi - w_lo;
     const double w0_sq = w_lo * w_hi;
 
@@ -67,7 +78,8 @@ designBandpass(int order, double low_hz, double high_hz,
     for (int k = 0; k < (order + 1) / 2; ++k) {
         // Analog Butterworth prototype pole, left half plane.
         const double theta =
-            M_PI / 2.0 + M_PI * (2.0 * k + 1.0) / (2.0 * order);
+            std::numbers::pi / 2.0 +
+            std::numbers::pi * (2.0 * k + 1.0) / (2.0 * order);
         const Complexd p_lp(std::cos(theta), std::sin(theta));
 
         // Low-pass -> band-pass: each prototype pole spawns two poles.
@@ -99,23 +111,22 @@ designBandpass(int order, double low_hz, double high_hz,
     return sections;
 }
 
-/** Peak gain probe used to normalise the cascade to unity at midband. */
+/** Exact cascade gain at @p freq_hz, used to normalise to unity. */
 double
-cascadeGainAt(std::vector<Biquad> sections, double freq_hz,
+cascadeGainAt(const std::vector<Biquad> &sections, double freq_hz,
               double sample_rate)
 {
-    // Measure the steady-state response to a sine at freq_hz.
-    const int n = 4096;
-    double peak = 0.0;
-    for (int i = 0; i < n; ++i) {
-        const double t = static_cast<double>(i) / sample_rate;
-        double x = std::sin(2.0 * M_PI * freq_hz * t);
-        for (auto &s : sections)
-            x = s.step(x);
-        if (i > n / 2)
-            peak = std::max(peak, std::abs(x));
-    }
-    return peak;
+    // |H(e^{jw})| of the cascade, evaluated directly from the biquad
+    // coefficients. This replaces the old 4096-sample steady-state
+    // sine probe: O(sections) instead of O(sections * 4096), and
+    // exact rather than a sampled-peak estimate.
+    const double w =
+        2.0 * std::numbers::pi * freq_hz / sample_rate;
+    const Complexd z_inv = std::polar(1.0, -w);
+    Complexd h(1.0, 0.0);
+    for (const Biquad &s : sections)
+        h *= s.response(z_inv);
+    return std::abs(h);
 }
 
 } // namespace

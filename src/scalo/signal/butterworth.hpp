@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <vector>
 
@@ -24,6 +25,12 @@ class Biquad
 
     /** Clear delay-line state. */
     void reset();
+
+    /**
+     * Complex frequency response H(z) evaluated at @p z_inv = z^-1
+     * (state-independent; used for exact gain normalisation).
+     */
+    std::complex<double> response(std::complex<double> z_inv) const;
 
   private:
     double b0, b1, b2, a1, a2;

@@ -8,40 +8,99 @@
 
 namespace scalo::signal {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Shared banded-DTW core. Rows are reset only at the band edges
+ * (entries inside the band are overwritten, entries further out are
+ * never read), so each row costs O(band) instead of O(m). When
+ * @p cutoff is finite, a row whose minimum exceeds it abandons the
+ * computation, returning that row minimum (a lower bound of the true
+ * distance that is already > cutoff).
+ */
 double
-dtwDistance(const std::vector<double> &a, const std::vector<double> &b,
-            std::size_t band)
+dtwBandedCore(const std::vector<double> &a, const std::vector<double> &b,
+              std::size_t band, double cutoff, DtwScratch &scratch)
 {
     const std::size_t n = a.size();
     const std::size_t m = b.size();
     if (n == 0 || m == 0)
-        return (n == m) ? 0.0 : std::numeric_limits<double>::infinity();
+        return (n == m) ? 0.0 : kInf;
 
     // The band must at least cover the length difference or no monotone
     // path exists.
     const std::size_t min_band = (n > m) ? (n - m) : (m - n);
     band = std::max(band, min_band + 1);
 
-    constexpr double inf = std::numeric_limits<double>::infinity();
     // Rolling two-row DP over the banded cost matrix.
-    std::vector<double> prev(m + 1, inf);
-    std::vector<double> curr(m + 1, inf);
+    std::vector<double> &prev = scratch.prev;
+    std::vector<double> &curr = scratch.curr;
+    prev.assign(m + 1, kInf);
+    curr.assign(m + 1, kInf);
     prev[0] = 0.0;
 
     for (std::size_t i = 1; i <= n; ++i) {
-        std::fill(curr.begin(), curr.end(), inf);
-        const std::size_t j_lo =
-            (i > band) ? (i - band) : 1;
+        const std::size_t j_lo = (i > band) ? (i - band) : 1;
         const std::size_t j_hi = std::min(m, i + band);
+        // Band-edge sentinels: the next row only ever reads one entry
+        // beyond this row's band on either side.
+        curr[j_lo - 1] = kInf;
+        if (j_hi < m)
+            curr[j_hi + 1] = kInf;
+        double row_min = kInf;
+        const double *ap = &a[i - 1];
         for (std::size_t j = j_lo; j <= j_hi; ++j) {
-            const double cost = std::abs(a[i - 1] - b[j - 1]);
+            const double cost = std::abs(*ap - b[j - 1]);
             const double best =
                 std::min({prev[j], curr[j - 1], prev[j - 1]});
-            curr[j] = cost + best;
+            const double v = cost + best;
+            curr[j] = v;
+            row_min = std::min(row_min, v);
         }
+        if (row_min > cutoff)
+            return row_min;
         std::swap(prev, curr);
     }
     return prev[m];
+}
+
+} // namespace
+
+double
+dtwDistance(const std::vector<double> &a, const std::vector<double> &b,
+            std::size_t band, DtwScratch &scratch)
+{
+    return dtwBandedCore(a, b, band, kInf, scratch);
+}
+
+double
+dtwDistance(const std::vector<double> &a, const std::vector<double> &b,
+            std::size_t band)
+{
+    DtwScratch scratch;
+    return dtwBandedCore(a, b, band, kInf, scratch);
+}
+
+double
+dtwDistanceEarlyAbandon(const std::vector<double> &a,
+                        const std::vector<double> &b, std::size_t band,
+                        double cutoff, DtwScratch &scratch)
+{
+    return dtwBandedCore(a, b, band, cutoff, scratch);
+}
+
+double
+euclideanDistanceSquared(const double *a, const double *b,
+                         std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
 }
 
 double
@@ -50,12 +109,96 @@ euclideanDistance(const std::vector<double> &a,
 {
     SCALO_ASSERT(a.size() == b.size(), "size mismatch ", a.size(), " vs ",
                  b.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        acc += d * d;
+    return std::sqrt(euclideanDistanceSquared(a.data(), b.data(),
+                                              a.size()));
+}
+
+void
+euclideanDistanceMany(
+    const std::vector<double> &query,
+    const std::vector<const std::vector<double> *> &candidates,
+    std::vector<double> &out)
+{
+    out.resize(candidates.size());
+    const double *q = query.data();
+    const std::size_t n = query.size();
+    const std::size_t count = candidates.size();
+    for (std::size_t i = 0; i < count; ++i)
+        SCALO_ASSERT(candidates[i]->size() == n, "candidate ", i,
+                     " has ", candidates[i]->size(),
+                     " samples, query has ", n);
+
+    // Eight candidates per pass: the query streams through the cache
+    // once per block instead of once per candidate, and the eight
+    // named accumulators fill independent FMA chains.
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const double *c0 = candidates[i]->data();
+        const double *c1 = candidates[i + 1]->data();
+        const double *c2 = candidates[i + 2]->data();
+        const double *c3 = candidates[i + 3]->data();
+        const double *c4 = candidates[i + 4]->data();
+        const double *c5 = candidates[i + 5]->data();
+        const double *c6 = candidates[i + 6]->data();
+        const double *c7 = candidates[i + 7]->data();
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double qj = q[j];
+            double d;
+            d = qj - c0[j]; a0 += d * d;
+            d = qj - c1[j]; a1 += d * d;
+            d = qj - c2[j]; a2 += d * d;
+            d = qj - c3[j]; a3 += d * d;
+            d = qj - c4[j]; a4 += d * d;
+            d = qj - c5[j]; a5 += d * d;
+            d = qj - c6[j]; a6 += d * d;
+            d = qj - c7[j]; a7 += d * d;
+        }
+        out[i] = a0;
+        out[i + 1] = a1;
+        out[i + 2] = a2;
+        out[i + 3] = a3;
+        out[i + 4] = a4;
+        out[i + 5] = a5;
+        out[i + 6] = a6;
+        out[i + 7] = a7;
     }
-    return std::sqrt(acc);
+    for (; i + 4 <= count; i += 4) {
+        const double *c0 = candidates[i]->data();
+        const double *c1 = candidates[i + 1]->data();
+        const double *c2 = candidates[i + 2]->data();
+        const double *c3 = candidates[i + 3]->data();
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double qj = q[j];
+            double d;
+            d = qj - c0[j]; a0 += d * d;
+            d = qj - c1[j]; a1 += d * d;
+            d = qj - c2[j]; a2 += d * d;
+            d = qj - c3[j]; a3 += d * d;
+        }
+        out[i] = a0;
+        out[i + 1] = a1;
+        out[i + 2] = a2;
+        out[i + 3] = a3;
+    }
+    for (; i < count; ++i)
+        out[i] = euclideanDistanceSquared(q, candidates[i]->data(), n);
+
+    // Deferred sqrt: one tight pass instead of one call per distance.
+    for (double &d : out)
+        d = std::sqrt(d);
+}
+
+std::vector<double>
+euclideanDistanceMany(
+    const std::vector<double> &query,
+    const std::vector<const std::vector<double> *> &candidates)
+{
+    std::vector<double> out;
+    euclideanDistanceMany(query, candidates, out);
+    return out;
 }
 
 double

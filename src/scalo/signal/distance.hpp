@@ -15,6 +15,18 @@
 namespace scalo::signal {
 
 /**
+ * Reusable rolling-row workspace for the banded DTW kernels. One
+ * scratch serves any number of sequential calls (grown to the largest
+ * size seen), eliminating the two per-call row allocations on hot
+ * candidate-verification paths.
+ */
+struct DtwScratch
+{
+    std::vector<double> prev;
+    std::vector<double> curr;
+};
+
+/**
  * Dynamic time warping distance with a Sakoe-Chiba band.
  *
  * @param a, b  equal- or different-length signals
@@ -26,9 +38,50 @@ namespace scalo::signal {
 double dtwDistance(const std::vector<double> &a,
                    const std::vector<double> &b, std::size_t band);
 
+/** As above, with caller-provided scratch (no per-call allocation). */
+double dtwDistance(const std::vector<double> &a,
+                   const std::vector<double> &b, std::size_t band,
+                   DtwScratch &scratch);
+
+/**
+ * Banded DTW with early abandoning: rows are pruned against
+ * @p cutoff. Because every warping path crosses each row of the
+ * banded DP matrix and costs are non-negative, the minimum entry of a
+ * row lower-bounds the final distance; once that minimum exceeds
+ * @p cutoff the true distance provably does too.
+ *
+ * @return the exact DTW distance when it is <= @p cutoff; otherwise
+ *         some lower bound of the true distance that is > @p cutoff
+ *         (callers must only compare the result against @p cutoff)
+ */
+double dtwDistanceEarlyAbandon(const std::vector<double> &a,
+                               const std::vector<double> &b,
+                               std::size_t band, double cutoff,
+                               DtwScratch &scratch);
+
 /** Euclidean (L2) distance. @pre a.size() == b.size() */
 double euclideanDistance(const std::vector<double> &a,
                          const std::vector<double> &b);
+
+/** Squared L2 distance over @p n contiguous samples (no sqrt). */
+double euclideanDistanceSquared(const double *a, const double *b,
+                                std::size_t n);
+
+/**
+ * Batched Euclidean distance from one query window to many candidate
+ * windows: accumulates squared distances and defers the sqrt to a
+ * single final pass. @p out is sized to match @p candidates.
+ * @pre every candidate has query.size() samples
+ */
+void euclideanDistanceMany(
+    const std::vector<double> &query,
+    const std::vector<const std::vector<double> *> &candidates,
+    std::vector<double> &out);
+
+/** Allocating convenience overload of the batched kernel. */
+std::vector<double> euclideanDistanceMany(
+    const std::vector<double> &query,
+    const std::vector<const std::vector<double> *> &candidates);
 
 /**
  * Maximum normalised Pearson cross-correlation over lags in

@@ -1,5 +1,6 @@
 #include "scalo/signal/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "scalo/util/logging.hpp"
@@ -8,66 +9,50 @@ namespace scalo::signal {
 
 namespace {
 
-bool
-isPowerOfTwo(std::size_t n)
+/**
+ * Run the real-input transform of @p input zero-padded to the next
+ * power of two; on return scratch.spectrum holds the n/2+1 bins.
+ * @return the padded size n
+ */
+std::size_t
+paddedRfft(const std::vector<double> &input, SpectrumScratch &scratch)
 {
-    return n != 0 && (n & (n - 1)) == 0;
-}
+    const std::size_t n = nextPowerOfTwo(input.size());
+    if (!scratch.plan || scratch.plan->size() != n)
+        scratch.plan = FftPlan::forSize(n);
 
-/** Shared radix-2 butterfly core; @p inverse selects the IFFT twiddles. */
-void
-transform(std::vector<std::complex<double>> &data, bool inverse)
-{
-    const std::size_t n = data.size();
-    SCALO_ASSERT(isPowerOfTwo(n), "FFT size ", n, " not a power of two");
-    if (n <= 1)
-        return;
+    scratch.padded.resize(n);
+    std::copy(input.begin(), input.end(), scratch.padded.begin());
+    std::fill(scratch.padded.begin() +
+                  static_cast<std::ptrdiff_t>(input.size()),
+              scratch.padded.end(), 0.0);
 
-    // Bit-reversal permutation.
-    for (std::size_t i = 1, j = 0; i < n; ++i) {
-        std::size_t bit = n >> 1;
-        for (; j & bit; bit >>= 1)
-            j ^= bit;
-        j ^= bit;
-        if (i < j)
-            std::swap(data[i], data[j]);
-    }
-
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double angle =
-            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-        for (std::size_t i = 0; i < n; i += len) {
-            std::complex<double> w(1.0, 0.0);
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                const auto u = data[i + k];
-                const auto v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
-    }
-
-    if (inverse) {
-        for (auto &x : data)
-            x /= static_cast<double>(n);
-    }
+    scratch.spectrum.resize(n / 2 + 1);
+    scratch.plan->rfft(scratch.padded.data(), scratch.spectrum.data(),
+                       scratch.work);
+    return n;
 }
 
 } // namespace
 
+// The deprecated single-shot entry points forward to a cached plan, so
+// even legacy callers stop paying per-call twiddle recomputation.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 void
 fft(std::vector<std::complex<double>> &data)
 {
-    transform(data, false);
+    FftPlan::forSize(data.size())->forward(data);
 }
 
 void
 ifft(std::vector<std::complex<double>> &data)
 {
-    transform(data, true);
+    FftPlan::forSize(data.size())->inverse(data);
 }
+
+#pragma GCC diagnostic pop
 
 std::size_t
 nextPowerOfTwo(std::size_t n)
@@ -78,34 +63,36 @@ nextPowerOfTwo(std::size_t n)
     return p;
 }
 
-std::vector<double>
-magnitudeSpectrum(const std::vector<double> &input)
+void
+magnitudeSpectrum(const std::vector<double> &input,
+                  SpectrumScratch &scratch, std::vector<double> &out)
 {
-    const std::size_t n = nextPowerOfTwo(input.size());
-    std::vector<std::complex<double>> buf(n);
-    for (std::size_t i = 0; i < input.size(); ++i)
-        buf[i] = input[i];
-    fft(buf);
-    std::vector<double> mags(n / 2 + 1);
-    for (std::size_t i = 0; i < mags.size(); ++i)
-        mags[i] = std::abs(buf[i]);
-    return mags;
+    paddedRfft(input, scratch);
+    out.resize(scratch.spectrum.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = std::abs(scratch.spectrum[i]);
 }
 
 std::vector<double>
+magnitudeSpectrum(const std::vector<double> &input)
+{
+    SpectrumScratch scratch;
+    std::vector<double> mags;
+    magnitudeSpectrum(input, scratch, mags);
+    return mags;
+}
+
+void
 bandPower(const std::vector<double> &input, double sample_rate,
-          const std::vector<Band> &bands)
+          const std::vector<Band> &bands, SpectrumScratch &scratch,
+          std::vector<double> &out)
 {
     SCALO_ASSERT(sample_rate > 0.0, "bad sample rate ", sample_rate);
-    const std::size_t n = nextPowerOfTwo(input.size());
-    std::vector<std::complex<double>> buf(n);
-    for (std::size_t i = 0; i < input.size(); ++i)
-        buf[i] = input[i];
-    fft(buf);
+    const std::size_t n = paddedRfft(input, scratch);
 
     const double bin_hz = sample_rate / static_cast<double>(n);
-    std::vector<double> powers;
-    powers.reserve(bands.size());
+    out.clear();
+    out.reserve(bands.size());
     for (const Band &band : bands) {
         const auto lo = static_cast<std::size_t>(
             std::max(0.0, std::ceil(band.lowHz / bin_hz)));
@@ -115,11 +102,20 @@ bandPower(const std::vector<double> &input, double sample_rate,
         double acc = 0.0;
         std::size_t count = 0;
         for (std::size_t b = lo; b <= hi && b <= n / 2; ++b) {
-            acc += std::norm(buf[b]);
+            acc += std::norm(scratch.spectrum[b]);
             ++count;
         }
-        powers.push_back(count ? acc / static_cast<double>(count) : 0.0);
+        out.push_back(count ? acc / static_cast<double>(count) : 0.0);
     }
+}
+
+std::vector<double>
+bandPower(const std::vector<double> &input, double sample_rate,
+          const std::vector<Band> &bands)
+{
+    SpectrumScratch scratch;
+    std::vector<double> powers;
+    bandPower(input, sample_rate, bands, scratch, powers);
     return powers;
 }
 

@@ -1,0 +1,187 @@
+#include "scalo/signal/fft_plan.hpp"
+
+#include <map>
+#include <mutex>
+#include <numbers>
+#include <utility>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::signal {
+
+namespace {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace
+
+FftPlan::FftPlan(std::size_t n) : nPoints(n)
+{
+    SCALO_ASSERT(isPowerOfTwo(n), "FFT size ", n, " not a power of two");
+
+    // Bit-reversal permutation table.
+    bitrev.resize(n);
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        bitrev[i] = static_cast<std::uint32_t>(j);
+    }
+
+    // Twiddle table W_n^k = exp(-2*pi*i*k/n), k < n/2. Computed once
+    // from std::polar rather than by repeated multiplication, so every
+    // butterfly sees a full-precision twiddle.
+    twiddle.resize(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        const double angle = -2.0 * std::numbers::pi *
+                             static_cast<double>(k) /
+                             static_cast<double>(n);
+        twiddle[k] = std::polar(1.0, angle);
+    }
+
+    if (n >= 2)
+        half = forSize(n / 2);
+}
+
+void
+FftPlan::transform(std::complex<double> *data, bool inv) const
+{
+    const std::size_t n = nPoints;
+    if (n <= 1)
+        return;
+
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t j = bitrev[i];
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    // First stage (len = 2) has a unit twiddle: pure add/sub, no
+    // complex multiply.
+    for (std::size_t i = 0; i < n; i += 2) {
+        const std::complex<double> u = data[i];
+        const std::complex<double> v = data[i + 1];
+        data[i] = u + v;
+        data[i + 1] = u - v;
+    }
+
+    for (std::size_t len = 4; len <= n; len <<= 1) {
+        const std::size_t halflen = len / 2;
+        const std::size_t step = n / len;
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> *lo = data + i;
+            std::complex<double> *hi = lo + halflen;
+            // k = 0 is another unit twiddle.
+            const std::complex<double> u0 = lo[0];
+            const std::complex<double> v0 = hi[0];
+            lo[0] = u0 + v0;
+            hi[0] = u0 - v0;
+            for (std::size_t k = 1; k < halflen; ++k) {
+                const std::complex<double> w =
+                    inv ? std::conj(twiddle[k * step])
+                        : twiddle[k * step];
+                const std::complex<double> u = lo[k];
+                const std::complex<double> v = hi[k] * w;
+                lo[k] = u + v;
+                hi[k] = u - v;
+            }
+        }
+    }
+
+    if (inv) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            data[i] *= scale;
+    }
+}
+
+void
+FftPlan::forward(std::complex<double> *data) const
+{
+    transform(data, false);
+}
+
+void
+FftPlan::inverse(std::complex<double> *data) const
+{
+    transform(data, true);
+}
+
+void
+FftPlan::forward(std::vector<std::complex<double>> &data) const
+{
+    SCALO_ASSERT(data.size() == nPoints, "FFT input size ", data.size(),
+                 " != planned ", nPoints);
+    forward(data.data());
+}
+
+void
+FftPlan::inverse(std::vector<std::complex<double>> &data) const
+{
+    SCALO_ASSERT(data.size() == nPoints, "FFT input size ", data.size(),
+                 " != planned ", nPoints);
+    inverse(data.data());
+}
+
+void
+FftPlan::rfft(const double *in, std::complex<double> *spectrum,
+              std::vector<std::complex<double>> &scratch) const
+{
+    const std::size_t n = nPoints;
+    if (n == 1) {
+        spectrum[0] = in[0];
+        return;
+    }
+
+    // Pack even samples into the real lane and odd samples into the
+    // imaginary lane, run one half-size complex FFT, then unscramble:
+    // X[k] = Fe[k] + W_n^k * Fo[k], where Fe/Fo are the spectra of the
+    // even/odd subsequences recovered from the packed transform.
+    const std::size_t h = n / 2;
+    scratch.resize(h);
+    for (std::size_t k = 0; k < h; ++k)
+        scratch[k] = {in[2 * k], in[2 * k + 1]};
+    half->forward(scratch.data());
+
+    // DC and Nyquist come straight from the k = 0 term.
+    spectrum[0] = {scratch[0].real() + scratch[0].imag(), 0.0};
+    spectrum[h] = {scratch[0].real() - scratch[0].imag(), 0.0};
+
+    for (std::size_t k = 1; k < h; ++k) {
+        const std::complex<double> zk = scratch[k];
+        const std::complex<double> zc = std::conj(scratch[h - k]);
+        const std::complex<double> fe = 0.5 * (zk + zc);
+        // (zk - zc) / (2i) == -0.5i * (zk - zc)
+        const std::complex<double> fo =
+            std::complex<double>(0.0, -0.5) * (zk - zc);
+        spectrum[k] = fe + twiddle[k] * fo;
+    }
+}
+
+std::shared_ptr<const FftPlan>
+FftPlan::forSize(std::size_t n)
+{
+    SCALO_ASSERT(isPowerOfTwo(n), "FFT size ", n, " not a power of two");
+    static std::mutex cache_mtx;
+    static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+    {
+        std::lock_guard<std::mutex> lock(cache_mtx);
+        auto it = cache.find(n);
+        if (it != cache.end())
+            return it->second;
+    }
+    // Construct outside the lock: the constructor recurses into
+    // forSize(n/2) for its rfft half-plan. A racing duplicate
+    // construction is benign; first insert wins.
+    auto plan = std::make_shared<const FftPlan>(n);
+    std::lock_guard<std::mutex> lock(cache_mtx);
+    auto [it, inserted] = cache.emplace(n, std::move(plan));
+    return it->second;
+}
+
+} // namespace scalo::signal

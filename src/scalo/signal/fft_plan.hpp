@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Planned radix-2 FFT: the optimized kernel behind every spectral path
+ * in SCALO (band-power features, Butterworth design checks, SSH/EMD
+ * hashing experiments, and the FFT PE microbenchmarks).
+ *
+ * A plan precomputes, once per size, everything the naive transform
+ * recomputed per call:
+ *  - the bit-reversal permutation table, and
+ *  - the full twiddle table W_n^k = exp(-2*pi*i*k/n) for k < n/2
+ *    (the naive kernel derived twiddles incrementally per butterfly,
+ *    which is both slower and less accurate).
+ *
+ * Plans are immutable after construction, so one plan may be shared by
+ * any number of threads. `FftPlan::forSize(n)` returns a cached plan
+ * from a mutex-protected per-process cache; hot loops should hold the
+ * returned shared_ptr instead of re-looking it up per window.
+ *
+ * Scratch convention: methods that need temporary storage take a
+ * caller-provided buffer (resized on first use, reused afterwards) so
+ * steady-state operation performs no allocation. See DESIGN.md,
+ * "The kernel layer".
+ */
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace scalo::signal {
+
+/** Immutable, shareable execution plan for one FFT size. */
+class FftPlan
+{
+  public:
+    /** Build a plan for @p n points. @pre n is a power of two. */
+    explicit FftPlan(std::size_t n);
+
+    /** Planned size in points. */
+    std::size_t size() const { return nPoints; }
+
+    /** In-place forward DFT of @p data (length size()). */
+    void forward(std::complex<double> *data) const;
+
+    /** In-place inverse DFT of @p data (length size()), 1/n scaled. */
+    void inverse(std::complex<double> *data) const;
+
+    /** Convenience overloads checking the vector length. */
+    void forward(std::vector<std::complex<double>> &data) const;
+    void inverse(std::vector<std::complex<double>> &data) const;
+
+    /**
+     * Real-input FFT: the first size()/2 + 1 spectrum bins
+     * (DC .. Nyquist) of the real signal @p in (length size()).
+     *
+     * Runs one complex FFT of half the planned size plus an O(n)
+     * recombination, roughly halving the complex-FFT work of the
+     * naive real-via-complex route.
+     *
+     * @param in       real input, size() samples
+     * @param spectrum output, size()/2 + 1 bins
+     * @param scratch  caller-provided workspace, resized as needed and
+     *                 reusable across calls (no steady-state allocation)
+     */
+    void rfft(const double *in, std::complex<double> *spectrum,
+              std::vector<std::complex<double>> &scratch) const;
+
+    /**
+     * Shared plan for @p n points from the process-wide cache
+     * (thread-safe). @pre n is a power of two.
+     */
+    static std::shared_ptr<const FftPlan> forSize(std::size_t n);
+
+  private:
+    void transform(std::complex<double> *data, bool inv) const;
+
+    std::size_t nPoints;
+    /** Precomputed index permutation: data[i] <-> data[bitrev[i]]. */
+    std::vector<std::uint32_t> bitrev;
+    /** W_n^k for k in [0, n/2): forward twiddles; inverse conjugates. */
+    std::vector<std::complex<double>> twiddle;
+    /** Plan of half the size driving rfft (null when size() < 2). */
+    std::shared_ptr<const FftPlan> half;
+};
+
+} // namespace scalo::signal

@@ -1,0 +1,93 @@
+#include "scalo/signal/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::signal::reference {
+
+std::vector<std::complex<double>>
+naiveDft(const std::vector<std::complex<double>> &input)
+{
+    const std::size_t n = input.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) {
+            const double angle = -2.0 * std::numbers::pi *
+                                 static_cast<double>(j * k) /
+                                 static_cast<double>(n);
+            acc += input[j] * std::polar(1.0, angle);
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<std::complex<double>>
+naiveInverseDft(const std::vector<std::complex<double>> &input)
+{
+    const std::size_t n = input.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) {
+            const double angle = 2.0 * std::numbers::pi *
+                                 static_cast<double>(j * k) /
+                                 static_cast<double>(n);
+            acc += input[j] * std::polar(1.0, angle);
+        }
+        out[k] = acc / static_cast<double>(n);
+    }
+    return out;
+}
+
+double
+naiveDtw(const std::vector<double> &a, const std::vector<double> &b,
+         std::size_t band)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    if (n == 0 || m == 0)
+        return (n == m) ? 0.0 : std::numeric_limits<double>::infinity();
+
+    const std::size_t min_band = (n > m) ? (n - m) : (m - n);
+    band = std::max(band, min_band + 1);
+
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> prev(m + 1, inf);
+    std::vector<double> curr(m + 1, inf);
+    prev[0] = 0.0;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::fill(curr.begin(), curr.end(), inf);
+        const std::size_t j_lo = (i > band) ? (i - band) : 1;
+        const std::size_t j_hi = std::min(m, i + band);
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const double cost = std::abs(a[i - 1] - b[j - 1]);
+            const double best =
+                std::min({prev[j], curr[j - 1], prev[j - 1]});
+            curr[j] = cost + best;
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+double
+naiveEuclidean(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SCALO_ASSERT(a.size() == b.size(), "size mismatch ", a.size(),
+                 " vs ", b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+} // namespace scalo::signal::reference

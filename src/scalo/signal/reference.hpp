@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Naive reference implementations of the signal kernels, retained for
+ * parity/property testing of the optimised kernel layer (FftPlan,
+ * the scratch-based banded DTW, and the batched Euclidean sweep).
+ * These are deliberately the textbook formulations — O(n^2) DFT,
+ * full-row DP fills — so a kernel bug cannot hide in shared code.
+ * Test-only: nothing on a hot path may call into this header.
+ */
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace scalo::signal::reference {
+
+/** O(n^2) forward DFT: X[k] = sum_j x[j] e^{-2 pi i j k / n}. */
+std::vector<std::complex<double>>
+naiveDft(const std::vector<std::complex<double>> &input);
+
+/** O(n^2) inverse DFT (with the 1/n normalisation). */
+std::vector<std::complex<double>>
+naiveInverseDft(const std::vector<std::complex<double>> &input);
+
+/**
+ * Banded DTW exactly as shipped before the kernel layer: rolling
+ * two-row DP with a full O(m) infinity fill per row and no early
+ * abandoning.
+ */
+double naiveDtw(const std::vector<double> &a,
+                const std::vector<double> &b, std::size_t band);
+
+/** Per-pair Euclidean distance with an immediate sqrt. */
+double naiveEuclidean(const std::vector<double> &a,
+                      const std::vector<double> &b);
+
+} // namespace scalo::signal::reference

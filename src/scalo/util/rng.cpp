@@ -1,6 +1,7 @@
 #include "scalo/util/rng.hpp"
 
 #include <cmath>
+#include <numbers>
 
 namespace scalo {
 
@@ -97,7 +98,7 @@ Rng::gaussian()
         u1 = uniform();
     const double u2 = uniform();
     const double r = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * M_PI * u2;
+    const double theta = 2.0 * std::numbers::pi * u2;
     cachedGaussian = r * std::sin(theta);
     hasCachedGaussian = true;
     return r * std::cos(theta);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "scalo/app/query_engine.hpp"
 #include "scalo/app/store.hpp"
@@ -22,7 +23,7 @@ windowOf(double freq, std::size_t n, double phase, Rng *noise)
 {
     std::vector<double> out(n);
     for (std::size_t i = 0; i < n; ++i) {
-        out[i] = std::sin(2.0 * M_PI * freq *
+        out[i] = std::sin(2.0 * std::numbers::pi * freq *
                               static_cast<double>(i) /
                               static_cast<double>(n) +
                           phase);
@@ -245,6 +246,35 @@ TEST_F(QueryEngineFixture, Q2ExactConfirmationTightensMatches)
         EXPECT_TRUE(window->seizureFlagged);
     // Exact scanning costs more time.
     EXPECT_GT(exact.latency.count(), 0.0);
+}
+
+TEST_F(QueryEngineFixture, EuclideanConfirmMatchesBruteForce)
+{
+    // The batched-Euclidean confirm path must produce exactly the
+    // match set of filtering candidates by per-pair distance.
+    Rng noise(17);
+    const auto probe = windowOf(6.0, 120, 0.3, &noise);
+    const double threshold = 8.0;
+    const auto hash_only =
+        engine->execute(Query::q2(0, 200'000, probe));
+    const auto confirmed = engine->execute(Query::q2(
+        0, 200'000, probe, threshold, signal::Measure::Euclidean));
+
+    std::vector<const StoredWindow *> expected;
+    for (const StoredWindow *window : hash_only.matches)
+        if (signal::euclideanDistance(probe, window->samples) <=
+            threshold)
+            expected.push_back(window);
+    ASSERT_EQ(confirmed.matches.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(confirmed.matches[i], expected[i]);
+
+    // Confirmation comparisons are counted like DTW's (the DTW PE
+    // with band = 1 is the Euclidean unit).
+    std::size_t compared = 0;
+    for (const QueryStats &stats : confirmed.perNode)
+        compared += stats.dtwComparisons;
+    EXPECT_GE(compared, hash_only.matches.size());
 }
 
 TEST_F(QueryEngineFixture, HashPrefilteredDtwComposesFilters)

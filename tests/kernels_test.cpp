@@ -1,0 +1,392 @@
+/**
+ * Parity and property tests for the optimised kernel layer against the
+ * retained naive references (scalo/signal/reference.hpp,
+ * scalo/linalg/reference.hpp): planned FFT/rfft including the
+ * non-power-of-two padding path, blocked/transposed matmul, batched
+ * Euclidean distances, banded DTW with early abandoning, SSH shingle
+ * counting, and ThreadPool::parallelFor determinism.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scalo/linalg/kernels.hpp"
+#include "scalo/linalg/matrix.hpp"
+#include "scalo/linalg/reference.hpp"
+#include "scalo/lsh/ssh.hpp"
+#include "scalo/signal/distance.hpp"
+#include "scalo/signal/fft.hpp"
+#include "scalo/signal/fft_plan.hpp"
+#include "scalo/signal/reference.hpp"
+#include "scalo/util/rng.hpp"
+#include "scalo/util/thread_pool.hpp"
+
+namespace {
+
+using scalo::Rng;
+
+/** Max |a - b| over two complex spectra, relative to the peak. */
+double
+relSpectrumError(const std::vector<std::complex<double>> &got,
+                 const std::vector<std::complex<double>> &want)
+{
+    EXPECT_EQ(got.size(), want.size());
+    double peak = 1.0;
+    for (const auto &v : want)
+        peak = std::max(peak, std::abs(v));
+    double worst = 0.0;
+    for (std::size_t i = 0; i < got.size(); ++i)
+        worst = std::max(worst, std::abs(got[i] - want[i]) / peak);
+    return worst;
+}
+
+std::vector<double>
+randomSignal(Rng &rng, std::size_t n)
+{
+    std::vector<double> out(n);
+    for (double &v : out)
+        v = rng.gaussian(0.0, 1.0);
+    return out;
+}
+
+TEST(FftPlanParity, MatchesNaiveDftAcrossSizes)
+{
+    Rng rng(101);
+    for (std::size_t n = 1; n <= 256; n *= 2) {
+        std::vector<std::complex<double>> data(n);
+        for (auto &v : data)
+            v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+        const auto want = scalo::signal::reference::naiveDft(data);
+        auto got = data;
+        scalo::signal::FftPlan::forSize(n)->forward(got);
+        EXPECT_LT(relSpectrumError(got, want), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(FftPlanParity, InverseRoundTripsForward)
+{
+    Rng rng(102);
+    for (std::size_t n = 1; n <= 512; n *= 2) {
+        std::vector<std::complex<double>> data(n);
+        for (auto &v : data)
+            v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+        auto work = data;
+        const auto plan = scalo::signal::FftPlan::forSize(n);
+        plan->forward(work);
+        plan->inverse(work);
+        EXPECT_LT(relSpectrumError(work, data), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(FftPlanParity, RfftMatchesComplexTransform)
+{
+    Rng rng(103);
+    std::vector<std::complex<double>> scratch;
+    for (std::size_t n = 1; n <= 256; n *= 2) {
+        const auto real = randomSignal(rng, n);
+        std::vector<std::complex<double>> full(real.begin(), real.end());
+        const auto want = scalo::signal::reference::naiveDft(full);
+
+        std::vector<std::complex<double>> spectrum(n / 2 + 1);
+        scalo::signal::FftPlan::forSize(n)->rfft(real.data(),
+                                                 spectrum.data(),
+                                                 scratch);
+        const std::vector<std::complex<double>> want_head(
+            want.begin(),
+            want.begin() + static_cast<long>(n / 2 + 1));
+        EXPECT_LT(relSpectrumError(spectrum, want_head), 1e-9)
+            << "n=" << n;
+    }
+}
+
+TEST(FftPlanParity, MagnitudeSpectrumPadsNonPowerOfTwo)
+{
+    Rng rng(104);
+    // Sizes straddling powers of two exercise the zero-padding path.
+    for (std::size_t n : {1u, 3u, 5u, 17u, 63u, 65u, 100u, 129u}) {
+        const auto real = randomSignal(rng, n);
+        const std::size_t padded = scalo::signal::nextPowerOfTwo(n);
+        std::vector<std::complex<double>> full(padded);
+        for (std::size_t i = 0; i < n; ++i)
+            full[i] = real[i];
+        const auto want = scalo::signal::reference::naiveDft(full);
+
+        const auto mags = scalo::signal::magnitudeSpectrum(real);
+        ASSERT_EQ(mags.size(), padded / 2 + 1) << "n=" << n;
+        for (std::size_t k = 0; k < mags.size(); ++k)
+            EXPECT_NEAR(mags[k], std::abs(want[k]),
+                        1e-9 * (1.0 + std::abs(want[k])))
+                << "n=" << n << " k=" << k;
+    }
+}
+
+TEST(FftPlanParity, ScratchOverloadMatchesAllocating)
+{
+    Rng rng(105);
+    scalo::signal::SpectrumScratch scratch;
+    std::vector<double> out;
+    // Reuse one scratch across different sizes to exercise regrowth.
+    for (std::size_t n : {96u, 31u, 256u, 96u}) {
+        const auto real = randomSignal(rng, n);
+        const auto want = scalo::signal::magnitudeSpectrum(real);
+        scalo::signal::magnitudeSpectrum(real, scratch, out);
+        ASSERT_EQ(out.size(), want.size());
+        for (std::size_t k = 0; k < out.size(); ++k)
+            EXPECT_DOUBLE_EQ(out[k], want[k]);
+
+        const std::vector<scalo::signal::Band> bands{
+            {1.0, 4.0}, {4.0, 8.0}, {8.0, 13.0}};
+        const auto want_power =
+            scalo::signal::bandPower(real, 250.0, bands);
+        std::vector<double> powers;
+        scalo::signal::bandPower(real, 250.0, bands, scratch, powers);
+        ASSERT_EQ(powers.size(), want_power.size());
+        for (std::size_t b = 0; b < powers.size(); ++b)
+            EXPECT_DOUBLE_EQ(powers[b], want_power[b]);
+    }
+}
+
+TEST(FftPlanParity, DeprecatedForwardersStillWork)
+{
+    Rng rng(106);
+    std::vector<std::complex<double>> data(64);
+    for (auto &v : data)
+        v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+    auto via_plan = data;
+    scalo::signal::FftPlan::forSize(64)->forward(via_plan);
+    auto via_forwarder = data;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    scalo::signal::fft(via_forwarder);
+    scalo::signal::ifft(via_forwarder);
+#pragma GCC diagnostic pop
+    scalo::signal::FftPlan::forSize(64)->inverse(via_plan);
+    EXPECT_LT(relSpectrumError(via_forwarder, via_plan), 1e-12);
+}
+
+TEST(MatmulParity, MulIntoMatchesNaiveOnRandomShapes)
+{
+    Rng rng(201);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t r = 1 + rng.below(17);
+        const std::size_t k = 1 + rng.below(17);
+        const std::size_t c = 1 + rng.below(17);
+        scalo::linalg::Matrix a(r, k), b(k, c);
+        for (std::size_t i = 0; i < r; ++i)
+            for (std::size_t j = 0; j < k; ++j)
+                a.at(i, j) = rng.gaussian(0.0, 1.0);
+        for (std::size_t i = 0; i < k; ++i)
+            for (std::size_t j = 0; j < c; ++j)
+                b.at(i, j) = rng.gaussian(0.0, 1.0);
+
+        const auto want = scalo::linalg::reference::naiveMul(a, b);
+        scalo::linalg::Matrix got;
+        scalo::linalg::mulInto(a, b, got);
+        EXPECT_EQ(scalo::linalg::Matrix::maxAbsDiff(got, want), 0.0)
+            << r << "x" << k << "x" << c;
+
+        scalo::linalg::Matrix bt(c, k);
+        for (std::size_t i = 0; i < c; ++i)
+            for (std::size_t j = 0; j < k; ++j)
+                bt.at(i, j) = rng.gaussian(0.0, 1.0);
+        const auto want_t =
+            scalo::linalg::reference::naiveMulTransposed(a, bt);
+        scalo::linalg::Matrix got_t;
+        scalo::linalg::mulTransposedInto(a, bt, got_t);
+        EXPECT_LT(scalo::linalg::Matrix::maxAbsDiff(got_t, want_t),
+                  1e-12)
+            << r << "x" << k << "x" << c;
+    }
+}
+
+TEST(MatmulParity, InverseIntoRoundTripsRandomSpd)
+{
+    Rng rng(202);
+    for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+        // A A^T + n I is symmetric positive definite, so invertible.
+        scalo::linalg::Matrix a(n, n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                a.at(i, j) = rng.gaussian(0.0, 1.0);
+        scalo::linalg::Matrix spd;
+        scalo::linalg::mulTransposedInto(a, a, spd);
+        for (std::size_t i = 0; i < n; ++i)
+            spd.at(i, i) += static_cast<double>(n);
+
+        scalo::linalg::Matrix aug, inv, prod;
+        scalo::linalg::inverseInto(spd, aug, inv);
+        scalo::linalg::mulInto(spd, inv, prod);
+        const auto eye = scalo::linalg::Matrix::identity(n);
+        EXPECT_LT(scalo::linalg::Matrix::maxAbsDiff(prod, eye), 1e-9)
+            << "n=" << n;
+    }
+}
+
+TEST(BatchedDistance, MatchesPerPairNaive)
+{
+    Rng rng(301);
+    const auto query = randomSignal(rng, 96);
+    std::vector<std::vector<double>> windows;
+    for (int i = 0; i < 20; ++i)
+        windows.push_back(randomSignal(rng, 96));
+    std::vector<const std::vector<double> *> candidates;
+    for (const auto &w : windows)
+        candidates.push_back(&w);
+
+    const auto got =
+        scalo::signal::euclideanDistanceMany(query, candidates);
+    ASSERT_EQ(got.size(), windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const double want =
+            scalo::signal::reference::naiveEuclidean(query, windows[i]);
+        EXPECT_NEAR(got[i], want, 1e-9 * (1.0 + want)) << "i=" << i;
+    }
+}
+
+TEST(BatchedDistance, HandlesEmptyAndDegenerateInputs)
+{
+    // No candidates: the output shrinks to empty.
+    std::vector<double> out{1.0, 2.0};
+    scalo::signal::euclideanDistanceMany({1.0, 2.0}, {}, out);
+    EXPECT_TRUE(out.empty());
+
+    // Zero-length query against zero-length candidates: all zeros.
+    const std::vector<double> empty;
+    const std::vector<const std::vector<double> *> empties{&empty,
+                                                           &empty};
+    const auto zeros =
+        scalo::signal::euclideanDistanceMany(empty, empties);
+    ASSERT_EQ(zeros.size(), 2u);
+    EXPECT_EQ(zeros[0], 0.0);
+    EXPECT_EQ(zeros[1], 0.0);
+
+    // Identical signals are at distance zero.
+    const std::vector<double> sig{1.0, -2.0, 3.0};
+    const std::vector<const std::vector<double> *> same{&sig};
+    EXPECT_EQ(scalo::signal::euclideanDistanceMany(sig, same)[0], 0.0);
+}
+
+TEST(DtwKernel, ScratchOverloadMatchesNaiveAcrossBands)
+{
+    Rng rng(401);
+    scalo::signal::DtwScratch scratch;
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 1 + rng.below(64);
+        const std::size_t m = 1 + rng.below(64);
+        const auto a = randomSignal(rng, n);
+        const auto b = randomSignal(rng, m);
+        // Band edges: diagonal-only, tiny, typical, and full-matrix.
+        for (std::size_t band :
+             {std::size_t{1}, std::size_t{2}, n / 10 + 1,
+              std::max(n, m) + 1}) {
+            const double want =
+                scalo::signal::reference::naiveDtw(a, b, band);
+            EXPECT_DOUBLE_EQ(
+                scalo::signal::dtwDistance(a, b, band), want);
+            EXPECT_DOUBLE_EQ(
+                scalo::signal::dtwDistance(a, b, band, scratch), want);
+        }
+    }
+}
+
+TEST(DtwKernel, DegenerateInputs)
+{
+    const std::vector<double> empty;
+    const std::vector<double> one{1.0};
+    EXPECT_EQ(scalo::signal::dtwDistance(empty, empty, 1), 0.0);
+    EXPECT_TRUE(std::isinf(scalo::signal::dtwDistance(empty, one, 1)));
+    EXPECT_TRUE(std::isinf(scalo::signal::dtwDistance(one, empty, 1)));
+    EXPECT_EQ(scalo::signal::dtwDistance(one, one, 1), 0.0);
+}
+
+TEST(DtwKernel, EarlyAbandonPreservesThresholdDecisions)
+{
+    Rng rng(402);
+    scalo::signal::DtwScratch scratch;
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t n = 8 + rng.below(56);
+        const auto a = randomSignal(rng, n);
+        const auto b = randomSignal(rng, n);
+        const std::size_t band = std::max<std::size_t>(1, n / 10);
+        const double exact = scalo::signal::dtwDistance(a, b, band);
+        // Cutoffs straddling the exact distance, plus extremes.
+        for (const double cutoff :
+             {0.0, exact * 0.5, exact, exact * 1.5, 1e12}) {
+            const double got = scalo::signal::dtwDistanceEarlyAbandon(
+                a, b, band, cutoff, scratch);
+            if (exact <= cutoff) {
+                // No row can abandon: the result is exact.
+                EXPECT_DOUBLE_EQ(got, exact) << "cutoff=" << cutoff;
+            } else {
+                // Abandoned (or finished): a lower bound > cutoff.
+                EXPECT_GT(got, cutoff);
+                EXPECT_LE(got, exact + 1e-9 * exact);
+            }
+        }
+    }
+}
+
+TEST(SshShingles, CountingTableMatchesMapRecount)
+{
+    Rng rng(501);
+    scalo::lsh::SshParams params;
+    for (const unsigned ngram : {1u, 3u, 5u, 12u}) {
+        params.ngramSize = ngram;
+        const scalo::lsh::SshHasher hasher(params);
+        const auto signal = randomSignal(rng, 480);
+        const auto bits = hasher.sketch(signal);
+        const auto got = hasher.shingles(bits);
+
+        std::map<std::uint32_t, std::uint32_t> want;
+        if (bits.size() >= ngram) {
+            for (std::size_t i = 0; i + ngram <= bits.size(); ++i) {
+                std::uint32_t pattern = 0;
+                for (unsigned j = 0; j < ngram; ++j)
+                    pattern = (pattern << 1) | (bits[i + j] & 1);
+                ++want[pattern];
+            }
+        }
+        ASSERT_EQ(got.size(), want.size()) << "ngram=" << ngram;
+        auto it = want.begin();
+        for (std::size_t i = 0; i < got.size(); ++i, ++it) {
+            // Output must be sorted by pattern (the old sort+count
+            // contract) with counts capped at maxShingleCount.
+            EXPECT_EQ(got[i].first, it->first);
+            EXPECT_EQ(got[i].second,
+                      std::min<std::uint32_t>(it->second,
+                                              params.maxShingleCount));
+            if (i != 0) {
+                EXPECT_LT(got[i - 1].first, got[i].first);
+            }
+        }
+    }
+}
+
+TEST(ThreadPoolKernel, ParallelForIsDeterministicAcrossWidths)
+{
+    constexpr std::size_t kCount = 997;
+    std::vector<double> expected(kCount);
+    for (std::size_t i = 0; i < kCount; ++i)
+        expected[i] = std::sqrt(static_cast<double>(i)) * 3.25;
+
+    for (const std::size_t threads : {1u, 2u, 5u, 16u}) {
+        scalo::util::ThreadPool pool(threads);
+        for (int repeat = 0; repeat < 3; ++repeat) {
+            std::vector<double> got(kCount, -1.0);
+            pool.parallelFor(kCount, [&](std::size_t i) {
+                got[i] = std::sqrt(static_cast<double>(i)) * 3.25;
+            });
+            // Every index runs exactly once and lands in its own
+            // slot, so the result is bitwise identical regardless of
+            // pool width or scheduling order.
+            EXPECT_EQ(got, expected) << "threads=" << threads;
+        }
+    }
+}
+
+} // namespace

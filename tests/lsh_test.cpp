@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "scalo/lsh/collision.hpp"
 #include "scalo/lsh/emd_hash.hpp"
@@ -24,9 +25,9 @@ sine(double freq, std::size_t n, double phase = 0.0)
 {
     std::vector<double> out(n);
     for (std::size_t i = 0; i < n; ++i)
-        out[i] =
-            std::sin(2.0 * M_PI * freq * static_cast<double>(i) / 1000.0 +
-                     phase);
+        out[i] = std::sin(2.0 * std::numbers::pi * freq *
+                              static_cast<double>(i) / 1000.0 +
+                          phase);
     return out;
 }
 

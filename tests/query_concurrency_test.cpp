@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numbers>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -85,7 +86,7 @@ shapedWindow(double freq, std::size_t n, double phase, Rng &noise,
 {
     std::vector<double> out(n);
     for (std::size_t i = 0; i < n; ++i)
-        out[i] = std::sin(2.0 * M_PI * freq *
+        out[i] = std::sin(2.0 * std::numbers::pi * freq *
                               static_cast<double>(i) /
                               static_cast<double>(n) +
                           phase) +
