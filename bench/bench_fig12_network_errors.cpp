@@ -26,8 +26,11 @@ main()
 
     TextTable table({"BER", "hash packets err (%)",
                      "signal packets err (%)", "DTW failure (%)"});
+    std::vector<std::string> trace_lines;
     for (double ber : {1e-4, 1e-5, 1e-6}) {
-        const auto point = sim::measureNetworkErrors(ber, 4'000, 5);
+        sim::Trace trace;
+        const auto point =
+            sim::measureNetworkErrors(ber, 4'000, 5, &trace);
         char label[16];
         std::snprintf(label, sizeof(label), "%.0e", ber);
         table.addRow(
@@ -37,8 +40,14 @@ main()
                             2),
              TextTable::num(100.0 * point.dtwDecisionFailureFraction,
                             2)});
+        trace_lines.push_back(std::string(label) + ": " +
+                              trace.totals().summary());
     }
     table.print();
+
+    std::printf("\ntrace counters per sweep point:\n");
+    for (const std::string &line : trace_lines)
+        std::printf("  %s\n", line.c_str());
 
     std::printf("\nreceiver policy (Section 3.4): hash packets with "
                 "checksum errors are dropped;\nsignal packets flow "

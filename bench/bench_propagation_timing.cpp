@@ -38,7 +38,8 @@ main()
     table.print();
 
     sim::PropagationTimingConfig config;
-    const auto stages = sim::simulatePropagationTiming(config);
+    sim::Trace trace;
+    const auto stages = sim::simulatePropagationTiming(config, &trace);
     std::printf("\nstage decomposition at 11 nodes (means, ms):\n");
     std::printf("  TDMA slot wait     %.2f\n", stages.slotWait.count());
     std::printf("  hash broadcast     %.2f\n",
@@ -54,5 +55,8 @@ main()
     std::printf("  --------------------------\n");
     std::printf("  total (mean/max)   %.2f / %.2f\n",
                 stages.meanTotal.count(), stages.maxTotal.count());
+    std::printf("\ntrace counters (1000 episodes at 11 nodes):\n"
+                "  %s\n",
+                trace.totals().summary().c_str());
     return 0;
 }

@@ -12,6 +12,11 @@
 #                          regressions vs the committed one
 #                          (SCALO_BENCH_TOLERANCE, default 0.25;
 #                          report-only, never fails the build)
+#   ci/check.sh trace      run a small SystemSim scenario, export the
+#                          Chrome trace JSON, validate its structure
+#                          with ci/validate_trace.py
+#   ci/check.sh tsan       ThreadSanitizer build + the simulation
+#                          runtime tests
 #
 # Gates are independent build trees (build-ci-*) so the developer's
 # ./build is never touched.
@@ -122,6 +127,36 @@ gate_bench() {
     echo "refreshed BENCH_kernels.json (commit it to move the baseline)"
 }
 
+gate_trace() {
+    # End-to-end observability check: schedule + simulate a small
+    # system, export the event trace, and validate the Chrome JSON
+    # invariants Perfetto relies on.
+    local dir="$ROOT/build-ci-tier1"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" \
+            --target example_simulate_system || return 1
+    local trace="$dir/system_trace.json"
+    "$dir/examples/example_simulate_system" --trace "$trace" ||
+        return 1
+    python3 "$ROOT/ci/validate_trace.py" "$trace"
+}
+
+gate_tsan() {
+    # The discrete-event engine is single-threaded by design; TSan
+    # guards the boundary where the parallel query runtime and the
+    # simulation runtime share process state.
+    local dir="$ROOT/build-ci-tsan"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_SANITIZE=thread >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" \
+            --target sim_test system_sim_test \
+            query_concurrency_test &&
+        ctest --test-dir "$dir" -j "$JOBS" --output-on-failure \
+            -R '^(Simulator|SystemSim|NetworkErrors|HashEncodingDelay|NetworkBerDelay|ThreadPool|ShardedQuery)'
+}
+
 gate_tidy() {
     if ! command -v clang-tidy >/dev/null 2>&1; then
         echo "clang-tidy not installed; skipping (gate passes vacuously)"
@@ -143,6 +178,8 @@ main() {
     negative) run_gate negative gate_negative ;;
     tidy) run_gate tidy gate_tidy ;;
     bench) run_gate bench gate_bench ;;
+    trace) run_gate trace gate_trace ;;
+    tsan) run_gate tsan gate_tsan ;;
     all)
         run_gate tier1 gate_tier1
         run_gate sanitize gate_sanitize
@@ -150,9 +187,11 @@ main() {
         run_gate negative gate_negative
         run_gate tidy gate_tidy
         run_gate bench gate_bench
+        run_gate trace gate_trace
+        run_gate tsan gate_tsan
         ;;
     *)
-        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|all]"
+        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|trace|tsan|all]"
         exit 2
         ;;
     esac

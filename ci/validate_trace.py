@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON exported by sim::Trace.
+
+Checks the structural invariants Perfetto / chrome://tracing rely on:
+
+  - top level is an object with a "traceEvents" array
+  - every event carries name/ph/ts/pid/tid
+  - ph is one of B, E, i, M
+  - non-metadata timestamps are monotonically non-decreasing (the
+    exporter stable-sorts, so any regression here is a real bug)
+  - B/E duration events are balanced per (pid, tid) lane
+
+Usage: ci/validate_trace.py trace.json
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> "int":
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(f"not valid JSON: {err}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return fail("'traceEvents' must be a non-empty array")
+
+    last_ts = None
+    open_spans = {}  # (pid, tid) -> depth
+    counts = {}
+    for index, event in enumerate(events):
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                return fail(f"event {index} missing '{field}'")
+        phase = event["ph"]
+        counts[phase] = counts.get(phase, 0) + 1
+        if phase not in ("B", "E", "i", "M"):
+            return fail(f"event {index} has unknown ph '{phase}'")
+        if phase == "M":  # metadata carries no timestamp
+            continue
+        if "ts" not in event:
+            return fail(f"event {index} missing 'ts'")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(f"event {index} has bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            return fail(
+                f"event {index} ts {ts} < previous {last_ts} "
+                "(export must be time-sorted)"
+            )
+        last_ts = ts
+        lane = (event["pid"], event["tid"])
+        if phase == "B":
+            open_spans[lane] = open_spans.get(lane, 0) + 1
+        elif phase == "E":
+            depth = open_spans.get(lane, 0)
+            if depth == 0:
+                return fail(f"event {index}: 'E' without open 'B' on {lane}")
+            open_spans[lane] = depth - 1
+
+    unbalanced = {lane: d for lane, d in open_spans.items() if d}
+    if unbalanced:
+        return fail(f"unclosed duration spans: {unbalanced}")
+
+    summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"validate_trace: OK: {len(events)} events ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,16 +166,6 @@ const char *queryName(QueryKind kind);
  */
 units::Millis timeRangeFor(units::Megabytes data, std::size_t nodes);
 
-/** @name Deprecated raw-double accessors (pre-units API) */
-///@{
-[[deprecated("use timeRangeFor()")]]
-inline double
-timeRangeMsFor(double data_mb, std::size_t nodes)
-{
-    return timeRangeFor(units::Megabytes{data_mb}, nodes).count();
-}
-///@}
-
 /** Fixed dispatch + aggregation overhead, calibrated. */
 inline constexpr units::Millis kQueryDispatch{44.0};
 

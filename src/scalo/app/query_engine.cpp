@@ -233,26 +233,4 @@ QueryEngine::execute(const Query &query) const
     return execution;
 }
 
-QueryExecution
-QueryEngine::q1SeizureWindows(std::uint64_t t0_us,
-                              std::uint64_t t1_us) const
-{
-    return execute(Query::q1(t0_us, t1_us));
-}
-
-QueryExecution
-QueryEngine::q2TemplateMatch(std::uint64_t t0_us, std::uint64_t t1_us,
-                             const std::vector<double> &probe,
-                             double dtw_threshold) const
-{
-    return execute(Query::q2(t0_us, t1_us, probe, dtw_threshold));
-}
-
-QueryExecution
-QueryEngine::q3TimeRange(std::uint64_t t0_us,
-                         std::uint64_t t1_us) const
-{
-    return execute(Query::q3(t0_us, t1_us));
-}
-
 } // namespace scalo::app

@@ -103,27 +103,6 @@ class QueryEngine
     void setParallelism(std::size_t threads);
     std::size_t parallelism() const { return threads; }
 
-    /** Q1: all seizure-flagged windows in [t0, t1]. */
-    [[deprecated("build a Query with Query::q1 and call execute")]]
-    QueryExecution q1SeizureWindows(std::uint64_t t0_us,
-                                    std::uint64_t t1_us) const;
-
-    /**
-     * Q2: all windows in [t0, t1] whose hash matches @p probe
-     * (optionally confirmed with exact DTW at @p dtw_threshold;
-     * negative threshold skips confirmation).
-     */
-    [[deprecated("build a Query with Query::q2 and call execute")]]
-    QueryExecution q2TemplateMatch(std::uint64_t t0_us,
-                                   std::uint64_t t1_us,
-                                   const std::vector<double> &probe,
-                                   double dtw_threshold = -1.0) const;
-
-    /** Q3: everything in [t0, t1]. */
-    [[deprecated("build a Query with Query::q3 and call execute")]]
-    QueryExecution q3TimeRange(std::uint64_t t0_us,
-                               std::uint64_t t1_us) const;
-
     /** Per-node store access. */
     const SignalStore &store(NodeId node) const;
 

@@ -79,15 +79,6 @@ class StimulationController
      */
     units::Milliwatts power(const StimPattern &pattern) const;
 
-    /** @name Deprecated raw-double accessor (pre-units API) */
-    ///@{
-    [[deprecated("use power() -> units::Milliwatts")]] double
-    powerMw(const StimPattern &pattern) const
-    {
-        return power(pattern).count();
-    }
-    ///@}
-
     /**
      * Issue a validated pattern. @return false (with no effect) when
      * validation fails. Commands are counted for test observability.

@@ -102,20 +102,6 @@ class SignalStore
     /** Modeled time spent persisting everything appended. */
     units::Millis totalWriteCost() const { return writeCost; }
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use readCost()")]] double
-    readCostMs(std::size_t window_count) const
-    {
-        return readCost(window_count).count();
-    }
-    [[deprecated("use totalWriteCost()")]] double
-    totalWriteCostMs() const
-    {
-        return totalWriteCost().count();
-    }
-    ///@}
-
     const hw::StorageController &controller() const { return sc; }
 
   private:

@@ -49,6 +49,32 @@ ScaloSystem::maxThroughput(const sched::FlowSpec &flow) const
     return scheduler.maxAggregateThroughput(flow);
 }
 
+sim::SystemSimResult
+ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
+                      const sched::Schedule &schedule,
+                      const SimulateOptions &options) const
+{
+    SCALO_ASSERT(schedule.feasible,
+                 "cannot simulate an infeasible schedule");
+    sim::SystemSimConfig sim_config;
+    sim_config.system.nodes = cfg.nodes;
+    sim_config.system.powerCap = cfg.powerCap;
+    sim_config.system.radio = &net::radioSpec(cfg.radio);
+    sim_config.system.maxElectrodesPerNode =
+        constants::kElectrodesPerNode;
+    sim_config.flows = flows;
+    sim_config.schedule = schedule;
+    sim_config.duration = options.duration;
+    sim_config.seed = cfg.seed;
+    sim_config.recordTrace = !options.tracePath.empty();
+    sim::SystemSim system_sim(std::move(sim_config));
+    sim::SystemSimResult result = system_sim.run();
+    if (!options.tracePath.empty() &&
+        !system_sim.trace().writeChromeJson(options.tracePath))
+        SCALO_FATAL("cannot write trace to ", options.tracePath);
+    return result;
+}
+
 query::CompiledPipeline
 ScaloSystem::program(const std::string &source) const
 {

@@ -21,6 +21,7 @@
 #include "scalo/hw/thermal.hpp"
 #include "scalo/query/language.hpp"
 #include "scalo/sched/scheduler.hpp"
+#include "scalo/sim/runtime/system_sim.hpp"
 
 namespace scalo::core {
 
@@ -33,6 +34,15 @@ struct ScaloConfig
     /** Inter-implant spacing on the cortical surface. */
     units::Millimetres spacing = constants::kImplantSpacing;
     std::uint64_t seed = 0x5ca10;
+};
+
+/** Options for ScaloSystem::simulate. */
+struct SimulateOptions
+{
+    /** Streaming duration the deployment is executed for. */
+    units::Millis duration{400.0};
+    /** When non-empty, export a Chrome trace-event JSON here. */
+    std::string tracePath;
 };
 
 /** A configured SCALO BCI. */
@@ -66,6 +76,18 @@ class ScaloSystem
     maxThroughput(const sched::FlowSpec &flow) const;
 
     /**
+     * Cross-validate a deployment by executing @p schedule (produced
+     * by deploy() for the same @p flows) through the node-level
+     * discrete-event runtime. The result pairs measured per-node
+     * power, response time, and sustainability with the scheduler's
+     * analytic predictions.
+     */
+    sim::SystemSimResult
+    simulate(const std::vector<sched::FlowSpec> &flows,
+             const sched::Schedule &schedule,
+             const SimulateOptions &options = {}) const;
+
+    /**
      * Compile a TrillDSP-style program and validate it against the
      * node fabric. @return the compiled pipeline
      */
@@ -75,23 +97,6 @@ class ScaloSystem
     app::QueryCost interactiveQuery(app::QueryKind kind,
                                     units::Megabytes data,
                                     double matched_fraction) const;
-
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use maxThroughput()")]] double
-    maxThroughputMbps(const sched::FlowSpec &flow) const
-    {
-        return maxThroughput(flow).count();
-    }
-    [[deprecated("use interactiveQuery(kind, units::Megabytes, "
-                 "fraction)")]] app::QueryCost
-    interactiveQuery(app::QueryKind kind, double data_mb,
-                     double matched_fraction) const
-    {
-        return interactiveQuery(kind, units::Megabytes{data_mb},
-                                matched_fraction);
-    }
-    ///@}
 
     /** The per-node fabric (PE inventory). */
     const hw::NodeFabric &fabric() const { return nodeFabric; }

@@ -49,25 +49,4 @@ units::MilliwattHours requiredCapacity(units::Milliwatts load,
                                        units::Hours duration,
                                        const BatterySpec &battery = {});
 
-/** @name Deprecated raw-double accessors (pre-units API) */
-///@{
-
-[[deprecated("use planDailyCycle(units::Milliwatts)")]] inline ChargePlan
-planDailyCycle(double load_mw, const BatterySpec &battery = {})
-{
-    return planDailyCycle(units::Milliwatts{load_mw}, battery);
-}
-
-[[deprecated("use requiredCapacity(units::Milliwatts, "
-             "units::Hours)")]] inline double
-requiredCapacityMwh(double load_mw, double hours,
-                    const BatterySpec &battery = {})
-{
-    return requiredCapacity(units::Milliwatts{load_mw},
-                            units::Hours{hours}, battery)
-        .count();
-}
-
-///@}
-
 } // namespace scalo::hw

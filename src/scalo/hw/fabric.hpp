@@ -50,25 +50,6 @@ class Pipeline
     /** Total pipeline power including replica leakage. */
     units::Microwatts power() const;
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use latency()")]] double
-    latencyMs(bool worst_case = false) const
-    {
-        return latency(worst_case).count();
-    }
-    [[deprecated("use power()")]] double
-    powerUw() const
-    {
-        return power().count();
-    }
-    [[deprecated("use power()")]] double
-    powerMw() const
-    {
-        return power().in<units::Milliwatts>();
-    }
-    ///@}
-
     /** Scale every stage's electrode count by @p factor. */
     void scaleElectrodes(double factor);
 
@@ -105,12 +86,6 @@ class NodeFabric
 
     /** Total idle (leakage) power of the full inventory. */
     units::Microwatts idlePower() const;
-
-    [[deprecated("use idlePower()")]] double
-    idlePowerUw() const
-    {
-        return idlePower().count();
-    }
 
     /** Total fabric area in KGE. */
     double areaKge() const;

@@ -51,40 +51,6 @@ struct NvmSpec
 
     /** Energy to write @p bytes. */
     units::Millijoules writeEnergy(units::Bytes bytes) const;
-
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use readBandwidth()")]] double
-    readBandwidthMBps() const
-    {
-        return readBandwidth().count();
-    }
-    [[deprecated("use writeBandwidth()")]] double
-    writeBandwidthMBps() const
-    {
-        return writeBandwidth().count();
-    }
-    [[deprecated("use readTime(units::Bytes)")]] double
-    readTimeMs(double bytes) const
-    {
-        return readTime(units::Bytes{bytes}).count();
-    }
-    [[deprecated("use writeTime(units::Bytes)")]] double
-    writeTimeMs(double bytes) const
-    {
-        return writeTime(units::Bytes{bytes}).count();
-    }
-    [[deprecated("use readEnergy(units::Bytes)")]] double
-    readEnergyMj(double bytes) const
-    {
-        return readEnergy(units::Bytes{bytes}).count();
-    }
-    [[deprecated("use writeEnergy(units::Bytes)")]] double
-    writeEnergyMj(double bytes) const
-    {
-        return writeEnergy(units::Bytes{bytes}).count();
-    }
-    ///@}
 };
 
 /** The default NVM used in every node. */
@@ -131,20 +97,6 @@ class StorageController
     /** Cost to retrieve one contiguous electrode-chunk. */
     units::Millis chunkRead() const;
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use chunkWrite()")]] double
-    chunkWriteMs() const
-    {
-        return chunkWrite().count();
-    }
-    [[deprecated("use chunkRead()")]] double
-    chunkReadMs() const
-    {
-        return chunkRead().count();
-    }
-    ///@}
-
     /**
      * Append bytes for one partition; models buffer-then-page-program
      * behaviour. @return pages programmed by this append
@@ -162,12 +114,6 @@ class StorageController
      * derated by the layout choice.
      */
     units::MegabytesPerSecond streamRead() const;
-
-    [[deprecated("use streamRead()")]] double
-    streamReadMBps() const
-    {
-        return streamRead().count();
-    }
 
   private:
     struct PartitionState

@@ -100,19 +100,6 @@ struct PeSpec
     /** Leakage-only power when idle but powered. */
     units::Microwatts idlePower() const { return leakage + sramLeakage; }
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use power() -> units::Microwatts")]] double
-    powerUw(double electrodes) const
-    {
-        return power(electrodes).count();
-    }
-    [[deprecated("use idlePower() -> units::Microwatts")]] double
-    idlePowerUw() const
-    {
-        return idlePower().count();
-    }
-    ///@}
 };
 
 /** The full catalog, ordered as Table 1. */

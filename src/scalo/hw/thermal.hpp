@@ -63,43 +63,6 @@ class ThermalModel
      */
     static std::size_t maxImplants(units::Millimetres spacing);
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use falloffFraction(units::Millimetres)")]] double
-    falloffFraction(double distance_mm) const
-    {
-        return falloffFraction(units::Millimetres{distance_mm});
-    }
-    [[deprecated("use deltaAt()")]] double
-    deltaAtC(double distance_mm, double implant_mw) const
-    {
-        return deltaAt(units::Millimetres{distance_mm},
-                       units::Milliwatts{implant_mw})
-            .count();
-    }
-    [[deprecated("use worstCaseRise()")]] double
-    worstCaseRiseC(double spacing_mm, double implant_mw,
-                   std::size_t neighbours = 6) const
-    {
-        return worstCaseRise(units::Millimetres{spacing_mm},
-                             units::Milliwatts{implant_mw}, neighbours)
-            .count();
-    }
-    [[deprecated("use safe(count, units::Millimetres, "
-                 "units::Milliwatts)")]] bool
-    safe(std::size_t node_count, double spacing_mm, double mw) const
-    {
-        return safe(node_count, units::Millimetres{spacing_mm},
-                    units::Milliwatts{mw});
-    }
-    [[deprecated(
-        "use maxImplants(units::Millimetres)")]] static std::size_t
-    maxImplants(double spacing_mm)
-    {
-        return maxImplants(units::Millimetres{spacing_mm});
-    }
-    ///@}
-
   private:
     units::Celsius peakDelta;
 };

@@ -41,19 +41,6 @@ struct RadioSpec
         return power * transferTime(bytes);
     }
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use transferTime(units::Bytes)")]] double
-    transferMs(double bytes) const
-    {
-        return transferTime(units::Bytes{bytes}).count();
-    }
-    [[deprecated("use transferEnergy(units::Bytes)")]] double
-    transferEnergyMj(double bytes) const
-    {
-        return transferEnergy(units::Bytes{bytes}).count();
-    }
-    ///@}
 };
 
 /** Named intra-SCALO design points of Table 3. */
@@ -87,12 +74,5 @@ inline constexpr double kPathLossExponent = 3.5;
  */
 units::Milliwatts powerAtDistance(const RadioSpec &spec,
                                   units::Centimetres distance);
-
-[[deprecated("use powerAtDistance(spec, units::Centimetres)")]] inline double
-powerAtDistanceMw(const RadioSpec &spec, double distance_cm)
-{
-    return powerAtDistance(spec, units::Centimetres{distance_cm})
-        .count();
-}
 
 } // namespace scalo::net

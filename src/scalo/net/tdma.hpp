@@ -67,31 +67,6 @@ class TdmaSchedule
     std::size_t budgetBytes(units::Millis budget,
                             std::size_t senders) const;
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use slotTime()")]] double
-    slotMs(std::size_t payload_bytes) const
-    {
-        return slotTime(payload_bytes).count();
-    }
-    [[deprecated("use exchangeTime()")]] double
-    exchangeMs(Pattern pattern,
-               std::size_t payload_bytes_per_node) const
-    {
-        return exchangeTime(pattern, payload_bytes_per_node).count();
-    }
-    [[deprecated("use perNodeGoodput()")]] double
-    perNodeGoodputMbps(std::size_t payload_bytes_per_slot) const
-    {
-        return perNodeGoodput(payload_bytes_per_slot).count();
-    }
-    [[deprecated("use budgetBytes(units::Millis, senders)")]] std::size_t
-    budgetBytes(double budget_ms, std::size_t senders) const
-    {
-        return budgetBytes(units::Millis{budget_ms}, senders);
-    }
-    ///@}
-
   private:
     const RadioSpec *spec;
     std::size_t nodes;

@@ -82,19 +82,6 @@ struct CompiledPipeline
     /** Pipeline power at @p electrodes per stage. */
     units::Milliwatts power(double electrodes) const;
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use latency()")]] double
-    latencyMs() const
-    {
-        return latency().count();
-    }
-    [[deprecated("use power()")]] double
-    powerMw(double electrodes) const
-    {
-        return power(electrodes).count();
-    }
-    ///@}
 };
 
 /**

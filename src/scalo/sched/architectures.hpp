@@ -65,21 +65,6 @@ maxAggregateThroughput(Architecture arch, Task task,
                        units::Milliwatts power_cap =
                            constants::kPowerCap);
 
-/** @name Deprecated raw-double entry point (pre-units API) */
-///@{
-[[deprecated("use maxAggregateThroughput()")]]
-inline double
-maxAggregateThroughputMbps(Architecture arch, Task task,
-                           std::size_t sites,
-                           double power_cap_mw =
-                               constants::kPowerCapMw)
-{
-    return maxAggregateThroughput(arch, task, sites,
-                                  units::Milliwatts{power_cap_mw})
-        .count();
-}
-///@}
-
 /**
  * Exact spike sorting (template matching with the DTW PE instead of
  * hash lookup) costs this factor more per electrode than hash-based

@@ -83,15 +83,6 @@ class Scheduler
     units::MegabitsPerSecond
     maxAggregateThroughput(const FlowSpec &flow) const;
 
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use maxAggregateThroughput()")]] double
-    maxAggregateThroughputMbps(const FlowSpec &flow) const
-    {
-        return maxAggregateThroughput(flow).count();
-    }
-    ///@}
-
     const SystemConfig &config() const { return systemConfig; }
 
   private:

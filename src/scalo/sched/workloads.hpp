@@ -95,20 +95,6 @@ struct FlowSpec
      * power; 0 if the budget does not cover leakage).
      */
     double electrodesAtPower(units::Milliwatts budget) const;
-
-    /** @name Deprecated raw-double accessors (pre-units API) */
-    ///@{
-    [[deprecated("use power()")]] double
-    powerMw(double electrodes) const
-    {
-        return power(electrodes).count();
-    }
-    [[deprecated("use electrodesAtPower()")]] double
-    electrodesAtPowerMw(double budget_mw) const
-    {
-        return electrodesAtPower(units::Milliwatts{budget_mw});
-    }
-    ///@}
 };
 
 /** ADC conversion power per electrode, reported separately from
@@ -121,26 +107,6 @@ units::Milliwatts chainLeak(const std::vector<hw::PeKind> &chain);
 /** Sum of Table 1 per-electrode dynamic power for a chain. */
 units::Milliwatts
 chainLinPerElectrode(const std::vector<hw::PeKind> &chain);
-
-/** @name Deprecated raw-double chain helpers (pre-units API) */
-///@{
-[[deprecated("use kAdcPerElectrode")]]
-inline constexpr double kAdcMwPerElectrode = 2.88 / 96.0;
-
-[[deprecated("use chainLeak()")]]
-inline double
-chainLeakMw(const std::vector<hw::PeKind> &chain)
-{
-    return chainLeak(chain).count();
-}
-
-[[deprecated("use chainLinPerElectrode()")]]
-inline double
-chainLinMwPerElectrode(const std::vector<hw::PeKind> &chain)
-{
-    return chainLinPerElectrode(chain).count();
-}
-///@}
 
 /** @name Flow library (Sections 4 and 6) */
 ///@{

@@ -35,25 +35,6 @@ paddedRfft(const std::vector<double> &input, SpectrumScratch &scratch)
 
 } // namespace
 
-// The deprecated single-shot entry points forward to a cached plan, so
-// even legacy callers stop paying per-call twiddle recomputation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-void
-fft(std::vector<std::complex<double>> &data)
-{
-    FftPlan::forSize(data.size())->forward(data);
-}
-
-void
-ifft(std::vector<std::complex<double>> &data)
-{
-    FftPlan::forSize(data.size())->inverse(data);
-}
-
-#pragma GCC diagnostic pop
-
 std::size_t
 nextPowerOfTwo(std::size_t n)
 {

@@ -21,15 +21,6 @@
 
 namespace scalo::signal {
 
-/** In-place iterative radix-2 FFT. @pre data.size() is a power of two. */
-[[deprecated("use FftPlan::forSize(n)->forward(data) — plans cache "
-             "twiddles and bit-reversal across calls")]]
-void fft(std::vector<std::complex<double>> &data);
-
-/** In-place inverse FFT. @pre data.size() is a power of two. */
-[[deprecated("use FftPlan::forSize(n)->inverse(data)")]]
-void ifft(std::vector<std::complex<double>> &data);
-
 /** A contiguous frequency band in Hz. */
 struct Band
 {

@@ -5,13 +5,13 @@
 #include <functional>
 
 #include "scalo/net/channel.hpp"
-#include "scalo/util/contracts.hpp"
-#include "scalo/util/types.hpp"
 #include "scalo/sim/event_queue.hpp"
 #include "scalo/signal/distance.hpp"
+#include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/rng.hpp"
 #include "scalo/util/stats.hpp"
+#include "scalo/util/types.hpp"
 
 namespace scalo::sim {
 
@@ -19,7 +19,7 @@ using namespace units::literals;
 
 NetworkErrorPoint
 measureNetworkErrors(double ber, std::size_t packets,
-                     std::uint64_t seed)
+                     std::uint64_t seed, Trace *trace)
 {
     NetworkErrorPoint point;
     point.ber = ber;
@@ -36,20 +36,35 @@ measureNetworkErrors(double ber, std::size_t packets,
     std::size_t dtw_flips = 0;
     std::size_t corrupted_signals = 0;
 
-    for (std::size_t p = 0; p < packets; ++p) {
+    // One hash + one signal packet per 4 ms window, as events on the
+    // runtime's engine.
+    Simulator simulator;
+    const units::Millis window{4.0};
+    const auto judge = [&](std::size_t p) {
         // Hash packet: 96 one-byte hashes.
         net::Packet hash_packet;
         hash_packet.type = net::PacketType::Hash;
         hash_packet.payload.resize(96);
         for (auto &b : hash_packet.payload)
             b = static_cast<std::uint8_t>(rng.below(256));
-        hash_channel.transmit(hash_packet);
+        if (trace)
+            trace->record(simulator.now(), TraceEventKind::PacketTx,
+                          0, 0, "hash", p,
+                          static_cast<double>(
+                              hash_packet.wireBytes()));
+        const auto hash_receipt = hash_channel.transmit(hash_packet);
+        if (trace && !hash_receipt.accepted())
+            trace->record(simulator.now(),
+                          TraceEventKind::PacketCorrupt,
+                          Trace::kNetworkNode, 0, "hash", p,
+                          static_cast<double>(
+                              hash_packet.wireBytes()));
 
         // Signal packet: one 240 B window (int16 samples).
-        std::vector<double> window(n);
-        for (auto &v : window)
+        std::vector<double> window_samples(n);
+        for (auto &v : window_samples)
             v = rng.gaussian(0.0, 1'000.0);
-        std::vector<double> partner = window;
+        std::vector<double> partner = window_samples;
         const bool similar = (p % 2) == 0;
         if (similar) {
             for (auto &v : partner)
@@ -64,17 +79,35 @@ measureNetworkErrors(double ber, std::size_t packets,
         signal_packet.payload.resize(n * 2);
         for (std::size_t i = 0; i < n; ++i) {
             const auto s = static_cast<std::int16_t>(
-                std::clamp(window[i], -32'768.0, 32'767.0));
+                std::clamp(window_samples[i], -32'768.0, 32'767.0));
             signal_packet.payload[2 * i] =
                 static_cast<std::uint8_t>(s & 0xff);
             signal_packet.payload[2 * i + 1] =
                 static_cast<std::uint8_t>((s >> 8) & 0xff);
         }
+        if (trace)
+            trace->record(simulator.now(), TraceEventKind::PacketTx,
+                          0, 0, "signal", p,
+                          static_cast<double>(
+                              signal_packet.wireBytes()));
         const auto received = signal_channel.transmit(signal_packet);
-        if (!received.headerOk || received.payloadOk)
-            continue;
+        if (!received.headerOk || received.payloadOk) {
+            if (trace && !received.headerOk)
+                trace->record(simulator.now(),
+                              TraceEventKind::PacketCorrupt,
+                              Trace::kNetworkNode, 0, "signal", p,
+                              static_cast<double>(
+                                  signal_packet.wireBytes()));
+            return;
+        }
         // A corrupted-but-accepted signal: decode and re-judge.
         ++corrupted_signals;
+        if (trace)
+            trace->record(simulator.now(),
+                          TraceEventKind::PacketCorrupt,
+                          Trace::kNetworkNode, 0, "signal", p,
+                          static_cast<double>(
+                              signal_packet.wireBytes()));
         std::vector<double> decoded(n);
         for (std::size_t i = 0; i < n; ++i) {
             const auto lo = received.packet.payload[2 * i];
@@ -86,11 +119,22 @@ measureNetworkErrors(double ber, std::size_t packets,
         const double threshold = 0.35 * 1'000.0 *
                                  static_cast<double>(n);
         const bool clean_decision =
-            signal::dtwDistance(window, partner, band) < threshold;
+            signal::dtwDistance(window_samples, partner, band) <
+            threshold;
         const bool dirty_decision =
             signal::dtwDistance(decoded, partner, band) < threshold;
-        dtw_flips += (clean_decision != dirty_decision);
-    }
+        const bool flipped = clean_decision != dirty_decision;
+        dtw_flips += flipped;
+        if (trace)
+            trace->record(simulator.now(),
+                          flipped ? TraceEventKind::WindowDrop
+                                  : TraceEventKind::WindowDone,
+                          0, 0, "dtw-judgement", p);
+    };
+    for (std::size_t p = 0; p < packets; ++p)
+        simulator.at(static_cast<double>(p) * units::Micros(window),
+                     [&judge, p] { judge(p); });
+    simulator.run();
 
     point.hashPacketErrorFraction =
         hash_channel.stats().errorFraction();
@@ -116,11 +160,15 @@ summarize(const std::vector<double> &delays_ms)
     return dist;
 }
 
+/** Per-repetition time budget before the hunt is abandoned. */
+constexpr units::Millis kRepetitionCap = 2.0_s;
+
 } // namespace
 
 DelayDistribution
 simulateHashEncodingErrors(double hash_error_rate,
-                           const PropagationErrorConfig &config)
+                           const PropagationErrorConfig &config,
+                           Trace *trace)
 {
     SCALO_ASSERT(hash_error_rate >= 0.0 && hash_error_rate <= 1.0,
                  "error rate out of range");
@@ -129,8 +177,11 @@ simulateHashEncodingErrors(double hash_error_rate,
     std::vector<double> delays; // ms
     delays.reserve(config.repetitions);
 
+    // All repetitions chain on one engine, each in its own 2 s budget
+    // starting when the previous one resolved.
+    Simulator simulator;
     for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-        Simulator simulator;
+        const units::Micros origin = simulator.now();
         bool confirmed = false;
         units::Micros confirm_time{0.0};
 
@@ -138,7 +189,7 @@ simulateHashEncodingErrors(double hash_error_rate,
         // correlation succeeds when any electrode's encoding survived
         // (an ongoing correlated seizure is captured by every
         // electrode; an all-miss postpones to the next window).
-        std::function<void()> attempt = [&]() {
+        std::function<void()> attempt = [&, rep, origin]() {
             if (confirmed)
                 return;
             bool any_match = false;
@@ -149,16 +200,28 @@ simulateHashEncodingErrors(double hash_error_rate,
             }
             if (any_match) {
                 confirmed = true;
-                confirm_time = simulator.now();
+                confirm_time = simulator.now() - origin;
+                if (trace)
+                    trace->record(simulator.now(),
+                                  TraceEventKind::WindowDone, 0, 0,
+                                  "hash-capture", rep);
                 return;
             }
+            if (trace)
+                trace->record(simulator.now(),
+                              TraceEventKind::WindowDrop, 0, 0,
+                              "hash-all-miss", rep);
+            // A seizure lasts a bounded time; cap the hunt at 2 s.
+            if (simulator.now() + units::Micros(config.window) -
+                    origin >
+                units::Micros(kRepetitionCap))
+                return;
             simulator.after(config.window, attempt);
         };
         simulator.after(0.0_us, attempt);
-        // A seizure lasts a bounded time; cap the hunt at 2 seconds.
-        simulator.run(2.0_s);
+        simulator.run();
         if (!confirmed)
-            confirm_time = simulator.now();
+            confirm_time = units::Micros(kRepetitionCap);
         delays.push_back(
             (units::Millis(confirm_time) + config.check).count());
     }
@@ -167,7 +230,8 @@ simulateHashEncodingErrors(double hash_error_rate,
 
 DelayDistribution
 simulateNetworkBerDelay(double ber,
-                        const PropagationErrorConfig &config)
+                        const PropagationErrorConfig &config,
+                        Trace *trace)
 {
     Rng payload_rng(config.seed);
     net::WirelessChannel channel(net::defaultRadio(),
@@ -176,15 +240,16 @@ simulateNetworkBerDelay(double ber,
     std::vector<double> delays; // ms
     delays.reserve(config.repetitions);
 
+    Simulator simulator;
     for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-        Simulator simulator;
+        const units::Micros origin = simulator.now();
         bool delivered = false;
         units::Micros deliver_time{0.0};
 
         // One packet carries all of the node's hashes; on a checksum
         // error the receiver drops it and the sender retransmits in
         // its next TDMA slot.
-        std::function<void()> attempt = [&]() {
+        std::function<void()> attempt = [&, rep, origin]() {
             if (delivered)
                 return;
             net::Packet packet;
@@ -192,17 +257,41 @@ simulateNetworkBerDelay(double ber,
             packet.payload.resize(config.electrodesPerNode);
             for (auto &b : packet.payload)
                 b = static_cast<std::uint8_t>(payload_rng.below(256));
+            if (trace)
+                trace->record(
+                    simulator.now(), TraceEventKind::PacketTx, 0, 0,
+                    "hash", rep,
+                    static_cast<double>(packet.wireBytes()));
             if (channel.transmit(packet).accepted()) {
                 delivered = true;
-                deliver_time = simulator.now();
+                deliver_time = simulator.now() - origin;
+                if (trace)
+                    trace->record(
+                        simulator.now(), TraceEventKind::PacketRx,
+                        Trace::kNetworkNode, 0, "hash", rep,
+                        static_cast<double>(packet.wireBytes()));
                 return;
             }
+            if (trace) {
+                trace->record(
+                    simulator.now(), TraceEventKind::PacketCorrupt,
+                    Trace::kNetworkNode, 0, "hash", rep,
+                    static_cast<double>(packet.wireBytes()));
+                trace->record(
+                    simulator.now(),
+                    TraceEventKind::PacketRetransmit, 0, 0, "hash",
+                    rep, static_cast<double>(packet.wireBytes()));
+            }
+            if (simulator.now() + units::Micros(config.slot) -
+                    origin >
+                units::Micros(kRepetitionCap))
+                return;
             simulator.after(config.slot, attempt);
         };
         simulator.after(0.0_us, attempt);
-        simulator.run(2.0_s);
+        simulator.run();
         if (!delivered)
-            deliver_time = simulator.now();
+            deliver_time = units::Micros(kRepetitionCap);
         delays.push_back(
             (units::Millis(deliver_time) + config.check).count());
     }

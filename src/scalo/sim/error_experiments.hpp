@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "scalo/net/radio.hpp"
+#include "scalo/sim/runtime/trace.hpp"
 
 namespace scalo::sim {
 
@@ -41,10 +42,15 @@ struct NetworkErrorPoint
     double dtwDecisionFailureFraction = 0.0;
 };
 
-/** Run the Figure 12 sweep point at @p ber over @p packets packets. */
+/**
+ * Run the Figure 12 sweep point at @p ber over @p packets packets.
+ * Packet transmissions ride the event engine at the window cadence;
+ * @p trace records the packet/decision events when supplied.
+ */
 NetworkErrorPoint measureNetworkErrors(double ber,
                                        std::size_t packets = 2'000,
-                                       std::uint64_t seed = 12);
+                                       std::uint64_t seed = 12,
+                                       Trace *trace = nullptr);
 
 /** Delay distribution over repetitions (Figure 15). */
 struct DelayDistribution
@@ -70,19 +76,24 @@ struct PropagationErrorConfig
 
 /**
  * Figure 15a: propagation delay when each electrode's hash encoding
- * independently fails with probability @p hash_error_rate.
+ * independently fails with probability @p hash_error_rate. All
+ * repetitions chain on one event engine; @p trace records a
+ * window-drop per all-electrode miss and a window-done per capture.
  */
 DelayDistribution
 simulateHashEncodingErrors(double hash_error_rate,
-                           const PropagationErrorConfig &config = {});
+                           const PropagationErrorConfig &config = {},
+                           Trace *trace = nullptr);
 
 /**
  * Figure 15b: propagation delay at network bit-error rate @p ber
  * (all of a node's hashes travel in one packet; a checksum error
  * drops it and the node retransmits in its next TDMA slot).
+ * @p trace records the tx/corrupt/retransmit packet events.
  */
 DelayDistribution
 simulateNetworkBerDelay(double ber,
-                        const PropagationErrorConfig &config = {});
+                        const PropagationErrorConfig &config = {},
+                        Trace *trace = nullptr);
 
 } // namespace scalo::sim

@@ -51,7 +51,10 @@ Simulator::run(units::Micros until)
         event.action();
         ++executed;
     }
-    if (queue.empty() && until_ticks != ~0ULL)
+    // Advance to the horizon even when events remain beyond it, so
+    // callers mixing run(until) with after() schedule relative to the
+    // horizon rather than the last executed event.
+    if (until_ticks != ~0ULL)
         nowTicks = std::max(nowTicks, until_ticks);
     return executed;
 }

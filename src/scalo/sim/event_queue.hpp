@@ -32,6 +32,9 @@ class Simulator
         return units::Micros{static_cast<double>(nowTicks)};
     }
 
+    /** Current simulation time on the integer microsecond grid. */
+    std::uint64_t ticks() const { return nowTicks; }
+
     /** Schedule @p action at now + @p delay. */
     void after(units::Micros delay, Action action);
 
@@ -42,7 +45,10 @@ class Simulator
     static constexpr units::Micros kForever{1.0e19};
 
     /**
-     * Run until the queue drains or @p until is reached.
+     * Run until the queue drains or @p until is reached. Time always
+     * advances to the horizon (when finite), even if events remain
+     * pending beyond it, so a subsequent after() schedules relative to
+     * the horizon rather than the last executed event.
      * @return events executed
      */
     std::size_t run(units::Micros until = kForever);
@@ -52,32 +58,6 @@ class Simulator
 
     /** Pending event count. */
     std::size_t pending() const { return queue.size(); }
-
-    /** @name Deprecated integer-microsecond API (pre-units) */
-    ///@{
-    [[deprecated("use now()")]] std::uint64_t
-    nowUs() const
-    {
-        return nowTicks;
-    }
-    [[deprecated("use after(units::Micros, ...)")]] void
-    after(std::uint64_t delay_us, Action action)
-    {
-        after(units::Micros{static_cast<double>(delay_us)},
-              std::move(action));
-    }
-    [[deprecated("use at(units::Micros, ...)")]] void
-    at(std::uint64_t at_us, Action action)
-    {
-        at(units::Micros{static_cast<double>(at_us)},
-           std::move(action));
-    }
-    [[deprecated("use run(units::Micros)")]] std::size_t
-    run(std::uint64_t until_us)
-    {
-        return run(units::Micros{static_cast<double>(until_us)});
-    }
-    ///@}
 
   private:
     struct Event

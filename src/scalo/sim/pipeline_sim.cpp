@@ -1,9 +1,6 @@
 #include "scalo/sim/pipeline_sim.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "scalo/sim/event_queue.hpp"
+#include "scalo/sim/runtime/node_model.hpp"
 #include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
 
@@ -11,80 +8,35 @@ namespace scalo::sim {
 
 PipelineSimResult
 simulatePipeline(const hw::Pipeline &pipeline, std::size_t windows,
-                 units::Millis period)
+                 units::Millis period, Trace *trace)
 {
     SCALO_ASSERT(period.count() > 0.0, "period must be positive");
-    const auto &stages = pipeline.stages();
-    SCALO_ASSERT(!stages.empty(), "empty pipeline");
-
-    // Per-stage service times; data-dependent PEs contribute 0.
-    std::vector<units::Millis> service(stages.size(),
-                                       units::Millis{0.0});
-    for (std::size_t s = 0; s < stages.size(); ++s) {
-        const auto &spec = hw::peSpec(stages[s].kind);
-        if (spec.latency)
-            service[s] = *spec.latency;
-    }
+    SCALO_ASSERT(!pipeline.stages().empty(), "empty pipeline");
 
     Simulator simulator;
-    // free_at[s]: when stage s can accept the next window (us ticks).
-    std::vector<std::uint64_t> free_at(stages.size(), 0);
-    std::vector<double> busy_us(stages.size(), 0.0);
+    NodeModel node(simulator, /*node=*/0, trace);
+    const std::size_t flow = node.addPipeline(pipeline, period);
 
-    PipelineSimResult result;
-    result.windowsIn = windows;
-    double latency_sum_ms = 0.0;
-
-    const auto period_us =
-        static_cast<std::uint64_t>(period.in<units::Micros>());
-
-    for (std::size_t w = 0; w < windows; ++w) {
-        const std::uint64_t arrival = w * period_us;
-        simulator.at(units::Micros{static_cast<double>(arrival)},
-                     [] {});
-
-        // Walk the window through the stages: it starts at a stage
-        // when both it has arrived there and the stage is free.
-        std::uint64_t t = arrival;
-        for (std::size_t s = 0; s < stages.size(); ++s) {
-            const std::uint64_t start = std::max(t, free_at[s]);
-            const auto service_us = static_cast<std::uint64_t>(
-                service[s].in<units::Micros>());
-            free_at[s] = start + service_us;
-            busy_us[s] += static_cast<double>(service_us);
-            t = start + service_us;
-        }
-        ++result.windowsOut;
-        result.lastLatency =
-            units::Micros{static_cast<double>(t - arrival)};
-        latency_sum_ms += result.lastLatency.count();
-    }
+    node.streamWindows(flow, windows);
     simulator.run();
 
-    const double total_us = static_cast<double>(windows) *
-                            static_cast<double>(period_us);
-    result.meanLatency =
-        windows ? units::Millis{latency_sum_ms /
-                                static_cast<double>(windows)}
-                : units::Millis{0.0};
-    result.stageUtilization.resize(stages.size());
-    bool sustainable = true;
-    for (std::size_t s = 0; s < stages.size(); ++s) {
-        result.stageUtilization[s] =
-            total_us > 0.0 ? busy_us[s] / total_us : 0.0;
-        if (service[s].count() > period.count() + 1e-12)
-            sustainable = false;
-    }
-    result.sustainable = sustainable;
+    const FlowProgress &progress = node.progress(flow);
+    PipelineSimResult result;
+    result.windowsIn = progress.submitted;
+    result.windowsOut = progress.completed;
+    result.meanLatency = progress.meanLatency();
+    result.lastLatency =
+        units::Micros{static_cast<double>(progress.lastLatencyUs)};
+    result.sustainable = node.analyticallySustainable(flow);
+    result.energy = node.stageEnergy(flow);
 
-    // Energy: each stage's power integrated over its busy time.
-    for (std::size_t s = 0; s < stages.size(); ++s) {
-        const auto &spec = hw::peSpec(stages[s].kind);
-        const units::Microwatts power =
-            spec.power(static_cast<double>(stages[s].electrodes));
-        result.energy += power * units::Micros{busy_us[s]};
-    }
-    SCALO_ENSURES(result.energy.count() >= 0.0);
+    const double total_us =
+        static_cast<double>(windows) * period.in<units::Micros>();
+    const std::vector<double> busy = node.stageBusyUs(flow);
+    result.stageUtilization.resize(busy.size());
+    for (std::size_t s = 0; s < busy.size(); ++s)
+        result.stageUtilization[s] =
+            total_us > 0.0 ? busy[s] / total_us : 0.0;
     return result;
 }
 

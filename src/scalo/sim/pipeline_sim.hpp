@@ -7,6 +7,10 @@
  * when no stage's service time exceeds the arrival period, in which
  * case the end-to-end latency is the sum of stage latencies. The
  * simulator also integrates energy from the per-stage power model.
+ *
+ * This is a thin scenario over the node-level runtime: one
+ * `sim::NodeModel` streaming windows through one flow, optionally
+ * recorded into a `sim::Trace`.
  */
 
 #pragma once
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "scalo/hw/fabric.hpp"
+#include "scalo/sim/runtime/trace.hpp"
 
 namespace scalo::sim {
 
@@ -38,22 +43,12 @@ struct PipelineSimResult
 
 /**
  * Stream @p windows windows, one every @p period, through
- * @p pipeline's stages.
+ * @p pipeline's stages. Stage events are recorded into @p trace when
+ * one is supplied.
  */
 PipelineSimResult simulatePipeline(const hw::Pipeline &pipeline,
                                    std::size_t windows,
-                                   units::Millis period);
-
-/** @name Deprecated raw-double entry point (pre-units API) */
-///@{
-[[deprecated("use simulatePipeline(pipeline, windows, units::Millis)")]]
-inline PipelineSimResult
-simulatePipeline(const hw::Pipeline &pipeline, std::size_t windows,
-                 double window_period_ms)
-{
-    return simulatePipeline(pipeline, windows,
-                            units::Millis{window_period_ms});
-}
-///@}
+                                   units::Millis period,
+                                   Trace *trace = nullptr);
 
 } // namespace scalo::sim

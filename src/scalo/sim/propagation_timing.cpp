@@ -1,5 +1,7 @@
 #include "scalo/sim/propagation_timing.hpp"
 
+#include <functional>
+
 #include "scalo/compress/hcomp.hpp"
 #include "scalo/hw/pe.hpp"
 #include "scalo/net/channel.hpp"
@@ -15,7 +17,8 @@ namespace scalo::sim {
 using namespace units::literals;
 
 PropagationTimingResult
-simulatePropagationTiming(const PropagationTimingConfig &config)
+simulatePropagationTiming(const PropagationTimingConfig &config,
+                          Trace *trace)
 {
     SCALO_ASSERT(config.nodes >= 2, "need at least two nodes");
     SCALO_EXPECTS(config.tdmaRound.count() > 0.0);
@@ -44,9 +47,17 @@ simulatePropagationTiming(const PropagationTimingConfig &config)
     RunningStats slot_wait, hash_bcast, response, signal_bcast;
     std::size_t within = 0;
 
-    for (std::size_t episode = 0; episode < config.episodes;
-         ++episode) {
-        Simulator simulator;
+    // Episodes chain on one event engine: each runs the response path
+    // (Section 2.2), records its trace, and schedules the next. The
+    // latency decomposition itself accumulates in double ms exactly as
+    // the per-stage model computes it; the engine sequences episodes
+    // and anchors the trace timestamps.
+    Simulator simulator;
+    std::function<void(std::size_t)> episode = [&](std::size_t ep) {
+        const units::Micros origin = simulator.now();
+        const auto stamp = [&](units::Millis elapsed) {
+            return origin + units::Micros(elapsed);
+        };
         units::Millis t{0.0}; // elapsed within the episode
 
         // 1. Wait for the origin's next TDMA slot (uniform phase).
@@ -62,15 +73,36 @@ simulatePropagationTiming(const PropagationTimingConfig &config)
             net::Packet packet;
             packet.type = net::PacketType::Hash;
             packet.payload.assign(hash_payload, 0x5a);
+            if (trace)
+                trace->record(stamp(t + bcast),
+                              TraceEventKind::PacketTx, 0, 0, "hash",
+                              ep,
+                              static_cast<double>(
+                                  packet.wireBytes()));
             bcast += tdma.slotTime(hash_payload);
             if (channel.transmit(packet).accepted())
                 break;
+            if (trace) {
+                trace->record(stamp(t + bcast),
+                              TraceEventKind::PacketCorrupt,
+                              Trace::kNetworkNode, 0, "hash", ep);
+                trace->record(stamp(t + bcast),
+                              TraceEventKind::PacketRetransmit, 0, 0,
+                              "hash", ep);
+            }
             bcast += config.tdmaRound; // next owned slot
         }
         hash_bcast.add(bcast.count());
         t += bcast;
 
         // 3. Receivers run CCHECK in parallel.
+        if (trace) {
+            trace->record(stamp(t), TraceEventKind::StageStart, 1, 1,
+                          "CCHECK", ep);
+            trace->record(stamp(t + ccheck),
+                          TraceEventKind::StageFinish, 1, 1, "CCHECK",
+                          ep);
+        }
         t += ccheck;
 
         // 4. Matching receivers respond in their own slots; the
@@ -87,9 +119,23 @@ simulatePropagationTiming(const PropagationTimingConfig &config)
             net::Packet packet;
             packet.type = net::PacketType::Signal;
             packet.payload.assign(config.windowBytes, 0x3c);
+            if (trace)
+                trace->record(stamp(t + sig),
+                              TraceEventKind::PacketTx, 0, 0,
+                              "signal", ep,
+                              static_cast<double>(
+                                  packet.wireBytes()));
             sig += tdma.slotTime(config.windowBytes);
             if (channel.transmit(packet).accepted())
                 break;
+            if (trace) {
+                trace->record(stamp(t + sig),
+                              TraceEventKind::PacketCorrupt,
+                              Trace::kNetworkNode, 0, "signal", ep);
+                trace->record(stamp(t + sig),
+                              TraceEventKind::PacketRetransmit, 0, 0,
+                              "signal", ep);
+            }
             sig += config.tdmaRound;
         }
         signal_bcast.add(sig.count());
@@ -98,19 +144,30 @@ simulatePropagationTiming(const PropagationTimingConfig &config)
         // 6. Exact comparison against the local recent windows (25
         //    windows of history, pipelined on the DTW PE).
         const units::Millis compare = 25.0 * dtw;
+        if (trace) {
+            trace->record(stamp(t), TraceEventKind::StageStart, 1, 2,
+                          "DTW", ep);
+            trace->record(stamp(t + compare),
+                          TraceEventKind::StageFinish, 1, 2, "DTW",
+                          ep);
+        }
         t += compare;
 
         // 7. Stimulation command through the MC.
         t += config.stimulate;
-
-        // Run the (bookkeeping) simulator to anchor everything on the
-        // event engine's clock.
-        simulator.after(t, [] {});
-        simulator.run();
+        if (trace)
+            trace->record(stamp(t), TraceEventKind::WindowDone, 1, 0,
+                          "stimulate", ep, t.count());
 
         totals.push_back(t.count());
         within += (t <= 10.0_ms);
-    }
+
+        if (ep + 1 < config.episodes)
+            simulator.after(t, [&episode, ep] { episode(ep + 1); });
+    };
+    if (config.episodes > 0)
+        simulator.after(0.0_us, [&episode] { episode(0); });
+    simulator.run();
 
     result.slotWait = units::Millis{slot_wait.mean()};
     result.hashBroadcast = units::Millis{hash_bcast.mean()};

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "scalo/net/radio.hpp"
+#include "scalo/sim/runtime/trace.hpp"
 
 namespace scalo::sim {
 
@@ -54,8 +55,12 @@ struct PropagationTimingResult
     double withinDeadlineFraction = 0.0;
 };
 
-/** Run the experiment. */
+/**
+ * Run the experiment. Episodes chain on the runtime's event engine;
+ * @p trace records the per-stage and packet events when supplied.
+ */
 PropagationTimingResult
-simulatePropagationTiming(const PropagationTimingConfig &config = {});
+simulatePropagationTiming(const PropagationTimingConfig &config = {},
+                          Trace *trace = nullptr);
 
 } // namespace scalo::sim

@@ -1,0 +1,487 @@
+#include "scalo/sim/runtime/system_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "scalo/hw/nvm.hpp"
+#include "scalo/net/channel.hpp"
+#include "scalo/net/tdma.hpp"
+#include "scalo/util/contracts.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::sim {
+
+using namespace units::literals;
+
+namespace {
+
+constexpr double kParticipantEpsilon = 1e-6;
+constexpr std::size_t kMaxTransmitAttempts = 16;
+constexpr units::Micros kGuard{20.0};
+
+/** Indices of transmitting nodes, matching the scheduler's model. */
+std::vector<std::size_t>
+senderNodes(net::Pattern pattern, std::size_t nodes)
+{
+    std::vector<std::size_t> out;
+    switch (pattern) {
+      case net::Pattern::OneToAll:
+        out.push_back(0);
+        break;
+      case net::Pattern::AllToAll:
+        for (std::size_t n = 0; n < nodes; ++n)
+            out.push_back(n);
+        break;
+      case net::Pattern::AllToOne:
+        for (std::size_t n = 1; n < nodes; ++n)
+            out.push_back(n);
+        break;
+    }
+    return out;
+}
+
+std::uint64_t
+toTicks(units::Micros t)
+{
+    SCALO_EXPECTS(t.count() >= 0.0);
+    return static_cast<std::uint64_t>(std::llround(t.count()));
+}
+
+} // namespace
+
+/** Per-flow execution state threaded through the run. */
+struct SystemSim::FlowRuntime
+{
+    /** Nodes allocated electrodes (the flow's pipelines). */
+    std::vector<std::size_t> participants;
+    /** NodeModel flow index per system node (npos if absent). */
+    std::vector<std::size_t> flowOnNode;
+    /** Transmitting nodes; empty for local flows. */
+    std::vector<std::size_t> senders;
+    /** Payload bytes per sender per round (by system node). */
+    std::vector<std::size_t> payloadBytes;
+    /** Uncommitted NVM bytes per node (sub-byte carry). */
+    std::vector<double> nvmCarry;
+    std::size_t windowsPerNode = 0;
+    std::uint64_t windowTicks = 0;
+    bool networked = false;
+    bool exactCompare = false;
+    net::PacketType packetType = net::PacketType::Hash;
+    std::optional<net::WirelessChannel> channel;
+    std::uint16_t nextSequence = 0;
+    /** Senders done with their local pipeline, per window id. */
+    std::map<std::uint64_t, std::size_t> pendingRound;
+
+    // Measured accumulators.
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t dropped = 0;
+    std::uint64_t responseSumUs = 0;
+    std::uint64_t maxResponseUs = 0;
+    std::uint64_t firstResponseUs = 0;
+    std::uint64_t lastResponseUs = 0;
+    std::uint64_t roundSumUs = 0;
+    std::uint64_t maxRoundUs = 0;
+    std::size_t rounds = 0;
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetsCorrupted = 0;
+    std::uint64_t retransmissions = 0;
+
+    // Static predictions.
+    double analyticRoundUs = 0.0;
+    double analyticResponseUs = 0.0;
+    bool analyticSustainable = true;
+};
+
+SystemSim::SystemSim(SystemSimConfig cfg) : config(std::move(cfg))
+{
+    SCALO_ASSERT(config.schedule.feasible,
+                 "SystemSim needs a feasible schedule");
+    SCALO_ASSERT(config.schedule.flows.size() == config.flows.size(),
+                 "schedule/flow-set mismatch");
+    SCALO_ASSERT(config.duration > 0.0_ms,
+                 "simulation duration must be positive");
+
+    const std::size_t node_count = config.system.nodes;
+    nodes.reserve(node_count);
+    for (std::size_t n = 0; n < node_count; ++n)
+        nodes.emplace_back(simulator, static_cast<std::uint32_t>(n),
+                           &eventTrace);
+
+    const net::TdmaSchedule tdma(*config.system.radio, node_count);
+    flowRuntimes.resize(config.flows.size());
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+        const sched::FlowSpec &spec = config.flows[f];
+        const sched::FlowAllocation &alloc = config.schedule.flows[f];
+        FlowRuntime &rt = flowRuntimes[f];
+        rt.flowOnNode.assign(node_count, ~std::size_t{0});
+        rt.payloadBytes.assign(node_count, 0);
+        rt.nvmCarry.assign(node_count, 0.0);
+        rt.windowTicks = toTicks(units::Micros(spec.window));
+        rt.windowsPerNode = static_cast<std::size_t>(
+            std::floor(config.duration.count() /
+                           spec.window.count() +
+                       1e-9));
+        rt.networked = spec.network.has_value() &&
+                       config.system.wirelessNetwork;
+        rt.exactCompare =
+            rt.networked && spec.network->exactCompare;
+        rt.packetType = rt.exactCompare ? net::PacketType::Signal
+                                        : net::PacketType::Hash;
+
+        std::vector<hw::PipelineStage> stages;
+        for (hw::PeKind kind : spec.peChain)
+            stages.push_back({kind, 0.0, 1});
+        for (std::size_t n = 0; n < node_count; ++n) {
+            const double e = alloc.electrodesPerNode[n];
+            if (e <= kParticipantEpsilon)
+                continue;
+            for (hw::PipelineStage &stage : stages)
+                stage.electrodes = e;
+            const std::size_t idx = nodes[n].addPipeline(
+                hw::Pipeline(spec.name, stages), spec.window);
+            rt.flowOnNode[n] = idx;
+            rt.participants.push_back(n);
+            nodes[n].onWindowDone(
+                idx, [this, f, n](std::size_t, std::uint64_t w) {
+                    accountWindow(f, static_cast<std::uint32_t>(n),
+                                  w);
+                });
+        }
+
+        // Static predictions: pipeline latency plus, for networked
+        // flows, the serialized TDMA round of the schedule's payload
+        // sizes (the scheduler's own response model).
+        const hw::Pipeline reference(spec.name, stages);
+        rt.analyticResponseUs =
+            units::Micros(reference.latency()).count();
+        if (rt.networked) {
+            rt.channel.emplace(*config.system.radio,
+                               config.seed ^ (0x9e37'79b9 * (f + 1)));
+            for (std::size_t n :
+                 senderNodes(spec.network->pattern, node_count)) {
+                if (alloc.electrodesPerNode[n] <=
+                        kParticipantEpsilon &&
+                    spec.network->bytesPerNode <= 0.0)
+                    continue;
+                rt.senders.push_back(n);
+                const double bytes =
+                    spec.network->bytesPerElectrode *
+                        alloc.electrodesPerNode[n] +
+                    spec.network->bytesPerNode;
+                rt.payloadBytes[n] = std::max<std::size_t>(
+                    1, static_cast<std::size_t>(std::llround(bytes)));
+                rt.analyticRoundUs +=
+                    units::Micros(tdma.slotTime(rt.payloadBytes[n]))
+                        .count();
+            }
+            rt.analyticResponseUs += rt.analyticRoundUs;
+        }
+        for (std::size_t n : rt.participants)
+            if (!nodes[n].analyticallySustainable(rt.flowOnNode[n]))
+                rt.analyticSustainable = false;
+    }
+}
+
+SystemSim::~SystemSim() = default;
+
+void
+SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
+                         std::uint64_t window_id)
+{
+    FlowRuntime &rt = flowRuntimes[flow];
+    const sched::FlowSpec &spec = config.flows[flow];
+    const double e =
+        config.schedule.flows[flow].electrodesPerNode[node];
+
+    // Dynamic energy of the local per-window work. Exact-compare
+    // flows charge the comparison to the receivers instead (the
+    // scheduler's model), accrued when the exchange completes.
+    if (!rt.exactCompare) {
+        const double dynamic_mw = spec.linPerElectrode.count() * e +
+                                  spec.quadPerElectrode2.count() * e *
+                                      e;
+        dynamicEnergyUj[node] += dynamic_mw * spec.window.count();
+    }
+
+    // NVM write traffic of this window.
+    if (spec.nvmWriteBytesPerElecPerSec > 0.0) {
+        rt.nvmCarry[node] += spec.nvmWriteBytesPerElecPerSec * e *
+                             spec.window.in<units::Seconds>();
+        const auto bytes =
+            static_cast<std::size_t>(rt.nvmCarry[node]);
+        if (bytes > 0) {
+            rt.nvmCarry[node] -= static_cast<double>(bytes);
+            nvmBytes[node] += bytes;
+            nvmPages[node] +=
+                storage[node].append(hw::Partition::Signals, bytes);
+            eventTrace.record(simulator.now(),
+                              TraceEventKind::NvmWrite, node, 0,
+                              spec.name, window_id,
+                              static_cast<double>(bytes));
+        }
+    }
+
+    const bool sender = rt.networked &&
+                        std::find(rt.senders.begin(),
+                                  rt.senders.end(),
+                                  node) != rt.senders.end();
+    if (sender) {
+        // The exchange round starts once every sender has its
+        // window's payload ready.
+        if (++rt.pendingRound[window_id] == rt.senders.size()) {
+            rt.pendingRound.erase(window_id);
+            runExchange(flow, window_id);
+        }
+        return;
+    }
+    if (rt.networked)
+        return; // non-sender local work is power only
+
+    // Local flow: the node-level completion is the response.
+    const std::uint64_t arrival = window_id * rt.windowTicks;
+    const std::uint64_t response = simulator.ticks() - arrival;
+    if (rt.completed == 0)
+        rt.firstResponseUs = response;
+    rt.lastResponseUs = response;
+    rt.maxResponseUs = std::max(rt.maxResponseUs, response);
+    rt.responseSumUs += response;
+    ++rt.completed;
+}
+
+void
+SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
+{
+    FlowRuntime &rt = flowRuntimes[flow];
+    const sched::FlowSpec &spec = config.flows[flow];
+    const net::RadioSpec &radio = *config.system.radio;
+    const std::uint64_t start =
+        std::max(simulator.ticks(), networkFreeUs);
+    const auto lane = static_cast<std::uint32_t>(flow + 1);
+
+    eventTrace.record(units::Micros{static_cast<double>(start)},
+                      TraceEventKind::ExchangeStart,
+                      Trace::kNetworkNode, lane, spec.name,
+                      window_id);
+
+    double cursor = static_cast<double>(start);
+    for (std::size_t n : rt.senders) {
+        net::Packet packet;
+        packet.source = static_cast<std::uint8_t>(n);
+        packet.destination =
+            spec.network->pattern == net::Pattern::AllToOne
+                ? std::uint8_t{0}
+                : net::kBroadcast;
+        packet.type = rt.packetType;
+        packet.timestampUs =
+            static_cast<std::uint32_t>(simulator.ticks());
+        packet.payload.resize(rt.payloadBytes[n]);
+        for (std::size_t i = 0; i < packet.payload.size(); ++i)
+            packet.payload[i] =
+                static_cast<std::uint8_t>((i * 31 + n) & 0xff);
+        for (net::Packet &fragment : net::fragment(packet)) {
+            fragment.sequence = rt.nextSequence++;
+            const units::Micros wire_time{
+                radio
+                    .transferTime(units::Bytes{static_cast<double>(
+                        fragment.wireBytes())})
+                    .in<units::Micros>()};
+            for (std::size_t attempt = 0;
+                 attempt < kMaxTransmitAttempts; ++attempt) {
+                ++rt.packetsSent;
+                eventTrace.record(
+                    units::Micros{cursor}, TraceEventKind::PacketTx,
+                    static_cast<std::uint32_t>(n), 0,
+                    std::string(spec.name), fragment.sequence,
+                    static_cast<double>(fragment.wireBytes()));
+                const net::ReceiveResult receipt =
+                    rt.channel->transmit(fragment);
+                cursor += wire_time.count();
+                const bool corrupt =
+                    !receipt.headerOk || !receipt.payloadOk;
+                if (corrupt) {
+                    ++rt.packetsCorrupted;
+                    eventTrace.record(
+                        units::Micros{cursor},
+                        TraceEventKind::PacketCorrupt,
+                        Trace::kNetworkNode, lane,
+                        std::string(spec.name), fragment.sequence,
+                        static_cast<double>(fragment.wireBytes()));
+                }
+                if (receipt.accepted()) {
+                    eventTrace.record(
+                        units::Micros{cursor},
+                        TraceEventKind::PacketRx,
+                        Trace::kNetworkNode, lane,
+                        std::string(spec.name), fragment.sequence,
+                        static_cast<double>(fragment.wireBytes()));
+                    break;
+                }
+                // Dropped: resend in an extension of the slot.
+                ++rt.retransmissions;
+                eventTrace.record(units::Micros{cursor},
+                                  TraceEventKind::PacketRetransmit,
+                                  static_cast<std::uint32_t>(n), 0,
+                                  std::string(spec.name),
+                                  fragment.sequence,
+                                  static_cast<double>(
+                                      fragment.wireBytes()));
+            }
+        }
+        cursor += kGuard.count();
+    }
+
+    const std::uint64_t end = toTicks(units::Micros{cursor});
+    networkFreeUs = end;
+    eventTrace.record(units::Micros{static_cast<double>(end)},
+                      TraceEventKind::ExchangeFinish,
+                      Trace::kNetworkNode, lane, spec.name,
+                      window_id);
+
+    const std::uint64_t round = end - start;
+    rt.roundSumUs += round;
+    rt.maxRoundUs = std::max(rt.maxRoundUs, round);
+    ++rt.rounds;
+
+    const std::uint64_t arrival = window_id * rt.windowTicks;
+    const std::uint64_t response = end - arrival;
+    if (rt.completed == 0)
+        rt.firstResponseUs = response;
+    rt.lastResponseUs = response;
+    rt.maxResponseUs = std::max(rt.maxResponseUs, response);
+    rt.responseSumUs += response;
+    ++rt.completed;
+
+    // Exact-compare flows: each node checks every window it received
+    // against its local history; the scheduler charges that power to
+    // the receivers, one window's worth per exchange.
+    if (rt.exactCompare) {
+        const double total =
+            config.schedule.flows[flow].totalElectrodes;
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            const double e =
+                config.schedule.flows[flow].electrodesPerNode[n];
+            dynamicEnergyUj[n] += spec.linPerElectrode.count() *
+                                  (total - e) * spec.window.count();
+        }
+    }
+}
+
+SystemSimResult
+SystemSim::run()
+{
+    SCALO_ASSERT(!ran, "SystemSim::run is one-shot");
+    ran = true;
+
+    const std::size_t node_count = nodes.size();
+    dynamicEnergyUj.assign(node_count, 0.0);
+    nvmBytes.assign(node_count, 0);
+    nvmPages.assign(node_count, 0);
+    storage.clear();
+    for (std::size_t n = 0; n < node_count; ++n)
+        storage.emplace_back(/*reorganise_layout=*/true);
+
+    for (std::size_t f = 0; f < flowRuntimes.size(); ++f) {
+        FlowRuntime &rt = flowRuntimes[f];
+        for (std::size_t n : rt.participants)
+            nodes[n].streamWindows(rt.flowOnNode[n],
+                                   rt.windowsPerNode);
+        if (rt.networked)
+            rt.submitted = rt.senders.empty() ? 0 : rt.windowsPerNode;
+        else
+            rt.submitted = rt.windowsPerNode * rt.participants.size();
+    }
+
+    SystemSimResult result;
+    result.eventsExecuted = simulator.run();
+    result.duration = config.duration;
+
+    // Leakage, replicating the scheduler's accounting: every flow
+    // pays its own leakage, but the one physical intra-SCALO radio is
+    // charged once (FlowSpec folds the default radio into networked
+    // flows' leak, so it is first subtracted back out).
+    units::Milliwatts radio_leak{0.0};
+    std::size_t networked_flows = 0;
+    for (const sched::FlowSpec &spec : config.flows)
+        if (spec.network)
+            ++networked_flows;
+    if (config.system.wirelessNetwork && networked_flows > 0)
+        radio_leak = config.system.radio->power;
+    units::Milliwatts leak_total{0.0};
+    for (const sched::FlowSpec &spec : config.flows) {
+        units::Milliwatts leak = spec.leak;
+        if (spec.network)
+            leak -= net::defaultRadio().power;
+        leak_total += leak;
+    }
+    leak_total += radio_leak;
+
+    const double nvm_write_bps =
+        hw::nvmSpec().writeBandwidth().count() * 1e6;
+    for (std::size_t n = 0; n < node_count; ++n) {
+        NodeSimStats stats;
+        stats.node = static_cast<std::uint32_t>(n);
+        stats.measuredPower =
+            leak_total + units::Milliwatts{dynamicEnergyUj[n] /
+                                           config.duration.count()};
+        if (n < config.schedule.nodePower.size())
+            stats.analyticPower = config.schedule.nodePower[n];
+        stats.nvmBytesWritten = nvmBytes[n];
+        stats.nvmPagesProgrammed = nvmPages[n];
+        stats.nvmUtilization =
+            static_cast<double>(nvmBytes[n]) /
+            config.duration.in<units::Seconds>() / nvm_write_bps;
+        stats.counters =
+            eventTrace.counters(static_cast<std::uint32_t>(n));
+        result.nodes.push_back(stats);
+    }
+    result.network = eventTrace.counters(Trace::kNetworkNode);
+
+    for (std::size_t f = 0; f < flowRuntimes.size(); ++f) {
+        const FlowRuntime &rt = flowRuntimes[f];
+        FlowSimStats stats;
+        stats.flow = config.flows[f].name;
+        stats.windowsSubmitted = rt.submitted;
+        stats.windowsCompleted = rt.completed;
+        stats.windowsDropped = rt.dropped;
+        if (rt.completed > 0) {
+            stats.meanResponse = units::Micros{
+                static_cast<double>(rt.responseSumUs) /
+                static_cast<double>(rt.completed)};
+            stats.maxResponse = units::Micros{
+                static_cast<double>(rt.maxResponseUs)};
+        }
+        if (rt.rounds > 0) {
+            stats.meanRound =
+                units::Micros{static_cast<double>(rt.roundSumUs) /
+                              static_cast<double>(rt.rounds)};
+            stats.maxRound = units::Micros{
+                static_cast<double>(rt.maxRoundUs)};
+        }
+        stats.analyticResponse =
+            units::Micros{rt.analyticResponseUs};
+        stats.analyticRound = units::Micros{rt.analyticRoundUs};
+        stats.packetsSent = rt.packetsSent;
+        stats.packetsCorrupted = rt.packetsCorrupted;
+        stats.retransmissions = rt.retransmissions;
+        stats.analyticallySustainable = rt.analyticSustainable;
+        // Event-driven verdict: everything completed and the response
+        // of the last window did not drift from the first (a stage or
+        // the medium falling behind the cadence grows the backlog
+        // monotonically).
+        stats.sustainable =
+            rt.dropped == 0 && rt.completed == rt.submitted &&
+            (rt.completed == 0 ||
+             rt.lastResponseUs <=
+                 rt.firstResponseUs + rt.windowTicks / 2);
+        result.flows.push_back(std::move(stats));
+    }
+
+    if (!config.recordTrace)
+        eventTrace.clear();
+    return result;
+}
+
+} // namespace scalo::sim

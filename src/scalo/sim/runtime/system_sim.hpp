@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Event-driven execution of a complete N-node SCALO system directly
+ * from a `sched::Schedule`: one `sim::NodeModel` actor per implant
+ * runs the scheduled flows' PE chains at their window cadences, the
+ * shared single-frequency medium serialises TDMA exchange rounds whose
+ * packets pass through a BER-driven `net::WirelessChannel` (corrupted
+ * non-signal packets are retransmitted in extra slots), and NVM write
+ * traffic streams through each node's `hw::StorageController`.
+ *
+ * The point is cross-validation (Section 3.5): the ILP schedules
+ * statically on the claim that every component has deterministic
+ * latency and power. `SystemSim` measures per-node power, end-to-end
+ * response time, and sustainability from the event-driven execution
+ * and reports them next to the analytic predictions, so the claim is
+ * checked rather than assumed (tests/system_sim_test.cpp asserts
+ * agreement within 5% for the Section 6 flow library).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scalo/hw/nvm.hpp"
+#include "scalo/sched/scheduler.hpp"
+#include "scalo/sim/runtime/node_model.hpp"
+#include "scalo/sim/runtime/trace.hpp"
+
+namespace scalo::sim {
+
+/** What to simulate: a scheduled flow set on an N-node system. */
+struct SystemSimConfig
+{
+    /** The system the schedule was produced for. */
+    sched::SystemConfig system;
+    /** The flow set, in the order it was passed to the scheduler. */
+    std::vector<sched::FlowSpec> flows;
+    /** The (feasible) allocation to execute. */
+    sched::Schedule schedule;
+    /** Streaming duration; windows arrive at each flow's cadence. */
+    units::Millis duration{400.0};
+    /** Channel error-injection seed. */
+    std::uint64_t seed = 0x5ca1'0b01;
+    /** Record a full event trace (counters accumulate regardless). */
+    bool recordTrace = false;
+};
+
+/** Measured vs analytic behaviour of one flow. */
+struct FlowSimStats
+{
+    std::string flow;
+    /** Windows entering the system (summed over sender nodes). */
+    std::size_t windowsSubmitted = 0;
+    std::size_t windowsCompleted = 0;
+    std::size_t windowsDropped = 0;
+    /** Measured end-to-end response (compute + exchange round). */
+    units::Millis meanResponse{0.0};
+    units::Millis maxResponse{0.0};
+    /** Static prediction: pipeline latency + serialized TDMA round. */
+    units::Millis analyticResponse{0.0};
+    /** Measured TDMA exchange round (zero for local flows). */
+    units::Millis meanRound{0.0};
+    units::Millis maxRound{0.0};
+    /** Static prediction of the round (zero for local flows). */
+    units::Millis analyticRound{0.0};
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetsCorrupted = 0;
+    std::uint64_t retransmissions = 0;
+    /** Event-driven verdict: cadence held, no backlog growth. */
+    bool sustainable = false;
+    /** Static verdict: every stage service fits the window. */
+    bool analyticallySustainable = false;
+};
+
+/** Measured vs analytic behaviour of one node. */
+struct NodeSimStats
+{
+    std::uint32_t node = 0;
+    /** Leakage + dynamic energy integrated over the run. */
+    units::Milliwatts measuredPower{0.0};
+    /** The scheduler's prediction (Schedule::nodePower). */
+    units::Milliwatts analyticPower{0.0};
+    std::uint64_t nvmBytesWritten = 0;
+    std::uint64_t nvmPagesProgrammed = 0;
+    /** Write traffic / NVM write bandwidth. */
+    double nvmUtilization = 0.0;
+    /** Trace-event counts of this node (the metrics hook). */
+    TraceCounters counters;
+};
+
+/** Full result of one SystemSim run. */
+struct SystemSimResult
+{
+    std::vector<FlowSimStats> flows;
+    std::vector<NodeSimStats> nodes;
+    /** Counters of the shared medium (packet events). */
+    TraceCounters network;
+    units::Millis duration{0.0};
+    std::size_t eventsExecuted = 0;
+};
+
+/** The N-node system simulation. */
+class SystemSim
+{
+  public:
+    /** @pre config.schedule.feasible */
+    explicit SystemSim(SystemSimConfig config);
+    ~SystemSim();
+
+    SystemSim(const SystemSim &) = delete;
+    SystemSim &operator=(const SystemSim &) = delete;
+
+    /** Execute the schedule; callable once per SystemSim. */
+    SystemSimResult run();
+
+    /** The recorded trace (empty unless config.recordTrace). */
+    const Trace &trace() const { return eventTrace; }
+
+  private:
+    struct FlowRuntime;
+
+    void runExchange(std::size_t flow, std::uint64_t window_id);
+    void accountWindow(std::size_t flow, std::uint32_t node,
+                       std::uint64_t window_id);
+
+    SystemSimConfig config;
+    Simulator simulator;
+    Trace eventTrace;
+    std::vector<NodeModel> nodes;
+    std::vector<FlowRuntime> flowRuntimes;
+    /** Per-node dynamic energy accrued so far (µJ = mW·ms). */
+    std::vector<double> dynamicEnergyUj;
+    std::vector<hw::StorageController> storage;
+    std::vector<std::uint64_t> nvmBytes;
+    std::vector<std::uint64_t> nvmPages;
+    /** When the serialized medium next becomes free (µs ticks). */
+    std::uint64_t networkFreeUs = 0;
+    bool ran = false;
+};
+
+} // namespace scalo::sim

@@ -1,0 +1,218 @@
+#include "scalo/sim/runtime/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "scalo/util/contracts.hpp"
+
+namespace scalo::sim {
+
+std::string_view
+traceEventName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::StageStart: return "stage-start";
+      case TraceEventKind::StageFinish: return "stage-finish";
+      case TraceEventKind::PacketTx: return "packet-tx";
+      case TraceEventKind::PacketRx: return "packet-rx";
+      case TraceEventKind::PacketCorrupt: return "packet-corrupt";
+      case TraceEventKind::PacketRetransmit:
+        return "packet-retransmit";
+      case TraceEventKind::NvmWrite: return "nvm-write";
+      case TraceEventKind::WindowDrop: return "window-drop";
+      case TraceEventKind::WindowDone: return "window-done";
+      case TraceEventKind::ExchangeStart: return "exchange-start";
+      case TraceEventKind::ExchangeFinish: return "exchange-finish";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+TraceCounters::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : count)
+        sum += c;
+    return sum;
+}
+
+std::string
+TraceCounters::summary() const
+{
+    std::string out;
+    for (std::size_t k = 0; k < kTraceEventKinds; ++k) {
+        if (count[k] == 0)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += traceEventName(static_cast<TraceEventKind>(k));
+        out += '=';
+        out += std::to_string(count[k]);
+    }
+    return out.empty() ? "(no events)" : out;
+}
+
+void
+Trace::record(units::Micros time, TraceEventKind kind,
+              std::uint32_t node, std::uint32_t lane,
+              std::string name, std::uint64_t id, double value)
+{
+    SCALO_EXPECTS(time.count() >= 0.0);
+    TraceEvent event;
+    event.timeUs =
+        static_cast<std::uint64_t>(std::llround(time.count()));
+    event.kind = kind;
+    event.node = node;
+    event.lane = lane;
+    event.name = std::move(name);
+    event.id = id;
+    event.value = value;
+    log.push_back(std::move(event));
+}
+
+TraceCounters
+Trace::counters(std::uint32_t node) const
+{
+    TraceCounters counters;
+    for (const TraceEvent &event : log)
+        if (event.node == node)
+            ++counters.count[static_cast<std::size_t>(event.kind)];
+    return counters;
+}
+
+TraceCounters
+Trace::totals() const
+{
+    TraceCounters counters;
+    for (const TraceEvent &event : log)
+        ++counters.count[static_cast<std::size_t>(event.kind)];
+    return counters;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (labels are plain ASCII). */
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Chrome "ph" phase of one event kind. */
+char
+phaseOf(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::StageStart:
+      case TraceEventKind::ExchangeStart:
+        return 'B';
+      case TraceEventKind::StageFinish:
+      case TraceEventKind::ExchangeFinish:
+        return 'E';
+      default:
+        return 'i';
+    }
+}
+
+/** Format one value with no locale surprises. */
+std::string
+jsonNumber(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+Trace::toChromeJson() const
+{
+    // Stable sort by timestamp: events of equal time keep recording
+    // order, so the export is deterministic for a fixed seed.
+    std::vector<const TraceEvent *> ordered;
+    ordered.reserve(log.size());
+    for (const TraceEvent &event : log)
+        ordered.push_back(&event);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         return a->timeUs < b->timeUs;
+                     });
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    const auto append = [&](const std::string &entry) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '\n';
+        out += entry;
+    };
+
+    // Process-name metadata so Perfetto labels nodes readably.
+    std::map<std::uint32_t, bool> pids;
+    for (const TraceEvent &event : log)
+        pids[event.node] = true;
+    for (const auto &[pid, unused] : pids) {
+        const std::string label =
+            pid == kNetworkNode ? std::string{"network"}
+                                : "node " + std::to_string(pid);
+        append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+               std::to_string(pid) +
+               ",\"tid\":0,\"args\":{\"name\":\"" + label + "\"}}");
+    }
+
+    for (const TraceEvent *event : ordered) {
+        const char phase = phaseOf(event->kind);
+        std::string entry = "{\"name\":\"" + jsonEscape(event->name) +
+                            "\",\"cat\":\"" +
+                            std::string(traceEventName(event->kind)) +
+                            "\",\"ph\":\"" + phase + "\",\"ts\":" +
+                            std::to_string(event->timeUs) +
+                            ",\"pid\":" + std::to_string(event->node) +
+                            ",\"tid\":" + std::to_string(event->lane);
+        if (phase == 'i')
+            entry += ",\"s\":\"t\"";
+        entry += ",\"args\":{\"id\":" + std::to_string(event->id) +
+                 ",\"value\":" + jsonNumber(event->value) + "}}";
+        append(entry);
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+Trace::writeChromeJson(const std::string &path) const
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        return false;
+    const std::string json = toChromeJson();
+    file.write(json.data(),
+               static_cast<std::streamsize>(json.size()));
+    return static_cast<bool>(file);
+}
+
+} // namespace scalo::sim

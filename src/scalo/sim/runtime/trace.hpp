@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Structured event tracing for the node-level simulation runtime: a
+ * `Trace` records typed, timestamped events (pipeline stage activity,
+ * packet transmissions and corruptions, NVM writes, window drops) as
+ * the discrete-event runtime executes, keeps per-node counters, and
+ * exports Chrome trace-event JSON viewable in Perfetto or
+ * chrome://tracing. Recording is optional everywhere: every runtime
+ * entry point accepts a null trace and skips the bookkeeping.
+ *
+ * Timestamps sit on the same integer-microsecond grid as
+ * `sim::Simulator`, so a trace of a fixed-seed run is byte-identical
+ * across hosts and runs (asserted in tests/system_sim_test.cpp).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scalo/units/units.hpp"
+
+namespace scalo::sim {
+
+/** The trace event taxonomy of the simulation runtime. */
+enum class TraceEventKind : std::uint8_t
+{
+    StageStart,       ///< a window enters a PE pipeline stage
+    StageFinish,      ///< a window leaves a PE pipeline stage
+    PacketTx,         ///< a packet is put on the air
+    PacketRx,         ///< a packet is accepted by receivers
+    PacketCorrupt,    ///< a packet arrived with bit errors
+    PacketRetransmit, ///< a dropped packet is re-sent in a later slot
+    NvmWrite,         ///< bytes persisted through the SC
+    WindowDrop,       ///< a window abandoned (backlog or encoding miss)
+    WindowDone,       ///< a window completed its flow end-to-end
+    ExchangeStart,    ///< a TDMA exchange round begins
+    ExchangeFinish,   ///< a TDMA exchange round completes
+};
+
+/** Number of event kinds (array-indexable). */
+inline constexpr std::size_t kTraceEventKinds = 11;
+
+/** Short stable name of an event kind ("stage-start", ...). */
+std::string_view traceEventName(TraceEventKind kind);
+
+/** One recorded event. */
+struct TraceEvent
+{
+    /** Timestamp on the simulator's integer-microsecond grid. */
+    std::uint64_t timeUs = 0;
+    TraceEventKind kind = TraceEventKind::StageStart;
+    /** Emitting node; Trace::kNetworkNode for the shared medium. */
+    std::uint32_t node = 0;
+    /** Lane within the node (stage/flow lane, export "tid"). */
+    std::uint32_t lane = 0;
+    /** Human label: PE stage, flow, or packet-type name. */
+    std::string name;
+    /** Correlation id (window or packet sequence number). */
+    std::uint64_t id = 0;
+    /** Kind-specific magnitude (bytes for NvmWrite/Packet*). */
+    double value = 0.0;
+};
+
+/** Per-node (or total) event counts, indexed by kind. */
+struct TraceCounters
+{
+    std::array<std::uint64_t, kTraceEventKinds> count{};
+
+    std::uint64_t
+    operator[](TraceEventKind kind) const
+    {
+        return count[static_cast<std::size_t>(kind)];
+    }
+
+    std::uint64_t total() const;
+
+    /** One-line "stage-start=12 packet-tx=3 ..." (non-zero only). */
+    std::string summary() const;
+};
+
+/**
+ * The recorder. Append-only; events may be recorded out of timestamp
+ * order (an actor schedules a stage's start and finish the moment the
+ * window is admitted), so exports stably sort by timestamp.
+ */
+class Trace
+{
+  public:
+    /** Pseudo-node id of the shared wireless medium. */
+    static constexpr std::uint32_t kNetworkNode = 0xffff'fffe;
+
+    /** Record one event at @p time (rounded to the µs grid). */
+    void record(units::Micros time, TraceEventKind kind,
+                std::uint32_t node, std::uint32_t lane,
+                std::string name, std::uint64_t id = 0,
+                double value = 0.0);
+
+    const std::vector<TraceEvent> &events() const { return log; }
+    std::size_t size() const { return log.size(); }
+    bool empty() const { return log.empty(); }
+    void clear() { log.clear(); }
+
+    /** Event counts of one node. */
+    TraceCounters counters(std::uint32_t node) const;
+
+    /** Event counts across all nodes (including the medium). */
+    TraceCounters totals() const;
+
+    /**
+     * Export in the Chrome trace-event JSON format (open in Perfetto
+     * or chrome://tracing): stage and exchange events become "B"/"E"
+     * duration pairs, everything else thread-scoped instants; nodes
+     * map to processes and lanes to threads. Events are stably sorted
+     * by timestamp, so the output is deterministic for a fixed seed.
+     */
+    std::string toChromeJson() const;
+
+    /** Write toChromeJson() to @p path. @return success */
+    bool writeChromeJson(const std::string &path) const;
+
+  private:
+    std::vector<TraceEvent> log;
+};
+
+} // namespace scalo::sim

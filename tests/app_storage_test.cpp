@@ -346,37 +346,5 @@ TEST_F(QueryEngineFixture, MergeIsTimestampOrdered)
                   result.matches[i]->timestampUs);
 }
 
-// The deprecated Q1/Q2/Q3 wrappers stay available for one
-// deprecation cycle; this is the single test exercising them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(QueryEngineFixture, DeprecatedWrappersMatchDescriptorApi)
-{
-    Rng noise(11);
-    const auto probe = windowOf(6.0, 120, 0.3, &noise);
-
-    const auto q1_old = engine->q1SeizureWindows(0, 200'000);
-    const auto q1_new = engine->execute(Query::q1(0, 200'000));
-    EXPECT_EQ(q1_old.matches, q1_new.matches);
-    EXPECT_EQ(q1_old.scanned, q1_new.scanned);
-
-    const auto q2_old = engine->q2TemplateMatch(0, 200'000, probe);
-    const auto q2_new =
-        engine->execute(Query::q2(0, 200'000, probe));
-    EXPECT_EQ(q2_old.matches, q2_new.matches);
-
-    const auto q2_exact_old =
-        engine->q2TemplateMatch(0, 200'000, probe, 15.0);
-    const auto q2_exact_new =
-        engine->execute(Query::q2(0, 200'000, probe, 15.0));
-    EXPECT_EQ(q2_exact_old.matches, q2_exact_new.matches);
-
-    const auto q3_old = engine->q3TimeRange(0, 200'000);
-    const auto q3_new = engine->execute(Query::q3(0, 200'000));
-    EXPECT_EQ(q3_old.matches, q3_new.matches);
-    EXPECT_EQ(q3_old.transferBytes, q3_new.transferBytes);
-}
-#pragma GCC diagnostic pop
-
 } // namespace
 } // namespace scalo::app

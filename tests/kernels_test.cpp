@@ -151,24 +151,6 @@ TEST(FftPlanParity, ScratchOverloadMatchesAllocating)
     }
 }
 
-TEST(FftPlanParity, DeprecatedForwardersStillWork)
-{
-    Rng rng(106);
-    std::vector<std::complex<double>> data(64);
-    for (auto &v : data)
-        v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
-    auto via_plan = data;
-    scalo::signal::FftPlan::forSize(64)->forward(via_plan);
-    auto via_forwarder = data;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    scalo::signal::fft(via_forwarder);
-    scalo::signal::ifft(via_forwarder);
-#pragma GCC diagnostic pop
-    scalo::signal::FftPlan::forSize(64)->inverse(via_plan);
-    EXPECT_LT(relSpectrumError(via_forwarder, via_plan), 1e-12);
-}
-
 TEST(MatmulParity, MulIntoMatchesNaiveOnRandomShapes)
 {
     Rng rng(201);

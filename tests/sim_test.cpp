@@ -59,6 +59,39 @@ TEST(Simulator, RunUntilStopsEarly)
     EXPECT_EQ(simulator.pending(), 1u);
 }
 
+// Regression: run(until) used to leave now() at the last *executed*
+// event when later events stayed pending, so a subsequent after() was
+// scheduled relative to a stale clock. The horizon must always be
+// reached.
+TEST(Simulator, RunUntilAdvancesToHorizonWithPendingEvents)
+{
+    Simulator simulator;
+    int fired = 0;
+    simulator.after(10.0_us, [&] { ++fired; });
+    simulator.after(100.0_us, [&] { ++fired; });
+    simulator.run(50.0_us);
+    EXPECT_DOUBLE_EQ(simulator.now().count(), 50.0);
+
+    // after() must now be relative to the 50 us horizon, not the
+    // 10 us last-event time.
+    units::Micros when{0.0};
+    simulator.after(5.0_us, [&] { when = simulator.now(); });
+    simulator.run(60.0_us);
+    EXPECT_DOUBLE_EQ(when.count(), 55.0);
+    EXPECT_DOUBLE_EQ(simulator.now().count(), 60.0);
+    EXPECT_EQ(fired, 1); // the 100 us event still pending...
+    simulator.run();
+    EXPECT_EQ(fired, 2); // ...and runs on the next drain
+}
+
+// An empty run(until) also lands exactly on the horizon.
+TEST(Simulator, RunUntilAdvancesEmptyQueue)
+{
+    Simulator simulator;
+    EXPECT_EQ(simulator.run(25.0_us), 0u);
+    EXPECT_DOUBLE_EQ(simulator.now().count(), 25.0);
+}
+
 TEST(Simulator, SchedulingIntoThePastPanics)
 {
     Simulator simulator;
