@@ -7,9 +7,10 @@
 #   ci/check.sh strict     -Werror -Wconversion build of the library
 #   ci/check.sh negative   units misuse must FAIL to compile
 #   ci/check.sh tidy       clang-tidy over the library (skips if absent)
-#   ci/check.sh bench      run bench_micro_kernels, refresh the
-#                          BENCH_kernels.json baseline, and report
-#                          regressions vs the committed one
+#   ci/check.sh bench      run bench_micro_kernels + bench_chaos,
+#                          refresh the BENCH_kernels.json and
+#                          BENCH_chaos.json baselines, and report
+#                          regressions vs the committed ones
 #                          (SCALO_BENCH_TOLERANCE, default 0.25;
 #                          report-only, never fails the build)
 #   ci/check.sh trace      run a small SystemSim scenario, export the
@@ -17,6 +18,10 @@
 #                          with ci/validate_trace.py
 #   ci/check.sh tsan       ThreadSanitizer build + the simulation
 #                          runtime tests
+#   ci/check.sh chaos      seeded fault-injection matrix under
+#                          ASan+UBSan: faults_test plus every
+#                          example_chaos_run scenario, each exported
+#                          trace validated (fault events required)
 #
 # Gates are independent build trees (build-ci-*) so the developer's
 # ./build is never touched.
@@ -96,35 +101,42 @@ gate_negative() {
     echo "unit misuse rejected with $errors compile errors (>=4 expected)"
 }
 
-gate_bench() {
-    # Perf trajectory, not a pass/fail gate: build the microbenches at
-    # the tier-1 optimization level, dump JSON, diff against the
+bench_refresh() { # builddir, target, baseline-name
+    # Run one google-benchmark binary, diff its JSON against the
     # committed baseline, then refresh the working-tree baseline so a
     # deliberate perf change is committed alongside the code.
-    local dir="$ROOT/build-ci-bench"
-    cmake -S "$ROOT" -B "$dir" \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
-        cmake --build "$dir" -j "$JOBS" --target bench_micro_kernels ||
-        return 1
-
-    local fresh="$dir/BENCH_kernels.json"
-    "$dir/bench/bench_micro_kernels" \
+    local dir="$1" target="$2" baseline="$3"
+    local fresh="$dir/$baseline"
+    "$dir/bench/$target" \
         --benchmark_format=console \
         --benchmark_out="$fresh" \
         --benchmark_out_format=json || return 1
 
     # Compare against the baseline as committed, not the working tree,
     # so re-running the gate never compares a file with itself.
-    local committed="$dir/BENCH_kernels.committed.json"
-    if git -C "$ROOT" show HEAD:BENCH_kernels.json \
+    local committed="$dir/${baseline%.json}.committed.json"
+    if git -C "$ROOT" show "HEAD:$baseline" \
         >"$committed" 2>/dev/null; then
         python3 "$ROOT/ci/compare_bench.py" "$committed" "$fresh" \
             --tolerance "${SCALO_BENCH_TOLERANCE:-0.25}" || return 1
     else
-        echo "no committed BENCH_kernels.json baseline; creating one"
+        echo "no committed $baseline baseline; creating one"
     fi
-    cp "$fresh" "$ROOT/BENCH_kernels.json"
-    echo "refreshed BENCH_kernels.json (commit it to move the baseline)"
+    cp "$fresh" "$ROOT/$baseline"
+    echo "refreshed $baseline (commit it to move the baseline)"
+}
+
+gate_bench() {
+    # Perf trajectory, not a pass/fail gate: build the microbenches at
+    # the tier-1 optimization level and refresh both baselines.
+    local dir="$ROOT/build-ci-bench"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" \
+            --target bench_micro_kernels bench_chaos ||
+        return 1
+    bench_refresh "$dir" bench_micro_kernels BENCH_kernels.json &&
+        bench_refresh "$dir" bench_chaos BENCH_chaos.json
 }
 
 gate_trace() {
@@ -157,6 +169,39 @@ gate_tsan() {
             -R '^(Simulator|SystemSim|NetworkErrors|HashEncodingDelay|NetworkBerDelay|ThreadPool|ShardedQuery)'
 }
 
+gate_chaos() {
+    # The fault matrix: the fault-framework tests plus every
+    # example_chaos_run scenario, under ASan+UBSan with contracts on
+    # (SCALO_SANITIZE forces them), each exported trace validated —
+    # including that the failure story actually made it into the
+    # trace. Scenarios are seeded and deterministic, so this gate is
+    # never flaky.
+    local dir="$ROOT/build-ci-asan"
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ASAN_OPTIONS="detect_leaks=1" \
+        cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_SANITIZE=address,undefined \
+        -DSCALO_WERROR=ON >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" \
+            --target faults_test example_chaos_run || return 1
+
+    "$dir/tests/faults_test" || return 1
+
+    local scenario trace
+    for scenario in crash dropout nvm throttle combined; do
+        note "chaos scenario: $scenario"
+        trace="$dir/chaos_${scenario}.json"
+        "$dir/examples/example_chaos_run" \
+            --scenario "$scenario" --duration 2400 \
+            --trace "$trace" || return 1
+        # Every scenario marks at least its injection instants, so
+        # fault events are required across the whole matrix.
+        python3 "$ROOT/ci/validate_trace.py" "$trace" \
+            --require-fault-events || return 1
+    done
+}
+
 gate_tidy() {
     if ! command -v clang-tidy >/dev/null 2>&1; then
         echo "clang-tidy not installed; skipping (gate passes vacuously)"
@@ -180,6 +225,7 @@ main() {
     bench) run_gate bench gate_bench ;;
     trace) run_gate trace gate_trace ;;
     tsan) run_gate tsan gate_tsan ;;
+    chaos) run_gate chaos gate_chaos ;;
     all)
         run_gate tier1 gate_tier1
         run_gate sanitize gate_sanitize
@@ -189,9 +235,10 @@ main() {
         run_gate bench gate_bench
         run_gate trace gate_trace
         run_gate tsan gate_tsan
+        run_gate chaos gate_chaos
         ;;
     *)
-        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|trace|tsan|all]"
+        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|trace|tsan|chaos|all]"
         exit 2
         ;;
     esac

@@ -6,15 +6,55 @@ Checks the structural invariants Perfetto / chrome://tracing rely on:
   - top level is an object with a "traceEvents" array
   - every event carries name/ph/ts/pid/tid
   - ph is one of B, E, i, M
+  - every event category is a known sim::TraceEventKind name
   - non-metadata timestamps are monotonically non-decreasing (the
     exporter stable-sorts, so any regression here is a real bug)
   - B/E duration events are balanced per (pid, tid) lane
+  - node-down / node-recovered instants alternate per node: a node
+    cannot die twice without recovering in between, or recover while
+    alive (a trailing node-down — a node still dead at the end of the
+    run — is fine)
 
-Usage: ci/validate_trace.py trace.json
+Usage: ci/validate_trace.py trace.json [--require-fault-events]
+
+--require-fault-events additionally fails when the trace holds no
+fault-framework events at all; the chaos CI gate passes it so a
+refactor can never silently stop exporting the failure story.
 """
 
+import argparse
 import json
 import sys
+
+# Mirrors sim::traceEventName's 16 kinds; the exporter writes the
+# kind into the "cat" field, so an unknown category means the C++
+# enum and this validator have drifted apart.
+KNOWN_CATEGORIES = {
+    "stage-start",
+    "stage-finish",
+    "packet-tx",
+    "packet-rx",
+    "packet-corrupt",
+    "packet-retransmit",
+    "nvm-write",
+    "window-drop",
+    "window-done",
+    "exchange-start",
+    "exchange-finish",
+    "fault-injected",
+    "node-down",
+    "node-recovered",
+    "exchange-timed-out",
+    "resched",
+}
+
+FAULT_CATEGORIES = {
+    "fault-injected",
+    "node-down",
+    "node-recovered",
+    "exchange-timed-out",
+    "resched",
+}
 
 
 def fail(message: str) -> "int":
@@ -23,11 +63,21 @@ def fail(message: str) -> "int":
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("trace")
+    parser.add_argument(
+        "--require-fault-events",
+        action="store_true",
+        help="fail unless at least one fault-framework event "
+        "(fault-injected/node-down/node-recovered/"
+        "exchange-timed-out/resched) is present",
+    )
+    args = parser.parse_args()
 
-    with open(sys.argv[1], encoding="utf-8") as handle:
+    with open(args.trace, encoding="utf-8") as handle:
         try:
             doc = json.load(handle)
         except json.JSONDecodeError as err:
@@ -42,6 +92,8 @@ def main() -> int:
     last_ts = None
     open_spans = {}  # (pid, tid) -> depth
     counts = {}
+    cat_counts = {}
+    node_dead = {}  # pid -> currently declared dead
     for index, event in enumerate(events):
         for field in ("name", "ph", "pid", "tid"):
             if field not in event:
@@ -50,8 +102,12 @@ def main() -> int:
         counts[phase] = counts.get(phase, 0) + 1
         if phase not in ("B", "E", "i", "M"):
             return fail(f"event {index} has unknown ph '{phase}'")
-        if phase == "M":  # metadata carries no timestamp
+        if phase == "M":  # metadata carries no timestamp/category
             continue
+        cat = event.get("cat")
+        if cat not in KNOWN_CATEGORIES:
+            return fail(f"event {index} has unknown cat {cat!r}")
+        cat_counts[cat] = cat_counts.get(cat, 0) + 1
         if "ts" not in event:
             return fail(f"event {index} missing 'ts'")
         ts = event["ts"]
@@ -71,13 +127,40 @@ def main() -> int:
             if depth == 0:
                 return fail(f"event {index}: 'E' without open 'B' on {lane}")
             open_spans[lane] = depth - 1
+        if cat == "node-down":
+            if node_dead.get(event["pid"], False):
+                return fail(
+                    f"event {index}: node {event['pid']} declared "
+                    "dead twice without recovering"
+                )
+            node_dead[event["pid"]] = True
+        elif cat == "node-recovered":
+            if not node_dead.get(event["pid"], False):
+                return fail(
+                    f"event {index}: node {event['pid']} recovered "
+                    "without a preceding node-down"
+                )
+            node_dead[event["pid"]] = False
 
     unbalanced = {lane: d for lane, d in open_spans.items() if d}
     if unbalanced:
         return fail(f"unclosed duration spans: {unbalanced}")
 
+    fault_events = sum(cat_counts.get(c, 0) for c in FAULT_CATEGORIES)
+    if args.require_fault_events and fault_events == 0:
+        return fail(
+            "--require-fault-events: no fault-framework events "
+            "(fault plan not exported?)"
+        )
+
     summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
-    print(f"validate_trace: OK: {len(events)} events ({summary})")
+    still_dead = sorted(p for p, dead in node_dead.items() if dead)
+    extra = f" fault-events={fault_events}"
+    if still_dead:
+        extra += f" still-dead-pids={still_dead}"
+    print(
+        f"validate_trace: OK: {len(events)} events ({summary}){extra}"
+    )
     return 0
 
 

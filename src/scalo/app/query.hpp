@@ -90,6 +90,15 @@ struct Query
      */
     bool useIndex = true;
 
+    /**
+     * Per-shard answer deadline on the modeled on-node latency: a
+     * shard that cannot answer within it is dropped from the result
+     * and the execution reports partial Coverage instead of blocking
+     * on a slow or dying node. Zero (the default) waits for every
+     * shard.
+     */
+    units::Millis shardDeadline{0.0};
+
     /** Q1: all seizure-flagged windows in [t0, t1]. */
     static Query
     q1(std::uint64_t t0_us, std::uint64_t t1_us)

@@ -48,6 +48,21 @@ QueryEngine::QueryEngine(std::size_t nodes,
 {
     SCALO_ASSERT(nodes >= 1, "need at least one node");
     stores.resize(nodes);
+    downNodes.assign(nodes, 0);
+}
+
+void
+QueryEngine::setNodeDown(NodeId node, bool down)
+{
+    SCALO_ASSERT(node < downNodes.size(), "node out of range");
+    downNodes[node] = down ? 1 : 0;
+}
+
+bool
+QueryEngine::nodeDown(NodeId node) const
+{
+    SCALO_ASSERT(node < downNodes.size(), "node out of range");
+    return downNodes[node] != 0;
 }
 
 void
@@ -194,9 +209,16 @@ QueryEngine::execute(const Query &query) const
     const auto started = std::chrono::steady_clock::now();
 
     // Fan the shards out; each node writes its own slot, so the
-    // gather below is deterministic whatever the pool width.
+    // gather below is deterministic whatever the pool width. Shards
+    // of down nodes are skipped at dispatch: the detector already
+    // knows they cannot answer.
     std::vector<NodePartial> partials(stores.size());
     pool->parallelFor(stores.size(), [&](std::size_t node) {
+        if (downNodes[node]) {
+            partials[node].stats.node = static_cast<NodeId>(node);
+            partials[node].stats.answered = false;
+            return;
+        }
         partials[node] = executeNode(static_cast<NodeId>(node),
                                      query, probe_hash);
     });
@@ -204,7 +226,22 @@ QueryEngine::execute(const Query &query) const
     QueryExecution execution;
     execution.perNode.reserve(partials.size());
     units::Millis slowest_node{0.0};
+    bool deadline_hit = false;
     for (NodePartial &partial : partials) {
+        ++execution.coverage.totalShards;
+        // A shard over the per-shard deadline contributes nothing:
+        // the caller asked for a bounded answer, not a complete one.
+        if (partial.stats.answered &&
+            query.shardDeadline.count() > 0.0 &&
+            partial.stats.modeled > query.shardDeadline) {
+            partial.stats.answered = false;
+            deadline_hit = true;
+        }
+        if (!partial.stats.answered) {
+            execution.perNode.push_back(partial.stats);
+            continue;
+        }
+        ++execution.coverage.answeredShards;
         execution.scanned += partial.stats.scanned;
         slowest_node =
             units::max(slowest_node, partial.stats.modeled);
@@ -213,6 +250,9 @@ QueryEngine::execute(const Query &query) const
                                  partial.matches.end());
         execution.perNode.push_back(partial.stats);
     }
+    // Giving up on a shard still means waiting until its deadline.
+    if (deadline_hit)
+        slowest_node = units::max(slowest_node, query.shardDeadline);
     // Merge: per-node lists are timestamp-sorted and concatenated in
     // node order, so a stable sort on timestamp yields the canonical
     // (timestamp, node) order.

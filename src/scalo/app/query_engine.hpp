@@ -45,6 +45,28 @@ struct QueryStats
     units::Millis wall{0.0};
     /** Modeled on-node latency: SC reads + matching. */
     units::Millis modeled{0.0};
+    /**
+     * Whether this shard's answer made it into the result (false for
+     * nodes marked down and shards over the query's deadline).
+     */
+    bool answered = true;
+};
+
+/** How much of the shard fan-out contributed to the answer. */
+struct Coverage
+{
+    std::size_t answeredShards = 0;
+    std::size_t totalShards = 0;
+
+    bool complete() const { return answeredShards == totalShards; }
+
+    double
+    fraction() const
+    {
+        return totalShards ? static_cast<double>(answeredShards) /
+                                 static_cast<double>(totalShards)
+                           : 1.0;
+    }
 };
 
 /** The result of executing one query over the distributed stores. */
@@ -65,6 +87,8 @@ struct QueryExecution
     units::Millis wall{0.0};
     /** One entry per node, in node order. */
     std::vector<QueryStats> perNode;
+    /** Shards answered vs. asked; partial under faults/deadlines. */
+    Coverage coverage;
 
     double
     matchedFraction() const
@@ -106,6 +130,14 @@ class QueryEngine
     /** Per-node store access. */
     const SignalStore &store(NodeId node) const;
 
+    /**
+     * Mark a node down (or back up): down shards are skipped at
+     * dispatch and the execution reports partial coverage. Mirrors
+     * the runtime's failure detector into the query path.
+     */
+    void setNodeDown(NodeId node, bool down = true);
+    bool nodeDown(NodeId node) const;
+
     std::size_t nodeCount() const { return stores.size(); }
 
     const lsh::WindowHasher &hasher() const { return windowHasher; }
@@ -124,6 +156,8 @@ class QueryEngine
     std::size_t windowSamples;
     lsh::WindowHasher windowHasher;
     std::vector<SignalStore> stores;
+    /** Nodes currently marked down (skipped at dispatch). */
+    std::vector<char> downNodes;
     std::size_t threads;
     /** Execution machinery, not logical state; rebuilt on resize. */
     mutable std::unique_ptr<util::ThreadPool> pool;

@@ -54,6 +54,20 @@ ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
                       const sched::Schedule &schedule,
                       const SimulateOptions &options) const
 {
+    // Empty plan + equal priorities: the fault path degenerates to
+    // the original happy-path execution, byte for byte.
+    return simulateWithFaults(flows, {}, schedule, sim::FaultPlan{},
+                              options);
+}
+
+sim::SystemSimResult
+ScaloSystem::simulateWithFaults(
+    const std::vector<sched::FlowSpec> &flows,
+    const std::vector<double> &priorities,
+    const sched::Schedule &schedule, const sim::FaultPlan &faults,
+    const SimulateOptions &options,
+    const net::RetryPolicy &retry) const
+{
     SCALO_ASSERT(schedule.feasible,
                  "cannot simulate an infeasible schedule");
     sim::SystemSimConfig sim_config;
@@ -67,6 +81,9 @@ ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
     sim_config.duration = options.duration;
     sim_config.seed = cfg.seed;
     sim_config.recordTrace = !options.tracePath.empty();
+    sim_config.faults = faults;
+    sim_config.retry = retry;
+    sim_config.priorities = priorities;
     sim::SystemSim system_sim(std::move(sim_config));
     sim::SystemSimResult result = system_sim.run();
     if (!options.tracePath.empty() &&

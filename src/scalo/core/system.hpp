@@ -88,6 +88,22 @@ class ScaloSystem
              const SimulateOptions &options = {}) const;
 
     /**
+     * simulate() with fault injection: execute @p schedule while the
+     * runtime injects @p faults, detects failures over the TDMA
+     * heartbeats, retries transmissions under @p retry, and
+     * reschedules dead nodes' work onto the survivors using
+     * @p priorities (the weights @p schedule was deployed with).
+     * With an empty plan this is exactly simulate().
+     */
+    sim::SystemSimResult
+    simulateWithFaults(const std::vector<sched::FlowSpec> &flows,
+                       const std::vector<double> &priorities,
+                       const sched::Schedule &schedule,
+                       const sim::FaultPlan &faults,
+                       const SimulateOptions &options = {},
+                       const net::RetryPolicy &retry = {}) const;
+
+    /**
      * Compile a TrillDSP-style program and validate it against the
      * node fabric. @return the compiled pipeline
      */

@@ -13,9 +13,24 @@ WirelessChannel::WirelessChannel(const RadioSpec &radio,
     SCALO_EXPECTS(berValue >= 0.0 && berValue <= 1.0);
 }
 
+void
+WirelessChannel::setBer(double ber)
+{
+    SCALO_EXPECTS(ber >= 0.0 && ber <= 1.0);
+    berValue = ber;
+}
+
 ReceiveResult
 WirelessChannel::transmit(const Packet &packet)
 {
+    if (outageActive) {
+        // The medium is gone: the packet is counted but nothing
+        // parseable arrives. No RNG draw, so outage windows do not
+        // shift the error sequence of the surrounding stream.
+        ++counters.sent;
+        ++counters.headerDrops;
+        return {};
+    }
     auto wire = serialize(packet);
     counters.bitsFlipped += injectBitErrors(wire, berValue, rng);
     ReceiveResult result = deserialize(wire);

@@ -55,12 +55,28 @@ class WirelessChannel
     const RadioSpec &radio() const { return *spec; }
     double ber() const { return berValue; }
 
+    /**
+     * Retarget the channel's BER mid-stream (fault injection drives
+     * this per time window: BER spikes raise it over an interval and
+     * restore the baseline afterwards). @pre ber in [0, 1]
+     */
+    void setBer(double ber);
+
+    /**
+     * Force a total outage: while set, every transmission is lost
+     * deterministically (header corrupt, no RNG draws), modelling a
+     * radio dropout window rather than elevated bit errors.
+     */
+    void setOutage(bool outage) { outageActive = outage; }
+    bool outage() const { return outageActive; }
+
     /** Reset statistics. */
     void resetStats() { counters = {}; }
 
   private:
     const RadioSpec *spec;
     double berValue;
+    bool outageActive = false;
     Rng rng;
     ChannelStats counters;
 };

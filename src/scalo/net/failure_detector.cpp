@@ -1,0 +1,63 @@
+#include "scalo/net/failure_detector.hpp"
+
+#include "scalo/util/contracts.hpp"
+
+namespace scalo::net {
+
+HeartbeatDetector::HeartbeatDetector(std::size_t nodes,
+                                     std::size_t miss_threshold)
+    : threshold(miss_threshold), misses(nodes, 0),
+      declaredDead(nodes, 0)
+{
+    SCALO_EXPECTS(nodes >= 1);
+    SCALO_EXPECTS(miss_threshold >= 1);
+}
+
+bool
+HeartbeatDetector::recordMiss(std::size_t node)
+{
+    SCALO_EXPECTS(node < misses.size());
+    if (declaredDead[node])
+        return false;
+    if (++misses[node] < threshold)
+        return false;
+    declaredDead[node] = 1;
+    return true;
+}
+
+bool
+HeartbeatDetector::recordHeard(std::size_t node)
+{
+    SCALO_EXPECTS(node < misses.size());
+    misses[node] = 0;
+    if (!declaredDead[node])
+        return false;
+    declaredDead[node] = 0;
+    return true;
+}
+
+bool
+HeartbeatDetector::dead(std::size_t node) const
+{
+    SCALO_EXPECTS(node < misses.size());
+    return declaredDead[node] != 0;
+}
+
+std::size_t
+HeartbeatDetector::consecutiveMisses(std::size_t node) const
+{
+    SCALO_EXPECTS(node < misses.size());
+    return misses[node];
+}
+
+std::vector<std::size_t>
+HeartbeatDetector::deadNodes() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t n = 0; n < declaredDead.size(); ++n)
+        if (declaredDead[n])
+            out.push_back(n);
+    return out;
+}
+
+} // namespace scalo::net

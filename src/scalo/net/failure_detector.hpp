@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Heartbeat-based failure detection on the TDMA exchange rounds
+ * (Section 3.4): every networked flow already gives each sender a slot
+ * per round, so the slots double as heartbeats — no extra packets or
+ * power. A node that misses @ref missThreshold consecutive expected
+ * slots is declared dead; a declared-dead node that transmits again is
+ * declared recovered. Worst-case detection latency is therefore
+ * `missThreshold * round + deadline` — the math the degradation tests
+ * and DESIGN.md's fault-model section pin down.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "scalo/units/units.hpp"
+
+namespace scalo::net {
+
+/** Per-node consecutive-miss counter with a death threshold. */
+class HeartbeatDetector
+{
+  public:
+    /**
+     * @param nodes          network size
+     * @param miss_threshold consecutive missed slots before a node
+     *                       is declared dead
+     */
+    explicit HeartbeatDetector(std::size_t nodes,
+                               std::size_t miss_threshold = 3);
+
+    /**
+     * Record one expected-but-silent slot of @p node.
+     * @return true when this miss crosses the threshold (the node is
+     *         newly declared dead)
+     */
+    bool recordMiss(std::size_t node);
+
+    /**
+     * Record a successful transmission of @p node.
+     * @return true when the node was declared dead (newly recovered)
+     */
+    bool recordHeard(std::size_t node);
+
+    /** Whether @p node is currently declared dead. */
+    bool dead(std::size_t node) const;
+
+    /** Consecutive misses accumulated against @p node. */
+    std::size_t consecutiveMisses(std::size_t node) const;
+
+    std::size_t missThreshold() const { return threshold; }
+    std::size_t nodeCount() const { return misses.size(); }
+
+    /** Indices of all currently-declared-dead nodes, ascending. */
+    std::vector<std::size_t> deadNodes() const;
+
+    /**
+     * Worst-case detection latency when rounds recur every @p round:
+     * the crash can land just after a heard slot, so detection takes
+     * a full threshold of further rounds.
+     */
+    units::Millis
+    detectionLatency(units::Millis round) const
+    {
+        return static_cast<double>(threshold + 1) * round;
+    }
+
+  private:
+    std::size_t threshold;
+    std::vector<std::size_t> misses;
+    std::vector<char> declaredDead;
+};
+
+} // namespace scalo::net

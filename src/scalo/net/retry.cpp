@@ -1,0 +1,49 @@
+#include "scalo/net/retry.hpp"
+
+#include <cmath>
+
+#include "scalo/util/contracts.hpp"
+
+namespace scalo::net {
+
+units::Micros
+RetryPolicy::backoff(std::size_t retry, Rng &rng) const
+{
+    SCALO_EXPECTS(retry >= 1);
+    validate();
+    const double nominal =
+        backoffBase.count() *
+        std::pow(backoffMultiplier, static_cast<double>(retry - 1));
+    // Symmetric jitter in [-jitterFraction, +jitterFraction): one
+    // uniform draw per backoff, so the sequence is seed-deterministic.
+    const double jitter =
+        jitterFraction > 0.0
+            ? 1.0 + jitterFraction * (2.0 * rng.uniform() - 1.0)
+            : 1.0;
+    return units::Micros{nominal * jitter};
+}
+
+units::Micros
+RetryPolicy::maxTotalBackoff() const
+{
+    validate();
+    double total = 0.0;
+    for (std::size_t retry = 1; retry < maxAttempts; ++retry)
+        total += backoffBase.count() *
+                 std::pow(backoffMultiplier,
+                          static_cast<double>(retry - 1)) *
+                 (1.0 + jitterFraction);
+    return units::Micros{total};
+}
+
+void
+RetryPolicy::validate() const
+{
+    SCALO_EXPECTS(maxAttempts >= 1);
+    SCALO_EXPECTS(backoffBase.count() >= 0.0);
+    SCALO_EXPECTS(backoffMultiplier >= 1.0);
+    SCALO_EXPECTS(jitterFraction >= 0.0 && jitterFraction < 1.0);
+    SCALO_EXPECTS(exchangeDeadline.count() >= 0.0);
+}
+
+} // namespace scalo::net

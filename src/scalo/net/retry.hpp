@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bounded retransmission policy for the intra-SCALO network: a fixed
+ * attempt budget, exponential backoff with deterministic seeded
+ * jitter, and a per-exchange deadline after which an exchange round
+ * proceeds with whichever senders are ready. Replaces the unbounded
+ * retransmit-until-accepted loop: on a lossy or partitioned medium an
+ * unbounded loop turns one dead peer into a system-wide stall, which
+ * is exactly what a safety-critical closed-loop BCI cannot afford
+ * (Section 6.6's error experiments assume the happy path; the fault
+ * runs do not).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "scalo/units/units.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::net {
+
+/** Retransmission budget and backoff shape for one packet. */
+struct RetryPolicy
+{
+    /** Total transmission attempts per fragment (first + retries). */
+    std::size_t maxAttempts = 4;
+    /** Backoff before the first retry. */
+    units::Micros backoffBase{50.0};
+    /** Growth factor between consecutive retries. */
+    double backoffMultiplier = 2.0;
+    /**
+     * Fraction of the backoff randomised symmetrically around the
+     * nominal value. Draws come from a caller-seeded Rng, so a fixed
+     * seed reproduces the exact backoff sequence.
+     */
+    double jitterFraction = 0.25;
+    /**
+     * Deadline for an exchange round to assemble all of its senders,
+     * measured from the first sender becoming ready; once it expires
+     * the round runs with the ready subset and absent senders are
+     * counted as missed heartbeats. Zero means "one flow window".
+     */
+    units::Millis exchangeDeadline{0.0};
+
+    /**
+     * Whether attempt @p attempt (0-based) may be followed by
+     * another.
+     */
+    bool
+    shouldRetry(std::size_t attempt) const
+    {
+        return attempt + 1 < maxAttempts;
+    }
+
+    /**
+     * Backoff before retry number @p retry (1-based: the wait between
+     * attempt retry-1 and attempt retry), jittered from @p rng.
+     */
+    units::Micros backoff(std::size_t retry, Rng &rng) const;
+
+    /** Worst-case total backoff across a full attempt budget. */
+    units::Micros maxTotalBackoff() const;
+
+    /** Contract-check the configuration. */
+    void validate() const;
+};
+
+} // namespace scalo::net

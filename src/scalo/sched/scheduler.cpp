@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "scalo/hw/nvm.hpp"
 #include "scalo/ilp/solver.hpp"
@@ -41,25 +42,98 @@ wireFixed(const net::RadioSpec &radio)
            kGuard;
 }
 
-/** Indices of nodes that transmit for a flow's pattern. */
+/**
+ * Indices of live nodes that transmit for a flow's pattern. With
+ * every node alive this reproduces the canonical roles (node 0
+ * broadcasts / aggregates); after failures the first surviving node
+ * inherits the broadcaster/aggregator role.
+ */
 std::vector<std::size_t>
-senders(net::Pattern pattern, std::size_t nodes)
+senders(net::Pattern pattern, const std::vector<bool> &alive)
 {
+    std::vector<std::size_t> live;
+    for (std::size_t n = 0; n < alive.size(); ++n)
+        if (alive[n])
+            live.push_back(n);
     std::vector<std::size_t> out;
     switch (pattern) {
       case net::Pattern::OneToAll:
-        out.push_back(0);
+        if (!live.empty())
+            out.push_back(live.front());
         break;
       case net::Pattern::AllToAll:
-        for (std::size_t n = 0; n < nodes; ++n)
-            out.push_back(n);
+        out = live;
         break;
       case net::Pattern::AllToOne:
-        for (std::size_t n = 1; n < nodes; ++n)
-            out.push_back(n);
+        for (std::size_t i = 1; i < live.size(); ++i)
+            out.push_back(live[i]);
         break;
     }
     return out;
+}
+
+/** Leakage charged to every live node for @p flows (radio once). */
+units::Milliwatts
+totalLeak(const SystemConfig &config,
+          const std::vector<FlowSpec> &flows)
+{
+    units::Milliwatts radio_leak{0.0};
+    std::size_t networked = 0;
+    for (const FlowSpec &flow : flows)
+        if (flow.network)
+            ++networked;
+    if (config.wirelessNetwork && networked > 0)
+        radio_leak = config.radio->power;
+
+    units::Milliwatts leak_total{0.0};
+    for (const FlowSpec &flow : flows) {
+        units::Milliwatts leak = flow.leak;
+        if (flow.network) {
+            // FlowSpec folds the default radio into its leakage;
+            // replace it with the configured radio, charged once.
+            leak -= net::defaultRadio().power;
+        }
+        leak_total += leak;
+    }
+    return leak_total + radio_leak;
+}
+
+/**
+ * Per-node power of an allocation: leakage on live nodes plus each
+ * flow's linear/quadratic dynamic terms (receive-side for
+ * exact-compare flows). Dead nodes are off and draw nothing.
+ */
+std::vector<units::Milliwatts>
+allocationPower(const SystemConfig &config,
+                const std::vector<FlowSpec> &flows,
+                const std::vector<FlowAllocation> &allocs,
+                const std::vector<bool> &alive,
+                units::Milliwatts leak_total)
+{
+    std::vector<units::Milliwatts> power(config.nodes,
+                                         units::Milliwatts{0.0});
+    for (std::size_t n = 0; n < config.nodes; ++n)
+        if (alive[n])
+            power[n] = leak_total;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        const bool exact = flows[f].network &&
+                           flows[f].network->exactCompare &&
+                           config.wirelessNetwork;
+        for (std::size_t n = 0; n < config.nodes; ++n) {
+            if (!alive[n])
+                continue;
+            const double e = allocs[f].electrodesPerNode[n];
+            if (exact) {
+                // Receive-side comparison power.
+                power[n] += flows[f].linPerElectrode *
+                            (allocs[f].totalElectrodes - e);
+            } else {
+                power[n] += flows[f].linPerElectrode * e +
+                            flows[f].quadPerElectrode2 * e * e;
+            }
+        }
+    }
+    return power;
 }
 
 /**
@@ -93,8 +167,19 @@ Schedule
 Scheduler::schedule(const std::vector<FlowSpec> &flows,
                     const std::vector<double> &priorities) const
 {
+    return scheduleMasked(
+        flows, priorities,
+        std::vector<bool>(systemConfig.nodes, true));
+}
+
+Schedule
+Scheduler::scheduleMasked(const std::vector<FlowSpec> &flows,
+                          const std::vector<double> &priorities,
+                          const std::vector<bool> &alive) const
+{
     SCALO_ASSERT(flows.size() == priorities.size(),
                  "one priority per flow");
+    SCALO_EXPECTS(alive.size() == systemConfig.nodes);
     Schedule result;
     const std::size_t nodes = systemConfig.nodes;
 
@@ -115,27 +200,8 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
 
     // Per-node leakage: each flow pays its own leakage, but the
     // intra-SCALO radio is one physical device, charged once.
-    units::Milliwatts radio_leak{0.0};
-    std::size_t networked = 0;
-    for (const FlowSpec &flow : flows)
-        if (flow.network)
-            ++networked;
-    if (systemConfig.wirelessNetwork && networked > 0)
-        radio_leak = systemConfig.radio->power;
-
-    units::Milliwatts leak_total{0.0};
-    for (const FlowSpec &flow : flows) {
-        units::Milliwatts leak = flow.leak;
-        if (flow.network) {
-            // FlowSpec folds the default radio into its leakage;
-            // replace it with the configured radio, charged once.
-            leak -= net::defaultRadio().power;
-        } else if (!systemConfig.wirelessNetwork && !flow.network) {
-            // nothing to adjust for local flows
-        }
-        leak_total += leak;
-    }
-    leak_total += radio_leak;
+    const units::Milliwatts leak_total =
+        totalLeak(systemConfig, flows);
     const units::Milliwatts power_budget =
         systemConfig.powerCap - leak_total;
     if (power_budget <= 0.0_mW) {
@@ -159,11 +225,12 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
         // Exact-compare flows only give credit (and allocate
         // electrodes) to the transmitting nodes.
         const bool exact = flow.network && flow.network->exactCompare;
-        std::vector<bool> is_sender(nodes, true);
+        // Dead nodes process nothing for any flow.
+        std::vector<bool> is_sender = alive;
         if (exact && systemConfig.wirelessNetwork) {
             std::fill(is_sender.begin(), is_sender.end(), false);
             for (std::size_t n :
-                 senders(flow.network->pattern, nodes)) {
+                 senders(flow.network->pattern, alive)) {
                 is_sender[n] = true;
             }
         }
@@ -208,6 +275,11 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
     const double nvm_write_bps =
         hw::nvmSpec().writeBandwidth().count() * 1e6;
     for (std::size_t n = 0; n < nodes; ++n) {
+        // A dead node draws no power and writes nothing; leaving its
+        // receive-side constraints in place would wrongly bound the
+        // survivors.
+        if (!alive[n])
+            continue;
         ilp::Expr power;
         ilp::Expr nvm;
         for (std::size_t f = 0; f < flows.size(); ++f) {
@@ -261,7 +333,7 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
             const FlowSpec &flow = flows[f];
             if (!flow.network)
                 continue;
-            const auto tx = senders(flow.network->pattern, nodes);
+            const auto tx = senders(flow.network->pattern, alive);
             if (tx.empty())
                 continue;
             ilp::Expr round;
@@ -308,11 +380,7 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
 
     // Decode the allocation.
     result.feasible = true;
-    result.nodePower.assign(nodes, leak_total);
     for (std::size_t f = 0; f < flows.size(); ++f) {
-        const bool exact = flows[f].network &&
-                           flows[f].network->exactCompare &&
-                           systemConfig.wirelessNetwork;
         FlowAllocation alloc;
         alloc.flow = flows[f].name;
         for (std::size_t n = 0; n < nodes; ++n) {
@@ -321,27 +389,254 @@ Scheduler::schedule(const std::vector<FlowSpec> &flows,
             alloc.electrodesPerNode.push_back(e);
             alloc.totalElectrodes += e;
         }
-        for (std::size_t n = 0; n < nodes; ++n) {
-            const double e = alloc.electrodesPerNode[n];
-            if (exact) {
-                // Receive-side comparison power.
-                result.nodePower[n] +=
-                    flows[f].linPerElectrode *
-                    (alloc.totalElectrodes - e);
-            } else {
-                result.nodePower[n] +=
-                    flows[f].linPerElectrode * e +
-                    flows[f].quadPerElectrode2 * e * e;
-            }
-        }
         alloc.throughput = electrodesToRate(alloc.totalElectrodes);
         result.totalThroughput += alloc.throughput;
         result.weightedThroughput += priorities[f] * alloc.throughput;
         result.flows.push_back(std::move(alloc));
     }
+    result.nodePower = allocationPower(systemConfig, flows,
+                                       result.flows, alive,
+                                       leak_total);
     for ([[maybe_unused]] const units::Milliwatts p :
          result.nodePower)
         SCALO_ENSURES(p.count() >= 0.0);
+    return result;
+}
+
+namespace {
+
+std::vector<bool>
+aliveMask(std::size_t nodes, const std::vector<std::size_t> &dead)
+{
+    std::vector<bool> alive(nodes, true);
+    for (const std::size_t n : dead) {
+        SCALO_EXPECTS(n < nodes);
+        alive[n] = false;
+    }
+    return alive;
+}
+
+units::Milliwatts
+maxPower(const std::vector<units::Milliwatts> &power)
+{
+    units::Milliwatts peak{0.0};
+    for (const units::Milliwatts p : power)
+        peak = std::max(peak, p);
+    return peak;
+}
+
+/**
+ * Largest electrode increment at a node whose marginal dynamic power
+ * a·d + b·((e+d)^2 - e^2) stays within @p headroom mW.
+ */
+double
+powerRoom(double lin, double quad, double e, double headroom)
+{
+    if (headroom <= 0.0)
+        return 0.0;
+    if (quad <= 0.0)
+        return lin > 0.0 ? headroom / lin
+                         : std::numeric_limits<double>::infinity();
+    const double slope = lin + 2.0 * quad * e;
+    return (std::sqrt(slope * slope + 4.0 * quad * headroom) -
+            slope) /
+           (2.0 * quad);
+}
+
+} // namespace
+
+Schedule
+Scheduler::greedyRepair(const std::vector<FlowSpec> &flows,
+                        const Schedule &original,
+                        const std::vector<std::size_t> &dead_nodes)
+    const
+{
+    SCALO_EXPECTS(original.feasible);
+    SCALO_EXPECTS(original.flows.size() == flows.size());
+    const std::size_t nodes = systemConfig.nodes;
+    const std::vector<bool> alive = aliveMask(nodes, dead_nodes);
+    const units::Milliwatts leak_total =
+        totalLeak(systemConfig, flows);
+
+    Schedule repaired = original;
+    repaired.reason = "greedy repair after node failure";
+    repaired.totalThroughput = units::MegabitsPerSecond{0.0};
+    repaired.weightedThroughput = units::MegabitsPerSecond{0.0};
+
+    // Power headroom of the survivors under the original allocation
+    // (survivors keep their own work; the dead node's share is what
+    // moves).
+    std::vector<double> headroom(nodes, 0.0);
+    {
+        const std::vector<units::Milliwatts> used = allocationPower(
+            systemConfig, flows, repaired.flows, alive, leak_total);
+        for (std::size_t n = 0; n < nodes; ++n)
+            if (alive[n])
+                headroom[n] =
+                    (systemConfig.powerCap - used[n]).count();
+    }
+
+    constexpr double kEps = 1e-9;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        const FlowSpec &flow = flows[f];
+        FlowAllocation &alloc = repaired.flows[f];
+        const bool exact = flow.network &&
+                           flow.network->exactCompare &&
+                           systemConfig.wirelessNetwork;
+        std::vector<bool> eligible = alive;
+        if (exact) {
+            std::fill(eligible.begin(), eligible.end(), false);
+            for (const std::size_t n :
+                 senders(flow.network->pattern, alive))
+                eligible[n] = true;
+        }
+
+        // Shed the dead nodes' electrodes (and any allocation a node
+        // is no longer eligible for, e.g. a relocated aggregator).
+        double shed = 0.0;
+        for (std::size_t n = 0; n < nodes; ++n) {
+            if (!eligible[n] && alloc.electrodesPerNode[n] > 0.0) {
+                shed += alloc.electrodesPerNode[n];
+                alloc.electrodesPerNode[n] = 0.0;
+            }
+        }
+
+        // Redistribute onto survivors: each pass fills nodes up to
+        // their power headroom (and the electrode ceiling); what no
+        // node can absorb stays shed.
+        const double lin = flow.linPerElectrode.count();
+        const double quad = flow.quadPerElectrode2.count();
+        for (int pass = 0; pass < 4 && shed > kEps; ++pass) {
+            bool progressed = false;
+            for (std::size_t n = 0; n < nodes && shed > kEps; ++n) {
+                if (!eligible[n])
+                    continue;
+                const double e = alloc.electrodesPerNode[n];
+                double room = shed;
+                if (systemConfig.maxElectrodesPerNode > 0.0)
+                    room = std::min(
+                        room,
+                        systemConfig.maxElectrodesPerNode - e);
+                if (exact) {
+                    // Receive-side power: every other live node pays
+                    // lin per moved electrode.
+                    for (std::size_t m = 0; m < nodes; ++m)
+                        if (m != n && alive[m] && lin > 0.0)
+                            room = std::min(room,
+                                            headroom[m] / lin);
+                } else {
+                    room = std::min(
+                        room, powerRoom(lin, quad, e, headroom[n]));
+                }
+                if (room <= kEps)
+                    continue;
+                alloc.electrodesPerNode[n] += room;
+                shed -= room;
+                progressed = true;
+                if (exact) {
+                    for (std::size_t m = 0; m < nodes; ++m)
+                        if (m != n && alive[m])
+                            headroom[m] -= lin * room;
+                } else {
+                    headroom[n] -=
+                        lin * room +
+                        quad * ((e + room) * (e + room) - e * e);
+                }
+            }
+            if (!progressed)
+                break;
+        }
+
+        // Network fit: the surviving senders' serialized round must
+        // still meet the budget; scale the flow down uniformly when
+        // it does not (fewer senders also means less fixed cost, so
+        // this rarely binds).
+        if (systemConfig.wirelessNetwork && flow.network) {
+            const net::RadioSpec &radio = *systemConfig.radio;
+            const auto tx = senders(flow.network->pattern, alive);
+            units::Millis fixed{0.0};
+            double variable_ms = 0.0;
+            for (const std::size_t n : tx) {
+                fixed += wireFixed(radio) +
+                         flow.network->bytesPerNode *
+                             wireTimePerByte(radio);
+                variable_ms += alloc.electrodesPerNode[n] *
+                               flow.network->bytesPerElectrode *
+                               wireTimePerByte(radio).count();
+            }
+            const double budget_ms =
+                (flow.network->roundBudget - fixed).count();
+            if (budget_ms <= 0.0) {
+                for (std::size_t n = 0; n < nodes; ++n)
+                    alloc.electrodesPerNode[n] = 0.0;
+            } else if (variable_ms > budget_ms) {
+                const double scale = budget_ms / variable_ms;
+                for (const std::size_t n : tx)
+                    alloc.electrodesPerNode[n] *= scale;
+            }
+        }
+
+        alloc.totalElectrodes = 0.0;
+        for (const double e : alloc.electrodesPerNode)
+            alloc.totalElectrodes += e;
+        alloc.throughput = electrodesToRate(alloc.totalElectrodes);
+        repaired.totalThroughput += alloc.throughput;
+    }
+
+    repaired.nodePower = allocationPower(
+        systemConfig, flows, repaired.flows, alive, leak_total);
+    return repaired;
+}
+
+RescheduleResult
+Scheduler::reschedule(const std::vector<FlowSpec> &flows,
+                      const std::vector<double> &priorities,
+                      const Schedule &original,
+                      const std::vector<std::size_t> &dead_nodes)
+    const
+{
+    SCALO_ASSERT(flows.size() == priorities.size(),
+                 "one priority per flow");
+    SCALO_EXPECTS(original.feasible);
+    const std::size_t nodes = systemConfig.nodes;
+
+    RescheduleResult result;
+    result.deadNodes = dead_nodes;
+    std::sort(result.deadNodes.begin(), result.deadNodes.end());
+    result.deadNodes.erase(std::unique(result.deadNodes.begin(),
+                                       result.deadNodes.end()),
+                           result.deadNodes.end());
+    result.throughputBefore = original.totalThroughput;
+    result.maxNodePowerBefore = maxPower(original.nodePower);
+
+    const std::vector<bool> alive =
+        aliveMask(nodes, result.deadNodes);
+    const bool any_alive =
+        std::any_of(alive.begin(), alive.end(),
+                    [](bool a) { return a; });
+
+    Schedule repaired;
+    if (any_alive)
+        repaired = scheduleMasked(flows, priorities, alive);
+    if (repaired.feasible) {
+        result.viaIlp = true;
+    } else {
+        repaired = greedyRepair(flows, original, result.deadNodes);
+        // The greedy path has no priorities in scope; weight here.
+        repaired.weightedThroughput = units::MegabitsPerSecond{0.0};
+        for (std::size_t f = 0; f < flows.size(); ++f)
+            repaired.weightedThroughput +=
+                priorities[f] * repaired.flows[f].throughput;
+    }
+    result.throughputAfter = repaired.totalThroughput;
+    result.maxNodePowerAfter = maxPower(repaired.nodePower);
+    result.schedule = std::move(repaired);
+
+    // Degradation never assigns work to a dead node.
+    for ([[maybe_unused]] const std::size_t n : result.deadNodes)
+        for ([[maybe_unused]] const FlowAllocation &alloc :
+             result.schedule.flows)
+            SCALO_ENSURES(alloc.electrodesPerNode[n] == 0.0);
     return result;
 }
 

@@ -66,6 +66,21 @@ struct Schedule
     units::MegabitsPerSecond weightedThroughput{0.0};
 };
 
+/** Outcome of rescheduling around dead nodes (degraded operation). */
+struct RescheduleResult
+{
+    /** The repaired schedule; dead nodes carry zero work and power. */
+    Schedule schedule;
+    /** True when the ILP re-solve produced it; false = greedy repair. */
+    bool viaIlp = false;
+    std::vector<std::size_t> deadNodes;
+    /** Degradation deltas (before = the original schedule). */
+    units::MegabitsPerSecond throughputBefore{0.0};
+    units::MegabitsPerSecond throughputAfter{0.0};
+    units::Milliwatts maxNodePowerBefore{0.0};
+    units::Milliwatts maxNodePowerAfter{0.0};
+};
+
 /** The optimal mapper. */
 class Scheduler
 {
@@ -79,6 +94,32 @@ class Scheduler
     Schedule schedule(const std::vector<FlowSpec> &flows,
                       const std::vector<double> &priorities) const;
 
+    /**
+     * Remap @p original's work off @p dead_nodes onto the survivors:
+     * re-solves the ILP restricted to live nodes, and when that is
+     * infeasible falls back to greedyRepair(). Either way the
+     * returned schedule assigns zero electrodes and zero power to
+     * every dead node, and the result reports the degraded
+     * throughput/power deltas against the original.
+     */
+    RescheduleResult
+    reschedule(const std::vector<FlowSpec> &flows,
+               const std::vector<double> &priorities,
+               const Schedule &original,
+               const std::vector<std::size_t> &dead_nodes) const;
+
+    /**
+     * The non-ILP repair path: move each flow's dead-node electrodes
+     * onto surviving nodes in proportion to their remaining power
+     * headroom, clipped by the per-node electrode ceiling. Always
+     * returns a schedule (possibly with work shed when nothing fits),
+     * so degradation never depends on solver feasibility.
+     */
+    Schedule greedyRepair(const std::vector<FlowSpec> &flows,
+                          const Schedule &original,
+                          const std::vector<std::size_t> &dead_nodes)
+        const;
+
     /** Single-flow maximum aggregate throughput. */
     units::MegabitsPerSecond
     maxAggregateThroughput(const FlowSpec &flow) const;
@@ -86,6 +127,10 @@ class Scheduler
     const SystemConfig &config() const { return systemConfig; }
 
   private:
+    Schedule scheduleMasked(const std::vector<FlowSpec> &flows,
+                            const std::vector<double> &priorities,
+                            const std::vector<bool> &alive) const;
+
     SystemConfig systemConfig;
 };
 

@@ -25,18 +25,64 @@ toTicks(units::Micros t)
 void
 Simulator::after(units::Micros delay, Action action)
 {
-    SCALO_EXPECTS(delay.count() >= 0.0);
-    at(units::Micros{static_cast<double>(nowTicks)} + delay,
-       std::move(action));
+    afterOwned(delay, 0, std::move(action));
 }
 
 void
 Simulator::at(units::Micros at, Action action)
 {
+    atOwned(at, 0, std::move(action));
+}
+
+void
+Simulator::afterOwned(units::Micros delay, Owner owner, Action action)
+{
+    SCALO_EXPECTS(delay.count() >= 0.0);
+    atOwned(units::Micros{static_cast<double>(nowTicks)} + delay,
+            owner, std::move(action));
+}
+
+void
+Simulator::atOwned(units::Micros at, Owner owner, Action action)
+{
     const std::uint64_t ticks = toTicks(at);
     SCALO_ASSERT(ticks >= nowTicks, "scheduling into the past: ",
                  ticks, " < ", nowTicks);
-    queue.push({ticks, nextSequence++, std::move(action)});
+    std::uint32_t epoch = 0;
+    if (owner != 0) {
+        OwnerState &state = owners[owner];
+        epoch = state.epoch;
+        ++state.pendingEvents;
+    }
+    queue.push({ticks, nextSequence++, std::move(action), owner,
+                epoch});
+}
+
+std::size_t
+Simulator::cancelOwned(Owner owner)
+{
+    SCALO_EXPECTS(owner != 0);
+    const auto found = owners.find(owner);
+    if (found == owners.end())
+        return 0;
+    OwnerState &state = found->second;
+    const std::size_t cancelled = state.pendingEvents;
+    // Bump the epoch: queued events of the old epoch are skipped at
+    // pop time (lazy deletion keeps the heap intact).
+    ++state.epoch;
+    state.pendingEvents = 0;
+    cancelledQueued += cancelled;
+    return cancelled;
+}
+
+bool
+Simulator::stale(const Event &event) const
+{
+    if (event.owner == 0)
+        return false;
+    const auto found = owners.find(event.owner);
+    return found == owners.end() ||
+           found->second.epoch != event.epoch;
 }
 
 std::size_t
@@ -47,6 +93,19 @@ Simulator::run(units::Micros until)
     while (!queue.empty() && queue.top().time <= until_ticks) {
         Event event = queue.top();
         queue.pop();
+        if (stale(event)) {
+            // Cancelled: drop without executing or advancing time.
+            SCALO_ASSERT(cancelledQueued > 0,
+                         "stale event not accounted as cancelled");
+            --cancelledQueued;
+            continue;
+        }
+        if (event.owner != 0) {
+            OwnerState &state = owners[event.owner];
+            SCALO_ASSERT(state.pendingEvents > 0,
+                         "owned event count underflow");
+            --state.pendingEvents;
+        }
         nowTicks = event.time;
         event.action();
         ++executed;
@@ -64,6 +123,8 @@ Simulator::clear()
 {
     while (!queue.empty())
         queue.pop();
+    owners.clear();
+    cancelledQueued = 0;
 }
 
 } // namespace scalo::sim

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -25,6 +26,14 @@ class Simulator
 {
   public:
     using Action = std::function<void()>;
+
+    /**
+     * Actor tag for cancellable events; 0 is "unowned" (never
+     * cancelled). A crashed node's pending events must not execute
+     * against its dead model, so actors schedule continuations under
+     * their owner id and `cancelOwned` retires them wholesale.
+     */
+    using Owner = std::uint32_t;
 
     /** Current simulation time. */
     units::Micros now() const
@@ -41,6 +50,20 @@ class Simulator
     /** Schedule @p action at absolute time @p at (>= now). */
     void at(units::Micros at, Action action);
 
+    /** Schedule @p action at now + @p delay, owned by @p owner. */
+    void afterOwned(units::Micros delay, Owner owner, Action action);
+
+    /** Schedule @p action at @p at (>= now), owned by @p owner. */
+    void atOwned(units::Micros at, Owner owner, Action action);
+
+    /**
+     * Cancel every pending event of @p owner: the events stay queued
+     * (removal from a binary heap is not worth the bookkeeping) but
+     * are skipped unexecuted when popped, and stop counting as
+     * pending immediately. @return events cancelled
+     */
+    std::size_t cancelOwned(Owner owner);
+
     /** Horizon meaning "run until the queue drains". */
     static constexpr units::Micros kForever{1.0e19};
 
@@ -56,8 +79,12 @@ class Simulator
     /** Drop all pending events. */
     void clear();
 
-    /** Pending event count. */
-    std::size_t pending() const { return queue.size(); }
+    /** Pending (non-cancelled) event count. */
+    std::size_t
+    pending() const
+    {
+        return queue.size() - cancelledQueued;
+    }
 
   private:
     struct Event
@@ -65,6 +92,8 @@ class Simulator
         std::uint64_t time;
         std::uint64_t sequence;
         Action action;
+        Owner owner = 0;
+        std::uint32_t epoch = 0;
     };
     struct Later
     {
@@ -76,10 +105,19 @@ class Simulator
             return a.sequence > b.sequence;
         }
     };
+    struct OwnerState
+    {
+        std::uint32_t epoch = 0;
+        std::size_t pendingEvents = 0;
+    };
+
+    bool stale(const Event &event) const;
 
     std::uint64_t nowTicks = 0;
     std::uint64_t nextSequence = 0;
+    std::size_t cancelledQueued = 0;
     std::priority_queue<Event, std::vector<Event>, Later> queue;
+    std::map<Owner, OwnerState> owners;
 };
 
 } // namespace scalo::sim

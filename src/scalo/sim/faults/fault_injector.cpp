@@ -1,0 +1,71 @@
+#include "scalo/sim/faults/fault_injector.hpp"
+
+namespace scalo::sim {
+
+namespace {
+
+bool
+covers(units::Millis from, units::Millis to, units::Micros t)
+{
+    const units::Millis at{t};
+    return at >= from && at < to;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : faultPlan(std::move(plan)), rng(seed ^ 0xfa17'fa17'fa17'fa17ULL)
+{
+}
+
+bool
+FaultInjector::inDropout(units::Micros t) const
+{
+    for (const RadioDropoutFault &dropout : faultPlan.dropouts)
+        if (covers(dropout.from, dropout.to, t))
+            return true;
+    return false;
+}
+
+double
+FaultInjector::berOverrideAt(units::Micros t) const
+{
+    double override_ber = -1.0;
+    double latest_start = -1.0;
+    for (const BerSpikeFault &spike : faultPlan.berSpikes) {
+        if (covers(spike.from, spike.to, t) &&
+            spike.from.count() > latest_start) {
+            latest_start = spike.from.count();
+            override_ber = spike.ber;
+        }
+    }
+    return override_ber;
+}
+
+double
+FaultInjector::throttleAt(std::uint32_t node, units::Micros t) const
+{
+    double factor = 1.0;
+    for (const ThermalThrottleFault &throttle : faultPlan.throttles)
+        if (throttle.node == node &&
+            covers(throttle.from, throttle.to, t))
+            factor *= throttle.slowdown;
+    return factor;
+}
+
+bool
+FaultInjector::nvmWriteFails(std::uint32_t node)
+{
+    for (const NvmFailureFault &failure : faultPlan.nvmFailures) {
+        if (failure.node != node || failure.probability <= 0.0)
+            continue;
+        if (rng.chance(failure.probability)) {
+            ++nvmFailures;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+} // namespace scalo::sim

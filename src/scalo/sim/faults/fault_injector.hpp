@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The runtime interpreter of a `FaultPlan`: `SystemSim` consults the
+ * injector each event round to learn the channel condition (dropout /
+ * BER spike), the thermal throttle factor of a node, and whether an
+ * NVM append fails. Crash/reboot instants are read off the plan and
+ * turned into simulator events by `SystemSim` itself (the injector
+ * has no event queue).
+ *
+ * All randomness (NVM Bernoulli draws) comes from one seeded Rng, so
+ * a fixed (plan, seed) pair reproduces the same fault sequence.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "scalo/sim/faults/fault_plan.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo::sim {
+
+/** Stateful, seeded view of a FaultPlan for one run. */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+    const FaultPlan &plan() const { return faultPlan; }
+
+    /** Whether the shared medium is in a dropout window at @p t. */
+    bool inDropout(units::Micros t) const;
+
+    /**
+     * BER override active at @p t, or a negative value when the
+     * baseline BER applies. Overlapping spikes: the latest-starting
+     * one wins (deterministic).
+     */
+    double berOverrideAt(units::Micros t) const;
+
+    /**
+     * Service-time multiplier of @p node at @p t (1.0 when no
+     * throttle interval covers t; overlaps multiply).
+     */
+    double throttleAt(std::uint32_t node, units::Micros t) const;
+
+    /**
+     * Bernoulli draw: does this NVM append on @p node fail? Consumes
+     * RNG state only when the node has a configured failure
+     * probability, so fault-free nodes do not perturb the stream.
+     */
+    bool nvmWriteFails(std::uint32_t node);
+
+    /** Number of NVM failures drawn so far (for result accounting). */
+    std::uint64_t nvmFailuresDrawn() const { return nvmFailures; }
+
+  private:
+    FaultPlan faultPlan;
+    Rng rng;
+    std::uint64_t nvmFailures = 0;
+};
+
+} // namespace scalo::sim

@@ -1,0 +1,38 @@
+#include "scalo/sim/faults/fault_plan.hpp"
+
+#include "scalo/util/contracts.hpp"
+
+namespace scalo::sim {
+
+void
+FaultPlan::validate(std::size_t nodes) const
+{
+    for (const NodeCrashFault &crash : crashes) {
+        SCALO_EXPECTS(crash.node < nodes);
+        SCALO_EXPECTS(crash.at.count() >= 0.0);
+        if (crash.reboots())
+            SCALO_EXPECTS(crash.rebootAt > crash.at);
+    }
+    for (const RadioDropoutFault &dropout : dropouts) {
+        SCALO_EXPECTS(dropout.from.count() >= 0.0);
+        SCALO_EXPECTS(dropout.to > dropout.from);
+    }
+    for (const BerSpikeFault &spike : berSpikes) {
+        SCALO_EXPECTS(spike.from.count() >= 0.0);
+        SCALO_EXPECTS(spike.to > spike.from);
+        SCALO_EXPECTS(spike.ber >= 0.0 && spike.ber <= 1.0);
+    }
+    for (const NvmFailureFault &failure : nvmFailures) {
+        SCALO_EXPECTS(failure.node < nodes);
+        SCALO_EXPECTS(failure.probability >= 0.0 &&
+                      failure.probability <= 1.0);
+    }
+    for (const ThermalThrottleFault &throttle : throttles) {
+        SCALO_EXPECTS(throttle.node < nodes);
+        SCALO_EXPECTS(throttle.from.count() >= 0.0);
+        SCALO_EXPECTS(throttle.to > throttle.from);
+        SCALO_EXPECTS(throttle.slowdown >= 1.0);
+    }
+}
+
+} // namespace scalo::sim

@@ -70,9 +70,70 @@ NodeModel::submitWindow(std::size_t flow, std::uint64_t window_id,
     SCALO_EXPECTS(flow < flows.size());
     const std::uint64_t arrival = toTicks(at);
     ++flows[flow].progress.submitted;
+    // Arrivals are unowned: a window reaching a crashed node is a
+    // real event (the data was produced and lost), recorded as a
+    // drop rather than silently cancelled.
     simulator->at(at, [this, flow, window_id, arrival] {
+        if (isHalted) {
+            FlowState &state = flows[flow];
+            ++state.progress.dropped;
+            if (trace)
+                trace->record(
+                    simulator->now(), TraceEventKind::WindowDrop,
+                    nodeId, stageLane(flow, state.stages.size()),
+                    std::string(state.pipeline.name()), window_id);
+            return;
+        }
         enterStage(flow, 0, window_id, arrival);
     });
+}
+
+void
+NodeModel::halt()
+{
+    if (isHalted)
+        return;
+    isHalted = true;
+    simulator->cancelOwned(eventOwner());
+    const units::Micros now = simulator->now();
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        FlowState &state = flows[f];
+        for (std::uint64_t window_id : state.inFlight) {
+            ++state.progress.dropped;
+            if (trace)
+                trace->record(
+                    now, TraceEventKind::WindowDrop, nodeId,
+                    stageLane(f, state.stages.size()),
+                    std::string(state.pipeline.name()), window_id);
+        }
+        state.inFlight.clear();
+        // Cold servers on reboot: whatever was queued died with the
+        // node.
+        for (StageState &stage : state.stages)
+            stage.freeAtUs = 0;
+    }
+}
+
+void
+NodeModel::resume()
+{
+    isHalted = false;
+}
+
+void
+NodeModel::setThrottle(double factor)
+{
+    SCALO_EXPECTS(factor >= 1.0);
+    throttleFactor = factor;
+}
+
+std::uint64_t
+NodeModel::serviceTicks(const StageState &stage) const
+{
+    if (throttleFactor == 1.0)
+        return stage.serviceUs;
+    return static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(stage.serviceUs) * throttleFactor));
 }
 
 void
@@ -113,9 +174,13 @@ NodeModel::enterStage(std::size_t flow, std::size_t stage,
         return;
     }
 
-    const std::uint64_t finish = start + server.serviceUs;
+    if (stage == 0)
+        state.inFlight.push_back(window_id);
+
+    const std::uint64_t service = serviceTicks(server);
+    const std::uint64_t finish = start + service;
     server.freeAtUs = finish;
-    server.busyUs += static_cast<double>(server.serviceUs);
+    server.busyUs += static_cast<double>(service);
 
     if (trace) {
         const auto name = std::string(
@@ -128,9 +193,12 @@ NodeModel::enterStage(std::size_t flow, std::size_t stage,
                       stageLane(flow, stage), name, window_id);
     }
 
+    // Stage continuations are owned: halt() cancels them so a dead
+    // node's pipeline stops mid-flight instead of executing against
+    // the halted model.
     const bool last = stage + 1 == state.stages.size();
-    simulator->at(
-        units::Micros{static_cast<double>(finish)},
+    simulator->atOwned(
+        units::Micros{static_cast<double>(finish)}, eventOwner(),
         [this, flow, stage, window_id, arrival_us, last] {
             if (!last) {
                 enterStage(flow, stage + 1, window_id, arrival_us);
@@ -140,6 +208,7 @@ NodeModel::enterStage(std::size_t flow, std::size_t stage,
             const std::uint64_t done = simulator->ticks();
             const std::uint64_t latency = done - arrival_us;
             ++done_state.progress.completed;
+            std::erase(done_state.inFlight, window_id);
             done_state.progress.lastLatencyUs = latency;
             done_state.progress.maxLatencyUs =
                 std::max(done_state.progress.maxLatencyUs, latency);

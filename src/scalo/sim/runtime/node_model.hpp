@@ -100,6 +100,35 @@ class NodeModel
     std::size_t flowCount() const { return flows.size(); }
     std::uint32_t node() const { return nodeId; }
 
+    /**
+     * Crash the node: every pending stage-continuation event is
+     * cancelled on the simulator (never executed against the dead
+     * model), in-flight windows are dropped (traced as WindowDrop),
+     * and windows arriving while halted are dropped on arrival.
+     * Stage servers are reset so a later resume() starts cold.
+     */
+    void halt();
+
+    /** Reboot a halted node; new arrivals execute normally again. */
+    void resume();
+
+    bool halted() const { return isHalted; }
+
+    /**
+     * Thermal throttle: scale every stage's service time by
+     * @p factor (>= 1; 1 restores full speed). Applies to stages
+     * entered from now on.
+     */
+    void setThrottle(double factor);
+    double throttle() const { return throttleFactor; }
+
+    /** Simulator owner tag of this node's cancellable events. */
+    Simulator::Owner
+    eventOwner() const
+    {
+        return nodeId + 1;
+    }
+
     /** Per-stage busy time accumulated so far (µs). */
     std::vector<double> stageBusyUs(std::size_t flow) const;
 
@@ -140,6 +169,8 @@ class NodeModel
         std::uint64_t windowUs = 0;
         std::uint64_t dropBacklogUs = 0; ///< 0 = never drop
         std::vector<StageState> stages;
+        /** Windows inside the pipeline right now (small). */
+        std::vector<std::uint64_t> inFlight;
         FlowProgress progress;
         Completion done;
     };
@@ -148,9 +179,14 @@ class NodeModel
                     std::uint64_t window_id,
                     std::uint64_t arrival_us);
 
+    /** Effective (throttled) service time of one stage. */
+    std::uint64_t serviceTicks(const StageState &stage) const;
+
     Simulator *simulator;
     Trace *trace;
     std::uint32_t nodeId;
+    bool isHalted = false;
+    double throttleFactor = 1.0;
     std::vector<FlowState> flows;
 };
 

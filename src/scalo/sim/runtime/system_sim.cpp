@@ -18,8 +18,9 @@ using namespace units::literals;
 namespace {
 
 constexpr double kParticipantEpsilon = 1e-6;
-constexpr std::size_t kMaxTransmitAttempts = 16;
 constexpr units::Micros kGuard{20.0};
+/** Domain separator for the backoff-jitter RNG stream. */
+constexpr std::uint64_t kBackoffSeedSalt = 0xbacc'0ff5'eed0'0001ULL;
 
 /** Indices of transmitting nodes, matching the scheduler's model. */
 std::vector<std::size_t>
@@ -71,8 +72,16 @@ struct SystemSim::FlowRuntime
     net::PacketType packetType = net::PacketType::Hash;
     std::optional<net::WirelessChannel> channel;
     std::uint16_t nextSequence = 0;
-    /** Senders done with their local pipeline, per window id. */
-    std::map<std::uint64_t, std::size_t> pendingRound;
+
+    /** Assembly state of one exchange round. */
+    struct RoundState
+    {
+        /** Senders done with their local pipeline, arrival order. */
+        std::vector<std::size_t> ready;
+        bool deadlineArmed = false;
+        bool exchanged = false;
+    };
+    std::map<std::uint64_t, RoundState> rounds;
 
     // Measured accumulators.
     std::size_t submitted = 0;
@@ -84,10 +93,11 @@ struct SystemSim::FlowRuntime
     std::uint64_t lastResponseUs = 0;
     std::uint64_t roundSumUs = 0;
     std::uint64_t maxRoundUs = 0;
-    std::size_t rounds = 0;
+    std::size_t roundCount = 0;
     std::uint64_t packetsSent = 0;
     std::uint64_t packetsCorrupted = 0;
     std::uint64_t retransmissions = 0;
+    std::uint64_t packetsLost = 0;
 
     // Static predictions.
     double analyticRoundUs = 0.0;
@@ -95,7 +105,12 @@ struct SystemSim::FlowRuntime
     bool analyticSustainable = true;
 };
 
-SystemSim::SystemSim(SystemSimConfig cfg) : config(std::move(cfg))
+SystemSim::SystemSim(SystemSimConfig cfg)
+    : config(std::move(cfg)),
+      injector(config.faults, config.seed),
+      detector(config.system.nodes, config.heartbeatMissThreshold),
+      backoffRng(config.seed ^ kBackoffSeedSalt),
+      liveSchedule(config.schedule)
 {
     SCALO_ASSERT(config.schedule.feasible,
                  "SystemSim needs a feasible schedule");
@@ -103,8 +118,16 @@ SystemSim::SystemSim(SystemSimConfig cfg) : config(std::move(cfg))
                  "schedule/flow-set mismatch");
     SCALO_ASSERT(config.duration > 0.0_ms,
                  "simulation duration must be positive");
+    config.faults.validate(config.system.nodes);
+    config.retry.validate();
+    if (config.priorities.empty())
+        config.priorities.assign(config.flows.size(), 1.0);
+    SCALO_ASSERT(config.priorities.size() == config.flows.size(),
+                 "one priority per flow");
 
     const std::size_t node_count = config.system.nodes;
+    nodeUp.assign(node_count, 1);
+    crashedAtMs.assign(node_count, -1.0);
     nodes.reserve(node_count);
     for (std::size_t n = 0; n < node_count; ++n)
         nodes.emplace_back(simulator, static_cast<std::uint32_t>(n),
@@ -193,8 +216,9 @@ SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
 {
     FlowRuntime &rt = flowRuntimes[flow];
     const sched::FlowSpec &spec = config.flows[flow];
-    const double e =
-        config.schedule.flows[flow].electrodesPerNode[node];
+    // The degraded allocation (identical to the original until a
+    // reschedule happens) drives energy and NVM accounting.
+    const double e = liveSchedule.flows[flow].electrodesPerNode[node];
 
     // Dynamic energy of the local per-window work. Exact-compare
     // flows charge the comparison to the receivers instead (the
@@ -214,13 +238,22 @@ SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
             static_cast<std::size_t>(rt.nvmCarry[node]);
         if (bytes > 0) {
             rt.nvmCarry[node] -= static_cast<double>(bytes);
-            nvmBytes[node] += bytes;
-            nvmPages[node] +=
-                storage[node].append(hw::Partition::Signals, bytes);
-            eventTrace.record(simulator.now(),
-                              TraceEventKind::NvmWrite, node, 0,
-                              spec.name, window_id,
-                              static_cast<double>(bytes));
+            if (injector.nvmWriteFails(node)) {
+                // The append is lost; the page never programs.
+                eventTrace.record(simulator.now(),
+                                  TraceEventKind::FaultInjected,
+                                  node, 0, "nvm-write-fail",
+                                  window_id,
+                                  static_cast<double>(bytes));
+            } else {
+                nvmBytes[node] += bytes;
+                nvmPages[node] += storage[node].append(
+                    hw::Partition::Signals, bytes);
+                eventTrace.record(simulator.now(),
+                                  TraceEventKind::NvmWrite, node, 0,
+                                  spec.name, window_id,
+                                  static_cast<double>(bytes));
+            }
         }
     }
 
@@ -229,12 +262,36 @@ SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
                                   rt.senders.end(),
                                   node) != rt.senders.end();
     if (sender) {
-        // The exchange round starts once every sender has its
-        // window's payload ready.
-        if (++rt.pendingRound[window_id] == rt.senders.size()) {
-            rt.pendingRound.erase(window_id);
-            runExchange(flow, window_id);
+        FlowRuntime::RoundState &round = rt.rounds[window_id];
+        if (round.exchanged)
+            return; // too late: the round ran at its deadline
+        round.ready.push_back(node);
+        if (!round.deadlineArmed) {
+            // Armed by the first ready sender: the round never waits
+            // on an absent peer for longer than the deadline (a dead
+            // sender would otherwise stall the flow forever).
+            round.deadlineArmed = true;
+            const units::Micros deadline =
+                config.retry.exchangeDeadline.count() > 0.0
+                    ? units::Micros(config.retry.exchangeDeadline)
+                    : units::Micros{
+                          static_cast<double>(rt.windowTicks)};
+            simulator.after(deadline, [this, flow, window_id] {
+                onExchangeDeadline(flow, window_id);
+            });
         }
+        // The round starts once every expected (not declared-dead)
+        // sender has its payload ready.
+        const bool complete = std::all_of(
+            rt.senders.begin(), rt.senders.end(),
+            [&](std::size_t s) {
+                return detector.dead(s) ||
+                       std::find(round.ready.begin(),
+                                 round.ready.end(),
+                                 s) != round.ready.end();
+            });
+        if (complete)
+            runExchange(flow, window_id);
         return;
     }
     if (rt.networked)
@@ -252,22 +309,63 @@ SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
 }
 
 void
+SystemSim::onExchangeDeadline(std::size_t flow,
+                              std::uint64_t window_id)
+{
+    FlowRuntime &rt = flowRuntimes[flow];
+    FlowRuntime::RoundState &round = rt.rounds[window_id];
+    if (round.exchanged)
+        return; // assembled in time; nothing to do
+    ++exchangeTimeouts;
+    eventTrace.record(simulator.now(),
+                      TraceEventKind::ExchangeTimedOut,
+                      Trace::kNetworkNode,
+                      static_cast<std::uint32_t>(flow + 1),
+                      config.flows[flow].name, window_id,
+                      static_cast<double>(round.ready.size()));
+    runExchange(flow, window_id);
+}
+
+void
 SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
 {
     FlowRuntime &rt = flowRuntimes[flow];
     const sched::FlowSpec &spec = config.flows[flow];
     const net::RadioSpec &radio = *config.system.radio;
-    const std::uint64_t start =
-        std::max(simulator.ticks(), networkFreeUs);
     const auto lane = static_cast<std::uint32_t>(flow + 1);
 
+    FlowRuntime::RoundState &round = rt.rounds[window_id];
+    SCALO_ASSERT(!round.exchanged, "exchange round ran twice");
+    round.exchanged = true;
+
+    // Heartbeat bookkeeping happens at round start: every slot is a
+    // free heartbeat (Section 3.4), so transmitting senders reset
+    // their miss counters (and un-declare a rebooted node), while
+    // expected-but-silent senders accrue a miss each.
+    std::vector<std::size_t> transmitting;
+    for (const std::size_t n : rt.senders) {
+        const bool ready = std::find(round.ready.begin(),
+                                     round.ready.end(),
+                                     n) != round.ready.end();
+        if (ready) {
+            transmitting.push_back(n);
+            if (detector.recordHeard(n))
+                declareRecovered(n);
+        } else if (!detector.dead(n)) {
+            if (detector.recordMiss(n))
+                declareDead(n);
+        }
+    }
+
+    const std::uint64_t start =
+        std::max(simulator.ticks(), networkFreeUs);
     eventTrace.record(units::Micros{static_cast<double>(start)},
                       TraceEventKind::ExchangeStart,
                       Trace::kNetworkNode, lane, spec.name,
                       window_id);
 
     double cursor = static_cast<double>(start);
-    for (std::size_t n : rt.senders) {
+    for (std::size_t n : transmitting) {
         net::Packet packet;
         packet.source = static_cast<std::uint8_t>(n);
         packet.destination =
@@ -288,8 +386,31 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                     .transferTime(units::Bytes{static_cast<double>(
                         fragment.wireBytes())})
                     .in<units::Micros>()};
+            bool delivered = false;
             for (std::size_t attempt = 0;
-                 attempt < kMaxTransmitAttempts; ++attempt) {
+                 attempt < config.retry.maxAttempts; ++attempt) {
+                if (attempt > 0) {
+                    // Exponential backoff with seeded jitter before
+                    // each retry; the retry's radio energy is real
+                    // and lands on the sender (the scheduler only
+                    // provisioned the always-on radio budget).
+                    cursor += config.retry
+                                  .backoff(attempt, backoffRng)
+                                  .count();
+                    dynamicEnergyUj[n] +=
+                        radio
+                            .transferEnergy(units::Bytes{
+                                static_cast<double>(
+                                    fragment.wireBytes())})
+                            .count() *
+                        1e3;
+                }
+                // Channel condition at this instant: dropout windows
+                // lose everything, BER spikes raise the error rate.
+                const units::Micros at{cursor};
+                const double spike = injector.berOverrideAt(at);
+                rt.channel->setBer(spike >= 0.0 ? spike : radio.ber);
+                rt.channel->setOutage(injector.inDropout(at));
                 ++rt.packetsSent;
                 eventTrace.record(
                     units::Micros{cursor}, TraceEventKind::PacketTx,
@@ -317,9 +438,11 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                         Trace::kNetworkNode, lane,
                         std::string(spec.name), fragment.sequence,
                         static_cast<double>(fragment.wireBytes()));
+                    delivered = true;
                     break;
                 }
-                // Dropped: resend in an extension of the slot.
+                if (!config.retry.shouldRetry(attempt))
+                    break;
                 ++rt.retransmissions;
                 eventTrace.record(units::Micros{cursor},
                                   TraceEventKind::PacketRetransmit,
@@ -329,6 +452,8 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                                   static_cast<double>(
                                       fragment.wireBytes()));
             }
+            if (!delivered)
+                ++rt.packetsLost;
         }
         cursor += kGuard.count();
     }
@@ -340,10 +465,13 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                       Trace::kNetworkNode, lane, spec.name,
                       window_id);
 
-    const std::uint64_t round = end - start;
-    rt.roundSumUs += round;
-    rt.maxRoundUs = std::max(rt.maxRoundUs, round);
-    ++rt.rounds;
+    if (transmitting.empty())
+        return; // nobody had data: no response to account
+
+    const std::uint64_t roundUs = end - start;
+    rt.roundSumUs += roundUs;
+    rt.maxRoundUs = std::max(rt.maxRoundUs, roundUs);
+    ++rt.roundCount;
 
     const std::uint64_t arrival = window_id * rt.windowTicks;
     const std::uint64_t response = end - arrival;
@@ -356,16 +484,160 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
 
     // Exact-compare flows: each node checks every window it received
     // against its local history; the scheduler charges that power to
-    // the receivers, one window's worth per exchange.
+    // the receivers, one window's worth per exchange. Physically-down
+    // nodes receive (and burn) nothing.
     if (rt.exactCompare) {
         const double total =
-            config.schedule.flows[flow].totalElectrodes;
+            liveSchedule.flows[flow].totalElectrodes;
         for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (!nodeUp[n])
+                continue;
             const double e =
-                config.schedule.flows[flow].electrodesPerNode[n];
+                liveSchedule.flows[flow].electrodesPerNode[n];
             dynamicEnergyUj[n] += spec.linPerElectrode.count() *
                                   (total - e) * spec.window.count();
         }
+    }
+}
+
+void
+SystemSim::declareDead(std::size_t node)
+{
+    eventTrace.record(simulator.now(), TraceEventKind::NodeDown,
+                      static_cast<std::uint32_t>(node), 0,
+                      "node-down", downEvents.size(),
+                      static_cast<double>(
+                          detector.consecutiveMisses(node)));
+    NodeDownEvent event;
+    event.node = static_cast<std::uint32_t>(node);
+    event.crashedAt = units::Millis{crashedAtMs[node]};
+    event.detectedAt = units::Millis(simulator.now());
+    downEvents.push_back(event);
+    applyReschedule();
+}
+
+void
+SystemSim::declareRecovered(std::size_t node)
+{
+    eventTrace.record(simulator.now(),
+                      TraceEventKind::NodeRecovered,
+                      static_cast<std::uint32_t>(node), 0,
+                      "node-recovered", downEvents.size());
+    applyReschedule();
+}
+
+void
+SystemSim::applyReschedule()
+{
+    const std::vector<std::size_t> dead = detector.deadNodes();
+    const sched::Scheduler scheduler(config.system);
+    const sched::RescheduleResult repaired = scheduler.reschedule(
+        config.flows, config.priorities, config.schedule, dead);
+    SCALO_ASSERT(repaired.schedule.feasible,
+                 "reschedule must always produce an allocation");
+    liveSchedule = repaired.schedule;
+
+    // Surviving senders adapt their payloads to the new allocation
+    // from the next round on.
+    for (std::size_t f = 0; f < flowRuntimes.size(); ++f) {
+        FlowRuntime &rt = flowRuntimes[f];
+        if (!rt.networked)
+            continue;
+        const sched::FlowSpec &spec = config.flows[f];
+        for (const std::size_t n : rt.senders) {
+            const double bytes =
+                spec.network->bytesPerElectrode *
+                    liveSchedule.flows[f].electrodesPerNode[n] +
+                spec.network->bytesPerNode;
+            rt.payloadBytes[n] = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::llround(bytes)));
+        }
+    }
+
+    eventTrace.record(simulator.now(), TraceEventKind::Resched,
+                      Trace::kNetworkNode, 0, "resched",
+                      reschedEvents.size(),
+                      static_cast<double>(dead.size()));
+    RescheduleEvent event;
+    event.at = units::Millis(simulator.now());
+    event.deadNodes = repaired.deadNodes;
+    event.viaIlp = repaired.viaIlp;
+    event.throughputBefore = repaired.throughputBefore;
+    event.throughputAfter = repaired.throughputAfter;
+    event.maxNodePowerBefore = repaired.maxNodePowerBefore;
+    event.maxNodePowerAfter = repaired.maxNodePowerAfter;
+    reschedEvents.push_back(std::move(event));
+}
+
+void
+SystemSim::scheduleFaultEvents()
+{
+    for (const NodeCrashFault &crash : config.faults.crashes) {
+        simulator.at(units::Micros(crash.at), [this, crash] {
+            if (!nodeUp[crash.node])
+                return; // already down
+            nodeUp[crash.node] = 0;
+            crashedAtMs[crash.node] = crash.at.count();
+            nodes[crash.node].halt();
+            eventTrace.record(simulator.now(),
+                              TraceEventKind::FaultInjected,
+                              crash.node, 0, "crash", 0);
+        });
+        if (crash.reboots())
+            simulator.at(
+                units::Micros(crash.rebootAt), [this, crash] {
+                    if (nodeUp[crash.node])
+                        return;
+                    nodeUp[crash.node] = 1;
+                    nodes[crash.node].resume();
+                    // The node rejoins silently; its next completed
+                    // window puts it back into a round, where being
+                    // heard declares the recovery.
+                    eventTrace.record(simulator.now(),
+                                      TraceEventKind::FaultInjected,
+                                      crash.node, 0, "reboot", 0);
+                });
+    }
+    for (std::size_t i = 0; i < config.faults.dropouts.size(); ++i) {
+        const RadioDropoutFault &drop = config.faults.dropouts[i];
+        simulator.at(units::Micros(drop.from), [this, i, drop] {
+            eventTrace.record(simulator.now(),
+                              TraceEventKind::FaultInjected,
+                              Trace::kNetworkNode, 0,
+                              "radio-dropout", i,
+                              (drop.to - drop.from).count());
+        });
+    }
+    for (std::size_t i = 0; i < config.faults.berSpikes.size();
+         ++i) {
+        const BerSpikeFault &spike = config.faults.berSpikes[i];
+        simulator.at(units::Micros(spike.from), [this, i, spike] {
+            eventTrace.record(simulator.now(),
+                              TraceEventKind::FaultInjected,
+                              Trace::kNetworkNode, 0, "ber-spike", i,
+                              spike.ber);
+        });
+    }
+    for (const ThermalThrottleFault &throttle :
+         config.faults.throttles) {
+        simulator.at(units::Micros(throttle.from), [this, throttle] {
+            nodes[throttle.node].setThrottle(injector.throttleAt(
+                throttle.node, simulator.now()));
+            eventTrace.record(simulator.now(),
+                              TraceEventKind::FaultInjected,
+                              throttle.node, 0, "thermal-throttle",
+                              0, throttle.slowdown);
+        });
+        simulator.at(units::Micros(throttle.to), [this, throttle] {
+            // Re-evaluate, not reset: overlapping intervals multiply
+            // and the injector knows which ones still cover `now`.
+            nodes[throttle.node].setThrottle(injector.throttleAt(
+                throttle.node, simulator.now()));
+            eventTrace.record(simulator.now(),
+                              TraceEventKind::FaultInjected,
+                              throttle.node, 0, "thermal-restore",
+                              0);
+        });
     }
 }
 
@@ -382,6 +654,11 @@ SystemSim::run()
     storage.clear();
     for (std::size_t n = 0; n < node_count; ++n)
         storage.emplace_back(/*reorganise_layout=*/true);
+
+    // Fault events go on the queue before the window streams so that
+    // a fault and an arrival on the same microsecond tick resolve
+    // fault-first (deterministic FIFO tie-break).
+    scheduleFaultEvents();
 
     for (std::size_t f = 0; f < flowRuntimes.size(); ++f) {
         FlowRuntime &rt = flowRuntimes[f];
@@ -445,7 +722,12 @@ SystemSim::run()
         stats.flow = config.flows[f].name;
         stats.windowsSubmitted = rt.submitted;
         stats.windowsCompleted = rt.completed;
-        stats.windowsDropped = rt.dropped;
+        // Node-level drops (halted/crashed nodes, backlog sheds)
+        // accumulate on the NodeModels.
+        std::size_t dropped = rt.dropped;
+        for (const std::size_t n : rt.participants)
+            dropped += nodes[n].progress(rt.flowOnNode[n]).dropped;
+        stats.windowsDropped = dropped;
         if (rt.completed > 0) {
             stats.meanResponse = units::Micros{
                 static_cast<double>(rt.responseSumUs) /
@@ -453,10 +735,10 @@ SystemSim::run()
             stats.maxResponse = units::Micros{
                 static_cast<double>(rt.maxResponseUs)};
         }
-        if (rt.rounds > 0) {
+        if (rt.roundCount > 0) {
             stats.meanRound =
                 units::Micros{static_cast<double>(rt.roundSumUs) /
-                              static_cast<double>(rt.rounds)};
+                              static_cast<double>(rt.roundCount)};
             stats.maxRound = units::Micros{
                 static_cast<double>(rt.maxRoundUs)};
         }
@@ -466,18 +748,25 @@ SystemSim::run()
         stats.packetsSent = rt.packetsSent;
         stats.packetsCorrupted = rt.packetsCorrupted;
         stats.retransmissions = rt.retransmissions;
+        stats.packetsLost = rt.packetsLost;
+        result.packetsLost += rt.packetsLost;
         stats.analyticallySustainable = rt.analyticSustainable;
         // Event-driven verdict: everything completed and the response
         // of the last window did not drift from the first (a stage or
         // the medium falling behind the cadence grows the backlog
         // monotonically).
         stats.sustainable =
-            rt.dropped == 0 && rt.completed == rt.submitted &&
+            dropped == 0 && rt.completed == rt.submitted &&
             (rt.completed == 0 ||
              rt.lastResponseUs <=
                  rt.firstResponseUs + rt.windowTicks / 2);
         result.flows.push_back(std::move(stats));
     }
+
+    result.nodesDown = downEvents;
+    result.reschedules = reschedEvents;
+    result.exchangeTimeouts = exchangeTimeouts;
+    result.nvmWriteFailures = injector.nvmFailuresDrawn();
 
     if (!config.recordTrace)
         eventTrace.clear();

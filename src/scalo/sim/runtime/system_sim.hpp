@@ -15,6 +15,16 @@
  * and reports them next to the analytic predictions, so the claim is
  * checked rather than assumed (tests/system_sim_test.cpp asserts
  * agreement within 5% for the Section 6 flow library).
+ *
+ * The runtime also executes declarative `FaultPlan`s: node crashes
+ * and reboots, radio dropouts, BER spikes, NVM write failures, and
+ * thermal throttling. TDMA slots double as heartbeats
+ * (`net::HeartbeatDetector`): an exchange round that hits its
+ * deadline with absent senders records misses, a node crossing the
+ * miss threshold is declared dead, and the ILP reschedules its work
+ * onto the survivors (`sched::Scheduler::reschedule`), all visible in
+ * the trace as FaultInjected/NodeDown/Resched events. An empty plan
+ * reproduces the fault-free run byte for byte.
  */
 
 #pragma once
@@ -24,7 +34,10 @@
 #include <vector>
 
 #include "scalo/hw/nvm.hpp"
+#include "scalo/net/failure_detector.hpp"
+#include "scalo/net/retry.hpp"
 #include "scalo/sched/scheduler.hpp"
+#include "scalo/sim/faults/fault_injector.hpp"
 #include "scalo/sim/runtime/node_model.hpp"
 #include "scalo/sim/runtime/trace.hpp"
 
@@ -45,6 +58,45 @@ struct SystemSimConfig
     std::uint64_t seed = 0x5ca1'0b01;
     /** Record a full event trace (counters accumulate regardless). */
     bool recordTrace = false;
+    /**
+     * Faults to inject. Empty (the default) is the contract for the
+     * happy path: the run is identical to the pre-fault-framework
+     * execution, byte for byte.
+     */
+    FaultPlan faults;
+    /** Retransmission budget and exchange deadline. */
+    net::RetryPolicy retry;
+    /** Consecutive missed slots before a node is declared dead. */
+    std::size_t heartbeatMissThreshold = 3;
+    /**
+     * Flow priorities for degraded rescheduling, in flow order.
+     * Empty means equal weights.
+     */
+    std::vector<double> priorities;
+};
+
+/** A node declared dead by the heartbeat detector. */
+struct NodeDownEvent
+{
+    std::uint32_t node = 0;
+    /** Injected crash instant; negative if the node never crashed
+     *  (a false positive, e.g. during a radio dropout). */
+    units::Millis crashedAt{-1.0};
+    /** When the detector crossed its miss threshold. */
+    units::Millis detectedAt{0.0};
+};
+
+/** One degraded-mode reschedule (on death or recovery). */
+struct RescheduleEvent
+{
+    units::Millis at{0.0};
+    std::vector<std::size_t> deadNodes;
+    /** ILP re-solve vs. the greedy repair fallback. */
+    bool viaIlp = false;
+    units::MegabitsPerSecond throughputBefore{0.0};
+    units::MegabitsPerSecond throughputAfter{0.0};
+    units::Milliwatts maxNodePowerBefore{0.0};
+    units::Milliwatts maxNodePowerAfter{0.0};
 };
 
 /** Measured vs analytic behaviour of one flow. */
@@ -68,6 +120,8 @@ struct FlowSimStats
     std::uint64_t packetsSent = 0;
     std::uint64_t packetsCorrupted = 0;
     std::uint64_t retransmissions = 0;
+    /** Fragments abandoned after the retry budget was exhausted. */
+    std::uint64_t packetsLost = 0;
     /** Event-driven verdict: cadence held, no backlog growth. */
     bool sustainable = false;
     /** Static verdict: every stage service fits the window. */
@@ -99,6 +153,16 @@ struct SystemSimResult
     TraceCounters network;
     units::Millis duration{0.0};
     std::size_t eventsExecuted = 0;
+
+    // Failure timeline (all empty/zero on a fault-free run).
+    std::vector<NodeDownEvent> nodesDown;
+    std::vector<RescheduleEvent> reschedules;
+    /** Exchange rounds that ran at their deadline with absentees. */
+    std::uint64_t exchangeTimeouts = 0;
+    /** NVM appends the injector failed. */
+    std::uint64_t nvmWriteFailures = 0;
+    /** Fragments lost after the retry budget, summed over flows. */
+    std::uint64_t packetsLost = 0;
 };
 
 /** The N-node system simulation. */
@@ -122,14 +186,34 @@ class SystemSim
     struct FlowRuntime;
 
     void runExchange(std::size_t flow, std::uint64_t window_id);
+    void onExchangeDeadline(std::size_t flow,
+                            std::uint64_t window_id);
     void accountWindow(std::size_t flow, std::uint32_t node,
                        std::uint64_t window_id);
+    void scheduleFaultEvents();
+    void declareDead(std::size_t node);
+    void declareRecovered(std::size_t node);
+    /** Re-solve around the current dead set; update live state. */
+    void applyReschedule();
 
     SystemSimConfig config;
     Simulator simulator;
     Trace eventTrace;
+    FaultInjector injector;
+    net::HeartbeatDetector detector;
+    Rng backoffRng;
+    /** The allocation currently executing (degrades on reschedule). */
+    sched::Schedule liveSchedule;
     std::vector<NodeModel> nodes;
     std::vector<FlowRuntime> flowRuntimes;
+    /** Ground-truth node state (crash/reboot), unobservable by the
+     *  detector. */
+    std::vector<char> nodeUp;
+    /** Injected crash instant per node (ms; -1 = never crashed). */
+    std::vector<double> crashedAtMs;
+    std::vector<NodeDownEvent> downEvents;
+    std::vector<RescheduleEvent> reschedEvents;
+    std::uint64_t exchangeTimeouts = 0;
     /** Per-node dynamic energy accrued so far (µJ = mW·ms). */
     std::vector<double> dynamicEnergyUj;
     std::vector<hw::StorageController> storage;

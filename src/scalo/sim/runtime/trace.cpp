@@ -26,6 +26,12 @@ traceEventName(TraceEventKind kind)
       case TraceEventKind::WindowDone: return "window-done";
       case TraceEventKind::ExchangeStart: return "exchange-start";
       case TraceEventKind::ExchangeFinish: return "exchange-finish";
+      case TraceEventKind::FaultInjected: return "fault-injected";
+      case TraceEventKind::NodeDown: return "node-down";
+      case TraceEventKind::NodeRecovered: return "node-recovered";
+      case TraceEventKind::ExchangeTimedOut:
+        return "exchange-timed-out";
+      case TraceEventKind::Resched: return "resched";
     }
     return "unknown";
 }

@@ -39,10 +39,15 @@ enum class TraceEventKind : std::uint8_t
     WindowDone,       ///< a window completed its flow end-to-end
     ExchangeStart,    ///< a TDMA exchange round begins
     ExchangeFinish,   ///< a TDMA exchange round completes
+    FaultInjected,    ///< a FaultPlan entry fired (crash, dropout, ...)
+    NodeDown,         ///< heartbeat detector declared a node dead
+    NodeRecovered,    ///< a declared-dead node transmitted again
+    ExchangeTimedOut, ///< a round ran without all expected senders
+    Resched,          ///< the scheduler remapped work off dead nodes
 };
 
 /** Number of event kinds (array-indexable). */
-inline constexpr std::size_t kTraceEventKinds = 11;
+inline constexpr std::size_t kTraceEventKinds = 16;
 
 /** Short stable name of an event kind ("stage-start", ...). */
 std::string_view traceEventName(TraceEventKind kind);

@@ -102,6 +102,50 @@ TEST(Simulator, SchedulingIntoThePastPanics)
     simulator.run();
 }
 
+// Regression: removing an actor mid-run (a crashed node's pipeline)
+// must retire its queued continuations without executing them —
+// before owner cancellation, a halted node's stale events kept firing
+// into freed per-node state.
+TEST(Simulator, CancelOwnedRetiresWithoutExecuting)
+{
+    Simulator simulator;
+    int owned_fired = 0, other_fired = 0, unowned_fired = 0;
+    simulator.afterOwned(10.0_us, 1, [&] { ++owned_fired; });
+    simulator.afterOwned(20.0_us, 1, [&] { ++owned_fired; });
+    simulator.afterOwned(15.0_us, 2, [&] { ++other_fired; });
+    simulator.after(25.0_us, [&] { ++unowned_fired; });
+    EXPECT_EQ(simulator.pending(), 4u);
+
+    EXPECT_EQ(simulator.cancelOwned(1), 2u);
+    EXPECT_EQ(simulator.pending(), 2u); // lazy deletion is invisible
+
+    simulator.run();
+    EXPECT_EQ(owned_fired, 0); // cancelled events never execute
+    EXPECT_EQ(other_fired, 1); // other owners are untouched
+    EXPECT_EQ(unowned_fired, 1);
+}
+
+// Cancellation from inside an executing event — how SystemSim halts a
+// node at its crash instant — and re-scheduling under the same owner
+// afterwards (the reboot path) must both work: cancellation retires
+// generations, not the owner id.
+TEST(Simulator, CancelOwnedMidRunThenReschedule)
+{
+    Simulator simulator;
+    std::vector<int> fired;
+    simulator.afterOwned(20.0_us, 7, [&] { fired.push_back(20); });
+    simulator.afterOwned(30.0_us, 7, [&] { fired.push_back(30); });
+    simulator.after(10.0_us, [&] {
+        simulator.cancelOwned(7); // the crash
+        // The reboot: new work under the same owner id.
+        simulator.afterOwned(15.0_us, 7,
+                             [&] { fired.push_back(25); });
+    });
+    simulator.run();
+    EXPECT_EQ(fired, (std::vector<int>{25}));
+    EXPECT_EQ(simulator.pending(), 0u);
+}
+
 TEST(NetworkErrors, CleanChannelHasNoErrors)
 {
     const auto point = measureNetworkErrors(0.0, 200);
