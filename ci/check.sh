@@ -18,6 +18,12 @@
 #                          with ci/validate_trace.py
 #   ci/check.sh tsan       ThreadSanitizer build + the simulation
 #                          runtime tests
+#   ci/check.sh serve      Release build of the serving runtime:
+#                          load-generator smoke (>=1000 concurrent
+#                          queries under a chaos plan, zero hangs,
+#                          bounded rejection rate, valid coverage on
+#                          partial results), serve_test, and a
+#                          BENCH_serve.json refresh (report-only)
 #   ci/check.sh chaos      seeded fault-injection matrix under
 #                          ASan+UBSan: faults_test plus every
 #                          example_chaos_run scenario, each exported
@@ -164,9 +170,34 @@ gate_tsan() {
         -DSCALO_SANITIZE=thread >/dev/null &&
         cmake --build "$dir" -j "$JOBS" \
             --target sim_test system_sim_test \
-            query_concurrency_test &&
+            query_concurrency_test serve_concurrency_test &&
         ctest --test-dir "$dir" -j "$JOBS" --output-on-failure \
-            -R '^(Simulator|SystemSim|NetworkErrors|HashEncodingDelay|NetworkBerDelay|ThreadPool|ShardedQuery)'
+            -R '^(Simulator|SystemSim|NetworkErrors|HashEncodingDelay|NetworkBerDelay|ThreadPool|ShardedQuery|QueryServer)'
+}
+
+gate_serve() {
+    # The serving-runtime smoke: a Release build (the load numbers
+    # only mean something optimized), the serve unit tests, the load
+    # generator sustaining >=1000 concurrent mixed queries while the
+    # chaos plan crashes nodes — the binary itself enforces the
+    # contract (zero hangs, bounded rejection rate, valid coverage on
+    # partial results) through its exit code — and a report-only
+    # BENCH_serve.json refresh.
+    local dir="$ROOT/build-ci-serve"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" \
+            --target serve_test example_load_generator \
+            bench_serve || return 1
+
+    "$dir/tests/serve_test" || return 1
+
+    note "serve load smoke (chaos plan)"
+    "$dir/examples/example_load_generator" \
+        --queries 4000 --inflight 1200 --min-inflight 1000 \
+        --max-reject-rate 0.5 || return 1
+
+    bench_refresh "$dir" bench_serve BENCH_serve.json
 }
 
 gate_chaos() {
@@ -225,6 +256,7 @@ main() {
     bench) run_gate bench gate_bench ;;
     trace) run_gate trace gate_trace ;;
     tsan) run_gate tsan gate_tsan ;;
+    serve) run_gate serve gate_serve ;;
     chaos) run_gate chaos gate_chaos ;;
     all)
         run_gate tier1 gate_tier1
@@ -235,10 +267,11 @@ main() {
         run_gate bench gate_bench
         run_gate trace gate_trace
         run_gate tsan gate_tsan
+        run_gate serve gate_serve
         run_gate chaos gate_chaos
         ;;
     *)
-        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|trace|tsan|chaos|all]"
+        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|trace|tsan|serve|chaos|all]"
         exit 2
         ;;
     esac

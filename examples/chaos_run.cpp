@@ -145,8 +145,10 @@ main(int argc, char **argv)
     core::SimulateOptions options;
     options.duration = duration;
     options.tracePath = args.tracePath;
-    const sim::SystemSimResult result = system.simulateWithFaults(
-        flows, priorities, schedule, plan, options);
+    options.faults = plan;
+    options.priorities = priorities;
+    const sim::SystemSimResult result =
+        system.simulate(flows, schedule, options);
 
     // Failure / detection / reschedule timeline.
     std::printf("\ntimeline:\n");

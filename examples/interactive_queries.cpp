@@ -15,6 +15,7 @@
 #include "scalo/app/query.hpp"
 #include "scalo/app/query_engine.hpp"
 #include "scalo/core/system.hpp"
+#include "scalo/serve/metrics.hpp"
 #include "scalo/util/rng.hpp"
 #include "scalo/util/table.hpp"
 
@@ -101,7 +102,7 @@ main()
     // The clinician writes the query in the mini-language; the
     // probe template is data, attached to the lowered descriptor.
     constexpr std::size_t kSamples = 120;
-    QueryEngine engine(config.nodes, kSamples, config.seed);
+    QueryEngine engine = system.makeQueryEngine(kSamples);
     Rng rng(17);
     for (NodeId node = 0; node < config.nodes; ++node) {
         for (std::uint64_t w = 0; w < 200; ++w) {
@@ -133,16 +134,35 @@ main()
                 execution.scanned, execution.latency.count(),
                 execution.wall.count());
 
-    TextTable stats({"node", "touched", "bucket hits", "DTW", "matched",
-                     "wall (ms)", "modeled (ms)"});
-    for (const QueryStats &node : execution.perNode)
-        stats.addRow({std::to_string(node.node),
-                      std::to_string(node.scanned),
-                      std::to_string(node.bucketHits),
-                      std::to_string(node.dtwComparisons),
-                      std::to_string(node.matched),
-                      TextTable::num(node.wall.count(), 3),
-                      TextTable::num(node.modeled.count(), 2)});
+    // Per-node stats re-exported through the serving runtime's
+    // composable Metrics: each node's shard record folds into a
+    // Metrics, and the fleet view is just their sum.
+    std::vector<serve::Metrics> perNode(engine.nodeCount());
+    serve::Metrics fleet;
+    for (const QueryStats &node : execution.perNode) {
+        perNode[node.node].observeShard(node);
+        fleet += perNode[node.node];
+    }
+
+    TextTable stats({"node", "touched", "bucket hits", "DTW",
+                     "matched", "answered", "modeled p50 (ms)"});
+    for (NodeId node = 0; node < engine.nodeCount(); ++node) {
+        const serve::Metrics &m = perNode[node];
+        stats.addRow({std::to_string(node),
+                      std::to_string(m.scanned),
+                      std::to_string(m.bucketHits),
+                      std::to_string(m.dtwComparisons),
+                      std::to_string(m.matched),
+                      std::to_string(m.shardsAnswered),
+                      TextTable::num(m.modeledLatency.p50(), 2)});
+    }
     stats.print();
+    std::printf("\nfleet (merged Metrics): %llu windows touched, "
+                "%llu matched, coverage %.0f%%, modeled shard "
+                "p95 %.2f ms\n",
+                static_cast<unsigned long long>(fleet.scanned),
+                static_cast<unsigned long long>(fleet.matched),
+                100.0 * fleet.coverageFraction(),
+                fleet.modeledLatency.p95());
     return 0;
 }

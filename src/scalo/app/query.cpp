@@ -12,6 +12,64 @@ namespace scalo::app {
 
 using namespace units::literals;
 
+namespace {
+
+/** Append @p value's raw bytes to @p out (fixed width, in order). */
+template <typename T>
+void
+appendBytes(std::string &out, const T &value)
+{
+    const char *bytes = reinterpret_cast<const char *>(&value);
+    out.append(bytes, sizeof(T));
+}
+
+} // namespace
+
+Query
+Query::normalized() const
+{
+    Query canon = *this;
+    if (canon.probe.empty()) {
+        // Probe-only knobs are inert without a probe (rule 2).
+        canon.dtwThreshold = -1.0;
+        canon.confirmMeasure = signal::Measure::Dtw;
+        canon.hashPrefilter = true;
+        canon.useIndex = true;
+    } else if (canon.dtwThreshold < 0.0) {
+        // Hashes only: the confirmation measure is never consulted
+        // (rule 3).
+        canon.dtwThreshold = -1.0;
+        canon.confirmMeasure = signal::Measure::Dtw;
+    }
+    if (!canon.hashPrefilter)
+        canon.useIndex = false; // rule 4
+    if (canon.shardDeadline.count() <= 0.0)
+        canon.shardDeadline = units::Millis{0.0}; // rule 5
+    return canon;
+}
+
+std::string
+Query::cacheKey() const
+{
+    const Query canon = normalized();
+    std::string key;
+    key.reserve(64 + canon.probe.size() * sizeof(double));
+    appendBytes(key, canon.t0Us);
+    appendBytes(key, canon.t1Us);
+    key.push_back(canon.seizureOnly ? '\1' : '\0');
+    const std::uint64_t probe_len = canon.probe.size();
+    appendBytes(key, probe_len);
+    for (const double sample : canon.probe)
+        appendBytes(key, sample);
+    appendBytes(key, canon.dtwThreshold);
+    key.push_back(static_cast<char>(canon.confirmMeasure));
+    key.push_back(canon.hashPrefilter ? '\1' : '\0');
+    key.push_back(canon.useIndex ? '\1' : '\0');
+    const double deadline_ms = canon.shardDeadline.count();
+    appendBytes(key, deadline_ms);
+    return key;
+}
+
 const char *
 queryName(QueryKind kind)
 {

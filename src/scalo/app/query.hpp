@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "scalo/signal/distance.hpp"
@@ -98,6 +99,42 @@ struct Query
      * shard.
      */
     units::Millis shardDeadline{0.0};
+
+    /**
+     * Canonical form of this descriptor — the normalization contract
+     * the plan cache and query dedup are defined on. Two descriptors
+     * describe the same execution if and only if their normalized
+     * forms are field-for-field equal (equivalently: their cacheKey()
+     * bytes are equal). Normalization never changes what a query
+     * matches or what its execution costs; it only resets fields the
+     * engine would ignore to their defaults so that incidental
+     * differences do not defeat caching:
+     *
+     *  1. Bounds stay as-is; an unset upper bound is already the
+     *     defaulted UINT64_MAX ("everything since t0").
+     *  2. No probe: the probe-only knobs are inert, so dtwThreshold
+     *     := -1, confirmMeasure := Dtw, hashPrefilter := true,
+     *     useIndex := true.
+     *  3. Probe without exact confirmation (any negative
+     *     dtwThreshold): dtwThreshold := -1 (the canonical "hashes
+     *     only") and confirmMeasure := Dtw, since the measure is
+     *     consulted only when confirming.
+     *  4. hashPrefilter off: useIndex := false — the bucket index is
+     *     only ever probed on the prefilter path.
+     *  5. Non-positive shardDeadline values all mean "wait for every
+     *     shard" and normalize to exactly 0.
+     */
+    Query normalized() const;
+
+    /**
+     * Stable byte encoding of normalized() with fixed field ordering
+     * (t0Us, t1Us, seizureOnly, probe, dtwThreshold, confirmMeasure,
+     * hashPrefilter, useIndex, shardDeadline) — the plan-cache key.
+     * Equal keys <=> equivalent queries under the normalization
+     * contract above. The encoding contains raw bytes (including
+     * NULs); treat it as an opaque map key, not printable text.
+     */
+    std::string cacheKey() const;
 
     /** Q1: all seizure-flagged windows in [t0, t1]. */
     static Query

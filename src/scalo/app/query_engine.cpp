@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 #include "scalo/hw/pe.hpp"
 #include "scalo/net/radio.hpp"
@@ -48,21 +49,23 @@ QueryEngine::QueryEngine(std::size_t nodes,
 {
     SCALO_ASSERT(nodes >= 1, "need at least one node");
     stores.resize(nodes);
-    downNodes.assign(nodes, 0);
+    downNodes = std::make_unique<std::atomic<bool>[]>(nodes);
+    for (std::size_t node = 0; node < nodes; ++node)
+        downNodes[node].store(false, std::memory_order_relaxed);
 }
 
 void
 QueryEngine::setNodeDown(NodeId node, bool down)
 {
-    SCALO_ASSERT(node < downNodes.size(), "node out of range");
-    downNodes[node] = down ? 1 : 0;
+    SCALO_ASSERT(node < stores.size(), "node out of range");
+    downNodes[node].store(down, std::memory_order_release);
 }
 
 bool
 QueryEngine::nodeDown(NodeId node) const
 {
-    SCALO_ASSERT(node < downNodes.size(), "node out of range");
-    return downNodes[node] != 0;
+    SCALO_ASSERT(node < stores.size(), "node out of range");
+    return downNodes[node].load(std::memory_order_acquire);
 }
 
 void
@@ -97,9 +100,29 @@ QueryEngine::store(NodeId node) const
     return stores[node];
 }
 
+QueryEngine::CompiledQuery
+QueryEngine::compile(const Query &query) const
+{
+    SCALO_ASSERT(query.t0Us <= query.t1Us, "empty time range");
+    const bool templated = !query.probe.empty();
+    if (templated) {
+        SCALO_ASSERT(query.probe.size() == windowSamples,
+                     "probe size mismatch");
+        SCALO_ASSERT(query.confirmMeasure == signal::Measure::Dtw ||
+                         query.confirmMeasure ==
+                             signal::Measure::Euclidean,
+                     "confirm measure must be DTW or Euclidean");
+    }
+    CompiledQuery compiled;
+    compiled.query = query.normalized();
+    if (templated)
+        compiled.probeHash = windowHasher.hash(compiled.query.probe);
+    return compiled;
+}
+
 QueryEngine::NodePartial
-QueryEngine::executeNode(NodeId node, const Query &query,
-                         const lsh::Signature &probe_hash) const
+QueryEngine::gatherNode(NodeId node, const Query &query,
+                        const lsh::Signature &probe_hash) const
 {
     const auto started = std::chrono::steady_clock::now();
     const SignalStore &node_store = stores[node];
@@ -128,10 +151,11 @@ QueryEngine::executeNode(NodeId node, const Query &query,
         partial.stats.bucketHits = touched.size();
 
     // This shard's scratch: one rolling-row workspace reused across
-    // every DTW confirmation below, and a deferred candidate list for
-    // the batched Euclidean confirmation.
+    // every DTW confirmation below. Euclidean confirmations are only
+    // collected here — they resolve later through the batched
+    // distance kernel, coalesced across every query in flight on
+    // this node.
     signal::DtwScratch dtw_scratch;
-    std::vector<const StoredWindow *> confirm;
     for (const StoredWindow *window : touched) {
         if (query.seizureOnly && !window->seizureFlagged)
             continue;
@@ -140,7 +164,7 @@ QueryEngine::executeNode(NodeId node, const Query &query,
                 !probe_hash.matches(window->hash))
                 continue;
             if (euclidean_confirm) {
-                confirm.push_back(window);
+                partial.confirm.push_back(window);
                 continue;
             }
             if (exact) {
@@ -157,21 +181,30 @@ QueryEngine::executeNode(NodeId node, const Query &query,
         }
         partial.matches.push_back(window);
     }
-    if (!confirm.empty()) {
-        // Batched Euclidean confirmation: one fused squared-distance
-        // sweep over every surviving candidate, sqrt deferred to a
-        // single pass. Candidates stay in timestamp order, so the
-        // matches list stays sorted for the deterministic merge.
-        std::vector<const std::vector<double> *> samples;
-        samples.reserve(confirm.size());
-        for (const StoredWindow *window : confirm)
-            samples.push_back(&window->samples);
-        std::vector<double> dists;
-        signal::euclideanDistanceMany(query.probe, samples, dists);
-        partial.stats.dtwComparisons += confirm.size();
-        for (std::size_t i = 0; i < confirm.size(); ++i)
-            if (dists[i] <= query.dtwThreshold)
-                partial.matches.push_back(confirm[i]);
+
+    partial.stats.wall = elapsed(started);
+    return partial;
+}
+
+void
+QueryEngine::finalizeNode(NodePartial &partial, const Query &query,
+                          const std::vector<double> &confirm_dists,
+                          const SignalStore &node_store) const
+{
+    const auto started = std::chrono::steady_clock::now();
+    const bool templated = !query.probe.empty();
+    const bool exact = templated && query.dtwThreshold >= 0.0;
+
+    if (!partial.confirm.empty()) {
+        // Candidates stayed in timestamp order through the batch, so
+        // appending the survivors keeps the matches list sorted for
+        // the deterministic merge.
+        SCALO_ASSERT(confirm_dists.size() == partial.confirm.size(),
+                     "confirmation batch size mismatch");
+        partial.stats.dtwComparisons += partial.confirm.size();
+        for (std::size_t i = 0; i < partial.confirm.size(); ++i)
+            if (confirm_dists[i] <= query.dtwThreshold)
+                partial.matches.push_back(partial.confirm[i]);
     }
     partial.stats.matched = partial.matches.size();
 
@@ -185,70 +218,39 @@ QueryEngine::executeNode(NodeId node, const Query &query,
     partial.stats.modeled =
         node_store.readCost(partial.stats.scanned) + match;
 
-    partial.stats.wall = elapsed(started);
-    return partial;
+    partial.stats.wall += elapsed(started);
 }
 
 QueryExecution
-QueryEngine::execute(const Query &query) const
+QueryEngine::assemble(const Query &query,
+                      const std::vector<NodePartial> &partials,
+                      units::Millis wall) const
 {
-    SCALO_ASSERT(query.t0Us <= query.t1Us, "empty time range");
-    const bool templated = !query.probe.empty();
-    if (templated) {
-        SCALO_ASSERT(query.probe.size() == windowSamples,
-                     "probe size mismatch");
-        SCALO_ASSERT(query.confirmMeasure == signal::Measure::Dtw ||
-                         query.confirmMeasure ==
-                             signal::Measure::Euclidean,
-                     "confirm measure must be DTW or Euclidean");
-    }
-    const lsh::Signature probe_hash =
-        templated ? windowHasher.hash(query.probe)
-                  : lsh::Signature();
-
-    const auto started = std::chrono::steady_clock::now();
-
-    // Fan the shards out; each node writes its own slot, so the
-    // gather below is deterministic whatever the pool width. Shards
-    // of down nodes are skipped at dispatch: the detector already
-    // knows they cannot answer.
-    std::vector<NodePartial> partials(stores.size());
-    pool->parallelFor(stores.size(), [&](std::size_t node) {
-        if (downNodes[node]) {
-            partials[node].stats.node = static_cast<NodeId>(node);
-            partials[node].stats.answered = false;
-            return;
-        }
-        partials[node] = executeNode(static_cast<NodeId>(node),
-                                     query, probe_hash);
-    });
-
     QueryExecution execution;
     execution.perNode.reserve(partials.size());
     units::Millis slowest_node{0.0};
     bool deadline_hit = false;
-    for (NodePartial &partial : partials) {
+    for (const NodePartial &partial : partials) {
         ++execution.coverage.totalShards;
+        QueryStats stats = partial.stats;
         // A shard over the per-shard deadline contributes nothing:
         // the caller asked for a bounded answer, not a complete one.
-        if (partial.stats.answered &&
-            query.shardDeadline.count() > 0.0 &&
-            partial.stats.modeled > query.shardDeadline) {
-            partial.stats.answered = false;
+        if (stats.answered && query.shardDeadline.count() > 0.0 &&
+            stats.modeled > query.shardDeadline) {
+            stats.answered = false;
             deadline_hit = true;
         }
-        if (!partial.stats.answered) {
-            execution.perNode.push_back(partial.stats);
+        if (!stats.answered) {
+            execution.perNode.push_back(stats);
             continue;
         }
         ++execution.coverage.answeredShards;
-        execution.scanned += partial.stats.scanned;
-        slowest_node =
-            units::max(slowest_node, partial.stats.modeled);
+        execution.scanned += stats.scanned;
+        slowest_node = units::max(slowest_node, stats.modeled);
         execution.matches.insert(execution.matches.end(),
                                  partial.matches.begin(),
                                  partial.matches.end());
-        execution.perNode.push_back(partial.stats);
+        execution.perNode.push_back(stats);
     }
     // Giving up on a shard still means waiting until its deadline.
     if (deadline_hit)
@@ -269,8 +271,137 @@ QueryEngine::execute(const Query &query) const
         kQueryDispatch + slowest_node +
         net::externalRadio().transferTime(units::Bytes{
             static_cast<double>(execution.transferBytes)});
-    execution.wall = elapsed(started);
+    execution.wall = wall;
     return execution;
+}
+
+QueryExecution
+QueryEngine::execute(const Query &query) const
+{
+    return execute(compile(query));
+}
+
+QueryExecution
+QueryEngine::execute(const CompiledQuery &compiled) const
+{
+    std::vector<QueryExecution> executions =
+        executeBatch(std::vector<const CompiledQuery *>{&compiled});
+    return std::move(executions.front());
+}
+
+std::vector<QueryExecution>
+QueryEngine::executeBatch(
+    const std::vector<const CompiledQuery *> &batch) const
+{
+    const auto started = std::chrono::steady_clock::now();
+
+    // Queries deduplicated onto one compiled plan (the serve-layer
+    // cache hands several tenants the same object) execute once and
+    // fan the execution back out to every requesting slot.
+    std::vector<const CompiledQuery *> unique;
+    std::vector<std::size_t> slot_of(batch.size());
+    {
+        std::unordered_map<const CompiledQuery *, std::size_t> seen;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const CompiledQuery *compiled = batch[i];
+            SCALO_ASSERT(compiled != nullptr,
+                         "null compiled query in batch");
+            const auto [it, inserted] =
+                seen.emplace(compiled, unique.size());
+            if (inserted)
+                unique.push_back(compiled);
+            slot_of[i] = it->second;
+        }
+    }
+
+    // partials[u][node]: per-query, per-node shard results. Each
+    // node's column is written by exactly one pool worker, so the
+    // fan-out stays deterministic whatever the pool width.
+    std::vector<std::vector<NodePartial>> partials(unique.size());
+    for (auto &rows : partials)
+        rows.resize(stores.size());
+
+    pool->parallelFor(stores.size(), [&](std::size_t node) {
+        // Shards of down nodes are skipped at dispatch: the detector
+        // already knows they cannot answer. The flag is sampled once
+        // per node per batch, so every query in the batch sees the
+        // same shard population.
+        const bool down =
+            downNodes[node].load(std::memory_order_acquire);
+
+        std::vector<signal::DistanceJob> jobs;
+        std::vector<NodePartial *> job_partials;
+        for (std::size_t u = 0; u < unique.size(); ++u) {
+            NodePartial &partial = partials[u][node];
+            if (down) {
+                partial.stats.node = static_cast<NodeId>(node);
+                partial.stats.answered = false;
+                continue;
+            }
+            partial = gatherNode(static_cast<NodeId>(node),
+                                 unique[u]->query,
+                                 unique[u]->probeHash);
+            if (partial.confirm.empty())
+                continue;
+            signal::DistanceJob job;
+            job.query = &unique[u]->query.probe;
+            job.candidates.reserve(partial.confirm.size());
+            for (const StoredWindow *window : partial.confirm)
+                job.candidates.push_back(&window->samples);
+            jobs.push_back(std::move(job));
+            job_partials.push_back(&partial);
+        }
+
+        // One coalesced verification sweep for every query on this
+        // node; jobs sharing a probe share one kernel call.
+        signal::euclideanDistanceBatch(jobs);
+
+        static const std::vector<double> no_dists;
+        std::size_t job_index = 0;
+        for (std::size_t u = 0; u < unique.size(); ++u) {
+            NodePartial &partial = partials[u][node];
+            if (down || !partial.stats.answered)
+                continue;
+            const bool has_job =
+                job_index < job_partials.size() &&
+                job_partials[job_index] == &partial;
+            finalizeNode(partial, unique[u]->query,
+                         has_job ? jobs[job_index].distances
+                                 : no_dists,
+                         stores[node]);
+            if (has_job)
+                ++job_index;
+        }
+    });
+
+    const units::Millis wall = elapsed(started);
+    std::vector<QueryExecution> executions;
+    executions.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        executions.push_back(assemble(batch[i]->query,
+                                      partials[slot_of[i]], wall));
+    return executions;
+}
+
+std::vector<QueryExecution>
+QueryEngine::executeBatch(const std::vector<Query> &queries) const
+{
+    // Compile once per distinct descriptor so equivalent queries in
+    // the batch share a plan (and therefore a coalesced kernel call).
+    std::vector<std::unique_ptr<CompiledQuery>> compiled;
+    std::unordered_map<std::string, std::size_t> by_key;
+    std::vector<const CompiledQuery *> batch;
+    batch.reserve(queries.size());
+    for (const Query &query : queries) {
+        const std::string key = query.cacheKey();
+        const auto [it, inserted] =
+            by_key.emplace(key, compiled.size());
+        if (inserted)
+            compiled.push_back(
+                std::make_unique<CompiledQuery>(compile(query)));
+        batch.push_back(compiled[it->second].get());
+    }
+    return executeBatch(batch);
 }
 
 } // namespace scalo::app

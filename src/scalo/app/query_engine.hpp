@@ -14,10 +14,20 @@
  * carry their own QueryStats, and the merge is deterministic —
  * sorted by timestamp, ties broken by node — so the result is
  * bit-identical whichever parallelism the pool runs at.
+ *
+ * For the serving runtime the engine additionally separates per-query
+ * setup from execution — compile() normalizes a descriptor and hashes
+ * its probe into an immutable CompiledQuery the serve-layer plan
+ * cache shares across submissions — and executes whole batches:
+ * executeBatch() gathers candidates for every in-flight query per
+ * node shard and coalesces their deferred Euclidean confirmations
+ * into one batched distance-kernel sweep, returning results
+ * bit-identical to one-at-a-time execution.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -117,8 +127,57 @@ class QueryEngine
                 const std::vector<double> &window,
                 bool seizure_flagged);
 
+    /**
+     * A query compiled for this engine: the normalized descriptor
+     * plus the precomputed probe signature. Compilation is the
+     * per-query setup work worth caching across submissions —
+     * normalization and the LSH hash of the probe template — and a
+     * CompiledQuery is immutable and engine-independent thereafter,
+     * so one instance may be shared by any number of concurrent
+     * executions (the serve-layer plan cache does exactly that).
+     */
+    struct CompiledQuery
+    {
+        /** The normalized descriptor (Query::normalized()). */
+        Query query;
+        /** Probe signature; default-constructed when no probe. */
+        lsh::Signature probeHash;
+    };
+
+    /**
+     * Validate @p query (range, probe size, confirm measure) and
+     * compile it: normalize the descriptor and hash the probe.
+     */
+    CompiledQuery compile(const Query &query) const;
+
     /** Execute one query descriptor across all nodes. */
     QueryExecution execute(const Query &query) const;
+
+    /** Execute a precompiled query (skips normalize + probe hash). */
+    QueryExecution execute(const CompiledQuery &compiled) const;
+
+    /**
+     * Execute several queries as one cross-query batch: every node
+     * shard gathers candidates for all queries in one pass, and the
+     * deferred Euclidean confirmations of every query on that node
+     * are resolved through a single signal::euclideanDistanceBatch()
+     * sweep (queries deduplicated onto the same CompiledQuery share
+     * one coalesced kernel call). Results are returned in input
+     * order and are bit-identical to executing each query alone —
+     * batching changes wall-clock, never answers.
+     *
+     * Entries may repeat (the same plan submitted by several
+     * tenants); repeated pointers are executed once and the
+     * execution is replicated into each matching output slot.
+     */
+    std::vector<QueryExecution>
+    executeBatch(const std::vector<const CompiledQuery *> &batch)
+        const;
+
+    /** Convenience overload: compiles (deduplicating equivalent
+     *  descriptors via Query::cacheKey()) then batch-executes. */
+    std::vector<QueryExecution>
+    executeBatch(const std::vector<Query> &queries) const;
 
     /**
      * Worker threads fanning node shards out (1 = sequential). The
@@ -133,12 +192,18 @@ class QueryEngine
     /**
      * Mark a node down (or back up): down shards are skipped at
      * dispatch and the execution reports partial coverage. Mirrors
-     * the runtime's failure detector into the query path.
+     * the runtime's failure detector into the query path. The flags
+     * are atomic, so a chaos driver may flip nodes while executions
+     * are in flight; each execution observes each flag once, at its
+     * own dispatch.
      */
     void setNodeDown(NodeId node, bool down = true);
     bool nodeDown(NodeId node) const;
 
     std::size_t nodeCount() const { return stores.size(); }
+
+    /** Analysis-window length queries must match. */
+    std::size_t windowSampleCount() const { return windowSamples; }
 
     const lsh::WindowHasher &hasher() const { return windowHasher; }
 
@@ -148,16 +213,35 @@ class QueryEngine
     {
         std::vector<const StoredWindow *> matches;
         QueryStats stats;
+        /** Candidates awaiting batched Euclidean confirmation. */
+        std::vector<const StoredWindow *> confirm;
     };
 
-    NodePartial executeNode(NodeId node, const Query &query,
-                            const lsh::Signature &probe_hash) const;
+    /**
+     * Scan/probe one node: fills matches for every path except the
+     * deferred Euclidean confirms, which land in partial.confirm.
+     */
+    NodePartial gatherNode(NodeId node, const Query &query,
+                           const lsh::Signature &probe_hash) const;
+
+    /**
+     * Resolve the deferred confirms with their batch-computed
+     * @p confirm_dists and close the stats (matched, modeled cost).
+     */
+    void finalizeNode(NodePartial &partial, const Query &query,
+                      const std::vector<double> &confirm_dists,
+                      const SignalStore &node_store) const;
+
+    /** Deterministic merge of one query's per-node partials. */
+    QueryExecution assemble(const Query &query,
+                            const std::vector<NodePartial> &partials,
+                            units::Millis wall) const;
 
     std::size_t windowSamples;
     lsh::WindowHasher windowHasher;
     std::vector<SignalStore> stores;
     /** Nodes currently marked down (skipped at dispatch). */
-    std::vector<char> downNodes;
+    std::unique_ptr<std::atomic<bool>[]> downNodes;
     std::size_t threads;
     /** Execution machinery, not logical state; rebuilt on resize. */
     mutable std::unique_ptr<util::ThreadPool> pool;

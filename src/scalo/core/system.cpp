@@ -54,20 +54,6 @@ ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
                       const sched::Schedule &schedule,
                       const SimulateOptions &options) const
 {
-    // Empty plan + equal priorities: the fault path degenerates to
-    // the original happy-path execution, byte for byte.
-    return simulateWithFaults(flows, {}, schedule, sim::FaultPlan{},
-                              options);
-}
-
-sim::SystemSimResult
-ScaloSystem::simulateWithFaults(
-    const std::vector<sched::FlowSpec> &flows,
-    const std::vector<double> &priorities,
-    const sched::Schedule &schedule, const sim::FaultPlan &faults,
-    const SimulateOptions &options,
-    const net::RetryPolicy &retry) const
-{
     SCALO_ASSERT(schedule.feasible,
                  "cannot simulate an infeasible schedule");
     sim::SystemSimConfig sim_config;
@@ -81,15 +67,39 @@ ScaloSystem::simulateWithFaults(
     sim_config.duration = options.duration;
     sim_config.seed = cfg.seed;
     sim_config.recordTrace = !options.tracePath.empty();
-    sim_config.faults = faults;
-    sim_config.retry = retry;
-    sim_config.priorities = priorities;
+    // With the default options (empty plan, equal priorities,
+    // default retry) this configuration is exactly the pre-fault
+    // happy path, byte for byte.
+    sim_config.faults = options.faults;
+    sim_config.retry = options.retry;
+    sim_config.priorities = options.priorities;
     sim::SystemSim system_sim(std::move(sim_config));
     sim::SystemSimResult result = system_sim.run();
     if (!options.tracePath.empty() &&
         !system_sim.trace().writeChromeJson(options.tracePath))
         SCALO_FATAL("cannot write trace to ", options.tracePath);
     return result;
+}
+
+sim::SystemSimResult
+ScaloSystem::simulateWithFaults(
+    const std::vector<sched::FlowSpec> &flows,
+    const std::vector<double> &priorities,
+    const sched::Schedule &schedule, const sim::FaultPlan &faults,
+    const SimulateOptions &options,
+    const net::RetryPolicy &retry) const
+{
+    SimulateOptions merged = options;
+    merged.faults = faults;
+    merged.priorities = priorities;
+    merged.retry = retry;
+    return simulate(flows, schedule, merged);
+}
+
+app::QueryEngine
+ScaloSystem::makeQueryEngine(std::size_t window_samples) const
+{
+    return app::QueryEngine(cfg.nodes, window_samples, cfg.seed);
 }
 
 query::CompiledPipeline

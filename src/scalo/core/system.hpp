@@ -16,11 +16,14 @@
 
 #include "scalo/app/movement.hpp"
 #include "scalo/app/query.hpp"
+#include "scalo/app/query_engine.hpp"
 #include "scalo/app/seizure.hpp"
 #include "scalo/app/spikesort.hpp"
 #include "scalo/hw/thermal.hpp"
+#include "scalo/net/retry.hpp"
 #include "scalo/query/language.hpp"
 #include "scalo/sched/scheduler.hpp"
+#include "scalo/sim/faults/fault_plan.hpp"
 #include "scalo/sim/runtime/system_sim.hpp"
 
 namespace scalo::core {
@@ -36,13 +39,31 @@ struct ScaloConfig
     std::uint64_t seed = 0x5ca10;
 };
 
-/** Options for ScaloSystem::simulate. */
+/**
+ * Options for ScaloSystem::simulate. Fault injection is an option,
+ * not a separate entry point: populate @ref faults (and, for
+ * rescheduling fidelity, @ref priorities) to execute the schedule
+ * under failures. The defaults — an empty plan, equal priorities,
+ * default retry — reproduce the happy-path execution bit for bit.
+ */
 struct SimulateOptions
 {
     /** Streaming duration the deployment is executed for. */
     units::Millis duration{400.0};
     /** When non-empty, export a Chrome trace-event JSON here. */
     std::string tracePath;
+    /**
+     * Failures to inject; the runtime detects them over the TDMA
+     * heartbeats and degrades onto the survivors. Empty = none.
+     */
+    sim::FaultPlan faults;
+    /**
+     * Flow weights for degradation rescheduling (the weights the
+     * schedule was deployed with). Empty = equal weights.
+     */
+    std::vector<double> priorities;
+    /** Transmission retry policy under faults. */
+    net::RetryPolicy retry;
 };
 
 /** A configured SCALO BCI. */
@@ -80,21 +101,21 @@ class ScaloSystem
      * by deploy() for the same @p flows) through the node-level
      * discrete-event runtime. The result pairs measured per-node
      * power, response time, and sustainability with the scheduler's
-     * analytic predictions.
+     * analytic predictions. Fault injection rides on the options:
+     * when options.faults is non-empty the runtime injects the plan,
+     * detects failures over the TDMA heartbeats, retries under
+     * options.retry, and reschedules dead nodes' work onto the
+     * survivors weighted by options.priorities; an empty plan is the
+     * happy path, bit for bit.
      */
     sim::SystemSimResult
     simulate(const std::vector<sched::FlowSpec> &flows,
              const sched::Schedule &schedule,
              const SimulateOptions &options = {}) const;
 
-    /**
-     * simulate() with fault injection: execute @p schedule while the
-     * runtime injects @p faults, detects failures over the TDMA
-     * heartbeats, retries transmissions under @p retry, and
-     * reschedules dead nodes' work onto the survivors using
-     * @p priorities (the weights @p schedule was deployed with).
-     * With an empty plan this is exactly simulate().
-     */
+    /** @deprecated Populate SimulateOptions::faults / priorities /
+     *  retry and call simulate() instead. */
+    [[deprecated("use simulate() with SimulateOptions::faults")]]
     sim::SystemSimResult
     simulateWithFaults(const std::vector<sched::FlowSpec> &flows,
                        const std::vector<double> &priorities,
@@ -102,6 +123,15 @@ class ScaloSystem
                        const sim::FaultPlan &faults,
                        const SimulateOptions &options = {},
                        const net::RetryPolicy &retry = {}) const;
+
+    /**
+     * An interactive QueryEngine sized for this system: one store
+     * shard per implant, hashing seeded from the system seed so
+     * ingest-side signatures line up across engines. The serving
+     * runtime (serve::QueryServer) wraps one of these.
+     */
+    app::QueryEngine makeQueryEngine(std::size_t window_samples)
+        const;
 
     /**
      * Compile a TrillDSP-style program and validate it against the

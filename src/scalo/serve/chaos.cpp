@@ -1,0 +1,101 @@
+#include "scalo/serve/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::serve {
+
+ChaosDriver::ChaosDriver(QueryServer &server_,
+                         const sim::FaultPlan &plan,
+                         double time_scale)
+    : server(server_)
+{
+    SCALO_ASSERT(time_scale > 0.0, "time scale must be positive");
+    for (const sim::NodeCrashFault &crash : plan.crashes) {
+        SCALO_ASSERT(crash.node < server.engine().nodeCount(),
+                     "chaos plan crashes a node the engine lacks");
+        events.push_back(Event{crash.at.count() * time_scale,
+                               crash.node, true});
+        if (crash.reboots())
+            events.push_back(Event{crash.rebootAt.count() *
+                                       time_scale,
+                                   crash.node, false});
+    }
+    ignoredFaults = plan.size() - plan.crashes.size();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.atMs < b.atMs;
+                     });
+}
+
+ChaosDriver::~ChaosDriver()
+{
+    stop();
+}
+
+void
+ChaosDriver::start()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (started)
+        return;
+    started = true;
+    driver = std::thread([this] { driverMain(); });
+}
+
+void
+ChaosDriver::driverMain()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mtx);
+    for (const Event &event : events) {
+        const auto deadline =
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         event.atMs));
+        cv.wait_until(lock, deadline,
+                      [this] { return stopping; });
+        if (stopping)
+            return;
+        // Flip outside the lock: setNodeDown is atomic and must not
+        // serialise against stop()/applied().
+        lock.unlock();
+        server.setNodeDown(event.node, event.down);
+        lock.lock();
+        ++fired;
+        cv.notify_all();
+    }
+}
+
+void
+ChaosDriver::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    if (driver.joinable())
+        driver.join();
+}
+
+bool
+ChaosDriver::waitDone(double timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeout_ms),
+        [this] { return stopping || fired == events.size(); });
+}
+
+std::size_t
+ChaosDriver::applied() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return fired;
+}
+
+} // namespace scalo::serve

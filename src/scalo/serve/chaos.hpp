@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wall-clock chaos for the serving runtime: ChaosDriver replays the
+ * node-crash timeline of a sim::FaultPlan — the same declarative
+ * plans the simulation runtime injects — against a live QueryServer,
+ * flipping nodes down at each crash instant and back up at each
+ * reboot through QueryServer::setNodeDown(). Plan time (the
+ * simulation clock) is mapped onto host wall-clock by a configurable
+ * scale, so a seconds-long simulated outage can stress a
+ * milliseconds-long load run.
+ *
+ * Only crash/reboot faults apply: the serving path has no radio or
+ * NVM model, so dropout/BER/NVM/thermal entries are ignored (counted
+ * in skipped() for visibility). The driver is a background thread;
+ * stop() is prompt — it interrupts any pending sleep — and the
+ * destructor stops implicitly.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "scalo/serve/query_server.hpp"
+#include "scalo/sim/faults/fault_plan.hpp"
+
+namespace scalo::serve {
+
+/** Replays a FaultPlan's crash timeline onto a live QueryServer. */
+class ChaosDriver
+{
+  public:
+    /**
+     * @param server     the server whose nodes get flipped
+     * @param plan       fault plan; only crashes/reboots apply
+     * @param time_scale wall-clock ms per plan ms (0.1 = 10x faster)
+     */
+    ChaosDriver(QueryServer &server, const sim::FaultPlan &plan,
+                double time_scale = 1.0);
+
+    /** Stops the driver (nodes keep their current up/down state). */
+    ~ChaosDriver();
+
+    ChaosDriver(const ChaosDriver &) = delete;
+    ChaosDriver &operator=(const ChaosDriver &) = delete;
+
+    /** Begin replaying; no-op if already started. */
+    void start();
+
+    /** Stop promptly, interrupting any pending sleep. Idempotent. */
+    void stop();
+
+    /** Block until every event fired or @p timeout_ms elapsed. */
+    bool waitDone(double timeout_ms);
+
+    /** Down/up flips applied so far. */
+    std::size_t applied() const;
+
+    /** Total flips the plan schedules. */
+    std::size_t scheduled() const { return events.size(); }
+
+    /** Plan entries with no serving-path equivalent (ignored). */
+    std::size_t skipped() const { return ignoredFaults; }
+
+  private:
+    /** One scheduled flip, in wall-clock ms from start(). */
+    struct Event
+    {
+        double atMs = 0.0;
+        NodeId node = 0;
+        bool down = true;
+    };
+
+    void driverMain();
+
+    QueryServer &server;
+    std::vector<Event> events;
+    std::size_t ignoredFaults = 0;
+
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::size_t fired = 0;
+    bool stopping = false;
+    bool started = false;
+    std::thread driver;
+};
+
+} // namespace scalo::serve

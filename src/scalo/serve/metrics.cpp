@@ -1,0 +1,100 @@
+#include "scalo/serve/metrics.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::serve {
+
+QueryClass
+classify(const app::Query &query)
+{
+    const app::Query canon = query.normalized();
+    if (!canon.probe.empty())
+        return canon.dtwThreshold >= 0.0 ? QueryClass::Q2Exact
+                                         : QueryClass::Q2Hash;
+    return canon.seizureOnly ? QueryClass::Q1Seizure
+                             : QueryClass::Q3Range;
+}
+
+const char *
+queryClassName(QueryClass cls)
+{
+    switch (cls) {
+      case QueryClass::Q1Seizure:
+        return "Q1";
+      case QueryClass::Q2Hash:
+        return "Q2/hash";
+      case QueryClass::Q2Exact:
+        return "Q2/exact";
+      case QueryClass::Q3Range:
+        return "Q3";
+    }
+    SCALO_PANIC("unknown query class");
+}
+
+Metrics &
+Metrics::operator+=(const Metrics &other)
+{
+    submitted += other.submitted;
+    completed += other.completed;
+    partial += other.partial;
+    cancelled += other.cancelled;
+    rejectedOverload += other.rejectedOverload;
+    rejectedQuota += other.rejectedQuota;
+    rejectedInvalid += other.rejectedInvalid;
+    scanned += other.scanned;
+    bucketHits += other.bucketHits;
+    dtwComparisons += other.dtwComparisons;
+    matched += other.matched;
+    shardsAsked += other.shardsAsked;
+    shardsAnswered += other.shardsAnswered;
+    serveLatency += other.serveLatency;
+    modeledLatency += other.modeledLatency;
+    return *this;
+}
+
+void
+Metrics::observeShard(const app::QueryStats &stats)
+{
+    ++shardsAsked;
+    if (stats.answered)
+        ++shardsAnswered;
+    scanned += stats.scanned;
+    bucketHits += stats.bucketHits;
+    dtwComparisons += stats.dtwComparisons;
+    matched += stats.matched;
+    modeledLatency.add(stats.modeled.count());
+}
+
+void
+Metrics::observeExecution(const app::QueryExecution &execution,
+                          double serve_ms)
+{
+    ++completed;
+    if (!execution.coverage.complete())
+        ++partial;
+    for (const app::QueryStats &stats : execution.perNode) {
+        ++shardsAsked;
+        if (stats.answered)
+            ++shardsAnswered;
+        scanned += stats.scanned;
+        bucketHits += stats.bucketHits;
+        dtwComparisons += stats.dtwComparisons;
+        matched += stats.matched;
+    }
+    // Request-level view: the modeled histogram holds end-to-end
+    // query latencies (shard-level views get per-shard modeled
+    // through observeShard instead).
+    modeledLatency.add(execution.latency.count());
+    serveLatency.add(serve_ms);
+}
+
+Metrics
+Metrics::fromExecution(const app::QueryExecution &execution)
+{
+    Metrics metrics;
+    metrics.observeExecution(execution,
+                             execution.wall.count());
+    return metrics;
+}
+
+} // namespace scalo::serve

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The serving runtime's composable metrics type — the redesigned
+ * query accounting surface. Where the engine's QueryStats is one
+ * shard's raw record, serve::Metrics is an aggregate: request-level
+ * counters (accepted / rejected / cancelled / partial), work counters
+ * folded from per-node QueryStats, and two fixed-bucket latency
+ * histograms (host serve latency and modeled device latency) with
+ * p50/p95/p99. Metrics merge with operator+= — exactly, bucketwise —
+ * which is what makes one type serve every aggregation the runtime
+ * reports: per tenant, per query class, per node, and totals are all
+ * the same struct, summed along different axes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "scalo/app/query_engine.hpp"
+#include "scalo/util/histogram.hpp"
+
+namespace scalo::serve {
+
+/**
+ * Serving-cost classes of the query space (the paper's Q1/Q2/Q3
+ * corners, with Q2 split by confirmation cost). Classification runs
+ * on the normalized descriptor, so equivalent queries always land in
+ * the same class.
+ */
+enum class QueryClass
+{
+    /** Seizure-flag filter, no template (the paper's Q1). */
+    Q1Seizure,
+    /** Template matched on hashes alone (Q2, cheap). */
+    Q2Hash,
+    /** Template with exact DTW/Euclidean confirmation (Q2, hot). */
+    Q2Exact,
+    /** Bare time range (Q3). */
+    Q3Range,
+};
+
+/** Number of QueryClass values (for fixed-size per-class arrays). */
+inline constexpr std::size_t kQueryClasses = 4;
+
+/** Class of @p query under the normalization contract. */
+QueryClass classify(const app::Query &query);
+
+/** Human-readable class name ("Q1", "Q2/hash", ...). */
+const char *queryClassName(QueryClass cls);
+
+/** Composable serving metrics; every field merges with +=. */
+struct Metrics
+{
+    // ---- request counters -------------------------------------
+    /** Accepted into the admission queue. */
+    std::uint64_t submitted = 0;
+    /** Completed with a (possibly partial) result. */
+    std::uint64_t completed = 0;
+    /** Completed with partial coverage (some shards unanswered). */
+    std::uint64_t partial = 0;
+    /** Cancelled before a result was delivered. */
+    std::uint64_t cancelled = 0;
+    /** Rejected: admission queue full. */
+    std::uint64_t rejectedOverload = 0;
+    /** Rejected: tenant over its in-flight quota. */
+    std::uint64_t rejectedQuota = 0;
+    /** Rejected: malformed descriptor. */
+    std::uint64_t rejectedInvalid = 0;
+
+    // ---- work counters (folded from per-node QueryStats) ------
+    std::uint64_t scanned = 0;
+    std::uint64_t bucketHits = 0;
+    std::uint64_t dtwComparisons = 0;
+    std::uint64_t matched = 0;
+    std::uint64_t shardsAsked = 0;
+    std::uint64_t shardsAnswered = 0;
+
+    // ---- latency ----------------------------------------------
+    /** Host wall-clock from submit to completion. */
+    util::LatencyHistogram serveLatency;
+    /**
+     * Modeled device latency. In request-level aggregates (tenant,
+     * class, totals — filled by observeExecution) each observation
+     * is one query's end-to-end modeled latency; in shard-level
+     * aggregates (per node — filled by observeShard) each is one
+     * shard's modeled on-node time.
+     */
+    util::LatencyHistogram modeledLatency;
+
+    /** Exact bucketwise merge (shard → tenant → fleet roll-ups). */
+    Metrics &operator+=(const Metrics &other);
+
+    /** Total rejections across all typed reject reasons. */
+    std::uint64_t
+    rejected() const
+    {
+        return rejectedOverload + rejectedQuota + rejectedInvalid;
+    }
+
+    /** Fraction of asked shards that answered; 1 when none asked. */
+    double
+    coverageFraction() const
+    {
+        return shardsAsked ? static_cast<double>(shardsAnswered) /
+                                 static_cast<double>(shardsAsked)
+                           : 1.0;
+    }
+
+    /** Serve-latency percentiles (ms). */
+    double p50() const { return serveLatency.p50(); }
+    double p95() const { return serveLatency.p95(); }
+    double p99() const { return serveLatency.p99(); }
+
+    /**
+     * Fold one shard's QueryStats in — the per-node re-export path:
+     * a node's serving profile is the Metrics sum of its shard stats.
+     */
+    void observeShard(const app::QueryStats &stats);
+
+    /**
+     * Fold one completed execution in: every shard's stats, the
+     * coverage, the modeled latency, and @p serve_ms of host time.
+     */
+    void observeExecution(const app::QueryExecution &execution,
+                          double serve_ms);
+
+    /** Aggregate view of one execution (counters + modeled only). */
+    static Metrics fromExecution(
+        const app::QueryExecution &execution);
+};
+
+} // namespace scalo::serve

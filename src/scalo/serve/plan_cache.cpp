@@ -1,0 +1,84 @@
+#include "scalo/serve/plan_cache.hpp"
+
+#include "scalo/util/logging.hpp"
+
+namespace scalo::serve {
+
+PlanCache::PlanCache(std::size_t cap)
+    : capacity(cap)
+{
+    SCALO_ASSERT(capacity >= 1, "plan cache needs capacity >= 1");
+}
+
+PlanCache::Plan
+PlanCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = map.find(key);
+    if (it == map.end()) {
+        ++counters.misses;
+        return nullptr;
+    }
+    ++counters.hits;
+    lru.splice(lru.begin(), lru, it->second);
+    return it->second->plan;
+}
+
+PlanCache::Plan
+PlanCache::insert(const std::string &key, Plan plan)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = map.find(key);
+    if (it != map.end()) {
+        // A racing compile got here first; keep the incumbent (every
+        // holder of it stays deduplicated onto one object).
+        lru.splice(lru.begin(), lru, it->second);
+        return it->second->plan;
+    }
+    lru.push_front(Entry{key, std::move(plan)});
+    map.emplace(lru.front().key, lru.begin());
+    if (lru.size() > capacity) {
+        map.erase(lru.back().key);
+        lru.pop_back();
+        ++counters.evictions;
+    }
+    return lru.front().plan;
+}
+
+PlanCache::Plan
+PlanCache::getOrCompile(const app::QueryEngine &engine,
+                        const app::Query &query, bool *hit)
+{
+    const std::string key = query.cacheKey();
+    if (Plan cached = lookup(key)) {
+        if (hit)
+            *hit = true;
+        return cached;
+    }
+    if (hit)
+        *hit = false;
+    // Compile outside the lock: hashing the probe is the expensive
+    // part and must not serialise other tenants' lookups.
+    Plan plan = std::make_shared<app::QueryEngine::CompiledQuery>(
+        engine.compile(query));
+    return insert(key, std::move(plan));
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Stats snapshot = counters;
+    snapshot.size = lru.size();
+    return snapshot;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    map.clear();
+    lru.clear();
+}
+
+} // namespace scalo::serve

@@ -201,6 +201,49 @@ euclideanDistanceMany(
     return out;
 }
 
+void
+euclideanDistanceBatch(std::vector<DistanceJob> &jobs)
+{
+    // Group jobs by probe identity, preserving first-seen order.
+    // Every candidate's distance depends only on (probe, candidate) —
+    // the Many kernel accumulates each candidate independently — so
+    // coalescing is purely a call-structure optimisation and the
+    // scattered results match per-job calls bit for bit.
+    std::vector<const std::vector<double> *> coalesced;
+    std::vector<double> dists;
+    std::vector<std::size_t> group;
+    std::vector<char> resolved(jobs.size(), 0);
+    for (std::size_t first = 0; first < jobs.size(); ++first) {
+        if (resolved[first])
+            continue;
+        DistanceJob &lead = jobs[first];
+        SCALO_ASSERT(lead.query != nullptr,
+                     "distance job without a query window");
+        group.clear();
+        coalesced.clear();
+        for (std::size_t j = first; j < jobs.size(); ++j) {
+            if (resolved[j] || jobs[j].query != lead.query)
+                continue;
+            group.push_back(j);
+            coalesced.insert(coalesced.end(),
+                             jobs[j].candidates.begin(),
+                             jobs[j].candidates.end());
+            resolved[j] = 1;
+        }
+        euclideanDistanceMany(*lead.query, coalesced, dists);
+        std::size_t offset = 0;
+        for (const std::size_t j : group) {
+            DistanceJob &job = jobs[j];
+            job.distances.assign(
+                dists.begin() +
+                    static_cast<std::ptrdiff_t>(offset),
+                dists.begin() + static_cast<std::ptrdiff_t>(
+                                    offset + job.candidates.size()));
+            offset += job.candidates.size();
+        }
+    }
+}
+
 double
 pearson(const std::vector<double> &a, const std::vector<double> &b)
 {

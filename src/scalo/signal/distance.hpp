@@ -84,6 +84,32 @@ std::vector<double> euclideanDistanceMany(
     const std::vector<const std::vector<double> *> &candidates);
 
 /**
+ * One unit of deferred candidate verification: a query window and the
+ * candidates awaiting an exact Euclidean confirm against it. Filled
+ * by the caller, resolved by euclideanDistanceBatch().
+ */
+struct DistanceJob
+{
+    /** The probe; must outlive the batch call. */
+    const std::vector<double> *query = nullptr;
+    std::vector<const std::vector<double> *> candidates;
+    /** Output, sized to match candidates by the batch call. */
+    std::vector<double> distances;
+};
+
+/**
+ * Cross-query batched verification: resolve every job's distances in
+ * one sweep. Jobs sharing the same probe (pointer identity — e.g.
+ * concurrent queries deduplicated onto one compiled plan) have their
+ * candidate lists coalesced into a single euclideanDistanceMany()
+ * call, amortising the probe's cache traffic across all of them.
+ * Each candidate's distance is accumulated independently of its
+ * position in the coalesced list, so every job's distances are
+ * bit-identical to a per-job euclideanDistanceMany() call.
+ */
+void euclideanDistanceBatch(std::vector<DistanceJob> &jobs);
+
+/**
  * Maximum normalised Pearson cross-correlation over lags in
  * [-max_lag, +max_lag]. @return value in [-1, 1]; 0 for degenerate input.
  */

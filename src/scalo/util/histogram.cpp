@@ -1,0 +1,112 @@
+#include "scalo/util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace scalo::util {
+
+namespace {
+
+/** Precomputed inclusive upper bounds; the last bucket is open. */
+const std::array<double, LatencyHistogram::kBuckets> &
+bounds()
+{
+    static const auto table = [] {
+        std::array<double, LatencyHistogram::kBuckets> b{};
+        double bound = LatencyHistogram::kFirstBoundMs;
+        for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+            b[i] = bound;
+            bound *= LatencyHistogram::kGrowth;
+        }
+        b[b.size() - 1] = std::numeric_limits<double>::infinity();
+        return b;
+    }();
+    return table;
+}
+
+} // namespace
+
+double
+LatencyHistogram::bucketBound(std::size_t i)
+{
+    return bounds()[i];
+}
+
+std::size_t
+LatencyHistogram::bucketFor(double ms)
+{
+    const auto &b = bounds();
+    const auto it = std::lower_bound(b.begin(), b.end() - 1, ms);
+    return static_cast<std::size_t>(it - b.begin());
+}
+
+void
+LatencyHistogram::add(double ms)
+{
+    if (!(ms > 0.0))
+        ms = 0.0;
+    ++buckets[bucketFor(ms)];
+    if (total == 0) {
+        minMs = maxMs = ms;
+    } else {
+        minMs = std::min(minMs, ms);
+        maxMs = std::max(maxMs, ms);
+    }
+    ++total;
+    sumMs += ms;
+}
+
+LatencyHistogram &
+LatencyHistogram::operator+=(const LatencyHistogram &other)
+{
+    if (other.total == 0)
+        return *this;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+    if (total == 0) {
+        minMs = other.minMs;
+        maxMs = other.maxMs;
+    } else {
+        minMs = std::min(minMs, other.minMs);
+        maxMs = std::max(maxMs, other.maxMs);
+    }
+    total += other.total;
+    sumMs += other.sumMs;
+    return *this;
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile, 1-based ("nearest rank").
+    const double want = q * static_cast<double>(total);
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(want)));
+
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (cumulative + buckets[i] < rank) {
+            cumulative += buckets[i];
+            continue;
+        }
+        // Interpolate the rank's position inside this bucket.
+        const double lower = i == 0 ? 0.0 : bucketBound(i - 1);
+        double upper = bucketBound(i);
+        if (std::isinf(upper))
+            upper = maxMs;
+        const double within =
+            static_cast<double>(rank - cumulative) /
+            static_cast<double>(buckets[i]);
+        const double value = lower + (upper - lower) * within;
+        return std::clamp(value, minMs, maxMs);
+    }
+    return maxMs;
+}
+
+} // namespace scalo::util

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-bucket latency histogram for the serving runtime: 64
+ * log-spaced buckets from 1 us to ~100 s, so recording is O(1), the
+ * memory footprint is constant, and two histograms merge by adding
+ * buckets — the property the per-tenant / per-class / per-node
+ * aggregation in serve::Metrics is built on. Quantiles are estimated
+ * by linear interpolation inside the owning bucket and clamped to the
+ * observed [min, max], which bounds the error at one bucket width
+ * (~35% relative) while keeping merge exact.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace scalo::util {
+
+/** Mergeable fixed-bucket histogram over millisecond latencies. */
+class LatencyHistogram
+{
+  public:
+    /** Bucket count; fixed so any two histograms merge bucketwise. */
+    static constexpr std::size_t kBuckets = 64;
+    /** Upper bound of bucket 0 (1 us, in ms). */
+    static constexpr double kFirstBoundMs = 1e-3;
+    /** Geometric growth factor between consecutive bucket bounds. */
+    static constexpr double kGrowth = 1.35;
+
+    /** Record one observation (negative values clamp to zero). */
+    void add(double ms);
+
+    /** Bucketwise merge; exact (no resampling error). */
+    LatencyHistogram &operator+=(const LatencyHistogram &other);
+
+    /** Observations recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Sum of all observations (ms). */
+    double sum() const { return sumMs; }
+
+    /** Mean observation; 0 when empty. */
+    double mean() const
+    {
+        return total ? sumMs / static_cast<double>(total) : 0.0;
+    }
+
+    /** Smallest / largest observation; 0 when empty. */
+    double min() const { return total ? minMs : 0.0; }
+    double max() const { return total ? maxMs : 0.0; }
+
+    /**
+     * Estimated quantile for @p q in [0, 1]: linear interpolation
+     * within the bucket holding the rank, clamped to [min(), max()].
+     * @return 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    /** Observations in bucket @p i (for tests and dumps). */
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return buckets[i];
+    }
+
+    /** Inclusive upper bound of bucket @p i in ms (last is +inf). */
+    static double bucketBound(std::size_t i);
+
+  private:
+    static std::size_t bucketFor(double ms);
+
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t total = 0;
+    double sumMs = 0.0;
+    double minMs = 0.0;
+    double maxMs = 0.0;
+};
+
+} // namespace scalo::util

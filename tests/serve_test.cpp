@@ -1,0 +1,638 @@
+/**
+ * @file
+ * Tests for the serving runtime: the fixed-bucket latency histogram
+ * and composable Metrics, the Query normalization/cacheKey contract,
+ * the compiled-plan cache, cross-query batch execution parity (batch
+ * results must be bit-identical to serial execution), and the
+ * QueryServer's admission/quota/cancel/degradation semantics driven
+ * deterministically through the paused manual-stepping mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "scalo/serve/chaos.hpp"
+#include "scalo/serve/metrics.hpp"
+#include "scalo/serve/plan_cache.hpp"
+#include "scalo/serve/query_server.hpp"
+#include "scalo/util/histogram.hpp"
+#include "scalo/util/rng.hpp"
+
+namespace scalo {
+namespace {
+
+// ---------------------------------------------------------------
+// LatencyHistogram.
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    util::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.p99(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueQuantilesAreExact)
+{
+    util::LatencyHistogram h;
+    h.add(42.0);
+    // One sample: every quantile is clamped to [min, max] = {42}.
+    EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+    EXPECT_DOUBLE_EQ(h.min(), 42.0);
+    EXPECT_DOUBLE_EQ(h.max(), 42.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(LatencyHistogram, UniformQuantilesWithinBucketError)
+{
+    util::LatencyHistogram h;
+    for (int i = 1; i <= 10'000; ++i)
+        h.add(static_cast<double>(i) * 0.01); // 0.01 .. 100 ms
+    EXPECT_EQ(h.count(), 10'000u);
+    // Log-spaced buckets with growth 1.35: a quantile estimate is
+    // off by at most one bucket (35% relative).
+    EXPECT_NEAR(h.p50(), 50.0, 50.0 * 0.35);
+    EXPECT_NEAR(h.p95(), 95.0, 95.0 * 0.35);
+    EXPECT_NEAR(h.p99(), 99.0, 99.0 * 0.35);
+    EXPECT_GE(h.p95(), h.p50());
+    EXPECT_GE(h.p99(), h.p95());
+}
+
+TEST(LatencyHistogram, MergeIsExactBucketwise)
+{
+    util::LatencyHistogram a, b, all;
+    Rng rng(7);
+    for (int i = 0; i < 2'000; ++i) {
+        const double v = std::exp(rng.uniform(-5.0, 5.0));
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a += b;
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    for (std::size_t bucket = 0;
+         bucket < util::LatencyHistogram::kBuckets; ++bucket)
+        EXPECT_EQ(a.bucketCount(bucket), all.bucketCount(bucket));
+    EXPECT_DOUBLE_EQ(a.p95(), all.p95());
+}
+
+TEST(LatencyHistogram, OutOfRangeValuesClampToEdgeBuckets)
+{
+    util::LatencyHistogram h;
+    h.add(0.0);      // below the first bound
+    h.add(1e9);      // way past the last finite bound
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(util::LatencyHistogram::kBuckets - 1),
+              1u);
+}
+
+// ---------------------------------------------------------------
+// Metrics.
+
+TEST(ServeMetrics, MergeSumsEverything)
+{
+    serve::Metrics a, b;
+    a.submitted = 10;
+    a.completed = 8;
+    a.rejectedOverload = 2;
+    a.scanned = 100;
+    a.shardsAsked = 16;
+    a.shardsAnswered = 12;
+    a.serveLatency.add(1.0);
+    b.submitted = 5;
+    b.completed = 5;
+    b.rejectedQuota = 1;
+    b.scanned = 50;
+    b.shardsAsked = 8;
+    b.shardsAnswered = 8;
+    b.serveLatency.add(3.0);
+
+    a += b;
+    EXPECT_EQ(a.submitted, 15u);
+    EXPECT_EQ(a.completed, 13u);
+    EXPECT_EQ(a.rejected(), 3u);
+    EXPECT_EQ(a.scanned, 150u);
+    EXPECT_EQ(a.serveLatency.count(), 2u);
+    EXPECT_NEAR(a.coverageFraction(), 20.0 / 24.0, 1e-12);
+}
+
+TEST(ServeMetrics, ClassifyFollowsNormalization)
+{
+    EXPECT_EQ(serve::classify(app::Query::q1(0, 100)),
+              serve::QueryClass::Q1Seizure);
+    EXPECT_EQ(serve::classify(app::Query::q3(0, 100)),
+              serve::QueryClass::Q3Range);
+    const std::vector<double> probe(32, 1.0);
+    EXPECT_EQ(serve::classify(app::Query::q2(0, 100, probe)),
+              serve::QueryClass::Q2Hash);
+    EXPECT_EQ(serve::classify(app::Query::q2(0, 100, probe, 5.0)),
+              serve::QueryClass::Q2Exact);
+    // Probe + seizure filter is still the probe class (the costly
+    // axis), and any negative threshold means hashes-only.
+    auto q = app::Query::q2(0, 100, probe, -3.0);
+    q.seizureOnly = true;
+    EXPECT_EQ(serve::classify(q), serve::QueryClass::Q2Hash);
+}
+
+// ---------------------------------------------------------------
+// Query normalization / cacheKey contract.
+
+TEST(QueryNormalize, NoProbeResetsProbeKnobs)
+{
+    app::Query q = app::Query::q3(0, 100);
+    q.dtwThreshold = 9.0;
+    q.confirmMeasure = signal::Measure::Euclidean;
+    q.hashPrefilter = false;
+    q.useIndex = false;
+    const app::Query canon = q.normalized();
+    EXPECT_EQ(canon.dtwThreshold, -1.0);
+    EXPECT_EQ(canon.confirmMeasure, signal::Measure::Dtw);
+    EXPECT_TRUE(canon.hashPrefilter);
+    EXPECT_TRUE(canon.useIndex);
+    EXPECT_EQ(q.cacheKey(), app::Query::q3(0, 100).cacheKey());
+}
+
+TEST(QueryNormalize, NegativeThresholdsCollapse)
+{
+    const std::vector<double> probe(16, 0.5);
+    auto a = app::Query::q2(0, 100, probe, -1.0);
+    auto b = app::Query::q2(0, 100, probe, -123.0);
+    b.confirmMeasure = signal::Measure::Euclidean;
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+}
+
+TEST(QueryNormalize, PrefilterOffForcesScan)
+{
+    const std::vector<double> probe(16, 0.5);
+    auto q = app::Query::q2(0, 100, probe, 4.0);
+    q.hashPrefilter = false;
+    q.useIndex = true;
+    EXPECT_FALSE(q.normalized().useIndex);
+}
+
+TEST(QueryNormalize, DeadlineClampsToZero)
+{
+    app::Query q = app::Query::q3(0, 100);
+    q.shardDeadline = units::Millis{-5.0};
+    EXPECT_EQ(q.normalized().shardDeadline.count(), 0.0);
+}
+
+TEST(QueryNormalize, DistinctQueriesKeepDistinctKeys)
+{
+    const std::vector<double> probe(16, 0.5);
+    std::vector<std::string> keys{
+        app::Query::q3(0, 100).cacheKey(),
+        app::Query::q3(0, 101).cacheKey(),
+        app::Query::q1(0, 100).cacheKey(),
+        app::Query::q2(0, 100, probe).cacheKey(),
+        app::Query::q2(0, 100, probe, 4.0).cacheKey(),
+    };
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+// ---------------------------------------------------------------
+// Engine fixture shared by plan-cache / batching / server tests.
+
+std::vector<double>
+shapedWindow(double freq, std::size_t n, double phase, Rng &noise,
+             double noise_sd)
+{
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::sin(2.0 * std::numbers::pi * freq *
+                              static_cast<double>(i) /
+                              static_cast<double>(n) +
+                          phase) +
+                 noise.gaussian(0.0, noise_sd);
+    return out;
+}
+
+class ServeFixture : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kNodes = 6;
+    static constexpr std::size_t kSamples = 96;
+
+    void
+    SetUp() override
+    {
+        engine =
+            std::make_unique<app::QueryEngine>(kNodes, kSamples, 7);
+        Rng noise(41);
+        for (NodeId node = 0; node < kNodes; ++node) {
+            for (std::uint64_t w = 0; w < 80; ++w) {
+                const bool probe_like = w % 7 == 0;
+                const bool seizure = w % 11 == 0;
+                auto window =
+                    probe_like
+                        ? shapedWindow(6.0, kSamples, 0.3, noise,
+                                       0.05)
+                        : shapedWindow(noise.uniform(2.0, 20.0),
+                                       kSamples,
+                                       noise.uniform(0.0, 6.0),
+                                       noise, 0.5);
+                engine->ingest(node, w * 4'000,
+                               static_cast<ElectrodeId>(node % 4),
+                               window, seizure);
+            }
+        }
+        Rng probe_noise(43);
+        probe = shapedWindow(6.0, kSamples, 0.3, probe_noise, 0.05);
+    }
+
+    /** A mixed batch hitting every execution path. */
+    std::vector<app::Query>
+    mixedQueries() const
+    {
+        std::vector<app::Query> queries;
+        queries.push_back(app::Query::q1(0, 320'000));
+        queries.push_back(app::Query::q2(0, 320'000, probe));
+        auto euclid = app::Query::q2(0, 320'000, probe, 8.0,
+                                     signal::Measure::Euclidean);
+        euclid.hashPrefilter = true;
+        queries.push_back(euclid);
+        queries.push_back(app::Query::q2(0, 320'000, probe, 12.0));
+        queries.push_back(app::Query::q3(40'000, 200'000));
+        return queries;
+    }
+
+    static void
+    expectIdentical(const app::QueryExecution &a,
+                    const app::QueryExecution &b)
+    {
+        EXPECT_EQ(a.matches, b.matches); // same pointers, same order
+        EXPECT_EQ(a.scanned, b.scanned);
+        EXPECT_EQ(a.transferBytes, b.transferBytes);
+        EXPECT_EQ(a.latency.count(), b.latency.count());
+        EXPECT_EQ(a.coverage.answeredShards,
+                  b.coverage.answeredShards);
+        ASSERT_EQ(a.perNode.size(), b.perNode.size());
+        for (std::size_t n = 0; n < a.perNode.size(); ++n) {
+            EXPECT_EQ(a.perNode[n].scanned, b.perNode[n].scanned);
+            EXPECT_EQ(a.perNode[n].dtwComparisons,
+                      b.perNode[n].dtwComparisons);
+            EXPECT_EQ(a.perNode[n].matched, b.perNode[n].matched);
+            EXPECT_EQ(a.perNode[n].modeled.count(),
+                      b.perNode[n].modeled.count());
+        }
+    }
+
+    std::unique_ptr<app::QueryEngine> engine;
+    std::vector<double> probe;
+};
+
+// ---------------------------------------------------------------
+// Plan cache.
+
+TEST_F(ServeFixture, PlanCacheHitSkipsCompileAndMatchesResults)
+{
+    serve::PlanCache cache(8);
+    const auto query = app::Query::q2(0, 320'000, probe, 8.0,
+                                      signal::Measure::Euclidean);
+    bool hit = true;
+    const auto first = cache.getOrCompile(*engine, query, &hit);
+    EXPECT_FALSE(hit);
+    const auto second = cache.getOrCompile(*engine, query, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(first.get(), second.get()); // one shared plan object
+
+    // Equivalent-but-not-equal descriptor: same key, same plan.
+    auto equivalent = query;
+    equivalent.shardDeadline = units::Millis{-1.0};
+    const auto third = cache.getOrCompile(*engine, equivalent, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(first.get(), third.get());
+
+    expectIdentical(engine->execute(query),
+                    engine->execute(*first));
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.size, 1u);
+}
+
+TEST_F(ServeFixture, PlanCacheEvictsLeastRecentlyUsed)
+{
+    serve::PlanCache cache(2);
+    const auto qa = app::Query::q3(0, 100);
+    const auto qb = app::Query::q3(0, 200);
+    const auto qc = app::Query::q3(0, 300);
+    cache.getOrCompile(*engine, qa);
+    cache.getOrCompile(*engine, qb);
+    cache.getOrCompile(*engine, qa); // refresh a
+    cache.getOrCompile(*engine, qc); // evicts b
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_NE(cache.lookup(qa.cacheKey()), nullptr);
+    EXPECT_EQ(cache.lookup(qb.cacheKey()), nullptr);
+    EXPECT_NE(cache.lookup(qc.cacheKey()), nullptr);
+}
+
+TEST_F(ServeFixture, PlanCacheInsertKeepsIncumbentOnRace)
+{
+    serve::PlanCache cache(4);
+    const auto query = app::Query::q3(0, 100);
+    const std::string key = query.cacheKey();
+    auto first = std::make_shared<
+        const app::QueryEngine::CompiledQuery>(
+        engine->compile(query));
+    auto second = std::make_shared<
+        const app::QueryEngine::CompiledQuery>(
+        engine->compile(query));
+    const auto kept1 = cache.insert(key, first);
+    const auto kept2 = cache.insert(key, second);
+    // The loser of the race is handed the incumbent object.
+    EXPECT_EQ(kept1.get(), first.get());
+    EXPECT_EQ(kept2.get(), first.get());
+    EXPECT_EQ(cache.stats().size, 1u);
+}
+
+// ---------------------------------------------------------------
+// Cross-query batch execution parity.
+
+TEST_F(ServeFixture, BatchedExecutionIsByteIdenticalToSerial)
+{
+    const auto queries = mixedQueries();
+    std::vector<app::QueryExecution> serial;
+    for (const auto &query : queries)
+        serial.push_back(engine->execute(query));
+
+    for (std::size_t threads : {1u, 4u}) {
+        engine->setParallelism(threads);
+        const auto batched = engine->executeBatch(queries);
+        ASSERT_EQ(batched.size(), queries.size());
+        for (std::size_t i = 0; i < queries.size(); ++i)
+            expectIdentical(serial[i], batched[i]);
+    }
+}
+
+TEST_F(ServeFixture, BatchDeduplicatesRepeatedPlans)
+{
+    const auto compiled = engine->compile(
+        app::Query::q2(0, 320'000, probe, 8.0,
+                       signal::Measure::Euclidean));
+    const auto single = engine->execute(compiled);
+    // The same plan submitted five times: one execution, replicated.
+    const std::vector<const app::QueryEngine::CompiledQuery *> batch(
+        5, &compiled);
+    const auto results = engine->executeBatch(batch);
+    ASSERT_EQ(results.size(), 5u);
+    for (const auto &result : results)
+        expectIdentical(single, result);
+}
+
+TEST_F(ServeFixture, BatchWithDownNodeMatchesSerialPartial)
+{
+    engine->setNodeDown(2);
+    const auto queries = mixedQueries();
+    std::vector<app::QueryExecution> serials;
+    for (const auto &query : queries)
+        serials.push_back(engine->execute(query));
+    EXPECT_EQ(serials.front().coverage.answeredShards, kNodes - 1);
+    EXPECT_FALSE(serials.front().coverage.complete());
+    const auto batched = engine->executeBatch(queries);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        expectIdentical(serials[i], batched[i]);
+}
+
+// ---------------------------------------------------------------
+// QueryServer semantics (deterministic, paused manual stepping).
+
+serve::ServeConfig
+manualConfig(std::size_t queue_capacity = 64,
+             std::size_t tenant_quota = 64)
+{
+    serve::ServeConfig config;
+    config.dispatchers = 0; // manual runOnce stepping only
+    config.startPaused = true;
+    config.queueCapacity = queue_capacity;
+    config.tenantQuota = tenant_quota;
+    config.maxBatch = 8;
+    return config;
+}
+
+TEST_F(ServeFixture, SubmitPollRoundTrip)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    const auto submit =
+        server.submit("alice", app::Query::q1(0, 320'000));
+    ASSERT_TRUE(submit.accepted());
+    EXPECT_EQ(server.poll(submit.id).state,
+              serve::TicketState::Queued);
+    EXPECT_EQ(server.runOnce(), 1u);
+
+    const auto response = server.poll(submit.id);
+    EXPECT_EQ(response.state, serve::TicketState::Done);
+    EXPECT_EQ(response.tenant, "alice");
+    EXPECT_EQ(response.queryClass, serve::QueryClass::Q1Seizure);
+    EXPECT_FALSE(response.execution.matches.empty());
+    expectIdentical(engine->execute(app::Query::q1(0, 320'000)),
+                    response.execution);
+
+    // Exactly-once handout: the ticket is gone after the poll.
+    EXPECT_EQ(server.poll(submit.id).state,
+              serve::TicketState::Unknown);
+    EXPECT_EQ(server.totals().completed, 1u);
+}
+
+TEST_F(ServeFixture, OverloadedAtQueueCapacity)
+{
+    serve::QueryServer server(*engine,
+                              manualConfig(/*queue_capacity=*/4,
+                                           /*tenant_quota=*/64));
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(
+            server.submit("t", app::Query::q3(0, 1'000 + i))
+                .accepted());
+    const auto rejected =
+        server.submit("t", app::Query::q3(0, 9'999));
+    EXPECT_EQ(rejected.status, serve::SubmitStatus::Overloaded);
+    EXPECT_EQ(rejected.id, serve::kInvalidTicket);
+    EXPECT_EQ(server.totals().rejectedOverload, 1u);
+    // Draining the queue frees capacity again.
+    while (server.runOnce() > 0) {
+    }
+    EXPECT_TRUE(
+        server.submit("t", app::Query::q3(0, 9'999)).accepted());
+}
+
+TEST_F(ServeFixture, QuotaExceededPerTenant)
+{
+    serve::QueryServer server(*engine,
+                              manualConfig(/*queue_capacity=*/64,
+                                           /*tenant_quota=*/2));
+    ASSERT_TRUE(server.submit("a", app::Query::q3(0, 1)).accepted());
+    ASSERT_TRUE(server.submit("a", app::Query::q3(0, 2)).accepted());
+    const auto rejected = server.submit("a", app::Query::q3(0, 3));
+    EXPECT_EQ(rejected.status, serve::SubmitStatus::QuotaExceeded);
+    // Another tenant is unaffected.
+    EXPECT_TRUE(server.submit("b", app::Query::q3(0, 3)).accepted());
+    EXPECT_EQ(server.tenantMetrics("a").rejectedQuota, 1u);
+    EXPECT_EQ(server.tenantMetrics("b").rejectedQuota, 0u);
+}
+
+TEST_F(ServeFixture, InvalidQueriesAreTypedRejections)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    // Inverted range.
+    EXPECT_EQ(server.submit("t", app::Query::q3(100, 0)).status,
+              serve::SubmitStatus::Invalid);
+    // Wrong probe length.
+    const std::vector<double> short_probe(kSamples / 2, 1.0);
+    EXPECT_EQ(
+        server.submit("t", app::Query::q2(0, 100, short_probe))
+            .status,
+        serve::SubmitStatus::Invalid);
+    EXPECT_EQ(server.totals().rejectedInvalid, 2u);
+    EXPECT_EQ(server.inFlight(), 0u);
+}
+
+TEST_F(ServeFixture, CancelQueuedTicketNeverExecutes)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    const auto a = server.submit("t", app::Query::q3(0, 1'000));
+    const auto b = server.submit("t", app::Query::q3(0, 2'000));
+    ASSERT_TRUE(a.accepted() && b.accepted());
+    EXPECT_TRUE(server.cancel(a.id));
+    EXPECT_FALSE(server.cancel(a.id)); // already terminal
+
+    server.runOnce();
+    EXPECT_EQ(server.poll(a.id).state,
+              serve::TicketState::Cancelled);
+    EXPECT_EQ(server.poll(b.id).state, serve::TicketState::Done);
+    EXPECT_EQ(server.totals().cancelled, 1u);
+    EXPECT_EQ(server.totals().completed, 1u);
+}
+
+TEST_F(ServeFixture, CancelUnknownTicketIsFalse)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    EXPECT_FALSE(server.cancel(12'345));
+}
+
+TEST_F(ServeFixture, PlanCacheSharedAcrossSubmissions)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    const auto query = app::Query::q2(0, 320'000, probe, 8.0,
+                                      signal::Measure::Euclidean);
+    const auto a = server.submit("t", query);
+    const auto b = server.submit("t", query);
+    ASSERT_TRUE(a.accepted() && b.accepted());
+    while (server.runOnce() > 0) {
+    }
+    const auto ra = server.poll(a.id);
+    const auto rb = server.poll(b.id);
+    EXPECT_FALSE(ra.planCacheHit);
+    EXPECT_TRUE(rb.planCacheHit);
+    expectIdentical(ra.execution, rb.execution);
+    EXPECT_EQ(server.planCacheStats().hits, 1u);
+}
+
+TEST_F(ServeFixture, DegradesToPartialCoverageWhenNodesDown)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    server.setNodeDown(1);
+    server.setNodeDown(4);
+    const auto submit =
+        server.submit("t", app::Query::q3(0, 320'000));
+    ASSERT_TRUE(submit.accepted());
+    server.runOnce();
+    const auto response = server.poll(submit.id);
+    ASSERT_EQ(response.state, serve::TicketState::Done);
+    EXPECT_EQ(response.execution.coverage.totalShards, kNodes);
+    EXPECT_EQ(response.execution.coverage.answeredShards,
+              kNodes - 2);
+    EXPECT_FALSE(response.execution.perNode[1].answered);
+    EXPECT_FALSE(response.execution.perNode[4].answered);
+    const auto totals = server.totals();
+    EXPECT_EQ(totals.partial, 1u);
+    EXPECT_NEAR(totals.coverageFraction(),
+                static_cast<double>(kNodes - 2) / kNodes, 1e-12);
+}
+
+TEST_F(ServeFixture, StopRejectsNewWorkAndCancelsQueued)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    const auto queued = server.submit("t", app::Query::q3(0, 100));
+    ASSERT_TRUE(queued.accepted());
+    server.stop();
+    EXPECT_EQ(server.submit("t", app::Query::q3(0, 100)).status,
+              serve::SubmitStatus::ShuttingDown);
+    EXPECT_EQ(server.poll(queued.id).state,
+              serve::TicketState::Cancelled);
+    EXPECT_EQ(server.inFlight(), 0u);
+}
+
+TEST_F(ServeFixture, MetricsAggregateAcrossAxes)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    std::vector<serve::TicketId> ids;
+    for (const auto &query : mixedQueries()) {
+        const auto submit = server.submit(
+            ids.size() % 2 ? "even" : "odd", query);
+        ASSERT_TRUE(submit.accepted());
+        ids.push_back(submit.id);
+    }
+    while (server.runOnce() > 0) {
+    }
+    for (const auto id : ids)
+        EXPECT_EQ(server.poll(id).state, serve::TicketState::Done);
+
+    const auto totals = server.totals();
+    EXPECT_EQ(totals.submitted, 5u);
+    EXPECT_EQ(totals.completed, 5u);
+    EXPECT_EQ(totals.serveLatency.count(), 5u);
+    // Tenant metrics partition the totals.
+    serve::Metrics merged = server.tenantMetrics("even");
+    merged += server.tenantMetrics("odd");
+    EXPECT_EQ(merged.completed, totals.completed);
+    EXPECT_EQ(merged.scanned, totals.scanned);
+    // Class metrics partition them too.
+    serve::Metrics byClass;
+    for (std::size_t c = 0; c < serve::kQueryClasses; ++c)
+        byClass += server.classMetrics(
+            static_cast<serve::QueryClass>(c));
+    EXPECT_EQ(byClass.completed, totals.completed);
+    // Node metrics carry the per-shard re-export.
+    std::uint64_t nodeScanned = 0;
+    for (NodeId node = 0; node < kNodes; ++node)
+        nodeScanned += server.nodeMetrics(node).scanned;
+    EXPECT_EQ(nodeScanned, totals.scanned);
+    EXPECT_EQ(server.tenants(),
+              (std::vector<std::string>{"even", "odd"}));
+}
+
+// ---------------------------------------------------------------
+// ChaosDriver.
+
+TEST_F(ServeFixture, ChaosDriverRepliesCrashTimeline)
+{
+    serve::QueryServer server(*engine, manualConfig());
+    sim::FaultPlan plan;
+    plan.crashes.push_back(
+        {/*node=*/1, units::Millis{0.0}, units::Millis{5.0}});
+    plan.crashes.push_back({/*node=*/3, units::Millis{2.0}});
+    plan.dropouts.push_back({units::Millis{0.0},
+                             units::Millis{10.0}}); // no serve path
+    serve::ChaosDriver chaos(server, plan, /*time_scale=*/1.0);
+    EXPECT_EQ(chaos.scheduled(), 3u); // down, up, down
+    EXPECT_EQ(chaos.skipped(), 1u);
+    chaos.start();
+    EXPECT_TRUE(chaos.waitDone(5'000.0));
+    EXPECT_EQ(chaos.applied(), 3u);
+    EXPECT_FALSE(engine->nodeDown(1)); // rebooted
+    EXPECT_TRUE(engine->nodeDown(3));  // stays down
+    chaos.stop();
+}
+
+} // namespace
+} // namespace scalo
