@@ -4,10 +4,23 @@
 #   ci/check.sh            run everything
 #   ci/check.sh tier1      just the tier-1 build + tests
 #   ci/check.sh sanitize   ASan+UBSan build + tests (contracts on)
-#   ci/check.sh strict     -Werror -Wconversion build of the library
-#   ci/check.sh negative   units misuse must FAIL to compile
-#   ci/check.sh tidy       clang-tidy over the library (skips if absent)
-#   ci/check.sh bench      run bench_micro_kernels + bench_chaos,
+#   ci/check.sh strict     the lint builds: -Werror -Wconversion with
+#                          the default compiler, the raw-lock-
+#                          primitive ban (src/scalo must lock through
+#                          the annotated wrappers only), and the
+#                          Clang -Wthread-safety -Werror analysis
+#                          build (clang++ required; set
+#                          SCALO_TSA_OPTIONAL=1 to tolerate absence)
+#   ci/check.sh negative   misuse must FAIL to compile: units bugs
+#                          AND the thread-safety suite (unguarded
+#                          read/write, missing release, REQUIRES
+#                          violation under clang -Wthread-safety;
+#                          rank inversion under any compiler)
+#   ci/check.sh tidy       clang-tidy over the library (FAILS when
+#                          clang-tidy is absent unless
+#                          SCALO_TIDY_OPTIONAL=1)
+#   ci/check.sh bench      run bench_micro_kernels + bench_chaos in a
+#                          Release tree (debug numbers are noise),
 #                          refresh the BENCH_kernels.json and
 #                          BENCH_chaos.json baselines, and report
 #                          regressions vs the committed ones
@@ -82,10 +95,63 @@ gate_strict() {
     cmake -S "$ROOT" -B "$dir" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DSCALO_WERROR=ON -DSCALO_WCONVERSION=ON >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" --target scalo_core ||
+        return 1
+    check_lock_primitives && check_thread_safety
+}
+
+check_lock_primitives() {
+    # Locking in src/scalo goes through the annotated ranked wrappers
+    # (util/thread_annotations.hpp, the one file allowed to name the
+    # raw primitives). A bare std::mutex has no rank and no
+    # SCALO_GUARDED_BY contract, so it fails the pipeline here.
+    local hits
+    hits=$(grep -rn --include='*.hpp' --include='*.cpp' \
+        -e 'std::mutex' -e 'std::shared_mutex' \
+        -e 'std::recursive_mutex' -e 'std::condition_variable' \
+        -e 'std::lock_guard' -e 'std::unique_lock' \
+        -e 'std::scoped_lock' \
+        "$ROOT/src/scalo" |
+        grep -v 'util/thread_annotations\.hpp')
+    if [ -n "$hits" ]; then
+        echo "raw lock primitives outside util/thread_annotations.hpp"
+        echo "(use util::RankedMutex/MutexLock/ConditionVariable):"
+        printf '%s\n' "$hits"
+        return 1
+    fi
+    echo "lock-primitive ban holds (annotated wrappers only)"
+}
+
+check_thread_safety() {
+    # The compile-time half of the concurrency contract: Clang's
+    # -Wthread-safety over every annotated subsystem, promoted to an
+    # error. Needs clang++; its absence fails the gate so the
+    # analysis cannot rot silently (SCALO_TSA_OPTIONAL=1 opts out,
+    # e.g. on a GCC-only box — see README).
+    if ! command -v clang++ >/dev/null 2>&1; then
+        if [ "${SCALO_TSA_OPTIONAL:-0}" = "1" ]; then
+            echo "clang++ not installed; SKIPPING -Wthread-safety" \
+                "analysis (SCALO_TSA_OPTIONAL=1)"
+            return 0
+        fi
+        echo "clang++ not installed: the -Wthread-safety analysis" \
+            "cannot run. Install clang or set SCALO_TSA_OPTIONAL=1" \
+            "to accept the gap."
+        return 1
+    fi
+    local dir="$ROOT/build-ci-thread-safety"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DSCALO_WERROR=ON -DSCALO_WTHREAD_SAFETY=ON >/dev/null &&
         cmake --build "$dir" -j "$JOBS" --target scalo_core
 }
 
 gate_negative() {
+    negative_units && negative_thread_safety
+}
+
+negative_units() {
     # The dimensional-analysis layer's whole point: unit misuse is a
     # compile error. Each marked line in units_test.cpp must fail.
     local out
@@ -105,6 +171,67 @@ gate_negative() {
         return 1
     fi
     echo "unit misuse rejected with $errors compile errors (>=4 expected)"
+}
+
+ts_negative_compile() { # compiler, case-number, extra flags...
+    local cxx="$1" num="$2"
+    shift 2
+    (cd "$ROOT" && "$cxx" -std=c++20 -fsyntax-only "$@" \
+        -DSCALO_TS_NEGATIVE_CASE="$num" \
+        -I src tests/thread_safety_negative.cpp 2>&1)
+}
+
+negative_thread_safety() {
+    # Concurrency misuse is a compile error too. Case 4 (rank
+    # inversion through OrderedLockPair) trips a static_assert, so it
+    # fails under ANY compiler; cases 1/2/3/5 (unguarded read,
+    # unguarded write, missing release, REQUIRES violation) need
+    # Clang's -Wthread-safety, and case 0 proves correct code still
+    # compiles clean under the analysis at -Werror.
+    local out
+    if out=$(ts_negative_compile "${CXX:-g++}" 4); then
+        echo "rank inversion COMPILED: OrderedLockPair no longer" \
+            "enforces ascending ranks"
+        printf '%s\n' "$out" | head -10
+        return 1
+    fi
+    echo "rank inversion rejected (OrderedLockPair static_assert)"
+
+    if ! command -v clang++ >/dev/null 2>&1; then
+        if [ "${SCALO_TSA_OPTIONAL:-0}" = "1" ]; then
+            echo "clang++ not installed; SKIPPING -Wthread-safety" \
+                "negative cases 0-3,5 (SCALO_TSA_OPTIONAL=1)"
+            return 0
+        fi
+        echo "clang++ not installed: thread-safety negative cases" \
+            "cannot run. Install clang or set SCALO_TSA_OPTIONAL=1" \
+            "to accept the gap."
+        return 1
+    fi
+
+    local tsa_flags=(-Wthread-safety -Werror)
+    if ! out=$(ts_negative_compile clang++ 0 "${tsa_flags[@]}"); then
+        echo "thread-safety positive case (0) FAILED to compile:"
+        printf '%s\n' "$out" | head -20
+        return 1
+    fi
+    local num label
+    for num in 1 2 3 5; do
+        case "$num" in
+        1) label="unguarded read" ;;
+        2) label="unguarded write" ;;
+        3) label="missing release" ;;
+        5) label="REQUIRES violation" ;;
+        esac
+        if out=$(ts_negative_compile clang++ "$num" \
+            "${tsa_flags[@]}"); then
+            echo "thread-safety case $num ($label) COMPILED: the" \
+                "analysis no longer rejects it"
+            return 1
+        fi
+    done
+    echo "thread-safety misuse rejected (cases 1,2,3,5 under clang" \
+        "-Wthread-safety -Werror; positive case 0 clean)"
 }
 
 bench_refresh() { # builddir, target, baseline-name
@@ -133,11 +260,12 @@ bench_refresh() { # builddir, target, baseline-name
 }
 
 gate_bench() {
-    # Perf trajectory, not a pass/fail gate: build the microbenches at
-    # the tier-1 optimization level and refresh both baselines.
+    # Perf trajectory, not a pass/fail gate: build the microbenches in
+    # full Release (matching gate_serve — debug-adjacent numbers are
+    # noise) and refresh both baselines.
     local dir="$ROOT/build-ci-bench"
     cmake -S "$ROOT" -B "$dir" \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+        -DCMAKE_BUILD_TYPE=Release >/dev/null &&
         cmake --build "$dir" -j "$JOBS" \
             --target bench_micro_kernels bench_chaos ||
         return 1
@@ -235,8 +363,15 @@ gate_chaos() {
 
 gate_tidy() {
     if ! command -v clang-tidy >/dev/null 2>&1; then
-        echo "clang-tidy not installed; skipping (gate passes vacuously)"
-        return 0
+        if [ "${SCALO_TIDY_OPTIONAL:-0}" = "1" ]; then
+            echo "clang-tidy not installed; SKIPPING the tidy gate" \
+                "(SCALO_TIDY_OPTIONAL=1)"
+            return 0
+        fi
+        echo "clang-tidy not installed: the lint gate cannot run." \
+            "Install clang-tidy or set SCALO_TIDY_OPTIONAL=1 to" \
+            "accept the gap."
+        return 1
     fi
     local dir="$ROOT/build-ci-tidy"
     cmake -S "$ROOT" -B "$dir" \

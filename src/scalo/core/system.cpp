@@ -81,21 +81,6 @@ ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
     return result;
 }
 
-sim::SystemSimResult
-ScaloSystem::simulateWithFaults(
-    const std::vector<sched::FlowSpec> &flows,
-    const std::vector<double> &priorities,
-    const sched::Schedule &schedule, const sim::FaultPlan &faults,
-    const SimulateOptions &options,
-    const net::RetryPolicy &retry) const
-{
-    SimulateOptions merged = options;
-    merged.faults = faults;
-    merged.priorities = priorities;
-    merged.retry = retry;
-    return simulate(flows, schedule, merged);
-}
-
 app::QueryEngine
 ScaloSystem::makeQueryEngine(std::size_t window_samples) const
 {

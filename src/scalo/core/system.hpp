@@ -113,17 +113,6 @@ class ScaloSystem
              const sched::Schedule &schedule,
              const SimulateOptions &options = {}) const;
 
-    /** @deprecated Populate SimulateOptions::faults / priorities /
-     *  retry and call simulate() instead. */
-    [[deprecated("use simulate() with SimulateOptions::faults")]]
-    sim::SystemSimResult
-    simulateWithFaults(const std::vector<sched::FlowSpec> &flows,
-                       const std::vector<double> &priorities,
-                       const sched::Schedule &schedule,
-                       const sim::FaultPlan &faults,
-                       const SimulateOptions &options = {},
-                       const net::RetryPolicy &retry = {}) const;
-
     /**
      * An interactive QueryEngine sized for this system: one store
      * shard per implant, hashing seeded from the system seed so

@@ -38,7 +38,7 @@ ChaosDriver::~ChaosDriver()
 void
 ChaosDriver::start()
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     if (started)
         return;
     started = true;
@@ -49,15 +49,18 @@ void
 ChaosDriver::driverMain()
 {
     const auto t0 = std::chrono::steady_clock::now();
-    std::unique_lock<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     for (const Event &event : events) {
         const auto deadline =
             t0 + std::chrono::duration_cast<
                      std::chrono::steady_clock::duration>(
                      std::chrono::duration<double, std::milli>(
                          event.atMs));
-        cv.wait_until(lock, deadline,
-                      [this] { return stopping; });
+        while (!stopping) {
+            if (cv.waitUntil(lock, deadline) ==
+                std::cv_status::timeout)
+                break;
+        }
         if (stopping)
             return;
         // Flip outside the lock: setNodeDown is atomic and must not
@@ -66,35 +69,47 @@ ChaosDriver::driverMain()
         server.setNodeDown(event.node, event.down);
         lock.lock();
         ++fired;
-        cv.notify_all();
+        cv.notifyAll();
     }
 }
 
 void
 ChaosDriver::stop()
 {
+    std::thread toJoin;
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         stopping = true;
+        // Claim the handle under the lock (a bare joinable() probe
+        // would race a concurrent start()); join released, because
+        // the driver needs the lock to observe `stopping` and exit.
+        toJoin = std::move(driver);
     }
-    cv.notify_all();
-    if (driver.joinable())
-        driver.join();
+    cv.notifyAll();
+    if (toJoin.joinable())
+        toJoin.join();
 }
 
 bool
 ChaosDriver::waitDone(double timeout_ms)
 {
-    std::unique_lock<std::mutex> lock(mtx);
-    return cv.wait_for(
-        lock, std::chrono::duration<double, std::milli>(timeout_ms),
-        [this] { return stopping || fired == events.size(); });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms));
+    util::MutexLock lock(mtx);
+    while (!stopping && fired != events.size()) {
+        if (cv.waitUntil(lock, deadline) == std::cv_status::timeout)
+            return stopping || fired == events.size();
+    }
+    return true;
 }
 
 std::size_t
 ChaosDriver::applied() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     return fired;
 }
 

@@ -18,14 +18,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "scalo/serve/query_server.hpp"
 #include "scalo/sim/faults/fault_plan.hpp"
+#include "scalo/util/ranked_mutex.hpp"
 
 namespace scalo::serve {
 
@@ -77,15 +76,22 @@ class ChaosDriver
     void driverMain();
 
     QueryServer &server;
+    /** Fixed at construction; read lock-free. */
     std::vector<Event> events;
     std::size_t ignoredFaults = 0;
 
-    mutable std::mutex mtx;
-    std::condition_variable cv;
-    std::size_t fired = 0;
-    bool stopping = false;
-    bool started = false;
-    std::thread driver;
+    mutable util::RankedMutex<util::lockrank::kServeChaosDriver> mtx;
+    util::ConditionVariable cv;
+    std::size_t fired SCALO_GUARDED_BY(mtx) = 0;
+    bool stopping SCALO_GUARDED_BY(mtx) = false;
+    bool started SCALO_GUARDED_BY(mtx) = false;
+    /**
+     * The replay thread handle. Guarded: start() installs it and
+     * stop() *moves it out* under the lock, joining outside — a
+     * joinable() probe on the bare member would race a concurrent
+     * start() (a discipline bug the annotation sweep surfaced).
+     */
+    std::thread driver SCALO_GUARDED_BY(mtx);
 };
 
 } // namespace scalo::serve

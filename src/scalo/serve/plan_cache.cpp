@@ -13,7 +13,7 @@ PlanCache::PlanCache(std::size_t cap)
 PlanCache::Plan
 PlanCache::lookup(const std::string &key)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     const auto it = map.find(key);
     if (it == map.end()) {
         ++counters.misses;
@@ -27,7 +27,7 @@ PlanCache::lookup(const std::string &key)
 PlanCache::Plan
 PlanCache::insert(const std::string &key, Plan plan)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     const auto it = map.find(key);
     if (it != map.end()) {
         // A racing compile got here first; keep the incumbent (every
@@ -67,7 +67,7 @@ PlanCache::getOrCompile(const app::QueryEngine &engine,
 PlanCache::Stats
 PlanCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     Stats snapshot = counters;
     snapshot.size = lru.size();
     return snapshot;
@@ -76,7 +76,7 @@ PlanCache::stats() const
 void
 PlanCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     map.clear();
     lru.clear();
 }

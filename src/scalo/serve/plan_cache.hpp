@@ -9,10 +9,12 @@
  * engine's batch executor coalesce their verification work into a
  * single kernel call and run the query once for all of them.
  *
- * Thread-safe: all operations take the internal mutex. Compilation
- * for a missing key runs outside the lock, so two threads racing on
- * the same cold key may both compile; the second insert wins nothing
- * but wastes only its own compile.
+ * Thread-safe: all operations take the internal mutex (annotated —
+ * the guarded members are compile-time enforced under Clang's
+ * thread-safety analysis). Compilation for a missing key runs
+ * outside the lock, so two threads racing on the same cold key may
+ * both compile; the second insert wins nothing but wastes only its
+ * own compile.
  */
 
 #pragma once
@@ -20,11 +22,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "scalo/app/query_engine.hpp"
+#include "scalo/util/ranked_mutex.hpp"
 
 namespace scalo::serve {
 
@@ -86,12 +88,14 @@ class PlanCache
         Plan plan;
     };
 
-    /** MRU-first recency list; the map points into it. */
-    mutable std::mutex mtx;
+    mutable util::RankedMutex<util::lockrank::kServePlanCache> mtx;
+    /** Fixed at construction; read lock-free. */
     std::size_t capacity;
-    std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> map;
-    Stats counters;
+    /** MRU-first recency list; the map points into it. */
+    std::list<Entry> lru SCALO_GUARDED_BY(mtx);
+    std::unordered_map<std::string, std::list<Entry>::iterator>
+        map SCALO_GUARDED_BY(mtx);
+    Stats counters SCALO_GUARDED_BY(mtx);
 };
 
 } // namespace scalo::serve

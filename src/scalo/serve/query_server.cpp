@@ -74,7 +74,7 @@ QueryServer::submit(const std::string &tenant,
 
     TicketPtr ticket;
     {
-        std::unique_lock<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         if (stopping)
             return {SubmitStatus::ShuttingDown, kInvalidTicket};
         if (!valid) {
@@ -113,7 +113,7 @@ QueryServer::submit(const std::string &tenant,
     ticket->cls = classify(ticket->plan->query);
 
     {
-        std::unique_lock<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         ++totalMetrics.submitted;
         ++tenantAggregates[tenant].submitted;
         ++classAggregates[static_cast<std::size_t>(ticket->cls)]
@@ -130,14 +130,13 @@ QueryServer::submit(const std::string &tenant,
         // (A cancel that raced the compile already finished it; the
         // tombstone never reaches the queue.)
     }
-    workCv.notify_one();
+    workCv.notifyOne();
     return {SubmitStatus::Accepted, ticket->id};
 }
 
 std::vector<QueryServer::TicketPtr>
-QueryServer::claimBatchLocked(std::unique_lock<std::mutex> &lock)
+QueryServer::claimBatchLocked()
 {
-    (void)lock;
     std::vector<TicketPtr> batch;
     while (!queue.empty() && batch.size() < cfg.maxBatch) {
         TicketPtr ticket = std::move(queue.front());
@@ -170,7 +169,7 @@ QueryServer::finishTicketLocked(const TicketPtr &ticket,
         ++totalMetrics.cancelled;
         ++tenantAggregates[ticket->tenant].cancelled;
     }
-    doneCv.notify_all();
+    doneCv.notifyAll();
 }
 
 std::size_t
@@ -192,7 +191,7 @@ QueryServer::executeBatch(std::vector<TicketPtr> &batch)
 
     std::size_t completed = 0;
     {
-        std::unique_lock<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             const TicketPtr &ticket = batch[i];
             SCALO_ASSERT(running > 0, "running underflow");
@@ -224,14 +223,13 @@ QueryServer::executeBatch(std::vector<TicketPtr> &batch)
 void
 QueryServer::dispatcherMain()
 {
-    std::unique_lock<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     for (;;) {
-        workCv.wait(lock, [this] {
-            return stopping || (!paused && !queue.empty());
-        });
+        while (!stopping && (paused || queue.empty()))
+            workCv.wait(lock);
         if (stopping)
             return;
-        std::vector<TicketPtr> batch = claimBatchLocked(lock);
+        std::vector<TicketPtr> batch = claimBatchLocked();
         if (batch.empty())
             continue;
         lock.unlock();
@@ -245,8 +243,8 @@ QueryServer::runOnce()
 {
     std::vector<TicketPtr> batch;
     {
-        std::unique_lock<std::mutex> lock(mtx);
-        batch = claimBatchLocked(lock);
+        util::MutexLock lock(mtx);
+        batch = claimBatchLocked();
     }
     return executeBatch(batch);
 }
@@ -254,7 +252,7 @@ QueryServer::runOnce()
 QueryResponse
 QueryServer::poll(TicketId id)
 {
-    std::unique_lock<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     const auto it = tickets.find(id);
     if (it == tickets.end()) {
         QueryResponse unknown;
@@ -282,7 +280,7 @@ QueryServer::wait(TicketId id, double timeout_ms)
         std::chrono::duration_cast<
             std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(timeout_ms));
-    std::unique_lock<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     for (;;) {
         const auto it = tickets.find(id);
         if (it == tickets.end()) {
@@ -296,7 +294,7 @@ QueryServer::wait(TicketId id, double timeout_ms)
             tickets.erase(it);
             return response;
         }
-        if (doneCv.wait_until(lock, deadline) ==
+        if (doneCv.waitUntil(lock, deadline) ==
             std::cv_status::timeout) {
             // One last check: the finish may have raced the clock.
             const auto again = tickets.find(id);
@@ -316,7 +314,7 @@ QueryServer::wait(TicketId id, double timeout_ms)
 bool
 QueryServer::cancel(TicketId id)
 {
-    std::unique_lock<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     const auto it = tickets.find(id);
     if (it == tickets.end())
         return false;
@@ -342,20 +340,20 @@ void
 QueryServer::pause()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         paused = true;
     }
-    workCv.notify_all();
+    workCv.notifyAll();
 }
 
 void
 QueryServer::resume()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         paused = false;
     }
-    workCv.notify_all();
+    workCv.notifyAll();
 }
 
 bool
@@ -366,16 +364,20 @@ QueryServer::drain(double timeout_ms)
         std::chrono::duration_cast<
             std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(timeout_ms));
-    std::unique_lock<std::mutex> lock(mtx);
-    return doneCv.wait_until(lock, deadline,
-                             [this] { return live == 0; });
+    util::MutexLock lock(mtx);
+    while (live != 0) {
+        if (doneCv.waitUntil(lock, deadline) ==
+            std::cv_status::timeout)
+            return live == 0;
+    }
+    return true;
 }
 
 void
 QueryServer::stop()
 {
     {
-        std::unique_lock<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         if (!stopping) {
             stopping = true;
             // Everything still queued is cancelled; running batches
@@ -387,7 +389,7 @@ QueryServer::stop()
             queue.clear();
         }
     }
-    workCv.notify_all();
+    workCv.notifyAll();
     for (std::thread &dispatcher : dispatchers)
         if (dispatcher.joinable())
             dispatcher.join();
@@ -397,28 +399,28 @@ QueryServer::stop()
 std::size_t
 QueryServer::inFlight() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     return live;
 }
 
 std::size_t
 QueryServer::peakInFlight() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     return peak;
 }
 
 Metrics
 QueryServer::totals() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     return totalMetrics;
 }
 
 Metrics
 QueryServer::tenantMetrics(const std::string &tenant) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     const auto it = tenantAggregates.find(tenant);
     return it != tenantAggregates.end() ? it->second : Metrics{};
 }
@@ -426,14 +428,14 @@ QueryServer::tenantMetrics(const std::string &tenant) const
 Metrics
 QueryServer::classMetrics(QueryClass cls) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     return classAggregates[static_cast<std::size_t>(cls)];
 }
 
 Metrics
 QueryServer::nodeMetrics(NodeId node) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     SCALO_ASSERT(node < nodeAggregates.size(), "node out of range");
     return nodeAggregates[node];
 }
@@ -441,7 +443,7 @@ QueryServer::nodeMetrics(NodeId node) const
 std::vector<std::string>
 QueryServer::tenants() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     std::vector<std::string> names;
     names.reserve(tenantAggregates.size());
     for (const auto &[name, metrics] : tenantAggregates)

@@ -44,11 +44,9 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -58,6 +56,7 @@
 #include "scalo/app/query_engine.hpp"
 #include "scalo/serve/metrics.hpp"
 #include "scalo/serve/plan_cache.hpp"
+#include "scalo/util/ranked_mutex.hpp"
 
 namespace scalo::serve {
 
@@ -245,36 +244,40 @@ class QueryServer
 
     void dispatcherMain();
     /** Pop up to maxBatch runnable tickets; requires the lock. */
-    std::vector<TicketPtr>
-    claimBatchLocked(std::unique_lock<std::mutex> &lock);
+    std::vector<TicketPtr> claimBatchLocked() SCALO_REQUIRES(mtx);
     /** Execute a claimed batch (lock NOT held). */
-    std::size_t executeBatch(std::vector<TicketPtr> &batch);
+    std::size_t executeBatch(std::vector<TicketPtr> &batch)
+        SCALO_EXCLUDES(mtx);
     void finishTicketLocked(const TicketPtr &ticket,
-                            TicketState terminal);
+                            TicketState terminal)
+        SCALO_REQUIRES(mtx);
 
     app::QueryEngine &queryEngine;
     ServeConfig cfg;
     PlanCache planCache;
 
-    mutable std::mutex mtx;
-    std::condition_variable workCv;
-    std::condition_variable doneCv;
-    std::deque<TicketPtr> queue;
-    std::unordered_map<TicketId, TicketPtr> tickets;
-    std::unordered_map<std::string, std::size_t> tenantInFlight;
-    TicketId nextTicket = 1;
+    mutable util::RankedMutex<util::lockrank::kServeQueryServer> mtx;
+    util::ConditionVariable workCv;
+    util::ConditionVariable doneCv;
+    std::deque<TicketPtr> queue SCALO_GUARDED_BY(mtx);
+    std::unordered_map<TicketId, TicketPtr>
+        tickets SCALO_GUARDED_BY(mtx);
+    std::unordered_map<std::string, std::size_t>
+        tenantInFlight SCALO_GUARDED_BY(mtx);
+    TicketId nextTicket SCALO_GUARDED_BY(mtx) = 1;
     /** Accepted tickets not yet terminal (queued + running). */
-    std::size_t live = 0;
-    std::size_t running = 0;
-    std::size_t peak = 0;
-    bool paused = false;
-    bool stopping = false;
+    std::size_t live SCALO_GUARDED_BY(mtx) = 0;
+    std::size_t running SCALO_GUARDED_BY(mtx) = 0;
+    std::size_t peak SCALO_GUARDED_BY(mtx) = 0;
+    bool paused SCALO_GUARDED_BY(mtx) = false;
+    bool stopping SCALO_GUARDED_BY(mtx) = false;
 
-    // Aggregates, guarded by mtx.
-    Metrics totalMetrics;
-    std::unordered_map<std::string, Metrics> tenantAggregates;
-    std::array<Metrics, kQueryClasses> classAggregates;
-    std::vector<Metrics> nodeAggregates;
+    Metrics totalMetrics SCALO_GUARDED_BY(mtx);
+    std::unordered_map<std::string, Metrics>
+        tenantAggregates SCALO_GUARDED_BY(mtx);
+    std::array<Metrics, kQueryClasses>
+        classAggregates SCALO_GUARDED_BY(mtx);
+    std::vector<Metrics> nodeAggregates SCALO_GUARDED_BY(mtx);
 
     std::vector<std::thread> dispatchers;
 };

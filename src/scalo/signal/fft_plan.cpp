@@ -1,11 +1,11 @@
 #include "scalo/signal/fft_plan.hpp"
 
 #include <map>
-#include <mutex>
 #include <numbers>
 #include <utility>
 
 #include "scalo/util/logging.hpp"
+#include "scalo/util/ranked_mutex.hpp"
 
 namespace scalo::signal {
 
@@ -16,6 +16,16 @@ isPowerOfTwo(std::size_t n)
 {
     return n != 0 && (n & (n - 1)) == 0;
 }
+
+/**
+ * The process-wide plan cache. File-scope (not function-static) so
+ * the guarded_by relation is visible to the thread-safety analysis.
+ * Construction order is irrelevant: both are only touched from
+ * FftPlan::forSize().
+ */
+util::RankedMutex<util::lockrank::kFftPlanCache> g_cacheMtx;
+std::map<std::size_t, std::shared_ptr<const FftPlan>>
+    g_cache SCALO_GUARDED_BY(g_cacheMtx);
 
 } // namespace
 
@@ -167,20 +177,19 @@ std::shared_ptr<const FftPlan>
 FftPlan::forSize(std::size_t n)
 {
     SCALO_ASSERT(isPowerOfTwo(n), "FFT size ", n, " not a power of two");
-    static std::mutex cache_mtx;
-    static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
     {
-        std::lock_guard<std::mutex> lock(cache_mtx);
-        auto it = cache.find(n);
-        if (it != cache.end())
+        util::MutexLock lock(g_cacheMtx);
+        auto it = g_cache.find(n);
+        if (it != g_cache.end())
             return it->second;
     }
     // Construct outside the lock: the constructor recurses into
-    // forSize(n/2) for its rfft half-plan. A racing duplicate
-    // construction is benign; first insert wins.
+    // forSize(n/2) for its rfft half-plan (which would self-deadlock
+    // under the lock — the rank checker would flag the reentry). A
+    // racing duplicate construction is benign; first insert wins.
     auto plan = std::make_shared<const FftPlan>(n);
-    std::lock_guard<std::mutex> lock(cache_mtx);
-    auto [it, inserted] = cache.emplace(n, std::move(plan));
+    util::MutexLock lock(g_cacheMtx);
+    auto [it, inserted] = g_cache.emplace(n, std::move(plan));
     return it->second;
 }
 

@@ -1,0 +1,133 @@
+#include "scalo/util/ranked_mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "scalo/util/contracts.hpp"
+#include "scalo/util/logging.hpp"
+
+namespace scalo::util {
+
+namespace {
+
+/**
+ * The per-thread held-rank stack. Fixed-size: the deepest legal
+ * nesting is the rank table's height, so 64 is generous; blowing it
+ * is a bug in its own right.
+ */
+constexpr std::size_t kMaxHeldLocks = 64;
+thread_local int t_heldRanks[kMaxHeldLocks];
+thread_local std::size_t t_heldCount = 0;
+
+/**
+ * Checking follows the contracts layer's build-time default (on in
+ * Debug / sanitizer builds, off in Release) but stays runtime-
+ * flippable so tests exercise the discipline in every build type.
+ */
+std::atomic<bool> g_checking{SCALO_CONTRACTS != 0};
+
+void
+reportRankViolation(int rank, int held)
+{
+    // Routed through the contracts handler so tests observe it the
+    // same way they observe any contract violation (throwing handler)
+    // and production gets the print-and-abort default.
+    thread_local char message[96];
+    std::snprintf(message, sizeof(message),
+                  "lock-rank order: acquiring rank %d while holding "
+                  "rank %d (must ascend)",
+                  rank, held);
+    contractViolated("lock-rank", message, __FILE__, __LINE__);
+}
+
+void
+pushRank(int rank)
+{
+    SCALO_ASSERT(t_heldCount < kMaxHeldLocks,
+                 "held-lock stack overflow (", kMaxHeldLocks,
+                 " nested locks)");
+    t_heldRanks[t_heldCount++] = rank;
+}
+
+} // namespace
+
+namespace lockrank_detail {
+
+void
+noteAcquire(int rank)
+{
+    if (!g_checking.load(std::memory_order_relaxed))
+        return;
+    // A blocking acquisition must exceed EVERY held rank, not just
+    // the most recent: an out-of-order try_lock may have left the
+    // stack non-ascending, and the deadlock potential is against the
+    // highest lock held.
+    int highest = 0;
+    for (std::size_t i = 0; i < t_heldCount; ++i)
+        highest = t_heldRanks[i] > highest ? t_heldRanks[i] : highest;
+    if (highest >= rank) {
+        // Report BEFORE recording or locking anything: a throwing
+        // handler propagates out of Mutex::lock() with the mutex
+        // untouched and the stack intact.
+        reportRankViolation(rank, highest);
+    }
+    pushRank(rank);
+}
+
+void
+noteTryAcquire(int rank)
+{
+    // try_lock never blocks, so out-of-rank try acquisition cannot
+    // deadlock; record it (later ordered acquires still check
+    // against it) without an order check.
+    if (!g_checking.load(std::memory_order_relaxed))
+        return;
+    pushRank(rank);
+}
+
+void
+noteRelease(int rank)
+{
+    if (!g_checking.load(std::memory_order_relaxed))
+        return;
+    // Locks may be released in any order; remove the topmost
+    // occurrence of this rank. A rank that was never recorded (the
+    // checker was toggled mid-hold) is ignored, so toggling can
+    // never corrupt the stack into false positives.
+    for (std::size_t i = t_heldCount; i-- > 0;) {
+        if (t_heldRanks[i] == rank) {
+            for (std::size_t j = i + 1; j < t_heldCount; ++j)
+                t_heldRanks[j - 1] = t_heldRanks[j];
+            --t_heldCount;
+            return;
+        }
+    }
+}
+
+} // namespace lockrank_detail
+
+std::size_t
+heldLockCount() noexcept
+{
+    return t_heldCount;
+}
+
+int
+topHeldRank() noexcept
+{
+    return t_heldCount ? t_heldRanks[t_heldCount - 1] : 0;
+}
+
+bool
+setLockRankChecking(bool enabled) noexcept
+{
+    return g_checking.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool
+lockRankCheckingEnabled() noexcept
+{
+    return g_checking.load(std::memory_order_relaxed);
+}
+
+} // namespace scalo::util

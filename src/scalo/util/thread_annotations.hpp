@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Compile-time thread-safety layer: Clang thread-safety-analysis
+ * attribute macros plus the annotated mutex vocabulary the whole
+ * codebase locks through.
+ *
+ * Under Clang (`-Wthread-safety`, part of the strict CI gate) the
+ * macros expand to capability attributes, so "which lock guards which
+ * state" is machine-checked at compile time: reading a
+ * `SCALO_GUARDED_BY(mtx)` member without holding `mtx`, calling a
+ * `SCALO_REQUIRES(mtx)` helper unlocked, or returning with a lock
+ * still held is a build error, not a TSan roll of the dice. On any
+ * other compiler every macro expands to nothing and the wrappers
+ * degrade to plain `std::mutex` semantics.
+ *
+ * The vocabulary:
+ *  - `Mutex` — an annotated exclusive capability over `std::mutex`.
+ *    Construction REQUIRES a lock rank (see ranked_mutex.hpp): an
+ *    unranked mutex does not compile, so every lock in the codebase
+ *    is in the documented ordering table (DESIGN.md, "Concurrency
+ *    model"). In contract-checked builds (Debug / sanitizer) each
+ *    acquisition is validated against a thread-local held-rank stack,
+ *    catching deadlock *cycles* the static analysis cannot see.
+ *  - `MutexLock` — the scoped (RAII) acquisition; relockable, so a
+ *    dispatcher can drop the lock around a batch and retake it.
+ *  - `ConditionVariable` — condition waits against a `MutexLock`.
+ *    There is deliberately no predicate overload: spell the wait as
+ *    `while (!cond) cv.wait(lock);` inside the capability-holding
+ *    function so the analysis sees every guarded read.
+ *
+ * The macro names and semantics follow the Clang thread-safety
+ * reference (capability, guarded_by, requires_capability, ...).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#  if __has_attribute(capability)
+#    define SCALO_THREAD_ANNOTATION(x) __attribute__((x))
+#  endif
+#endif
+#ifndef SCALO_THREAD_ANNOTATION
+#  define SCALO_THREAD_ANNOTATION(x) // degrades to nothing off-Clang
+#endif
+
+/** Type-level: this class is a lockable capability named @p x. */
+#define SCALO_CAPABILITY(x) SCALO_THREAD_ANNOTATION(capability(x))
+/** Type-level: RAII object acquiring/releasing a capability. */
+#define SCALO_SCOPED_CAPABILITY \
+    SCALO_THREAD_ANNOTATION(scoped_lockable)
+/** Member: readable/writable only while holding @p x. */
+#define SCALO_GUARDED_BY(x) SCALO_THREAD_ANNOTATION(guarded_by(x))
+/** Member (pointer): the pointee is guarded by @p x. */
+#define SCALO_PT_GUARDED_BY(x) \
+    SCALO_THREAD_ANNOTATION(pt_guarded_by(x))
+/** Declared acquisition order between capabilities. */
+#define SCALO_ACQUIRED_BEFORE(...) \
+    SCALO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SCALO_ACQUIRED_AFTER(...) \
+    SCALO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/** Function: caller must already hold the capability. */
+#define SCALO_REQUIRES(...) \
+    SCALO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SCALO_REQUIRES_SHARED(...) \
+    SCALO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/** Function: acquires the capability (held on return). */
+#define SCALO_ACQUIRE(...) \
+    SCALO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SCALO_ACQUIRE_SHARED(...) \
+    SCALO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/** Function: releases the capability (not held on return). */
+#define SCALO_RELEASE(...) \
+    SCALO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SCALO_RELEASE_SHARED(...) \
+    SCALO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/** Function: acquires when returning @p ... (try_lock idiom). */
+#define SCALO_TRY_ACQUIRE(...) \
+    SCALO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/** Function: must NOT hold the capability (anti-deadlock). */
+#define SCALO_EXCLUDES(...) \
+    SCALO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/** Assertion: the capability is held here (runtime-checked entry). */
+#define SCALO_ASSERT_CAPABILITY(x) \
+    SCALO_THREAD_ANNOTATION(assert_capability(x))
+/** Function: returns a reference to the capability @p x. */
+#define SCALO_RETURN_CAPABILITY(x) \
+    SCALO_THREAD_ANNOTATION(lock_returned(x))
+/** Escape hatch: skip analysis inside one function. */
+#define SCALO_NO_THREAD_SAFETY_ANALYSIS \
+    SCALO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace scalo::util {
+
+namespace lockrank_detail {
+
+/**
+ * Held-rank stack hooks (implemented in ranked_mutex.cpp). Checking
+ * is active when lock-rank checking is enabled — by default in
+ * contract-checked (Debug / sanitizer) builds — and free otherwise.
+ */
+void noteAcquire(int rank);
+/** try_lock cannot deadlock, so it records without an order check. */
+void noteTryAcquire(int rank);
+void noteRelease(int rank);
+
+} // namespace lockrank_detail
+
+/**
+ * Annotated exclusive mutex. Every instance declares its lock rank
+ * (a lockrank:: constant): ranks must be acquired in strictly
+ * ascending order per thread, checked at runtime in contract-checked
+ * builds through the thread-local held-rank stack. A rank violation
+ * reports through the contracts violation handler *before* the
+ * underlying mutex is touched, so a throwing test handler leaves the
+ * mutex unlocked and consistent.
+ */
+class SCALO_CAPABILITY("mutex") Mutex
+{
+  public:
+    /** @param rank this lock's position in the global ordering. */
+    explicit Mutex(int rank) noexcept : mutexRank(rank) {}
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() SCALO_ACQUIRE()
+    {
+        lockrank_detail::noteAcquire(mutexRank);
+        m.lock();
+    }
+
+    void
+    unlock() SCALO_RELEASE()
+    {
+        m.unlock();
+        lockrank_detail::noteRelease(mutexRank);
+    }
+
+    bool
+    try_lock() SCALO_TRY_ACQUIRE(true)
+    {
+        if (!m.try_lock())
+            return false;
+        lockrank_detail::noteTryAcquire(mutexRank);
+        return true;
+    }
+
+    int rank() const noexcept { return mutexRank; }
+
+  private:
+    friend class ConditionVariable;
+
+    std::mutex m;
+    int mutexRank;
+};
+
+/**
+ * Scoped acquisition of a Mutex. Relockable: unlock()/lock() let a
+ * holder drop the capability around a long operation (the dispatcher
+ * batch idiom) while the analysis tracks the hand-offs.
+ */
+class SCALO_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) SCALO_ACQUIRE(mutex) : mu(mutex)
+    {
+        mu.lock();
+    }
+
+    ~MutexLock() SCALO_RELEASE()
+    {
+        if (owned)
+            mu.unlock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Drop the capability before scope exit. @pre currently held. */
+    void
+    unlock() SCALO_RELEASE()
+    {
+        mu.unlock();
+        owned = false;
+    }
+
+    /** Retake the capability. @pre currently released. */
+    void
+    lock() SCALO_ACQUIRE()
+    {
+        mu.lock();
+        owned = true;
+    }
+
+  private:
+    friend class ConditionVariable;
+
+    Mutex &mu;
+    bool owned = true;
+};
+
+/**
+ * Condition waits over the annotated Mutex. Waits take the scoped
+ * MutexLock; the capability is held on entry and again on return
+ * (the underlying mutex is atomically released while blocked, as
+ * usual). While blocked the thread acquires nothing, so the held-rank
+ * stack deliberately keeps the lock's rank across the wait.
+ */
+class ConditionVariable
+{
+  public:
+    ConditionVariable() = default;
+    ConditionVariable(const ConditionVariable &) = delete;
+    ConditionVariable &operator=(const ConditionVariable &) = delete;
+
+    /** Block until notified (or spuriously woken). */
+    void
+    wait(MutexLock &lock)
+    {
+        std::unique_lock<std::mutex> raw(lock.mu.m, std::adopt_lock);
+        cv.wait(raw);
+        raw.release();
+    }
+
+    /** Block until notified or @p deadline. */
+    std::cv_status
+    waitUntil(MutexLock &lock,
+              std::chrono::steady_clock::time_point deadline)
+    {
+        std::unique_lock<std::mutex> raw(lock.mu.m, std::adopt_lock);
+        const std::cv_status status = cv.wait_until(raw, deadline);
+        raw.release();
+        return status;
+    }
+
+    void notifyOne() noexcept { cv.notify_one(); }
+    void notifyAll() noexcept { cv.notify_all(); }
+
+  private:
+    std::condition_variable cv;
+};
+
+} // namespace scalo::util

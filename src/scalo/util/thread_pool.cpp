@@ -16,10 +16,10 @@ struct ThreadPool::Loop
     const std::function<void(std::size_t)> *fn = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::exception_ptr error;
-    std::mutex errorMtx;
-    std::mutex doneMtx;
-    std::condition_variable doneCv;
+    RankedMutex<lockrank::kThreadPoolLoopError> errorMtx;
+    std::exception_ptr error SCALO_GUARDED_BY(errorMtx);
+    RankedMutex<lockrank::kThreadPoolLoopDone> doneMtx;
+    ConditionVariable doneCv;
 };
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -34,10 +34,10 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         stopping = true;
     }
-    cv.notify_all();
+    cv.notifyAll();
     for (std::thread &worker : workers)
         worker.join();
 }
@@ -60,14 +60,14 @@ ThreadPool::runOne(const std::shared_ptr<Loop> &loop)
         try {
             (*loop->fn)(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(loop->errorMtx);
+            MutexLock lock(loop->errorMtx);
             if (!loop->error)
                 loop->error = std::current_exception();
         }
         if (loop->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             loop->count) {
-            std::lock_guard<std::mutex> lock(loop->doneMtx);
-            loop->doneCv.notify_all();
+            MutexLock lock(loop->doneMtx);
+            loop->doneCv.notifyAll();
         }
     }
 }
@@ -78,13 +78,12 @@ ThreadPool::workerMain()
     for (;;) {
         std::shared_ptr<Loop> loop;
         {
-            std::unique_lock<std::mutex> lock(mtx);
-            cv.wait(lock,
-                    [this] { return stopping || !pending.empty(); });
+            MutexLock lock(mtx);
+            while (!stopping && pending.empty())
+                cv.wait(lock);
             if (pending.empty()) {
-                if (stopping)
-                    return;
-                continue;
+                // Only reachable when stopping: drain then exit.
+                return;
             }
             loop = pending.front();
             // Leave the loop queued until its indices are exhausted
@@ -98,7 +97,7 @@ ThreadPool::workerMain()
         }
         runOne(loop);
         {
-            std::lock_guard<std::mutex> lock(mtx);
+            MutexLock lock(mtx);
             if (!pending.empty() && pending.front() == loop &&
                 loop->next.load(std::memory_order_relaxed) >=
                     loop->count) {
@@ -124,22 +123,29 @@ ThreadPool::parallelFor(std::size_t count,
     loop->count = count;
     loop->fn = &fn;
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         pending.push_back(loop);
     }
-    cv.notify_all();
+    cv.notifyAll();
 
     // The caller helps drain its own loop, then waits for stragglers.
     runOne(loop);
     {
-        std::unique_lock<std::mutex> lock(loop->doneMtx);
-        loop->doneCv.wait(lock, [&] {
-            return loop->done.load(std::memory_order_acquire) >=
-                   loop->count;
-        });
+        MutexLock lock(loop->doneMtx);
+        while (loop->done.load(std::memory_order_acquire) <
+               loop->count)
+            loop->doneCv.wait(lock);
     }
-    if (loop->error)
-        std::rethrow_exception(loop->error);
+    // All iterations are done (acquire above), but take the error
+    // lock anyway: the annotated contract on `error` is uniform, and
+    // the uncontended acquisition costs nothing here.
+    std::exception_ptr error;
+    {
+        MutexLock lock(loop->errorMtx);
+        error = loop->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace scalo::util

@@ -10,13 +10,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "scalo/util/ranked_mutex.hpp"
 
 namespace scalo::util {
 
@@ -59,10 +60,10 @@ class ThreadPool
     static void runOne(const std::shared_ptr<Loop> &loop);
 
     std::vector<std::thread> workers;
-    std::deque<std::shared_ptr<Loop>> pending;
-    std::mutex mtx;
-    std::condition_variable cv;
-    bool stopping = false;
+    RankedMutex<lockrank::kThreadPoolQueue> mtx;
+    ConditionVariable cv;
+    std::deque<std::shared_ptr<Loop>> pending SCALO_GUARDED_BY(mtx);
+    bool stopping SCALO_GUARDED_BY(mtx) = false;
 };
 
 } // namespace scalo::util

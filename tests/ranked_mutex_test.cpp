@@ -1,0 +1,235 @@
+// The ranked-mutex deadlock discipline: acquisitions must ascend in
+// rank, checked at runtime against a thread-local held-rank stack,
+// with violations routed through the contracts handler. These tests
+// force checking on (it defaults to the contracts build setting) and
+// install a throwing handler, so the discipline is exercised in every
+// build type — including the tier-1 RelWithDebInfo tree where
+// contracts themselves are compiled out.
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "scalo/util/contracts.hpp"
+#include "scalo/util/ranked_mutex.hpp"
+
+namespace {
+
+using scalo::util::ConditionVariable;
+using scalo::util::MutexLock;
+using scalo::util::OrderedLockPair;
+using scalo::util::RankedMutex;
+
+struct RankViolation
+{
+    std::string kind;
+    std::string condition;
+};
+
+void
+throwingHandler(const char *kind, const char *condition, const char *,
+                int)
+{
+    throw RankViolation{kind, condition};
+}
+
+class RankedMutexTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        previousChecking = scalo::util::setLockRankChecking(true);
+        previousHandler =
+            scalo::util::setContractHandler(&throwingHandler);
+        ASSERT_EQ(scalo::util::heldLockCount(), 0u);
+    }
+
+    void
+    TearDown() override
+    {
+        EXPECT_EQ(scalo::util::heldLockCount(), 0u)
+            << "a test leaked a held rank";
+        scalo::util::setContractHandler(previousHandler);
+        scalo::util::setLockRankChecking(previousChecking);
+    }
+
+    bool previousChecking = false;
+    scalo::util::ContractHandler previousHandler = nullptr;
+};
+
+TEST_F(RankedMutexTest, AscendingAcquisitionPasses)
+{
+    RankedMutex<10> low;
+    RankedMutex<20> mid;
+    RankedMutex<30> high;
+
+    MutexLock first(low);
+    EXPECT_EQ(scalo::util::topHeldRank(), 10);
+    {
+        MutexLock second(mid);
+        MutexLock third(high);
+        EXPECT_EQ(scalo::util::heldLockCount(), 3u);
+        EXPECT_EQ(scalo::util::topHeldRank(), 30);
+    }
+    EXPECT_EQ(scalo::util::heldLockCount(), 1u);
+}
+
+TEST_F(RankedMutexTest, InvertedAcquisitionReportsViolation)
+{
+    RankedMutex<10> low;
+    RankedMutex<20> high;
+
+    MutexLock outer(high);
+    try {
+        MutexLock inner(low);
+        FAIL() << "rank inversion did not reach the handler";
+    } catch (const RankViolation &v) {
+        EXPECT_EQ(v.kind, "lock-rank");
+        EXPECT_NE(v.condition.find("acquiring rank 10"),
+                  std::string::npos);
+        EXPECT_NE(v.condition.find("holding rank 20"),
+                  std::string::npos);
+    }
+
+    // The refused acquisition left `low` untouched: it is still
+    // free, and the held stack still only records `high`.
+    EXPECT_EQ(scalo::util::heldLockCount(), 1u);
+    EXPECT_EQ(scalo::util::topHeldRank(), 20);
+    EXPECT_TRUE(low.try_lock());
+    low.unlock();
+}
+
+TEST_F(RankedMutexTest, EqualRankReacquisitionReportsViolation)
+{
+    // Two locks of the same rank are unordered relative to each
+    // other, so nesting them is an (ABBA-able) violation too.
+    RankedMutex<10> a;
+    RankedMutex<10> b;
+
+    MutexLock outer(a);
+    EXPECT_THROW({ MutexLock inner(b); }, RankViolation);
+}
+
+TEST_F(RankedMutexTest, RankStackUnwindsAcrossExceptions)
+{
+    RankedMutex<10> low;
+    RankedMutex<20> high;
+
+    try {
+        MutexLock first(low);
+        MutexLock second(high);
+        EXPECT_EQ(scalo::util::heldLockCount(), 2u);
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(scalo::util::heldLockCount(), 0u);
+
+    // Both locks are free and reusable after the unwind.
+    MutexLock again_low(low);
+    MutexLock again_high(high);
+    EXPECT_EQ(scalo::util::heldLockCount(), 2u);
+}
+
+TEST_F(RankedMutexTest, TryLockRecordsWithoutOrderCheck)
+{
+    RankedMutex<10> low;
+    RankedMutex<20> high;
+
+    // try_lock cannot block, so taking a *lower* rank via try_lock
+    // while holding a higher one is deadlock-free and allowed...
+    MutexLock outer(high);
+    ASSERT_TRUE(low.try_lock());
+    EXPECT_EQ(scalo::util::heldLockCount(), 2u);
+
+    // ...but it is recorded: ordered acquisitions still check
+    // against it.
+    RankedMutex<15> mid;
+    EXPECT_THROW({ MutexLock inner(mid); }, RankViolation);
+
+    low.unlock();
+    EXPECT_EQ(scalo::util::heldLockCount(), 1u);
+}
+
+TEST_F(RankedMutexTest, OrderedLockPairAcquiresBothInOrder)
+{
+    RankedMutex<10> low;
+    RankedMutex<20> high;
+    {
+        OrderedLockPair pair(low, high);
+        EXPECT_EQ(scalo::util::heldLockCount(), 2u);
+        EXPECT_EQ(scalo::util::topHeldRank(), 20);
+    }
+    EXPECT_EQ(scalo::util::heldLockCount(), 0u);
+}
+
+TEST_F(RankedMutexTest, RelockCycleMaintainsStack)
+{
+    // The dispatcher idiom: drop the lock around a batch, retake it.
+    RankedMutex<10> mtx;
+    MutexLock lock(mtx);
+    EXPECT_EQ(scalo::util::heldLockCount(), 1u);
+    lock.unlock();
+    EXPECT_EQ(scalo::util::heldLockCount(), 0u);
+    lock.lock();
+    EXPECT_EQ(scalo::util::heldLockCount(), 1u);
+}
+
+TEST_F(RankedMutexTest, HeldStackIsPerThread)
+{
+    RankedMutex<10> mtx;
+    MutexLock lock(mtx);
+
+    std::size_t observed = 99;
+    std::thread probe([&] {
+        // Checking is process-wide but the stack is thread-local:
+        // this thread holds nothing.
+        observed = scalo::util::heldLockCount();
+    });
+    probe.join();
+    EXPECT_EQ(observed, 0u);
+    EXPECT_EQ(scalo::util::heldLockCount(), 1u);
+}
+
+TEST_F(RankedMutexTest, DisabledCheckingSkipsViolations)
+{
+    scalo::util::setLockRankChecking(false);
+    EXPECT_FALSE(scalo::util::lockRankCheckingEnabled());
+
+    RankedMutex<10> low;
+    RankedMutex<20> high;
+    {
+        MutexLock outer(high);
+        MutexLock inner(low); // inverted, but unchecked: no throw
+        EXPECT_EQ(scalo::util::heldLockCount(), 0u);
+    }
+    scalo::util::setLockRankChecking(true);
+}
+
+TEST_F(RankedMutexTest, ConditionVariableRoundTrip)
+{
+    // Smoke the ConditionVariable wrapper end to end: a worker flips
+    // a guarded flag, the waiter loops on it (the TSA-friendly
+    // predicate-free idiom used across the runtime).
+    RankedMutex<10> mtx;
+    ConditionVariable cv;
+    bool ready = false; // guarded by mtx (a local: not annotatable)
+
+    std::thread worker([&] {
+        MutexLock lock(mtx);
+        ready = true;
+        cv.notifyAll();
+    });
+
+    {
+        MutexLock lock(mtx);
+        while (!ready)
+            cv.wait(lock);
+        EXPECT_EQ(scalo::util::heldLockCount(), 1u);
+    }
+    worker.join();
+}
+
+} // namespace

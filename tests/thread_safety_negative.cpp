@@ -1,0 +1,127 @@
+// The thread-safety negative-compile suite (same idiom as the units
+// negative test): each SCALO_TS_NEGATIVE_CASE value enables one
+// deliberate concurrency bug that must FAIL to build. Exercised by
+// ci/check.sh negative, which compiles this file once per case:
+//
+//   case 1  read of SCALO_GUARDED_BY state without the lock  (Clang)
+//   case 2  write of SCALO_GUARDED_BY state without the lock (Clang)
+//   case 3  lock acquired but never released                 (Clang)
+//   case 4  two-lock acquisition inverting the rank order    (any CXX)
+//   case 5  SCALO_REQUIRES function called unlocked          (Clang)
+//
+// Cases 1/2/3/5 are diagnosed by Clang's -Wthread-safety (-Werror);
+// case 4 is a static_assert in OrderedLockPair and fails on every
+// compiler. With no case selected the file must compile cleanly
+// under -Wthread-safety -Werror — the positive sanity half of the
+// gate, proving the annotations themselves are well-formed.
+//
+// Never linked into a test binary: compile with -fsyntax-only.
+
+#include "scalo/util/ranked_mutex.hpp"
+
+#ifndef SCALO_TS_NEGATIVE_CASE
+#  define SCALO_TS_NEGATIVE_CASE 0
+#endif
+
+namespace {
+
+using scalo::util::MutexLock;
+using scalo::util::OrderedLockPair;
+using scalo::util::RankedMutex;
+
+/** A minimal guarded aggregate in the codebase's annotation idiom. */
+class GuardedCounter
+{
+  public:
+    void
+    increment()
+    {
+        MutexLock lock(mtx);
+        ++value;
+    }
+
+    long
+    read() const
+    {
+        MutexLock lock(mtx);
+        return value;
+    }
+
+    /** The *Locked-helper idiom: caller must hold the mutex. */
+    void incrementLocked() SCALO_REQUIRES(mtx) { ++value; }
+
+    void
+    incrementTwice()
+    {
+        MutexLock lock(mtx);
+        incrementLocked();
+        incrementLocked();
+    }
+
+#if SCALO_TS_NEGATIVE_CASE == 1
+    /** BUG: reads guarded state without holding mtx. */
+    long
+    unguardedRead() const
+    {
+        return value;
+    }
+#elif SCALO_TS_NEGATIVE_CASE == 2
+    /** BUG: writes guarded state without holding mtx. */
+    void
+    unguardedWrite()
+    {
+        value = 7;
+    }
+#elif SCALO_TS_NEGATIVE_CASE == 3
+    /** BUG: acquires mtx and returns with it still held. */
+    void
+    missingRelease()
+    {
+        mtx.lock();
+        ++value;
+    }
+#elif SCALO_TS_NEGATIVE_CASE == 5
+    /** BUG: calls a SCALO_REQUIRES helper without the lock. */
+    void
+    requiresViolation()
+    {
+        incrementLocked();
+    }
+#endif
+
+  private:
+    mutable RankedMutex<10> mtx;
+    long value SCALO_GUARDED_BY(mtx) = 0;
+};
+
+#if SCALO_TS_NEGATIVE_CASE == 4
+/**
+ * BUG: pairs the locks against their declared ranks. The
+ * OrderedLockPair static_assert rejects this on any compiler —
+ * a rank inversion cannot even build.
+ */
+void
+rankInversion(RankedMutex<10> &low, RankedMutex<20> &high)
+{
+    OrderedLockPair pair(high, low);
+    (void)pair;
+}
+#endif
+
+/** Positive sanity: the well-annotated paths must stay warning-free. */
+long
+exerciseCounter()
+{
+    GuardedCounter counter;
+    counter.increment();
+    counter.incrementTwice();
+    return counter.read();
+}
+
+} // namespace
+
+int
+main()
+{
+    return exerciseCounter() == 3 ? 0 : 1;
+}
