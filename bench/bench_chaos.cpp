@@ -148,4 +148,4 @@ BENCHMARK(BM_SimulateWithCrash)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// main() comes from gbench_main.cpp (build-context stamping).

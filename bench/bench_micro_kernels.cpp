@@ -327,4 +327,4 @@ BENCHMARK(BM_IlpSchedulerShaped);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// main() comes from gbench_main.cpp (build-context stamping).

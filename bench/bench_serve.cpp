@@ -177,4 +177,4 @@ BENCHMARK(BM_ServerSubmitWait);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// main() comes from gbench_main.cpp (build-context stamping).

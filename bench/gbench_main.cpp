@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared main for the google-benchmark binaries (bench_micro_kernels,
+ * bench_chaos, bench_serve). Beyond BENCHMARK_MAIN(), it records the
+ * build configuration that actually matters for the numbers in the
+ * JSON context:
+ *
+ *  - scalo_build_type: the CMake config the *kernels* were compiled
+ *    under (the stock "library_build_type" field describes the
+ *    google-benchmark library's own build, which is misleading when
+ *    the system libbenchmark was built debug);
+ *  - scalo_simd: "wide" or "scalar" (util/simd.hpp mode) — baselines
+ *    recorded in one mode are not comparable to runs in the other;
+ *  - scalo_simd_width: lanes per double pack;
+ *  - scalo_march: the -march= the tree was configured with ("" =
+ *    compiler default).
+ *
+ * ci/compare_bench.py reads these keys to refuse non-Release numbers
+ * and to downgrade enforcement on cross-mode comparisons.
+ */
+
+#include <cstddef>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "scalo/util/simd.hpp"
+
+#ifndef SCALO_BENCH_CONFIG
+#define SCALO_BENCH_CONFIG ""
+#endif
+#ifndef SCALO_BENCH_MARCH
+#define SCALO_BENCH_MARCH ""
+#endif
+
+int
+main(int argc, char **argv)
+{
+    benchmark::AddCustomContext("scalo_build_type", SCALO_BENCH_CONFIG);
+    benchmark::AddCustomContext("scalo_simd", scalo::simd::kModeName);
+    benchmark::AddCustomContext("scalo_simd_width",
+                                std::to_string(scalo::simd::kLanes));
+    benchmark::AddCustomContext("scalo_march", SCALO_BENCH_MARCH);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -20,12 +20,21 @@
 #                          clang-tidy is absent unless
 #                          SCALO_TIDY_OPTIONAL=1)
 #   ci/check.sh bench      run bench_micro_kernels + bench_chaos in a
-#                          Release tree (debug numbers are noise),
+#                          Release tree with the bench -march
+#                          (SCALO_BENCH_MARCH, default native) and
 #                          refresh the BENCH_kernels.json and
-#                          BENCH_chaos.json baselines, and report
-#                          regressions vs the committed ones
-#                          (SCALO_BENCH_TOLERANCE, default 0.25;
-#                          report-only, never fails the build)
+#                          BENCH_chaos.json baselines. The curated
+#                          ci/bench_gate.json subset of the kernel
+#                          benches is ENFORCED — a regression beyond
+#                          SCALO_BENCH_TOLERANCE (default 0.25) fails
+#                          the gate; everything else, and all of
+#                          bench_chaos, stays report-only
+#   ci/check.sh scalar     forced-scalar build (SCALO_SIMD=SCALAR):
+#                          full test suite (bit-identical to the wide
+#                          build by the pack contract), the SIMD
+#                          parity suites under ASan+UBSan, and a
+#                          compare-only bench run proving the
+#                          enforced gate stays green in a scalar tree
 #   ci/check.sh trace      run a small SystemSim scenario, export the
 #                          Chrome trace JSON, validate its structure
 #                          with ci/validate_trace.py
@@ -234,16 +243,44 @@ negative_thread_safety() {
         "-Wthread-safety -Werror; positive case 0 clean)"
 }
 
-bench_refresh() { # builddir, target, baseline-name
+annotate_bench_json() { # file
+    # google-benchmark stamps "library_build_type" with the build of
+    # the *benchmark library* (debug on this distro), which reads as
+    # if the kernels were measured unoptimised. Annotate it in place;
+    # scalo_build_type (from gbench_main.cpp) is the authoritative
+    # field.
+    python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path, "r", encoding="utf-8") as fh:
+    data = json.load(fh)
+ctx = data.get("context", {})
+if "library_build_type" in ctx:
+    ctx["library_build_type_note"] = (
+        "library_build_type describes the google-benchmark library's "
+        "own build, not the scalo kernels; scalo_build_type is the "
+        "authoritative field")
+with open(path, "w", encoding="utf-8") as fh:
+    json.dump(data, fh, indent=2)
+    fh.write("\n")
+EOF
+}
+
+bench_compare() { # builddir, target, baseline, refresh|compare, args…
     # Run one google-benchmark binary, diff its JSON against the
-    # committed baseline, then refresh the working-tree baseline so a
-    # deliberate perf change is committed alongside the code.
-    local dir="$1" target="$2" baseline="$3"
+    # committed baseline (extra args go to compare_bench.py — e.g.
+    # --enforce for the curated failing subset), and in refresh mode
+    # update the working-tree baseline so a deliberate perf change is
+    # committed alongside the code. A failing enforced comparison
+    # leaves the baseline untouched.
+    local dir="$1" target="$2" baseline="$3" action="$4"
+    shift 4
     local fresh="$dir/$baseline"
     "$dir/bench/$target" \
         --benchmark_format=console \
         --benchmark_out="$fresh" \
         --benchmark_out_format=json || return 1
+    annotate_bench_json "$fresh" || return 1
 
     # Compare against the baseline as committed, not the working tree,
     # so re-running the gate never compares a file with itself.
@@ -251,26 +288,82 @@ bench_refresh() { # builddir, target, baseline-name
     if git -C "$ROOT" show "HEAD:$baseline" \
         >"$committed" 2>/dev/null; then
         python3 "$ROOT/ci/compare_bench.py" "$committed" "$fresh" \
-            --tolerance "${SCALO_BENCH_TOLERANCE:-0.25}" || return 1
+            --tolerance "${SCALO_BENCH_TOLERANCE:-0.25}" "$@" ||
+            return 1
     else
         echo "no committed $baseline baseline; creating one"
     fi
-    cp "$fresh" "$ROOT/$baseline"
-    echo "refreshed $baseline (commit it to move the baseline)"
+    if [ "$action" = refresh ]; then
+        cp "$fresh" "$ROOT/$baseline"
+        echo "refreshed $baseline (commit it to move the baseline)"
+    fi
+}
+
+bench_refresh() { # builddir, target, baseline-name, compare args…
+    bench_compare "$1" "$2" "$3" refresh "${@:4}"
 }
 
 gate_bench() {
-    # Perf trajectory, not a pass/fail gate: build the microbenches in
-    # full Release (matching gate_serve — debug-adjacent numbers are
-    # noise) and refresh both baselines.
+    # Perf gate: build the microbenches in full Release with the bench
+    # -march (kernel numbers track the machine's best ISA; regenerate
+    # the baselines when moving boxes — see README). The curated
+    # ci/bench_gate.json subset of bench_micro_kernels is enforced —
+    # regressions there fail the gate — while the rest, and all of
+    # bench_chaos, stays report-only.
     local dir="$ROOT/build-ci-bench"
     cmake -S "$ROOT" -B "$dir" \
-        -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+        -DCMAKE_BUILD_TYPE=Release \
+        -DSCALO_MARCH="${SCALO_BENCH_MARCH:-native}" >/dev/null &&
         cmake --build "$dir" -j "$JOBS" \
             --target bench_micro_kernels bench_chaos ||
         return 1
-    bench_refresh "$dir" bench_micro_kernels BENCH_kernels.json &&
-        bench_refresh "$dir" bench_chaos BENCH_chaos.json
+    bench_refresh "$dir" bench_micro_kernels BENCH_kernels.json \
+        --enforce "$ROOT/ci/bench_gate.json" --require-release &&
+        bench_refresh "$dir" bench_chaos BENCH_chaos.json \
+            --require-release
+}
+
+gate_scalar() {
+    # The forced-scalar half of the SIMD parity contract
+    # (util/simd.hpp): SCALO_SIMD=SCALAR swaps every pack for the
+    # plain-loop implementation with identical lane structure, so the
+    # full test suite — including the exact parity expectations in
+    # simd_test/kernels_test — must pass unchanged.
+    configure_build_test build-ci-scalar \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_SIMD=SCALAR || return 1
+
+    # The parity suites again under ASan+UBSan (contracts forced on):
+    # remainder-lane and padding bugs in the scalar fallback surface
+    # here, not in the wide build.
+    local asan="$ROOT/build-ci-scalar-asan"
+    cmake -S "$ROOT" -B "$asan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_SIMD=SCALAR \
+        -DSCALO_SANITIZE=address,undefined \
+        -DSCALO_WERROR=ON >/dev/null &&
+        cmake --build "$asan" -j "$JOBS" \
+            --target simd_test kernels_test || return 1
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ASAN_OPTIONS="detect_leaks=1" \
+        "$asan/tests/simd_test" || return 1
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ASAN_OPTIONS="detect_leaks=1" \
+        "$asan/tests/kernels_test" || return 1
+
+    # The enforced bench gate must stay green in a scalar tree:
+    # compare_bench.py detects the wide-baseline/scalar-current mode
+    # mismatch and downgrades to report-only (compare-only run — a
+    # scalar tree must never move the committed wide baselines).
+    local dir="$ROOT/build-ci-scalar-bench"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DSCALO_SIMD=SCALAR >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" \
+            --target bench_micro_kernels || return 1
+    bench_compare "$dir" bench_micro_kernels BENCH_kernels.json \
+        compare --enforce "$ROOT/ci/bench_gate.json" \
+        --require-release
 }
 
 gate_trace() {
@@ -389,6 +482,7 @@ main() {
     negative) run_gate negative gate_negative ;;
     tidy) run_gate tidy gate_tidy ;;
     bench) run_gate bench gate_bench ;;
+    scalar) run_gate scalar gate_scalar ;;
     trace) run_gate trace gate_trace ;;
     tsan) run_gate tsan gate_tsan ;;
     serve) run_gate serve gate_serve ;;
@@ -400,13 +494,14 @@ main() {
         run_gate negative gate_negative
         run_gate tidy gate_tidy
         run_gate bench gate_bench
+        run_gate scalar gate_scalar
         run_gate trace gate_trace
         run_gate tsan gate_tsan
         run_gate serve gate_serve
         run_gate chaos gate_chaos
         ;;
     *)
-        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|trace|tsan|serve|chaos|all]"
+        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|scalar|trace|tsan|serve|chaos|all]"
         exit 2
         ;;
     esac

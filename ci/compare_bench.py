@@ -1,12 +1,35 @@
 #!/usr/bin/env python3
 """Compare two google-benchmark JSON dumps (baseline vs current).
 
-Report-only by default: regressions beyond the tolerance are printed
-loudly but the exit code stays 0, so a noisy CI machine can never turn
-the perf trajectory into a flaky gate. Pass --strict to make
-regressions exit non-zero (for local use on a quiet machine).
+Prints a speedup table (baseline / current: >1 means the current tree
+is faster) for every benchmark. Two enforcement levels:
 
-    ci/compare_bench.py BENCH_kernels.json fresh.json --tolerance 0.25
+ - Report-only (the default): regressions beyond the tolerance are
+   printed loudly but the exit code stays 0, so noisy benchmarks can
+   never turn the perf trajectory into a flaky gate.
+ - Enforced subset (--enforce NAMES.json): a curated list of stable
+   benchmarks whose regression (or disappearance) fails the gate with
+   exit 2. Everything outside the list stays report-only.
+ - --strict promotes ALL regressions to exit 2 (local use on a quiet
+   machine).
+
+Build-context checks (the keys gbench_main.cpp stamps):
+
+ - --require-release exits 3 unless the current dump's context says
+   scalo_build_type == Release: debug-adjacent numbers must never
+   move a baseline. (The stock "library_build_type" context field
+   describes the google-benchmark *library's* build, not the kernels,
+   and is ignored here.)
+ - When baseline and current were produced under different SIMD modes
+   (context key scalo_simd: "wide" vs "scalar", or a baseline old
+   enough to carry no stamp at all), the comparison is
+   apples-to-oranges by design, so enforcement is downgraded to
+   report-only for that run and a note is printed. This keeps the
+   enforced gate green on forced-scalar CI builds without masking
+   regressions on the matching-mode path.
+
+    ci/compare_bench.py BENCH_kernels.json fresh.json \
+        --tolerance 0.25 --enforce ci/bench_gate.json --require-release
 """
 
 import argparse
@@ -19,8 +42,8 @@ signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_times(path):
-    """Map benchmark name -> real time in ns.
+def load_dump(path):
+    """Return (name -> real time in ns, context dict).
 
     With --benchmark_repetitions the dump holds both per-repetition
     entries and aggregates; prefer the median aggregate when present.
@@ -37,7 +60,7 @@ def load_times(path):
         else:
             plain.setdefault(entry["name"], time_ns)
     plain.update(medians)
-    return plain
+    return plain, data.get("context", {})
 
 
 def main():
@@ -56,42 +79,106 @@ def main():
         action="store_true",
         help="exit 2 when any benchmark regressed (default: report only)",
     )
+    parser.add_argument(
+        "--enforce",
+        metavar="NAMES_JSON",
+        help="JSON array of benchmark names whose regression fails "
+        "the gate (exit 2); benchmarks outside the list stay "
+        "report-only",
+    )
+    parser.add_argument(
+        "--require-release",
+        action="store_true",
+        help="exit 3 unless the current dump was produced by a "
+        "Release build (context key scalo_build_type)",
+    )
     args = parser.parse_args()
 
-    base = load_times(args.baseline)
-    curr = load_times(args.current)
+    base, base_ctx = load_dump(args.baseline)
+    curr, curr_ctx = load_dump(args.current)
 
-    regressed, improved = [], []
-    print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    if args.require_release:
+        build = curr_ctx.get("scalo_build_type")
+        if build is None:
+            print(
+                "NOTE: current dump carries no scalo_build_type "
+                "context (predates gbench_main.cpp); cannot verify "
+                "it is a Release build"
+            )
+        elif build != "Release":
+            print(
+                f"REFUSING comparison: current dump was built "
+                f"'{build}', not Release — debug-adjacent numbers "
+                f"are noise and must not move baselines"
+            )
+            return 3
+
+    enforced = set()
+    if args.enforce:
+        with open(args.enforce, "r", encoding="utf-8") as fh:
+            enforced = set(json.load(fh))
+
+    # Baselines recorded in one SIMD mode are not comparable to runs
+    # in the other: downgrade enforcement, keep the report.
+    base_mode = base_ctx.get("scalo_simd")
+    curr_mode = curr_ctx.get("scalo_simd")
+    mode_mismatch = curr_mode is not None and base_mode != curr_mode
+    if mode_mismatch and (enforced or args.strict):
+        print(
+            f"NOTE: baseline is a "
+            f"'{base_mode or 'pre-gate, mode-unstamped'}' build but "
+            f"current is '{curr_mode}': cross-mode numbers are "
+            f"expected to differ, downgrading to report-only for "
+            f"this run"
+        )
+        enforced = set()
+        args.strict = False
+
+    regressed, improved, failing = [], [], []
+    print(
+        f"{'benchmark':<28} {'baseline':>12} {'current':>12} "
+        f"{'speedup':>8}"
+    )
     for name in sorted(base):
+        gate = "enforced" if name in enforced else ""
         if name not in curr:
             print(f"{name:<28} {base[name]:>10.0f}ns {'MISSING':>12}")
             regressed.append(name)
+            if name in enforced:
+                failing.append(name)
             continue
-        ratio = curr[name] / base[name] if base[name] > 0 else float("inf")
+        # speedup > 1: the current tree is faster than the baseline.
+        speedup = base[name] / curr[name] if curr[name] > 0 else float("inf")
         mark = ""
-        if ratio > 1.0 + args.tolerance:
+        if speedup < 1.0 / (1.0 + args.tolerance):
             mark = "  REGRESSED"
             regressed.append(name)
-        elif ratio < 1.0 - args.tolerance:
+            if name in enforced:
+                failing.append(name)
+        elif speedup > 1.0 + args.tolerance:
             mark = "  improved"
             improved.append(name)
         print(
             f"{name:<28} {base[name]:>10.0f}ns {curr[name]:>10.0f}ns "
-            f"{ratio:>6.2f}x{mark}"
+            f"{speedup:>7.2f}x{mark}"
+            + (f"  [{gate}]" if gate else "")
         )
     for name in sorted(set(curr) - set(base)):
         print(f"{name:<28} {'NEW':>12} {curr[name]:>10.0f}ns")
 
     print(
         f"\n{len(regressed)} regressed / {len(improved)} improved "
-        f"(tolerance {args.tolerance:.0%})"
+        f"(tolerance {args.tolerance:.0%}, "
+        f"{len(enforced)} benchmarks enforced)"
     )
     if regressed:
         print("regressed:", ", ".join(regressed))
         if args.strict:
             return 2
-        print("(report-only mode: not failing the build)")
+        if failing:
+            print("ENFORCED benchmarks regressed:", ", ".join(failing))
+            return 2
+        print("(report-only: no enforced benchmark regressed)")
     return 0
 
 

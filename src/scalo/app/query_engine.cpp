@@ -7,6 +7,7 @@
 #include "scalo/hw/pe.hpp"
 #include "scalo/net/radio.hpp"
 #include "scalo/signal/distance.hpp"
+#include "scalo/signal/window_batch.hpp"
 #include "scalo/util/logging.hpp"
 
 namespace scalo::app {
@@ -91,6 +92,38 @@ QueryEngine::ingest(NodeId node, std::uint64_t timestamp_us,
     stored.hash = windowHasher.hash(window);
     stored.seizureFlagged = seizure_flagged;
     stores[node].append(std::move(stored));
+}
+
+void
+QueryEngine::ingestBatch(NodeId node,
+                         std::vector<IngestWindow> windows)
+{
+    SCALO_ASSERT(node < stores.size(), "node out of range");
+    std::vector<const std::vector<double> *> samples;
+    samples.reserve(windows.size());
+    for (const IngestWindow &window : windows) {
+        SCALO_ASSERT(window.samples.size() == windowSamples,
+                     "window size mismatch");
+        samples.push_back(&window.samples);
+    }
+
+    // One batched hashing sweep (hashMany == per-window hash() bit
+    // for bit), then ordered appends: the store ends up exactly as
+    // after the equivalent ingest() sequence.
+    lsh::SshScratch scratch;
+    std::vector<lsh::Signature> hashes;
+    windowHasher.hashMany(samples, scratch, hashes);
+
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        IngestWindow &window = windows[i];
+        StoredWindow stored;
+        stored.timestampUs = window.timestampUs;
+        stored.electrode = window.electrode;
+        stored.samples = std::move(window.samples);
+        stored.hash = hashes[i];
+        stored.seizureFlagged = window.seizureFlagged;
+        stores[node].append(std::move(stored));
+    }
 }
 
 const SignalStore &
@@ -329,7 +362,15 @@ QueryEngine::executeBatch(
         const bool down =
             downNodes[node].load(std::memory_order_acquire);
 
-        std::vector<signal::DistanceJob> jobs;
+        // Confirmation candidates are deduplicated (by stored-window
+        // identity) across every query in flight on this node into
+        // one SoA WindowBatch: overlapping candidate sets — the
+        // common case when tenants query the same time range — are
+        // copied once and every job addresses them by row index.
+        std::unordered_map<const StoredWindow *, std::uint32_t>
+            row_of;
+        std::vector<const StoredWindow *> gathered;
+        std::vector<signal::BatchDistanceJob> jobs;
         std::vector<NodePartial *> job_partials;
         for (std::size_t u = 0; u < unique.size(); ++u) {
             NodePartial &partial = partials[u][node];
@@ -343,18 +384,27 @@ QueryEngine::executeBatch(
                                  unique[u]->probeHash);
             if (partial.confirm.empty())
                 continue;
-            signal::DistanceJob job;
+            signal::BatchDistanceJob job;
             job.query = &unique[u]->query.probe;
-            job.candidates.reserve(partial.confirm.size());
-            for (const StoredWindow *window : partial.confirm)
-                job.candidates.push_back(&window->samples);
+            job.rows.reserve(partial.confirm.size());
+            for (const StoredWindow *window : partial.confirm) {
+                const auto [it, inserted] = row_of.emplace(
+                    window,
+                    static_cast<std::uint32_t>(gathered.size()));
+                if (inserted)
+                    gathered.push_back(window);
+                job.rows.push_back(it->second);
+            }
             jobs.push_back(std::move(job));
             job_partials.push_back(&partial);
         }
 
         // One coalesced verification sweep for every query on this
-        // node; jobs sharing a probe share one kernel call.
-        signal::euclideanDistanceBatch(jobs);
+        // node; jobs sharing a probe share one kernel call over the
+        // shared batch.
+        signal::WindowBatch window_batch;
+        SignalStore::gather(gathered, window_batch);
+        signal::euclideanDistanceBatch(window_batch, jobs);
 
         static const std::vector<double> no_dists;
         std::size_t job_index = 0;

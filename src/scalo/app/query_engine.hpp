@@ -127,6 +127,25 @@ class QueryEngine
                 const std::vector<double> &window,
                 bool seizure_flagged);
 
+    /** One window of an ingest batch (the arguments of ingest()). */
+    struct IngestWindow
+    {
+        std::uint64_t timestampUs = 0;
+        ElectrodeId electrode = 0;
+        std::vector<double> samples;
+        bool seizureFlagged = false;
+    };
+
+    /**
+     * Ingest many windows on one node in one call: all signatures
+     * are computed through one batched lsh::WindowHasher::hashMany()
+     * sweep (one reusable scratch instead of a table allocation per
+     * window), then the windows are appended in order. Store state
+     * afterwards is identical to the equivalent sequence of
+     * ingest() calls.
+     */
+    void ingestBatch(NodeId node, std::vector<IngestWindow> windows);
+
     /**
      * A query compiled for this engine: the normalized descriptor
      * plus the precomputed probe signature. Compilation is the
@@ -158,10 +177,12 @@ class QueryEngine
 
     /**
      * Execute several queries as one cross-query batch: every node
-     * shard gathers candidates for all queries in one pass, and the
-     * deferred Euclidean confirmations of every query on that node
-     * are resolved through a single signal::euclideanDistanceBatch()
-     * sweep (queries deduplicated onto the same CompiledQuery share
+     * shard gathers candidates for all queries in one pass,
+     * deduplicates the confirmation candidates of every query on
+     * that node into one SoA signal::WindowBatch (SignalStore
+     * gather), and resolves the deferred Euclidean confirmations
+     * through a single signal::euclideanDistanceBatch() sweep over
+     * it (queries deduplicated onto the same CompiledQuery share
      * one coalesced kernel call). Results are returned in input
      * order and are bit-identical to executing each query alone —
      * batching changes wall-clock, never answers.

@@ -4,22 +4,46 @@
 
 #include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
+#include "scalo/util/simd.hpp"
 
 namespace scalo::linalg {
+
+namespace {
+
+using dpack = scalo::simd::dpack;
+constexpr std::size_t kW = scalo::simd::kLanes;
+
+} // namespace
 
 double
 dot(const double *a, const double *b, std::size_t n)
 {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-        acc += a[i] * b[i];
-    return acc;
+    // W-lane accumulator + fixed left-to-right lane reduce: a
+    // deterministic reordering of the naive sum (documented
+    // tolerance vs. linalg::reference, not bit parity — unlike
+    // axpy/mulInto, which stay element-wise exact).
+    dpack acc = dpack::zero();
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW)
+        acc += dpack::loadu(a + i) * dpack::loadu(b + i);
+    double tail = 0.0;
+    for (; i < n; ++i)
+        tail += a[i] * b[i];
+    return acc.sum() + tail;
 }
 
 void
 axpy(double alpha, const double *x, double *y, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
+    // Element-wise: each y[i] sees exactly fl(y[i] + fl(alpha*x[i]))
+    // whatever the pack width, so widening preserves bit parity of
+    // every axpy consumer (mulInto most of all).
+    const dpack av = dpack::broadcast(alpha);
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW)
+        (dpack::loadu(y + i) + av * dpack::loadu(x + i))
+            .storeu(y + i);
+    for (; i < n; ++i)
         y[i] += alpha * x[i];
 }
 
@@ -101,7 +125,11 @@ addInto(const Matrix &a, const Matrix &b, Matrix &out)
     const double *pb = b.data();
     double *po = out.data();
     const std::size_t count = a.rows() * a.cols();
-    for (std::size_t i = 0; i < count; ++i)
+    std::size_t i = 0;
+    for (; i + kW <= count; i += kW)
+        (dpack::loadu(pa + i) + dpack::loadu(pb + i))
+            .storeu(po + i);
+    for (; i < count; ++i)
         po[i] = pa[i] + pb[i];
 }
 
@@ -114,7 +142,11 @@ subInto(const Matrix &a, const Matrix &b, Matrix &out)
     const double *pb = b.data();
     double *po = out.data();
     const std::size_t count = a.rows() * a.cols();
-    for (std::size_t i = 0; i < count; ++i)
+    std::size_t i = 0;
+    for (; i + kW <= count; i += kW)
+        (dpack::loadu(pa + i) - dpack::loadu(pb + i))
+            .storeu(po + i);
+    for (; i < count; ++i)
         po[i] = pa[i] - pb[i];
 }
 

@@ -77,6 +77,25 @@ WindowHasher::hash(const std::vector<double> &window) const
     return ssh->signature(window);
 }
 
+void
+WindowHasher::hashMany(
+    const std::vector<const std::vector<double> *> &windows,
+    SshScratch &scratch, std::vector<Signature> &out) const
+{
+    if (emd) {
+        // EMD hashing has no reusable table; plain per-window calls.
+        out.clear();
+        out.reserve(windows.size());
+        for (const std::vector<double> *window : windows) {
+            SCALO_ASSERT(window != nullptr,
+                         "null window in hash batch");
+            out.push_back(emd->signature(*window));
+        }
+        return;
+    }
+    ssh->signatureMany(windows, scratch, out);
+}
+
 unsigned
 WindowHasher::signatureBytes() const
 {

@@ -40,6 +40,18 @@ class WindowHasher
     /** Signature of one window. */
     Signature hash(const std::vector<double> &window) const;
 
+    /**
+     * Batched hashing: signatures of many windows through one
+     * reusable SSH scratch (one scratch per calling thread — the
+     * hasher itself stays shareable and const). out[i] is bitwise
+     * identical to hash(*windows[i]); batching changes allocation
+     * behaviour, never signatures, so ingest-side batch hashes and
+     * probe-side single hashes always agree.
+     */
+    void hashMany(const std::vector<const std::vector<double> *> &windows,
+                  SshScratch &scratch,
+                  std::vector<Signature> &out) const;
+
     /** The measure this hasher approximates. */
     signal::Measure measure() const { return hashMeasure; }
 

@@ -30,61 +30,84 @@ SshHasher::SshHasher(const SshParams &params) : config(params)
         projection.push_back(rng.sign());
 }
 
-std::vector<std::uint8_t>
-SshHasher::sketch(const std::vector<double> &input) const
+void
+SshHasher::sketch(const std::vector<double> &input,
+                  std::vector<std::uint8_t> &bits) const
 {
-    std::vector<std::uint8_t> bits;
+    bits.clear();
     if (input.size() < config.windowSize)
-        return bits;
+        return;
     const std::size_t positions =
         (input.size() - config.windowSize) / config.stride + 1;
     bits.reserve(positions);
     for (std::size_t p = 0; p < positions; ++p) {
         // HCONV: the +/-1 projection of each sliding window is one
-        // contiguous dot against the shared projection vector.
+        // contiguous dot against the shared projection vector (the
+        // wide linalg kernel — ingest-side and probe-side sketches
+        // agree because every path goes through this one dot).
         const double proj = linalg::dot(input.data() + p * config.stride,
                                         projection.data(),
                                         config.windowSize);
         bits.push_back(proj > 0.0 ? 1 : 0);
     }
+}
+
+std::vector<std::uint8_t>
+SshHasher::sketch(const std::vector<double> &input) const
+{
+    std::vector<std::uint8_t> bits;
+    sketch(input, bits);
     return bits;
+}
+
+void
+SshHasher::shingles(const std::vector<std::uint8_t> &sketch_bits,
+                    SshScratch &scratch) const
+{
+    scratch.counted.clear();
+    if (sketch_bits.size() < config.ngramSize)
+        return;
+
+    // Counting table over all 2^n patterns (the NGRAM PE's SRAM table
+    // directly; ngramSize <= 16 bounds it at 64K counters). The table
+    // lives in the scratch and is all-zero between calls: instead of
+    // allocating and later sweeping all 2^n entries, each call tracks
+    // the patterns it touched, emits them in sorted order (the same
+    // ascending-pattern output as a full-table sweep), and re-zeroes
+    // exactly those entries on the way out.
+    const std::uint32_t mask =
+        (config.ngramSize >= 32)
+            ? ~0u
+            : ((1u << config.ngramSize) - 1u);
+    scratch.table.resize(static_cast<std::size_t>(mask) + 1);
+    scratch.touched.clear();
+
+    std::uint32_t pattern = 0;
+    for (std::size_t i = 0; i < sketch_bits.size(); ++i) {
+        pattern = ((pattern << 1) | (sketch_bits[i] & 1)) & mask;
+        if (i + 1 >= config.ngramSize) {
+            if (scratch.table[pattern]++ == 0)
+                scratch.touched.push_back(pattern);
+        }
+    }
+
+    std::sort(scratch.touched.begin(), scratch.touched.end());
+    scratch.counted.reserve(scratch.touched.size());
+    for (const std::uint32_t p : scratch.touched) {
+        const auto count = std::min<std::uint32_t>(
+            scratch.table[p],
+            static_cast<std::uint32_t>(config.maxShingleCount));
+        scratch.counted.emplace_back(p, count);
+        scratch.table[p] = 0;
+    }
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>>
 SshHasher::shingles(const std::vector<std::uint8_t> &sketch_bits) const
 {
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> counted;
-    if (sketch_bits.size() < config.ngramSize)
-        return counted;
-
-    // Counting table over all 2^n patterns (the NGRAM PE's SRAM table
-    // directly; ngramSize <= 16 bounds it at 64K counters). The
-    // pattern itself rolls through a shift-and-mask, and emitting the
-    // table in index order reproduces the old sort+count output — a
-    // sorted pattern list — exactly.
-    const std::uint32_t mask =
-        (config.ngramSize >= 32)
-            ? ~0u
-            : ((1u << config.ngramSize) - 1u);
-    std::vector<std::uint32_t> table(
-        static_cast<std::size_t>(mask) + 1, 0u);
-
-    std::uint32_t pattern = 0;
-    for (std::size_t i = 0; i < sketch_bits.size(); ++i) {
-        pattern = ((pattern << 1) | (sketch_bits[i] & 1)) & mask;
-        if (i + 1 >= config.ngramSize)
-            ++table[pattern];
-    }
-
-    for (std::size_t p = 0; p < table.size(); ++p) {
-        if (table[p] == 0)
-            continue;
-        const auto count = std::min<std::uint32_t>(
-            table[p],
-            static_cast<std::uint32_t>(config.maxShingleCount));
-        counted.emplace_back(static_cast<std::uint32_t>(p), count);
-    }
-    return counted;
+    SshScratch scratch;
+    shingles(sketch_bits, scratch);
+    return std::move(scratch.counted);
 }
 
 std::uint64_t
@@ -131,14 +154,36 @@ SshHasher::minHashBand(
 }
 
 Signature
-SshHasher::signature(const std::vector<double> &input) const
+SshHasher::signature(const std::vector<double> &input,
+                     SshScratch &scratch) const
 {
-    const auto bits = sketch(input);
-    const auto s = shingles(bits);
+    sketch(input, scratch.bits);
+    shingles(scratch.bits, scratch);
     std::uint64_t packed = 0;
     for (unsigned b = 0; b < config.bands; ++b)
-        packed |= minHashBand(s, b) << (b * config.bandBits);
+        packed |= minHashBand(scratch.counted, b)
+                  << (b * config.bandBits);
     return {packed, config.bands, config.bandBits};
+}
+
+Signature
+SshHasher::signature(const std::vector<double> &input) const
+{
+    SshScratch scratch;
+    return signature(input, scratch);
+}
+
+void
+SshHasher::signatureMany(
+    const std::vector<const std::vector<double> *> &windows,
+    SshScratch &scratch, std::vector<Signature> &out) const
+{
+    out.clear();
+    out.reserve(windows.size());
+    for (const std::vector<double> *window : windows) {
+        SCALO_ASSERT(window != nullptr, "null window in hash batch");
+        out.push_back(signature(*window, scratch));
+    }
 }
 
 } // namespace scalo::lsh

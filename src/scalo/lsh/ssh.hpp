@@ -54,6 +54,24 @@ struct SshParams
     std::uint64_t seed = 0x55a10c0deULL;
 };
 
+/**
+ * Reusable workspace for the SSH pipeline. The NGRAM counting table
+ * spans all 2^ngramSize patterns (64K counters at the cap) — a
+ * per-call allocation on the old hot path. One scratch serves any
+ * number of sequential calls: the table is kept all-zero between
+ * calls by re-zeroing only the entries a call touched, so batched
+ * hashing is allocation-free AND skips the full-table sweep.
+ */
+struct SshScratch
+{
+    std::vector<std::uint8_t> bits;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> counted;
+    /** 2^ngramSize counters; all-zero between calls (invariant). */
+    std::vector<std::uint32_t> table;
+    /** Patterns with non-zero counts in the current call. */
+    std::vector<std::uint32_t> touched;
+};
+
 /** SSH hasher for one signal length / parameter set. */
 class SshHasher
 {
@@ -67,6 +85,10 @@ class SshHasher
     std::vector<std::uint8_t>
     sketch(const std::vector<double> &input) const;
 
+    /** As above into a caller-provided buffer (no allocation). */
+    void sketch(const std::vector<double> &input,
+                std::vector<std::uint8_t> &bits) const;
+
     /**
      * NGRAM stage on a precomputed sketch: weighted shingle counts.
      * @return pairs of (shingle pattern, capped count)
@@ -74,8 +96,32 @@ class SshHasher
     std::vector<std::pair<std::uint32_t, std::uint32_t>>
     shingles(const std::vector<std::uint8_t> &sketch_bits) const;
 
+    /**
+     * As above into @p scratch.counted (ascending pattern order,
+     * identical to the allocating overload), reusing the scratch's
+     * counting table.
+     */
+    void shingles(const std::vector<std::uint8_t> &sketch_bits,
+                  SshScratch &scratch) const;
+
     /** Full pipeline: signature of @p input. */
     Signature signature(const std::vector<double> &input) const;
+
+    /** As above with caller-provided scratch (no allocation). */
+    Signature signature(const std::vector<double> &input,
+                        SshScratch &scratch) const;
+
+    /**
+     * Batched pipeline: signatures of many windows through one
+     * scratch. out[i] is bitwise identical to signature(*windows[i])
+     * — batching changes allocation behaviour, never hashes (ingest-
+     * side and probe-side signatures must agree however they were
+     * produced).
+     */
+    void
+    signatureMany(const std::vector<const std::vector<double> *> &windows,
+                  SshScratch &scratch,
+                  std::vector<Signature> &out) const;
 
     const SshParams &params() const { return config; }
 

@@ -4,13 +4,39 @@
 #include <cmath>
 #include <limits>
 
+#include "scalo/signal/window_batch.hpp"
 #include "scalo/util/logging.hpp"
+#include "scalo/util/simd.hpp"
 
 namespace scalo::signal {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr std::size_t kW = simd::kLanes;
+using dpack = simd::dpack;
+
+} // namespace
+
+DtwScratch::Rows
+DtwScratch::rows(std::size_t m)
+{
+    // Stride padded to the pack width AND to a cache line of doubles,
+    // so every row starts 64-byte aligned and full-width loads within
+    // a row stay inside the allocation.
+    constexpr std::size_t line_doubles =
+        util::AlignedBuffer<double>::kAlignment / sizeof(double);
+    const std::size_t stride =
+        simd::paddedSize(m + 1, std::max(kW, line_doubles));
+    if (4 * stride > storage.capacity())
+        ++reallocCount;
+    double *base = storage.ensure(4 * stride);
+    return Rows{base, base + stride, base + 2 * stride,
+                base + 3 * stride, stride};
+}
+
+namespace {
 
 /**
  * Shared banded-DTW core. Rows are reset only at the band edges
@@ -19,6 +45,21 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
  * @p cutoff is finite, a row whose minimum exceeds it abandons the
  * computation, returning that row minimum (a lower bound of the true
  * distance that is already > cutoff).
+ *
+ * Each band row is split into a vectorized precompute,
+ *
+ *     cost[j]  = |a_i - b[j-1]|
+ *     bound[j] = cost[j] + min(prev[j], prev[j-1])
+ *
+ * and a short serial resolve carrying the in-row dependency,
+ *
+ *     curr[j] = min(bound[j], cost[j] + curr[j-1])
+ *
+ * Rounding is monotone non-decreasing, so for finite inputs
+ * fl(c + min(x, y)) == min(fl(c + x), fl(c + y)) and the split is
+ * bit-identical to the fused cost + min(prev[j], curr[j-1],
+ * prev[j-1]) recurrence (infinities ride along exactly; only NaN
+ * payload propagation is unspecified).
  */
 double
 dtwBandedCore(const std::vector<double> &a, const std::vector<double> &b,
@@ -34,11 +75,16 @@ dtwBandedCore(const std::vector<double> &a, const std::vector<double> &b,
     const std::size_t min_band = (n > m) ? (n - m) : (m - n);
     band = std::max(band, min_band + 1);
 
-    // Rolling two-row DP over the banded cost matrix.
-    std::vector<double> &prev = scratch.prev;
-    std::vector<double> &curr = scratch.curr;
-    prev.assign(m + 1, kInf);
-    curr.assign(m + 1, kInf);
+    // Rolling two-row DP over the banded cost matrix. The rows are
+    // filled across their whole padded stride so full-width loads of
+    // prev never read indeterminate memory.
+    const DtwScratch::Rows rows = scratch.rows(m);
+    double *prev = rows.prev;
+    double *curr = rows.curr;
+    double *const cost = rows.cost;
+    double *const bound = rows.bound;
+    std::fill_n(prev, rows.stride, kInf);
+    std::fill_n(curr, rows.stride, kInf);
     prev[0] = 0.0;
 
     for (std::size_t i = 1; i <= n; ++i) {
@@ -49,15 +95,51 @@ dtwBandedCore(const std::vector<double> &a, const std::vector<double> &b,
         curr[j_lo - 1] = kInf;
         if (j_hi < m)
             curr[j_hi + 1] = kInf;
+
+        const double ai = a[i - 1];
         double row_min = kInf;
-        const double *ap = &a[i - 1];
-        for (std::size_t j = j_lo; j <= j_hi; ++j) {
-            const double cost = std::abs(*ap - b[j - 1]);
-            const double best =
-                std::min({prev[j], curr[j - 1], prev[j - 1]});
-            const double v = cost + best;
-            curr[j] = v;
-            row_min = std::min(row_min, v);
+        const std::size_t width = j_hi - j_lo + 1;
+        if (width < 4 * kW) {
+            // Narrow band: the classic fused row. The serial resolve
+            // below is latency-bound on the curr[j-1] chain whatever
+            // the band width, so the vectorized precompute only pays
+            // once its store/reload traffic amortises over a wide
+            // row; under ~4 packs it is pure overhead. Fusing is
+            // bit-identical to the split (the same monotone-rounding
+            // argument, read in reverse).
+            for (std::size_t j = j_lo; j <= j_hi; ++j) {
+                const double c = std::abs(ai - b[j - 1]);
+                const double lo = std::min(
+                    std::min(prev[j], prev[j - 1]), curr[j - 1]);
+                const double v = c + lo;
+                curr[j] = v;
+                row_min = std::min(row_min, v);
+            }
+        } else {
+            const dpack av = dpack::broadcast(ai);
+            std::size_t j = j_lo;
+            // Full packs stop where the b[j-1] load would run past
+            // m; prev/cost/bound are padded, so only b limits the
+            // width.
+            for (; j + kW <= j_hi + 1; j += kW) {
+                const dpack c = abs(av - dpack::loadu(&b[j - 1]));
+                const dpack lo = min(dpack::loadu(&prev[j]),
+                                     dpack::loadu(&prev[j - 1]));
+                c.storeu(&cost[j]);
+                (c + lo).storeu(&bound[j]);
+            }
+            for (; j <= j_hi; ++j) {
+                const double c = std::abs(ai - b[j - 1]);
+                cost[j] = c;
+                bound[j] = c + std::min(prev[j], prev[j - 1]);
+            }
+
+            for (j = j_lo; j <= j_hi; ++j) {
+                const double v =
+                    std::min(bound[j], cost[j] + curr[j - 1]);
+                curr[j] = v;
+                row_min = std::min(row_min, v);
+            }
         }
         if (row_min > cutoff)
             return row_min;
@@ -95,12 +177,25 @@ double
 euclideanDistanceSquared(const double *a, const double *b,
                          std::size_t n)
 {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const double d = a[i] - b[i];
+    // One W-lane accumulator over full packs, a scalar tail, then the
+    // fixed left-to-right lane reduce: this exact sequence is the
+    // arithmetic contract every batched overload reproduces
+    // per-candidate, which is what makes batched results bitwise
+    // equal to per-pair calls.
+    dpack acc = dpack::zero();
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW) {
+        const dpack d = dpack::loadu(a + i) - dpack::loadu(b + i);
         acc += d * d;
     }
-    return acc;
+    double tail = 0.0;
+    for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        tail += d * d;
+    }
+    // acc.sum() is +0.0 for n < W, and tail is never -0.0 (it sums
+    // squares), so the final add is exact.
+    return acc.sum() + tail;
 }
 
 double
@@ -112,6 +207,82 @@ euclideanDistance(const std::vector<double> &a,
     return std::sqrt(euclideanDistanceSquared(a.data(), b.data(),
                                               a.size()));
 }
+
+namespace {
+
+/**
+ * Shared batched-distance core: squared distances from @p q to
+ * @p count candidate rows fetched through @p rowAt (an index ->
+ * const double* accessor). Eight candidates per pass: the query
+ * streams through the cache once per block instead of once per
+ * candidate, and the eight W-lane accumulators fill enough
+ * independent FMA chains to cover the multiply-add latency (4-5
+ * cycles at 2/cycle throughput needs 8+ chains in flight). Every
+ * candidate runs the exact accumulation sequence of
+ * euclideanDistanceSquared() (same pack loop, same scalar tail, same
+ * lane reduce), so results are bitwise equal to per-pair calls
+ * whatever the blocking.
+ */
+template <typename RowAt>
+void
+distanceManyCore(const double *q, std::size_t n, std::size_t count,
+                 RowAt rowAt, double *out)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const double *c0 = rowAt(i);
+        const double *c1 = rowAt(i + 1);
+        const double *c2 = rowAt(i + 2);
+        const double *c3 = rowAt(i + 3);
+        const double *c4 = rowAt(i + 4);
+        const double *c5 = rowAt(i + 5);
+        const double *c6 = rowAt(i + 6);
+        const double *c7 = rowAt(i + 7);
+        dpack s0 = dpack::zero(), s1 = dpack::zero();
+        dpack s2 = dpack::zero(), s3 = dpack::zero();
+        dpack s4 = dpack::zero(), s5 = dpack::zero();
+        dpack s6 = dpack::zero(), s7 = dpack::zero();
+        std::size_t j = 0;
+        for (; j + kW <= n; j += kW) {
+            const dpack qv = dpack::loadu(q + j);
+            dpack d;
+            d = qv - dpack::loadu(c0 + j); s0 += d * d;
+            d = qv - dpack::loadu(c1 + j); s1 += d * d;
+            d = qv - dpack::loadu(c2 + j); s2 += d * d;
+            d = qv - dpack::loadu(c3 + j); s3 += d * d;
+            d = qv - dpack::loadu(c4 + j); s4 += d * d;
+            d = qv - dpack::loadu(c5 + j); s5 += d * d;
+            d = qv - dpack::loadu(c6 + j); s6 += d * d;
+            d = qv - dpack::loadu(c7 + j); s7 += d * d;
+        }
+        double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+        double t4 = 0.0, t5 = 0.0, t6 = 0.0, t7 = 0.0;
+        for (; j < n; ++j) {
+            const double qj = q[j];
+            double d;
+            d = qj - c0[j]; t0 += d * d;
+            d = qj - c1[j]; t1 += d * d;
+            d = qj - c2[j]; t2 += d * d;
+            d = qj - c3[j]; t3 += d * d;
+            d = qj - c4[j]; t4 += d * d;
+            d = qj - c5[j]; t5 += d * d;
+            d = qj - c6[j]; t6 += d * d;
+            d = qj - c7[j]; t7 += d * d;
+        }
+        out[i] = s0.sum() + t0;
+        out[i + 1] = s1.sum() + t1;
+        out[i + 2] = s2.sum() + t2;
+        out[i + 3] = s3.sum() + t3;
+        out[i + 4] = s4.sum() + t4;
+        out[i + 5] = s5.sum() + t5;
+        out[i + 6] = s6.sum() + t6;
+        out[i + 7] = s7.sum() + t7;
+    }
+    for (; i < count; ++i)
+        out[i] = euclideanDistanceSquared(q, rowAt(i), n);
+}
+
+} // namespace
 
 void
 euclideanDistanceMany(
@@ -128,65 +299,55 @@ euclideanDistanceMany(
                      " has ", candidates[i]->size(),
                      " samples, query has ", n);
 
-    // Eight candidates per pass: the query streams through the cache
-    // once per block instead of once per candidate, and the eight
-    // named accumulators fill independent FMA chains.
-    std::size_t i = 0;
-    for (; i + 8 <= count; i += 8) {
-        const double *c0 = candidates[i]->data();
-        const double *c1 = candidates[i + 1]->data();
-        const double *c2 = candidates[i + 2]->data();
-        const double *c3 = candidates[i + 3]->data();
-        const double *c4 = candidates[i + 4]->data();
-        const double *c5 = candidates[i + 5]->data();
-        const double *c6 = candidates[i + 6]->data();
-        const double *c7 = candidates[i + 7]->data();
-        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-        double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
-        for (std::size_t j = 0; j < n; ++j) {
-            const double qj = q[j];
-            double d;
-            d = qj - c0[j]; a0 += d * d;
-            d = qj - c1[j]; a1 += d * d;
-            d = qj - c2[j]; a2 += d * d;
-            d = qj - c3[j]; a3 += d * d;
-            d = qj - c4[j]; a4 += d * d;
-            d = qj - c5[j]; a5 += d * d;
-            d = qj - c6[j]; a6 += d * d;
-            d = qj - c7[j]; a7 += d * d;
-        }
-        out[i] = a0;
-        out[i + 1] = a1;
-        out[i + 2] = a2;
-        out[i + 3] = a3;
-        out[i + 4] = a4;
-        out[i + 5] = a5;
-        out[i + 6] = a6;
-        out[i + 7] = a7;
-    }
-    for (; i + 4 <= count; i += 4) {
-        const double *c0 = candidates[i]->data();
-        const double *c1 = candidates[i + 1]->data();
-        const double *c2 = candidates[i + 2]->data();
-        const double *c3 = candidates[i + 3]->data();
-        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-        for (std::size_t j = 0; j < n; ++j) {
-            const double qj = q[j];
-            double d;
-            d = qj - c0[j]; a0 += d * d;
-            d = qj - c1[j]; a1 += d * d;
-            d = qj - c2[j]; a2 += d * d;
-            d = qj - c3[j]; a3 += d * d;
-        }
-        out[i] = a0;
-        out[i + 1] = a1;
-        out[i + 2] = a2;
-        out[i + 3] = a3;
-    }
-    for (; i < count; ++i)
-        out[i] = euclideanDistanceSquared(q, candidates[i]->data(), n);
+    distanceManyCore(
+        q, n, count,
+        [&](std::size_t i) { return candidates[i]->data(); },
+        out.data());
 
     // Deferred sqrt: one tight pass instead of one call per distance.
+    for (double &d : out)
+        d = std::sqrt(d);
+}
+
+void
+euclideanDistanceMany(const std::vector<double> &query,
+                      const WindowBatch &batch,
+                      std::vector<double> &out)
+{
+    SCALO_ASSERT(batch.empty() || batch.windowSize() == query.size(),
+                 "batch windows have ", batch.windowSize(),
+                 " samples, query has ", query.size());
+    out.resize(batch.size());
+    const double *base = batch.data();
+    const std::size_t stride = batch.stride();
+    distanceManyCore(
+        query.data(), query.size(), batch.size(),
+        [&](std::size_t i) { return base + i * stride; },
+        out.data());
+    for (double &d : out)
+        d = std::sqrt(d);
+}
+
+void
+euclideanDistanceMany(const std::vector<double> &query,
+                      const WindowBatch &batch,
+                      const std::vector<std::uint32_t> &rows,
+                      std::vector<double> &out)
+{
+    SCALO_ASSERT(rows.empty() || batch.windowSize() == query.size(),
+                 "batch windows have ", batch.windowSize(),
+                 " samples, query has ", query.size());
+    out.resize(rows.size());
+    const double *base = batch.data();
+    const std::size_t stride = batch.stride();
+    distanceManyCore(
+        query.data(), query.size(), rows.size(),
+        [&](std::size_t i) {
+            SCALO_ASSERT(rows[i] < batch.size(), "batch row ",
+                         rows[i], " out of range ", batch.size());
+            return base + rows[i] * stride;
+        },
+        out.data());
     for (double &d : out)
         d = std::sqrt(d);
 }
@@ -240,6 +401,47 @@ euclideanDistanceBatch(std::vector<DistanceJob> &jobs)
                 dists.begin() + static_cast<std::ptrdiff_t>(
                                     offset + job.candidates.size()));
             offset += job.candidates.size();
+        }
+    }
+}
+
+void
+euclideanDistanceBatch(const WindowBatch &batch,
+                       std::vector<BatchDistanceJob> &jobs)
+{
+    // Same probe-coalescing structure as the DistanceJob overload,
+    // over row indices into the shared SoA batch instead of window
+    // pointers.
+    std::vector<std::uint32_t> coalesced;
+    std::vector<double> dists;
+    std::vector<std::size_t> group;
+    std::vector<char> resolved(jobs.size(), 0);
+    for (std::size_t first = 0; first < jobs.size(); ++first) {
+        if (resolved[first])
+            continue;
+        BatchDistanceJob &lead = jobs[first];
+        SCALO_ASSERT(lead.query != nullptr,
+                     "distance job without a query window");
+        group.clear();
+        coalesced.clear();
+        for (std::size_t j = first; j < jobs.size(); ++j) {
+            if (resolved[j] || jobs[j].query != lead.query)
+                continue;
+            group.push_back(j);
+            coalesced.insert(coalesced.end(), jobs[j].rows.begin(),
+                             jobs[j].rows.end());
+            resolved[j] = 1;
+        }
+        euclideanDistanceMany(*lead.query, batch, coalesced, dists);
+        std::size_t offset = 0;
+        for (const std::size_t j : group) {
+            BatchDistanceJob &job = jobs[j];
+            job.distances.assign(
+                dists.begin() +
+                    static_cast<std::ptrdiff_t>(offset),
+                dists.begin() + static_cast<std::ptrdiff_t>(
+                                    offset + job.rows.size()));
+            offset += job.rows.size();
         }
     }
 }

@@ -10,20 +10,56 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "scalo/util/aligned.hpp"
 
 namespace scalo::signal {
 
+class WindowBatch;
+
 /**
- * Reusable rolling-row workspace for the banded DTW kernels. One
- * scratch serves any number of sequential calls (grown to the largest
- * size seen), eliminating the two per-call row allocations on hot
- * candidate-verification paths.
+ * Reusable workspace for the banded DTW kernels: the two rolling DP
+ * rows plus the per-row cost/bound arrays the vectorized band pass
+ * writes. One scratch serves any number of sequential calls — the
+ * single aligned allocation grows to the largest row size seen and is
+ * never shrunk, so a mixed-size candidate sweep reallocates at most
+ * for its maximum and is allocation-free in steady state.
  */
-struct DtwScratch
+class DtwScratch
 {
-    std::vector<double> prev;
-    std::vector<double> curr;
+  public:
+    /** Four equally-sized aligned rows carved out of the workspace. */
+    struct Rows
+    {
+        double *prev;
+        double *curr;
+        double *cost;
+        double *bound;
+        /** Doubles per row (>= m + 1, padded to the pack width). */
+        std::size_t stride;
+    };
+
+    /**
+     * Rows sized for a banded DP over @p m columns. Internal to the
+     * DTW kernels; row contents are unspecified on return.
+     */
+    Rows rows(std::size_t m);
+
+    /** Bytes currently allocated (churn introspection for tests). */
+    std::size_t
+    capacityBytes() const
+    {
+        return storage.capacity() * sizeof(double);
+    }
+
+    /** Times rows() had to reallocate (churn introspection). */
+    std::size_t reallocations() const { return reallocCount; }
+
+  private:
+    util::AlignedBuffer<double> storage;
+    std::size_t reallocCount = 0;
 };
 
 /**
@@ -70,7 +106,10 @@ double euclideanDistanceSquared(const double *a, const double *b,
 /**
  * Batched Euclidean distance from one query window to many candidate
  * windows: accumulates squared distances and defers the sqrt to a
- * single final pass. @p out is sized to match @p candidates.
+ * single final pass. Each candidate's accumulation sequence is
+ * exactly that of euclideanDistanceSquared(), so the batched results
+ * are bitwise equal to per-pair calls. @p out is sized to match
+ * @p candidates.
  * @pre every candidate has query.size() samples
  */
 void euclideanDistanceMany(
@@ -82,6 +121,27 @@ void euclideanDistanceMany(
 std::vector<double> euclideanDistanceMany(
     const std::vector<double> &query,
     const std::vector<const std::vector<double> *> &candidates);
+
+/**
+ * Batched Euclidean distance against every row of a SoA batch. Same
+ * per-candidate arithmetic as the pointer-list overload (bitwise
+ * equal results); the contiguous aligned layout is what lets the
+ * kernel stream candidates at full width.
+ * @pre batch.windowSize() == query.size()
+ */
+void euclideanDistanceMany(const std::vector<double> &query,
+                           const WindowBatch &batch,
+                           std::vector<double> &out);
+
+/**
+ * As above over a row subset: @p out[i] is the distance from
+ * @p query to batch row @p rows[i]. Row indices may repeat (shared
+ * candidates across coalesced queries) and appear in any order.
+ */
+void euclideanDistanceMany(const std::vector<double> &query,
+                           const WindowBatch &batch,
+                           const std::vector<std::uint32_t> &rows,
+                           std::vector<double> &out);
 
 /**
  * One unit of deferred candidate verification: a query window and the
@@ -108,6 +168,33 @@ struct DistanceJob
  * bit-identical to a per-job euclideanDistanceMany() call.
  */
 void euclideanDistanceBatch(std::vector<DistanceJob> &jobs);
+
+/**
+ * One unit of deferred verification against a shared SoA batch: the
+ * candidates are row indices into a WindowBatch the caller gathered
+ * (letting queries with overlapping candidate sets share one copy of
+ * each window). Resolved by the batch-consuming
+ * euclideanDistanceBatch() overload.
+ */
+struct BatchDistanceJob
+{
+    /** The probe; must outlive the batch call. */
+    const std::vector<double> *query = nullptr;
+    std::vector<std::uint32_t> rows;
+    /** Output, sized to match rows by the batch call. */
+    std::vector<double> distances;
+};
+
+/**
+ * Cross-query batched verification over one shared SoA batch. Jobs
+ * sharing the same probe (pointer identity) have their row lists
+ * coalesced into a single kernel sweep, exactly like the
+ * DistanceJob overload; per-row distances are independent of their
+ * position in the coalesced list, so every job's distances are
+ * bitwise identical to a per-job euclideanDistanceMany() call.
+ */
+void euclideanDistanceBatch(const WindowBatch &batch,
+                            std::vector<BatchDistanceJob> &jobs);
 
 /**
  * Maximum normalised Pearson cross-correlation over lags in

@@ -1,11 +1,14 @@
 #include "scalo/signal/fft_plan.hpp"
 
+#include <algorithm>
 #include <map>
 #include <numbers>
 #include <utility>
 
+#include "scalo/util/aligned.hpp"
 #include "scalo/util/logging.hpp"
 #include "scalo/util/ranked_mutex.hpp"
+#include "scalo/util/simd.hpp"
 
 namespace scalo::signal {
 
@@ -15,6 +18,40 @@ bool
 isPowerOfTwo(std::size_t n)
 {
     return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * Run W-wide butterflies over k in [k0, halflen) while a full pack
+ * fits; returns the first unprocessed k. The per-butterfly arithmetic
+ * is the textbook complex multiply regardless of W, so calling this
+ * with narrowing widths (kW, then 4, then 2) to shrink the scalar
+ * remainder changes nothing bit-wise — it only changes how many
+ * butterflies retire per instruction.
+ */
+template <std::size_t W>
+inline std::size_t
+butterflySpan(double *lr, double *li, double *hr, double *hi,
+              const double *wre, const double *wim, double sign,
+              std::size_t k0, std::size_t halflen)
+{
+    using P = simd::pack<double, W>;
+    const P signv = P::broadcast(sign);
+    std::size_t k = k0;
+    for (; k + W <= halflen; k += W) {
+        const P wr = P::loadu(wre + k);
+        const P wi = signv * P::loadu(wim + k);
+        const P xr = P::loadu(hr + k);
+        const P xi = P::loadu(hi + k);
+        const P vr = xr * wr - xi * wi;
+        const P vi = xr * wi + xi * wr;
+        const P ur = P::loadu(lr + k);
+        const P ui = P::loadu(li + k);
+        (ur + vr).storeu(lr + k);
+        (ui + vi).storeu(li + k);
+        (ur - vr).storeu(hr + k);
+        (ui - vi).storeu(hi + k);
+    }
+    return k;
 }
 
 /**
@@ -54,6 +91,24 @@ FftPlan::FftPlan(std::size_t n) : nPoints(n)
         twiddle[k] = std::polar(1.0, angle);
     }
 
+    // Densify each butterfly stage's twiddle column (stride n/len in
+    // the master table) so the vectorized passes load unit-stride.
+    // Copied bitwise from `twiddle`: same values, different layout.
+    if (n >= 4) {
+        std::size_t total = 0;
+        for (std::size_t len = 4; len <= n; len <<= 1)
+            total += len;
+        stageTwiddles.reserve(total);
+        for (std::size_t len = 4; len <= n; len <<= 1) {
+            const std::size_t halflen = len / 2;
+            const std::size_t step = n / len;
+            for (std::size_t k = 0; k < halflen; ++k)
+                stageTwiddles.push_back(twiddle[k * step].real());
+            for (std::size_t k = 0; k < halflen; ++k)
+                stageTwiddles.push_back(twiddle[k * step].imag());
+        }
+    }
+
     if (n >= 2)
         half = forSize(n / 2);
 }
@@ -65,48 +120,143 @@ FftPlan::transform(std::complex<double> *data, bool inv) const
     if (n <= 1)
         return;
 
-    for (std::size_t i = 1; i < n; ++i) {
-        const std::size_t j = bitrev[i];
-        if (i < j)
-            std::swap(data[i], data[j]);
+    constexpr std::size_t kW = simd::kLanes;
+
+    // The butterflies run over split re/im planes in a per-thread
+    // aligned scratch: the interleaved complex layout costs the
+    // vector passes a deinterleaving shuffle per load, the split
+    // layout makes every load/store unit-stride. Plans are shared
+    // across threads, so the scratch is thread-local rather than a
+    // plan member.
+    thread_local util::AlignedBuffer<double> split;
+    constexpr std::size_t line_doubles =
+        util::AlignedBuffer<double>::kAlignment / sizeof(double);
+    const std::size_t stride =
+        simd::paddedSize(n, std::max(kW, line_doubles));
+    double *const re = split.ensure(2 * stride);
+    double *const im = re + stride;
+
+    // Butterflies multiply the hi element by the stage twiddle with
+    // the textbook formula — the same arithmetic the interleaved
+    // std::complex implementation's fast path ran, so finite-input
+    // results are unchanged bit for bit. Inverse transforms conjugate
+    // the twiddle by sign flip (exact).
+    const double sign = inv ? -1.0 : 1.0;
+
+    if (n == 2) {
+        // Degenerate plan: one unit-twiddle butterfly, straight from
+        // the input (bitrev is the identity for n = 2).
+        const std::complex<double> z0 = data[0], z1 = data[1];
+        const double scale = inv ? 0.5 : 1.0;
+        data[0] = scale * (z0 + z1);
+        data[1] = scale * (z0 - z1);
+        return;
     }
 
-    // First stage (len = 2) has a unit twiddle: pure add/sub, no
-    // complex multiply.
-    for (std::size_t i = 0; i < n; i += 2) {
-        const std::complex<double> u = data[i];
-        const std::complex<double> v = data[i + 1];
-        data[i] = u + v;
-        data[i + 1] = u - v;
+    // Deinterleave, apply the bit-reversal permutation (bitrev is an
+    // involution, so out[i] = in[bitrev[i]] equals the classic
+    // conditional-swap pass), and run the first TWO stages, all in
+    // one gather pass: the len = 2 stage is pure add/sub (unit
+    // twiddle) and the len = 4 stage needs only the two leading
+    // stage twiddles, so both resolve in registers before the block
+    // is ever stored — the unfused version pays two extra full
+    // read-modify-write passes over the planes for the same
+    // arithmetic (fusion reorders nothing within a butterfly).
+    const double w4r = stageTwiddles[1];
+    const double w4i = sign * stageTwiddles[3];
+    for (std::size_t i = 0; i < n; i += 4) {
+        const std::complex<double> z0 = data[bitrev[i]];
+        const std::complex<double> z1 = data[bitrev[i + 1]];
+        const std::complex<double> z2 = data[bitrev[i + 2]];
+        const std::complex<double> z3 = data[bitrev[i + 3]];
+        // len = 2: unit-twiddle butterflies (z0, z1) and (z2, z3).
+        const double a0r = z0.real() + z1.real();
+        const double a0i = z0.imag() + z1.imag();
+        const double a1r = z0.real() - z1.real();
+        const double a1i = z0.imag() - z1.imag();
+        const double a2r = z2.real() + z3.real();
+        const double a2i = z2.imag() + z3.imag();
+        const double a3r = z2.real() - z3.real();
+        const double a3i = z2.imag() - z3.imag();
+        // len = 4, k = 0: unit twiddle.
+        re[i] = a0r + a2r;
+        im[i] = a0i + a2i;
+        re[i + 2] = a0r - a2r;
+        im[i + 2] = a0i - a2i;
+        // len = 4, k = 1: the textbook complex multiply.
+        const double vr = a3r * w4r - a3i * w4i;
+        const double vi = a3r * w4i + a3i * w4r;
+        re[i + 1] = a1r + vr;
+        im[i + 1] = a1i + vi;
+        re[i + 3] = a1r - vr;
+        im[i + 3] = a1i - vi;
     }
 
-    for (std::size_t len = 4; len <= n; len <<= 1) {
+    std::size_t tw_off = 4; // past the fused len = 4 stage's column
+    for (std::size_t len = 8; len <= n; len <<= 1) {
         const std::size_t halflen = len / 2;
-        const std::size_t step = n / len;
+        const double *const wre = stageTwiddles.data() + tw_off;
+        const double *const wim = wre + halflen;
+        tw_off += 2 * halflen;
         for (std::size_t i = 0; i < n; i += len) {
-            std::complex<double> *lo = data + i;
-            std::complex<double> *hi = lo + halflen;
+            double *const lr = re + i;
+            double *const li = im + i;
+            double *const hr = lr + halflen;
+            double *const hi = li + halflen;
             // k = 0 is another unit twiddle.
-            const std::complex<double> u0 = lo[0];
-            const std::complex<double> v0 = hi[0];
-            lo[0] = u0 + v0;
-            hi[0] = u0 - v0;
-            for (std::size_t k = 1; k < halflen; ++k) {
-                const std::complex<double> w =
-                    inv ? std::conj(twiddle[k * step])
-                        : twiddle[k * step];
-                const std::complex<double> u = lo[k];
-                const std::complex<double> v = hi[k] * w;
-                lo[k] = u + v;
-                hi[k] = u - v;
+            {
+                const double ur = lr[0], ui = li[0];
+                const double vr = hr[0], vi = hi[0];
+                lr[0] = ur + vr;
+                li[0] = ui + vi;
+                hr[0] = ur - vr;
+                hi[0] = ui - vi;
+            }
+            // k = 1 starts one lane past the pack grid, so the range
+            // [1, halflen) always ends on a ragged edge. Finish it
+            // with narrowing packs instead of scalar butterflies:
+            // halflen = 8 goes 4-wide + 2-wide + one scalar rather
+            // than seven scalars (identical arithmetic per k).
+            std::size_t k = butterflySpan<kW>(lr, li, hr, hi, wre, wim,
+                                              sign, 1, halflen);
+            if constexpr (kW > 4)
+                k = butterflySpan<4>(lr, li, hr, hi, wre, wim, sign, k,
+                                     halflen);
+            if constexpr (kW > 2)
+                k = butterflySpan<2>(lr, li, hr, hi, wre, wim, sign, k,
+                                     halflen);
+            for (; k < halflen; ++k) {
+                const double wr = wre[k];
+                const double wi = sign * wim[k];
+                const double xr = hr[k];
+                const double xi = hi[k];
+                const double vr = xr * wr - xi * wi;
+                const double vi = xr * wi + xi * wr;
+                const double ur = lr[k], ui = li[k];
+                lr[k] = ur + vr;
+                li[k] = ui + vi;
+                hr[k] = ur - vr;
+                hi[k] = ui - vi;
             }
         }
     }
 
     if (inv) {
         const double scale = 1.0 / static_cast<double>(n);
-        for (std::size_t i = 0; i < n; ++i)
-            data[i] *= scale;
+        for (std::size_t i = 0; i < n; ++i) {
+            re[i] *= scale;
+            im[i] *= scale;
+        }
+    }
+
+    // Re-interleave through the double view std::complex guarantees
+    // ([complex.numbers.general]): the stride-2 store group is a
+    // shape the auto-vectorizer handles, whereas the std::complex
+    // brace-assignment form was emitted element by element.
+    double *const out = reinterpret_cast<double *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[2 * i] = re[i];
+        out[2 * i + 1] = im[i];
     }
 }
 

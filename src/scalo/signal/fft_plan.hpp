@@ -82,6 +82,14 @@ class FftPlan
     std::vector<std::uint32_t> bitrev;
     /** W_n^k for k in [0, n/2): forward twiddles; inverse conjugates. */
     std::vector<std::complex<double>> twiddle;
+    /**
+     * Per-stage split twiddles for the vectorized butterflies. Stage
+     * len reads twiddle[k * (n/len)] — a strided gather — so each
+     * stage's column is copied bitwise into a dense re-plane +
+     * im-plane at construction. Layout, for len = 4, 8, ..., n in
+     * order: len/2 re values then len/2 im values.
+     */
+    std::vector<double> stageTwiddles;
     /** Plan of half the size driving rfft (null when size() < 2). */
     std::shared_ptr<const FftPlan> half;
 };

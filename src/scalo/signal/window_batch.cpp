@@ -1,0 +1,56 @@
+#include "scalo/signal/window_batch.hpp"
+
+#include <algorithm>
+
+#include "scalo/util/contracts.hpp"
+#include "scalo/util/simd.hpp"
+
+namespace scalo::signal {
+
+std::size_t
+WindowBatch::strideFor(std::size_t window_size)
+{
+    // Round up to the pack width (full-width loops) AND to one cache
+    // line of doubles (row alignment even when the pack is narrower
+    // than 64 bytes).
+    constexpr std::size_t line_doubles =
+        util::AlignedBuffer<double>::kAlignment / sizeof(double);
+    return simd::paddedSize(window_size,
+                            std::max(simd::kLanes, line_doubles));
+}
+
+void
+WindowBatch::reserve(std::size_t rows, std::size_t window_size)
+{
+    count = 0;
+    reserved = rows;
+    window = window_size;
+    row_stride = strideFor(window_size);
+    storage.ensure(rows * row_stride);
+}
+
+void
+WindowBatch::append(const double *samples, std::size_t n)
+{
+    SCALO_EXPECTS(count < reserved);
+    SCALO_EXPECTS(n == window);
+    double *dst = storage.data() + count * row_stride;
+    std::copy_n(samples, n, dst);
+    std::fill(dst + n, dst + row_stride, 0.0);
+    ++count;
+}
+
+void
+WindowBatch::append(const std::vector<double> &samples)
+{
+    append(samples.data(), samples.size());
+}
+
+const double *
+WindowBatch::row(std::size_t i) const
+{
+    SCALO_EXPECTS(i < count);
+    return storage.data() + i * row_stride;
+}
+
+} // namespace scalo::signal

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Structure-of-arrays candidate batch for the wide distance kernels.
+ *
+ * The verification hot path compares one probe window against many
+ * candidate windows. Chasing `std::vector<double>` pointers gives the
+ * kernel one unaligned, independently-allocated row per candidate;
+ * WindowBatch instead lays the candidates out back to back at a fixed
+ * stride in one 64-byte-aligned allocation, so the batched kernels
+ * stream them with aligned full-width loads and hardware prefetch
+ * sees one linear address pattern.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scalo/util/aligned.hpp"
+
+namespace scalo::signal {
+
+/**
+ * Contiguous SoA batch of equal-length windows.
+ *
+ * Layout contract (what the wide kernels rely on):
+ *  - Row i starts at data() + i * stride(); stride() is windowSize()
+ *    rounded up to both the pack width and one 64-byte cache line, so
+ *    every row is util::AlignedBuffer::kAlignment-aligned.
+ *  - Samples beyond windowSize() up to stride() are +0.0. Padding
+ *    lanes therefore contribute exactly zero to any sum-of-squares or
+ *    dot accumulation, and full-width loads never read indeterminate
+ *    memory.
+ *
+ * Usage contract: reserve() shapes the batch (clearing it), append()
+ * copies windows in up to the reserved row count. Storage is
+ * grow-only and growth does not preserve contents — hence the
+ * up-front reserve — so reusing one batch across gather sweeps is
+ * allocation-free once it has seen its largest extent.
+ */
+class WindowBatch
+{
+  public:
+    /** Row stride, in doubles, used for windows of @p window_size. */
+    static std::size_t strideFor(std::size_t window_size);
+
+    /**
+     * Clear and re-shape: room for @p rows windows of
+     * @p window_size samples each. Previous contents are discarded.
+     */
+    void reserve(std::size_t rows, std::size_t window_size);
+
+    /**
+     * Copy @p n samples in as the next row and zero its padding.
+     * @pre size() < reservedRows() and @p n == windowSize()
+     */
+    void append(const double *samples, std::size_t n);
+
+    void append(const std::vector<double> &samples);
+
+    /** Rows appended so far. */
+    std::size_t size() const { return count; }
+
+    bool empty() const { return count == 0; }
+
+    /** Samples per window (excluding padding). */
+    std::size_t windowSize() const { return window; }
+
+    /** Doubles between consecutive row starts. */
+    std::size_t stride() const { return row_stride; }
+
+    /** Rows the current reserve() call allowed for. */
+    std::size_t reservedRows() const { return reserved; }
+
+    /** @pre i < size(). Aligned; valid for stride() doubles. */
+    const double *row(std::size_t i) const;
+
+    const double *data() const { return storage.data(); }
+
+    /** Bytes currently allocated (churn introspection for tests). */
+    std::size_t
+    capacityBytes() const
+    {
+        return storage.capacity() * sizeof(double);
+    }
+
+  private:
+    util::AlignedBuffer<double> storage;
+    std::size_t count = 0;
+    std::size_t reserved = 0;
+    std::size_t window = 0;
+    std::size_t row_stride = 0;
+};
+
+} // namespace scalo::signal

@@ -234,7 +234,9 @@ TEST(BatchedDistance, HandlesEmptyAndDegenerateInputs)
 {
     // No candidates: the output shrinks to empty.
     std::vector<double> out{1.0, 2.0};
-    scalo::signal::euclideanDistanceMany({1.0, 2.0}, {}, out);
+    const std::vector<const std::vector<double> *> no_candidates;
+    scalo::signal::euclideanDistanceMany({1.0, 2.0}, no_candidates,
+                                         out);
     EXPECT_TRUE(out.empty());
 
     // Zero-length query against zero-length candidates: all zeros.
