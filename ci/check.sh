@@ -40,6 +40,12 @@
 #                          with ci/validate_trace.py
 #   ci/check.sh tsan       ThreadSanitizer build + the simulation
 #                          runtime tests
+#   ci/check.sh scale      hierarchical-fabric gate: the cluster/
+#                          decomposed-scheduler/parallel-parity
+#                          suites under TSan, a 256-node clustered
+#                          smoke run with the trace validated
+#                          (relay/backbone events required), and a
+#                          report-only BENCH_scaling.json comparison
 #   ci/check.sh serve      Release build of the serving runtime:
 #                          load-generator smoke (>=1000 concurrent
 #                          queries under a chaos plan, zero hangs,
@@ -381,6 +387,49 @@ gate_trace() {
     python3 "$ROOT/ci/validate_trace.py" "$trace"
 }
 
+gate_scale() {
+    # The hierarchical-fabric scale gate. Three legs: (1) TSan over
+    # the cluster/scheduler/parallel-parity suites — the conservative
+    # engine's byte-identity claim is also a no-data-race claim, so
+    # the parity tests must pass under the race detector; (2) a
+    # 256-node clustered smoke run, traced and validated with the
+    # relay/backbone event kinds required; (3) the BENCH_scaling.json
+    # scaling curve regenerated in Release and compared report-only
+    # (scaling numbers inform, they never gate).
+    local tsan="$ROOT/build-ci-tsan"
+    cmake -S "$ROOT" -B "$tsan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_SANITIZE=thread >/dev/null &&
+        cmake --build "$tsan" -j "$JOBS" \
+            --target cluster_test sched_scale_test \
+            parallel_sim_test &&
+        ctest --test-dir "$tsan" -j "$JOBS" --output-on-failure \
+            -R '^(ClusterPlan|SchedScale|ParallelSim)' || return 1
+
+    note "256-node clustered smoke (trace validated)"
+    local dir="$ROOT/build-ci-tier1"
+    cmake -S "$ROOT" -B "$dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+        cmake --build "$dir" -j "$JOBS" \
+            --target example_simulate_system || return 1
+    local trace="$dir/scale_trace.json"
+    "$dir/examples/example_simulate_system" \
+        --nodes 256 --clusters 16 --parallel \
+        --duration 100 --trace "$trace" || return 1
+    python3 "$ROOT/ci/validate_trace.py" "$trace" \
+        --require-cluster-events || return 1
+
+    note "scaling curve (report-only)"
+    local bdir="$ROOT/build-ci-bench"
+    cmake -S "$ROOT" -B "$bdir" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DSCALO_MARCH="${SCALO_BENCH_MARCH:-native}" >/dev/null &&
+        cmake --build "$bdir" -j "$JOBS" --target bench_scaling ||
+        return 1
+    bench_compare "$bdir" bench_scaling BENCH_scaling.json compare \
+        --require-release
+}
+
 gate_tsan() {
     # The discrete-event engine is single-threaded by design; TSan
     # guards the boundary where the parallel query runtime and the
@@ -485,6 +534,7 @@ main() {
     scalar) run_gate scalar gate_scalar ;;
     trace) run_gate trace gate_trace ;;
     tsan) run_gate tsan gate_tsan ;;
+    scale) run_gate scale gate_scale ;;
     serve) run_gate serve gate_serve ;;
     chaos) run_gate chaos gate_chaos ;;
     all)
@@ -497,11 +547,12 @@ main() {
         run_gate scalar gate_scalar
         run_gate trace gate_trace
         run_gate tsan gate_tsan
+        run_gate scale gate_scale
         run_gate serve gate_serve
         run_gate chaos gate_chaos
         ;;
     *)
-        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|scalar|trace|tsan|serve|chaos|all]"
+        echo "usage: ci/check.sh [tier1|sanitize|strict|negative|tidy|bench|scalar|trace|tsan|scale|serve|chaos|all]"
         exit 2
         ;;
     esac

@@ -26,7 +26,7 @@ import argparse
 import json
 import sys
 
-# Mirrors sim::traceEventName's 16 kinds; the exporter writes the
+# Mirrors sim::traceEventName's 19 kinds; the exporter writes the
 # kind into the "cat" field, so an unknown category means the C++
 # enum and this validator have drifted apart.
 KNOWN_CATEGORIES = {
@@ -46,6 +46,9 @@ KNOWN_CATEGORIES = {
     "node-recovered",
     "exchange-timed-out",
     "resched",
+    "relay-forward",
+    "backbone-start",
+    "backbone-finish",
 }
 
 FAULT_CATEGORIES = {
@@ -54,6 +57,14 @@ FAULT_CATEGORIES = {
     "node-recovered",
     "exchange-timed-out",
     "resched",
+}
+
+# Emitted only by the hierarchical (multi-cluster) fabric: relay
+# hand-offs into the backbone and the backbone round spans.
+CLUSTER_CATEGORIES = {
+    "relay-forward",
+    "backbone-start",
+    "backbone-finish",
 }
 
 
@@ -74,6 +85,13 @@ def main() -> int:
         help="fail unless at least one fault-framework event "
         "(fault-injected/node-down/node-recovered/"
         "exchange-timed-out/resched) is present",
+    )
+    parser.add_argument(
+        "--require-cluster-events",
+        action="store_true",
+        help="fail unless at least one hierarchical-fabric event "
+        "(relay-forward/backbone-start/backbone-finish) is "
+        "present (the trace must come from a multi-cluster run)",
     )
     args = parser.parse_args()
 
@@ -152,10 +170,20 @@ def main() -> int:
             "--require-fault-events: no fault-framework events "
             "(fault plan not exported?)"
         )
+    cluster_events = sum(
+        cat_counts.get(c, 0) for c in CLUSTER_CATEGORIES
+    )
+    if args.require_cluster_events and cluster_events == 0:
+        return fail(
+            "--require-cluster-events: no relay/backbone events "
+            "(trace not from a multi-cluster run?)"
+        )
 
     summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
     still_dead = sorted(p for p, dead in node_dead.items() if dead)
     extra = f" fault-events={fault_events}"
+    if cluster_events:
+        extra += f" cluster-events={cluster_events}"
     if still_dead:
         extra += f" still-dead-pids={still_dead}"
     print(

@@ -9,8 +9,24 @@ namespace scalo::core {
 ScaloSystem::ScaloSystem(const ScaloConfig &config) : cfg(config)
 {
     SCALO_ASSERT(cfg.nodes >= 1, "need at least one node");
+    SCALO_ASSERT(cfg.clusters >= 1 && cfg.clusters <= cfg.nodes,
+                 "cluster count must be in [1, nodes]");
     if (cfg.powerCap > constants::kPowerCap)
         SCALO_FATAL("per-implant power above the 15 mW safety cap");
+}
+
+sched::SystemConfig
+ScaloSystem::schedulerConfig() const
+{
+    sched::SystemConfig sys;
+    sys.nodes = cfg.nodes;
+    sys.powerCap = cfg.powerCap;
+    sys.radio = &net::radioSpec(cfg.radio);
+    sys.maxElectrodesPerNode = constants::kElectrodesPerNode;
+    if (cfg.clusters > 1)
+        sys.clusters =
+            net::ClusterPlan::balanced(cfg.nodes, cfg.clusters);
+    return sys;
 }
 
 bool
@@ -29,22 +45,15 @@ sched::Schedule
 ScaloSystem::deploy(const std::vector<sched::FlowSpec> &flows,
                     const std::vector<double> &priorities) const
 {
-    sched::SystemConfig sys;
-    sys.nodes = cfg.nodes;
-    sys.powerCap = cfg.powerCap;
-    sys.radio = &net::radioSpec(cfg.radio);
-    sys.maxElectrodesPerNode = constants::kElectrodesPerNode;
-    const sched::Scheduler scheduler(sys);
+    const sched::Scheduler scheduler(schedulerConfig());
     return scheduler.schedule(flows, priorities);
 }
 
 units::MegabitsPerSecond
 ScaloSystem::maxThroughput(const sched::FlowSpec &flow) const
 {
-    sched::SystemConfig sys;
-    sys.nodes = cfg.nodes;
-    sys.powerCap = cfg.powerCap;
-    sys.radio = &net::radioSpec(cfg.radio);
+    sched::SystemConfig sys = schedulerConfig();
+    sys.maxElectrodesPerNode = 0.0;
     const sched::Scheduler scheduler(sys);
     return scheduler.maxAggregateThroughput(flow);
 }
@@ -57,11 +66,7 @@ ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
     SCALO_ASSERT(schedule.feasible,
                  "cannot simulate an infeasible schedule");
     sim::SystemSimConfig sim_config;
-    sim_config.system.nodes = cfg.nodes;
-    sim_config.system.powerCap = cfg.powerCap;
-    sim_config.system.radio = &net::radioSpec(cfg.radio);
-    sim_config.system.maxElectrodesPerNode =
-        constants::kElectrodesPerNode;
+    sim_config.system = schedulerConfig();
     sim_config.flows = flows;
     sim_config.schedule = schedule;
     sim_config.duration = options.duration;
@@ -73,6 +78,8 @@ ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
     sim_config.faults = options.faults;
     sim_config.retry = options.retry;
     sim_config.priorities = options.priorities;
+    sim_config.parallel = options.parallel;
+    sim_config.threads = options.threads;
     sim::SystemSim system_sim(std::move(sim_config));
     sim::SystemSimResult result = system_sim.run();
     if (!options.tracePath.empty() &&
@@ -128,6 +135,8 @@ ScaloSystem::describe() const
         << " (" << radio().dataRate.count() << " Mbps), spacing "
         << cfg.spacing.count() << " mm, thermal "
         << (thermallySafe() ? "safe" : "UNSAFE");
+    if (cfg.clusters > 1)
+        oss << ", " << cfg.clusters << " clusters";
     return oss.str();
 }
 

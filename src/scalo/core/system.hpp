@@ -37,6 +37,13 @@ struct ScaloConfig
     /** Inter-implant spacing on the cortical surface. */
     units::Millimetres spacing = constants::kImplantSpacing;
     std::uint64_t seed = 0x5ca10;
+    /**
+     * Hierarchical fabric width: the nodes are partitioned into this
+     * many balanced TDMA clusters bridged by a relay backbone. 1 (the
+     * default) is the flat single-medium fabric, bit-identical to the
+     * pre-hierarchy system.
+     */
+    std::size_t clusters = 1;
 };
 
 /**
@@ -64,6 +71,14 @@ struct SimulateOptions
     std::vector<double> priorities;
     /** Transmission retry policy under faults. */
     net::RetryPolicy retry;
+    /**
+     * Advance cluster event queues on worker threads (multi-cluster
+     * systems only). The serial engine produces the identical result
+     * and trace; parallelism only changes wall-clock time.
+     */
+    bool parallel = false;
+    /** Worker count for parallel runs; 0 picks a default width. */
+    std::size_t threads = 0;
 };
 
 /** A configured SCALO BCI. */
@@ -143,6 +158,9 @@ class ScaloSystem
     std::string describe() const;
 
   private:
+    /** The scheduler-facing view of this system (cluster plan etc). */
+    sched::SystemConfig schedulerConfig() const;
+
     ScaloConfig cfg;
     hw::NodeFabric nodeFabric;
     hw::ThermalModel thermal;

@@ -1,0 +1,95 @@
+#include "scalo/net/cluster.hpp"
+
+#include <algorithm>
+
+#include "scalo/util/contracts.hpp"
+
+namespace scalo::net {
+
+ClusterPlan
+ClusterPlan::flat(std::size_t node_count)
+{
+    return balanced(node_count, 1);
+}
+
+ClusterPlan
+ClusterPlan::balanced(std::size_t node_count,
+                      std::size_t cluster_count)
+{
+    SCALO_EXPECTS(node_count > 0);
+    SCALO_EXPECTS(cluster_count > 0);
+    SCALO_EXPECTS(cluster_count <= node_count);
+    ClusterPlan plan;
+    plan.offsets.reserve(cluster_count + 1);
+    const std::size_t base = node_count / cluster_count;
+    const std::size_t extra = node_count % cluster_count;
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < cluster_count; ++c) {
+        plan.offsets.push_back(cursor);
+        cursor += base + (c < extra ? 1 : 0);
+    }
+    plan.offsets.push_back(cursor);
+    SCALO_ENSURES(cursor == node_count);
+    return plan;
+}
+
+std::size_t
+ClusterPlan::nodeCount() const
+{
+    return offsets.empty() ? 0 : offsets.back();
+}
+
+std::size_t
+ClusterPlan::clusterCount() const
+{
+    return offsets.empty() ? 0 : offsets.size() - 1;
+}
+
+std::size_t
+ClusterPlan::clusterOf(std::size_t node) const
+{
+    SCALO_EXPECTS(!offsets.empty());
+    SCALO_EXPECTS(node < nodeCount());
+    const auto it = std::upper_bound(offsets.begin(),
+                                     offsets.end(), node);
+    return static_cast<std::size_t>(it - offsets.begin()) - 1;
+}
+
+std::size_t
+ClusterPlan::firstOf(std::size_t cluster) const
+{
+    SCALO_EXPECTS(cluster < clusterCount());
+    return offsets[cluster];
+}
+
+std::size_t
+ClusterPlan::sizeOf(std::size_t cluster) const
+{
+    SCALO_EXPECTS(cluster < clusterCount());
+    return offsets[cluster + 1] - offsets[cluster];
+}
+
+std::vector<std::size_t>
+ClusterPlan::members(std::size_t cluster) const
+{
+    const std::size_t first = firstOf(cluster);
+    const std::size_t size = sizeOf(cluster);
+    std::vector<std::size_t> out;
+    out.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+        out.push_back(first + i);
+    return out;
+}
+
+void
+ClusterPlan::validate() const
+{
+    SCALO_EXPECTS(!offsets.empty());
+    SCALO_EXPECTS(offsets.size() >= 2);
+    SCALO_EXPECTS(offsets.front() == 0);
+    for (std::size_t c = 0; c + 1 < offsets.size(); ++c)
+        SCALO_EXPECTS(offsets[c] < offsets[c + 1]);
+    SCALO_EXPECTS(backboneShare > 0.0 && backboneShare < 1.0);
+}
+
+} // namespace scalo::net

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hierarchical fabric partitioning. A ClusterPlan splits the fabric's
+ * nodes into clusters that each run their own TDMA rounds on an
+ * independent medium; one designated relay node per cluster carries
+ * aggregated inter-cluster traffic on a shared backbone schedule.
+ * The degenerate single-cluster plan reproduces the original flat
+ * medium exactly, so every small-N figure is unchanged.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalo::net {
+
+/**
+ * Partition of node ids [0, nodeCount) into contiguous clusters.
+ *
+ * Clusters are contiguous id ranges: cluster c owns
+ * [offset(c), offset(c+1)). Contiguity keeps membership O(1) and
+ * makes generated topologies easy to reason about; physical layouts
+ * that want a different grouping can renumber nodes.
+ *
+ * The relay of a cluster is its first *alive* member; with no alive
+ * mask it is simply the first member. Relay duty migrates to the
+ * next surviving member when nodes die.
+ */
+class ClusterPlan
+{
+  public:
+    /** Empty plan; callers treat it as flat over their node count. */
+    ClusterPlan() = default;
+
+    /** One cluster holding every node: the legacy flat medium. */
+    static ClusterPlan flat(std::size_t node_count);
+
+    /**
+     * @p cluster_count clusters of near-equal size (larger clusters
+     * first when @p node_count does not divide evenly).
+     */
+    static ClusterPlan balanced(std::size_t node_count,
+                                std::size_t cluster_count);
+
+    /** True when default-constructed (no partition recorded). */
+    bool empty() const { return offsets.empty(); }
+
+    /** Number of nodes partitioned. */
+    std::size_t nodeCount() const;
+
+    /** Number of clusters (0 for an empty plan). */
+    std::size_t clusterCount() const;
+
+    /** Cluster owning node @p node. */
+    std::size_t clusterOf(std::size_t node) const;
+
+    /** First node id of cluster @p cluster. */
+    std::size_t firstOf(std::size_t cluster) const;
+
+    /** Number of nodes in cluster @p cluster. */
+    std::size_t sizeOf(std::size_t cluster) const;
+
+    /** Member node ids of cluster @p cluster, ascending. */
+    std::vector<std::size_t> members(std::size_t cluster) const;
+
+    /**
+     * Relay node of cluster @p cluster: the first member for which
+     * @p is_alive returns true. Falls back to the first member when
+     * every member is down (the cluster is then silent anyway).
+     */
+    template <typename AliveFn>
+    std::size_t
+    relay(std::size_t cluster, AliveFn &&is_alive) const
+    {
+        const std::size_t first = firstOf(cluster);
+        const std::size_t size = sizeOf(cluster);
+        for (std::size_t i = 0; i < size; ++i)
+            if (is_alive(first + i))
+                return first + i;
+        return first;
+    }
+
+    /** Relay with every node assumed alive: the first member. */
+    std::size_t
+    relay(std::size_t cluster) const
+    {
+        return firstOf(cluster);
+    }
+
+    /**
+     * Fraction of each networked flow's round budget reserved for
+     * the inter-cluster backbone; the remainder funds intra-cluster
+     * rounds. Ignored by single-cluster plans (the flat medium keeps
+     * the whole budget).
+     */
+    double backboneShare = 0.5;
+
+    /** Contract-check the partition (contiguous, non-empty, share). */
+    void validate() const;
+
+    bool operator==(const ClusterPlan &other) const = default;
+
+  private:
+    /**
+     * Cluster boundaries: offsets[c] is the first node of cluster c
+     * and offsets.back() == nodeCount(). Size clusterCount()+1 when
+     * non-empty.
+     */
+    std::vector<std::size_t> offsets;
+};
+
+} // namespace scalo::net

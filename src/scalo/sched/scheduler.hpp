@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "scalo/net/cluster.hpp"
 #include "scalo/net/radio.hpp"
 #include "scalo/sched/workloads.hpp"
 
@@ -43,6 +44,17 @@ struct SystemConfig
      * power or response time binds).
      */
     double maxElectrodesPerNode = 0.0;
+    /**
+     * Hierarchical fabric partition. Empty means flat (one cluster
+     * spanning every node, the legacy medium).
+     */
+    net::ClusterPlan clusters;
+    /**
+     * At or below this node count the scheduler keeps the dense
+     * monolithic solve even when a multi-cluster plan is configured,
+     * so small-N schedules are bit-identical to the flat ones.
+     */
+    std::size_t monolithicNodeThreshold = 48;
 };
 
 /** Electrode allocation of one flow across nodes. */
@@ -74,6 +86,12 @@ struct RescheduleResult
     /** True when the ILP re-solve produced it; false = greedy repair. */
     bool viaIlp = false;
     std::vector<std::size_t> deadNodes;
+    /**
+     * Clusters whose sub-problems were re-solved. The decomposed path
+     * only touches clusters containing dead nodes; the monolithic
+     * path re-solves the whole fabric and lists every cluster.
+     */
+    std::vector<std::size_t> resolvedClusters;
     /** Degradation deltas (before = the original schedule). */
     units::MegabitsPerSecond throughputBefore{0.0};
     units::MegabitsPerSecond throughputAfter{0.0};
@@ -126,12 +144,95 @@ class Scheduler
 
     const SystemConfig &config() const { return systemConfig; }
 
+    /** The effective partition (flat when none was configured). */
+    const net::ClusterPlan &plan() const { return effectivePlan; }
+
+    /**
+     * True when schedule()/reschedule() use the decomposed per-cluster
+     * formulation: a multi-cluster plan above the monolithic
+     * threshold.
+     */
+    bool decomposed() const;
+
+    /**
+     * Force the dense whole-fabric solve regardless of the cluster
+     * plan (the small-N reference, and the baseline the scaling bench
+     * times against).
+     */
+    Schedule
+    scheduleMonolithic(const std::vector<FlowSpec> &flows,
+                       const std::vector<double> &priorities) const;
+
+    /**
+     * Force the decomposed solve: one compact sub-ILP per cluster
+     * (intra-cluster share of each flow's round budget), then greedy
+     * stitching of the inter-cluster relay traffic into the backbone
+     * share, scaling flows down when the backbone would overrun.
+     * Falls back to the monolithic solve on single-cluster plans.
+     */
+    Schedule
+    scheduleDecomposed(const std::vector<FlowSpec> &flows,
+                       const std::vector<double> &priorities) const;
+
+    /**
+     * Re-solve exactly one cluster around @p dead_nodes (all of which
+     * must belong to @p cluster); every other cluster's columns are
+     * copied from @p original untouched. This is the entry the
+     * simulator's per-cluster runtimes use: it reads shared state
+     * immutably and never scales other clusters, so concurrent calls
+     * for distinct clusters are safe. Deaths only shrink relay
+     * payloads, so skipping the backbone re-stitch is conservative.
+     */
+    RescheduleResult
+    rescheduleCluster(const std::vector<FlowSpec> &flows,
+                      const std::vector<double> &priorities,
+                      const Schedule &original,
+                      const std::vector<std::size_t> &dead_nodes,
+                      std::size_t cluster) const;
+
   private:
     Schedule scheduleMasked(const std::vector<FlowSpec> &flows,
                             const std::vector<double> &priorities,
                             const std::vector<bool> &alive) const;
 
+    /**
+     * Compact sub-ILP over @p cluster's members: variables and
+     * constraints only for member nodes, the flow round budgets
+     * scaled to the intra-cluster share. Returns full-width
+     * allocations with zeros outside the cluster; nodePower is left
+     * empty (the caller computes it over the merged schedule).
+     */
+    Schedule
+    scheduleClusterMasked(const std::vector<FlowSpec> &flows,
+                          const std::vector<double> &priorities,
+                          const std::vector<bool> &alive,
+                          std::size_t cluster) const;
+
+    /** Cluster-restricted greedy repair (same policy as greedyRepair). */
+    void
+    greedyRepairCluster(const std::vector<FlowSpec> &flows,
+                        Schedule &repaired,
+                        const std::vector<bool> &alive,
+                        std::size_t cluster) const;
+
+    /**
+     * Greedy backbone stitching: fit each networked flow's per-cluster
+     * relay aggregates into the backbone share of its round budget,
+     * uniformly scaling sender electrodes down (or starving the flow)
+     * when they do not fit.
+     */
+    void stitchBackbone(const std::vector<FlowSpec> &flows,
+                        Schedule &combined,
+                        const std::vector<bool> &alive) const;
+
+    /** Recompute totals/throughput/nodePower after a merge or stitch. */
+    void finalizeSchedule(const std::vector<FlowSpec> &flows,
+                          const std::vector<double> &priorities,
+                          Schedule &combined,
+                          const std::vector<bool> &alive) const;
+
     SystemConfig systemConfig;
+    net::ClusterPlan effectivePlan;
 };
 
 } // namespace scalo::sched

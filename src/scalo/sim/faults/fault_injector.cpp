@@ -14,8 +14,29 @@ covers(units::Millis from, units::Millis to, units::Micros t)
 } // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
-    : faultPlan(std::move(plan)), rng(seed ^ 0xfa17'fa17'fa17'fa17ULL)
+    : faultPlan(std::move(plan)),
+      rng(seed ^ 0xfa17'fa17'fa17'fa17ULL), seed(seed)
 {
+}
+
+void
+FaultInjector::partitionNvmStreams(std::size_t node_count)
+{
+    nodeRngs.clear();
+    nodeRngs.reserve(node_count);
+    for (std::size_t n = 0; n < node_count; ++n)
+        nodeRngs.emplace_back(
+            mix64(seed ^ 0xfa17'fa17'fa17'fa17ULL, n + 1));
+    nodeFailures.assign(node_count, 0);
+}
+
+std::uint64_t
+FaultInjector::nvmFailuresDrawn() const
+{
+    std::uint64_t total = nvmFailures;
+    for (const std::uint64_t f : nodeFailures)
+        total += f;
+    return total;
 }
 
 bool
@@ -59,8 +80,13 @@ FaultInjector::nvmWriteFails(std::uint32_t node)
     for (const NvmFailureFault &failure : faultPlan.nvmFailures) {
         if (failure.node != node || failure.probability <= 0.0)
             continue;
-        if (rng.chance(failure.probability)) {
-            ++nvmFailures;
+        Rng &stream =
+            nodeRngs.empty() ? rng : nodeRngs[node];
+        if (stream.chance(failure.probability)) {
+            if (nodeRngs.empty())
+                ++nvmFailures;
+            else
+                ++nodeFailures[node];
             return true;
         }
         return false;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "scalo/sim/faults/fault_plan.hpp"
 #include "scalo/util/rng.hpp"
@@ -51,13 +52,27 @@ class FaultInjector
      */
     bool nvmWriteFails(std::uint32_t node);
 
+    /**
+     * Split the NVM draw stream into one independent seeded stream
+     * (and failure counter) per node. The hierarchical runtime calls
+     * this when clusters execute concurrently: with a single shared
+     * stream the draw order would depend on the cluster interleaving.
+     * Single-cluster (flat) runs keep the legacy shared stream, so
+     * their draw sequences are unchanged.
+     */
+    void partitionNvmStreams(std::size_t node_count);
+
     /** Number of NVM failures drawn so far (for result accounting). */
-    std::uint64_t nvmFailuresDrawn() const { return nvmFailures; }
+    std::uint64_t nvmFailuresDrawn() const;
 
   private:
     FaultPlan faultPlan;
     Rng rng;
+    std::uint64_t seed = 0;
     std::uint64_t nvmFailures = 0;
+    /** Per-node streams/counters; empty until partitioned. */
+    std::vector<Rng> nodeRngs;
+    std::vector<std::uint64_t> nodeFailures;
 };
 
 } // namespace scalo::sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A shared transmission medium as seen by the discrete-event runtime:
+ * one half-duplex channel on which at most one exchange is in flight
+ * at a time. The hierarchical fabric instantiates one Medium per
+ * cluster plus one for the inter-cluster backbone; the flat fabric is
+ * the single-Medium special case (this replaces the old lone
+ * `networkFreeUs` scalar inside SystemSim).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace scalo::sim {
+
+/** Occupancy of one half-duplex medium on the integer-µs grid. */
+class Medium
+{
+  public:
+    /**
+     * Earliest start for a transmission requested at @p at_us: the
+     * request time, pushed back while the medium is still busy.
+     */
+    std::uint64_t
+    acquire(std::uint64_t at_us) const
+    {
+        return std::max(at_us, freeAt);
+    }
+
+    /** Mark the medium busy until @p until_us. */
+    void
+    release(std::uint64_t until_us)
+    {
+        freeAt = std::max(freeAt, until_us);
+    }
+
+    /** First microsecond at which the medium is idle. */
+    std::uint64_t freeAtUs() const { return freeAt; }
+
+  private:
+    std::uint64_t freeAt = 0;
+};
+
+} // namespace scalo::sim

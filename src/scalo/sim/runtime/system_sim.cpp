@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <optional>
+#include <limits>
 
 #include "scalo/hw/nvm.hpp"
-#include "scalo/net/channel.hpp"
 #include "scalo/net/tdma.hpp"
 #include "scalo/util/contracts.hpp"
 #include "scalo/util/logging.hpp"
+#include "scalo/util/thread_pool.hpp"
 
 namespace scalo::sim {
 
@@ -21,6 +20,10 @@ constexpr double kParticipantEpsilon = 1e-6;
 constexpr units::Micros kGuard{20.0};
 /** Domain separator for the backoff-jitter RNG stream. */
 constexpr std::uint64_t kBackoffSeedSalt = 0xbacc'0ff5'eed0'0001ULL;
+/** Domain separator for the backbone channel seeds. */
+constexpr std::uint64_t kBackboneChannelSalt = 0xbbbb'0000ULL;
+/** Domain separator for the backbone backoff stream. */
+constexpr std::uint64_t kBackboneBackoffSalt = 0xbbbb'ffffULL;
 
 /** Indices of transmitting nodes, matching the scheduler's model. */
 std::vector<std::size_t>
@@ -50,6 +53,16 @@ toTicks(units::Micros t)
     return static_cast<std::uint64_t>(std::llround(t.count()));
 }
 
+/** Round payload bytes of @p e electrodes under @p net's encoding. */
+std::size_t
+payloadFor(const sched::NetworkUse &net, double e)
+{
+    const double bytes =
+        net.bytesPerElectrode * e + net.bytesPerNode;
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(bytes)));
+}
+
 } // namespace
 
 /** Per-flow execution state threaded through the run. */
@@ -59,34 +72,27 @@ struct SystemSim::FlowRuntime
     std::vector<std::size_t> participants;
     /** NodeModel flow index per system node (npos if absent). */
     std::vector<std::size_t> flowOnNode;
-    /** Transmitting nodes; empty for local flows. */
+    /** Transmitting nodes across the fabric; empty for local flows. */
     std::vector<std::size_t> senders;
-    /** Payload bytes per sender per round (by system node). */
+    /** Payload bytes per sender per round (by system node). Senders
+     *  of distinct clusters occupy disjoint slots, so concurrent
+     *  cluster runtimes never write the same entry. */
     std::vector<std::size_t> payloadBytes;
     /** Uncommitted NVM bytes per node (sub-byte carry). */
     std::vector<double> nvmCarry;
     std::size_t windowsPerNode = 0;
     std::uint64_t windowTicks = 0;
+    /** Backbone assembly deadline (exchange deadline, else window). */
+    std::uint64_t deadlineTicks = 0;
     bool networked = false;
     bool exactCompare = false;
     net::PacketType packetType = net::PacketType::Hash;
-    std::optional<net::WirelessChannel> channel;
-    std::uint16_t nextSequence = 0;
 
-    /** Assembly state of one exchange round. */
-    struct RoundState
-    {
-        /** Senders done with their local pipeline, arrival order. */
-        std::vector<std::size_t> ready;
-        bool deadlineArmed = false;
-        bool exchanged = false;
-    };
-    std::map<std::uint64_t, RoundState> rounds;
-
-    // Measured accumulators.
+    // Coordinator-side accumulators. On a clustered fabric the
+    // backbone rounds fill the response/round stats; per-cluster
+    // contributions are folded in by mergeClusterStats().
     std::size_t submitted = 0;
     std::size_t completed = 0;
-    std::size_t dropped = 0;
     std::uint64_t responseSumUs = 0;
     std::uint64_t maxResponseUs = 0;
     std::uint64_t firstResponseUs = 0;
@@ -98,6 +104,7 @@ struct SystemSim::FlowRuntime
     std::uint64_t packetsCorrupted = 0;
     std::uint64_t retransmissions = 0;
     std::uint64_t packetsLost = 0;
+    std::uint64_t relayForwards = 0;
 
     // Static predictions.
     double analyticRoundUs = 0.0;
@@ -105,11 +112,111 @@ struct SystemSim::FlowRuntime
     bool analyticSustainable = true;
 };
 
+/** Cluster-confined state of one flow (owned by that cluster's
+ *  runtime; no other thread touches it between barriers). */
+struct SystemSim::ClusterFlow
+{
+    /** The flow's senders that live in this cluster. */
+    std::vector<std::size_t> senders;
+    /** This cluster's medium channel for the flow. */
+    std::optional<net::WirelessChannel> channel;
+    std::uint16_t nextSequence = 0;
+    /** Live electrodes of the cluster (member-order sum). */
+    double liveTotalElectrodes = 0.0;
+
+    /** Assembly state of one intra-cluster exchange round. */
+    struct RoundState
+    {
+        /** Senders done with their local pipeline, arrival order. */
+        std::vector<std::size_t> ready;
+        bool deadlineArmed = false;
+        bool exchanged = false;
+    };
+    std::map<std::uint64_t, RoundState> rounds;
+
+    // Cluster-local accumulators, merged after the run. The response
+    // stats are only filled where the cluster is the point of
+    // completion: local flows, and networked flows on the flat fabric.
+    std::size_t completed = 0;
+    std::uint64_t responseSumUs = 0;
+    std::uint64_t maxResponseUs = 0;
+    std::uint64_t firstResponseUs = 0;
+    std::uint64_t lastResponseUs = 0;
+    std::uint64_t firstTick = 0;
+    std::uint64_t lastTick = 0;
+    std::uint64_t roundSumUs = 0;
+    std::uint64_t maxRoundUs = 0;
+    std::size_t roundCount = 0;
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetsCorrupted = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t packetsLost = 0;
+};
+
+/** A relay node's aggregated round, queued for the backbone. */
+struct SystemSim::RelayPacket
+{
+    std::size_t flow = 0;
+    std::uint64_t window = 0;
+    std::size_t cluster = 0;
+    /** When the intra-cluster round started (for the round span). */
+    std::uint64_t startTick = 0;
+    /** When the aggregate became available at the relay. */
+    std::uint64_t readyTick = 0;
+    std::size_t bytes = 0;
+    std::size_t relay = 0;
+};
+
+/** Backbone assembly state of one (flow, window) round. */
+struct SystemSim::BackboneRound
+{
+    std::vector<RelayPacket> entries;
+    std::uint64_t firstReadyTick =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t minStartTick =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t maxReadyTick = 0;
+};
+
+/**
+ * One cluster's execution domain: a private event queue, medium,
+ * trace buffer, failure detector and RNG streams. Everything in here
+ * is touched by exactly one thread during a quantum; the coordinator
+ * reads it only at barriers.
+ */
+struct SystemSim::Cluster
+{
+    Cluster(std::size_t cluster_id,
+            std::vector<std::size_t> member_nodes,
+            std::size_t node_count, std::size_t miss_threshold,
+            std::uint64_t backoff_seed)
+        : id(cluster_id), members(std::move(member_nodes)),
+          mediumId(Trace::mediumNode(cluster_id)),
+          detector(node_count, miss_threshold),
+          backoffRng(backoff_seed)
+    {
+    }
+
+    std::size_t id = 0;
+    std::vector<std::size_t> members;
+    std::uint32_t mediumId = Trace::kNetworkNode;
+    Simulator sim;
+    Trace trace;
+    Medium medium;
+    net::HeartbeatDetector detector;
+    Rng backoffRng;
+    std::vector<ClusterFlow> flows;
+    /** Relay aggregates awaiting the backbone (drained at barriers). */
+    std::vector<RelayPacket> outbox;
+    std::vector<NodeDownEvent> downEvents;
+    std::vector<RescheduleEvent> reschedEvents;
+    std::uint64_t exchangeTimeouts = 0;
+    std::size_t eventsExecuted = 0;
+};
+
 SystemSim::SystemSim(SystemSimConfig cfg)
     : config(std::move(cfg)),
       injector(config.faults, config.seed),
-      detector(config.system.nodes, config.heartbeatMissThreshold),
-      backoffRng(config.seed ^ kBackoffSeedSalt),
       liveSchedule(config.schedule)
 {
     SCALO_ASSERT(config.schedule.feasible,
@@ -126,12 +233,48 @@ SystemSim::SystemSim(SystemSimConfig cfg)
                  "one priority per flow");
 
     const std::size_t node_count = config.system.nodes;
+    plan = config.system.clusters.empty()
+               ? net::ClusterPlan::flat(node_count)
+               : config.system.clusters;
+    plan.validate();
+    SCALO_ASSERT(plan.nodeCount() == node_count,
+                 "cluster plan must partition the fabric's nodes");
+    const std::size_t cluster_count = plan.clusterCount();
+
+    // Per-node NVM draw streams keep the Bernoulli sequence
+    // independent of cluster interleaving; the flat fabric keeps the
+    // legacy shared stream (and its exact draw order).
+    if (cluster_count > 1)
+        injector.partitionNvmStreams(node_count);
+
+    clusters.reserve(cluster_count);
+    for (std::size_t c = 0; c < cluster_count; ++c) {
+        const std::uint64_t legacy_backoff =
+            config.seed ^ kBackoffSeedSalt;
+        clusters.push_back(std::make_unique<Cluster>(
+            c, plan.members(c), node_count,
+            config.heartbeatMissThreshold,
+            c == 0 ? legacy_backoff : mix64(legacy_backoff, c)));
+        clusters.back()->flows.resize(config.flows.size());
+        if (!config.recordTrace)
+            clusters.back()->trace.setCountersOnly(true);
+    }
+    if (!config.recordTrace) {
+        globalTrace.setCountersOnly(true);
+        eventTrace.setCountersOnly(true);
+    }
+    backboneChannels.resize(config.flows.size());
+    backboneBackoffRng = Rng(mix64(config.seed ^ kBackoffSeedSalt,
+                                   kBackboneBackoffSalt));
+
     nodeUp.assign(node_count, 1);
     crashedAtMs.assign(node_count, -1.0);
     nodes.reserve(node_count);
-    for (std::size_t n = 0; n < node_count; ++n)
-        nodes.emplace_back(simulator, static_cast<std::uint32_t>(n),
-                           &eventTrace);
+    for (std::size_t n = 0; n < node_count; ++n) {
+        Cluster &cl = *clusters[plan.clusterOf(n)];
+        nodes.emplace_back(cl.sim, static_cast<std::uint32_t>(n),
+                           &cl.trace);
+    }
 
     const net::TdmaSchedule tdma(*config.system.radio, node_count);
     flowRuntimes.resize(config.flows.size());
@@ -143,6 +286,10 @@ SystemSim::SystemSim(SystemSimConfig cfg)
         rt.payloadBytes.assign(node_count, 0);
         rt.nvmCarry.assign(node_count, 0.0);
         rt.windowTicks = toTicks(units::Micros(spec.window));
+        rt.deadlineTicks =
+            config.retry.exchangeDeadline.count() > 0.0
+                ? toTicks(units::Micros(config.retry.exchangeDeadline))
+                : rt.windowTicks;
         rt.windowsPerNode = static_cast<std::size_t>(
             std::floor(config.duration.count() /
                            spec.window.count() +
@@ -167,22 +314,23 @@ SystemSim::SystemSim(SystemSimConfig cfg)
                 hw::Pipeline(spec.name, stages), spec.window);
             rt.flowOnNode[n] = idx;
             rt.participants.push_back(n);
+            Cluster *cl = clusters[plan.clusterOf(n)].get();
             nodes[n].onWindowDone(
-                idx, [this, f, n](std::size_t, std::uint64_t w) {
-                    accountWindow(f, static_cast<std::uint32_t>(n),
-                                  w);
+                idx, [this, cl, f, n](std::size_t, std::uint64_t w) {
+                    accountWindow(*cl, f,
+                                  static_cast<std::uint32_t>(n), w);
                 });
         }
 
         // Static predictions: pipeline latency plus, for networked
-        // flows, the serialized TDMA round of the schedule's payload
-        // sizes (the scheduler's own response model).
+        // flows, the TDMA round of the schedule's payload sizes — the
+        // widest cluster's intra round plus, on a multi-cluster
+        // fabric, the serialized backbone round of per-cluster
+        // aggregates (the scheduler's own response model).
         const hw::Pipeline reference(spec.name, stages);
         rt.analyticResponseUs =
             units::Micros(reference.latency()).count();
         if (rt.networked) {
-            rt.channel.emplace(*config.system.radio,
-                               config.seed ^ (0x9e37'79b9 * (f + 1)));
             for (std::size_t n :
                  senderNodes(spec.network->pattern, node_count)) {
                 if (alloc.electrodesPerNode[n] <=
@@ -190,17 +338,54 @@ SystemSim::SystemSim(SystemSimConfig cfg)
                     spec.network->bytesPerNode <= 0.0)
                     continue;
                 rt.senders.push_back(n);
-                const double bytes =
-                    spec.network->bytesPerElectrode *
-                        alloc.electrodesPerNode[n] +
-                    spec.network->bytesPerNode;
-                rt.payloadBytes[n] = std::max<std::size_t>(
-                    1, static_cast<std::size_t>(std::llround(bytes)));
-                rt.analyticRoundUs +=
-                    units::Micros(tdma.slotTime(rt.payloadBytes[n]))
-                        .count();
+                rt.payloadBytes[n] = payloadFor(
+                    *spec.network, alloc.electrodesPerNode[n]);
             }
+            const std::uint64_t legacy_channel =
+                config.seed ^ (0x9e37'79b9 * (f + 1));
+            double widest_intra = 0.0;
+            double backbone = 0.0;
+            for (std::size_t c = 0; c < cluster_count; ++c) {
+                Cluster &cl = *clusters[c];
+                ClusterFlow &cf = cl.flows[f];
+                cf.channel.emplace(*config.system.radio,
+                                   c == 0 ? legacy_channel
+                                          : mix64(legacy_channel, c));
+                double intra = 0.0;
+                double cluster_total = 0.0;
+                for (std::size_t n : cl.members) {
+                    cluster_total += alloc.electrodesPerNode[n];
+                    if (std::find(rt.senders.begin(),
+                                  rt.senders.end(),
+                                  n) == rt.senders.end())
+                        continue;
+                    cf.senders.push_back(n);
+                    intra += units::Micros(
+                                 tdma.slotTime(rt.payloadBytes[n]))
+                                 .count();
+                }
+                cf.liveTotalElectrodes = cluster_total;
+                widest_intra = std::max(widest_intra, intra);
+                if (cluster_count > 1 && !cf.senders.empty())
+                    backbone +=
+                        units::Micros(
+                            tdma.slotTime(payloadFor(*spec.network,
+                                                     cluster_total)))
+                            .count();
+            }
+            rt.analyticRoundUs = widest_intra + backbone;
             rt.analyticResponseUs += rt.analyticRoundUs;
+            backboneChannels[f].emplace(
+                *config.system.radio,
+                mix64(config.seed, kBackboneChannelSalt + f));
+        } else {
+            for (std::size_t c = 0; c < cluster_count; ++c) {
+                ClusterFlow &cf = clusters[c]->flows[f];
+                double cluster_total = 0.0;
+                for (std::size_t n : clusters[c]->members)
+                    cluster_total += alloc.electrodesPerNode[n];
+                cf.liveTotalElectrodes = cluster_total;
+            }
         }
         for (std::size_t n : rt.participants)
             if (!nodes[n].analyticallySustainable(rt.flowOnNode[n]))
@@ -211,10 +396,11 @@ SystemSim::SystemSim(SystemSimConfig cfg)
 SystemSim::~SystemSim() = default;
 
 void
-SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
-                         std::uint64_t window_id)
+SystemSim::accountWindow(Cluster &cluster, std::size_t flow,
+                         std::uint32_t node, std::uint64_t window_id)
 {
     FlowRuntime &rt = flowRuntimes[flow];
+    ClusterFlow &cf = cluster.flows[flow];
     const sched::FlowSpec &spec = config.flows[flow];
     // The degraded allocation (identical to the original until a
     // reschedule happens) drives energy and NVM accounting.
@@ -240,29 +426,29 @@ SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
             rt.nvmCarry[node] -= static_cast<double>(bytes);
             if (injector.nvmWriteFails(node)) {
                 // The append is lost; the page never programs.
-                eventTrace.record(simulator.now(),
-                                  TraceEventKind::FaultInjected,
-                                  node, 0, "nvm-write-fail",
-                                  window_id,
-                                  static_cast<double>(bytes));
+                cluster.trace.record(cluster.sim.now(),
+                                     TraceEventKind::FaultInjected,
+                                     node, 0, "nvm-write-fail",
+                                     window_id,
+                                     static_cast<double>(bytes));
             } else {
                 nvmBytes[node] += bytes;
                 nvmPages[node] += storage[node].append(
                     hw::Partition::Signals, bytes);
-                eventTrace.record(simulator.now(),
-                                  TraceEventKind::NvmWrite, node, 0,
-                                  spec.name, window_id,
-                                  static_cast<double>(bytes));
+                cluster.trace.record(cluster.sim.now(),
+                                     TraceEventKind::NvmWrite, node,
+                                     0, spec.name, window_id,
+                                     static_cast<double>(bytes));
             }
         }
     }
 
     const bool sender = rt.networked &&
-                        std::find(rt.senders.begin(),
-                                  rt.senders.end(),
-                                  node) != rt.senders.end();
+                        std::find(cf.senders.begin(),
+                                  cf.senders.end(),
+                                  node) != cf.senders.end();
     if (sender) {
-        FlowRuntime::RoundState &round = rt.rounds[window_id];
+        ClusterFlow::RoundState &round = cf.rounds[window_id];
         if (round.exchanged)
             return; // too late: the round ran at its deadline
         round.ready.push_back(node);
@@ -276,22 +462,23 @@ SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
                     ? units::Micros(config.retry.exchangeDeadline)
                     : units::Micros{
                           static_cast<double>(rt.windowTicks)};
-            simulator.after(deadline, [this, flow, window_id] {
-                onExchangeDeadline(flow, window_id);
+            Cluster *cl = &cluster;
+            cluster.sim.after(deadline, [this, cl, flow, window_id] {
+                onExchangeDeadline(*cl, flow, window_id);
             });
         }
         // The round starts once every expected (not declared-dead)
-        // sender has its payload ready.
+        // sender of the cluster has its payload ready.
         const bool complete = std::all_of(
-            rt.senders.begin(), rt.senders.end(),
+            cf.senders.begin(), cf.senders.end(),
             [&](std::size_t s) {
-                return detector.dead(s) ||
+                return cluster.detector.dead(s) ||
                        std::find(round.ready.begin(),
                                  round.ready.end(),
                                  s) != round.ready.end();
             });
         if (complete)
-            runExchange(flow, window_id);
+            runExchange(cluster, flow, window_id);
         return;
     }
     if (rt.networked)
@@ -299,42 +486,48 @@ SystemSim::accountWindow(std::size_t flow, std::uint32_t node,
 
     // Local flow: the node-level completion is the response.
     const std::uint64_t arrival = window_id * rt.windowTicks;
-    const std::uint64_t response = simulator.ticks() - arrival;
-    if (rt.completed == 0)
-        rt.firstResponseUs = response;
-    rt.lastResponseUs = response;
-    rt.maxResponseUs = std::max(rt.maxResponseUs, response);
-    rt.responseSumUs += response;
-    ++rt.completed;
+    const std::uint64_t ticks = cluster.sim.ticks();
+    const std::uint64_t response = ticks - arrival;
+    if (cf.completed == 0) {
+        cf.firstResponseUs = response;
+        cf.firstTick = ticks;
+    }
+    cf.lastResponseUs = response;
+    cf.lastTick = ticks;
+    cf.maxResponseUs = std::max(cf.maxResponseUs, response);
+    cf.responseSumUs += response;
+    ++cf.completed;
 }
 
 void
-SystemSim::onExchangeDeadline(std::size_t flow,
+SystemSim::onExchangeDeadline(Cluster &cluster, std::size_t flow,
                               std::uint64_t window_id)
 {
-    FlowRuntime &rt = flowRuntimes[flow];
-    FlowRuntime::RoundState &round = rt.rounds[window_id];
+    ClusterFlow &cf = cluster.flows[flow];
+    ClusterFlow::RoundState &round = cf.rounds[window_id];
     if (round.exchanged)
         return; // assembled in time; nothing to do
-    ++exchangeTimeouts;
-    eventTrace.record(simulator.now(),
-                      TraceEventKind::ExchangeTimedOut,
-                      Trace::kNetworkNode,
-                      static_cast<std::uint32_t>(flow + 1),
-                      config.flows[flow].name, window_id,
-                      static_cast<double>(round.ready.size()));
-    runExchange(flow, window_id);
+    ++cluster.exchangeTimeouts;
+    cluster.trace.record(cluster.sim.now(),
+                         TraceEventKind::ExchangeTimedOut,
+                         cluster.mediumId,
+                         static_cast<std::uint32_t>(flow + 1),
+                         config.flows[flow].name, window_id,
+                         static_cast<double>(round.ready.size()));
+    runExchange(cluster, flow, window_id);
 }
 
 void
-SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
+SystemSim::runExchange(Cluster &cluster, std::size_t flow,
+                       std::uint64_t window_id)
 {
     FlowRuntime &rt = flowRuntimes[flow];
+    ClusterFlow &cf = cluster.flows[flow];
     const sched::FlowSpec &spec = config.flows[flow];
     const net::RadioSpec &radio = *config.system.radio;
     const auto lane = static_cast<std::uint32_t>(flow + 1);
 
-    FlowRuntime::RoundState &round = rt.rounds[window_id];
+    ClusterFlow::RoundState &round = cf.rounds[window_id];
     SCALO_ASSERT(!round.exchanged, "exchange round ran twice");
     round.exchanged = true;
 
@@ -343,26 +536,26 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
     // their miss counters (and un-declare a rebooted node), while
     // expected-but-silent senders accrue a miss each.
     std::vector<std::size_t> transmitting;
-    for (const std::size_t n : rt.senders) {
+    for (const std::size_t n : cf.senders) {
         const bool ready = std::find(round.ready.begin(),
                                      round.ready.end(),
                                      n) != round.ready.end();
         if (ready) {
             transmitting.push_back(n);
-            if (detector.recordHeard(n))
-                declareRecovered(n);
-        } else if (!detector.dead(n)) {
-            if (detector.recordMiss(n))
-                declareDead(n);
+            if (cluster.detector.recordHeard(n))
+                declareRecovered(cluster, n);
+        } else if (!cluster.detector.dead(n)) {
+            if (cluster.detector.recordMiss(n))
+                declareDead(cluster, n);
         }
     }
 
     const std::uint64_t start =
-        std::max(simulator.ticks(), networkFreeUs);
-    eventTrace.record(units::Micros{static_cast<double>(start)},
-                      TraceEventKind::ExchangeStart,
-                      Trace::kNetworkNode, lane, spec.name,
-                      window_id);
+        cluster.medium.acquire(cluster.sim.ticks());
+    cluster.trace.record(units::Micros{static_cast<double>(start)},
+                         TraceEventKind::ExchangeStart,
+                         cluster.mediumId, lane, spec.name,
+                         window_id);
 
     double cursor = static_cast<double>(start);
     for (std::size_t n : transmitting) {
@@ -374,13 +567,13 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                 : net::kBroadcast;
         packet.type = rt.packetType;
         packet.timestampUs =
-            static_cast<std::uint32_t>(simulator.ticks());
+            static_cast<std::uint32_t>(cluster.sim.ticks());
         packet.payload.resize(rt.payloadBytes[n]);
         for (std::size_t i = 0; i < packet.payload.size(); ++i)
             packet.payload[i] =
                 static_cast<std::uint8_t>((i * 31 + n) & 0xff);
         for (net::Packet &fragment : net::fragment(packet)) {
-            fragment.sequence = rt.nextSequence++;
+            fragment.sequence = cf.nextSequence++;
             const units::Micros wire_time{
                 radio
                     .transferTime(units::Bytes{static_cast<double>(
@@ -395,7 +588,8 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                     // and lands on the sender (the scheduler only
                     // provisioned the always-on radio budget).
                     cursor += config.retry
-                                  .backoff(attempt, backoffRng)
+                                  .backoff(attempt,
+                                           cluster.backoffRng)
                                   .count();
                     dynamicEnergyUj[n] +=
                         radio
@@ -409,33 +603,493 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                 // lose everything, BER spikes raise the error rate.
                 const units::Micros at{cursor};
                 const double spike = injector.berOverrideAt(at);
-                rt.channel->setBer(spike >= 0.0 ? spike : radio.ber);
-                rt.channel->setOutage(injector.inDropout(at));
-                ++rt.packetsSent;
-                eventTrace.record(
+                cf.channel->setBer(spike >= 0.0 ? spike : radio.ber);
+                cf.channel->setOutage(injector.inDropout(at));
+                ++cf.packetsSent;
+                cluster.trace.record(
                     units::Micros{cursor}, TraceEventKind::PacketTx,
                     static_cast<std::uint32_t>(n), 0,
                     std::string(spec.name), fragment.sequence,
                     static_cast<double>(fragment.wireBytes()));
                 const net::ReceiveResult receipt =
-                    rt.channel->transmit(fragment);
+                    cf.channel->transmit(fragment);
+                cursor += wire_time.count();
+                const bool corrupt =
+                    !receipt.headerOk || !receipt.payloadOk;
+                if (corrupt) {
+                    ++cf.packetsCorrupted;
+                    cluster.trace.record(
+                        units::Micros{cursor},
+                        TraceEventKind::PacketCorrupt,
+                        cluster.mediumId, lane,
+                        std::string(spec.name), fragment.sequence,
+                        static_cast<double>(fragment.wireBytes()));
+                }
+                if (receipt.accepted()) {
+                    cluster.trace.record(
+                        units::Micros{cursor},
+                        TraceEventKind::PacketRx, cluster.mediumId,
+                        lane, std::string(spec.name),
+                        fragment.sequence,
+                        static_cast<double>(fragment.wireBytes()));
+                    delivered = true;
+                    break;
+                }
+                if (!config.retry.shouldRetry(attempt))
+                    break;
+                ++cf.retransmissions;
+                cluster.trace.record(
+                    units::Micros{cursor},
+                    TraceEventKind::PacketRetransmit,
+                    static_cast<std::uint32_t>(n), 0,
+                    std::string(spec.name), fragment.sequence,
+                    static_cast<double>(fragment.wireBytes()));
+            }
+            if (!delivered)
+                ++cf.packetsLost;
+        }
+        cursor += kGuard.count();
+    }
+
+    const std::uint64_t end = toTicks(units::Micros{cursor});
+    cluster.medium.release(end);
+    cluster.trace.record(units::Micros{static_cast<double>(end)},
+                         TraceEventKind::ExchangeFinish,
+                         cluster.mediumId, lane, spec.name,
+                         window_id);
+
+    if (transmitting.empty())
+        return; // nobody had data: no response to account
+
+    if (clusters.size() == 1) {
+        // Flat fabric: the intra round IS the whole exchange.
+        const std::uint64_t roundUs = end - start;
+        cf.roundSumUs += roundUs;
+        cf.maxRoundUs = std::max(cf.maxRoundUs, roundUs);
+        ++cf.roundCount;
+
+        const std::uint64_t arrival = window_id * rt.windowTicks;
+        const std::uint64_t response = end - arrival;
+        if (cf.completed == 0) {
+            cf.firstResponseUs = response;
+            cf.firstTick = end;
+        }
+        cf.lastResponseUs = response;
+        cf.lastTick = end;
+        cf.maxResponseUs = std::max(cf.maxResponseUs, response);
+        cf.responseSumUs += response;
+        ++cf.completed;
+
+        // Exact-compare flows: each node checks every window it
+        // received against its local history; the scheduler charges
+        // that power to the receivers, one window's worth per
+        // exchange. Physically-down nodes receive (and burn) nothing.
+        if (rt.exactCompare) {
+            const double total =
+                liveSchedule.flows[flow].totalElectrodes;
+            for (std::size_t n = 0; n < nodes.size(); ++n) {
+                if (!nodeUp[n])
+                    continue;
+                const double e =
+                    liveSchedule.flows[flow].electrodesPerNode[n];
+                dynamicEnergyUj[n] += spec.linPerElectrode.count() *
+                                      (total - e) *
+                                      spec.window.count();
+            }
+        }
+        return;
+    }
+
+    // Clustered fabric: members compare against cluster-local
+    // history; the relay queues the cluster's aggregate for the
+    // backbone, where the round (and the flow's response) completes.
+    if (rt.exactCompare) {
+        const double total = cf.liveTotalElectrodes;
+        for (std::size_t n : cluster.members) {
+            if (!nodeUp[n])
+                continue;
+            const double e =
+                liveSchedule.flows[flow].electrodesPerNode[n];
+            dynamicEnergyUj[n] += spec.linPerElectrode.count() *
+                                  (total - e) * spec.window.count();
+        }
+    }
+
+    RelayPacket forward;
+    forward.flow = flow;
+    forward.window = window_id;
+    forward.cluster = cluster.id;
+    forward.startTick = start;
+    forward.readyTick = end;
+    forward.bytes =
+        payloadFor(*spec.network, cf.liveTotalElectrodes);
+    forward.relay = plan.relay(
+        cluster.id, [this](std::size_t n) { return nodeUp[n] != 0; });
+    cluster.trace.record(units::Micros{static_cast<double>(end)},
+                         TraceEventKind::RelayForward,
+                         static_cast<std::uint32_t>(forward.relay),
+                         lane, spec.name, window_id,
+                         static_cast<double>(forward.bytes));
+    cluster.outbox.push_back(forward);
+}
+
+void
+SystemSim::declareDead(Cluster &cluster, std::size_t node)
+{
+    cluster.trace.record(
+        cluster.sim.now(), TraceEventKind::NodeDown,
+        static_cast<std::uint32_t>(node), 0, "node-down",
+        cluster.downEvents.size(),
+        static_cast<double>(
+            cluster.detector.consecutiveMisses(node)));
+    NodeDownEvent event;
+    event.node = static_cast<std::uint32_t>(node);
+    event.crashedAt = units::Millis{crashedAtMs[node]};
+    event.detectedAt = units::Millis(cluster.sim.now());
+    cluster.downEvents.push_back(event);
+    applyReschedule(cluster);
+}
+
+void
+SystemSim::declareRecovered(Cluster &cluster, std::size_t node)
+{
+    cluster.trace.record(cluster.sim.now(),
+                         TraceEventKind::NodeRecovered,
+                         static_cast<std::uint32_t>(node), 0,
+                         "node-recovered",
+                         cluster.downEvents.size());
+    applyReschedule(cluster);
+}
+
+void
+SystemSim::applyReschedule(Cluster &cluster)
+{
+    const std::vector<std::size_t> dead =
+        cluster.detector.deadNodes();
+    const sched::Scheduler scheduler(config.system);
+    sched::RescheduleResult repaired;
+    if (clusters.size() == 1) {
+        repaired = scheduler.reschedule(config.flows,
+                                        config.priorities,
+                                        config.schedule, dead);
+        SCALO_ASSERT(repaired.schedule.feasible,
+                     "reschedule must always produce an allocation");
+        liveSchedule = repaired.schedule;
+    } else {
+        // Cluster-confined repair: only this cluster's columns of the
+        // live allocation change; concurrent repairs of other
+        // clusters touch disjoint columns.
+        repaired = scheduler.rescheduleCluster(
+            config.flows, config.priorities, config.schedule, dead,
+            cluster.id);
+        SCALO_ASSERT(repaired.schedule.feasible,
+                     "cluster reschedule must produce an allocation");
+        for (std::size_t f = 0; f < liveSchedule.flows.size(); ++f)
+            for (std::size_t n : cluster.members)
+                liveSchedule.flows[f].electrodesPerNode[n] =
+                    repaired.schedule.flows[f].electrodesPerNode[n];
+    }
+
+    // Surviving senders adapt their payloads (and the cluster its
+    // live totals) to the new allocation from the next round on.
+    refreshClusterAllocation(cluster);
+
+    cluster.trace.record(cluster.sim.now(), TraceEventKind::Resched,
+                         cluster.mediumId, 0, "resched",
+                         cluster.reschedEvents.size(),
+                         static_cast<double>(dead.size()));
+    RescheduleEvent event;
+    event.at = units::Millis(cluster.sim.now());
+    event.deadNodes = repaired.deadNodes;
+    event.viaIlp = repaired.viaIlp;
+    event.resolvedClusters = repaired.resolvedClusters;
+    event.throughputBefore = repaired.throughputBefore;
+    event.throughputAfter = repaired.throughputAfter;
+    event.maxNodePowerBefore = repaired.maxNodePowerBefore;
+    event.maxNodePowerAfter = repaired.maxNodePowerAfter;
+    cluster.reschedEvents.push_back(std::move(event));
+}
+
+void
+SystemSim::refreshClusterAllocation(Cluster &cluster)
+{
+    for (std::size_t f = 0; f < flowRuntimes.size(); ++f) {
+        FlowRuntime &rt = flowRuntimes[f];
+        ClusterFlow &cf = cluster.flows[f];
+        double cluster_total = 0.0;
+        for (std::size_t n : cluster.members)
+            cluster_total +=
+                liveSchedule.flows[f].electrodesPerNode[n];
+        cf.liveTotalElectrodes = cluster_total;
+        if (!rt.networked)
+            continue;
+        const sched::FlowSpec &spec = config.flows[f];
+        for (const std::size_t n : cf.senders)
+            rt.payloadBytes[n] = payloadFor(
+                *spec.network,
+                liveSchedule.flows[f].electrodesPerNode[n]);
+    }
+}
+
+void
+SystemSim::scheduleFaultEvents()
+{
+    for (const NodeCrashFault &crash : config.faults.crashes) {
+        Cluster *cl = clusters[plan.clusterOf(crash.node)].get();
+        cl->sim.at(units::Micros(crash.at), [this, cl, crash] {
+            if (!nodeUp[crash.node])
+                return; // already down
+            nodeUp[crash.node] = 0;
+            crashedAtMs[crash.node] = crash.at.count();
+            nodes[crash.node].halt();
+            cl->trace.record(cl->sim.now(),
+                             TraceEventKind::FaultInjected,
+                             crash.node, 0, "crash", 0);
+        });
+        if (crash.reboots())
+            cl->sim.at(units::Micros(crash.rebootAt),
+                       [this, cl, crash] {
+                           if (nodeUp[crash.node])
+                               return;
+                           nodeUp[crash.node] = 1;
+                           nodes[crash.node].resume();
+                           // The node rejoins silently; its next
+                           // completed window puts it back into a
+                           // round, where being heard declares the
+                           // recovery.
+                           cl->trace.record(
+                               cl->sim.now(),
+                               TraceEventKind::FaultInjected,
+                               crash.node, 0, "reboot", 0);
+                       });
+    }
+    // Channel-condition markers live on cluster 0's queue (the
+    // injector applies them to every cluster's channel regardless).
+    Cluster *front = clusters.front().get();
+    for (std::size_t i = 0; i < config.faults.dropouts.size(); ++i) {
+        const RadioDropoutFault &drop = config.faults.dropouts[i];
+        front->sim.at(units::Micros(drop.from),
+                      [this, front, i, drop] {
+                          front->trace.record(
+                              front->sim.now(),
+                              TraceEventKind::FaultInjected,
+                              Trace::kNetworkNode, 0,
+                              "radio-dropout", i,
+                              (drop.to - drop.from).count());
+                      });
+    }
+    for (std::size_t i = 0; i < config.faults.berSpikes.size();
+         ++i) {
+        const BerSpikeFault &spike = config.faults.berSpikes[i];
+        front->sim.at(units::Micros(spike.from),
+                      [this, front, i, spike] {
+                          front->trace.record(
+                              front->sim.now(),
+                              TraceEventKind::FaultInjected,
+                              Trace::kNetworkNode, 0, "ber-spike", i,
+                              spike.ber);
+                      });
+    }
+    for (const ThermalThrottleFault &throttle :
+         config.faults.throttles) {
+        Cluster *cl = clusters[plan.clusterOf(throttle.node)].get();
+        cl->sim.at(units::Micros(throttle.from),
+                   [this, cl, throttle] {
+                       nodes[throttle.node].setThrottle(
+                           injector.throttleAt(throttle.node,
+                                               cl->sim.now()));
+                       cl->trace.record(
+                           cl->sim.now(),
+                           TraceEventKind::FaultInjected,
+                           throttle.node, 0, "thermal-throttle", 0,
+                           throttle.slowdown);
+                   });
+        cl->sim.at(units::Micros(throttle.to), [this, cl, throttle] {
+            // Re-evaluate, not reset: overlapping intervals multiply
+            // and the injector knows which ones still cover `now`.
+            nodes[throttle.node].setThrottle(injector.throttleAt(
+                throttle.node, cl->sim.now()));
+            cl->trace.record(cl->sim.now(),
+                             TraceEventKind::FaultInjected,
+                             throttle.node, 0, "thermal-restore", 0);
+        });
+    }
+}
+
+void
+SystemSim::processBackbone(std::uint64_t upto_ticks)
+{
+    // Drain outboxes in cluster order: the gathering order (and so
+    // the backbone trace) is independent of which worker finished
+    // its quantum first.
+    for (std::unique_ptr<Cluster> &cl : clusters) {
+        std::vector<RelayPacket> keep;
+        for (RelayPacket &p : cl->outbox) {
+            if (p.readyTick > upto_ticks) {
+                keep.push_back(p);
+                continue;
+            }
+            BackboneRound &round =
+                pendingRounds[{p.flow, p.window}];
+            round.entries.push_back(p);
+            round.firstReadyTick =
+                std::min(round.firstReadyTick, p.readyTick);
+            round.minStartTick =
+                std::min(round.minStartTick, p.startTick);
+            round.maxReadyTick =
+                std::max(round.maxReadyTick, p.readyTick);
+            ++flowRuntimes[p.flow].relayForwards;
+        }
+        cl->outbox = std::move(keep);
+    }
+
+    struct Runnable
+    {
+        std::uint64_t at;
+        std::size_t flow;
+        std::uint64_t window;
+        bool timedOut;
+    };
+    std::vector<Runnable> runnable;
+    for (auto &[key, round] : pendingRounds) {
+        const auto [f, w] = key;
+        const FlowRuntime &rt = flowRuntimes[f];
+        // Expected contributions: clusters with at least one sender
+        // their detector has not declared dead.
+        std::size_t expected = 0;
+        for (const std::unique_ptr<Cluster> &cl : clusters) {
+            const ClusterFlow &cf = cl->flows[f];
+            for (std::size_t s : cf.senders)
+                if (!cl->detector.dead(s)) {
+                    ++expected;
+                    break;
+                }
+        }
+        if (round.entries.size() >= expected) {
+            runnable.push_back({round.maxReadyTick, f, w, false});
+        } else if (round.firstReadyTick + rt.deadlineTicks <=
+                   upto_ticks) {
+            runnable.push_back(
+                {std::max(round.maxReadyTick,
+                          round.firstReadyTick + rt.deadlineTicks),
+                 f, w, true});
+        }
+    }
+    std::sort(runnable.begin(), runnable.end(),
+              [](const Runnable &a, const Runnable &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.flow != b.flow)
+                      return a.flow < b.flow;
+                  return a.window < b.window;
+              });
+    for (const Runnable &r : runnable) {
+        const auto key = std::make_pair(r.flow, r.window);
+        runBackboneRound(r.flow, r.window, pendingRounds[key],
+                         r.timedOut);
+        pendingRounds.erase(key);
+    }
+}
+
+void
+SystemSim::runBackboneRound(std::size_t flow,
+                            std::uint64_t window_id,
+                            BackboneRound &round, bool timed_out)
+{
+    FlowRuntime &rt = flowRuntimes[flow];
+    const sched::FlowSpec &spec = config.flows[flow];
+    const net::RadioSpec &radio = *config.system.radio;
+    const auto lane = static_cast<std::uint32_t>(flow + 1);
+    if (round.entries.empty())
+        return;
+
+    std::sort(round.entries.begin(), round.entries.end(),
+              [](const RelayPacket &a, const RelayPacket &b) {
+                  return a.cluster < b.cluster;
+              });
+    const std::uint64_t at =
+        timed_out ? std::max(round.maxReadyTick,
+                             round.firstReadyTick + rt.deadlineTicks)
+                  : round.maxReadyTick;
+    const std::uint64_t start = backboneMedium.acquire(at);
+    globalTrace.record(units::Micros{static_cast<double>(start)},
+                       TraceEventKind::BackboneStart,
+                       Trace::kBackboneNode, lane, spec.name,
+                       window_id);
+    if (timed_out) {
+        ++backboneTimeouts;
+        globalTrace.record(units::Micros{static_cast<double>(start)},
+                           TraceEventKind::ExchangeTimedOut,
+                           Trace::kBackboneNode, lane, spec.name,
+                           window_id,
+                           static_cast<double>(round.entries.size()));
+    }
+
+    double cursor = static_cast<double>(start);
+    for (const RelayPacket &entry : round.entries) {
+        net::Packet packet;
+        packet.source = static_cast<std::uint8_t>(entry.relay);
+        packet.destination = net::kBroadcast;
+        packet.type = rt.packetType;
+        packet.timestampUs = static_cast<std::uint32_t>(start);
+        packet.payload.resize(entry.bytes);
+        for (std::size_t i = 0; i < packet.payload.size(); ++i)
+            packet.payload[i] = static_cast<std::uint8_t>(
+                (i * 31 + entry.relay) & 0xff);
+        for (net::Packet &fragment : net::fragment(packet)) {
+            fragment.sequence = backboneSequence++;
+            const units::Micros wire_time{
+                radio
+                    .transferTime(units::Bytes{static_cast<double>(
+                        fragment.wireBytes())})
+                    .in<units::Micros>()};
+            bool delivered = false;
+            for (std::size_t attempt = 0;
+                 attempt < config.retry.maxAttempts; ++attempt) {
+                if (attempt > 0) {
+                    cursor += config.retry
+                                  .backoff(attempt,
+                                           backboneBackoffRng)
+                                  .count();
+                    dynamicEnergyUj[entry.relay] +=
+                        radio
+                            .transferEnergy(units::Bytes{
+                                static_cast<double>(
+                                    fragment.wireBytes())})
+                            .count() *
+                        1e3;
+                }
+                const units::Micros tx_at{cursor};
+                const double spike = injector.berOverrideAt(tx_at);
+                backboneChannels[flow]->setBer(
+                    spike >= 0.0 ? spike : radio.ber);
+                backboneChannels[flow]->setOutage(
+                    injector.inDropout(tx_at));
+                ++rt.packetsSent;
+                globalTrace.record(
+                    units::Micros{cursor}, TraceEventKind::PacketTx,
+                    static_cast<std::uint32_t>(entry.relay), 0,
+                    std::string(spec.name), fragment.sequence,
+                    static_cast<double>(fragment.wireBytes()));
+                const net::ReceiveResult receipt =
+                    backboneChannels[flow]->transmit(fragment);
                 cursor += wire_time.count();
                 const bool corrupt =
                     !receipt.headerOk || !receipt.payloadOk;
                 if (corrupt) {
                     ++rt.packetsCorrupted;
-                    eventTrace.record(
+                    globalTrace.record(
                         units::Micros{cursor},
                         TraceEventKind::PacketCorrupt,
-                        Trace::kNetworkNode, lane,
+                        Trace::kBackboneNode, lane,
                         std::string(spec.name), fragment.sequence,
                         static_cast<double>(fragment.wireBytes()));
                 }
                 if (receipt.accepted()) {
-                    eventTrace.record(
+                    globalTrace.record(
                         units::Micros{cursor},
                         TraceEventKind::PacketRx,
-                        Trace::kNetworkNode, lane,
+                        Trace::kBackboneNode, lane,
                         std::string(spec.name), fragment.sequence,
                         static_cast<double>(fragment.wireBytes()));
                     delivered = true;
@@ -444,13 +1098,12 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
                 if (!config.retry.shouldRetry(attempt))
                     break;
                 ++rt.retransmissions;
-                eventTrace.record(units::Micros{cursor},
-                                  TraceEventKind::PacketRetransmit,
-                                  static_cast<std::uint32_t>(n), 0,
-                                  std::string(spec.name),
-                                  fragment.sequence,
-                                  static_cast<double>(
-                                      fragment.wireBytes()));
+                globalTrace.record(
+                    units::Micros{cursor},
+                    TraceEventKind::PacketRetransmit,
+                    static_cast<std::uint32_t>(entry.relay), 0,
+                    std::string(spec.name), fragment.sequence,
+                    static_cast<double>(fragment.wireBytes()));
             }
             if (!delivered)
                 ++rt.packetsLost;
@@ -459,16 +1112,15 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
     }
 
     const std::uint64_t end = toTicks(units::Micros{cursor});
-    networkFreeUs = end;
-    eventTrace.record(units::Micros{static_cast<double>(end)},
-                      TraceEventKind::ExchangeFinish,
-                      Trace::kNetworkNode, lane, spec.name,
-                      window_id);
+    backboneMedium.release(end);
+    globalTrace.record(units::Micros{static_cast<double>(end)},
+                       TraceEventKind::BackboneFinish,
+                       Trace::kBackboneNode, lane, spec.name,
+                       window_id);
 
-    if (transmitting.empty())
-        return; // nobody had data: no response to account
-
-    const std::uint64_t roundUs = end - start;
+    // The backbone completes the exchange: the round spans the first
+    // intra-cluster slot to the backbone's end.
+    const std::uint64_t roundUs = end - round.minStartTick;
     rt.roundSumUs += roundUs;
     rt.maxRoundUs = std::max(rt.maxRoundUs, roundUs);
     ++rt.roundCount;
@@ -482,163 +1134,86 @@ SystemSim::runExchange(std::size_t flow, std::uint64_t window_id)
     rt.responseSumUs += response;
     ++rt.completed;
 
-    // Exact-compare flows: each node checks every window it received
-    // against its local history; the scheduler charges that power to
-    // the receivers, one window's worth per exchange. Physically-down
-    // nodes receive (and burn) nothing.
+    // Exact-compare on the hierarchy: each relay compares its
+    // cluster's history against the remote aggregates it received.
     if (rt.exactCompare) {
-        const double total =
-            liveSchedule.flows[flow].totalElectrodes;
-        for (std::size_t n = 0; n < nodes.size(); ++n) {
-            if (!nodeUp[n])
-                continue;
-            const double e =
-                liveSchedule.flows[flow].electrodesPerNode[n];
-            dynamicEnergyUj[n] += spec.linPerElectrode.count() *
-                                  (total - e) * spec.window.count();
+        for (const RelayPacket &entry : round.entries) {
+            double remote = 0.0;
+            for (const std::unique_ptr<Cluster> &cl : clusters) {
+                if (cl->id == entry.cluster)
+                    continue;
+                remote += cl->flows[flow].liveTotalElectrodes;
+            }
+            dynamicEnergyUj[entry.relay] +=
+                spec.linPerElectrode.count() * remote *
+                spec.window.count();
         }
     }
 }
 
 void
-SystemSim::declareDead(std::size_t node)
+SystemSim::mergeClusterStats(SystemSimResult &result)
 {
-    eventTrace.record(simulator.now(), TraceEventKind::NodeDown,
-                      static_cast<std::uint32_t>(node), 0,
-                      "node-down", downEvents.size(),
-                      static_cast<double>(
-                          detector.consecutiveMisses(node)));
-    NodeDownEvent event;
-    event.node = static_cast<std::uint32_t>(node);
-    event.crashedAt = units::Millis{crashedAtMs[node]};
-    event.detectedAt = units::Millis(simulator.now());
-    downEvents.push_back(event);
-    applyReschedule();
-}
-
-void
-SystemSim::declareRecovered(std::size_t node)
-{
-    eventTrace.record(simulator.now(),
-                      TraceEventKind::NodeRecovered,
-                      static_cast<std::uint32_t>(node), 0,
-                      "node-recovered", downEvents.size());
-    applyReschedule();
-}
-
-void
-SystemSim::applyReschedule()
-{
-    const std::vector<std::size_t> dead = detector.deadNodes();
-    const sched::Scheduler scheduler(config.system);
-    const sched::RescheduleResult repaired = scheduler.reschedule(
-        config.flows, config.priorities, config.schedule, dead);
-    SCALO_ASSERT(repaired.schedule.feasible,
-                 "reschedule must always produce an allocation");
-    liveSchedule = repaired.schedule;
-
-    // Surviving senders adapt their payloads to the new allocation
-    // from the next round on.
     for (std::size_t f = 0; f < flowRuntimes.size(); ++f) {
         FlowRuntime &rt = flowRuntimes[f];
-        if (!rt.networked)
-            continue;
-        const sched::FlowSpec &spec = config.flows[f];
-        for (const std::size_t n : rt.senders) {
-            const double bytes =
-                spec.network->bytesPerElectrode *
-                    liveSchedule.flows[f].electrodesPerNode[n] +
-                spec.network->bytesPerNode;
-            rt.payloadBytes[n] = std::max<std::size_t>(
-                1, static_cast<std::size_t>(std::llround(bytes)));
+        bool have_first = rt.completed > 0;
+        std::uint64_t best_first = 0;
+        std::uint64_t best_last = 0;
+        for (const std::unique_ptr<Cluster> &cl : clusters) {
+            const ClusterFlow &cf = cl->flows[f];
+            rt.packetsSent += cf.packetsSent;
+            rt.packetsCorrupted += cf.packetsCorrupted;
+            rt.retransmissions += cf.retransmissions;
+            rt.packetsLost += cf.packetsLost;
+            if (cf.completed == 0)
+                continue;
+            rt.completed += cf.completed;
+            rt.responseSumUs += cf.responseSumUs;
+            rt.maxResponseUs =
+                std::max(rt.maxResponseUs, cf.maxResponseUs);
+            rt.roundSumUs += cf.roundSumUs;
+            rt.maxRoundUs = std::max(rt.maxRoundUs, cf.maxRoundUs);
+            rt.roundCount += cf.roundCount;
+            if (!have_first || cf.firstTick < best_first) {
+                rt.firstResponseUs = cf.firstResponseUs;
+                best_first = cf.firstTick;
+                have_first = true;
+            }
+            if (cf.lastTick >= best_last) {
+                rt.lastResponseUs = cf.lastResponseUs;
+                best_last = cf.lastTick;
+            }
         }
     }
 
-    eventTrace.record(simulator.now(), TraceEventKind::Resched,
-                      Trace::kNetworkNode, 0, "resched",
-                      reschedEvents.size(),
-                      static_cast<double>(dead.size()));
-    RescheduleEvent event;
-    event.at = units::Millis(simulator.now());
-    event.deadNodes = repaired.deadNodes;
-    event.viaIlp = repaired.viaIlp;
-    event.throughputBefore = repaired.throughputBefore;
-    event.throughputAfter = repaired.throughputAfter;
-    event.maxNodePowerBefore = repaired.maxNodePowerBefore;
-    event.maxNodePowerAfter = repaired.maxNodePowerAfter;
-    reschedEvents.push_back(std::move(event));
-}
-
-void
-SystemSim::scheduleFaultEvents()
-{
-    for (const NodeCrashFault &crash : config.faults.crashes) {
-        simulator.at(units::Micros(crash.at), [this, crash] {
-            if (!nodeUp[crash.node])
-                return; // already down
-            nodeUp[crash.node] = 0;
-            crashedAtMs[crash.node] = crash.at.count();
-            nodes[crash.node].halt();
-            eventTrace.record(simulator.now(),
-                              TraceEventKind::FaultInjected,
-                              crash.node, 0, "crash", 0);
-        });
-        if (crash.reboots())
-            simulator.at(
-                units::Micros(crash.rebootAt), [this, crash] {
-                    if (nodeUp[crash.node])
-                        return;
-                    nodeUp[crash.node] = 1;
-                    nodes[crash.node].resume();
-                    // The node rejoins silently; its next completed
-                    // window puts it back into a round, where being
-                    // heard declares the recovery.
-                    eventTrace.record(simulator.now(),
-                                      TraceEventKind::FaultInjected,
-                                      crash.node, 0, "reboot", 0);
-                });
+    if (clusters.size() == 1) {
+        result.nodesDown = clusters.front()->downEvents;
+        result.reschedules = clusters.front()->reschedEvents;
+    } else {
+        for (const std::unique_ptr<Cluster> &cl : clusters) {
+            result.nodesDown.insert(result.nodesDown.end(),
+                                    cl->downEvents.begin(),
+                                    cl->downEvents.end());
+            result.reschedules.insert(result.reschedules.end(),
+                                      cl->reschedEvents.begin(),
+                                      cl->reschedEvents.end());
+        }
+        std::stable_sort(result.nodesDown.begin(),
+                         result.nodesDown.end(),
+                         [](const NodeDownEvent &a,
+                            const NodeDownEvent &b) {
+                             return a.detectedAt.count() <
+                                    b.detectedAt.count();
+                         });
+        std::stable_sort(
+            result.reschedules.begin(), result.reschedules.end(),
+            [](const RescheduleEvent &a, const RescheduleEvent &b) {
+                return a.at.count() < b.at.count();
+            });
     }
-    for (std::size_t i = 0; i < config.faults.dropouts.size(); ++i) {
-        const RadioDropoutFault &drop = config.faults.dropouts[i];
-        simulator.at(units::Micros(drop.from), [this, i, drop] {
-            eventTrace.record(simulator.now(),
-                              TraceEventKind::FaultInjected,
-                              Trace::kNetworkNode, 0,
-                              "radio-dropout", i,
-                              (drop.to - drop.from).count());
-        });
-    }
-    for (std::size_t i = 0; i < config.faults.berSpikes.size();
-         ++i) {
-        const BerSpikeFault &spike = config.faults.berSpikes[i];
-        simulator.at(units::Micros(spike.from), [this, i, spike] {
-            eventTrace.record(simulator.now(),
-                              TraceEventKind::FaultInjected,
-                              Trace::kNetworkNode, 0, "ber-spike", i,
-                              spike.ber);
-        });
-    }
-    for (const ThermalThrottleFault &throttle :
-         config.faults.throttles) {
-        simulator.at(units::Micros(throttle.from), [this, throttle] {
-            nodes[throttle.node].setThrottle(injector.throttleAt(
-                throttle.node, simulator.now()));
-            eventTrace.record(simulator.now(),
-                              TraceEventKind::FaultInjected,
-                              throttle.node, 0, "thermal-throttle",
-                              0, throttle.slowdown);
-        });
-        simulator.at(units::Micros(throttle.to), [this, throttle] {
-            // Re-evaluate, not reset: overlapping intervals multiply
-            // and the injector knows which ones still cover `now`.
-            nodes[throttle.node].setThrottle(injector.throttleAt(
-                throttle.node, simulator.now()));
-            eventTrace.record(simulator.now(),
-                              TraceEventKind::FaultInjected,
-                              throttle.node, 0, "thermal-restore",
-                              0);
-        });
-    }
+    result.exchangeTimeouts = backboneTimeouts;
+    for (const std::unique_ptr<Cluster> &cl : clusters)
+        result.exchangeTimeouts += cl->exchangeTimeouts;
 }
 
 SystemSimResult
@@ -655,7 +1230,7 @@ SystemSim::run()
     for (std::size_t n = 0; n < node_count; ++n)
         storage.emplace_back(/*reorganise_layout=*/true);
 
-    // Fault events go on the queue before the window streams so that
+    // Fault events go on the queues before the window streams so that
     // a fault and an arrival on the same microsecond tick resolve
     // fault-first (deterministic FIFO tie-break).
     scheduleFaultEvents();
@@ -672,8 +1247,69 @@ SystemSim::run()
     }
 
     SystemSimResult result;
-    result.eventsExecuted = simulator.run();
     result.duration = config.duration;
+    result.clusters = clusters.size();
+
+    if (clusters.size() == 1) {
+        // Flat fabric: one queue, run to quiescence — the original
+        // serial engine, byte for byte.
+        result.eventsExecuted = clusters.front()->sim.run();
+    } else {
+        // Conservative quantum loop: clusters advance independently
+        // to the barrier (clusters only couple through the backbone,
+        // which the coordinator runs between quanta), so any quantum
+        // is safe and serial/parallel execution is byte-identical.
+        std::uint64_t quantum = 0;
+        if (config.syncQuantum.count() > 0.0) {
+            quantum = toTicks(units::Micros(config.syncQuantum));
+        } else {
+            for (const FlowRuntime &rt : flowRuntimes)
+                if (rt.windowTicks > 0 &&
+                    (quantum == 0 || rt.windowTicks < quantum))
+                    quantum = rt.windowTicks;
+            if (quantum == 0)
+                quantum = 1000;
+        }
+        quantum = std::max<std::uint64_t>(quantum, 1);
+
+        util::ThreadPool pool(
+            config.parallel
+                ? (config.threads ? config.threads
+                                  : util::ThreadPool::defaultThreads())
+                : 1);
+        result.ranParallel = pool.size() > 1;
+
+        const auto work_pending = [this] {
+            if (!pendingRounds.empty())
+                return true;
+            for (const std::unique_ptr<Cluster> &cl : clusters)
+                if (cl->sim.pending() > 0 || !cl->outbox.empty())
+                    return true;
+            return false;
+        };
+        std::uint64_t horizon = 0;
+        while (work_pending()) {
+            horizon += quantum;
+            const units::Micros until{
+                static_cast<double>(horizon)};
+            pool.parallelFor(
+                clusters.size(), [this, until](std::size_t c) {
+                    clusters[c]->eventsExecuted +=
+                        clusters[c]->sim.run(until);
+                });
+            processBackbone(horizon);
+        }
+        for (const std::unique_ptr<Cluster> &cl : clusters)
+            result.eventsExecuted += cl->eventsExecuted;
+    }
+
+    // Merge the per-cluster traces in cluster order, then the
+    // coordinator's backbone trace: a fixed order, so the combined
+    // (stably time-sorted on export) trace is byte-identical between
+    // the serial and parallel engines.
+    for (std::unique_ptr<Cluster> &cl : clusters)
+        eventTrace.append(std::move(cl->trace));
+    eventTrace.append(std::move(globalTrace));
 
     // Leakage, replicating the scheduler's accounting: every flow
     // pays its own leakage, but the one physical intra-SCALO radio is
@@ -714,7 +1350,13 @@ SystemSim::run()
             eventTrace.counters(static_cast<std::uint32_t>(n));
         result.nodes.push_back(stats);
     }
-    result.network = eventTrace.counters(Trace::kNetworkNode);
+    for (std::size_t c = 0; c < clusters.size(); ++c)
+        result.network += eventTrace.counters(Trace::mediumNode(c));
+    if (clusters.size() > 1)
+        result.network +=
+            eventTrace.counters(Trace::kBackboneNode);
+
+    mergeClusterStats(result);
 
     for (std::size_t f = 0; f < flowRuntimes.size(); ++f) {
         const FlowRuntime &rt = flowRuntimes[f];
@@ -724,7 +1366,7 @@ SystemSim::run()
         stats.windowsCompleted = rt.completed;
         // Node-level drops (halted/crashed nodes, backlog sheds)
         // accumulate on the NodeModels.
-        std::size_t dropped = rt.dropped;
+        std::size_t dropped = 0;
         for (const std::size_t n : rt.participants)
             dropped += nodes[n].progress(rt.flowOnNode[n]).dropped;
         stats.windowsDropped = dropped;
@@ -749,6 +1391,7 @@ SystemSim::run()
         stats.packetsCorrupted = rt.packetsCorrupted;
         stats.retransmissions = rt.retransmissions;
         stats.packetsLost = rt.packetsLost;
+        stats.relayForwards = rt.relayForwards;
         result.packetsLost += rt.packetsLost;
         stats.analyticallySustainable = rt.analyticSustainable;
         // Event-driven verdict: everything completed and the response
@@ -763,9 +1406,6 @@ SystemSim::run()
         result.flows.push_back(std::move(stats));
     }
 
-    result.nodesDown = downEvents;
-    result.reschedules = reschedEvents;
-    result.exchangeTimeouts = exchangeTimeouts;
     result.nvmWriteFailures = injector.nvmFailuresDrawn();
 
     if (!config.recordTrace)

@@ -2,11 +2,23 @@
  * @file
  * Event-driven execution of a complete N-node SCALO system directly
  * from a `sched::Schedule`: one `sim::NodeModel` actor per implant
- * runs the scheduled flows' PE chains at their window cadences, the
- * shared single-frequency medium serialises TDMA exchange rounds whose
- * packets pass through a BER-driven `net::WirelessChannel` (corrupted
+ * runs the scheduled flows' PE chains at their window cadences, TDMA
+ * exchange rounds occupy per-cluster `sim::Medium`s whose packets
+ * pass through BER-driven `net::WirelessChannel`s (corrupted
  * non-signal packets are retransmitted in extra slots), and NVM write
  * traffic streams through each node's `hw::StorageController`.
+ *
+ * The fabric is hierarchical (`net::ClusterPlan`): each cluster runs
+ * its own TDMA rounds on an independent medium and owns a private
+ * discrete-event queue; relays forward per-cluster aggregates onto a
+ * shared backbone medium processed at cluster-synchronisation
+ * barriers. A single-cluster plan degenerates to the original flat
+ * fabric and reproduces its runs byte for byte. Multi-cluster runs
+ * can advance their cluster queues on `util::ThreadPool` workers
+ * (`SystemSimConfig::parallel`): clusters only interact through the
+ * backbone, which is handled single-threadedly at quantum barriers,
+ * so the parallel engine's merged trace is byte-identical to the
+ * serial reference engine for the same seed.
  *
  * The point is cross-validation (Section 3.5): the ILP schedules
  * statically on the claim that every component has deterministic
@@ -19,25 +31,33 @@
  * The runtime also executes declarative `FaultPlan`s: node crashes
  * and reboots, radio dropouts, BER spikes, NVM write failures, and
  * thermal throttling. TDMA slots double as heartbeats
- * (`net::HeartbeatDetector`): an exchange round that hits its
- * deadline with absent senders records misses, a node crossing the
- * miss threshold is declared dead, and the ILP reschedules its work
- * onto the survivors (`sched::Scheduler::reschedule`), all visible in
- * the trace as FaultInjected/NodeDown/Resched events. An empty plan
- * reproduces the fault-free run byte for byte.
+ * (`net::HeartbeatDetector`, one per cluster): an exchange round that
+ * hits its deadline with absent senders records misses, a node
+ * crossing the miss threshold is declared dead, and the scheduler
+ * remaps its work onto the cluster's survivors
+ * (`sched::Scheduler::rescheduleCluster`; the flat fabric keeps the
+ * whole-system `reschedule`), all visible in the trace as
+ * FaultInjected/NodeDown/Resched events. An empty plan reproduces
+ * the fault-free run byte for byte.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scalo/hw/nvm.hpp"
+#include "scalo/net/channel.hpp"
+#include "scalo/net/cluster.hpp"
 #include "scalo/net/failure_detector.hpp"
 #include "scalo/net/retry.hpp"
 #include "scalo/sched/scheduler.hpp"
 #include "scalo/sim/faults/fault_injector.hpp"
+#include "scalo/sim/runtime/medium.hpp"
 #include "scalo/sim/runtime/node_model.hpp"
 #include "scalo/sim/runtime/trace.hpp"
 
@@ -46,7 +66,8 @@ namespace scalo::sim {
 /** What to simulate: a scheduled flow set on an N-node system. */
 struct SystemSimConfig
 {
-    /** The system the schedule was produced for. */
+    /** The system the schedule was produced for (cluster plan and
+     *  all; an empty plan is the flat single-medium fabric). */
     sched::SystemConfig system;
     /** The flow set, in the order it was passed to the scheduler. */
     std::vector<sched::FlowSpec> flows;
@@ -73,6 +94,22 @@ struct SystemSimConfig
      * Empty means equal weights.
      */
     std::vector<double> priorities;
+    /**
+     * Advance cluster event queues on ThreadPool workers. The serial
+     * engine (false, the reference) produces the identical result
+     * and trace; parallelism only changes wall-clock time. No effect
+     * on single-cluster plans.
+     */
+    bool parallel = false;
+    /** Worker count for parallel runs; 0 picks a default width. */
+    std::size_t threads = 0;
+    /**
+     * Cluster-synchronisation quantum (the conservative lookahead):
+     * cluster queues advance this far between backbone barriers.
+     * Zero derives it from the fastest flow window cadence. Must be
+     * identical between runs being compared for trace equality.
+     */
+    units::Millis syncQuantum{0.0};
 };
 
 /** A node declared dead by the heartbeat detector. */
@@ -93,6 +130,8 @@ struct RescheduleEvent
     std::vector<std::size_t> deadNodes;
     /** ILP re-solve vs. the greedy repair fallback. */
     bool viaIlp = false;
+    /** Clusters whose sub-problems were re-solved. */
+    std::vector<std::size_t> resolvedClusters;
     units::MegabitsPerSecond throughputBefore{0.0};
     units::MegabitsPerSecond throughputAfter{0.0};
     units::Milliwatts maxNodePowerBefore{0.0};
@@ -110,9 +149,13 @@ struct FlowSimStats
     /** Measured end-to-end response (compute + exchange round). */
     units::Millis meanResponse{0.0};
     units::Millis maxResponse{0.0};
-    /** Static prediction: pipeline latency + serialized TDMA round. */
+    /** Static prediction: pipeline latency + TDMA round. */
     units::Millis analyticResponse{0.0};
-    /** Measured TDMA exchange round (zero for local flows). */
+    /**
+     * Measured TDMA exchange round (zero for local flows). On a
+     * clustered fabric this spans the first intra-cluster slot to
+     * the end of the backbone round.
+     */
     units::Millis meanRound{0.0};
     units::Millis maxRound{0.0};
     /** Static prediction of the round (zero for local flows). */
@@ -122,6 +165,8 @@ struct FlowSimStats
     std::uint64_t retransmissions = 0;
     /** Fragments abandoned after the retry budget was exhausted. */
     std::uint64_t packetsLost = 0;
+    /** Relay aggregates carried over the backbone. */
+    std::uint64_t relayForwards = 0;
     /** Event-driven verdict: cadence held, no backlog growth. */
     bool sustainable = false;
     /** Static verdict: every stage service fits the window. */
@@ -149,10 +194,14 @@ struct SystemSimResult
 {
     std::vector<FlowSimStats> flows;
     std::vector<NodeSimStats> nodes;
-    /** Counters of the shared medium (packet events). */
+    /** Counters summed over every medium (cluster + backbone). */
     TraceCounters network;
     units::Millis duration{0.0};
     std::size_t eventsExecuted = 0;
+    /** Clusters the fabric ran as (1 = flat). */
+    std::size_t clusters = 1;
+    /** Whether the parallel engine executed the cluster queues. */
+    bool ranParallel = false;
 
     // Failure timeline (all empty/zero on a fault-free run).
     std::vector<NodeDownEvent> nodesDown;
@@ -184,25 +233,45 @@ class SystemSim
 
   private:
     struct FlowRuntime;
+    struct ClusterFlow;
+    struct Cluster;
+    struct RelayPacket;
+    struct BackboneRound;
 
-    void runExchange(std::size_t flow, std::uint64_t window_id);
-    void onExchangeDeadline(std::size_t flow,
+    void runExchange(Cluster &cluster, std::size_t flow,
+                     std::uint64_t window_id);
+    void onExchangeDeadline(Cluster &cluster, std::size_t flow,
                             std::uint64_t window_id);
-    void accountWindow(std::size_t flow, std::uint32_t node,
-                       std::uint64_t window_id);
+    void accountWindow(Cluster &cluster, std::size_t flow,
+                       std::uint32_t node, std::uint64_t window_id);
     void scheduleFaultEvents();
-    void declareDead(std::size_t node);
-    void declareRecovered(std::size_t node);
-    /** Re-solve around the current dead set; update live state. */
-    void applyReschedule();
+    void declareDead(Cluster &cluster, std::size_t node);
+    void declareRecovered(Cluster &cluster, std::size_t node);
+    /** Re-solve around the cluster's dead set; update live state. */
+    void applyReschedule(Cluster &cluster);
+    /** Refresh @p cluster's live totals/payloads from liveSchedule. */
+    void refreshClusterAllocation(Cluster &cluster);
+    /**
+     * Gather relay forwards up to @p upto_ticks and run every
+     * backbone round that is complete (or past its deadline).
+     * Single-threaded: runs between cluster quanta.
+     */
+    void processBackbone(std::uint64_t upto_ticks);
+    void runBackboneRound(std::size_t flow, std::uint64_t window_id,
+                          BackboneRound &round, bool timed_out);
+    void mergeClusterStats(SystemSimResult &result);
 
     SystemSimConfig config;
-    Simulator simulator;
+    /** Effective partition (flat when the config has none). */
+    net::ClusterPlan plan;
+    std::vector<std::unique_ptr<Cluster>> clusters;
+    /** Coordinator-side trace: backbone rounds and relay packets. */
+    Trace globalTrace;
+    /** Merged trace of the whole run (filled by run()). */
     Trace eventTrace;
     FaultInjector injector;
-    net::HeartbeatDetector detector;
-    Rng backoffRng;
-    /** The allocation currently executing (degrades on reschedule). */
+    /** The allocation currently executing: clusters mutate only
+     *  their member columns (disjoint), reschedules degrade it. */
     sched::Schedule liveSchedule;
     std::vector<NodeModel> nodes;
     std::vector<FlowRuntime> flowRuntimes;
@@ -211,16 +280,22 @@ class SystemSim
     std::vector<char> nodeUp;
     /** Injected crash instant per node (ms; -1 = never crashed). */
     std::vector<double> crashedAtMs;
-    std::vector<NodeDownEvent> downEvents;
-    std::vector<RescheduleEvent> reschedEvents;
-    std::uint64_t exchangeTimeouts = 0;
     /** Per-node dynamic energy accrued so far (µJ = mW·ms). */
     std::vector<double> dynamicEnergyUj;
     std::vector<hw::StorageController> storage;
     std::vector<std::uint64_t> nvmBytes;
     std::vector<std::uint64_t> nvmPages;
-    /** When the serialized medium next becomes free (µs ticks). */
-    std::uint64_t networkFreeUs = 0;
+
+    // Backbone (coordinator) state; touched only between quanta.
+    Medium backboneMedium;
+    std::map<std::pair<std::size_t, std::uint64_t>, BackboneRound>
+        pendingRounds;
+    std::vector<std::optional<net::WirelessChannel>>
+        backboneChannels;
+    Rng backboneBackoffRng;
+    std::uint64_t backboneTimeouts = 0;
+    std::uint16_t backboneSequence = 0;
+
     bool ran = false;
 };
 

@@ -32,6 +32,10 @@ traceEventName(TraceEventKind kind)
       case TraceEventKind::ExchangeTimedOut:
         return "exchange-timed-out";
       case TraceEventKind::Resched: return "resched";
+      case TraceEventKind::RelayForward: return "relay-forward";
+      case TraceEventKind::BackboneStart: return "backbone-start";
+      case TraceEventKind::BackboneFinish:
+        return "backbone-finish";
     }
     return "unknown";
 }
@@ -76,25 +80,42 @@ Trace::record(units::Micros time, TraceEventKind kind,
     event.name = std::move(name);
     event.id = id;
     event.value = value;
-    log.push_back(std::move(event));
+    ++tally[node].count[static_cast<std::size_t>(kind)];
+    if (!countersOnly)
+        log.push_back(std::move(event));
+}
+
+void
+Trace::append(Trace &&other)
+{
+    log.insert(log.end(),
+               std::make_move_iterator(other.log.begin()),
+               std::make_move_iterator(other.log.end()));
+    for (const auto &[node, counters] : other.tally)
+        tally[node] += counters;
+    other.clear();
+}
+
+void
+Trace::clear()
+{
+    log.clear();
+    tally.clear();
 }
 
 TraceCounters
 Trace::counters(std::uint32_t node) const
 {
-    TraceCounters counters;
-    for (const TraceEvent &event : log)
-        if (event.node == node)
-            ++counters.count[static_cast<std::size_t>(event.kind)];
-    return counters;
+    const auto it = tally.find(node);
+    return it == tally.end() ? TraceCounters{} : it->second;
 }
 
 TraceCounters
 Trace::totals() const
 {
     TraceCounters counters;
-    for (const TraceEvent &event : log)
-        ++counters.count[static_cast<std::size_t>(event.kind)];
+    for (const auto &[node, per_node] : tally)
+        counters += per_node;
     return counters;
 }
 
@@ -133,9 +154,11 @@ phaseOf(TraceEventKind kind)
     switch (kind) {
       case TraceEventKind::StageStart:
       case TraceEventKind::ExchangeStart:
+      case TraceEventKind::BackboneStart:
         return 'B';
       case TraceEventKind::StageFinish:
       case TraceEventKind::ExchangeFinish:
+      case TraceEventKind::BackboneFinish:
         return 'E';
       default:
         return 'i';
@@ -182,9 +205,15 @@ Trace::toChromeJson() const
     for (const TraceEvent &event : log)
         pids[event.node] = true;
     for (const auto &[pid, unused] : pids) {
-        const std::string label =
-            pid == kNetworkNode ? std::string{"network"}
-                                : "node " + std::to_string(pid);
+        std::string label;
+        if (pid == kNetworkNode)
+            label = "network";
+        else if (pid == kBackboneNode)
+            label = "backbone";
+        else if (pid >= kMediumBase)
+            label = "medium " + std::to_string(pid - kMediumBase);
+        else
+            label = "node " + std::to_string(pid);
         append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
                std::to_string(pid) +
                ",\"tid\":0,\"args\":{\"name\":\"" + label + "\"}}");

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,10 +45,13 @@ enum class TraceEventKind : std::uint8_t
     NodeRecovered,    ///< a declared-dead node transmitted again
     ExchangeTimedOut, ///< a round ran without all expected senders
     Resched,          ///< the scheduler remapped work off dead nodes
+    RelayForward,     ///< a relay queued its cluster's aggregate
+    BackboneStart,    ///< an inter-cluster backbone round begins
+    BackboneFinish,   ///< an inter-cluster backbone round completes
 };
 
 /** Number of event kinds (array-indexable). */
-inline constexpr std::size_t kTraceEventKinds = 16;
+inline constexpr std::size_t kTraceEventKinds = 19;
 
 /** Short stable name of an event kind ("stage-start", ...). */
 std::string_view traceEventName(TraceEventKind kind);
@@ -85,6 +89,14 @@ struct TraceCounters
 
     /** One-line "stage-start=12 packet-tx=3 ..." (non-zero only). */
     std::string summary() const;
+
+    TraceCounters &
+    operator+=(const TraceCounters &other)
+    {
+        for (std::size_t k = 0; k < kTraceEventKinds; ++k)
+            count[k] += other.count[k];
+        return *this;
+    }
 };
 
 /**
@@ -98,16 +110,52 @@ class Trace
     /** Pseudo-node id of the shared wireless medium. */
     static constexpr std::uint32_t kNetworkNode = 0xffff'fffe;
 
+    /** Pseudo-node id of the inter-cluster backbone medium. */
+    static constexpr std::uint32_t kBackboneNode = 0xffff'fffd;
+
+    /** Base pseudo-node id of non-zero cluster media. */
+    static constexpr std::uint32_t kMediumBase = 0xffff'0000;
+
+    /**
+     * Pseudo-node id of cluster @p cluster's medium. Cluster 0 maps
+     * to kNetworkNode, so a single-cluster (flat) fabric traces
+     * exactly as before the hierarchy existed.
+     */
+    static constexpr std::uint32_t
+    mediumNode(std::size_t cluster)
+    {
+        return cluster == 0
+                   ? kNetworkNode
+                   : kMediumBase + static_cast<std::uint32_t>(cluster);
+    }
+
     /** Record one event at @p time (rounded to the µs grid). */
     void record(units::Micros time, TraceEventKind kind,
                 std::uint32_t node, std::uint32_t lane,
                 std::string name, std::uint64_t id = 0,
                 double value = 0.0);
 
+    /**
+     * Steal @p other's events and fold in its counters. Merging the
+     * per-cluster buffers in a fixed cluster order (after the export's
+     * stable sort by timestamp) makes the combined trace byte-equal
+     * between the serial and parallel engines.
+     */
+    void append(Trace &&other);
+
+    /**
+     * Tally counters but keep no event log. Large fabrics run with
+     * recording off; counters still feed the result summary.
+     */
+    void setCountersOnly(bool counters_only)
+    {
+        countersOnly = counters_only;
+    }
+
     const std::vector<TraceEvent> &events() const { return log; }
     std::size_t size() const { return log.size(); }
     bool empty() const { return log.empty(); }
-    void clear() { log.clear(); }
+    void clear();
 
     /** Event counts of one node. */
     TraceCounters counters(std::uint32_t node) const;
@@ -129,6 +177,9 @@ class Trace
 
   private:
     std::vector<TraceEvent> log;
+    /** Incremental per-node tallies (kept even when countersOnly). */
+    std::map<std::uint32_t, TraceCounters> tally;
+    bool countersOnly = false;
 };
 
 } // namespace scalo::sim

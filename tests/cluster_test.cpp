@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests of the hierarchical fabric partition (net::ClusterPlan):
+ * balanced construction, O(1) membership, relay election under an
+ * alive mask, and the flat degenerate case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scalo/net/cluster.hpp"
+#include "scalo/util/contracts.hpp"
+
+namespace scalo::net {
+namespace {
+
+struct ContractViolation
+{
+    std::string kind;
+};
+
+void
+throwingHandler(const char *kind, const char *, const char *, int)
+{
+    throw ContractViolation{kind};
+}
+
+class ContractGuard
+{
+  public:
+    ContractGuard()
+        : previous(util::setContractHandler(&throwingHandler))
+    {
+    }
+    ~ContractGuard() { util::setContractHandler(previous); }
+
+  private:
+    util::ContractHandler previous;
+};
+
+TEST(ClusterPlan, FlatIsOneClusterOverEveryNode)
+{
+    const ClusterPlan plan = ClusterPlan::flat(11);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_EQ(plan.clusterCount(), 1u);
+    EXPECT_EQ(plan.nodeCount(), 11u);
+    EXPECT_EQ(plan.firstOf(0), 0u);
+    EXPECT_EQ(plan.sizeOf(0), 11u);
+    for (std::size_t n = 0; n < 11; ++n)
+        EXPECT_EQ(plan.clusterOf(n), 0u);
+    EXPECT_EQ(plan.relay(0), 0u);
+    plan.validate();
+}
+
+TEST(ClusterPlan, FlatEqualsBalancedWithOneCluster)
+{
+    EXPECT_EQ(ClusterPlan::flat(7), ClusterPlan::balanced(7, 1));
+}
+
+TEST(ClusterPlan, BalancedSplitsContiguouslyLargerFirst)
+{
+    // 10 nodes over 3 clusters: sizes 4, 3, 3.
+    const ClusterPlan plan = ClusterPlan::balanced(10, 3);
+    plan.validate();
+    EXPECT_EQ(plan.clusterCount(), 3u);
+    EXPECT_EQ(plan.nodeCount(), 10u);
+    EXPECT_EQ(plan.sizeOf(0), 4u);
+    EXPECT_EQ(plan.sizeOf(1), 3u);
+    EXPECT_EQ(plan.sizeOf(2), 3u);
+    EXPECT_EQ(plan.firstOf(0), 0u);
+    EXPECT_EQ(plan.firstOf(1), 4u);
+    EXPECT_EQ(plan.firstOf(2), 7u);
+
+    // Membership is the contiguous range, and clusterOf inverts it.
+    const std::vector<std::size_t> middle = plan.members(1);
+    ASSERT_EQ(middle.size(), 3u);
+    EXPECT_EQ(middle.front(), 4u);
+    EXPECT_EQ(middle.back(), 6u);
+    for (std::size_t c = 0; c < plan.clusterCount(); ++c)
+        for (std::size_t n : plan.members(c))
+            EXPECT_EQ(plan.clusterOf(n), c);
+}
+
+TEST(ClusterPlan, BalancedEvenSplit)
+{
+    const ClusterPlan plan = ClusterPlan::balanced(64, 8);
+    plan.validate();
+    EXPECT_EQ(plan.clusterCount(), 8u);
+    for (std::size_t c = 0; c < 8; ++c) {
+        EXPECT_EQ(plan.sizeOf(c), 8u);
+        EXPECT_EQ(plan.firstOf(c), c * 8);
+    }
+}
+
+TEST(ClusterPlan, RelayIsFirstAliveMember)
+{
+    const ClusterPlan plan = ClusterPlan::balanced(12, 3);
+    // Cluster 1 owns nodes 4..7.
+    EXPECT_EQ(plan.relay(1), 4u);
+
+    std::vector<bool> up(12, true);
+    up[4] = false;
+    EXPECT_EQ(plan.relay(1, [&](std::size_t n) { return up[n]; }),
+              5u);
+    up[5] = false;
+    EXPECT_EQ(plan.relay(1, [&](std::size_t n) { return up[n]; }),
+              6u);
+
+    // Every member down: falls back to the first member (the
+    // cluster is silent then anyway).
+    for (std::size_t n : plan.members(1))
+        up[n] = false;
+    EXPECT_EQ(plan.relay(1, [&](std::size_t n) { return up[n]; }),
+              4u);
+    // Other clusters are unaffected by the mask.
+    EXPECT_EQ(plan.relay(2, [&](std::size_t n) { return up[n]; }),
+              8u);
+}
+
+TEST(ClusterPlanContracts, ValidateRejectsMalformedPlans)
+{
+    // Contracts follow the build type: the violation half of this
+    // test only exists where the library compiled with them on.
+    ClusterPlan plan = ClusterPlan::balanced(8, 2);
+    plan.backboneShare = 0.25;
+    plan.validate();
+
+    const ContractGuard guard;
+#if SCALO_CONTRACTS
+    {
+        ClusterPlan bad = ClusterPlan::balanced(8, 2);
+        bad.backboneShare = 0.0; // share must be in (0, 1)
+        EXPECT_THROW(bad.validate(), ContractViolation);
+    }
+    {
+        ClusterPlan bad = ClusterPlan::balanced(8, 2);
+        bad.backboneShare = 1.0;
+        EXPECT_THROW(bad.validate(), ContractViolation);
+    }
+    // More clusters than nodes would make empty clusters.
+    EXPECT_THROW(ClusterPlan::balanced(3, 8), ContractViolation);
+    // An empty plan carries no partition to validate.
+    EXPECT_THROW(ClusterPlan{}.validate(), ContractViolation);
+#endif
+}
+
+} // namespace
+} // namespace scalo::net

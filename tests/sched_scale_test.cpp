@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Scale-out tests of the decomposed scheduler: per-cluster sub-ILPs
+ * plus greedy backbone stitching behind the flat Scheduler interface.
+ * Covers feasibility at 64 nodes, bit-identity with the monolithic
+ * solve below the decomposition threshold, the bounded optimality gap
+ * of the decomposition, incremental rescheduling at 256 nodes, and
+ * the greedy repair path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "scalo/sched/scheduler.hpp"
+#include "scalo/sched/workloads.hpp"
+
+namespace scalo::sched {
+namespace {
+
+using namespace units::literals;
+
+std::vector<FlowSpec>
+mixedFlows()
+{
+    return {seizureDetectionFlow(),
+            hashSimilarityFlow(net::Pattern::AllToAll),
+            spikeSortingFlow()};
+}
+
+const std::vector<double> kPriorities{1.0, 3.0, 1.0};
+
+SystemConfig
+clusteredConfig(std::size_t nodes, std::size_t clusters)
+{
+    SystemConfig config;
+    config.nodes = nodes;
+    config.maxElectrodesPerNode = constants::kElectrodesPerNode;
+    if (clusters > 1)
+        config.clusters = net::ClusterPlan::balanced(nodes, clusters);
+    return config;
+}
+
+/** Max nodePower entry, 0 when empty. */
+double
+maxPowerMw(const Schedule &schedule)
+{
+    double max = 0.0;
+    for (const units::Milliwatts p : schedule.nodePower)
+        max = std::max(max, p.count());
+    return max;
+}
+
+TEST(SchedScale, Decomposed64Feasible)
+{
+    const Scheduler scheduler(clusteredConfig(64, 8));
+    ASSERT_TRUE(scheduler.decomposed());
+    const Schedule schedule =
+        scheduler.schedule(mixedFlows(), kPriorities);
+    ASSERT_TRUE(schedule.feasible) << schedule.reason;
+
+    ASSERT_EQ(schedule.flows.size(), 3u);
+    for (const FlowAllocation &alloc : schedule.flows) {
+        ASSERT_EQ(alloc.electrodesPerNode.size(), 64u);
+        EXPECT_GT(alloc.totalElectrodes, 0.0) << alloc.flow;
+        for (const double e : alloc.electrodesPerNode) {
+            EXPECT_GE(e, 0.0);
+            EXPECT_LE(e, constants::kElectrodesPerNode + 1e-6);
+        }
+    }
+    // The per-node power cap binds cluster-locally too.
+    ASSERT_EQ(schedule.nodePower.size(), 64u);
+    EXPECT_LE(maxPowerMw(schedule),
+              constants::kPowerCap.count() + 1e-6);
+    EXPECT_GT(schedule.totalThroughput.count(), 0.0);
+}
+
+TEST(SchedScale, MonolithicBelowThresholdIsBitIdenticalToFlat)
+{
+    // 16 nodes in 4 clusters sits below the monolithic threshold
+    // (48), so the clustered scheduler must keep the dense solve and
+    // reproduce the flat allocation bit for bit.
+    const Scheduler clustered(clusteredConfig(16, 4));
+    const Scheduler flat(clusteredConfig(16, 1));
+    ASSERT_FALSE(clustered.decomposed());
+    ASSERT_EQ(clustered.plan().clusterCount(), 4u);
+
+    const Schedule a = clustered.schedule(mixedFlows(), kPriorities);
+    const Schedule b = flat.schedule(mixedFlows(), kPriorities);
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(b.feasible);
+    ASSERT_EQ(a.flows.size(), b.flows.size());
+    for (std::size_t f = 0; f < a.flows.size(); ++f) {
+        EXPECT_EQ(a.flows[f].electrodesPerNode,
+                  b.flows[f].electrodesPerNode);
+        EXPECT_EQ(a.flows[f].totalElectrodes,
+                  b.flows[f].totalElectrodes);
+    }
+    EXPECT_EQ(a.totalThroughput.count(), b.totalThroughput.count());
+}
+
+TEST(SchedScale, DecompositionGapIsBounded)
+{
+    // The decomposed solve trades optimality for cluster-sized
+    // sub-problems; the stitched schedule must stay within a modest
+    // factor of the monolithic optimum (and never beat it, since the
+    // monolithic solve sees the whole feasible region).
+    const Scheduler scheduler(clusteredConfig(64, 8));
+    ASSERT_TRUE(scheduler.decomposed());
+    const std::vector<FlowSpec> flows = mixedFlows();
+    const Schedule decomposed =
+        scheduler.scheduleDecomposed(flows, kPriorities);
+    const Schedule monolithic =
+        scheduler.scheduleMonolithic(flows, kPriorities);
+    ASSERT_TRUE(decomposed.feasible) << decomposed.reason;
+    ASSERT_TRUE(monolithic.feasible) << monolithic.reason;
+
+    const double dec = decomposed.weightedThroughput.count();
+    const double mono = monolithic.weightedThroughput.count();
+    ASSERT_GT(mono, 0.0);
+    EXPECT_LE(dec, mono * (1.0 + 1e-6));
+    EXPECT_GE(dec, 0.60 * mono)
+        << "decomposition gap above 40%: " << dec << " vs " << mono;
+}
+
+TEST(SchedScale, Reschedule256TouchesOnlyAffectedClusters)
+{
+    // 256 nodes in 16 clusters of 16; kill two nodes of cluster 3
+    // (nodes 48..63). The incremental path must re-solve only that
+    // cluster and keep every other column bit-identical.
+    const Scheduler scheduler(clusteredConfig(256, 16));
+    ASSERT_TRUE(scheduler.decomposed());
+    const std::vector<FlowSpec> flows = mixedFlows();
+    const Schedule original =
+        scheduler.schedule(flows, kPriorities);
+    ASSERT_TRUE(original.feasible) << original.reason;
+
+    const std::vector<std::size_t> dead{49, 55};
+    const RescheduleResult result =
+        scheduler.reschedule(flows, kPriorities, original, dead);
+    ASSERT_TRUE(result.schedule.feasible);
+    EXPECT_EQ(result.resolvedClusters,
+              (std::vector<std::size_t>{3}));
+    EXPECT_EQ(result.deadNodes, dead);
+
+    for (const FlowAllocation &alloc : result.schedule.flows)
+        for (const std::size_t n : dead)
+            EXPECT_EQ(alloc.electrodesPerNode[n], 0.0);
+
+    // Columns outside cluster 3 are untouched.
+    for (std::size_t f = 0; f < flows.size(); ++f)
+        for (std::size_t n = 0; n < 256; ++n) {
+            if (n >= 48 && n < 64)
+                continue;
+            EXPECT_EQ(result.schedule.flows[f].electrodesPerNode[n],
+                      original.flows[f].electrodesPerNode[n])
+                << "flow " << f << " node " << n;
+        }
+    EXPECT_LE(maxPowerMw(result.schedule),
+              constants::kPowerCap.count() + 1e-6);
+    EXPECT_LE(result.throughputAfter.count(),
+              result.throughputBefore.count() + 1e-9);
+}
+
+TEST(SchedScale, RescheduleClusterMatchesFullReschedule)
+{
+    // rescheduleCluster (the simulator's concurrent entry point)
+    // must agree with reschedule() on the repaired columns of the
+    // affected cluster.
+    const Scheduler scheduler(clusteredConfig(64, 8));
+    const std::vector<FlowSpec> flows = mixedFlows();
+    const Schedule original =
+        scheduler.schedule(flows, kPriorities);
+    ASSERT_TRUE(original.feasible);
+
+    const std::vector<std::size_t> dead{18};
+    const std::size_t cluster = scheduler.plan().clusterOf(18);
+    const RescheduleResult via_cluster =
+        scheduler.rescheduleCluster(flows, kPriorities, original,
+                                    dead, cluster);
+    ASSERT_TRUE(via_cluster.schedule.feasible);
+    EXPECT_EQ(via_cluster.resolvedClusters,
+              (std::vector<std::size_t>{cluster}));
+    for (const FlowAllocation &alloc : via_cluster.schedule.flows)
+        EXPECT_EQ(alloc.electrodesPerNode[18], 0.0);
+    for (std::size_t f = 0; f < flows.size(); ++f)
+        for (std::size_t n = 0; n < 64; ++n) {
+            if (scheduler.plan().clusterOf(n) == cluster)
+                continue;
+            EXPECT_EQ(
+                via_cluster.schedule.flows[f].electrodesPerNode[n],
+                original.flows[f].electrodesPerNode[n]);
+        }
+}
+
+TEST(SchedScale, GreedyRepairShedsDeadWorkAt64)
+{
+    const Scheduler scheduler(clusteredConfig(64, 8));
+    const std::vector<FlowSpec> flows = mixedFlows();
+    const Schedule original =
+        scheduler.schedule(flows, kPriorities);
+    ASSERT_TRUE(original.feasible);
+
+    const std::vector<std::size_t> dead{3, 12, 40};
+    const Schedule repaired =
+        scheduler.greedyRepair(flows, original, dead);
+    ASSERT_TRUE(repaired.feasible);
+    for (const FlowAllocation &alloc : repaired.flows) {
+        for (const std::size_t n : dead)
+            EXPECT_EQ(alloc.electrodesPerNode[n], 0.0);
+        for (const double e : alloc.electrodesPerNode)
+            EXPECT_GE(e, 0.0);
+    }
+    EXPECT_LE(maxPowerMw(repaired),
+              constants::kPowerCap.count() + 1e-6);
+}
+
+} // namespace
+} // namespace scalo::sched
