@@ -501,6 +501,45 @@ gate_chaos() {
         python3 "$ROOT/ci/validate_trace.py" "$trace" \
             --require-fault-events || return 1
     done
+
+    # The hierarchical scenarios (backbone partition, relay crash)
+    # exercise the failover/re-stitch path; their traces must carry
+    # the cluster-fabric events (relay-failover, partition-start/
+    # healed, backbone-restitch pairing is validated too).
+    for scenario in partition relay-crash; do
+        note "chaos scenario: $scenario"
+        trace="$dir/chaos_${scenario}.json"
+        "$dir/examples/example_chaos_run" \
+            --scenario "$scenario" --duration 2400 \
+            --trace "$trace" || return 1
+        python3 "$ROOT/ci/validate_trace.py" "$trace" \
+            --require-fault-events --require-cluster-events ||
+            return 1
+    done
+
+    # The same scenarios on the parallel engine, under TSan: relay
+    # failover and backbone re-stitching run at the quantum barriers
+    # where worker threads hand off to the coordinator, exactly the
+    # boundary the race detector must clear. Traces must come out
+    # byte-identical to the serial runs above.
+    local tsan="$ROOT/build-ci-tsan"
+    cmake -S "$ROOT" -B "$tsan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSCALO_SANITIZE=thread >/dev/null &&
+        cmake --build "$tsan" -j "$JOBS" \
+            --target example_chaos_run || return 1
+    for scenario in partition relay-crash; do
+        note "chaos scenario (parallel, TSan): $scenario"
+        trace="$tsan/chaos_${scenario}_parallel.json"
+        "$tsan/examples/example_chaos_run" \
+            --scenario "$scenario" --duration 2400 --parallel \
+            --trace "$trace" || return 1
+        cmp "$dir/chaos_${scenario}.json" "$trace" || {
+            echo "chaos: $scenario parallel trace differs from" \
+                "the serial trace"
+            return 1
+        }
+    done
 }
 
 gate_tidy() {

@@ -14,6 +14,15 @@ Checks the structural invariants Perfetto / chrome://tracing rely on:
     cannot die twice without recovering in between, or recover while
     alive (a trailing node-down — a node still dead at the end of the
     run — is fine)
+  - partition-start / partition-healed instants alternate per
+    cluster (args.id carries the cluster): a cluster cannot be
+    declared partitioned twice without healing in between, or heal
+    while attached (a trailing partition-start — still severed at
+    the end of the run — is fine)
+  - every relay-failover is eventually followed by a
+    backbone-restitch: a relay hand-off that never re-stitched the
+    backbone schedule means the failover path silently lost the
+    repair step
 
 Usage: ci/validate_trace.py trace.json [--require-fault-events]
 
@@ -26,7 +35,7 @@ import argparse
 import json
 import sys
 
-# Mirrors sim::traceEventName's 19 kinds; the exporter writes the
+# Mirrors sim::traceEventName's 23 kinds; the exporter writes the
 # kind into the "cat" field, so an unknown category means the C++
 # enum and this validator have drifted apart.
 KNOWN_CATEGORIES = {
@@ -49,6 +58,10 @@ KNOWN_CATEGORIES = {
     "relay-forward",
     "backbone-start",
     "backbone-finish",
+    "relay-failover",
+    "partition-start",
+    "partition-healed",
+    "backbone-restitch",
 }
 
 FAULT_CATEGORIES = {
@@ -60,11 +73,16 @@ FAULT_CATEGORIES = {
 }
 
 # Emitted only by the hierarchical (multi-cluster) fabric: relay
-# hand-offs into the backbone and the backbone round spans.
+# hand-offs into the backbone, the backbone round spans, and the
+# partition-tolerance story (failover, partition windows, re-stitch).
 CLUSTER_CATEGORIES = {
     "relay-forward",
     "backbone-start",
     "backbone-finish",
+    "relay-failover",
+    "partition-start",
+    "partition-healed",
+    "backbone-restitch",
 }
 
 
@@ -112,6 +130,8 @@ def main() -> int:
     counts = {}
     cat_counts = {}
     node_dead = {}  # pid -> currently declared dead
+    cluster_partitioned = {}  # args.id (cluster) -> currently severed
+    failovers_pending_restitch = 0
     for index, event in enumerate(events):
         for field in ("name", "ph", "pid", "tid"):
             if field not in event:
@@ -159,10 +179,35 @@ def main() -> int:
                     "without a preceding node-down"
                 )
             node_dead[event["pid"]] = False
+        elif cat == "partition-start":
+            cluster = event.get("args", {}).get("id")
+            if cluster_partitioned.get(cluster, False):
+                return fail(
+                    f"event {index}: cluster {cluster} declared "
+                    "partitioned twice without healing"
+                )
+            cluster_partitioned[cluster] = True
+        elif cat == "partition-healed":
+            cluster = event.get("args", {}).get("id")
+            if not cluster_partitioned.get(cluster, False):
+                return fail(
+                    f"event {index}: cluster {cluster} healed "
+                    "without a preceding partition-start"
+                )
+            cluster_partitioned[cluster] = False
+        elif cat == "relay-failover":
+            failovers_pending_restitch += 1
+        elif cat == "backbone-restitch":
+            failovers_pending_restitch = 0
 
     unbalanced = {lane: d for lane, d in open_spans.items() if d}
     if unbalanced:
         return fail(f"unclosed duration spans: {unbalanced}")
+    if failovers_pending_restitch:
+        return fail(
+            f"{failovers_pending_restitch} relay-failover event(s) "
+            "never followed by a backbone-restitch"
+        )
 
     fault_events = sum(cat_counts.get(c, 0) for c in FAULT_CATEGORIES)
     if args.require_fault_events and fault_events == 0:
@@ -186,6 +231,11 @@ def main() -> int:
         extra += f" cluster-events={cluster_events}"
     if still_dead:
         extra += f" still-dead-pids={still_dead}"
+    still_severed = sorted(
+        c for c, severed in cluster_partitioned.items() if severed
+    )
+    if still_severed:
+        extra += f" still-partitioned-clusters={still_severed}"
     print(
         f"validate_trace: OK: {len(events)} events ({summary}){extra}"
     )

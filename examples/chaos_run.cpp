@@ -6,15 +6,27 @@
  * reschedule / QoS timeline the runtime produces.
  *
  * Scenarios (--scenario):
- *   crash     node 1 crashes at 5/6 of the run and stays down
- *   dropout   the shared radio is gone for 150 ms mid-run
- *   nvm       node 2's NVM fails 30% of its appends
- *   throttle  node 0 runs 3x slower over the middle third
- *   combined  all of the above
+ *   crash       node 1 crashes at 5/6 of the run and stays down
+ *   dropout     the shared radio is gone for 150 ms mid-run
+ *   nvm         node 2's NVM fails 30% of its appends
+ *   throttle    node 0 runs 3x slower over the middle third
+ *   combined    all of the above
+ *   partition   (hierarchical, 12 nodes / 3 clusters) cluster 1 is
+ *               severed from the backbone over the middle third;
+ *               its TDMA keeps running, forwards are dropped, the
+ *               backbone re-stitches around it, queries degrade to
+ *               cluster-granular partial coverage, and the heal
+ *               restores everything
+ *   relay-crash (hierarchical) cluster 1's relay dies mid-run;
+ *               relay duty migrates, the failover is detected at
+ *               backbone cadence, and the backbone re-stitches
  *
  * Pass `--trace out.json` to export a Chrome trace-event JSON and
- * watch the FaultInjected / NodeDown / Resched markers next to the
- * pipeline lanes in Perfetto (ui.perfetto.dev).
+ * watch the FaultInjected / NodeDown / Resched (plus, on the
+ * hierarchical scenarios, RelayFailover / PartitionStart /
+ * PartitionHealed / BackboneRestitch) markers next to the pipeline
+ * lanes in Perfetto (ui.perfetto.dev). `--parallel` runs the
+ * multi-cluster engine on worker threads (trace stays identical).
  *
  * Exits 0 only when the scenario's degradation contract held (e.g.
  * the crash was detected, work was rescheduled, and windows kept
@@ -37,6 +49,7 @@ struct Args
     std::string scenario = "crash";
     std::string tracePath;
     double durationMs = 6000.0;
+    bool parallel = false;
 };
 
 bool
@@ -51,11 +64,69 @@ parseArgs(int argc, char **argv, Args &args)
         } else if (std::strcmp(argv[i], "--duration") == 0 &&
                    i + 1 < argc) {
             args.durationMs = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--parallel") == 0) {
+            args.parallel = true;
         } else {
             return false;
         }
     }
     return args.durationMs > 0.0;
+}
+
+/**
+ * The partition scenario's query-side demo: ingest one window per
+ * node, run the same full-range query with cluster 1 unreachable and
+ * again after the heal, and print the cluster-granular coverage the
+ * engine reports for each. Returns true when the degraded execution
+ * answered exactly the two reachable clusters and the healed one
+ * answered everything.
+ */
+bool
+queryCoverageDemo(const scalo::core::ScaloSystem &system,
+                  std::size_t partitioned_cluster)
+{
+    using namespace scalo;
+    constexpr std::size_t kWindowSamples = 32;
+    app::QueryEngine engine =
+        system.makeQueryEngine(kWindowSamples);
+    const std::vector<double> window(kWindowSamples, 0.25);
+    for (std::size_t node = 0; node < engine.nodeCount(); ++node)
+        engine.ingest(static_cast<NodeId>(node),
+                      /*timestamp_us=*/1000 * (node + 1),
+                      /*electrode=*/0, window,
+                      /*seizure_flagged=*/false);
+
+    const auto print_coverage = [](const char *label,
+                                   const app::QueryExecution &ex) {
+        std::printf("  %s: %zu/%zu shards", label,
+                    ex.coverage.answeredShards,
+                    ex.coverage.totalShards);
+        for (const app::ClusterCoverage &slice :
+             ex.coverage.clusters)
+            std::printf("  cluster %zu: %zu/%zu", slice.cluster,
+                        slice.answeredShards, slice.totalShards);
+        std::printf("%s\n", ex.coverage.complete()
+                                ? "  (complete)"
+                                : "  (partial)");
+    };
+
+    engine.setClusterDown(partitioned_cluster);
+    const app::QueryExecution degraded =
+        engine.execute(app::Query{});
+    print_coverage("partitioned", degraded);
+
+    engine.setClusterDown(partitioned_cluster, /*down=*/false);
+    const app::QueryExecution healed = engine.execute(app::Query{});
+    print_coverage("healed     ", healed);
+
+    bool ok = !degraded.coverage.complete() &&
+              healed.coverage.complete();
+    for (const app::ClusterCoverage &slice :
+         degraded.coverage.clusters)
+        ok = ok && (slice.cluster == partitioned_cluster
+                        ? slice.answeredShards == 0
+                        : slice.complete());
+    return ok;
 }
 
 } // namespace
@@ -69,14 +140,24 @@ main(int argc, char **argv)
     Args args;
     if (!parseArgs(argc, argv, args)) {
         std::printf("usage: %s [--scenario "
-                    "crash|dropout|nvm|throttle|combined] "
-                    "[--duration ms] [--trace out.json]\n",
+                    "crash|dropout|nvm|throttle|combined|partition|"
+                    "relay-crash] "
+                    "[--duration ms] [--trace out.json] "
+                    "[--parallel]\n",
                     argv[0]);
         return 2;
     }
 
+    // The hierarchical scenarios exercise the clustered fabric: 12
+    // nodes in 3 TDMA clusters bridged by the relay backbone. The
+    // flat scenarios keep the original 4-node deployment.
+    const bool wantPartition = args.scenario == "partition";
+    const bool wantRelayCrash = args.scenario == "relay-crash";
+    const bool hierarchical = wantPartition || wantRelayCrash;
+
     core::ScaloConfig config;
-    config.nodes = 4;
+    config.nodes = hierarchical ? 12 : 4;
+    config.clusters = hierarchical ? 3 : 1;
     core::ScaloSystem system(config);
     std::printf("%s\n", system.describe().c_str());
 
@@ -104,11 +185,16 @@ main(int argc, char **argv)
         args.scenario == "nvm" || args.scenario == "combined";
     const bool wantThrottle =
         args.scenario == "throttle" || args.scenario == "combined";
-    if (!wantCrash && !wantDropout && !wantNvm && !wantThrottle) {
+    if (!wantCrash && !wantDropout && !wantNvm && !wantThrottle &&
+        !hierarchical) {
         std::printf("unknown scenario '%s'\n",
                     args.scenario.c_str());
         return 2;
     }
+
+    // The cluster the hierarchical scenarios break (balanced(12, 3)
+    // puts nodes 4-7 here, relay duty starting on node 4).
+    constexpr std::uint32_t kVictimCluster = 1;
 
     sim::FaultPlan plan;
     const units::Millis crash_at = duration * (5.0 / 6.0);
@@ -123,6 +209,14 @@ main(int argc, char **argv)
         plan.throttles.push_back({/*node=*/0, duration * (1.0 / 3.0),
                                   duration * (2.0 / 3.0),
                                   /*slowdown=*/3.0});
+    const units::Millis partition_from = duration * (1.0 / 3.0);
+    const units::Millis partition_to = duration * (2.0 / 3.0);
+    if (wantPartition)
+        plan.partitions.push_back(
+            {kVictimCluster, partition_from, partition_to});
+    if (wantRelayCrash)
+        plan.relayCrashes.push_back(
+            {kVictimCluster, duration * (1.0 / 3.0)});
 
     std::printf("\nscenario '%s': %zu fault(s) over %.0f ms\n",
                 args.scenario.c_str(), plan.size(),
@@ -141,12 +235,23 @@ main(int argc, char **argv)
                     "t=%.1f ms\n",
                     (duration * (1.0 / 3.0)).count(),
                     (duration * (2.0 / 3.0)).count());
+    if (wantPartition)
+        std::printf("  t=%7.1f ms  cluster %u severed from the "
+                    "backbone until t=%.1f ms\n",
+                    partition_from.count(), kVictimCluster,
+                    partition_to.count());
+    if (wantRelayCrash)
+        std::printf("  t=%7.1f ms  cluster %u's relay crashes "
+                    "(stays down; duty migrates)\n",
+                    (duration * (1.0 / 3.0)).count(),
+                    kVictimCluster);
 
     core::SimulateOptions options;
     options.duration = duration;
     options.tracePath = args.tracePath;
     options.faults = plan;
     options.priorities = priorities;
+    options.parallel = args.parallel;
     const sim::SystemSimResult result =
         system.simulate(flows, schedule, options);
 
@@ -179,15 +284,48 @@ main(int argc, char **argv)
                     resched.maxNodePowerBefore.count(),
                     resched.maxNodePowerAfter.count());
     }
-    if (result.nodesDown.empty() && result.reschedules.empty())
+    for (const sim::PartitionEvent &partition : result.partitions)
+        std::printf("  t=%7.1f ms  cluster %zu %s\n",
+                    partition.at.count(), partition.cluster,
+                    partition.healed
+                        ? "rejoined the backbone (partition healed)"
+                        : "declared partitioned (backbone silence)");
+    for (const sim::RestitchEvent &restitch : result.restitches) {
+        std::string unreachable;
+        for (const std::size_t c : restitch.unreachableClusters)
+            unreachable +=
+                (unreachable.empty() ? "" : ",") + std::to_string(c);
+        std::printf("  t=%7.1f ms  backbone re-stitched via %s "
+                    "(unreachable clusters {%s}): throughput "
+                    "%.2f -> %.2f Mbps\n",
+                    restitch.at.count(),
+                    restitch.viaIlp ? "ILP" : "greedy repair",
+                    unreachable.c_str(),
+                    restitch.throughputBefore.count(),
+                    restitch.throughputAfter.count());
+    }
+    if (result.nodesDown.empty() && result.reschedules.empty() &&
+        result.partitions.empty() && result.restitches.empty())
         std::printf("  (no nodes declared dead)\n");
     std::printf("  exchange timeouts: %llu, packets lost after "
-                "retries: %llu, NVM write failures: %llu\n",
+                "retries: %llu, NVM write failures: %llu, relay "
+                "forwards dropped: %llu\n",
                 static_cast<unsigned long long>(
                     result.exchangeTimeouts),
                 static_cast<unsigned long long>(result.packetsLost),
                 static_cast<unsigned long long>(
-                    result.nvmWriteFailures));
+                    result.nvmWriteFailures),
+                static_cast<unsigned long long>(
+                    result.relayForwardsDropped));
+
+    // The query path's view of the partition: cluster-granular
+    // coverage while the cluster is unreachable, full coverage after
+    // the heal.
+    bool coverage_ok = true;
+    if (wantPartition) {
+        std::printf("\nquery coverage under the partition:\n");
+        coverage_ok = queryCoverageDemo(system, kVictimCluster);
+    }
 
     // Degraded QoS summary.
     std::printf("\n");
@@ -226,6 +364,32 @@ main(int argc, char **argv)
         ok = ok && result.packetsLost > 0;
     if (wantNvm)
         ok = ok && result.nvmWriteFailures > 0;
+    if (wantPartition) {
+        // The degradation contract of a backbone partition: forwards
+        // were dropped at the severed link, the silence was declared
+        // and later healed, the backbone re-stitched, and queries
+        // degraded to (then recovered from) partial coverage.
+        bool declared = false;
+        bool healed = false;
+        for (const sim::PartitionEvent &partition :
+             result.partitions) {
+            if (partition.cluster != kVictimCluster)
+                continue;
+            declared = declared || !partition.healed;
+            healed = healed || partition.healed;
+        }
+        ok = ok && result.relayForwardsDropped > 0 && declared &&
+             healed && !result.restitches.empty() && coverage_ok;
+    }
+    if (wantRelayCrash) {
+        // Relay failover contract: the old relay was declared dead,
+        // duty migrated (the run kept completing windows), and the
+        // backbone re-stitched around the death.
+        bool relay_dead = false;
+        for (const sim::NodeDownEvent &down : result.nodesDown)
+            relay_dead = relay_dead || down.node == 4;
+        ok = ok && relay_dead && !result.restitches.empty();
+    }
     std::printf("\n%s\n", ok ? "scenario contract held"
                              : "SCENARIO CONTRACT VIOLATED");
     return ok ? 0 : 1;

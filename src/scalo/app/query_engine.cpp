@@ -70,6 +70,37 @@ QueryEngine::nodeDown(NodeId node) const
 }
 
 void
+QueryEngine::setClusterPlan(net::ClusterPlan new_plan)
+{
+    new_plan.validate();
+    SCALO_ASSERT(new_plan.nodeCount() == stores.size(),
+                 "cluster plan node count mismatch");
+    plan = std::move(new_plan);
+    const std::size_t clusters = plan.clusterCount();
+    downClusters = std::make_unique<std::atomic<bool>[]>(clusters);
+    for (std::size_t c = 0; c < clusters; ++c)
+        downClusters[c].store(false, std::memory_order_relaxed);
+}
+
+void
+QueryEngine::setClusterDown(std::size_t cluster, bool down)
+{
+    SCALO_ASSERT(!plan.empty(), "no cluster plan configured");
+    SCALO_ASSERT(cluster < plan.clusterCount(),
+                 "cluster out of range");
+    downClusters[cluster].store(down, std::memory_order_release);
+}
+
+bool
+QueryEngine::clusterDown(std::size_t cluster) const
+{
+    SCALO_ASSERT(!plan.empty(), "no cluster plan configured");
+    SCALO_ASSERT(cluster < plan.clusterCount(),
+                 "cluster out of range");
+    return downClusters[cluster].load(std::memory_order_acquire);
+}
+
+void
 QueryEngine::setParallelism(std::size_t new_threads)
 {
     threads = std::max<std::size_t>(1, new_threads);
@@ -288,6 +319,22 @@ QueryEngine::assemble(const Query &query,
     // Giving up on a shard still means waiting until its deadline.
     if (deadline_hit)
         slowest_node = units::max(slowest_node, query.shardDeadline);
+    // Cluster-granular coverage: fold the per-node answers into the
+    // fabric's failure domains so a partitioned cluster is visible
+    // as such, not as an anonymous count of missing shards.
+    if (!plan.empty()) {
+        execution.coverage.clusters.resize(plan.clusterCount());
+        for (std::size_t c = 0; c < plan.clusterCount(); ++c)
+            execution.coverage.clusters[c].cluster = c;
+        for (const QueryStats &stats : execution.perNode) {
+            ClusterCoverage &slice =
+                execution.coverage.clusters[plan.clusterOf(
+                    stats.node)];
+            ++slice.totalShards;
+            if (stats.answered)
+                ++slice.answeredShards;
+        }
+    }
     // Merge: per-node lists are timestamp-sorted and concatenated in
     // node order, so a stable sort on timestamp yields the canonical
     // (timestamp, node) order.
@@ -354,13 +401,24 @@ QueryEngine::executeBatch(
     for (auto &rows : partials)
         rows.resize(stores.size());
 
+    // Cluster reachability is sampled once per batch, before the
+    // fan-out: a partition flipping mid-batch must not split one
+    // cluster's shards into half answered, half skipped.
+    std::vector<char> cluster_down(plan.clusterCount(), 0);
+    for (std::size_t c = 0; c < cluster_down.size(); ++c)
+        cluster_down[c] =
+            downClusters[c].load(std::memory_order_acquire) ? 1 : 0;
+
     pool->parallelFor(stores.size(), [&](std::size_t node) {
         // Shards of down nodes are skipped at dispatch: the detector
         // already knows they cannot answer. The flag is sampled once
         // per node per batch, so every query in the batch sees the
-        // same shard population.
+        // same shard population. A node is also unreachable when its
+        // whole cluster is partitioned off the backbone.
         const bool down =
-            downNodes[node].load(std::memory_order_acquire);
+            downNodes[node].load(std::memory_order_acquire) ||
+            (!cluster_down.empty() &&
+             cluster_down[plan.clusterOf(node)] != 0);
 
         // Confirmation candidates are deduplicated (by stored-window
         // identity) across every query in flight on this node into

@@ -35,6 +35,7 @@
 #include "scalo/app/query.hpp"
 #include "scalo/app/store.hpp"
 #include "scalo/lsh/hasher.hpp"
+#include "scalo/net/cluster.hpp"
 #include "scalo/util/thread_pool.hpp"
 
 namespace scalo::app {
@@ -62,11 +63,31 @@ struct QueryStats
     bool answered = true;
 };
 
+/**
+ * One cluster's slice of a query's shard fan-out. Only present when
+ * the engine was handed a ClusterPlan: the fabric's failure domains
+ * are clusters, so callers triaging a partial answer want to know
+ * *which* cluster went dark, not just how many shards did.
+ */
+struct ClusterCoverage
+{
+    std::size_t cluster = 0;
+    std::size_t answeredShards = 0;
+    std::size_t totalShards = 0;
+
+    bool complete() const { return answeredShards == totalShards; }
+};
+
 /** How much of the shard fan-out contributed to the answer. */
 struct Coverage
 {
     std::size_t answeredShards = 0;
     std::size_t totalShards = 0;
+    /**
+     * Per-cluster tallies in cluster-id order; empty unless the
+     * engine has a cluster plan. Sums match the flat counts.
+     */
+    std::vector<ClusterCoverage> clusters;
 
     bool complete() const { return answeredShards == totalShards; }
 
@@ -221,6 +242,27 @@ class QueryEngine
     void setNodeDown(NodeId node, bool down = true);
     bool nodeDown(NodeId node) const;
 
+    /**
+     * Teach the engine the fabric's cluster partition. Executions
+     * thereafter report cluster-granular Coverage, and whole clusters
+     * may be marked unreachable with setClusterDown(). The plan must
+     * partition exactly nodeCount() nodes.
+     */
+    void setClusterPlan(net::ClusterPlan plan);
+    const net::ClusterPlan &clusterPlan() const { return plan; }
+
+    /**
+     * Mark every shard of @p cluster unreachable (or reachable
+     * again): a backbone partition takes a whole cluster out of the
+     * query fan-out at once, and its queries degrade to
+     * prefix-consistent partial results instead of timing out.
+     * Requires a cluster plan. Atomic like setNodeDown(); each batch
+     * samples every cluster flag once, at dispatch, so all queries in
+     * a batch see the same shard population.
+     */
+    void setClusterDown(std::size_t cluster, bool down = true);
+    bool clusterDown(std::size_t cluster) const;
+
     std::size_t nodeCount() const { return stores.size(); }
 
     /** Analysis-window length queries must match. */
@@ -263,6 +305,10 @@ class QueryEngine
     std::vector<SignalStore> stores;
     /** Nodes currently marked down (skipped at dispatch). */
     std::unique_ptr<std::atomic<bool>[]> downNodes;
+    /** Fabric partition; empty until setClusterPlan(). */
+    net::ClusterPlan plan;
+    /** Clusters currently unreachable (skipped at dispatch). */
+    std::unique_ptr<std::atomic<bool>[]> downClusters;
     std::size_t threads;
     /** Execution machinery, not logical state; rebuilt on resize. */
     mutable std::unique_ptr<util::ThreadPool> pool;

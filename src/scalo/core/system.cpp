@@ -91,7 +91,14 @@ ScaloSystem::simulate(const std::vector<sched::FlowSpec> &flows,
 app::QueryEngine
 ScaloSystem::makeQueryEngine(std::size_t window_samples) const
 {
-    return app::QueryEngine(cfg.nodes, window_samples, cfg.seed);
+    app::QueryEngine engine(cfg.nodes, window_samples, cfg.seed);
+    // Hierarchical deployments serve with cluster-granular coverage:
+    // the query path shares the fabric's failure domains, so a
+    // backbone partition degrades queries per cluster, not per node.
+    if (cfg.clusters > 1)
+        engine.setClusterPlan(
+            net::ClusterPlan::balanced(cfg.nodes, cfg.clusters));
+    return engine;
 }
 
 query::CompiledPipeline

@@ -131,8 +131,11 @@ class ScaloSystem
     /**
      * An interactive QueryEngine sized for this system: one store
      * shard per implant, hashing seeded from the system seed so
-     * ingest-side signatures line up across engines. The serving
-     * runtime (serve::QueryServer) wraps one of these.
+     * ingest-side signatures line up across engines. Hierarchical
+     * systems (clusters > 1) hand the engine their cluster plan, so
+     * executions report cluster-granular Coverage and whole clusters
+     * can be marked unreachable during backbone partitions. The
+     * serving runtime (serve::QueryServer) wraps one of these.
      */
     app::QueryEngine makeQueryEngine(std::size_t window_samples)
         const;

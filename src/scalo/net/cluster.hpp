@@ -65,9 +65,18 @@ class ClusterPlan
     std::vector<std::size_t> members(std::size_t cluster) const;
 
     /**
+     * Sentinel returned by the alive-masked @ref relay when every
+     * member of the cluster is down: there is no node left to carry
+     * backbone duty, and callers must not address the (dead) first
+     * member as if it could.
+     */
+    static constexpr std::size_t kNoRelay = static_cast<std::size_t>(-1);
+
+    /**
      * Relay node of cluster @p cluster: the first member for which
-     * @p is_alive returns true. Falls back to the first member when
-     * every member is down (the cluster is then silent anyway).
+     * @p is_alive returns true, or @ref kNoRelay when every member is
+     * down (the cluster has nothing alive to forward for — callers
+     * skip the backbone hop instead of addressing a corpse).
      */
     template <typename AliveFn>
     std::size_t
@@ -78,7 +87,7 @@ class ClusterPlan
         for (std::size_t i = 0; i < size; ++i)
             if (is_alive(first + i))
                 return first + i;
-        return first;
+        return kNoRelay;
     }
 
     /** Relay with every node assumed alive: the first member. */

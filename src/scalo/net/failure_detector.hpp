@@ -58,14 +58,28 @@ class HeartbeatDetector
     std::vector<std::size_t> deadNodes() const;
 
     /**
-     * Worst-case detection latency when rounds recur every @p round:
-     * the crash can land just after a heard slot, so detection takes
-     * a full threshold of further rounds.
+     * Worst-case detection latency for a detector whose observations
+     * arrive every @p cadence, @p observations_per_interval times per
+     * interval. A crash can land just after a heard observation, so
+     * detection takes one full extra interval plus however many
+     * intervals it takes to accumulate @ref missThreshold misses.
+     *
+     * Intra-cluster detectors observe one slot per TDMA round
+     * (observations_per_interval = 1, cadence = round), reducing to
+     * the classic `(threshold + 1) * round`. A backbone-cadence
+     * detector hears each cluster once per networked flow per window,
+     * so it passes the window as @p cadence and the networked flow
+     * count as @p observations_per_interval and gets an honest —
+     * tighter — bound instead of one expressed in the wrong cadence.
      */
     units::Millis
-    detectionLatency(units::Millis round) const
+    detectionLatency(units::Millis cadence,
+                     std::size_t observations_per_interval = 1) const
     {
-        return static_cast<double>(threshold + 1) * round;
+        const std::size_t per =
+            observations_per_interval == 0 ? 1 : observations_per_interval;
+        const std::size_t intervals = (threshold + per - 1) / per;
+        return static_cast<double>(intervals + 1) * cadence;
     }
 
   private:

@@ -191,7 +191,7 @@ allocationPowerClustered(const SystemConfig &config,
         for (std::size_t c = 0; c < cluster_count; ++c) {
             const std::size_t relay = plan.relay(
                 c, [&](std::size_t n) { return alive[n]; });
-            if (alive[relay])
+            if (relay != net::ClusterPlan::kNoRelay)
                 power[relay] += flows[f].linPerElectrode *
                                 (flow_total - cluster_total[c]);
         }
@@ -1251,6 +1251,95 @@ Scheduler::rescheduleCluster(
     } else {
         greedyRepairCluster(flows, repaired, alive, cluster);
     }
+    finalizeSchedule(flows, priorities, repaired, alive);
+
+    result.throughputAfter = repaired.totalThroughput;
+    result.maxNodePowerAfter = maxPower(repaired.nodePower);
+    result.schedule = std::move(repaired);
+    for ([[maybe_unused]] const std::size_t n : result.deadNodes)
+        for ([[maybe_unused]] const FlowAllocation &alloc :
+             result.schedule.flows)
+            SCALO_ENSURES(alloc.electrodesPerNode[n] == 0.0);
+    return result;
+}
+
+RescheduleResult
+Scheduler::restitchBackbone(
+    const std::vector<FlowSpec> &flows,
+    const std::vector<double> &priorities,
+    const Schedule &original,
+    const std::vector<std::size_t> &dead_nodes,
+    const std::vector<std::size_t> &unreachable_clusters) const
+{
+    SCALO_ASSERT(flows.size() == priorities.size(),
+                 "one priority per flow");
+    SCALO_EXPECTS(original.feasible);
+    const std::size_t nodes = systemConfig.nodes;
+
+    RescheduleResult result;
+    result.deadNodes = dead_nodes;
+    std::sort(result.deadNodes.begin(), result.deadNodes.end());
+    result.deadNodes.erase(std::unique(result.deadNodes.begin(),
+                                       result.deadNodes.end()),
+                           result.deadNodes.end());
+    result.throughputBefore = original.totalThroughput;
+    result.maxNodePowerBefore = maxPower(original.nodePower);
+
+    // A heal with nothing dead and nothing unreachable restores the
+    // boot schedule verbatim. Restitching it instead would not be a
+    // no-op: a monolithic boot schedule never went through
+    // stitchBackbone, so re-stitching would scale it down.
+    if (result.deadNodes.empty() && unreachable_clusters.empty()) {
+        result.schedule = original;
+        result.viaIlp = true;
+        result.throughputAfter = original.totalThroughput;
+        result.maxNodePowerAfter = result.maxNodePowerBefore;
+        return result;
+    }
+
+    const std::vector<bool> alive =
+        aliveMask(nodes, result.deadNodes);
+
+    // Clusters owning dead nodes get fresh *unclamped* sub-solves,
+    // reclaiming the capacity the mid-quantum clamp conservatively
+    // gave up; untouched clusters keep their boot allocation.
+    std::vector<std::size_t> affected;
+    for (const std::size_t n : result.deadNodes)
+        affected.push_back(effectivePlan.clusterOf(n));
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    result.resolvedClusters = affected;
+
+    Schedule repaired = original;
+    repaired.reason = "backbone re-stitch";
+    result.viaIlp = true;
+    for (const std::size_t c : affected) {
+        const Schedule sub =
+            scheduleClusterMasked(flows, priorities, alive, c);
+        const std::vector<std::size_t> members =
+            effectivePlan.members(c);
+        if (sub.feasible) {
+            for (std::size_t f = 0; f < flows.size(); ++f)
+                for (const std::size_t n : members)
+                    repaired.flows[f].electrodesPerNode[n] =
+                        sub.flows[f].electrodesPerNode[n];
+        } else {
+            result.viaIlp = false;
+            greedyRepairCluster(flows, repaired, alive, c);
+        }
+    }
+
+    // The stitch sees only reachable senders: a partitioned cluster
+    // keeps its intra-cluster allocation running but contributes no
+    // backbone traffic until it heals.
+    std::vector<bool> reachable = alive;
+    for (const std::size_t c : unreachable_clusters) {
+        SCALO_EXPECTS(c < effectivePlan.clusterCount());
+        for (const std::size_t n : effectivePlan.members(c))
+            reachable[n] = false;
+    }
+    stitchBackbone(flows, repaired, reachable);
     finalizeSchedule(flows, priorities, repaired, alive);
 
     result.throughputAfter = repaired.totalThroughput;

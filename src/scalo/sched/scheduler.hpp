@@ -178,10 +178,13 @@ class Scheduler
      * Re-solve exactly one cluster around @p dead_nodes (all of which
      * must belong to @p cluster); every other cluster's columns are
      * copied from @p original untouched. This is the entry the
-     * simulator's per-cluster runtimes use: it reads shared state
-     * immutably and never scales other clusters, so concurrent calls
-     * for distinct clusters are safe. Deaths only shrink relay
-     * payloads, so skipping the backbone re-stitch is conservative.
+     * simulator's per-cluster runtimes use mid-quantum: it reads
+     * shared state immutably and never scales other clusters, so
+     * concurrent calls for distinct clusters are safe. The re-solved
+     * cluster is clamped to its pre-death totals, keeping relay
+     * payloads monotonically non-increasing until the runtime's next
+     * barrier, where restitchBackbone() re-stitches the backbone
+     * fabric-wide and reclaims the capacity the clamp gave up.
      */
     RescheduleResult
     rescheduleCluster(const std::vector<FlowSpec> &flows,
@@ -189,6 +192,28 @@ class Scheduler
                       const Schedule &original,
                       const std::vector<std::size_t> &dead_nodes,
                       std::size_t cluster) const;
+
+    /**
+     * Fabric-wide backbone re-stitch, run at a runtime barrier after
+     * relay failover, node death, or a partition transition. Starting
+     * from @p original (the boot schedule, so repeated re-stitches
+     * never ratchet allocations down), every cluster owning one of
+     * @p dead_nodes is re-solved unclamped via the incremental
+     * per-cluster sub-ILP, then the inter-cluster backbone is
+     * re-stitched against a reachability mask that excludes
+     * @p unreachable_clusters' members (their intra-cluster TDMA
+     * keeps its allocation; only their backbone contribution is
+     * dropped). With no dead nodes and no unreachable clusters the
+     * result is the original schedule — a heal restores full
+     * capacity exactly.
+     */
+    RescheduleResult restitchBackbone(
+        const std::vector<FlowSpec> &flows,
+        const std::vector<double> &priorities,
+        const Schedule &original,
+        const std::vector<std::size_t> &dead_nodes,
+        const std::vector<std::size_t> &unreachable_clusters = {})
+        const;
 
   private:
     Schedule scheduleMasked(const std::vector<FlowSpec> &flows,

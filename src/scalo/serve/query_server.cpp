@@ -464,4 +464,10 @@ QueryServer::setNodeDown(NodeId node, bool down)
     queryEngine.setNodeDown(node, down);
 }
 
+void
+QueryServer::setClusterDown(std::size_t cluster, bool down)
+{
+    queryEngine.setClusterDown(cluster, down);
+}
+
 } // namespace scalo::serve

@@ -224,6 +224,15 @@ class QueryServer
     /** Mirror of the failure detector: flip a node for serving. */
     void setNodeDown(NodeId node, bool down = true);
 
+    /**
+     * Mirror of the backbone partition detector: mark a whole
+     * cluster unreachable (or healed). Queries keep serving with
+     * cluster-granular partial Coverage; a heal restores the full
+     * fan-out on the next batch. Requires the engine to have a
+     * cluster plan (QueryEngine::setClusterPlan()).
+     */
+    void setClusterDown(std::size_t cluster, bool down = true);
+
     const app::QueryEngine &engine() const { return queryEngine; }
     const ServeConfig &config() const { return cfg; }
 

@@ -39,6 +39,17 @@ FaultInjector::nvmFailuresDrawn() const
     return total;
 }
 
+std::vector<std::uint64_t>
+FaultInjector::rngDrawsPerStream() const
+{
+    std::vector<std::uint64_t> draws;
+    draws.reserve(1 + nodeRngs.size());
+    draws.push_back(rng.draws());
+    for (const Rng &stream : nodeRngs)
+        draws.push_back(stream.draws());
+    return draws;
+}
+
 bool
 FaultInjector::inDropout(units::Micros t) const
 {
@@ -56,6 +67,42 @@ FaultInjector::berOverrideAt(units::Micros t) const
     for (const BerSpikeFault &spike : faultPlan.berSpikes) {
         if (covers(spike.from, spike.to, t) &&
             spike.from.count() > latest_start) {
+            latest_start = spike.from.count();
+            override_ber = spike.ber;
+        }
+    }
+    return override_ber;
+}
+
+bool
+FaultInjector::inPartition(std::size_t cluster, units::Micros t) const
+{
+    for (const ClusterPartitionFault &partition : faultPlan.partitions)
+        if (partition.cluster == cluster &&
+            covers(partition.from, partition.to, t))
+            return true;
+    return false;
+}
+
+double
+FaultInjector::backboneBerOverrideAt(units::Micros t) const
+{
+    // Plan-wide spikes cover the backbone too (legacy semantics);
+    // a backbone-specific spike starting no earlier wins the tie
+    // (>= below vs the strict > of the plan-wide pass).
+    double override_ber = -1.0;
+    double latest_start = -1.0;
+    for (const BerSpikeFault &spike : faultPlan.berSpikes) {
+        if (covers(spike.from, spike.to, t) &&
+            spike.from.count() > latest_start) {
+            latest_start = spike.from.count();
+            override_ber = spike.ber;
+        }
+    }
+    for (const BackboneBerSpikeFault &spike :
+         faultPlan.backboneBerSpikes) {
+        if (covers(spike.from, spike.to, t) &&
+            spike.from.count() >= latest_start) {
             latest_start = spike.from.count();
             override_ber = spike.ber;
         }

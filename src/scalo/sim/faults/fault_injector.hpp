@@ -40,6 +40,22 @@ class FaultInjector
     double berOverrideAt(units::Micros t) const;
 
     /**
+     * Whether @p cluster's backbone link is severed at @p t. Intra-
+     * cluster behaviour is untouched; the runtime drops the cluster's
+     * relay forwards (both directions) while this holds.
+     */
+    bool inPartition(std::size_t cluster, units::Micros t) const;
+
+    /**
+     * BER override active on the *backbone* channel at @p t, or a
+     * negative value when the baseline BER applies. Plan-wide
+     * BerSpikeFaults also cover the backbone (legacy semantics);
+     * a backbone-specific spike wins ties so operators can target
+     * the inter-cluster hop alone.
+     */
+    double backboneBerOverrideAt(units::Micros t) const;
+
+    /**
      * Service-time multiplier of @p node at @p t (1.0 when no
      * throttle interval covers t; overlaps multiply).
      */
@@ -64,6 +80,14 @@ class FaultInjector
 
     /** Number of NVM failures drawn so far (for result accounting). */
     std::uint64_t nvmFailuresDrawn() const;
+
+    /**
+     * Raw RNG draws consumed so far, shared stream first and then one
+     * entry per partitioned per-node stream. The empty-plan byte-
+     * parity contract requires every entry to be zero — the parallel
+     * determinism regression test pins this down as fault kinds grow.
+     */
+    std::vector<std::uint64_t> rngDrawsPerStream() const;
 
   private:
     FaultPlan faultPlan;

@@ -5,7 +5,7 @@
 namespace scalo::sim {
 
 void
-FaultPlan::validate(std::size_t nodes) const
+FaultPlan::validate(std::size_t nodes, std::size_t clusters) const
 {
     for (const NodeCrashFault &crash : crashes) {
         SCALO_EXPECTS(crash.node < nodes);
@@ -32,6 +32,24 @@ FaultPlan::validate(std::size_t nodes) const
         SCALO_EXPECTS(throttle.from.count() >= 0.0);
         SCALO_EXPECTS(throttle.to > throttle.from);
         SCALO_EXPECTS(throttle.slowdown >= 1.0);
+    }
+    for (const RelayCrashFault &crash : relayCrashes) {
+        if (clusters > 0)
+            SCALO_EXPECTS(crash.cluster < clusters);
+        SCALO_EXPECTS(crash.at.count() >= 0.0);
+        if (crash.reboots())
+            SCALO_EXPECTS(crash.rebootAt > crash.at);
+    }
+    for (const ClusterPartitionFault &partition : partitions) {
+        if (clusters > 0)
+            SCALO_EXPECTS(partition.cluster < clusters);
+        SCALO_EXPECTS(partition.from.count() >= 0.0);
+        SCALO_EXPECTS(partition.to > partition.from);
+    }
+    for (const BackboneBerSpikeFault &spike : backboneBerSpikes) {
+        SCALO_EXPECTS(spike.from.count() >= 0.0);
+        SCALO_EXPECTS(spike.to > spike.from);
+        SCALO_EXPECTS(spike.ber >= 0.0 && spike.ber <= 1.0);
     }
 }
 

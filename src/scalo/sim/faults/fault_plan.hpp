@@ -71,6 +71,51 @@ struct ThermalThrottleFault
     double slowdown = 2.0;
 };
 
+/**
+ * The current relay of @ref cluster crashes at @ref at (whoever holds
+ * the duty then — the fault targets the *role*, not a node id, so it
+ * composes with earlier crashes that already migrated the duty);
+ * optionally reboots later. In a flat (single-cluster) deployment this
+ * degenerates to crashing the first alive node.
+ */
+struct RelayCrashFault
+{
+    std::uint32_t cluster = 0;
+    /** Crash instant on the simulation clock. */
+    units::Millis at{0.0};
+    /** Reboot instant; negative means the relay stays down. */
+    units::Millis rebootAt{-1.0};
+
+    bool reboots() const { return rebootAt.count() >= 0.0; }
+};
+
+/**
+ * Cluster @ref cluster's backbone link is severed for [from, to):
+ * intra-cluster TDMA keeps running, but every relay forward to or
+ * from the cluster is lost until the window closes. The backbone
+ * failure detector notices at backbone-round granularity and the
+ * query layer degrades to cluster-granular partial coverage.
+ */
+struct ClusterPartitionFault
+{
+    std::uint32_t cluster = 0;
+    units::Millis from{0.0};
+    units::Millis to{0.0};
+};
+
+/**
+ * The *backbone* channel BER is raised to @ref ber over [from, to)
+ * while intra-cluster channels keep their baseline (inter-implant
+ * hops cross more tissue/air than intra-cluster ones, so their error
+ * windows are independent).
+ */
+struct BackboneBerSpikeFault
+{
+    units::Millis from{0.0};
+    units::Millis to{0.0};
+    double ber = 0.0;
+};
+
 /** Everything one run injects. Empty by default (the happy path). */
 struct FaultPlan
 {
@@ -79,13 +124,17 @@ struct FaultPlan
     std::vector<BerSpikeFault> berSpikes;
     std::vector<NvmFailureFault> nvmFailures;
     std::vector<ThermalThrottleFault> throttles;
+    std::vector<RelayCrashFault> relayCrashes;
+    std::vector<ClusterPartitionFault> partitions;
+    std::vector<BackboneBerSpikeFault> backboneBerSpikes;
 
     bool
     empty() const
     {
         return crashes.empty() && dropouts.empty() &&
                berSpikes.empty() && nvmFailures.empty() &&
-               throttles.empty();
+               throttles.empty() && relayCrashes.empty() &&
+               partitions.empty() && backboneBerSpikes.empty();
     }
 
     /** Total fault entries across all categories. */
@@ -93,15 +142,20 @@ struct FaultPlan
     size() const
     {
         return crashes.size() + dropouts.size() + berSpikes.size() +
-               nvmFailures.size() + throttles.size();
+               nvmFailures.size() + throttles.size() +
+               relayCrashes.size() + partitions.size() +
+               backboneBerSpikes.size();
     }
 
     /**
      * Contract-check the plan against a system of @p nodes nodes:
      * node indices in range, intervals well-formed, probabilities in
-     * [0, 1], slowdowns >= 1. Violations trip SCALO_EXPECTS.
+     * [0, 1], slowdowns >= 1. When @p clusters is non-zero the
+     * cluster-level faults' cluster indices are checked against it
+     * too (callers that know their ClusterPlan pass its count).
+     * Violations trip SCALO_EXPECTS.
      */
-    void validate(std::size_t nodes) const;
+    void validate(std::size_t nodes, std::size_t clusters = 0) const;
 };
 
 } // namespace scalo::sim

@@ -212,6 +212,13 @@ struct SystemSim::Cluster
     std::vector<RescheduleEvent> reschedEvents;
     std::uint64_t exchangeTimeouts = 0;
     std::size_t eventsExecuted = 0;
+    /** The relay that carried the last forward (failover tracking). */
+    std::size_t lastRelay = 0;
+    /** This cluster asks the coordinator for a backbone re-stitch at
+     *  the next barrier (failover or reschedule happened). */
+    bool restitchNeeded = false;
+    /** Latest tick of the event that set restitchNeeded. */
+    std::uint64_t restitchTick = 0;
 };
 
 SystemSim::SystemSim(SystemSimConfig cfg)
@@ -225,7 +232,6 @@ SystemSim::SystemSim(SystemSimConfig cfg)
                  "schedule/flow-set mismatch");
     SCALO_ASSERT(config.duration > 0.0_ms,
                  "simulation duration must be positive");
-    config.faults.validate(config.system.nodes);
     config.retry.validate();
     if (config.priorities.empty())
         config.priorities.assign(config.flows.size(), 1.0);
@@ -240,6 +246,7 @@ SystemSim::SystemSim(SystemSimConfig cfg)
     SCALO_ASSERT(plan.nodeCount() == node_count,
                  "cluster plan must partition the fabric's nodes");
     const std::size_t cluster_count = plan.clusterCount();
+    config.faults.validate(node_count, cluster_count);
 
     // Per-node NVM draw streams keep the Bernoulli sequence
     // independent of cluster interleaving; the flat fabric keeps the
@@ -256,9 +263,14 @@ SystemSim::SystemSim(SystemSimConfig cfg)
             config.heartbeatMissThreshold,
             c == 0 ? legacy_backoff : mix64(legacy_backoff, c)));
         clusters.back()->flows.resize(config.flows.size());
+        clusters.back()->lastRelay = plan.relay(c);
         if (!config.recordTrace)
             clusters.back()->trace.setCountersOnly(true);
     }
+    backboneDetector = net::HeartbeatDetector(
+        cluster_count, config.heartbeatMissThreshold);
+    relayCrashVictims.assign(config.faults.relayCrashes.size(),
+                             net::ClusterPlan::kNoRelay);
     if (!config.recordTrace) {
         globalTrace.setCountersOnly(true);
         eventTrace.setCountersOnly(true);
@@ -725,6 +737,22 @@ SystemSim::runExchange(Cluster &cluster, std::size_t flow,
         payloadFor(*spec.network, cf.liveTotalElectrodes);
     forward.relay = plan.relay(
         cluster.id, [this](std::size_t n) { return nodeUp[n] != 0; });
+    if (forward.relay == net::ClusterPlan::kNoRelay)
+        return; // every member died since the round assembled
+    if (forward.relay != cluster.lastRelay) {
+        // Relay duty migrated (death or recovery of an earlier
+        // member): trace the failover and ask the coordinator for a
+        // backbone re-stitch at the next barrier.
+        cluster.trace.record(
+            units::Micros{static_cast<double>(end)},
+            TraceEventKind::RelayFailover,
+            static_cast<std::uint32_t>(forward.relay), lane,
+            spec.name, window_id,
+            static_cast<double>(cluster.lastRelay));
+        cluster.lastRelay = forward.relay;
+        cluster.restitchNeeded = true;
+        cluster.restitchTick = std::max(cluster.restitchTick, end);
+    }
     cluster.trace.record(units::Micros{static_cast<double>(end)},
                          TraceEventKind::RelayForward,
                          static_cast<std::uint32_t>(forward.relay),
@@ -788,6 +816,11 @@ SystemSim::applyReschedule(Cluster &cluster)
             for (std::size_t n : cluster.members)
                 liveSchedule.flows[f].electrodesPerNode[n] =
                     repaired.schedule.flows[f].electrodesPerNode[n];
+        // The clamped per-cluster repair left capacity on the table;
+        // the coordinator reclaims it fabric-wide at the barrier.
+        cluster.restitchNeeded = true;
+        cluster.restitchTick =
+            std::max(cluster.restitchTick, cluster.sim.ticks());
     }
 
     // Surviving senders adapt their payloads (and the cluster its
@@ -890,6 +923,85 @@ SystemSim::scheduleFaultEvents()
                               spike.ber);
                       });
     }
+    // Relay crashes target the *role*: the victim is whoever holds
+    // relay duty at the crash instant, resolved on the owning
+    // cluster's queue (so it composes with earlier crashes that
+    // already migrated the duty).
+    for (std::size_t i = 0; i < config.faults.relayCrashes.size();
+         ++i) {
+        const RelayCrashFault &crash = config.faults.relayCrashes[i];
+        Cluster *cl = clusters[crash.cluster].get();
+        cl->sim.at(units::Micros(crash.at), [this, cl, i, crash] {
+            const std::size_t victim = plan.relay(
+                cl->id,
+                [this](std::size_t n) { return nodeUp[n] != 0; });
+            if (victim == net::ClusterPlan::kNoRelay)
+                return; // the whole cluster is already down
+            relayCrashVictims[i] = victim;
+            nodeUp[victim] = 0;
+            crashedAtMs[victim] = crash.at.count();
+            nodes[victim].halt();
+            cl->trace.record(cl->sim.now(),
+                             TraceEventKind::FaultInjected,
+                             static_cast<std::uint32_t>(victim), 0,
+                             "relay-crash", i);
+        });
+        if (crash.reboots())
+            cl->sim.at(units::Micros(crash.rebootAt),
+                       [this, cl, i] {
+                           const std::size_t victim =
+                               relayCrashVictims[i];
+                           if (victim == net::ClusterPlan::kNoRelay ||
+                               nodeUp[victim])
+                               return;
+                           nodeUp[victim] = 1;
+                           nodes[victim].resume();
+                           cl->trace.record(
+                               cl->sim.now(),
+                               TraceEventKind::FaultInjected,
+                               static_cast<std::uint32_t>(victim), 0,
+                               "relay-reboot", i);
+                       });
+    }
+    // Partition windows and backbone BER spikes are injected by the
+    // coordinator (processBackbone / runBackboneRound consult the
+    // injector); these markers just put the instants on the trace.
+    for (std::size_t i = 0; i < config.faults.partitions.size();
+         ++i) {
+        const ClusterPartitionFault &part =
+            config.faults.partitions[i];
+        front->sim.at(units::Micros(part.from),
+                      [this, front, i, part] {
+                          front->trace.record(
+                              front->sim.now(),
+                              TraceEventKind::FaultInjected,
+                              Trace::kBackboneNode, 0,
+                              "cluster-partition", i,
+                              static_cast<double>(part.cluster));
+                      });
+        front->sim.at(units::Micros(part.to),
+                      [this, front, i, part] {
+                          front->trace.record(
+                              front->sim.now(),
+                              TraceEventKind::FaultInjected,
+                              Trace::kBackboneNode, 0,
+                              "cluster-partition-heal", i,
+                              static_cast<double>(part.cluster));
+                      });
+    }
+    for (std::size_t i = 0;
+         i < config.faults.backboneBerSpikes.size(); ++i) {
+        const BackboneBerSpikeFault &spike =
+            config.faults.backboneBerSpikes[i];
+        front->sim.at(units::Micros(spike.from),
+                      [this, front, i, spike] {
+                          front->trace.record(
+                              front->sim.now(),
+                              TraceEventKind::FaultInjected,
+                              Trace::kBackboneNode, 0,
+                              "backbone-ber-spike", i, spike.ber);
+                      });
+    }
     for (const ThermalThrottleFault &throttle :
          config.faults.throttles) {
         Cluster *cl = clusters[plan.clusterOf(throttle.node)].get();
@@ -929,6 +1041,16 @@ SystemSim::processBackbone(std::uint64_t upto_ticks)
                 keep.push_back(p);
                 continue;
             }
+            if (injector.inPartition(
+                    p.cluster,
+                    units::Micros{
+                        static_cast<double>(p.readyTick)})) {
+                // The cluster's backbone link is severed: the
+                // aggregate never reaches the backbone. Intra-cluster
+                // TDMA already ran; only the forward is lost.
+                ++relayForwardsDropped;
+                continue;
+            }
             BackboneRound &round =
                 pendingRounds[{p.flow, p.window}];
             round.entries.push_back(p);
@@ -955,9 +1077,13 @@ SystemSim::processBackbone(std::uint64_t upto_ticks)
         const auto [f, w] = key;
         const FlowRuntime &rt = flowRuntimes[f];
         // Expected contributions: clusters with at least one sender
-        // their detector has not declared dead.
+        // their detector has not declared dead, and that the
+        // backbone detector has not declared partitioned (a silent
+        // cluster must not stall every round until its deadline).
         std::size_t expected = 0;
         for (const std::unique_ptr<Cluster> &cl : clusters) {
+            if (backboneDetector.dead(cl->id))
+                continue;
             const ClusterFlow &cf = cl->flows[f];
             for (std::size_t s : cf.senders)
                 if (!cl->detector.dead(s)) {
@@ -989,6 +1115,11 @@ SystemSim::processBackbone(std::uint64_t upto_ticks)
                          r.timedOut);
         pendingRounds.erase(key);
     }
+
+    // Re-stitch last: the rounds above ran on the conservative
+    // allocation; from the next quantum on the fabric uses the
+    // reclaimed one. Single-threaded, so determinism is free.
+    performRestitch(upto_ticks);
 }
 
 void
@@ -1023,6 +1154,60 @@ SystemSim::runBackboneRound(std::size_t flow,
                            Trace::kBackboneNode, lane, spec.name,
                            window_id,
                            static_cast<double>(round.entries.size()));
+    }
+
+    // Backbone-cadence heartbeats: every round each cluster with
+    // alive senders either reached the backbone (heard) or did not
+    // (miss). Crossing the miss threshold declares the cluster
+    // partitioned; being heard again declares the heal. Either
+    // transition asks for a re-stitch at the barrier.
+    for (const std::unique_ptr<Cluster> &cl : clusters) {
+        const bool present = std::any_of(
+            round.entries.begin(), round.entries.end(),
+            [&](const RelayPacket &p) {
+                return p.cluster == cl->id;
+            });
+        if (present) {
+            if (backboneDetector.recordHeard(cl->id)) {
+                globalTrace.record(
+                    units::Micros{static_cast<double>(start)},
+                    TraceEventKind::PartitionHealed,
+                    Trace::kBackboneNode, 0, "partition-healed",
+                    cl->id);
+                partitionEvents.push_back(
+                    {cl->id,
+                     units::Millis(units::Micros{
+                         static_cast<double>(start)}),
+                     true});
+                backboneRestitchPending = true;
+                restitchTickHint =
+                    std::max(restitchTickHint, start);
+            }
+            continue;
+        }
+        bool alive_sender = false;
+        for (const std::size_t s : cl->flows[flow].senders)
+            if (!cl->detector.dead(s)) {
+                alive_sender = true;
+                break;
+            }
+        if (!alive_sender || backboneDetector.dead(cl->id))
+            continue; // silence is expected (or already declared)
+        if (backboneDetector.recordMiss(cl->id)) {
+            globalTrace.record(
+                units::Micros{static_cast<double>(start)},
+                TraceEventKind::PartitionStart,
+                Trace::kBackboneNode, 0, "partition-start", cl->id,
+                static_cast<double>(
+                    backboneDetector.consecutiveMisses(cl->id)));
+            partitionEvents.push_back(
+                {cl->id,
+                 units::Millis(
+                     units::Micros{static_cast<double>(start)}),
+                 false});
+            backboneRestitchPending = true;
+            restitchTickHint = std::max(restitchTickHint, start);
+        }
     }
 
     double cursor = static_cast<double>(start);
@@ -1060,7 +1245,8 @@ SystemSim::runBackboneRound(std::size_t flow,
                         1e3;
                 }
                 const units::Micros tx_at{cursor};
-                const double spike = injector.berOverrideAt(tx_at);
+                const double spike =
+                    injector.backboneBerOverrideAt(tx_at);
                 backboneChannels[flow]->setBer(
                     spike >= 0.0 ? spike : radio.ber);
                 backboneChannels[flow]->setOutage(
@@ -1149,6 +1335,65 @@ SystemSim::runBackboneRound(std::size_t flow,
                 spec.window.count();
         }
     }
+}
+
+void
+SystemSim::performRestitch(std::uint64_t upto_ticks)
+{
+    bool needed = backboneRestitchPending;
+    std::uint64_t at = std::max(restitchTickHint, upto_ticks);
+    for (const std::unique_ptr<Cluster> &cl : clusters) {
+        if (!cl->restitchNeeded)
+            continue;
+        needed = true;
+        at = std::max(at, cl->restitchTick);
+    }
+    if (!needed)
+        return;
+    backboneRestitchPending = false;
+    restitchTickHint = 0;
+    for (const std::unique_ptr<Cluster> &cl : clusters)
+        cl->restitchNeeded = false;
+
+    // Ground truth for the re-stitch is what the detectors report:
+    // per-cluster heartbeat deaths plus backbone-declared partitions.
+    std::vector<std::size_t> dead;
+    for (const std::unique_ptr<Cluster> &cl : clusters) {
+        const std::vector<std::size_t> cluster_dead =
+            cl->detector.deadNodes();
+        dead.insert(dead.end(), cluster_dead.begin(),
+                    cluster_dead.end());
+    }
+    const std::vector<std::size_t> unreachable =
+        backboneDetector.deadNodes();
+
+    const sched::Scheduler scheduler(config.system);
+    sched::RescheduleResult repaired = scheduler.restitchBackbone(
+        config.flows, config.priorities, config.schedule, dead,
+        unreachable);
+    SCALO_ASSERT(repaired.schedule.feasible,
+                 "re-stitch must always produce an allocation");
+    liveSchedule = repaired.schedule;
+    // Safe at the barrier: every cluster worker has joined, so the
+    // coordinator may touch all cluster-confined allocation state.
+    for (const std::unique_ptr<Cluster> &cl : clusters)
+        refreshClusterAllocation(*cl);
+
+    globalTrace.record(
+        units::Micros{static_cast<double>(at)},
+        TraceEventKind::BackboneRestitch, Trace::kBackboneNode, 0,
+        "backbone-restitch", restitchEvents.size(),
+        (repaired.throughputAfter - repaired.throughputBefore)
+            .count());
+    RestitchEvent event;
+    event.at = units::Millis(
+        units::Micros{static_cast<double>(at)});
+    event.deadNodes = repaired.deadNodes;
+    event.unreachableClusters = unreachable;
+    event.viaIlp = repaired.viaIlp;
+    event.throughputBefore = repaired.throughputBefore;
+    event.throughputAfter = repaired.throughputAfter;
+    restitchEvents.push_back(std::move(event));
 }
 
 void
@@ -1407,6 +1652,9 @@ SystemSim::run()
     }
 
     result.nvmWriteFailures = injector.nvmFailuresDrawn();
+    result.partitions = partitionEvents;
+    result.restitches = restitchEvents;
+    result.relayForwardsDropped = relayForwardsDropped;
 
     if (!config.recordTrace)
         eventTrace.clear();

@@ -138,6 +138,36 @@ struct RescheduleEvent
     units::Milliwatts maxNodePowerAfter{0.0};
 };
 
+/**
+ * A partition transition observed by the backbone-cadence failure
+ * detector: a cluster with alive senders that stops (or resumes)
+ * reaching the backbone.
+ */
+struct PartitionEvent
+{
+    std::size_t cluster = 0;
+    units::Millis at{0.0};
+    /** False for a PartitionStart, true for a PartitionHealed. */
+    bool healed = false;
+};
+
+/**
+ * One fabric-wide backbone re-stitch, performed at a quantum barrier
+ * after relay failover, node death, or a partition transition
+ * (sched::Scheduler::restitchBackbone).
+ */
+struct RestitchEvent
+{
+    units::Millis at{0.0};
+    /** Dead nodes (union of every cluster detector) at the barrier. */
+    std::vector<std::size_t> deadNodes;
+    /** Clusters the backbone detector held unreachable. */
+    std::vector<std::size_t> unreachableClusters;
+    bool viaIlp = false;
+    units::MegabitsPerSecond throughputBefore{0.0};
+    units::MegabitsPerSecond throughputAfter{0.0};
+};
+
 /** Measured vs analytic behaviour of one flow. */
 struct FlowSimStats
 {
@@ -206,12 +236,18 @@ struct SystemSimResult
     // Failure timeline (all empty/zero on a fault-free run).
     std::vector<NodeDownEvent> nodesDown;
     std::vector<RescheduleEvent> reschedules;
+    /** Backbone-detector partition transitions, detection order. */
+    std::vector<PartitionEvent> partitions;
+    /** Backbone re-stitches (failover, death, partition heal). */
+    std::vector<RestitchEvent> restitches;
     /** Exchange rounds that ran at their deadline with absentees. */
     std::uint64_t exchangeTimeouts = 0;
     /** NVM appends the injector failed. */
     std::uint64_t nvmWriteFailures = 0;
     /** Fragments lost after the retry budget, summed over flows. */
     std::uint64_t packetsLost = 0;
+    /** Relay aggregates lost to severed backbone links. */
+    std::uint64_t relayForwardsDropped = 0;
 };
 
 /** The N-node system simulation. */
@@ -230,6 +266,20 @@ class SystemSim
 
     /** The recorded trace (empty unless config.recordTrace). */
     const Trace &trace() const { return eventTrace; }
+
+    /**
+     * Fault-injector RNG draw counts, shared stream first, then one
+     * per node. The determinism contract's observable: a run with an
+     * empty FaultPlan must leave every stream at zero — the fault
+     * machinery consumes no randomness on the happy path, which is
+     * what keeps empty-plan traces byte-identical to pre-fault
+     * builds at every thread count.
+     */
+    std::vector<std::uint64_t>
+    faultRngDraws() const
+    {
+        return injector.rngDrawsPerStream();
+    }
 
   private:
     struct FlowRuntime;
@@ -259,6 +309,12 @@ class SystemSim
     void processBackbone(std::uint64_t upto_ticks);
     void runBackboneRound(std::size_t flow, std::uint64_t window_id,
                           BackboneRound &round, bool timed_out);
+    /**
+     * Fabric-wide backbone re-stitch if any cluster flagged one (a
+     * relay failover or reschedule) or the backbone detector changed
+     * state. Runs single-threadedly at the quantum barrier.
+     */
+    void performRestitch(std::uint64_t upto_ticks);
     void mergeClusterStats(SystemSimResult &result);
 
     SystemSimConfig config;
@@ -295,6 +351,24 @@ class SystemSim
     Rng backboneBackoffRng;
     std::uint64_t backboneTimeouts = 0;
     std::uint16_t backboneSequence = 0;
+
+    /**
+     * Backbone-cadence failure detector over *clusters*: each
+     * backbone round a cluster with alive senders either reached the
+     * backbone (heard) or did not (miss); crossing the miss threshold
+     * declares the cluster partitioned. Sized to the cluster count.
+     */
+    net::HeartbeatDetector backboneDetector{0, 3};
+    /** The backbone detector changed state since the last restitch. */
+    bool backboneRestitchPending = false;
+    /** Latest tick of any event that requested the pending restitch
+     *  (the restitch is stamped no earlier, for trace ordering). */
+    std::uint64_t restitchTickHint = 0;
+    std::vector<PartitionEvent> partitionEvents;
+    std::vector<RestitchEvent> restitchEvents;
+    std::uint64_t relayForwardsDropped = 0;
+    /** Victim resolved at each RelayCrashFault's crash instant. */
+    std::vector<std::size_t> relayCrashVictims;
 
     bool ran = false;
 };

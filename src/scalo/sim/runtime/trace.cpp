@@ -36,6 +36,12 @@ traceEventName(TraceEventKind kind)
       case TraceEventKind::BackboneStart: return "backbone-start";
       case TraceEventKind::BackboneFinish:
         return "backbone-finish";
+      case TraceEventKind::RelayFailover: return "relay-failover";
+      case TraceEventKind::PartitionStart: return "partition-start";
+      case TraceEventKind::PartitionHealed:
+        return "partition-healed";
+      case TraceEventKind::BackboneRestitch:
+        return "backbone-restitch";
     }
     return "unknown";
 }

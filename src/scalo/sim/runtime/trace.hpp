@@ -48,10 +48,14 @@ enum class TraceEventKind : std::uint8_t
     RelayForward,     ///< a relay queued its cluster's aggregate
     BackboneStart,    ///< an inter-cluster backbone round begins
     BackboneFinish,   ///< an inter-cluster backbone round completes
+    RelayFailover,    ///< relay duty migrated to another member
+    PartitionStart,   ///< a cluster went silent on the backbone
+    PartitionHealed,  ///< a silent cluster reached the backbone again
+    BackboneRestitch, ///< the backbone schedule was re-stitched
 };
 
 /** Number of event kinds (array-indexable). */
-inline constexpr std::size_t kTraceEventKinds = 19;
+inline constexpr std::size_t kTraceEventKinds = 23;
 
 /** Short stable name of an event kind ("stage-start", ...). */
 std::string_view traceEventName(TraceEventKind kind);

@@ -40,6 +40,7 @@ Rng::Rng(std::uint64_t seed)
 std::uint64_t
 Rng::next()
 {
+    ++drawCount;
     const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
     const std::uint64_t t = s[1] << 17;
 

@@ -72,6 +72,13 @@ class Rng
     /** Next raw 64-bit value. */
     std::uint64_t next();
 
+    /**
+     * Raw 64-bit values drawn so far. Determinism audits (e.g. the
+     * empty-FaultPlan zero-RNG contract) compare this against zero
+     * to prove a stream was never consumed.
+     */
+    std::uint64_t draws() const { return drawCount; }
+
     /** Uniform double in [0, 1). */
     double uniform();
 
@@ -95,6 +102,7 @@ class Rng
 
   private:
     std::uint64_t s[4];
+    std::uint64_t drawCount = 0;
     double cachedGaussian = 0.0;
     bool hasCachedGaussian = false;
 };

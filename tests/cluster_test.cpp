@@ -108,15 +108,48 @@ TEST(ClusterPlan, RelayIsFirstAliveMember)
     EXPECT_EQ(plan.relay(1, [&](std::size_t n) { return up[n]; }),
               6u);
 
-    // Every member down: falls back to the first member (the
-    // cluster is silent then anyway).
+    // Every member down: there is no alive relay, and the plan says
+    // so explicitly instead of handing back a corpse.
     for (std::size_t n : plan.members(1))
         up[n] = false;
     EXPECT_EQ(plan.relay(1, [&](std::size_t n) { return up[n]; }),
-              4u);
+              ClusterPlan::kNoRelay);
     // Other clusters are unaffected by the mask.
     EXPECT_EQ(plan.relay(2, [&](std::size_t n) { return up[n]; }),
               8u);
+}
+
+TEST(ClusterPlan, RelayElectionForFullyDeadClusterIsExplicit)
+{
+    const ClusterPlan plan = ClusterPlan::balanced(9, 3);
+    std::vector<bool> up(9, false);
+    for (std::size_t c = 0; c < plan.clusterCount(); ++c)
+        EXPECT_EQ(plan.relay(c, [&](std::size_t n) { return up[n]; }),
+                  ClusterPlan::kNoRelay);
+    // kNoRelay can never collide with a real node id.
+    EXPECT_GE(ClusterPlan::kNoRelay, plan.nodeCount());
+}
+
+TEST(ClusterPlan, RelayChurnsUnderAliveMaskFlips)
+{
+    const ClusterPlan plan = ClusterPlan::balanced(8, 2);
+    // Cluster 0 owns nodes 0..3.
+    std::vector<bool> up(8, true);
+    const auto alive = [&](std::size_t n) { return up[n]; };
+
+    EXPECT_EQ(plan.relay(0, alive), 0u);
+    up[0] = false; // duty migrates forward...
+    EXPECT_EQ(plan.relay(0, alive), 1u);
+    up[1] = false;
+    EXPECT_EQ(plan.relay(0, alive), 2u);
+    up[0] = true; // ...and back when an earlier member recovers.
+    EXPECT_EQ(plan.relay(0, alive), 0u);
+    up[0] = false;
+    up[1] = true;
+    EXPECT_EQ(plan.relay(0, alive), 1u);
+    // Flapping a member of another cluster never affects election.
+    up[4] = false;
+    EXPECT_EQ(plan.relay(0, alive), 1u);
 }
 
 TEST(ClusterPlanContracts, ValidateRejectsMalformedPlans)

@@ -137,6 +137,27 @@ TEST(HeartbeatDetector, DeadNodesAscendingAndLatencyBound)
     EXPECT_DOUBLE_EQ(detector.detectionLatency(4.0_ms).count(), 8.0);
 }
 
+TEST(HeartbeatDetector, DetectionLatencyScalesWithObservationCadence)
+{
+    // The bound is honest about the observation cadence: a detector
+    // fed once per interval needs threshold+1 intervals, one fed k
+    // times per interval crosses the same threshold in
+    // ceil(threshold/k)+1.
+    net::HeartbeatDetector detector(4, 3);
+    EXPECT_DOUBLE_EQ(detector.detectionLatency(4.0_ms).count(),
+                     16.0);
+    EXPECT_DOUBLE_EQ(detector.detectionLatency(4.0_ms, 2).count(),
+                     12.0);
+    EXPECT_DOUBLE_EQ(detector.detectionLatency(4.0_ms, 3).count(),
+                     8.0);
+    // More observations than the threshold cannot beat one interval
+    // (+1 for the window in flight), and zero is treated as one.
+    EXPECT_DOUBLE_EQ(detector.detectionLatency(4.0_ms, 64).count(),
+                     8.0);
+    EXPECT_DOUBLE_EQ(detector.detectionLatency(4.0_ms, 0).count(),
+                     16.0);
+}
+
 // ---------------------------------------------------------------
 // FaultInjector.
 
@@ -181,6 +202,44 @@ TEST(FaultInjector, OverlappingThrottlesMultiply)
                      5.0);
     EXPECT_DOUBLE_EQ(injector.throttleAt(2, units::Micros{60'000.0}),
                      1.0);
+}
+
+TEST(FaultInjector, PartitionWindowIsHalfOpenPerCluster)
+{
+    sim::FaultPlan plan;
+    plan.partitions.push_back({1, 10.0_ms, 20.0_ms});
+    plan.partitions.push_back({1, 30.0_ms, 40.0_ms});
+    sim::FaultInjector injector(plan, 1);
+    EXPECT_FALSE(injector.inPartition(1, units::Micros{9'999.0}));
+    EXPECT_TRUE(injector.inPartition(1, units::Micros{10'000.0}));
+    EXPECT_TRUE(injector.inPartition(1, units::Micros{19'999.0}));
+    EXPECT_FALSE(injector.inPartition(1, units::Micros{20'000.0}));
+    EXPECT_TRUE(injector.inPartition(1, units::Micros{35'000.0}));
+    // Only the named cluster is severed.
+    EXPECT_FALSE(injector.inPartition(0, units::Micros{15'000.0}));
+    EXPECT_FALSE(injector.inPartition(2, units::Micros{15'000.0}));
+}
+
+TEST(FaultInjector, BackboneBerSpikeWinsTiesOverPlanWide)
+{
+    sim::FaultPlan plan;
+    plan.berSpikes.push_back({0.0_ms, 100.0_ms, 1e-4});
+    plan.backboneBerSpikes.push_back({0.0_ms, 50.0_ms, 1e-2});
+    sim::FaultInjector injector(plan, 1);
+    // The intra-cluster view never sees the backbone spike.
+    EXPECT_DOUBLE_EQ(injector.berOverrideAt(units::Micros{10'000.0}),
+                     1e-4);
+    // The backbone view: the backbone-specific spike wins the tie
+    // while it covers t, then the plan-wide spike still applies.
+    EXPECT_DOUBLE_EQ(
+        injector.backboneBerOverrideAt(units::Micros{10'000.0}),
+        1e-2);
+    EXPECT_DOUBLE_EQ(
+        injector.backboneBerOverrideAt(units::Micros{60'000.0}),
+        1e-4);
+    EXPECT_LT(
+        injector.backboneBerOverrideAt(units::Micros{200'000.0}),
+        0.0);
 }
 
 TEST(FaultInjector, NvmDrawsOnlyForConfiguredNodes)
@@ -260,6 +319,41 @@ TEST(FaultPlanContracts, ValidateRejectsMalformedPlans)
     sim::FaultPlan ok;
     ok.crashes.push_back({3, 10.0_ms, 20.0_ms});
     ok.validate(4); // must not fire
+}
+
+TEST(FaultPlanContracts, HierarchicalKindsValidate)
+{
+    const ContractGuard guard;
+#if SCALO_CONTRACTS
+    {
+        sim::FaultPlan plan; // cluster index out of range
+        plan.relayCrashes.push_back({3, 10.0_ms});
+        EXPECT_THROW(plan.validate(12, 3), ContractViolation);
+    }
+    {
+        sim::FaultPlan plan; // inverted partition window
+        plan.partitions.push_back({0, 20.0_ms, 10.0_ms});
+        EXPECT_THROW(plan.validate(12, 3), ContractViolation);
+    }
+    {
+        sim::FaultPlan plan; // BER above 1
+        plan.backboneBerSpikes.push_back({0.0_ms, 10.0_ms, 1.5});
+        EXPECT_THROW(plan.validate(12, 3), ContractViolation);
+    }
+    {
+        sim::FaultPlan plan; // reboot before the crash
+        plan.relayCrashes.push_back({0, 20.0_ms, 10.0_ms});
+        EXPECT_THROW(plan.validate(12, 3), ContractViolation);
+    }
+#endif
+    sim::FaultPlan ok;
+    ok.relayCrashes.push_back({2, 10.0_ms, 20.0_ms});
+    ok.partitions.push_back({1, 5.0_ms, 15.0_ms});
+    ok.backboneBerSpikes.push_back({0.0_ms, 10.0_ms, 1e-3});
+    ok.validate(12, 3); // must not fire
+    // Callers that do not know their cluster plan yet pass 0: the
+    // cluster-range half of the check is deferred, the rest holds.
+    ok.validate(12);
 }
 
 TEST(ChannelFaults, SetBerContractAndRetarget)
@@ -703,6 +797,253 @@ TEST_F(PartialQueryFixture, ShardDeadlineDropsTheStraggler)
               bounded.shardDeadline.count());
     // The straggler's windows are excluded from the scan accounting.
     EXPECT_LT(partial.scanned, full.scanned);
+}
+
+// ---------------------------------------------------------------
+// Partition tolerance in the hierarchical fabric: relay failover,
+// backbone re-stitching, and degraded-then-healed serving.
+
+/** 12 nodes in 3 balanced TDMA clusters, the Section 6 flow pair. */
+sim::SystemSimConfig
+hierarchicalSimConfig(units::Millis duration)
+{
+    sched::SystemConfig system;
+    system.nodes = 12;
+    system.maxElectrodesPerNode = constants::kElectrodesPerNode;
+    system.clusters = net::ClusterPlan::balanced(12, 3);
+    const sched::Scheduler scheduler(system);
+    sim::SystemSimConfig config;
+    config.system = system;
+    config.flows = deploymentFlows();
+    config.priorities = {1.0, 3.0};
+    config.schedule =
+        scheduler.schedule(config.flows, config.priorities);
+    config.duration = duration;
+    return config;
+}
+
+// The hierarchical acceptance scenario (the tentpole contract): in a
+// 12-node / 3-cluster deployment, cluster 2's relay crashes mid-run
+// AND cluster 1 is severed from the backbone for 10 s. The run must
+// complete with (a) the relay failover detected and relay duty
+// migrated, (b) the backbone re-stitched with the throughput delta
+// reported, (c) the partition declared at backbone cadence and healed
+// when the window closes, and (d) both flows still completing
+// windows throughout.
+TEST(FaultRuns, RelayCrashAndClusterPartitionFailOverAndHeal)
+{
+    sim::SystemSimConfig config =
+        hierarchicalSimConfig(12'000.0_ms);
+    ASSERT_TRUE(config.schedule.feasible);
+    config.recordTrace = true;
+    // Cluster 1 severed for 10 s; cluster 2's relay dies at 6 s.
+    config.faults.partitions.push_back(
+        {1, 1'000.0_ms, 11'000.0_ms});
+    config.faults.relayCrashes.push_back({2, 6'000.0_ms});
+    sim::SystemSim sim(config);
+    const sim::SystemSimResult result = sim.run();
+    EXPECT_EQ(result.clusters, 3u);
+
+    // (c) Partition declared within the backbone-cadence detection
+    // bound — the detector observes once per backbone round of the
+    // single networked flow (4 ms windows), plus one round-assembly
+    // deadline of slack — and healed after the window closes.
+    ASSERT_GE(result.partitions.size(), 2u);
+    const sim::PartitionEvent &severed = result.partitions.front();
+    EXPECT_EQ(severed.cluster, 1u);
+    EXPECT_FALSE(severed.healed);
+    const double bound =
+        net::HeartbeatDetector(3, config.heartbeatMissThreshold)
+            .detectionLatency(4.0_ms, 1)
+            .count() +
+        4.0;
+    EXPECT_GT(severed.at.count(), 1'000.0);
+    EXPECT_LE(severed.at.count() - 1'000.0, bound);
+    bool healed = false;
+    for (const sim::PartitionEvent &event : result.partitions)
+        if (event.cluster == 1 && event.healed) {
+            healed = true;
+            EXPECT_GT(event.at.count(), 11'000.0);
+            EXPECT_LE(event.at.count() - 11'000.0, bound);
+        }
+    EXPECT_TRUE(healed);
+    EXPECT_GT(result.relayForwardsDropped, 0u);
+
+    // (a) The relay crash: whoever held cluster 2's duty (node 8,
+    // its first member) is declared dead within the intra-cluster
+    // heartbeat bound, and the failover is traced.
+    bool relay_dead = false;
+    for (const sim::NodeDownEvent &down : result.nodesDown)
+        if (down.node == 8) {
+            relay_dead = true;
+            EXPECT_DOUBLE_EQ(down.crashedAt.count(), 6'000.0);
+            EXPECT_LE(down.detectedAt.count() - 6'000.0, bound);
+        }
+    EXPECT_TRUE(relay_dead);
+    const sim::TraceCounters totals = sim.trace().totals();
+    EXPECT_GE(totals[sim::TraceEventKind::RelayFailover], 1u);
+    EXPECT_GE(totals[sim::TraceEventKind::PartitionStart], 1u);
+    EXPECT_GE(totals[sim::TraceEventKind::PartitionHealed], 1u);
+
+    // (b) The backbone re-stitched — at least once around the
+    // unreachable cluster and once around the dead relay — with the
+    // degradation delta reported.
+    ASSERT_GE(result.restitches.size(), 2u);
+    EXPECT_GE(totals[sim::TraceEventKind::BackboneRestitch], 2u);
+    bool saw_unreachable = false;
+    bool saw_dead_relay = false;
+    for (const sim::RestitchEvent &restitch : result.restitches) {
+        EXPECT_GT(restitch.throughputBefore.count(), 0.0);
+        EXPECT_GT(restitch.throughputAfter.count(), 0.0);
+        EXPECT_LE(restitch.throughputAfter.count(),
+                  restitch.throughputBefore.count() + 1e-9);
+        saw_unreachable =
+            saw_unreachable ||
+            std::find(restitch.unreachableClusters.begin(),
+                      restitch.unreachableClusters.end(),
+                      std::size_t{1}) !=
+                restitch.unreachableClusters.end();
+        saw_dead_relay =
+            saw_dead_relay ||
+            std::find(restitch.deadNodes.begin(),
+                      restitch.deadNodes.end(), std::size_t{8}) !=
+                restitch.deadNodes.end();
+    }
+    EXPECT_TRUE(saw_unreachable);
+    EXPECT_TRUE(saw_dead_relay);
+
+    // (d) The system kept producing throughout.
+    for (const sim::FlowSimStats &flow : result.flows)
+        EXPECT_GT(flow.windowsCompleted,
+                  flow.windowsSubmitted / 2);
+}
+
+// Same-seed fault traces are byte-identical serial vs parallel at
+// every thread count — the determinism contract extended to the new
+// fault kinds (relay crash, partition, backbone BER spike).
+TEST(FaultDeterminism, HierarchicalFaultTraceBytesAcrossThreadCounts)
+{
+    const auto run_once = [](bool parallel, std::size_t threads) {
+        sim::SystemSimConfig config =
+            hierarchicalSimConfig(2'400.0_ms);
+        config.recordTrace = true;
+        config.parallel = parallel;
+        config.threads = threads;
+        config.faults.partitions.push_back(
+            {1, 800.0_ms, 1'600.0_ms});
+        config.faults.relayCrashes.push_back({2, 1'200.0_ms});
+        config.faults.backboneBerSpikes.push_back(
+            {400.0_ms, 600.0_ms, 1e-3});
+        sim::SystemSim sim(config);
+        const sim::SystemSimResult result = sim.run();
+        EXPECT_EQ(result.ranParallel, parallel);
+        return sim.trace().toChromeJson();
+    };
+    const std::string serial = run_once(false, 0);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("relay-failover"), std::string::npos);
+    EXPECT_NE(serial.find("partition-start"), std::string::npos);
+    EXPECT_NE(serial.find("partition-healed"), std::string::npos);
+    EXPECT_NE(serial.find("backbone-restitch"), std::string::npos);
+    for (const std::size_t threads : {2u, 4u, 8u})
+        EXPECT_EQ(serial, run_once(true, threads))
+            << "threads=" << threads;
+}
+
+// The empty-plan regression (satellite of the determinism contract):
+// a fault-free run of the parallel engine must draw zero RNG from
+// every fault stream — shared and per-node alike — so the happy path
+// stays byte-identical as fault kinds accumulate.
+TEST(FaultDeterminism, EmptyPlanDrawsNoFaultRngOnAnyStream)
+{
+    // Injector-level: exercising every query surface of an empty
+    // plan consumes nothing.
+    sim::FaultInjector injector(sim::FaultPlan{}, 42);
+    injector.partitionNvmStreams(12);
+    for (std::uint32_t node = 0; node < 12; ++node) {
+        EXPECT_FALSE(injector.nvmWriteFails(node));
+        injector.throttleAt(node, units::Micros{1'000.0});
+    }
+    injector.inDropout(units::Micros{1'000.0});
+    injector.inPartition(0, units::Micros{1'000.0});
+    injector.berOverrideAt(units::Micros{1'000.0});
+    injector.backboneBerOverrideAt(units::Micros{1'000.0});
+    for (const std::uint64_t draws : injector.rngDrawsPerStream())
+        EXPECT_EQ(draws, 0u);
+
+    // Engine-level: a full parallel multi-cluster run with an empty
+    // plan leaves every stream untouched.
+    sim::SystemSimConfig config = hierarchicalSimConfig(400.0_ms);
+    ASSERT_TRUE(config.schedule.feasible);
+    config.parallel = true;
+    config.threads = 4;
+    sim::SystemSim sim(config);
+    const sim::SystemSimResult result = sim.run();
+    EXPECT_TRUE(result.ranParallel);
+    const std::vector<std::uint64_t> draws = sim.faultRngDraws();
+    ASSERT_EQ(draws.size(), 13u); // shared + one per node
+    for (const std::uint64_t count : draws)
+        EXPECT_EQ(count, 0u);
+    EXPECT_TRUE(result.partitions.empty());
+    EXPECT_TRUE(result.restitches.empty());
+    EXPECT_EQ(result.relayForwardsDropped, 0u);
+}
+
+// Cluster-granular degraded serving: with the fabric's cluster plan
+// installed, a partitioned cluster's shards drop out of the fan-out
+// as one failure domain, coverage names the cluster, the answer is a
+// prefix-consistent subset, and the heal restores everything.
+TEST(PartialQueryCoverage, PartitionedClusterDegradesAndRejoins)
+{
+    constexpr std::size_t kNodes = 12;
+    constexpr std::size_t kSamples = 32;
+    app::QueryEngine engine(kNodes, kSamples, 7);
+    engine.setClusterPlan(net::ClusterPlan::balanced(kNodes, 3));
+    Rng noise(23);
+    for (NodeId node = 0; node < kNodes; ++node)
+        for (std::uint64_t w = 0; w < 20; ++w) {
+            std::vector<double> window(kSamples);
+            for (double &sample : window)
+                sample = noise.gaussian(0.0, 1.0);
+            // Node id rides in the electrode so a match's origin
+            // shard is recoverable from the result alone.
+            engine.ingest(node, w * 1'000 + node, node, window,
+                          false);
+        }
+
+    app::Query query;
+    query.t0Us = 0;
+    query.t1Us = 1'000'000;
+    const app::QueryExecution full = engine.execute(query);
+    EXPECT_TRUE(full.coverage.complete());
+    ASSERT_EQ(full.coverage.clusters.size(), 3u);
+    for (const app::ClusterCoverage &slice : full.coverage.clusters)
+        EXPECT_TRUE(slice.complete());
+
+    engine.setClusterDown(1);
+    EXPECT_TRUE(engine.clusterDown(1));
+    const app::QueryExecution partial = engine.execute(query);
+    EXPECT_FALSE(partial.coverage.complete());
+    EXPECT_EQ(partial.coverage.answeredShards, 8u);
+    EXPECT_EQ(partial.coverage.totalShards, kNodes);
+    ASSERT_EQ(partial.coverage.clusters.size(), 3u);
+    EXPECT_TRUE(partial.coverage.clusters[0].complete());
+    EXPECT_EQ(partial.coverage.clusters[1].answeredShards, 0u);
+    EXPECT_EQ(partial.coverage.clusters[1].totalShards, 4u);
+    EXPECT_TRUE(partial.coverage.clusters[2].complete());
+
+    // Prefix-consistent: exactly the full answer minus cluster 1's
+    // members (nodes 4-7), in the same order.
+    std::vector<const app::StoredWindow *> expected;
+    for (const app::StoredWindow *window : full.matches)
+        if (window->electrode < 4 || window->electrode > 7)
+            expected.push_back(window);
+    EXPECT_EQ(partial.matches, expected);
+
+    engine.setClusterDown(1, false);
+    const app::QueryExecution restored = engine.execute(query);
+    EXPECT_TRUE(restored.coverage.complete());
+    EXPECT_EQ(restored.matches, full.matches);
 }
 
 } // namespace
